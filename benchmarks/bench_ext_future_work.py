@@ -1,0 +1,142 @@
+"""Extension benches — the paper's §5/§6 future-work directions.
+
+Not tables or figures of the paper, but analyses it explicitly proposes:
+
+* **status-feed correlation** — "OVH also reports planned maintenance
+  events and the failures happening in their network ... These events
+  could give insights on the purpose of some modifications";
+* **per-site growth** — "future work could use router names to identify
+  the spread of these variations in the network";
+* **core path diversity** — "the network topology thus presents path
+  diversity among the core routers";
+* **cross-provider comparison** — "researchers could compare the
+  collected data [with Scaleway's netmap] to understand the differences
+  that could exist between the two networks".
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta, timezone
+
+import numpy
+
+from conftest import print_header
+
+from repro.analysis.diversity import core_path_diversity
+from repro.analysis.infrastructure import infrastructure_evolution, structural_events
+from repro.analysis.loads import collect_load_samples
+from repro.analysis.sites import fastest_growing_sites
+from repro.constants import MapName, REFERENCE_DATE
+from repro.simulation import BackboneSimulator, scaleway_like_config
+from repro.simulation.events import UpgradeScenario
+from repro.statusfeed.correlate import correlate_events
+from repro.statusfeed.feed import SyntheticStatusFeed
+
+
+def test_ext_status_correlation(benchmark, simulator):
+    """Every scripted map change is explained by a status entry."""
+    feed = SyntheticStatusFeed(simulator)
+    evolution = infrastructure_evolution(
+        simulator, MapName.EUROPE, interval=timedelta(hours=12)
+    )
+    changes = structural_events(
+        evolution.routers, min_delta=2.0, pairing_window=timedelta(days=45)
+    )
+
+    report = benchmark(lambda: correlate_events(changes, feed))
+
+    print_header("Extension — status-feed correlation (Europe)")
+    print(f"status entries: {len(feed.events())} "
+          f"({len(feed.structural_events())} structural, rest routine noise)")
+    print(f"map changes: {report.total}, explained: "
+          f"{report.explained_fraction * 100:.0f}%")
+
+    assert report.total >= 5
+    assert report.explained_fraction == 1.0
+    # Noise never explains anything: matches exclude routine notices.
+    from repro.statusfeed.model import EventKind
+
+    for item in report.explained:
+        assert all(m.kind is not EventKind.ROUTINE_NOTICE for m in item.matches)
+
+
+def test_ext_site_growth(benchmark, simulator):
+    """Rank sites by growth between campaign start and reference date."""
+    first = simulator.snapshot(MapName.EUROPE, simulator.config.window_start)
+    last = simulator.snapshot(MapName.EUROPE, REFERENCE_DATE)
+
+    top = benchmark(lambda: fastest_growing_sites([first, last], top=5))
+
+    print_header("Extension — fastest-growing sites (Europe)")
+    print(f"{'site':<8} {'Δrouters':>9} {'Δlink-ends':>11}")
+    for item in top:
+        print(f"{item.site:<8} {item.router_delta:>+9} {item.link_delta:>+11}")
+
+    assert len(top) == 5
+    assert top[0].link_delta > 0
+    # Growth is uneven across sites — the question the paper raises: the
+    # busiest site grows far faster than the typical one.
+    from repro.analysis.sites import site_growth
+    import statistics
+
+    all_sites = site_growth(first, last)
+    deltas = sorted(item.link_delta for item in all_sites)
+    median_growth = statistics.median(deltas)
+    slowest = deltas[0]
+    print(f"median site growth {median_growth:+.0f}, slowest {slowest:+.0f}")
+    assert top[0].link_delta > 1.5 * max(1.0, median_growth)
+    assert top[0].link_delta > 3 * max(1.0, slowest)
+
+
+def test_ext_core_path_diversity(benchmark, simulator):
+    """Edge-disjoint paths between heavily connected core routers."""
+    snapshot = simulator.snapshot(MapName.EUROPE, REFERENCE_DATE)
+
+    report = benchmark.pedantic(
+        lambda: core_path_diversity(snapshot, max_pairs=25), rounds=1, iterations=1
+    )
+
+    print_header("Extension — path diversity among core routers (Europe)")
+    print(f"pairs sampled          : {report.pairs_sampled}")
+    print(f"edge-disjoint paths    : mean {report.mean_disjoint_paths:.1f}, "
+          f"min {report.min_disjoint_paths}, max {report.max_disjoint_paths}")
+    print(f"pairs with >=2 paths   : {report.fraction_multipath * 100:.0f}%")
+
+    assert report.fraction_multipath == 1.0
+    assert report.mean_disjoint_paths > 5
+
+
+def test_ext_provider_comparison(benchmark, simulator):
+    """OVH-Europe vs a Scaleway-like backbone on identical analyses."""
+    scaleway = BackboneSimulator(
+        config=scaleway_like_config(),
+        upgrade=UpgradeScenario(map_name=MapName.WORLD),
+    )
+    base = datetime(2022, 6, 13, tzinfo=timezone.utc)
+
+    def contrast():
+        ovh_day = [
+            simulator.snapshot(MapName.EUROPE, base + timedelta(hours=h))
+            for h in range(0, 24, 3)
+        ]
+        scw_day = [
+            scaleway.snapshot(MapName.EUROPE, base + timedelta(hours=h))
+            for h in range(0, 24, 3)
+        ]
+        return collect_load_samples(ovh_day), collect_load_samples(scw_day)
+
+    ovh_loads, scw_loads = benchmark.pedantic(contrast, rounds=1, iterations=1)
+
+    ovh_counts = simulator.counts(MapName.EUROPE, base)
+    scw_counts = scaleway.counts(MapName.EUROPE, base)
+    print_header("Extension — cross-provider comparison")
+    print(f"{'':<22} {'OVH Europe':>12} {'Scaleway-like':>14}")
+    print(f"{'routers':<22} {ovh_counts[0]:>12} {scw_counts[0]:>14}")
+    print(f"{'links':<22} {ovh_counts[1] + ovh_counts[2]:>12} "
+          f"{scw_counts[1] + scw_counts[2]:>14}")
+    print(f"{'median load (%)':<22} {numpy.median(ovh_loads.all_loads):>12.0f} "
+          f"{numpy.median(scw_loads.all_loads):>14.0f}")
+
+    # The smaller provider runs a hotter network.
+    assert scw_counts[0] < ovh_counts[0] / 2
+    assert numpy.median(scw_loads.all_loads) > numpy.median(ovh_loads.all_loads)

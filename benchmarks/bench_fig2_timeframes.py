@@ -1,0 +1,91 @@
+"""Figure 2 — collected data time frame by network weather map.
+
+Replays the full two-year collection availability per map (no files
+written — the availability model decides tick by tick) and extracts the
+maximal collection segments.  Shape checks against the paper:
+
+* Europe spans the whole campaign in essentially one segment;
+* World / North America / Asia Pacific were collected "between July and
+  September 2020 and after October 2021" — one early block, one hole,
+  one late block;
+* discontinuities (long outages) are rare.
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+from conftest import print_header
+
+from repro.charts.export import series_to_csv
+from repro.charts.gantt import GanttChart
+from repro.constants import COLLECTION_START, MapName, REFERENCE_DATE
+from repro.dataset.catalog import time_frames_from
+from repro.dataset.gaps import AvailabilityModel
+
+#: Coarser probe cadence: segment boundaries move by at most one step,
+#: which is invisible at the figure's two-year scale.
+PROBE_INTERVAL = timedelta(hours=1)
+
+#: Segments split on gaps of more than two days, as in the figure.
+SPLIT_GAP = timedelta(days=2)
+
+
+def test_fig2_collection_timeframes(benchmark, simulator, output_dir):
+    """Regenerate the Figure 2 segment bars for all four maps."""
+    availability = AvailabilityModel(seed=simulator.config.seed)
+
+    def compute_frames():
+        frames = {}
+        for map_name in simulator.map_names:
+            ticks = availability.ticks(
+                map_name, COLLECTION_START, REFERENCE_DATE, interval=PROBE_INTERVAL
+            )
+            frames[map_name] = time_frames_from(ticks, max_gap=SPLIT_GAP)
+        return frames
+
+    frames = benchmark.pedantic(compute_frames, rounds=1, iterations=1)
+
+    print_header("Figure 2 — Collected time frames by map")
+    csv_columns: dict[str, list] = {}
+    for map_name, map_frames in frames.items():
+        print(f"{map_name.title}:")
+        for frame in map_frames:
+            days = frame.duration.total_seconds() / 86400
+            print(
+                f"  {frame.start.date()} .. {frame.end.date()}  ({days:7.1f} days)"
+            )
+        csv_columns[f"{map_name.value}_start"] = [
+            f.start.isoformat() for f in map_frames
+        ]
+        csv_columns[f"{map_name.value}_end"] = [f.end.isoformat() for f in map_frames]
+    series_to_csv(csv_columns, output_dir / "fig2_timeframes.csv")
+
+    gantt = GanttChart(title="Figure 2 — Collected data time frame by map")
+    for map_name, map_frames in frames.items():
+        gantt.add_row(
+            map_name.title, [(frame.start, frame.end) for frame in map_frames]
+        )
+    gantt.write(output_dir / "fig2_timeframes.svg")
+
+    campaign_days = (REFERENCE_DATE - COLLECTION_START).days
+
+    # Europe: nearly continuous coverage of the whole campaign.
+    europe_covered = sum(
+        (f.duration for f in frames[MapName.EUROPE]), timedelta()
+    )
+    assert europe_covered.days > 0.97 * campaign_days
+    assert frames[MapName.EUROPE][0].start == COLLECTION_START
+
+    # The other maps: early block ending Sep 2020, hole, late block from
+    # Oct 2021 to the reference date.
+    for map_name in (MapName.WORLD, MapName.NORTH_AMERICA, MapName.ASIA_PACIFIC):
+        map_frames = frames[map_name]
+        assert map_frames[0].start == COLLECTION_START
+        assert map_frames[0].end.month == 9 and map_frames[0].end.year == 2020
+        late_start = map_frames[1].start if len(map_frames) > 1 else None
+        assert late_start is not None
+        assert (late_start.year, late_start.month) == (2021, 10)
+        assert map_frames[-1].end.date() >= (REFERENCE_DATE - timedelta(days=2)).date()
+        # The 2021 hole dominates; other discontinuities are rare.
+        assert len(map_frames) <= 8

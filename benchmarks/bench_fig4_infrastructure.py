@@ -1,0 +1,175 @@
+"""Figure 4 — network infrastructure of the Europe map.
+
+* **4a** router-count evolution: +10 routers Aug-Sep 2020, −4 shortly
+  after (make-before-break), −4 in June 2021, a short dip in Aug 2021;
+* **4b** link evolution: external links grow gradually; internal links
+  grow by steps with "an important event of increase" in Nov 2021;
+* **4c** router-degree CCDF: >20 % of routers at a single link, >20 %
+  above 20 links.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta, timezone
+
+from conftest import print_header
+
+from repro.analysis.degrees import degree_ccdf, degree_statistics
+from repro.analysis.infrastructure import infrastructure_evolution, structural_events
+from repro.charts.ascii import sparkline
+from repro.charts.export import series_to_csv
+from repro.charts.svgchart import ChartRenderer, Series, StepSeries
+from repro.constants import MapName, REFERENCE_DATE
+
+
+def _utc(*args) -> datetime:
+    return datetime(*args, tzinfo=timezone.utc)
+
+
+def test_fig4a_router_evolution(benchmark, simulator, output_dir):
+    """Figure 4a: number of OVH routers over the campaign."""
+
+    def compute():
+        return infrastructure_evolution(
+            simulator, MapName.EUROPE, interval=timedelta(hours=12)
+        )
+
+    evolution = benchmark.pedantic(compute, rounds=1, iterations=1)
+    routers = evolution.routers
+
+    print_header("Figure 4a — Evolution of the number of OVH routers (Europe)")
+    print(f"routers over time: {sparkline(routers.values)}")
+    print(f"start {routers.values[0]:.0f} … end {routers.values[-1]:.0f}")
+
+    events = structural_events(routers, min_delta=2.0, pairing_window=timedelta(days=45))
+    for event in events:
+        print(f"  {event.kind:<18} {event.start.date()} → {event.end.date()} "
+              f"(net {event.delta:+.0f})")
+
+    chart = ChartRenderer(
+        title="Figure 4a — OVH routers (Europe)", x_label="epoch (s)", y_label="# routers"
+    )
+    xs, values = routers.as_arrays()
+    chart.add_series(StepSeries(name="routers", xs=tuple(xs), ys=tuple(values)))
+    chart.write(output_dir / "fig4a_routers.svg")
+    series_to_csv(
+        {"time": [t.isoformat() for t in routers.times], "routers": list(routers.values)},
+        output_dir / "fig4a_routers.csv",
+    )
+
+    # The Aug-Sep 2020 growth of ten routers.
+    growth = routers.value_at(_utc(2020, 9, 20)) - routers.value_at(_utc(2020, 7, 25))
+    assert growth == 10
+    # Followed by four removals (make-before-break).
+    assert routers.value_at(_utc(2020, 9, 26)) - routers.value_at(_utc(2020, 10, 2)) == 4
+    # Four more removed in June 2021.
+    assert routers.value_at(_utc(2021, 6, 9)) - routers.value_at(_utc(2021, 6, 11)) == 4
+    # The August 2021 dip recovers.
+    assert routers.value_at(_utc(2021, 8, 11)) < routers.value_at(_utc(2021, 8, 8))
+    assert routers.value_at(_utc(2021, 8, 20)) == routers.value_at(_utc(2021, 8, 8))
+    # A make-before-break event is classified as such.
+    assert any(event.kind == "make-before-break" for event in events)
+    # Reference-date value matches Table 1.
+    assert routers.values[-1] == 113
+
+
+def test_fig4b_link_evolution(benchmark, simulator, output_dir):
+    """Figure 4b: internal vs external link counts over the campaign."""
+
+    def compute():
+        return infrastructure_evolution(
+            simulator, MapName.EUROPE, interval=timedelta(hours=12)
+        )
+
+    evolution = benchmark.pedantic(compute, rounds=1, iterations=1)
+    internal = evolution.internal_links
+    external = evolution.external_links
+
+    print_header("Figure 4b — Evolution of the number of links (Europe)")
+    print(f"internal: {sparkline(internal.values)}")
+    print(f"external: {sparkline(external.values)}")
+    print(
+        f"internal {internal.values[0]:.0f} → {internal.values[-1]:.0f}, "
+        f"external {external.values[0]:.0f} → {external.values[-1]:.0f}"
+    )
+
+    chart = ChartRenderer(
+        title="Figure 4b — Links (Europe)", x_label="epoch (s)", y_label="# links"
+    )
+    xs, internal_values = internal.as_arrays()
+    _, external_values = external.as_arrays()
+    chart.add_series(StepSeries(name="internal", xs=tuple(xs), ys=tuple(internal_values)))
+    chart.add_series(StepSeries(name="external", xs=tuple(xs), ys=tuple(external_values)))
+    chart.write(output_dir / "fig4b_links.svg")
+    series_to_csv(
+        {
+            "time": [t.isoformat() for t in internal.times],
+            "internal": list(internal.values),
+            "external": list(external.values),
+        },
+        output_dir / "fig4b_links.csv",
+    )
+
+    # Both categories grow over the campaign; reference values exact.
+    assert internal.values[-1] == 744 and external.values[-1] == 265
+    assert internal.values[0] < internal.values[-1]
+    assert external.values[0] < external.values[-1]
+
+    # Internal growth is stepwise: the largest 1-day jump carries a big
+    # share of total growth, and the Nov 2021 step is the biggest.
+    internal_deltas = [(when, delta) for when, delta in internal.deltas() if delta > 0]
+    biggest_when, biggest_delta = max(internal_deltas, key=lambda item: item[1])
+    assert (biggest_when.year, biggest_when.month) == (2021, 11)
+    assert biggest_delta > 30
+
+    # External growth is gradual: its largest *new-growth* jump is far
+    # smaller.  A jump that merely restores a preceding dip (links coming
+    # back with routers after the Aug 2021 maintenance) is not growth.
+    deltas = external.deltas()
+    new_growth = []
+    for index, (when, delta) in enumerate(deltas):
+        if delta <= 0:
+            continue
+        recent_drop = sum(
+            -d
+            for w, d in deltas[max(0, index - 28):index]
+            if d < 0 and (when - w) <= timedelta(days=14)
+        )
+        new_growth.append(delta - min(delta, recent_drop))
+    assert max(new_growth) <= 4
+
+
+def test_fig4c_degree_ccdf(benchmark, simulator, output_dir):
+    """Figure 4c: CCDF of router node degree on the reference date."""
+    snapshot = simulator.snapshot(MapName.EUROPE, REFERENCE_DATE)
+
+    def compute():
+        return degree_ccdf(snapshot)
+
+    degrees, fractions = benchmark(compute)
+    stats = degree_statistics(snapshot)
+
+    print_header("Figure 4c — CCDF of OVH router node degree (Europe)")
+    print(f"routers: {stats.count}  mean degree: {stats.mean:.1f}  max: {stats.max}")
+    print(f"fraction with a single link : {stats.fraction_single_link * 100:.1f}% "
+          "(paper: >20%)")
+    print(f"fraction with >20 links     : {stats.fraction_over_20 * 100:.1f}% "
+          "(paper: >20%)")
+
+    chart = ChartRenderer(
+        title="Figure 4c — Router degree CCDF (Europe)",
+        x_label="node degree",
+        y_label="CCDF",
+        x_log=True,
+    )
+    chart.add_series(
+        StepSeries(name="degree CCDF", xs=tuple(degrees), ys=tuple(fractions))
+    )
+    chart.write(output_dir / "fig4c_degree_ccdf.svg")
+    series_to_csv(
+        {"degree": list(degrees), "ccdf": list(fractions)},
+        output_dir / "fig4c_degree_ccdf.csv",
+    )
+
+    assert stats.fraction_single_link > 0.20
+    assert stats.fraction_over_20 > 0.20

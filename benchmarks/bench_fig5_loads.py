@@ -1,0 +1,194 @@
+"""Figure 5 — links loads in the Europe map.
+
+* **5a** load percentiles (1/25/50/75/99) by hour of day: sinusoidal
+  median with its trough between 2-4 a.m. and peak between 7-9 p.m., and
+  variance growing with load;
+* **5b** load CDF: "75 % of the loads are below 33 % and very few loads
+  exceed 60 %", external links loading lower than internal ones;
+* **5c** ECMP imbalance CDF over directed parallel groups: >60 % of
+  imbalances at or below 1 %, external groups tighter (>90 % at or below
+  2 %).
+
+The sample is one simulated week of Europe snapshots at hourly cadence —
+cadence-invariant statistics, so the shapes match the paper's full-rate
+two-year sample.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta, timezone
+
+import numpy
+import pytest
+
+from conftest import print_header
+
+from repro.analysis.imbalance import collect_imbalances, imbalance_cdfs
+from repro.analysis.loads import collect_load_samples, hour_of_day_bands, load_cdfs
+from repro.analysis.stats import fraction_at_most
+from repro.charts.ascii import sparkline
+from repro.charts.export import series_to_csv
+from repro.charts.svgchart import BandSeries, ChartRenderer, Series, StepSeries
+from repro.constants import MapName
+
+SAMPLE_START = datetime(2022, 4, 4, tzinfo=timezone.utc)
+SAMPLE_DAYS = 7
+
+
+@pytest.fixture(scope="module")
+def week_snapshots(simulator):
+    """One week of hourly Europe snapshots."""
+    return [
+        simulator.snapshot(MapName.EUROPE, SAMPLE_START + timedelta(hours=h))
+        for h in range(24 * SAMPLE_DAYS)
+    ]
+
+
+def test_fig5a_hour_of_day_bands(benchmark, simulator, week_snapshots, output_dir):
+    """Figure 5a: load percentiles grouped by hour of day."""
+
+    def compute():
+        samples = collect_load_samples(week_snapshots)
+        return samples, hour_of_day_bands(samples)
+
+    samples, bands = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_header("Figure 5a — Link loads by hour of day (Europe, 1 week)")
+    medians = bands.bands[50.0]
+    print(f"median by hour: {sparkline(medians, width=24)}")
+    print(f"{'hour':>4} {'p1':>6} {'p25':>6} {'median':>7} {'p75':>6} {'p99':>6}")
+    for index, hour in enumerate(bands.hours):
+        print(
+            f"{hour:>4} {bands.bands[1.0][index]:>6.1f} {bands.bands[25.0][index]:>6.1f} "
+            f"{bands.bands[50.0][index]:>7.1f} {bands.bands[75.0][index]:>6.1f} "
+            f"{bands.bands[99.0][index]:>6.1f}"
+        )
+
+    chart = ChartRenderer(
+        title="Figure 5a — Load by hour of day (Europe)",
+        x_label="hour of day",
+        y_label="load (%)",
+    )
+    chart.add_band(
+        BandSeries(
+            name="p25-p75",
+            xs=tuple(float(h) for h in bands.hours),
+            lows=bands.bands[25.0],
+            highs=bands.bands[75.0],
+        )
+    )
+    chart.add_series(
+        Series(name="median", xs=tuple(float(h) for h in bands.hours), ys=medians)
+    )
+    chart.write(output_dir / "fig5a_hour_of_day.svg")
+    series_to_csv(
+        {
+            "hour": list(bands.hours),
+            **{f"p{int(p)}": list(values) for p, values in bands.bands.items()},
+        },
+        output_dir / "fig5a_hour_of_day.csv",
+    )
+
+    # Trough between ~2-4 a.m., peak between ~7-9 p.m.
+    assert bands.median_trough_hour() in (1, 2, 3, 4, 5)
+    assert bands.median_peak_hour() in (18, 19, 20, 21)
+    # Variance grows with load: the peak hour's spread beats the trough's.
+    assert bands.spread_at(bands.median_peak_hour()) > bands.spread_at(
+        bands.median_trough_hour()
+    )
+    # The day cycle is material: peak median well above trough median.
+    assert max(medians) > 1.3 * min(medians)
+
+
+def test_fig5b_load_cdf(benchmark, week_snapshots, output_dir):
+    """Figure 5b: CDF of link loads, internal vs external."""
+
+    def compute():
+        samples = collect_load_samples(week_snapshots)
+        return samples, load_cdfs(samples)
+
+    samples, cdfs = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    at_33 = fraction_at_most(samples.all_loads, 33)
+    over_60 = 1 - fraction_at_most(samples.all_loads, 60)
+    print_header("Figure 5b — CDF of link loads (Europe, 1 week)")
+    print(f"samples: {len(samples):,}")
+    print(f"fraction of loads <= 33 %: {at_33 * 100:.1f}%  (paper: ~75 %)")
+    print(f"fraction of loads  > 60 %: {over_60 * 100:.2f}%  (paper: very few)")
+    print(
+        f"mean internal load: {numpy.mean(samples.internal):.1f}%   "
+        f"mean external load: {numpy.mean(samples.external):.1f}%"
+    )
+
+    chart = ChartRenderer(
+        title="Figure 5b — Load CDF (Europe)", x_label="load (%)", y_label="CDF"
+    )
+    for name in ("internal", "external", "all"):
+        xs, fractions = cdfs[name]
+        # Subsample for the chart (CDF over ~2M points).
+        stride = max(1, xs.size // 500)
+        chart.add_series(
+            StepSeries(
+                name=name, xs=tuple(xs[::stride]), ys=tuple(fractions[::stride])
+            )
+        )
+    chart.write(output_dir / "fig5b_load_cdf.svg")
+
+    # "75 % of the loads are below 33 %" — allow scaled-sample slack.
+    assert 0.60 < at_33 < 0.92
+    # "very few loads exceed 60 %".
+    assert over_60 < 0.07
+    # External links load lower than internal on average.
+    assert numpy.mean(samples.external) < numpy.mean(samples.internal)
+    internal_median = numpy.median(samples.internal)
+    external_median = numpy.median(samples.external)
+    assert external_median < internal_median
+
+
+def test_fig5c_imbalance_cdf(benchmark, week_snapshots, output_dir):
+    """Figure 5c: CDF of ECMP imbalance over directed parallel groups."""
+
+    def compute():
+        return collect_imbalances(week_snapshots)
+
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    cdfs = imbalance_cdfs(result)
+
+    within_1 = result.fraction_within(1.0, "all")
+    external_within_2 = result.fraction_within(2.0, "external")
+    print_header("Figure 5c — ECMP imbalance CDF (Europe, 1 week)")
+    print(f"directed group samples: internal {len(result.internal):,}, "
+          f"external {len(result.external):,}")
+    print(f"imbalance <= 1 %  (all)      : {within_1 * 100:.1f}%  (paper: >60 %)")
+    print(f"imbalance <= 2 %  (external) : {external_within_2 * 100:.1f}%  (paper: >90 %)")
+    print(f"max imbalance observed       : {max(result.all_values):.0f}%")
+
+    chart = ChartRenderer(
+        title="Figure 5c — Imbalance CDF (Europe)",
+        x_label="imbalance (%)",
+        y_label="CDF",
+    )
+    for name in ("internal", "external"):
+        xs, fractions = cdfs[name]
+        stride = max(1, xs.size // 500)
+        chart.add_series(
+            StepSeries(name=name, xs=tuple(xs[::stride]), ys=tuple(fractions[::stride]))
+        )
+    chart.write(output_dir / "fig5c_imbalance_cdf.svg")
+    series_to_csv(
+        {
+            "internal_imbalance": sorted(result.internal)[:: max(1, len(result.internal) // 2000)],
+            "external_imbalance": sorted(result.external)[:: max(1, len(result.external) // 2000)],
+        },
+        output_dir / "fig5c_imbalance.csv",
+    )
+
+    # ">60 % of the imbalance values are lower or equal to 1 %".
+    assert within_1 > 0.60
+    # External groups tighter: ">90 % ... lower or equal to 2 %".
+    assert external_within_2 > 0.90
+    assert result.fraction_within(1.0, "external") >= result.fraction_within(
+        1.0, "internal"
+    )
+    # The skewed-group minority produces a real tail.
+    assert max(result.all_values) > 3

@@ -1,0 +1,69 @@
+"""Table 1 — routers, internal links, and external links per map.
+
+Regenerates the paper's Table 1 through the *full* pipeline: simulate each
+map on the reference date, render it to a weathermap SVG, extract the
+topology back with Algorithms 1+2, and tabulate.  The reproduced rows must
+match the paper exactly, including the total row's de-duplication of
+shared routers (181 of 212) and shared gateway links (1,186 of 1,323).
+
+The timed section is the extraction of the Europe map — the paper's core
+contribution applied to its largest input.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.constants import (
+    MapName,
+    REFERENCE_DATE,
+    TABLE1_PAPER,
+    TABLE1_PAPER_TOTAL,
+)
+from repro.dataset.summary import build_table1, format_table1
+from repro.layout.renderer import MapRenderer
+from repro.parsing.pipeline import parse_svg
+
+
+def test_table1_full_pipeline(benchmark, simulator, output_dir):
+    """Reproduce every Table 1 row via simulate → render → parse."""
+    svgs: dict[MapName, str] = {}
+    for map_name in simulator.map_names:
+        snapshot = simulator.snapshot(map_name, REFERENCE_DATE)
+        svgs[map_name] = MapRenderer().render(snapshot)
+
+    europe_svg = svgs[MapName.EUROPE]
+    benchmark.extra_info["europe_svg_kib"] = len(europe_svg) // 1024
+
+    def extract_europe():
+        return parse_svg(europe_svg, MapName.EUROPE, REFERENCE_DATE)
+
+    europe_parsed = benchmark(extract_europe)
+
+    snapshots = {
+        map_name: parse_svg(svg, map_name, REFERENCE_DATE).snapshot
+        for map_name, svg in svgs.items()
+    }
+    snapshots[MapName.EUROPE] = europe_parsed.snapshot
+    rows = build_table1(snapshots)
+
+    print_header("Table 1 — Summary of routers, internal and external links")
+    print("measured (via SVG extraction):")
+    print(format_table1(rows))
+    print()
+    print("paper:")
+    for map_name, (routers, internal, external) in TABLE1_PAPER.items():
+        print(f"{map_name.title:<15} {routers:>12,} {internal:>15,} {external:>15,}")
+    total = TABLE1_PAPER_TOTAL
+    print(f"{'Total':<15} {total[0]:>12,} {total[1]:>15,} {total[2]:>15,}")
+
+    by_map = {row.map_name: row for row in rows if row.map_name is not None}
+    for map_name, expected in TABLE1_PAPER.items():
+        row = by_map[map_name]
+        assert (row.routers, row.internal_links, row.external_links) == expected
+    total_row = rows[-1]
+    assert (
+        total_row.routers,
+        total_row.internal_links,
+        total_row.external_links,
+    ) == TABLE1_PAPER_TOTAL

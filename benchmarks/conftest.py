@@ -1,0 +1,37 @@
+"""Shared fixtures and output helpers for the benchmark harness.
+
+Every bench module regenerates one table or figure of the paper, prints
+the paper-vs-measured comparison to the console, and writes SVG charts and
+CSV series under ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.simulation.network import BackboneSimulator
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def simulator() -> BackboneSimulator:
+    """The paper-calibrated simulator shared across benches."""
+    return BackboneSimulator()
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    """Where benches drop their charts and CSV series."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR
+
+
+def print_header(title: str) -> None:
+    """A visible banner separating each experiment's console output."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

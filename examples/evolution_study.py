@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Evolution study — how the backbone changed over two years (Figure 4).
+
+Walks the Europe map's router and link counts across the collection
+window, classifies the structural events the paper narrates
+(make-before-break upgrades, maintenance dips, stepwise internal growth),
+and plots the degree distribution.
+
+Run:  python examples/evolution_study.py
+"""
+
+from datetime import timedelta
+
+from repro import BackboneSimulator, MapName, REFERENCE_DATE
+from repro.analysis.degrees import degree_statistics
+from repro.analysis.infrastructure import infrastructure_evolution, structural_events
+from repro.charts.ascii import sparkline
+
+
+def main() -> None:
+    simulator = BackboneSimulator()
+    evolution = infrastructure_evolution(
+        simulator, MapName.EUROPE, interval=timedelta(hours=12)
+    )
+
+    print("Europe map, July 2020 → September 2022")
+    print(f"  routers : {sparkline(evolution.routers.values)}")
+    print(f"            {evolution.routers.values[0]:.0f} → "
+          f"{evolution.routers.values[-1]:.0f}")
+    print(f"  internal: {sparkline(evolution.internal_links.values)}")
+    print(f"            {evolution.internal_links.values[0]:.0f} → "
+          f"{evolution.internal_links.values[-1]:.0f}")
+    print(f"  external: {sparkline(evolution.external_links.values)}")
+    print(f"            {evolution.external_links.values[0]:.0f} → "
+          f"{evolution.external_links.values[-1]:.0f}")
+
+    print("\nstructural events on the router series:")
+    for event in structural_events(
+        evolution.routers, min_delta=2.0, pairing_window=timedelta(days=45)
+    ):
+        print(f"  {event.start.date()} .. {event.end.date()}  "
+              f"{event.kind:<18} net {event.delta:+.0f} routers")
+
+    print("\nlargest internal-link growth steps:")
+    steps = sorted(
+        (delta, when) for when, delta in evolution.internal_links.deltas() if delta > 5
+    )
+    for delta, when in sorted(steps, reverse=True)[:5]:
+        print(f"  {when.date()}  +{delta:.0f} links")
+
+    snapshot = simulator.snapshot(MapName.EUROPE, REFERENCE_DATE)
+    stats = degree_statistics(snapshot)
+    print(f"\nrouter degree on {REFERENCE_DATE.date()}:")
+    print(f"  mean {stats.mean:.1f}, median {stats.median:.0f}, max {stats.max}")
+    print(f"  {stats.fraction_single_link * 100:.0f}% of routers have a single link")
+    print(f"  {stats.fraction_over_20 * 100:.0f}% of routers have more than 20 links")
+
+
+if __name__ == "__main__":
+    main()

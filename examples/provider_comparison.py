@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Cross-provider comparison — OVH vs a Scaleway-like backbone.
+
+The paper's discussion invites comparing the OVH Weather dataset with
+Scaleway's smaller SVG netmap "to understand the differences that could
+exist between the two networks".  This example runs the identical
+analysis stack over both simulated providers and contrasts topology
+shape, provisioning headroom, and ECMP discipline.
+
+Run:  python examples/provider_comparison.py
+"""
+
+from datetime import datetime, timedelta, timezone
+
+import numpy
+
+from repro import BackboneSimulator, MapName
+from repro.analysis.degrees import degree_statistics
+from repro.analysis.imbalance import collect_imbalances
+from repro.analysis.loads import collect_load_samples
+from repro.analysis.stats import fraction_at_most
+from repro.simulation import scaleway_like_config
+from repro.simulation.events import UpgradeScenario
+from repro.topology.graph import mean_parallel_link_count
+
+SAMPLE_START = datetime(2022, 6, 13, tzinfo=timezone.utc)
+
+
+def provider_report(name: str, simulator: BackboneSimulator, map_name: MapName) -> dict:
+    """One day of snapshots → the comparison metrics."""
+    snapshots = [
+        simulator.snapshot(map_name, SAMPLE_START + timedelta(hours=h))
+        for h in range(24)
+    ]
+    reference = snapshots[-1]
+    loads = collect_load_samples(snapshots)
+    imbalances = collect_imbalances(snapshots)
+    degrees = degree_statistics(reference)
+    return {
+        "name": name,
+        "routers": len(reference.routers),
+        "links": len(reference.links),
+        "parallel": mean_parallel_link_count(reference),
+        "degree_mean": degrees.mean,
+        "load_median": float(numpy.median(loads.all_loads)),
+        "load_over_60": 1 - fraction_at_most(loads.all_loads, 60),
+        "imbalance_1": imbalances.fraction_within(1.0),
+    }
+
+
+def main() -> None:
+    ovh = BackboneSimulator()
+    # The scripted AMS-IX upgrade belongs to OVH's history, not the
+    # comparison provider's; aim it at a map the small config lacks.
+    scaleway = BackboneSimulator(
+        config=scaleway_like_config(),
+        upgrade=UpgradeScenario(map_name=MapName.WORLD),
+    )
+
+    reports = [
+        provider_report("OVH (Europe map)", ovh, MapName.EUROPE),
+        provider_report("Scaleway-like", scaleway, MapName.EUROPE),
+    ]
+
+    header = f"{'metric':<28}" + "".join(f"{r['name']:>20}" for r in reports)
+    print(header)
+    print("-" * len(header))
+    rows = (
+        ("routers", "routers", "{:.0f}"),
+        ("links on the map", "links", "{:.0f}"),
+        ("parallel links / pair", "parallel", "{:.2f}"),
+        ("mean router degree", "degree_mean", "{:.1f}"),
+        ("median link load (%)", "load_median", "{:.0f}"),
+        ("loads above 60 % (frac)", "load_over_60", "{:.3f}"),
+        ("imbalance ≤1 % (frac)", "imbalance_1", "{:.2f}"),
+    )
+    for label, key, fmt in rows:
+        print(f"{label:<28}" + "".join(f"{fmt.format(r[key]):>20}" for r in reports))
+
+    print("\nreading: the smaller provider runs hotter (less headroom), with")
+    print("fewer parallel links per adjacency and looser ECMP balance —")
+    print("exactly the contrasts a cross-provider study would surface.")
+
+
+if __name__ == "__main__":
+    main()

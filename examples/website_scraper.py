@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Website scraper — collect the way the paper's authors actually did.
+
+Stands up the simulated OVH Network Weathermap *website* (current map
+replaced every five minutes, same-day hourly archive) and points the
+polling crawler at it for two simulated hours, with the pre-fix flaky
+crontab.  Shows how the hourly archive lets the crawler recover
+snapshots its failed polls missed.
+
+Run:  python examples/website_scraper.py
+"""
+
+import tempfile
+from datetime import datetime, timedelta, timezone
+
+from repro import BackboneSimulator, MapName
+from repro.analysis.collection import collection_quality
+from repro.dataset.gaps import AvailabilityModel, CollectionSegment
+from repro.dataset.store import DatasetStore
+from repro.website.site import WeathermapWebsite
+from repro.website.webcollector import PollingCollector
+
+START = datetime(2022, 2, 8, 9, 0, tzinfo=timezone.utc)
+END = START + timedelta(hours=2)
+
+
+def flaky_cron(simulator) -> AvailabilityModel:
+    """A crawler that misses ~25 % of its ticks (pre-May-2022 style)."""
+    window = CollectionSegment(
+        simulator.config.window_start, simulator.config.window_end
+    )
+    return AvailabilityModel(
+        seed=7,
+        segments={map_name: (window,) for map_name in MapName},
+        europe_miss_rate=0.25,
+        other_miss_rate_before_fix=0.25,
+        other_miss_rate_after_fix=0.25,
+        outage_day_rate=0.0,
+    )
+
+
+def crawl(simulator, site, root: str, backfill: bool):
+    collector = PollingCollector(
+        site,
+        DatasetStore(root),
+        availability=flaky_cron(simulator),
+        backfill=backfill,
+    )
+    stats = collector.run(START, END, maps=[MapName.ASIA_PACIFIC])
+    stamps = collector.store.timestamps(MapName.ASIA_PACIFIC)
+    return stats, collection_quality(stamps)
+
+
+def main() -> None:
+    simulator = BackboneSimulator()
+    site = WeathermapWebsite(simulator)
+    print(f"site: one document per map, replaced every "
+          f"{site.update_interval.total_seconds() / 60:.0f} minutes; "
+          "hourly same-day archive\n")
+
+    with tempfile.TemporaryDirectory() as plain_root, \
+            tempfile.TemporaryDirectory() as backfill_root:
+        plain_stats, plain_quality = crawl(simulator, site, plain_root, backfill=False)
+        backfill_stats, backfill_quality = crawl(
+            simulator, site, backfill_root, backfill=True
+        )
+
+    print("flaky crawler, no backfill:")
+    print(f"  polls {plain_stats.polls}, fetched {plain_stats.fetched}, "
+          f"failed {plain_stats.failed_polls}")
+    print(f"  snapshots stored: {plain_quality.snapshot_count}, "
+          f"at 5-min resolution: {plain_quality.fraction_at_resolution * 100:.0f}%")
+
+    print("\nsame crawler, hourly-archive backfill:")
+    print(f"  fetched {backfill_stats.fetched} live + "
+          f"{backfill_stats.backfilled} recovered from the archive")
+    print(f"  snapshots stored: {backfill_quality.snapshot_count}, "
+          f"longest gap: {backfill_quality.longest_gap}")
+
+    assert backfill_quality.snapshot_count >= plain_quality.snapshot_count
+    print("\nthe archive bounds data loss at one hour — which is why the real")
+    print("dataset's gaps cluster at 5-10 minutes with rare 1-hour strides.")
+
+
+if __name__ == "__main__":
+    main()

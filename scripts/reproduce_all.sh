@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Reproduce the whole paper in one command.
+#
+#   scripts/reproduce_all.sh [ARTIFACT_DIR]
+#
+# Runs the test suite, regenerates every table and figure through the
+# benchmark harness (console comparisons + SVG charts + CSV series), and
+# builds a small demonstration dataset with its validation report and
+# markdown summary under ARTIFACT_DIR (default: ./artifacts).
+
+set -euo pipefail
+
+ARTIFACTS="${1:-artifacts}"
+mkdir -p "$ARTIFACTS"
+
+echo "== 1/4 test suite =="
+python3 -m pytest tests/ -q
+
+echo "== 2/4 tables and figures (benchmark harness) =="
+python3 -m pytest benchmarks/ --benchmark-only -q -s | tee "$ARTIFACTS/benchmarks.txt"
+cp -r benchmarks/output "$ARTIFACTS/figures" 2>/dev/null || true
+
+echo "== 3/4 demonstration dataset (1 hour, all four maps) =="
+DATASET="$ARTIFACTS/dataset"
+repro-weather generate "$DATASET" \
+    --start 2022-09-11T23:00:00 --end 2022-09-12T00:00:00
+repro-weather process "$DATASET"
+repro-weather validate "$DATASET" --cross-check 0.5
+repro-weather tables "$DATASET" | tee "$ARTIFACTS/tables.txt"
+
+echo "== 4/4 report bundle =="
+repro-weather report "$DATASET" --output "$ARTIFACTS/report"
+repro-weather upgrade | tee "$ARTIFACTS/figure6.txt"
+repro-weather changelog --map europe \
+    --start 2022-02-20T00:00:00 --end 2022-04-10T00:00:00 \
+    | tee "$ARTIFACTS/changelog.txt"
+
+echo
+echo "done — artefacts in $ARTIFACTS/"

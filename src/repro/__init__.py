@@ -1,0 +1,55 @@
+"""repro — reproduction of the OVH Weather dataset paper (IMC '22).
+
+The library rebuilds the paper's whole stack:
+
+* a deterministic **backbone simulator** standing in for the live OVH
+  Network Weathermap (:mod:`repro.simulation`),
+* the **SVG renderer** that draws weathermap documents
+  (:mod:`repro.layout`),
+* the paper's **extraction pipeline** — Algorithms 1 and 2 plus sanity
+  checks (:mod:`repro.parsing`),
+* the **dataset substrate** — collection, storage, cataloguing, YAML
+  processing (:mod:`repro.dataset`, :mod:`repro.yamlio`),
+* a synthetic **PeeringDB** (:mod:`repro.peeringdb`),
+* the **analysis library** regenerating every table and figure
+  (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import BackboneSimulator, MapName, REFERENCE_DATE
+    from repro.layout import render_snapshot
+    from repro.parsing import parse_svg
+
+    simulator = BackboneSimulator()
+    snapshot = simulator.snapshot(MapName.EUROPE, REFERENCE_DATE)
+    svg = render_snapshot(snapshot)
+    parsed = parse_svg(svg, MapName.EUROPE, snapshot.timestamp)
+    assert parsed.snapshot.summary_counts() == snapshot.summary_counts()
+"""
+
+from repro.constants import (
+    COLLECTION_START,
+    MapName,
+    REFERENCE_DATE,
+    SNAPSHOT_INTERVAL,
+)
+from repro.simulation import BackboneSimulator, SimulationConfig, default_config
+from repro.topology.model import Link, LinkEnd, MapSnapshot, Node, NodeKind
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "COLLECTION_START",
+    "MapName",
+    "REFERENCE_DATE",
+    "SNAPSHOT_INTERVAL",
+    "BackboneSimulator",
+    "SimulationConfig",
+    "default_config",
+    "Link",
+    "LinkEnd",
+    "MapSnapshot",
+    "Node",
+    "NodeKind",
+    "__version__",
+]

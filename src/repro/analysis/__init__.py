@@ -1,0 +1,139 @@
+"""Analysis library: the paper's Section 5 computations.
+
+Each module regenerates the data behind one part of the evaluation:
+
+* :mod:`repro.analysis.infrastructure` — router/link count evolution
+  (Figures 4a, 4b) and the structural-event detector behind the paper's
+  make-before-break / maintenance narratives;
+* :mod:`repro.analysis.degrees` — router degree CCDF (Figure 4c);
+* :mod:`repro.analysis.loads` — hour-of-day load percentiles (Figure 5a)
+  and internal/external load CDFs (Figure 5b);
+* :mod:`repro.analysis.imbalance` — ECMP imbalance CDFs (Figure 5c);
+* :mod:`repro.analysis.upgrades` — link-upgrade detection and PeeringDB
+  correlation (Figure 6);
+* :mod:`repro.analysis.stats` / :mod:`repro.analysis.timeseries` — shared
+  CDF/percentile/time-series plumbing.
+
+Every analysis works on iterables of :class:`~repro.topology.model.MapSnapshot`
+so it runs equally on simulator output and on YAML files read back from a
+collected dataset.
+"""
+
+from repro.analysis.stats import cdf, ccdf, fraction_at_most, percentile_bands
+from repro.analysis.timeseries import TimeSeries, detect_steps
+from repro.analysis.infrastructure import (
+    InfrastructureEvolution,
+    infrastructure_evolution,
+    structural_events,
+)
+from repro.analysis.degrees import degree_ccdf, degree_statistics
+from repro.analysis.loads import (
+    HourOfDayBands,
+    LoadSamples,
+    WeeklyContrast,
+    collect_load_samples,
+    hour_of_day_bands,
+    load_cdfs,
+    weekly_contrast,
+)
+from repro.analysis.collection import (
+    CollectionQuality,
+    collection_quality,
+    distance_cdf,
+    inter_snapshot_distances,
+)
+from repro.analysis.capacity import (
+    PeeringVolume,
+    peering_volume,
+    total_egress_capacity_gbps,
+    total_egress_volume_gbps,
+    volume_gbps,
+)
+from repro.analysis.congestion import (
+    CongestionEpisode,
+    CongestionSummary,
+    congestion_rate_by_hour,
+    find_congestion,
+)
+from repro.analysis.imbalance import (
+    ImbalanceResult,
+    collect_imbalances,
+    imbalance_cdfs,
+    imbalance_values,
+)
+from repro.analysis.sites import (
+    SiteGrowth,
+    fastest_growing_sites,
+    site_census,
+    site_growth,
+)
+from repro.analysis.diversity import (
+    DiversityReport,
+    core_path_diversity,
+    edge_disjoint_paths,
+)
+from repro.analysis.upgrades import (
+    CorrelatedUpgrade,
+    DowngradeEvent,
+    GroupObservation,
+    UpgradeEvent,
+    correlate_with_peeringdb,
+    detect_downgrades,
+    detect_upgrades,
+    scan_all_peerings,
+    track_peering_group,
+)
+
+__all__ = [
+    "cdf",
+    "ccdf",
+    "fraction_at_most",
+    "percentile_bands",
+    "TimeSeries",
+    "detect_steps",
+    "InfrastructureEvolution",
+    "infrastructure_evolution",
+    "structural_events",
+    "degree_ccdf",
+    "degree_statistics",
+    "HourOfDayBands",
+    "LoadSamples",
+    "WeeklyContrast",
+    "collect_load_samples",
+    "hour_of_day_bands",
+    "load_cdfs",
+    "weekly_contrast",
+    "CollectionQuality",
+    "collection_quality",
+    "distance_cdf",
+    "inter_snapshot_distances",
+    "PeeringVolume",
+    "peering_volume",
+    "total_egress_capacity_gbps",
+    "total_egress_volume_gbps",
+    "volume_gbps",
+    "CongestionEpisode",
+    "CongestionSummary",
+    "congestion_rate_by_hour",
+    "find_congestion",
+    "DowngradeEvent",
+    "detect_downgrades",
+    "scan_all_peerings",
+    "ImbalanceResult",
+    "collect_imbalances",
+    "imbalance_cdfs",
+    "imbalance_values",
+    "SiteGrowth",
+    "fastest_growing_sites",
+    "site_census",
+    "site_growth",
+    "DiversityReport",
+    "core_path_diversity",
+    "edge_disjoint_paths",
+    "UpgradeEvent",
+    "CorrelatedUpgrade",
+    "GroupObservation",
+    "correlate_with_peeringdb",
+    "detect_upgrades",
+    "track_peering_group",
+]

@@ -1,0 +1,103 @@
+"""Absolute traffic volumes from relative loads.
+
+The weathermap publishes loads as *percentages* of unknown capacities;
+combining them with an interconnection database turns them into absolute
+volumes, the way the paper's Figure 6 analysis infers 100 Gbps per AMS-IX
+link.  This module generalises that: per-link and per-group volumes, and
+a backbone-wide egress estimate (the paper's intro quotes "a total egress
+capacity of more than 20 Tbps").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+
+from repro.peeringdb.feed import SyntheticPeeringDB
+from repro.topology.model import MapSnapshot
+
+
+def volume_gbps(load_percent: float, capacity_gbps: float) -> float:
+    """Traffic volume carried by one link direction."""
+    return load_percent / 100.0 * capacity_gbps
+
+
+@dataclass(frozen=True, slots=True)
+class PeeringVolume:
+    """Aggregate egress towards one peering at one instant."""
+
+    peering: str
+    links: int
+    capacity_gbps: float
+    egress_gbps: float
+    ingress_gbps: float
+
+    @property
+    def egress_utilisation(self) -> float:
+        """Aggregate egress load fraction across the group."""
+        if self.capacity_gbps == 0:
+            return 0.0
+        return self.egress_gbps / self.capacity_gbps
+
+
+def peering_volume(
+    snapshot: MapSnapshot,
+    peeringdb: SyntheticPeeringDB,
+    peering: str,
+    when: datetime | None = None,
+) -> PeeringVolume | None:
+    """Volume towards one peering, splitting its capacity over its links.
+
+    Returns ``None`` when the peering is absent from the snapshot or the
+    database has no capacity entry yet.
+    """
+    links = [link for link in snapshot.links if peering in link.nodes]
+    if not links:
+        return None
+    at = when if when is not None else snapshot.timestamp
+    capacity = peeringdb.capacity_at(peering, at)
+    if capacity is None:
+        return None
+    per_link = capacity / len(links)
+    egress = 0.0
+    ingress = 0.0
+    for link in links:
+        router = link.a.node if link.b.node == peering else link.b.node
+        egress += volume_gbps(link.load_from(router), per_link)
+        ingress += volume_gbps(link.load_from(peering), per_link)
+    return PeeringVolume(
+        peering=peering,
+        links=len(links),
+        capacity_gbps=float(capacity),
+        egress_gbps=egress,
+        ingress_gbps=ingress,
+    )
+
+
+def total_egress_capacity_gbps(
+    snapshot: MapSnapshot, peeringdb: SyntheticPeeringDB
+) -> float:
+    """Sum of advertised capacities over the snapshot's peerings.
+
+    This is the quantity behind the paper's "total egress capacity of
+    more than 20 Tbps" framing (per map; the real figure spans all maps
+    plus transit not shown on the weathermap).
+    """
+    total = 0.0
+    for node in snapshot.peerings:
+        capacity = peeringdb.capacity_at(node.name, snapshot.timestamp)
+        if capacity is not None:
+            total += capacity
+    return total
+
+
+def total_egress_volume_gbps(
+    snapshot: MapSnapshot, peeringdb: SyntheticPeeringDB
+) -> float:
+    """Instantaneous egress volume over every peering of the snapshot."""
+    total = 0.0
+    for node in snapshot.peerings:
+        volume = peering_volume(snapshot, peeringdb, node.name)
+        if volume is not None:
+            total += volume.egress_gbps
+    return total

@@ -1,0 +1,78 @@
+"""Collection-quality analytics (the library behind Figures 2 and 3).
+
+These functions compute the paper's collection statistics from any sorted
+timestamp list — a catalog of stored files, an availability model's tick
+list, or a crawler's log — so the benches and the CLI share one
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+import numpy
+
+from repro.analysis.stats import cdf
+from repro.constants import SNAPSHOT_INTERVAL
+from repro.dataset.catalog import TimeFrame, time_frames_from
+
+
+@dataclass(frozen=True, slots=True)
+class CollectionQuality:
+    """Summary of one map's collection record."""
+
+    snapshot_count: int
+    time_frames: tuple[TimeFrame, ...]
+    fraction_at_resolution: float
+    fraction_within_one_miss: float
+    longest_gap: timedelta
+
+    @property
+    def covered(self) -> timedelta:
+        """Total time inside collection segments."""
+        return sum((frame.duration for frame in self.time_frames), timedelta())
+
+
+def inter_snapshot_distances(stamps: list[datetime]) -> numpy.ndarray:
+    """Seconds between consecutive snapshots (Figure 3's variable)."""
+    if len(stamps) < 2:
+        return numpy.empty(0)
+    seconds = numpy.array([stamp.timestamp() for stamp in stamps])
+    return numpy.diff(seconds)
+
+
+def distance_cdf(stamps: list[datetime]) -> tuple[numpy.ndarray, numpy.ndarray]:
+    """The Figure 3 CDF for one timestamp list."""
+    return cdf(inter_snapshot_distances(stamps))
+
+
+def collection_quality(
+    stamps: list[datetime],
+    resolution: timedelta = SNAPSHOT_INTERVAL,
+    segment_gap: timedelta = timedelta(days=2),
+) -> CollectionQuality:
+    """Everything Figures 2 and 3 report, for one timestamp list.
+
+    Args:
+        stamps: sorted snapshot times.
+        resolution: the nominal cadence (five minutes).
+        segment_gap: gaps beyond this split Figure 2 segments.
+    """
+    distances = inter_snapshot_distances(stamps)
+    if distances.size == 0:
+        return CollectionQuality(
+            snapshot_count=len(stamps),
+            time_frames=tuple(time_frames_from(stamps, segment_gap)),
+            fraction_at_resolution=0.0,
+            fraction_within_one_miss=0.0,
+            longest_gap=timedelta(0),
+        )
+    nominal = resolution.total_seconds()
+    return CollectionQuality(
+        snapshot_count=len(stamps),
+        time_frames=tuple(time_frames_from(stamps, segment_gap)),
+        fraction_at_resolution=float(numpy.mean(distances <= nominal + 1.0)),
+        fraction_within_one_miss=float(numpy.mean(distances <= 2 * nominal + 1.0)),
+        longest_gap=timedelta(seconds=float(distances.max())),
+    )

@@ -1,0 +1,151 @@
+"""Congestion episodes.
+
+Section 5 reads the load CDF as evidence that "congestion inside the
+network happens occasionally": the excess capacity absorbs most demand,
+but a small fraction of directed links do run hot.  This module finds
+those episodes — maximal runs of consecutive snapshots where one directed
+link stays at or above a load threshold — and summarises how rare and
+short they are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import Iterable
+
+import numpy
+
+from repro.topology.model import MapSnapshot
+
+#: Loads at or above this are treated as congested (the weathermap's red
+#: band starts at 85 %).
+CONGESTION_THRESHOLD = 85.0
+
+
+@dataclass(frozen=True, slots=True)
+class CongestionEpisode:
+    """One directed link staying hot over consecutive snapshots."""
+
+    source: str
+    target: str
+    label: str
+    start: datetime
+    end: datetime
+    peak_load: float
+    samples: int
+
+    @property
+    def duration(self) -> timedelta:
+        return self.end - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class CongestionSummary:
+    """Aggregate congestion statistics over an observation window."""
+
+    episodes: tuple[CongestionEpisode, ...]
+    snapshots: int
+    directed_samples: int
+    congested_samples: int
+
+    @property
+    def congested_fraction(self) -> float:
+        """Fraction of directed samples at or above the threshold."""
+        if self.directed_samples == 0:
+            return 0.0
+        return self.congested_samples / self.directed_samples
+
+    @property
+    def longest(self) -> CongestionEpisode | None:
+        if not self.episodes:
+            return None
+        return max(self.episodes, key=lambda e: e.duration)
+
+
+def _directed_key(link, source: str) -> tuple[str, str, str]:
+    target = link.a.node if link.b.node == source else link.b.node
+    return (source, target, link.end_for(source).label)
+
+
+def find_congestion(
+    snapshots: Iterable[MapSnapshot],
+    threshold: float = CONGESTION_THRESHOLD,
+    min_samples: int = 2,
+) -> CongestionSummary:
+    """Find congestion episodes across an ordered snapshot stream.
+
+    Args:
+        snapshots: the observation window, any order (sorted internally).
+        threshold: congested means load >= threshold.
+        min_samples: runs shorter than this many consecutive snapshots
+            are ignored (a single hot sample is noise, not congestion).
+    """
+    ordered = sorted(snapshots, key=lambda snapshot: snapshot.timestamp)
+    open_runs: dict[tuple[str, str, str], list] = {}
+    episodes: list[CongestionEpisode] = []
+    directed_samples = 0
+    congested_samples = 0
+
+    def close(key, run) -> None:
+        if len(run) >= min_samples:
+            episodes.append(
+                CongestionEpisode(
+                    source=key[0],
+                    target=key[1],
+                    label=key[2],
+                    start=run[0][0],
+                    end=run[-1][0],
+                    peak_load=max(load for _, load in run),
+                    samples=len(run),
+                )
+            )
+
+    for snapshot in ordered:
+        hot_now: set[tuple[str, str, str]] = set()
+        for link in snapshot.links:
+            for source in link.nodes:
+                load = link.load_from(source)
+                directed_samples += 1
+                if load >= threshold:
+                    congested_samples += 1
+                    key = _directed_key(link, source)
+                    hot_now.add(key)
+                    open_runs.setdefault(key, []).append(
+                        (snapshot.timestamp, load)
+                    )
+        # Runs not continued by this snapshot close.
+        for key in list(open_runs):
+            if key not in hot_now:
+                close(key, open_runs.pop(key))
+    for key, run in open_runs.items():
+        close(key, run)
+
+    episodes.sort(key=lambda episode: episode.start)
+    return CongestionSummary(
+        episodes=tuple(episodes),
+        snapshots=len(ordered),
+        directed_samples=directed_samples,
+        congested_samples=congested_samples,
+    )
+
+
+def congestion_rate_by_hour(
+    snapshots: Iterable[MapSnapshot], threshold: float = CONGESTION_THRESHOLD
+) -> dict[int, float]:
+    """Fraction of directed samples congested, per hour of day.
+
+    Congestion follows the diurnal cycle: evenings run hot far more often
+    than the 3 a.m. trough.
+    """
+    totals: dict[int, int] = {}
+    hot: dict[int, int] = {}
+    for snapshot in snapshots:
+        hour = snapshot.timestamp.hour
+        for _, _, load in snapshot.iter_loads():
+            totals[hour] = totals.get(hour, 0) + 1
+            if load >= threshold:
+                hot[hour] = hot.get(hour, 0) + 1
+    return {
+        hour: hot.get(hour, 0) / count for hour, count in sorted(totals.items())
+    }

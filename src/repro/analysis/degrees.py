@@ -1,0 +1,53 @@
+"""Router node-degree distribution (Figure 4c).
+
+The degree of a router counts every link connected to it, *including all
+parallel links*.  The paper's two headline observations: more than 20 % of
+Europe-map routers have a single link (stub routers whose other
+connections fall outside the backbone maps), and more than 20 % have over
+20 links (core routers with heavy parallelism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy
+
+from repro.analysis.stats import ccdf
+from repro.topology.graph import node_degrees
+from repro.topology.model import MapSnapshot
+
+
+@dataclass(frozen=True, slots=True)
+class DegreeStatistics:
+    """Summary of one snapshot's router degree distribution."""
+
+    count: int
+    mean: float
+    median: float
+    max: int
+    fraction_single_link: float
+    fraction_over_20: float
+
+
+def degree_ccdf(snapshot: MapSnapshot) -> tuple[numpy.ndarray, numpy.ndarray]:
+    """Degree CCDF over the snapshot's OVH routers — the Figure 4c curve."""
+    degrees = list(node_degrees(snapshot, routers_only=True).values())
+    return ccdf(degrees)
+
+
+def degree_statistics(snapshot: MapSnapshot) -> DegreeStatistics:
+    """The headline degree numbers the paper quotes."""
+    degrees = numpy.array(
+        list(node_degrees(snapshot, routers_only=True).values()), dtype=float
+    )
+    if degrees.size == 0:
+        return DegreeStatistics(0, 0.0, 0.0, 0, 0.0, 0.0)
+    return DegreeStatistics(
+        count=int(degrees.size),
+        mean=float(degrees.mean()),
+        median=float(numpy.median(degrees)),
+        max=int(degrees.max()),
+        fraction_single_link=float(numpy.mean(degrees <= 1)),
+        fraction_over_20=float(numpy.mean(degrees > 20)),
+    )

@@ -1,0 +1,103 @@
+"""Path diversity among core routers.
+
+Section 5 observes that "the network topology thus presents path
+diversity among the core routers, which can be leveraged for instance by
+traffic flowing between datacenters".  This module quantifies that: the
+number of edge-disjoint paths between router pairs on the multigraph
+(every parallel link is a usable edge), computed with networkx max-flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx
+
+from repro.topology.graph import node_degrees, to_networkx
+from repro.topology.model import MapSnapshot
+
+
+@dataclass(frozen=True, slots=True)
+class DiversityReport:
+    """Edge-disjoint path statistics over sampled core router pairs."""
+
+    pairs_sampled: int
+    mean_disjoint_paths: float
+    min_disjoint_paths: int
+    max_disjoint_paths: int
+    fraction_multipath: float  # pairs with >= 2 edge-disjoint paths
+
+
+def _router_subgraph(snapshot: MapSnapshot) -> networkx.MultiGraph:
+    """The OVH-internal topology: routers and internal links only."""
+    graph = to_networkx(snapshot)
+    peerings = [node.name for node in snapshot.peerings]
+    graph.remove_nodes_from(peerings)
+    return graph
+
+
+def edge_disjoint_paths(snapshot: MapSnapshot, source: str, target: str) -> int:
+    """Edge-disjoint internal paths between two routers.
+
+    Parallel links each contribute a path, matching the ECMP view of the
+    network.  Returns 0 when either router is absent or disconnected.
+    """
+    graph = _router_subgraph(snapshot)
+    if source not in graph or target not in graph:
+        return 0
+    # Max-flow with unit capacities equals the number of edge-disjoint
+    # paths; collapse the multigraph into integer capacities.
+    flat = networkx.Graph()
+    flat.add_nodes_from(graph.nodes)
+    for a, b in graph.edges():
+        if flat.has_edge(a, b):
+            flat[a][b]["capacity"] += 1
+        else:
+            flat.add_edge(a, b, capacity=1)
+    try:
+        value, _ = networkx.maximum_flow(flat, source, target)
+    except networkx.NetworkXError:
+        return 0
+    return int(value)
+
+
+def core_path_diversity(
+    snapshot: MapSnapshot,
+    min_degree: int = 20,
+    max_pairs: int = 40,
+) -> DiversityReport:
+    """Diversity over the heavily connected ("core") routers.
+
+    Args:
+        snapshot: the map to analyse.
+        min_degree: routers with at least this many links count as core
+            (Figure 4c's ">20 links" population).
+        max_pairs: cap on sampled pairs (max-flow is not free).
+    """
+    degrees = node_degrees(snapshot, routers_only=True)
+    core = sorted(
+        (name for name, degree in degrees.items() if degree > min_degree),
+        key=lambda name: -degrees[name],
+    )
+    pairs: list[tuple[str, str]] = []
+    for index, source in enumerate(core):
+        for target in core[index + 1:]:
+            pairs.append((source, target))
+            if len(pairs) >= max_pairs:
+                break
+        if len(pairs) >= max_pairs:
+            break
+
+    if not pairs:
+        return DiversityReport(0, 0.0, 0, 0, 0.0)
+
+    counts = [
+        edge_disjoint_paths(snapshot, source, target) for source, target in pairs
+    ]
+    return DiversityReport(
+        pairs_sampled=len(counts),
+        mean_disjoint_paths=sum(counts) / len(counts),
+        min_disjoint_paths=min(counts),
+        max_disjoint_paths=max(counts),
+        fraction_multipath=sum(1 for c in counts if c >= 2) / len(counts),
+    )

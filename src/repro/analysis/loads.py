@@ -1,0 +1,155 @@
+"""Link-load distributions (Figures 5a and 5b).
+
+Loads are collected as directed samples — each link contributes its two
+per-direction percentages per snapshot — split into internal (router to
+router) and external (router to peering), then either grouped by hour of
+day (Figure 5a's percentile bands) or folded into CDFs (Figure 5b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy
+
+from repro.analysis.stats import cdf, percentile_bands
+from repro.topology.model import MapSnapshot
+
+#: Percentiles of the Figure 5a bands: whiskers, quartiles, median.
+FIGURE5A_PERCENTILES = (1.0, 25.0, 50.0, 75.0, 99.0)
+
+
+@dataclass
+class LoadSamples:
+    """Directed load samples accumulated over many snapshots."""
+
+    internal: list[float] = field(default_factory=list)
+    external: list[float] = field(default_factory=list)
+    #: Hour-of-day bucket (0-23) for each combined sample, aligned with
+    #: ``all_loads`` order.
+    hours: list[int] = field(default_factory=list)
+    #: Weekday (0=Monday .. 6=Sunday) per sample, aligned with hours.
+    weekdays: list[int] = field(default_factory=list)
+    _combined: list[float] = field(default_factory=list)
+
+    def add_snapshot(self, snapshot: MapSnapshot) -> None:
+        """Fold one snapshot's loads in."""
+        hour = snapshot.timestamp.hour
+        weekday = snapshot.timestamp.weekday()
+        for link in snapshot.links:
+            external = snapshot.is_external(link)
+            for load in (link.a.load, link.b.load):
+                if external:
+                    self.external.append(load)
+                else:
+                    self.internal.append(load)
+                self._combined.append(load)
+                self.hours.append(hour)
+                self.weekdays.append(weekday)
+
+    @property
+    def all_loads(self) -> list[float]:
+        """Every directed sample regardless of category."""
+        return self._combined
+
+    def __len__(self) -> int:
+        return len(self._combined)
+
+
+def collect_load_samples(snapshots: Iterable[MapSnapshot]) -> LoadSamples:
+    """Accumulate load samples over an iterable of snapshots."""
+    samples = LoadSamples()
+    for snapshot in snapshots:
+        samples.add_snapshot(snapshot)
+    return samples
+
+
+@dataclass(frozen=True)
+class HourOfDayBands:
+    """Figure 5a: load percentiles per hour of day."""
+
+    hours: tuple[int, ...]
+    #: bands[p][i] is percentile p at hour hours[i].
+    bands: dict[float, tuple[float, ...]]
+
+    def median_peak_hour(self) -> int:
+        """Hour with the highest median load (paper: 7-9 p.m.)."""
+        medians = self.bands[50.0]
+        return self.hours[int(numpy.argmax(medians))]
+
+    def median_trough_hour(self) -> int:
+        """Hour with the lowest median load (paper: 2-4 a.m.)."""
+        medians = self.bands[50.0]
+        return self.hours[int(numpy.argmin(medians))]
+
+    def spread_at(self, hour: int) -> float:
+        """99th minus 1st percentile at one hour — the variance proxy the
+        paper observes growing with load."""
+        index = self.hours.index(hour)
+        return self.bands[99.0][index] - self.bands[1.0][index]
+
+
+def hour_of_day_bands(
+    samples: LoadSamples,
+    percentiles: tuple[float, ...] = FIGURE5A_PERCENTILES,
+) -> HourOfDayBands:
+    """Group all load samples into hours of day and take percentiles."""
+    loads = numpy.asarray(samples.all_loads, dtype=float)
+    hours = numpy.asarray(samples.hours, dtype=int)
+    present_hours = tuple(sorted(set(hours.tolist())))
+    bands: dict[float, list[float]] = {p: [] for p in percentiles}
+    for hour in present_hours:
+        bucket = loads[hours == hour]
+        values = percentile_bands(bucket, percentiles)
+        for p in percentiles:
+            bands[p].append(values[p])
+    return HourOfDayBands(
+        hours=present_hours,
+        bands={p: tuple(values) for p, values in bands.items()},
+    )
+
+
+def load_cdfs(samples: LoadSamples) -> dict[str, tuple[numpy.ndarray, numpy.ndarray]]:
+    """Figure 5b: load CDFs for all / internal / external samples."""
+    return {
+        "all": cdf(samples.all_loads),
+        "internal": cdf(samples.internal),
+        "external": cdf(samples.external),
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class WeeklyContrast:
+    """Weekday vs weekend load levels — the weekly modulation."""
+
+    weekday_mean: float
+    weekend_mean: float
+    weekday_samples: int
+    weekend_samples: int
+
+    @property
+    def weekend_ratio(self) -> float:
+        """Weekend mean over weekday mean (<1 for business-shaped traffic)."""
+        if self.weekday_mean == 0:
+            return 0.0
+        return self.weekend_mean / self.weekday_mean
+
+
+def weekly_contrast(samples: LoadSamples) -> WeeklyContrast:
+    """Split the load samples into weekdays and weekends.
+
+    Backbone traffic is business-shaped: weekends run measurably quieter,
+    a secondary cycle on top of Figure 5a's daily one.
+    """
+    loads = numpy.asarray(samples.all_loads, dtype=float)
+    weekdays = numpy.asarray(samples.weekdays, dtype=int)
+    weekend_mask = weekdays >= 5
+    weekday_values = loads[~weekend_mask]
+    weekend_values = loads[weekend_mask]
+    return WeeklyContrast(
+        weekday_mean=float(weekday_values.mean()) if weekday_values.size else 0.0,
+        weekend_mean=float(weekend_values.mean()) if weekend_values.size else 0.0,
+        weekday_samples=int(weekday_values.size),
+        weekend_samples=int(weekend_values.size),
+    )

@@ -1,0 +1,118 @@
+"""Site-to-site volume matrices.
+
+The paper situates its dataset next to the public traffic matrices
+(GEANT, Abilene) used by traffic-engineering research.  A weathermap does
+not expose origin-destination demands, but it does expose *link* volumes;
+aggregating them between site pairs yields the site-adjacency volume
+matrix — the input form used by link-level TE studies, exportable for
+frameworks like REPETITA.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.capacity import volume_gbps
+from repro.analysis.sites import site_of
+from repro.peeringdb.feed import SyntheticPeeringDB
+from repro.topology.model import MapSnapshot
+
+#: Capacity assumed for internal links, per link, in Gbps.  The paper's
+#: Figure 6 analysis pins external AMS-IX links at 100 Gbps; internal
+#: backbone links at a large operator are the same optic generation.
+DEFAULT_INTERNAL_LINK_GBPS = 100.0
+
+
+@dataclass(frozen=True)
+class SiteMatrix:
+    """A directed site-to-site volume matrix, in Gbps."""
+
+    sites: tuple[str, ...]
+    #: volumes[(source_site, target_site)] in Gbps.
+    volumes: dict[tuple[str, str], float]
+
+    def volume(self, source: str, target: str) -> float:
+        return self.volumes.get((source, target), 0.0)
+
+    def total_gbps(self) -> float:
+        return sum(self.volumes.values())
+
+    def busiest_pairs(self, top: int = 5) -> list[tuple[str, str, float]]:
+        """The hottest directed site pairs."""
+        ranked = sorted(
+            ((s, t, v) for (s, t), v in self.volumes.items()),
+            key=lambda item: item[2],
+            reverse=True,
+        )
+        return ranked[:top]
+
+    def to_csv(self, path: str | Path | None = None) -> str:
+        """Dense CSV: one row per source site, one column per target."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["source\\target", *self.sites])
+        for source in self.sites:
+            writer.writerow(
+                [source]
+                + [f"{self.volume(source, target):.2f}" for target in self.sites]
+            )
+        text = buffer.getvalue()
+        if path is not None:
+            target_path = Path(path)
+            target_path.parent.mkdir(parents=True, exist_ok=True)
+            target_path.write_text(text, encoding="utf-8")
+        return text
+
+
+def site_volume_matrix(
+    snapshot: MapSnapshot,
+    peeringdb: SyntheticPeeringDB | None = None,
+    internal_link_gbps: float = DEFAULT_INTERNAL_LINK_GBPS,
+) -> SiteMatrix:
+    """Aggregate directed link volumes between sites.
+
+    Internal links contribute at the assumed per-link capacity; external
+    links use the peering's PeeringDB capacity split over its links when
+    a database is given (peerings appear as their own "site", upper-case).
+    """
+    per_peering_capacity: dict[str, float] = {}
+    if peeringdb is not None:
+        link_counts: dict[str, int] = {}
+        for link in snapshot.external_links:
+            peering = link.a.node if snapshot.nodes[link.a.node].is_peering else link.b.node
+            link_counts[peering] = link_counts.get(peering, 0) + 1
+        for peering, count in link_counts.items():
+            capacity = peeringdb.capacity_at(peering, snapshot.timestamp)
+            if capacity is not None and count:
+                per_peering_capacity[peering] = capacity / count
+
+    volumes: dict[tuple[str, str], float] = {}
+    sites: set[str] = set()
+
+    def place_of(name: str) -> str:
+        node = snapshot.nodes[name]
+        return name if node.is_peering else site_of(name)
+
+    for link in snapshot.links:
+        external = snapshot.is_external(link)
+        for source in link.nodes:
+            target = link.a.node if link.b.node == source else link.b.node
+            source_place = place_of(source)
+            target_place = place_of(target)
+            if source_place == target_place:
+                continue
+            if external:
+                peering = source if snapshot.nodes[source].is_peering else target
+                capacity = per_peering_capacity.get(peering, internal_link_gbps)
+            else:
+                capacity = internal_link_gbps
+            load = link.load_from(source)
+            key = (source_place, target_place)
+            volumes[key] = volumes.get(key, 0.0) + volume_gbps(load, capacity)
+            sites.add(source_place)
+            sites.add(target_place)
+
+    return SiteMatrix(sites=tuple(sorted(sites)), volumes=volumes)

@@ -1,0 +1,155 @@
+"""Change narratives: the paper's §5 prose, generated from data.
+
+Given two observation points of one map (plus optional context sources —
+the status feed and PeeringDB), produce the human-readable changelog a
+network researcher would write: router churn by site, link growth split
+internal/external, detected upgrades, and which changes the provider's
+status page explains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import timedelta
+
+from repro.analysis.sites import site_growth
+from repro.analysis.upgrades import scan_all_peerings
+from repro.peeringdb.feed import SyntheticPeeringDB
+from repro.statusfeed.feed import SyntheticStatusFeed
+from repro.statusfeed.model import EventKind
+from repro.topology.diff import diff_snapshots
+from repro.topology.model import MapSnapshot
+
+
+@dataclass
+class Changelog:
+    """Structured change summary between two snapshots."""
+
+    first: MapSnapshot
+    last: MapSnapshot
+    lines: list[str] = field(default_factory=list)
+
+    def add(self, text: str) -> None:
+        self.lines.append(text)
+
+    def render(self) -> str:
+        """The narrative as markdown-ish text."""
+        header = (
+            f"{self.first.map_name.title} map, "
+            f"{self.first.timestamp.date()} → {self.last.timestamp.date()}"
+        )
+        body = "\n".join(f"* {line}" for line in self.lines) or "* no changes."
+        return f"{header}\n{body}"
+
+
+def _describe_router_churn(changelog: Changelog) -> None:
+    diff = diff_snapshots(changelog.first, changelog.last)
+    if diff.added_routers:
+        changelog.add(
+            f"{len(diff.added_routers)} routers added "
+            f"(e.g. {diff.added_routers[0]})."
+        )
+    if diff.removed_routers:
+        changelog.add(
+            f"{len(diff.removed_routers)} routers removed "
+            f"(e.g. {diff.removed_routers[0]})."
+        )
+    if diff.added_peerings:
+        changelog.add(
+            f"{len(diff.added_peerings)} new peerings: "
+            + ", ".join(diff.added_peerings[:4])
+            + ("…" if len(diff.added_peerings) > 4 else "")
+        )
+    internal_delta = diff.added_internal_links - diff.removed_internal_links
+    external_delta = diff.added_external_links - diff.removed_external_links
+    if internal_delta or external_delta:
+        changelog.add(
+            f"link count {internal_delta:+d} internal, {external_delta:+d} external."
+        )
+
+
+def _describe_site_growth(changelog: Changelog, top: int = 3) -> None:
+    growth = [
+        item
+        for item in site_growth(changelog.first, changelog.last)
+        if item.link_delta > 0
+    ]
+    growth.sort(key=lambda item: item.link_delta, reverse=True)
+    if growth:
+        leaders = ", ".join(
+            f"{item.site} ({item.link_delta:+d} link-ends)" for item in growth[:top]
+        )
+        changelog.add(f"fastest-growing sites: {leaders}.")
+
+
+def _describe_upgrades(
+    changelog: Changelog,
+    snapshots: list[MapSnapshot],
+    peeringdb: SyntheticPeeringDB | None,
+) -> None:
+    for peering, events in scan_all_peerings(snapshots).items():
+        for event in events:
+            sentence = (
+                f"capacity upgrade towards {peering}: "
+                f"{event.links_before} → {event.links_after} parallel links, "
+                f"added {event.added_at.date()}, activated "
+                f"{event.activated_at.date()}"
+            )
+            if peeringdb is not None:
+                from repro.analysis.upgrades import correlate_with_peeringdb
+
+                correlated = correlate_with_peeringdb([event], peeringdb, peering)
+                if correlated:
+                    item = correlated[0]
+                    sentence += (
+                        f"; PeeringDB confirms {item.capacity_before_gbps} → "
+                        f"{item.capacity_after_gbps} Gbps "
+                        f"(≈{item.inferred_per_link_capacity_gbps:.0f} Gbps per link)"
+                    )
+            changelog.add(sentence + ".")
+
+
+def _describe_status_context(
+    changelog: Changelog, feed: SyntheticStatusFeed
+) -> None:
+    window_events = [
+        event
+        for event in feed.events_between(
+            changelog.first.timestamp - timedelta(days=1),
+            changelog.last.timestamp + timedelta(days=1),
+        )
+        if event.kind is not EventKind.ROUTINE_NOTICE
+    ]
+    if window_events:
+        changelog.add(
+            f"the status page reports {len(window_events)} structural "
+            f"entries over the window (e.g. \"{window_events[0].title}\")."
+        )
+
+
+def build_changelog(
+    snapshots: list[MapSnapshot],
+    peeringdb: SyntheticPeeringDB | None = None,
+    status_feed: SyntheticStatusFeed | None = None,
+) -> Changelog:
+    """Narrate the changes across an ordered snapshot window.
+
+    Args:
+        snapshots: at least two snapshots of one map (sorted internally).
+        peeringdb: optional capacity context for detected upgrades.
+        status_feed: optional provider status page for explanations.
+
+    Raises:
+        ValueError: with fewer than two snapshots there is nothing to
+            narrate.
+    """
+    ordered = sorted(snapshots, key=lambda snapshot: snapshot.timestamp)
+    if len(ordered) < 2:
+        raise ValueError("a changelog needs at least two snapshots")
+    changelog = Changelog(first=ordered[0], last=ordered[-1])
+    _describe_router_churn(changelog)
+    _describe_site_growth(changelog)
+    _describe_upgrades(changelog, ordered, peeringdb)
+    if status_feed is not None:
+        _describe_status_context(changelog, status_feed)
+    return changelog

@@ -1,0 +1,109 @@
+"""Per-site growth attribution.
+
+Section 5 leaves as future work to "use router names to identify the
+spread of these variations in the network, e.g., to find whether some
+parts of the network are growing faster than others".  Router names carry
+their site code (``fra-fr5-pb6-nc5`` → ``fra``), so growth can be
+attributed per site by diffing snapshots and bucketing changes by name
+prefix.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.topology.diff import diff_snapshots
+from repro.topology.model import MapSnapshot
+
+
+def site_of(router_name: str) -> str:
+    """The site code prefix of an OVH-style router name."""
+    return router_name.split("-", 1)[0]
+
+
+@dataclass(frozen=True, slots=True)
+class SiteGrowth:
+    """Accumulated change at one site between two observation points."""
+
+    site: str
+    routers_added: int
+    routers_removed: int
+    links_added: int
+    links_removed: int
+
+    @property
+    def router_delta(self) -> int:
+        return self.routers_added - self.routers_removed
+
+    @property
+    def link_delta(self) -> int:
+        return self.links_added - self.links_removed
+
+
+def site_census(snapshot: MapSnapshot) -> dict[str, int]:
+    """Routers per site in one snapshot."""
+    census: dict[str, int] = defaultdict(int)
+    for node in snapshot.routers:
+        census[site_of(node.name)] += 1
+    return dict(census)
+
+
+def site_link_census(snapshot: MapSnapshot) -> dict[str, int]:
+    """Link endpoints per site (a link counts at both its ends)."""
+    census: dict[str, int] = defaultdict(int)
+    for link in snapshot.links:
+        for name in link.nodes:
+            if snapshot.nodes[name].is_router:
+                census[site_of(name)] += 1
+    return dict(census)
+
+
+def site_growth(first: MapSnapshot, last: MapSnapshot) -> list[SiteGrowth]:
+    """Attribute the structural change between two snapshots to sites.
+
+    Router changes come from the snapshot diff; link changes are counted
+    at each router endpoint (so an inter-site link credits both sites).
+    """
+    diff = diff_snapshots(first, last)
+    routers_added: dict[str, int] = defaultdict(int)
+    routers_removed: dict[str, int] = defaultdict(int)
+    for name in diff.added_routers:
+        routers_added[site_of(name)] += 1
+    for name in diff.removed_routers:
+        routers_removed[site_of(name)] += 1
+
+    before = site_link_census(first)
+    after = site_link_census(last)
+    sites = (
+        set(routers_added)
+        | set(routers_removed)
+        | set(before)
+        | set(after)
+    )
+    result = []
+    for site in sorted(sites):
+        delta = after.get(site, 0) - before.get(site, 0)
+        result.append(
+            SiteGrowth(
+                site=site,
+                routers_added=routers_added.get(site, 0),
+                routers_removed=routers_removed.get(site, 0),
+                links_added=max(delta, 0),
+                links_removed=max(-delta, 0),
+            )
+        )
+    return result
+
+
+def fastest_growing_sites(
+    snapshots: Iterable[MapSnapshot], top: int = 5
+) -> list[SiteGrowth]:
+    """Rank sites by link growth between the first and last snapshot."""
+    ordered = sorted(snapshots, key=lambda snapshot: snapshot.timestamp)
+    if len(ordered) < 2:
+        return []
+    growth = site_growth(ordered[0], ordered[-1])
+    growth.sort(key=lambda item: item.link_delta, reverse=True)
+    return growth[:top]

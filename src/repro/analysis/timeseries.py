@@ -1,0 +1,124 @@
+"""Time-series container and change detection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import Iterator
+
+import numpy
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """A timestamped numeric series (router counts, link counts, loads)."""
+
+    times: tuple[datetime, ...]
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.values):
+            raise ReproError("times and values must have the same length")
+        if any(b <= a for a, b in zip(self.times, self.times[1:])):
+            raise ReproError("time series must be strictly increasing in time")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[tuple[datetime, float]]:
+        return iter(zip(self.times, self.values))
+
+    @classmethod
+    def from_pairs(cls, pairs) -> TimeSeries:
+        """Build from an iterable of (time, value)."""
+        pairs = sorted(pairs, key=lambda item: item[0])
+        return cls(
+            times=tuple(time for time, _ in pairs),
+            values=tuple(float(value) for _, value in pairs),
+        )
+
+    def value_at(self, when: datetime) -> float:
+        """Step interpolation: last value at or before ``when``."""
+        if not self.times:
+            raise ReproError("empty time series")
+        stamps = numpy.array([t.timestamp() for t in self.times])
+        index = int(numpy.searchsorted(stamps, when.timestamp(), side="right")) - 1
+        if index < 0:
+            raise ReproError(f"{when.isoformat()} precedes the series start")
+        return self.values[index]
+
+    def window(self, start: datetime, end: datetime) -> TimeSeries:
+        """Sub-series with times in [start, end)."""
+        pairs = [(t, v) for t, v in self if start <= t < end]
+        return TimeSeries.from_pairs(pairs)
+
+    def deltas(self) -> list[tuple[datetime, float]]:
+        """Per-step change: (time of new value, new - old)."""
+        return [
+            (self.times[i], self.values[i] - self.values[i - 1])
+            for i in range(1, len(self.times))
+        ]
+
+    def as_arrays(self) -> tuple[numpy.ndarray, numpy.ndarray]:
+        """(epoch seconds, values) numpy arrays for plotting."""
+        return (
+            numpy.array([t.timestamp() for t in self.times]),
+            numpy.array(self.values, dtype=float),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """A detected abrupt change in a time series."""
+
+    when: datetime
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def ratio(self) -> float:
+        """after/before — the quantity the Figure 6 analysis checks
+        against the capacity ratio."""
+        if self.before == 0:
+            return float("inf")
+        return self.after / self.before
+
+
+def detect_steps(
+    series: TimeSeries,
+    min_delta: float = 1.0,
+    window: int = 5,
+    min_gap: timedelta = timedelta(hours=6),
+) -> list[Step]:
+    """Detect abrupt level shifts by comparing window medians.
+
+    A step is reported where the median of the next ``window`` samples
+    differs from the median of the previous ``window`` samples by at least
+    ``min_delta``; consecutive detections within ``min_gap`` are merged
+    into the strongest one.
+    """
+    if len(series) < 2 * window + 1:
+        return []
+    values = numpy.array(series.values, dtype=float)
+    candidates: list[Step] = []
+    for index in range(window, len(values) - window):
+        before = float(numpy.median(values[index - window:index]))
+        after = float(numpy.median(values[index:index + window]))
+        if abs(after - before) >= min_delta:
+            candidates.append(
+                Step(when=series.times[index], before=before, after=after)
+            )
+    merged: list[Step] = []
+    for step in candidates:
+        if merged and step.when - merged[-1].when < min_gap:
+            if abs(step.delta) > abs(merged[-1].delta):
+                merged[-1] = step
+            continue
+        merged.append(step)
+    return merged

@@ -1,0 +1,267 @@
+"""Link-upgrade detection and PeeringDB correlation (Figure 6).
+
+The paper traces an AMS-IX capacity upgrade through three observable
+events: the new parallel link *appears* on the map at 0 % load (A), the
+PeeringDB entry is updated (B), and the link is *activated*, spreading
+traffic over all parallel links and cutting per-link load by the old/new
+capacity ratio (C).  Combining A/C with B lets one infer the per-link
+capacity (100 Gbps in the paper).
+
+This module detects A and C in a stream of snapshots and correlates with a
+(synthetic) PeeringDB to recover B and the capacity inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import Iterable
+
+import numpy
+
+from repro.peeringdb.feed import SyntheticPeeringDB
+from repro.topology.model import MapSnapshot
+
+
+@dataclass(frozen=True, slots=True)
+class GroupObservation:
+    """One snapshot's view of a router-to-peering parallel group."""
+
+    when: datetime
+    #: Egress loads towards the peering, one per parallel link, in map
+    #: order.
+    loads: tuple[float, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.loads)
+
+    @property
+    def active_size(self) -> int:
+        """Links carrying traffic (load above the control-traffic level)."""
+        return sum(1 for load in self.loads if load >= 2.0)
+
+    @property
+    def mean_active_load(self) -> float:
+        active = [load for load in self.loads if load >= 2.0]
+        if not active:
+            return 0.0
+        return float(numpy.mean(active))
+
+
+def track_peering_group(
+    snapshots: Iterable[MapSnapshot], peering: str
+) -> list[GroupObservation]:
+    """Extract the parallel-group observations towards one peering.
+
+    When the peering connects to several routers, the largest group is
+    tracked (the Figure 6 case has a single one).
+    """
+    observations: list[GroupObservation] = []
+    for snapshot in sorted(snapshots, key=lambda s: s.timestamp):
+        by_router: dict[str, list[float]] = {}
+        for link in snapshot.links:
+            if peering not in link.nodes:
+                continue
+            router = link.a.node if link.b.node == peering else link.b.node
+            by_router.setdefault(router, []).append(link.load_from(router))
+        if not by_router:
+            continue
+        loads = max(by_router.values(), key=len)
+        observations.append(
+            GroupObservation(when=snapshot.timestamp, loads=tuple(loads))
+        )
+    return observations
+
+
+@dataclass(frozen=True, slots=True)
+class UpgradeEvent:
+    """A detected add-then-activate parallel-link upgrade."""
+
+    #: Arrow A: first snapshot where the new link is visible (at ~0 %).
+    added_at: datetime
+    #: Arrow C: first snapshot where the new link carries traffic.
+    activated_at: datetime
+    links_before: int
+    links_after: int
+    #: Mean per-link load shortly before and after activation.
+    load_before: float
+    load_after: float
+
+    @property
+    def observed_load_ratio(self) -> float:
+        """after/before — should match links_before/links_after."""
+        if self.load_before == 0:
+            return float("inf")
+        return self.load_after / self.load_before
+
+    @property
+    def expected_load_ratio(self) -> float:
+        return self.links_before / self.links_after
+
+
+def detect_upgrades(
+    observations: list[GroupObservation],
+    settle: int = 12,
+) -> list[UpgradeEvent]:
+    """Find add-then-activate upgrades in a group's observation stream.
+
+    Args:
+        observations: time-ordered group observations.
+        settle: number of observations averaged on each side of the
+            activation to estimate the load levels.
+    """
+    events: list[UpgradeEvent] = []
+    pending_add: tuple[datetime, int, int] | None = None  # (when, size_before, size_after)
+    for index in range(1, len(observations)):
+        previous = observations[index - 1]
+        current = observations[index]
+        if current.size > previous.size and current.active_size <= previous.active_size:
+            # Arrow A: a link appeared but carries no traffic yet.
+            pending_add = (current.when, previous.size, current.size)
+            continue
+        if pending_add is not None and current.active_size >= pending_add[2]:
+            # Arrow C: the added link now carries traffic.
+            before_window = [
+                obs.mean_active_load
+                for obs in observations[max(0, index - settle):index]
+            ]
+            after_window = [
+                obs.mean_active_load
+                for obs in observations[index:index + settle]
+            ]
+            events.append(
+                UpgradeEvent(
+                    added_at=pending_add[0],
+                    activated_at=current.when,
+                    links_before=pending_add[1],
+                    links_after=pending_add[2],
+                    load_before=float(numpy.mean(before_window)) if before_window else 0.0,
+                    load_after=float(numpy.mean(after_window)) if after_window else 0.0,
+                )
+            )
+            pending_add = None
+    return events
+
+
+@dataclass(frozen=True, slots=True)
+class CorrelatedUpgrade:
+    """An upgrade event matched with its PeeringDB capacity change."""
+
+    event: UpgradeEvent
+    peering: str
+    #: Arrow B: when PeeringDB recorded the new capacity.
+    peeringdb_updated: datetime
+    capacity_before_gbps: int
+    capacity_after_gbps: int
+
+    @property
+    def inferred_per_link_capacity_gbps(self) -> float:
+        """Capacity delta divided by link delta — the paper's 100 Gbps."""
+        link_delta = self.event.links_after - self.event.links_before
+        if link_delta == 0:
+            return float("nan")
+        return (self.capacity_after_gbps - self.capacity_before_gbps) / link_delta
+
+
+def scan_all_peerings(
+    snapshots: list[MapSnapshot],
+    settle: int = 12,
+) -> dict[str, list[UpgradeEvent]]:
+    """Run upgrade detection over *every* peering on the maps.
+
+    Researchers would not know in advance which peering was upgraded; this
+    sweeps them all and returns only peerings with at least one detected
+    event.
+    """
+    peerings: set[str] = set()
+    for snapshot in snapshots:
+        peerings.update(node.name for node in snapshot.peerings)
+    found: dict[str, list[UpgradeEvent]] = {}
+    for peering in sorted(peerings):
+        observations = track_peering_group(snapshots, peering)
+        events = detect_upgrades(observations, settle=settle)
+        if events:
+            found[peering] = events
+    return found
+
+
+@dataclass(frozen=True, slots=True)
+class DowngradeEvent:
+    """A detected parallel-link removal (capacity reduction).
+
+    The mirror image of an upgrade: a link disappears from the group and
+    the remaining links absorb its traffic, raising per-link load by
+    roughly ``links_before / links_after``.
+    """
+
+    removed_at: datetime
+    links_before: int
+    links_after: int
+    load_before: float
+    load_after: float
+
+    @property
+    def observed_load_ratio(self) -> float:
+        if self.load_before == 0:
+            return float("inf")
+        return self.load_after / self.load_before
+
+    @property
+    def expected_load_ratio(self) -> float:
+        return self.links_before / self.links_after
+
+
+def detect_downgrades(
+    observations: list[GroupObservation],
+    settle: int = 12,
+) -> list[DowngradeEvent]:
+    """Find parallel-link removals in a group's observation stream."""
+    events: list[DowngradeEvent] = []
+    for index in range(1, len(observations)):
+        previous = observations[index - 1]
+        current = observations[index]
+        if current.size >= previous.size or current.size == 0:
+            continue
+        before_window = [
+            obs.mean_active_load
+            for obs in observations[max(0, index - settle):index]
+        ]
+        after_window = [
+            obs.mean_active_load for obs in observations[index:index + settle]
+        ]
+        events.append(
+            DowngradeEvent(
+                removed_at=current.when,
+                links_before=previous.size,
+                links_after=current.size,
+                load_before=float(numpy.mean(before_window)) if before_window else 0.0,
+                load_after=float(numpy.mean(after_window)) if after_window else 0.0,
+            )
+        )
+    return events
+
+
+def correlate_with_peeringdb(
+    events: list[UpgradeEvent],
+    peeringdb: SyntheticPeeringDB,
+    peering: str,
+    window: timedelta = timedelta(days=30),
+) -> list[CorrelatedUpgrade]:
+    """Match detected upgrades with PeeringDB capacity changes near them."""
+    correlated: list[CorrelatedUpgrade] = []
+    for event in events:
+        changes = peeringdb.changes_near(peering, event.added_at, window)
+        for when, old, new in changes:
+            if event.added_at <= when <= event.activated_at + window:
+                correlated.append(
+                    CorrelatedUpgrade(
+                        event=event,
+                        peering=peering,
+                        peeringdb_updated=when,
+                        capacity_before_gbps=old,
+                        capacity_after_gbps=new,
+                    )
+                )
+                break
+    return correlated

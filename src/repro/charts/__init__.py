@@ -1,0 +1,24 @@
+"""Chart rendering without matplotlib.
+
+The paper's figures are regenerated as standalone SVG charts (via our own
+small chart writer) plus CSV series and quick ASCII previews for the
+terminal — the benchmark harness prints the ASCII form and writes the SVG
+and CSV forms next to its output.
+"""
+
+from repro.charts.svgchart import BandSeries, ChartRenderer, Series, StepSeries
+from repro.charts.gantt import GanttChart, GanttRow
+from repro.charts.ascii import ascii_plot, sparkline
+from repro.charts.export import series_to_csv
+
+__all__ = [
+    "BandSeries",
+    "ChartRenderer",
+    "Series",
+    "StepSeries",
+    "GanttChart",
+    "GanttRow",
+    "ascii_plot",
+    "sparkline",
+    "series_to_csv",
+]

@@ -1,0 +1,66 @@
+"""Terminal previews: sparklines and small ASCII plots.
+
+The benchmark harness prints the paper's series directly to the console;
+these helpers make the shape visible without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 60) -> str:
+    """One-line block-character rendering of a numeric series."""
+    data = [float(v) for v in values]
+    if not data:
+        return ""
+    if len(data) > width:
+        # Downsample by averaging fixed-size buckets.
+        bucket = len(data) / width
+        data = [
+            sum(data[int(i * bucket):max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, len(data[int(i * bucket):max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    low = min(data)
+    high = max(data)
+    if high == low:
+        return _BLOCKS[0] * len(data)
+    scale = (len(_BLOCKS) - 1) / (high - low)
+    return "".join(_BLOCKS[int(round((v - low) * scale))] for v in data)
+
+
+def ascii_plot(
+    xs,
+    ys,
+    width: int = 64,
+    height: int = 14,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """A small scatter/line plot rendered with text characters."""
+    xs = [float(x) for x in xs]
+    ys = [float(y) for y in ys]
+    if not xs or len(xs) != len(ys):
+        return "(no data)"
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1
+    if y_high == y_low:
+        y_high = y_low + 1
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        column = int((x - x_low) / (x_high - x_low) * (width - 1))
+        row = height - 1 - int((y - y_low) / (y_high - y_low) * (height - 1))
+        grid[row][column] = "*"
+    lines = [f"{y_high:>10.4g} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 11 + "│" + "".join(row))
+    lines.append(f"{y_low:>10.4g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 11 + "└" + "─" * width)
+    footer = f"{x_low:<12.6g}{' ' * max(0, width - 24)}{x_high:>12.6g}"
+    lines.append(" " * 12 + footer)
+    if x_label or y_label:
+        lines.append(f"            x: {x_label}   y: {y_label}")
+    return "\n".join(lines)

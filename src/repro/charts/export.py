@@ -1,0 +1,32 @@
+"""CSV export of chart series."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+
+def series_to_csv(columns: dict[str, list], path: str | Path | None = None) -> str:
+    """Write named columns as CSV; returns the text, optionally saving it.
+
+    Columns may have unequal lengths; short ones pad with empty cells.
+    """
+    names = list(columns)
+    length = max((len(values) for values in columns.values()), default=0)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(names)
+    for index in range(length):
+        writer.writerow(
+            [
+                columns[name][index] if index < len(columns[name]) else ""
+                for name in names
+            ]
+        )
+    text = buffer.getvalue()
+    if path is not None:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text, encoding="utf-8")
+    return text

@@ -1,0 +1,125 @@
+"""Horizontal segment (Gantt-style) charts — the Figure 2 form.
+
+Figure 2 draws one row per map with bars covering the collected time
+frames.  This renderer produces that: labelled rows, time on the x axis,
+one bar per segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+from repro.errors import ReproError
+
+_PALETTE = ("#3b6fb6", "#d1495b", "#5f9e6e", "#8d6fb8", "#c77f3d")
+
+
+@dataclass(frozen=True, slots=True)
+class GanttRow:
+    """One labelled row of time segments."""
+
+    label: str
+    segments: tuple[tuple[datetime, datetime], ...]
+
+    def __post_init__(self) -> None:
+        for start, end in self.segments:
+            if end <= start:
+                raise ReproError(f"empty segment in row {self.label!r}")
+
+
+@dataclass
+class GanttChart:
+    """Accumulates rows and renders the segment chart as SVG."""
+
+    title: str
+    width: float = 760.0
+    row_height: float = 34.0
+    rows: list[GanttRow] = field(default_factory=list)
+
+    _MARGIN_LEFT = 120.0
+    _MARGIN_RIGHT = 24.0
+    _MARGIN_TOP = 44.0
+    _MARGIN_BOTTOM = 40.0
+
+    def add_row(self, label: str, segments) -> None:
+        """Add one row; segments are (start, end) datetime pairs."""
+        self.rows.append(GanttRow(label=label, segments=tuple(segments)))
+
+    def _bounds(self) -> tuple[float, float]:
+        stamps = [
+            moment.timestamp()
+            for row in self.rows
+            for segment in row.segments
+            for moment in segment
+        ]
+        if not stamps:
+            raise ReproError("gantt chart has no segments")
+        low, high = min(stamps), max(stamps)
+        if high == low:
+            high = low + 1
+        return low, high
+
+    def to_svg(self) -> str:
+        """Render the chart."""
+        low, high = self._bounds()
+        height = (
+            self._MARGIN_TOP + self._MARGIN_BOTTOM + self.row_height * len(self.rows)
+        )
+        plot_width = self.width - self._MARGIN_LEFT - self._MARGIN_RIGHT
+
+        def x_of(moment: datetime) -> float:
+            ratio = (moment.timestamp() - low) / (high - low)
+            return self._MARGIN_LEFT + ratio * plot_width
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width:.0f}" '
+            f'height="{height:.0f}" font-family="sans-serif">',
+            f'<rect width="{self.width:.0f}" height="{height:.0f}" fill="#ffffff"/>',
+            f'<text x="{self.width / 2:.0f}" y="24" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{escape(self.title)}</text>',
+        ]
+
+        # Year boundaries as gridlines.
+        first_year = datetime.fromtimestamp(low).year
+        last_year = datetime.fromtimestamp(high).year + 1
+        for year in range(first_year, last_year + 1):
+            moment = datetime(year, 1, 1)
+            if not low <= moment.timestamp() <= high:
+                continue
+            x = x_of(moment)
+            parts.append(
+                f'<line x1="{x:.1f}" y1="{self._MARGIN_TOP:.0f}" x2="{x:.1f}" '
+                f'y2="{height - self._MARGIN_BOTTOM:.0f}" stroke="#dddddd"/>'
+            )
+            parts.append(
+                f'<text x="{x:.1f}" y="{height - 16:.0f}" text-anchor="middle" '
+                f'font-size="10">{year}</text>'
+            )
+
+        for index, row in enumerate(self.rows):
+            y = self._MARGIN_TOP + index * self.row_height
+            color = _PALETTE[index % len(_PALETTE)]
+            parts.append(
+                f'<text x="{self._MARGIN_LEFT - 8:.0f}" '
+                f'y="{y + self.row_height / 2 + 4:.1f}" text-anchor="end" '
+                f'font-size="11">{escape(row.label)}</text>'
+            )
+            for start, end in row.segments:
+                x0 = x_of(start)
+                x1 = max(x_of(end), x0 + 1.5)
+                parts.append(
+                    f'<rect x="{x0:.1f}" y="{y + 7:.1f}" '
+                    f'width="{x1 - x0:.1f}" height="{self.row_height - 14:.1f}" '
+                    f'rx="3" fill="{color}"/>'
+                )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def write(self, path: str | Path) -> None:
+        """Write the chart SVG to a file."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_svg(), encoding="utf-8")

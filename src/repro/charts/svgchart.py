@@ -1,0 +1,270 @@
+"""A small SVG chart writer: line, step, and percentile-band charts.
+
+Just enough of a plotting library to regenerate the paper's figures as
+standalone SVG files — axes with ticks, multiple series, a legend, and a
+shaded percentile band (for Figure 5a).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from xml.sax.saxutils import escape
+
+from repro.errors import ReproError
+
+#: Default categorical palette (colour-blind safe-ish).
+PALETTE = ("#3b6fb6", "#d1495b", "#5f9e6e", "#8d6fb8", "#c77f3d", "#57767d")
+
+
+@dataclass(frozen=True, slots=True)
+class Series:
+    """One polyline series."""
+
+    name: str
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+    color: str | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ReproError(f"series {self.name!r}: x/y length mismatch")
+
+
+@dataclass(frozen=True, slots=True)
+class StepSeries(Series):
+    """A series drawn as horizontal steps (CDFs, count evolutions)."""
+
+
+@dataclass(frozen=True, slots=True)
+class BandSeries:
+    """A shaded band between two percentile curves (Figure 5a style)."""
+
+    name: str
+    xs: tuple[float, ...]
+    lows: tuple[float, ...]
+    highs: tuple[float, ...]
+    color: str = "#5f9e6e"
+    opacity: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not (len(self.xs) == len(self.lows) == len(self.highs)):
+            raise ReproError(f"band {self.name!r}: length mismatch")
+
+
+def _nice_ticks(low: float, high: float, count: int = 6) -> list[float]:
+    """Round tick positions covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    raw_step = (high - low) / max(1, count - 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiplier in (1, 2, 2.5, 5, 10):
+        step = magnitude * multiplier
+        if step >= raw_step:
+            break
+    first = math.floor(low / step) * step
+    ticks = []
+    value = first
+    while value <= high + step / 2:
+        if value >= low - step / 2:
+            ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+@dataclass
+class ChartRenderer:
+    """Accumulates series and renders one SVG chart."""
+
+    title: str
+    x_label: str = ""
+    y_label: str = ""
+    width: float = 640.0
+    height: float = 400.0
+    x_log: bool = False
+    series: list[Series] = field(default_factory=list)
+    bands: list[BandSeries] = field(default_factory=list)
+
+    _MARGIN_LEFT = 62.0
+    _MARGIN_RIGHT = 18.0
+    _MARGIN_TOP = 40.0
+    _MARGIN_BOTTOM = 52.0
+
+    def add_series(self, series: Series) -> None:
+        """Add one line/step series."""
+        self.series.append(series)
+
+    def add_band(self, band: BandSeries) -> None:
+        """Add one shaded band (drawn under the lines)."""
+        self.bands.append(band)
+
+    # ------------------------------------------------------------------
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs: list[float] = []
+        ys: list[float] = []
+        for series in self.series:
+            xs.extend(series.xs)
+            ys.extend(series.ys)
+        for band in self.bands:
+            xs.extend(band.xs)
+            ys.extend(band.lows)
+            ys.extend(band.highs)
+        if not xs:
+            raise ReproError("chart has no data")
+        x_low, x_high = min(xs), max(xs)
+        y_low, y_high = min(ys), max(ys)
+        if self.x_log:
+            x_low = max(x_low, 1e-9)
+        if x_high == x_low:
+            x_high = x_low + 1.0
+        if y_high == y_low:
+            y_high = y_low + 1.0
+        pad = (y_high - y_low) * 0.05
+        return x_low, x_high, y_low - pad, y_high + pad
+
+    def _x_pixel(self, x: float, x_low: float, x_high: float) -> float:
+        plot_width = self.width - self._MARGIN_LEFT - self._MARGIN_RIGHT
+        if self.x_log:
+            x = max(x, 1e-9)
+            ratio = (math.log10(x) - math.log10(x_low)) / (
+                math.log10(x_high) - math.log10(x_low)
+            )
+        else:
+            ratio = (x - x_low) / (x_high - x_low)
+        return self._MARGIN_LEFT + ratio * plot_width
+
+    def _y_pixel(self, y: float, y_low: float, y_high: float) -> float:
+        plot_height = self.height - self._MARGIN_TOP - self._MARGIN_BOTTOM
+        ratio = (y - y_low) / (y_high - y_low)
+        return self.height - self._MARGIN_BOTTOM - ratio * plot_height
+
+    def _polyline(self, series: Series, bounds, color: str) -> str:
+        x_low, x_high, y_low, y_high = bounds
+        points: list[str] = []
+        previous_y: float | None = None
+        for x, y in zip(series.xs, series.ys):
+            px = self._x_pixel(x, x_low, x_high)
+            py = self._y_pixel(y, y_low, y_high)
+            if isinstance(series, StepSeries) and previous_y is not None:
+                points.append(f"{px:.1f},{previous_y:.1f}")
+            points.append(f"{px:.1f},{py:.1f}")
+            previous_y = py
+        return (
+            f'<polyline fill="none" stroke="{color}" stroke-width="1.6" '
+            f'points="{" ".join(points)}"/>'
+        )
+
+    def _band_path(self, band: BandSeries, bounds) -> str:
+        x_low, x_high, y_low, y_high = bounds
+        forward = [
+            f"{self._x_pixel(x, x_low, x_high):.1f},{self._y_pixel(high, y_low, y_high):.1f}"
+            for x, high in zip(band.xs, band.highs)
+        ]
+        backward = [
+            f"{self._x_pixel(x, x_low, x_high):.1f},{self._y_pixel(low, y_low, y_high):.1f}"
+            for x, low in zip(reversed(band.xs), reversed(band.lows))
+        ]
+        return (
+            f'<polygon fill="{band.color}" fill-opacity="{band.opacity}" '
+            f'stroke="none" points="{" ".join(forward + backward)}"/>'
+        )
+
+    def to_svg(self) -> str:
+        """Render the chart to an SVG document string."""
+        bounds = self._bounds()
+        x_low, x_high, y_low, y_high = bounds
+        parts: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width:.0f}" '
+            f'height="{self.height:.0f}" font-family="sans-serif">',
+            f'<rect x="0" y="0" width="{self.width:.0f}" height="{self.height:.0f}" fill="#ffffff"/>',
+            f'<text x="{self.width / 2:.0f}" y="22" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{escape(self.title)}</text>',
+        ]
+
+        # Axes frame.
+        left = self._MARGIN_LEFT
+        right = self.width - self._MARGIN_RIGHT
+        top = self._MARGIN_TOP
+        bottom = self.height - self._MARGIN_BOTTOM
+        parts.append(
+            f'<rect x="{left:.0f}" y="{top:.0f}" width="{right - left:.0f}" '
+            f'height="{bottom - top:.0f}" fill="none" stroke="#888888"/>'
+        )
+
+        # Ticks and grid.
+        if self.x_log:
+            decade_low = math.floor(math.log10(max(x_low, 1e-9)))
+            decade_high = math.ceil(math.log10(x_high))
+            x_ticks = [10.0**d for d in range(int(decade_low), int(decade_high) + 1)]
+        else:
+            x_ticks = _nice_ticks(x_low, x_high)
+        for tick in x_ticks:
+            if not x_low <= tick <= x_high:
+                continue
+            px = self._x_pixel(tick, x_low, x_high)
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{top:.0f}" x2="{px:.1f}" y2="{bottom:.0f}" '
+                f'stroke="#dddddd"/>'
+            )
+            label = f"{tick:g}"
+            parts.append(
+                f'<text x="{px:.1f}" y="{bottom + 16:.0f}" text-anchor="middle" '
+                f'font-size="10">{label}</text>'
+            )
+        for tick in _nice_ticks(y_low, y_high):
+            if not y_low <= tick <= y_high:
+                continue
+            py = self._y_pixel(tick, y_low, y_high)
+            parts.append(
+                f'<line x1="{left:.0f}" y1="{py:.1f}" x2="{right:.0f}" y2="{py:.1f}" '
+                f'stroke="#dddddd"/>'
+            )
+            parts.append(
+                f'<text x="{left - 6:.0f}" y="{py + 3:.1f}" text-anchor="end" '
+                f'font-size="10">{tick:g}</text>'
+            )
+
+        # Axis labels.
+        if self.x_label:
+            parts.append(
+                f'<text x="{(left + right) / 2:.0f}" y="{self.height - 12:.0f}" '
+                f'text-anchor="middle" font-size="11">{escape(self.x_label)}</text>'
+            )
+        if self.y_label:
+            parts.append(
+                f'<text x="16" y="{(top + bottom) / 2:.0f}" text-anchor="middle" '
+                f'font-size="11" transform="rotate(-90 16 {(top + bottom) / 2:.0f})">'
+                f"{escape(self.y_label)}</text>"
+            )
+
+        # Bands under lines.
+        for band in self.bands:
+            parts.append(self._band_path(band, bounds))
+
+        # Series and legend.
+        legend_y = top + 14
+        for index, series in enumerate(self.series):
+            color = series.color or PALETTE[index % len(PALETTE)]
+            parts.append(self._polyline(series, bounds, color))
+            parts.append(
+                f'<line x1="{right - 150:.0f}" y1="{legend_y:.0f}" '
+                f'x2="{right - 130:.0f}" y2="{legend_y:.0f}" stroke="{color}" '
+                f'stroke-width="2"/>'
+            )
+            parts.append(
+                f'<text x="{right - 124:.0f}" y="{legend_y + 3:.0f}" font-size="10">'
+                f"{escape(series.name)}</text>"
+            )
+            legend_y += 14
+
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def write(self, path) -> None:
+        """Write the chart SVG to a file."""
+        from pathlib import Path
+
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_svg(), encoding="utf-8")

@@ -1,0 +1,499 @@
+"""``repro-weather`` — drive the whole reproduction from the shell.
+
+Subcommands::
+
+    generate   simulate a collection campaign into a dataset directory
+    process    run the SVG→YAML extraction over a dataset directory
+    catalog    print per-map time frames and snapshot-distance stats
+    tables     print Table 1 and Table 2 for a dataset directory
+    render     render one snapshot SVG to stdout or a file
+    upgrade    replay the Figure 6 case study
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import datetime, timedelta, timezone
+from pathlib import Path
+
+from repro.analysis.upgrades import (
+    correlate_with_peeringdb,
+    detect_upgrades,
+    track_peering_group,
+)
+from repro.constants import MapName, REFERENCE_DATE
+from repro.dataset.catalog import DatasetCatalog
+from repro.dataset.collector import SimulatedCollector
+from repro.dataset.processor import process_map
+from repro.dataset.store import DatasetStore
+from repro.dataset.summary import build_table1, build_table2, format_table1, format_table2
+from repro.layout.renderer import MapRenderer
+from repro.peeringdb.feed import SyntheticPeeringDB
+from repro.simulation.network import BackboneSimulator
+from repro.yamlio.deserialize import snapshot_from_yaml
+
+
+def _parse_when(text: str) -> datetime:
+    """Parse an ISO timestamp, defaulting to UTC when naive."""
+    when = datetime.fromisoformat(text)
+    if when.tzinfo is None:
+        when = when.replace(tzinfo=timezone.utc)
+    return when
+
+
+def _map_argument(text: str) -> MapName:
+    try:
+        return MapName(text)
+    except ValueError:
+        valid = ", ".join(m.value for m in MapName)
+        raise argparse.ArgumentTypeError(f"unknown map {text!r}; one of: {valid}")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2022, help="simulation seed")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Simulate a collection campaign into a dataset directory."""
+    simulator = BackboneSimulator()
+    store = DatasetStore(args.output)
+    collector = SimulatedCollector(simulator, store)
+    maps = [args.map] if args.map else None
+    start = _parse_when(args.start)
+    end = _parse_when(args.end)
+    stats = collector.collect(
+        start, end, maps=maps, interval=timedelta(minutes=args.interval)
+    )
+    for map_name, files in stats.files_written.items():
+        print(
+            f"{map_name.value:<15} {files:>6} files "
+            f"{stats.bytes_written[map_name] / 1024 / 1024:>9.1f} MiB "
+            f"({stats.corrupted[map_name]} corrupted, "
+            f"{stats.ticks_skipped[map_name]} ticks skipped)"
+        )
+    return 0
+
+
+def cmd_process(args: argparse.Namespace) -> int:
+    """Run SVG→YAML extraction over a dataset directory."""
+    store = DatasetStore(args.dataset)
+    for map_name in MapName:
+        stats = process_map(store, map_name, strict=args.strict)
+        if stats.total == 0:
+            continue
+        causes = ", ".join(f"{k}:{v}" for k, v in stats.failure_causes.items())
+        print(
+            f"{map_name.value:<15} processed {stats.processed:>6} "
+            f"unprocessed {stats.unprocessed:>4} {('(' + causes + ')') if causes else ''}"
+        )
+    return 0
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    """Print time frames and snapshot-distance stats (Figures 2 and 3)."""
+    catalog = DatasetCatalog(DatasetStore(args.dataset))
+    for map_name in MapName:
+        count = catalog.snapshot_count(map_name)
+        if count == 0:
+            continue
+        print(f"{map_name.value} — {count} snapshots")
+        for frame in catalog.time_frames(map_name):
+            print(
+                f"  {frame.start.isoformat()} .. {frame.end.isoformat()} "
+                f"({frame.snapshot_count} snapshots)"
+            )
+        fraction = catalog.fraction_at_resolution(map_name)
+        print(f"  at 5-minute resolution: {fraction * 100:.2f} %")
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    """Print Table 1 (from stored YAMLs) and Table 2 for a dataset."""
+    store = DatasetStore(args.dataset)
+    snapshots = {}
+    for map_name in MapName:
+        refs = list(store.iter_refs(map_name, "yaml"))
+        if not refs:
+            continue
+        last = refs[-1]
+        snapshots[map_name] = snapshot_from_yaml(
+            last.path.read_text(encoding="utf-8")
+        )
+    if snapshots:
+        print(format_table1(build_table1(snapshots)))
+        print()
+    print(format_table2(build_table2(store)))
+    return 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    """Render one simulated snapshot to SVG."""
+    simulator = BackboneSimulator()
+    when = _parse_when(args.when) if args.when else REFERENCE_DATE
+    snapshot = simulator.snapshot(args.map, when)
+    svg = MapRenderer(seed=args.seed).render(snapshot)
+    if args.output:
+        Path(args.output).write_text(svg, encoding="utf-8")
+        print(f"wrote {args.output} ({len(svg) / 1024:.0f} KiB)")
+    else:
+        sys.stdout.write(svg)
+    return 0
+
+
+def cmd_upgrade(args: argparse.Namespace) -> int:
+    """Replay the Figure 6 AMS-IX upgrade case study."""
+    simulator = BackboneSimulator()
+    scenario = simulator.upgrade
+    start = scenario.added_at - timedelta(days=10)
+    end = scenario.activated_at + timedelta(days=14)
+    snapshots = []
+    current = start
+    while current < end:
+        snapshots.append(simulator.snapshot(scenario.map_name, current))
+        current += timedelta(hours=args.step_hours)
+    observations = track_peering_group(snapshots, scenario.peering)
+    events = detect_upgrades(observations)
+    peeringdb = SyntheticPeeringDB(simulator)
+    correlated = correlate_with_peeringdb(events, peeringdb, scenario.peering)
+    for item in correlated:
+        event = item.event
+        print(f"peering {item.peering}")
+        print(f"  A link added      {event.added_at.isoformat()}")
+        print(f"  B peeringdb       {item.peeringdb_updated.isoformat()} "
+              f"({item.capacity_before_gbps} -> {item.capacity_after_gbps} Gbps)")
+        print(f"  C link activated  {event.activated_at.isoformat()}")
+        print(f"  links             {event.links_before} -> {event.links_after}")
+        print(f"  per-link capacity {item.inferred_per_link_capacity_gbps:.0f} Gbps")
+        print(f"  load              {event.load_before:.1f}% -> {event.load_after:.1f}% "
+              f"(expected ratio {event.expected_load_ratio:.2f})")
+    if not correlated:
+        print("no correlated upgrade found", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Run the Figure 4/5 analyses on a collected dataset directory."""
+    import numpy
+
+    from repro.analysis.degrees import degree_statistics
+    from repro.analysis.imbalance import collect_imbalances
+    from repro.analysis.loads import collect_load_samples, hour_of_day_bands
+    from repro.analysis.stats import fraction_at_most
+    from repro.dataset.loader import load_all
+
+    store = DatasetStore(args.dataset)
+    snapshots = load_all(store, args.map)
+    if not snapshots:
+        print(f"no processed snapshots for {args.map.value} in {args.dataset}",
+              file=sys.stderr)
+        return 1
+
+    print(f"{args.map.title}: {len(snapshots)} snapshots "
+          f"({snapshots[0].timestamp.isoformat()} → "
+          f"{snapshots[-1].timestamp.isoformat()})")
+
+    stats = degree_statistics(snapshots[-1])
+    print(f"\nrouter degrees (latest snapshot):")
+    print(f"  routers {stats.count}, mean {stats.mean:.1f}, max {stats.max}")
+    print(f"  single-link {stats.fraction_single_link * 100:.0f}%, "
+          f">20 links {stats.fraction_over_20 * 100:.0f}%")
+
+    samples = collect_load_samples(snapshots)
+    print(f"\nlink loads ({len(samples):,} directed samples):")
+    print(f"  <=33%: {fraction_at_most(samples.all_loads, 33) * 100:.0f}%   "
+          f">60%: {(1 - fraction_at_most(samples.all_loads, 60)) * 100:.1f}%")
+    if samples.internal and samples.external:
+        print(f"  internal mean {numpy.mean(samples.internal):.1f}%  "
+              f"external mean {numpy.mean(samples.external):.1f}%")
+    if len({s.timestamp.hour for s in snapshots}) >= 12:
+        bands = hour_of_day_bands(samples)
+        print(f"  median trough {bands.median_trough_hour():02d}:00, "
+              f"peak {bands.median_peak_hour():02d}:00")
+
+    imbalances = collect_imbalances(snapshots)
+    if imbalances.all_values:
+        print(f"\nECMP imbalance ({len(imbalances.all_values):,} group samples):")
+        print(f"  <=1%: {imbalances.fraction_within(1.0) * 100:.0f}%   "
+              f"external <=2%: {imbalances.fraction_within(2.0, 'external') * 100:.0f}%")
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Correlate the map's structural changes with the status feed."""
+    from repro.analysis.infrastructure import infrastructure_evolution, structural_events
+    from repro.statusfeed.correlate import correlate_events
+    from repro.statusfeed.feed import SyntheticStatusFeed
+
+    simulator = BackboneSimulator()
+    feed = SyntheticStatusFeed(simulator)
+    evolution = infrastructure_evolution(
+        simulator, args.map, interval=timedelta(hours=12)
+    )
+    changes = structural_events(
+        evolution.routers, min_delta=2.0, pairing_window=timedelta(days=45)
+    )
+    report = correlate_events(changes, feed)
+    print(f"{args.map.title}: {report.total} structural changes, "
+          f"{report.explained_fraction * 100:.0f}% explained by the status feed")
+    for item in report.explained:
+        titles = "; ".join(match.title for match in item.matches[:2])
+        print(f"  {item.change.start.date()}  {item.change.kind:<18} → {titles}")
+    for item in report.unexplained:
+        print(f"  {item.change.start.date()}  {item.change.kind:<18} → UNEXPLAINED")
+    return 0
+
+
+def cmd_changelog(args: argparse.Namespace) -> int:
+    """Narrate a map's changes over a simulated window."""
+    from repro.analysis.narrative import build_changelog
+    from repro.peeringdb.feed import SyntheticPeeringDB
+    from repro.statusfeed.feed import SyntheticStatusFeed
+
+    simulator = BackboneSimulator()
+    start = _parse_when(args.start)
+    end = _parse_when(args.end)
+    step = max(timedelta(hours=6), (end - start) / max(1, args.samples - 1))
+    snapshots = []
+    current = start
+    while current <= end:
+        snapshots.append(simulator.snapshot(args.map, current))
+        current += step
+    changelog = build_changelog(
+        snapshots,
+        peeringdb=SyntheticPeeringDB(simulator),
+        status_feed=SyntheticStatusFeed(simulator),
+    )
+    print(changelog.render())
+    return 0
+
+
+def cmd_archive(args: argparse.Namespace) -> int:
+    """Pack a dataset into per-map, per-month bundles — or unpack one."""
+    from repro.dataset.archive import pack_dataset, unpack_archive
+
+    store = DatasetStore(args.dataset)
+    if args.unpack:
+        count = unpack_archive(args.unpack, store)
+        print(f"unpacked {count} files into {args.dataset}")
+        return 0
+    maps = [args.map] if args.map else None
+    archives = pack_dataset(store, args.output, maps=maps)
+    if not archives:
+        print("nothing to pack", file=sys.stderr)
+        return 1
+    for info in archives:
+        print(
+            f"{info.path.name:<34} {info.members:>6} files "
+            f"{info.size_bytes / 1024:>9.1f} KiB"
+        )
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Validate a dataset directory's files and cross-check extraction."""
+    from repro.dataset.validate import validate_dataset
+
+    reports = validate_dataset(
+        DatasetStore(args.dataset), cross_check_fraction=args.cross_check
+    )
+    if not reports:
+        print("no dataset files found", file=sys.stderr)
+        return 1
+    all_ok = True
+    for map_name, report in reports.items():
+        verdict = "ok" if report.ok else "PROBLEMS"
+        print(
+            f"{map_name.value:<15} {verdict:<9} yaml {report.yaml_files:>5} "
+            f"svg {report.svg_files:>5} schema-fail {report.schema_failures} "
+            f"cross-checked {report.cross_checked} "
+            f"(failed {report.cross_check_failures}) "
+            f"unprocessed-svg {report.unprocessed_svg}"
+        )
+        for problem in report.problems:
+            print(f"    {problem}")
+        all_ok = all_ok and report.ok
+    return 0 if all_ok else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Write a markdown + charts report bundle for a dataset."""
+    from repro.reports.builder import build_report
+
+    target = build_report(args.dataset, args.output, detail_map=args.map)
+    print(f"wrote {target}")
+    return 0
+
+
+def cmd_crawl(args: argparse.Namespace) -> int:
+    """Poll the simulated weathermap website like the paper's crawler."""
+    from repro.website.site import WeathermapWebsite
+    from repro.website.webcollector import PollingCollector
+
+    simulator = BackboneSimulator()
+    site = WeathermapWebsite(simulator)
+    collector = PollingCollector(
+        site, DatasetStore(args.output), backfill=not args.no_backfill
+    )
+    maps = [args.map] if args.map else None
+    stats = collector.run(_parse_when(args.start), _parse_when(args.end), maps=maps)
+    print(f"polls {stats.polls}, fetched {stats.fetched}, "
+          f"failed {stats.failed_polls}, backfilled {stats.backfilled}, "
+          f"duplicates {stats.duplicates_skipped}")
+    for map_name, count in stats.per_map.items():
+        print(f"  {map_name.value:<15} {count} documents")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Export the latest processed snapshot as GraphML or CSV."""
+    from repro.dataset.loader import latest_snapshot
+    from repro.topology.export import to_adjacency_csv, to_graphml
+
+    store = DatasetStore(args.dataset)
+    snapshot = latest_snapshot(store, args.map)
+    if snapshot is None:
+        print(f"no processed snapshots for {args.map.value}", file=sys.stderr)
+        return 1
+    if args.format == "graphml":
+        text = to_graphml(snapshot, args.output)
+    else:
+        text = to_adjacency_csv(snapshot, args.output)
+    if args.output:
+        print(f"wrote {args.output} ({len(text) / 1024:.1f} KiB)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-weather",
+        description="OVH Weather dataset reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="simulate a collection run")
+    generate.add_argument("output", help="dataset directory to create")
+    generate.add_argument("--start", required=True, help="ISO start time")
+    generate.add_argument("--end", required=True, help="ISO end time")
+    generate.add_argument("--map", type=_map_argument, default=None)
+    generate.add_argument("--interval", type=int, default=5, help="minutes between snapshots")
+    _add_common(generate)
+    generate.set_defaults(handler=cmd_generate)
+
+    process = subparsers.add_parser("process", help="SVG → YAML extraction")
+    process.add_argument("dataset", help="dataset directory")
+    process.add_argument("--strict", action="store_true")
+    process.set_defaults(handler=cmd_process)
+
+    catalog = subparsers.add_parser("catalog", help="collection quality stats")
+    catalog.add_argument("dataset", help="dataset directory")
+    catalog.set_defaults(handler=cmd_catalog)
+
+    tables = subparsers.add_parser("tables", help="print Tables 1 and 2")
+    tables.add_argument("dataset", help="dataset directory")
+    tables.set_defaults(handler=cmd_tables)
+
+    render = subparsers.add_parser("render", help="render one snapshot SVG")
+    render.add_argument("--map", type=_map_argument, default=MapName.EUROPE)
+    render.add_argument("--when", default=None, help="ISO timestamp")
+    render.add_argument("--output", default=None, help="output SVG path")
+    _add_common(render)
+    render.set_defaults(handler=cmd_render)
+
+    upgrade = subparsers.add_parser("upgrade", help="Figure 6 case study")
+    upgrade.add_argument("--step-hours", type=int, default=6)
+    _add_common(upgrade)
+    upgrade.set_defaults(handler=cmd_upgrade)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="Figure 4/5 analyses over a collected dataset"
+    )
+    analyze.add_argument("dataset", help="dataset directory")
+    analyze.add_argument("--map", type=_map_argument, default=MapName.EUROPE)
+    analyze.set_defaults(handler=cmd_analyze)
+
+    status = subparsers.add_parser(
+        "status", help="correlate map changes with the provider status feed"
+    )
+    status.add_argument("--map", type=_map_argument, default=MapName.EUROPE)
+    _add_common(status)
+    status.set_defaults(handler=cmd_status)
+
+    crawl = subparsers.add_parser(
+        "crawl", help="poll the simulated weathermap website into a dataset"
+    )
+    crawl.add_argument("output", help="dataset directory to fill")
+    crawl.add_argument("--start", required=True, help="ISO start time")
+    crawl.add_argument("--end", required=True, help="ISO end time")
+    crawl.add_argument("--map", type=_map_argument, default=None)
+    crawl.add_argument(
+        "--no-backfill",
+        action="store_true",
+        help="skip recovering missed ticks from the hourly archive",
+    )
+    _add_common(crawl)
+    crawl.set_defaults(handler=cmd_crawl)
+
+    export = subparsers.add_parser(
+        "export", help="export the latest snapshot as GraphML or CSV"
+    )
+    export.add_argument("dataset", help="dataset directory")
+    export.add_argument("--map", type=_map_argument, default=MapName.EUROPE)
+    export.add_argument("--format", choices=("graphml", "csv"), default="graphml")
+    export.add_argument("--output", default=None)
+    export.set_defaults(handler=cmd_export)
+
+    changelog = subparsers.add_parser(
+        "changelog", help="narrate a map's changes over a window"
+    )
+    changelog.add_argument("--map", type=_map_argument, default=MapName.EUROPE)
+    changelog.add_argument("--start", required=True, help="ISO start time")
+    changelog.add_argument("--end", required=True, help="ISO end time")
+    changelog.add_argument("--samples", type=int, default=60)
+    _add_common(changelog)
+    changelog.set_defaults(handler=cmd_changelog)
+
+    archive = subparsers.add_parser(
+        "archive", help="pack a dataset into distribution bundles (or unpack one)"
+    )
+    archive.add_argument("dataset", help="dataset directory")
+    archive.add_argument("--output", default="bundles", help="bundle directory")
+    archive.add_argument("--map", type=_map_argument, default=None)
+    archive.add_argument("--unpack", default=None, help="bundle to unpack instead")
+    archive.set_defaults(handler=cmd_archive)
+
+    validate = subparsers.add_parser(
+        "validate", help="validate a dataset's files and cross-check extraction"
+    )
+    validate.add_argument("dataset", help="dataset directory")
+    validate.add_argument(
+        "--cross-check",
+        type=float,
+        default=0.1,
+        help="fraction of snapshots to re-extract from SVG (default 0.1)",
+    )
+    validate.set_defaults(handler=cmd_validate)
+
+    report = subparsers.add_parser(
+        "report", help="write a markdown + charts report for a dataset"
+    )
+    report.add_argument("dataset", help="dataset directory")
+    report.add_argument("--output", default="report", help="output directory")
+    report.add_argument("--map", type=_map_argument, default=MapName.EUROPE)
+    report.set_defaults(handler=cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""The OVH Weather dataset substrate: collection, storage, cataloguing.
+
+The paper's dataset is a directory tree of timestamped SVG snapshots (one
+per map every five minutes) and their processed YAML counterparts.  This
+package provides:
+
+* :mod:`repro.dataset.store` — the on-disk layout and snapshot naming,
+* :mod:`repro.dataset.gaps` — the availability model behind Figures 2/3
+  (per-map collection segments, short gaps, the May 2022 collector fix),
+* :mod:`repro.dataset.corruption` — injection of the malformed files the
+  paper observed in the wild,
+* :mod:`repro.dataset.collector` — the simulated collection campaign,
+* :mod:`repro.dataset.processor` — bulk SVG→YAML processing with the
+  paper's unprocessable-file accounting,
+* :mod:`repro.dataset.catalog` — index of what was collected (time frames,
+  inter-snapshot distances),
+* :mod:`repro.dataset.summary` — the Table 1 and Table 2 builders.
+"""
+
+from repro.dataset.store import DatasetStore, SnapshotRef
+from repro.dataset.gaps import AvailabilityModel, CollectionSegment
+from repro.dataset.corruption import CorruptionInjector
+from repro.dataset.collector import CollectionStats, SimulatedCollector
+from repro.dataset.processor import ProcessingStats, process_map
+from repro.dataset.catalog import DatasetCatalog, TimeFrame, time_frames_from
+from repro.dataset.loader import iter_snapshots, latest_snapshot, load_all
+from repro.dataset.validate import ValidationReport, validate_dataset, validate_map
+from repro.dataset.summary import (
+    Table1Row,
+    Table2Row,
+    build_table1,
+    build_table2,
+    format_table1,
+    format_table2,
+)
+
+__all__ = [
+    "DatasetStore",
+    "SnapshotRef",
+    "AvailabilityModel",
+    "CollectionSegment",
+    "CorruptionInjector",
+    "CollectionStats",
+    "SimulatedCollector",
+    "ProcessingStats",
+    "process_map",
+    "DatasetCatalog",
+    "TimeFrame",
+    "time_frames_from",
+    "iter_snapshots",
+    "latest_snapshot",
+    "load_all",
+    "ValidationReport",
+    "validate_dataset",
+    "validate_map",
+    "Table1Row",
+    "Table2Row",
+    "build_table1",
+    "build_table2",
+    "format_table1",
+    "format_table2",
+]

@@ -1,0 +1,114 @@
+"""Dataset distribution archives.
+
+The released OVH Weather dataset ships as downloadable archives per map
+and period.  This module packs a dataset directory into per-map, per-month
+``.tar.gz`` bundles and unpacks them back into a store — with the naming
+carried by the archive entries themselves, so an unpacked bundle is a
+valid dataset directory fragment.
+"""
+
+from __future__ import annotations
+
+import tarfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.constants import MapName
+from repro.dataset.store import DatasetStore, SnapshotRef
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True, slots=True)
+class ArchiveInfo:
+    """One written bundle."""
+
+    path: Path
+    map_name: MapName
+    kind: str
+    year: int
+    month: int
+    members: int
+
+    @property
+    def size_bytes(self) -> int:
+        return self.path.stat().st_size
+
+
+def _month_key(ref: SnapshotRef) -> tuple[int, int]:
+    return (ref.timestamp.year, ref.timestamp.month)
+
+
+def pack_dataset(
+    store: DatasetStore,
+    output_dir: str | Path,
+    maps: list[MapName] | None = None,
+    kinds: tuple[str, ...] = ("svg", "yaml"),
+) -> list[ArchiveInfo]:
+    """Pack a dataset into per-map, per-month ``.tar.gz`` bundles.
+
+    Archive names follow ``<map>-<kind>-<YYYY>-<MM>.tar.gz``; member names
+    are the store-relative paths, so bundles unpack into a valid store.
+    """
+    output = Path(output_dir)
+    output.mkdir(parents=True, exist_ok=True)
+    written: list[ArchiveInfo] = []
+    targets = maps if maps is not None else list(MapName)
+    for map_name in targets:
+        for kind in kinds:
+            by_month: dict[tuple[int, int], list[SnapshotRef]] = {}
+            for ref in store.iter_refs(map_name, kind):
+                by_month.setdefault(_month_key(ref), []).append(ref)
+            for (year, month), refs in sorted(by_month.items()):
+                archive_path = (
+                    output / f"{map_name.value}-{kind}-{year:04d}-{month:02d}.tar.gz"
+                )
+                with tarfile.open(archive_path, "w:gz") as archive:
+                    for ref in refs:
+                        archive.add(
+                            ref.path,
+                            arcname=str(ref.path.relative_to(store.root)),
+                        )
+                written.append(
+                    ArchiveInfo(
+                        path=archive_path,
+                        map_name=map_name,
+                        kind=kind,
+                        year=year,
+                        month=month,
+                        members=len(refs),
+                    )
+                )
+    return written
+
+
+def unpack_archive(archive_path: str | Path, store: DatasetStore) -> int:
+    """Unpack one bundle into a dataset store; returns the member count.
+
+    Member paths are validated to stay inside the store root (no
+    path traversal) and to look like dataset files.
+    """
+    archive_path = Path(archive_path)
+    if not archive_path.exists():
+        raise DatasetError(f"no archive at {archive_path}")
+    root = store.root.resolve()
+    count = 0
+    with tarfile.open(archive_path, "r:gz") as archive:
+        for member in archive.getmembers():
+            if not member.isfile():
+                continue
+            target = (root / member.name).resolve()
+            if not str(target).startswith(str(root)):
+                raise DatasetError(
+                    f"archive member escapes the store: {member.name!r}"
+                )
+            if target.suffix not in (".svg", ".yaml"):
+                raise DatasetError(
+                    f"archive member is not a dataset file: {member.name!r}"
+                )
+            extracted = archive.extractfile(member)
+            if extracted is None:
+                continue
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_bytes(extracted.read())
+            count += 1
+    return count

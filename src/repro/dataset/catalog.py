@@ -1,0 +1,119 @@
+"""Dataset catalog: what was collected, when, with what gaps.
+
+Backs the two collection-quality figures:
+
+* **Figure 2** — per-map collected time frames: maximal segments in which
+  consecutive snapshots are no farther apart than a threshold;
+* **Figure 3** — the distribution of time distances between consecutive
+  snapshots of each map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+import numpy
+
+from repro.constants import MapName, SNAPSHOT_INTERVAL
+from repro.dataset.store import DatasetStore
+
+
+@dataclass(frozen=True, slots=True)
+class TimeFrame:
+    """A maximal continuous stretch of collected snapshots."""
+
+    start: datetime
+    end: datetime
+    snapshot_count: int
+
+    @property
+    def duration(self) -> timedelta:
+        return self.end - self.start
+
+
+def time_frames_from(
+    stamps: list[datetime], max_gap: timedelta = timedelta(hours=1)
+) -> list[TimeFrame]:
+    """Maximal collection segments from a sorted timestamp list.
+
+    Store-free building block for Figure 2: usable directly on an
+    availability model's tick list as well as on a catalog's index.
+    """
+    if not stamps:
+        return []
+    frames: list[TimeFrame] = []
+    segment_start = stamps[0]
+    previous = stamps[0]
+    count = 1
+    for stamp in stamps[1:]:
+        if stamp - previous > max_gap:
+            frames.append(
+                TimeFrame(start=segment_start, end=previous, snapshot_count=count)
+            )
+            segment_start = stamp
+            count = 0
+        previous = stamp
+        count += 1
+    frames.append(TimeFrame(start=segment_start, end=previous, snapshot_count=count))
+    return frames
+
+
+class DatasetCatalog:
+    """Index over one dataset store's snapshot timestamps."""
+
+    def __init__(self, store: DatasetStore, kind: str = "svg") -> None:
+        self._store = store
+        self._kind = kind
+        self._timestamps: dict[MapName, list[datetime]] = {}
+
+    def timestamps(self, map_name: MapName) -> list[datetime]:
+        """Sorted snapshot timestamps of one map (cached)."""
+        cached = self._timestamps.get(map_name)
+        if cached is None:
+            cached = self._store.timestamps(map_name, self._kind)
+            self._timestamps[map_name] = cached
+        return cached
+
+    def snapshot_count(self, map_name: MapName) -> int:
+        """Number of collected snapshots for one map."""
+        return len(self.timestamps(map_name))
+
+    def distances(self, map_name: MapName) -> numpy.ndarray:
+        """Seconds between consecutive snapshots (Figure 3's variable)."""
+        stamps = self.timestamps(map_name)
+        if len(stamps) < 2:
+            return numpy.empty(0)
+        seconds = numpy.array([stamp.timestamp() for stamp in stamps])
+        return numpy.diff(seconds)
+
+    def distance_cdf(self, map_name: MapName) -> tuple[numpy.ndarray, numpy.ndarray]:
+        """(distance seconds, cumulative fraction) — one Figure 3 series."""
+        distances = numpy.sort(self.distances(map_name))
+        if distances.size == 0:
+            return numpy.empty(0), numpy.empty(0)
+        fractions = numpy.arange(1, distances.size + 1) / distances.size
+        return distances, fractions
+
+    def fraction_at_resolution(
+        self, map_name: MapName, resolution: timedelta = SNAPSHOT_INTERVAL
+    ) -> float:
+        """Fraction of inter-snapshot distances at the nominal resolution.
+
+        The paper reports >99.8 % for the Europe map at five minutes.
+        """
+        distances = self.distances(map_name)
+        if distances.size == 0:
+            return 0.0
+        return float(
+            numpy.mean(distances <= resolution.total_seconds() + 1.0)
+        )
+
+    def time_frames(
+        self,
+        map_name: MapName,
+        max_gap: timedelta = timedelta(hours=1),
+    ) -> list[TimeFrame]:
+        """Maximal collection segments, split wherever a gap exceeds
+        ``max_gap`` (the Figure 2 bars)."""
+        return time_frames_from(self.timestamps(map_name), max_gap)

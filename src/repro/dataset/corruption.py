@@ -1,0 +1,81 @@
+"""Corruption injection — the malformed files the paper found in the wild.
+
+Table 2 leaves "less than a hundred files per map unprocessed", for two
+reported reasons: invalid SVGs ("malformed attribute values") and files
+"lacking elements, such as OVH routers, resulting in a failure to find
+intersections for a given link".  The injector reproduces both, at a
+deterministic per-file rate, so the processing pipeline's error accounting
+has something real to count.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from datetime import datetime
+
+from repro.constants import MapName
+from repro.rng import stable_uniform, substream
+
+
+@dataclass(frozen=True, slots=True)
+class CorruptionInjector:
+    """Deterministically corrupts a small fraction of rendered SVGs."""
+
+    seed: int = 2022
+    #: Per-file probability of any corruption (the paper's rate is
+    #: roughly 0.02-0.06 % per map).
+    rate: float = 0.0004
+
+    def is_corrupted(self, map_name: MapName, when: datetime) -> bool:
+        """Whether the snapshot at ``when`` gets corrupted."""
+        return stable_uniform("corrupt", self.seed, map_name.value, when) < self.rate
+
+    def corrupt(self, svg: str, map_name: MapName, when: datetime) -> str:
+        """Apply one of the paper's two corruption modes to a document."""
+        rng = substream("corrupt-mode", self.seed, map_name.value, when)
+        mode = rng.choice(("malformed-attribute", "missing-objects", "truncated"))
+        if mode == "malformed-attribute":
+            return self._mangle_attribute(svg, rng)
+        if mode == "missing-objects":
+            return self._drop_objects(svg)
+        return self._truncate(svg, rng)
+
+    def maybe_corrupt(self, svg: str, map_name: MapName, when: datetime) -> tuple[str, bool]:
+        """Corrupt the document if this tick is selected; flag says whether."""
+        if not self.is_corrupted(map_name, when):
+            return svg, False
+        return self.corrupt(svg, map_name, when), True
+
+    @staticmethod
+    def _mangle_attribute(svg: str, rng) -> str:
+        """Replace one parsed numeric attribute with a malformed value.
+
+        Targets a link-label box's ``x`` (always parsed by Algorithm 1) so
+        the corruption is guaranteed to surface as a malformed-attribute
+        failure, like the invalid files the paper observed.
+        """
+        matches = list(re.finditer(r'<rect class="node" x="[\d.]+"', svg))
+        if not matches:
+            return svg[: len(svg) // 2]
+        chosen = matches[rng.randrange(len(matches))]
+        return (
+            svg[: chosen.start()]
+            + '<rect class="node" x="12..34"'
+            + svg[chosen.end():]
+        )
+
+    @staticmethod
+    def _drop_objects(svg: str) -> str:
+        """Remove every router/peering group, leaving links orphaned.
+
+        Parsing such a file fails in Algorithm 2 with a missing-router
+        error, matching the paper's second failure cause.
+        """
+        return re.sub(r'<g class="object[^"]*">.*?</g>', "", svg, flags=re.DOTALL)
+
+    @staticmethod
+    def _truncate(svg: str, rng) -> str:
+        """Cut the document mid-tag: not well-formed XML any more."""
+        cut = rng.randrange(len(svg) // 4, (3 * len(svg)) // 4)
+        return svg[:cut]

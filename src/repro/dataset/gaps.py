@@ -1,0 +1,150 @@
+"""Collection availability model (Figures 2 and 3).
+
+Reproduces the paper's collection history:
+
+* Europe was collected near-continuously from July 2020 with ">99.8 % of
+  the snapshots available at the highest resolution of five minutes";
+* World, North America and Asia Pacific were collected "between July and
+  September 2020 and after October 2021";
+* all maps show short gaps — usually a single missing snapshot — whose
+  rate drops after the operational fix of May 2022;
+* a few longer outages (hours to days) produce the visible discontinuities
+  of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta, timezone
+
+from repro.constants import (
+    COLLECTION_FIX_DATE,
+    COLLECTION_START,
+    MapName,
+    REFERENCE_DATE,
+    SNAPSHOT_INTERVAL,
+)
+from repro.errors import DatasetError
+from repro.rng import stable_uniform, substream
+
+
+@dataclass(frozen=True, slots=True)
+class CollectionSegment:
+    """A continuous stretch of collection for one map."""
+
+    start: datetime
+    end: datetime
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise DatasetError("collection segment is empty")
+
+    def contains(self, when: datetime) -> bool:
+        return self.start <= when < self.end
+
+
+def _utc(year: int, month: int, day: int) -> datetime:
+    return datetime(year, month, day, tzinfo=timezone.utc)
+
+
+#: The paper's per-map collection campaigns.
+DEFAULT_SEGMENTS: dict[MapName, tuple[CollectionSegment, ...]] = {
+    MapName.EUROPE: (CollectionSegment(COLLECTION_START, REFERENCE_DATE),),
+    MapName.WORLD: (
+        CollectionSegment(COLLECTION_START, _utc(2020, 9, 20)),
+        CollectionSegment(_utc(2021, 10, 5), REFERENCE_DATE),
+    ),
+    MapName.NORTH_AMERICA: (
+        CollectionSegment(COLLECTION_START, _utc(2020, 9, 18)),
+        CollectionSegment(_utc(2021, 10, 12), REFERENCE_DATE),
+    ),
+    MapName.ASIA_PACIFIC: (
+        CollectionSegment(COLLECTION_START, _utc(2020, 9, 22)),
+        CollectionSegment(_utc(2021, 10, 8), REFERENCE_DATE),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class AvailabilityModel:
+    """Decides, deterministically, whether a snapshot tick was collected."""
+
+    seed: int = 2022
+    segments: dict[MapName, tuple[CollectionSegment, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_SEGMENTS)
+    )
+    #: Single-snapshot miss probability for the Europe map (0.2 % of
+    #: intervals exceed five minutes in the paper).
+    europe_miss_rate: float = 0.0015
+    #: Miss probability for the other maps before the May 2022 fix
+    #: ("the resolution can be coarser less than 10 % of the time").
+    other_miss_rate_before_fix: float = 0.055
+    #: Miss probability after the fix ("less short gaps appear ... past
+    #: this point").
+    other_miss_rate_after_fix: float = 0.008
+    #: Probability that any given day starts a long outage, and the
+    #: outage length bounds.  Calibrated to a handful of visible
+    #: discontinuities over the two-year window, as in Figure 2.
+    outage_day_rate: float = 0.004
+    outage_min: timedelta = timedelta(hours=2)
+    outage_max: timedelta = timedelta(hours=30)
+
+    def segments_for(self, map_name: MapName) -> tuple[CollectionSegment, ...]:
+        """The collection campaigns of one map."""
+        try:
+            return self.segments[map_name]
+        except KeyError as exc:
+            raise DatasetError(f"no collection segments for {map_name.value}") from exc
+
+    def _miss_rate(self, map_name: MapName, when: datetime) -> float:
+        if map_name is MapName.EUROPE:
+            return self.europe_miss_rate
+        if when >= COLLECTION_FIX_DATE:
+            return self.other_miss_rate_after_fix
+        return self.other_miss_rate_before_fix
+
+    def _in_outage(self, map_name: MapName, when: datetime) -> bool:
+        """Whether a long scripted-ish outage covers ``when``.
+
+        Outage starts are drawn per day (deterministically); a day with an
+        outage hides every tick between its start and end.
+        """
+        # Check this day and the previous day (an outage can span midnight).
+        for day_offset in (0, 1):
+            day = (when - timedelta(days=day_offset)).date()
+            rng = substream("outage", self.seed, map_name.value, day.isoformat())
+            if rng.random() >= self.outage_day_rate:
+                continue
+            start_seconds = rng.uniform(0, 86400)
+            length = self.outage_min + (self.outage_max - self.outage_min) * rng.random()
+            start = datetime(
+                day.year, day.month, day.day, tzinfo=timezone.utc
+            ) + timedelta(seconds=start_seconds)
+            if start <= when < start + length:
+                return True
+        return False
+
+    def is_collected(self, map_name: MapName, when: datetime) -> bool:
+        """Whether the snapshot at ``when`` made it into the dataset."""
+        if not any(segment.contains(when) for segment in self.segments_for(map_name)):
+            return False
+        if self._in_outage(map_name, when):
+            return False
+        miss_rate = self._miss_rate(map_name, when)
+        return stable_uniform("miss", self.seed, map_name.value, when) >= miss_rate
+
+    def ticks(
+        self,
+        map_name: MapName,
+        start: datetime,
+        end: datetime,
+        interval: timedelta = SNAPSHOT_INTERVAL,
+    ) -> list[datetime]:
+        """Collected snapshot times for one map within [start, end)."""
+        collected: list[datetime] = []
+        current = start
+        while current < end:
+            if self.is_collected(map_name, current):
+                collected.append(current)
+            current += interval
+        return collected

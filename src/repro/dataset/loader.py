@@ -1,0 +1,77 @@
+"""Load stored datasets back as snapshot streams.
+
+Everything in :mod:`repro.analysis` works on iterables of
+:class:`~repro.topology.model.MapSnapshot`; this module supplies those
+iterables from a collected dataset directory, so an analysis runs
+identically on simulator output and on data read back from disk — the
+workflow of a downstream user of the released dataset.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Callable, Iterator
+
+from repro.constants import MapName
+from repro.dataset.store import DatasetStore, SnapshotRef
+from repro.errors import SchemaError
+from repro.topology.model import MapSnapshot
+from repro.yamlio.deserialize import snapshot_from_yaml
+
+
+def iter_snapshots(
+    store: DatasetStore,
+    map_name: MapName,
+    start: datetime | None = None,
+    end: datetime | None = None,
+    on_error: Callable[[SnapshotRef, SchemaError], None] | None = None,
+) -> Iterator[MapSnapshot]:
+    """Stream the stored YAML snapshots of one map, in time order.
+
+    Args:
+        store: the dataset directory.
+        map_name: which map to read.
+        start: inclusive lower bound on snapshot time.
+        end: exclusive upper bound on snapshot time.
+        on_error: called for unreadable files; they are skipped.  Without
+            a handler, schema errors propagate.
+
+    Yields:
+        One :class:`MapSnapshot` per readable YAML file, stamped with the
+        file's timestamp (authoritative over the document's own field).
+    """
+    for ref in store.iter_refs(map_name, "yaml"):
+        if start is not None and ref.timestamp < start:
+            continue
+        if end is not None and ref.timestamp >= end:
+            continue
+        try:
+            snapshot = snapshot_from_yaml(ref.path.read_text(encoding="utf-8"))
+        except SchemaError as exc:
+            if on_error is None:
+                raise
+            on_error(ref, exc)
+            continue
+        snapshot.timestamp = ref.timestamp
+        yield snapshot
+
+
+def latest_snapshot(store: DatasetStore, map_name: MapName) -> MapSnapshot | None:
+    """The most recent stored snapshot of one map, or ``None``."""
+    refs = list(store.iter_refs(map_name, "yaml"))
+    if not refs:
+        return None
+    last = refs[-1]
+    snapshot = snapshot_from_yaml(last.path.read_text(encoding="utf-8"))
+    snapshot.timestamp = last.timestamp
+    return snapshot
+
+
+def load_all(
+    store: DatasetStore,
+    map_name: MapName,
+    start: datetime | None = None,
+    end: datetime | None = None,
+) -> list[MapSnapshot]:
+    """Materialise a snapshot list (for analyses that need several passes)."""
+    return list(iter_snapshots(store, map_name, start=start, end=end))

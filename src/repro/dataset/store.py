@@ -1,0 +1,129 @@
+"""On-disk dataset layout.
+
+One directory per map, ``svg/`` and ``yaml/`` subtrees, files named by UTC
+timestamp::
+
+    <root>/<map>/svg/2022/09/12/europe-20220912T000000Z.svg
+    <root>/<map>/yaml/2022/09/12/europe-20220912T000000Z.yaml
+
+Timestamps are recoverable from file names alone, which is how the catalog
+indexes half a million files without opening any.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Iterator
+
+from repro.constants import MapName
+from repro.errors import DatasetError, SnapshotNotFoundError
+
+_TIMESTAMP_FORMAT = "%Y%m%dT%H%M%SZ"
+_FILE_PATTERN = re.compile(
+    r"^(?P<map>[a-z-]+)-(?P<stamp>\d{8}T\d{6}Z)\.(?P<kind>svg|yaml)$"
+)
+
+
+def format_timestamp(when: datetime) -> str:
+    """UTC compact timestamp used in snapshot file names."""
+    return when.astimezone(timezone.utc).strftime(_TIMESTAMP_FORMAT)
+
+
+def parse_timestamp(stamp: str) -> datetime:
+    """Inverse of :func:`format_timestamp`."""
+    try:
+        return datetime.strptime(stamp, _TIMESTAMP_FORMAT).replace(tzinfo=timezone.utc)
+    except ValueError as exc:
+        raise DatasetError(f"bad snapshot timestamp {stamp!r}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotRef:
+    """A reference to one stored snapshot file."""
+
+    map_name: MapName
+    timestamp: datetime
+    kind: str  # "svg" or "yaml"
+    path: Path
+
+    @property
+    def size_bytes(self) -> int:
+        """File size on disk."""
+        return self.path.stat().st_size
+
+
+class DatasetStore:
+    """Reads and writes the dataset directory tree."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, map_name: MapName, when: datetime, kind: str) -> Path:
+        """Where a snapshot file lives (whether or not it exists yet)."""
+        if kind not in ("svg", "yaml"):
+            raise DatasetError(f"unknown snapshot kind {kind!r}")
+        utc = when.astimezone(timezone.utc)
+        return (
+            self.root
+            / map_name.value
+            / kind
+            / f"{utc.year:04d}"
+            / f"{utc.month:02d}"
+            / f"{utc.day:02d}"
+            / f"{map_name.value}-{format_timestamp(when)}.{kind}"
+        )
+
+    def write(self, map_name: MapName, when: datetime, kind: str, data: str | bytes) -> SnapshotRef:
+        """Write one snapshot file, creating directories as needed."""
+        path = self.path_for(map_name, when, kind)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        path.write_bytes(data)
+        return SnapshotRef(map_name=map_name, timestamp=when, kind=kind, path=path)
+
+    def read_bytes(self, map_name: MapName, when: datetime, kind: str) -> bytes:
+        """Read one snapshot file's raw contents."""
+        path = self.path_for(map_name, when, kind)
+        if not path.exists():
+            raise SnapshotNotFoundError(
+                f"no {kind} snapshot of {map_name.value} at {when.isoformat()}"
+            )
+        return path.read_bytes()
+
+    def iter_refs(self, map_name: MapName, kind: str) -> Iterator[SnapshotRef]:
+        """All stored snapshots of one map and kind, in timestamp order."""
+        base = self.root / map_name.value / kind
+        if not base.exists():
+            return
+        refs: list[SnapshotRef] = []
+        for path in base.rglob(f"*.{kind}"):
+            match = _FILE_PATTERN.match(path.name)
+            if match is None or match.group("map") != map_name.value:
+                continue
+            refs.append(
+                SnapshotRef(
+                    map_name=map_name,
+                    timestamp=parse_timestamp(match.group("stamp")),
+                    kind=kind,
+                    path=path,
+                )
+            )
+        refs.sort(key=lambda ref: ref.timestamp)
+        yield from refs
+
+    def timestamps(self, map_name: MapName, kind: str = "svg") -> list[datetime]:
+        """Sorted snapshot timestamps of one map."""
+        return [ref.timestamp for ref in self.iter_refs(map_name, kind)]
+
+    def file_stats(self, map_name: MapName, kind: str) -> tuple[int, int]:
+        """(file count, total bytes) for one map and kind — Table 2 inputs."""
+        count = 0
+        total = 0
+        for ref in self.iter_refs(map_name, kind):
+            count += 1
+            total += ref.size_bytes
+        return count, total

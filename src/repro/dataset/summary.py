@@ -1,0 +1,200 @@
+"""Table builders: the paper's Table 1 and Table 2.
+
+Table 1 summarises routers / internal links / external links per map on a
+reference date, with a total row that counts routers appearing on several
+maps only once.  Table 2 summarises collected (SVG) and processed (YAML)
+file counts and sizes per map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.constants import MapName
+from repro.dataset.processor import ProcessingStats
+from repro.dataset.store import DatasetStore
+from repro.topology.model import MapSnapshot
+
+_GIB = 1024.0**3
+
+
+@dataclass(frozen=True, slots=True)
+class Table1Row:
+    """One map's row in Table 1."""
+
+    map_name: MapName | None  # None for the total row
+    routers: int
+    internal_links: int
+    external_links: int
+
+    @property
+    def title(self) -> str:
+        return self.map_name.title if self.map_name is not None else "Total"
+
+
+def _link_signature(link) -> tuple:
+    """Global identity of a physical link: endpoints plus end labels.
+
+    Shared gateway links appear on several maps with the same endpoints
+    and labels; counting signatures once reproduces the paper's total row
+    (1,323 per-map internal links de-duplicate to 1,186).
+    """
+    return tuple(
+        sorted(((link.a.node, link.a.label), (link.b.node, link.b.label)))
+    )
+
+
+def build_table1(snapshots: dict[MapName, MapSnapshot]) -> list[Table1Row]:
+    """Build Table 1 from one snapshot per map.
+
+    The total row "takes into account routers appearing simultaneously in
+    several maps": both routers and the links among shared routers are
+    counted once.
+    """
+    rows: list[Table1Row] = []
+    distinct_routers: set[str] = set()
+    internal_signatures: dict[tuple, int] = {}
+    external_total = 0
+    for map_name in (
+        MapName.EUROPE,
+        MapName.WORLD,
+        MapName.NORTH_AMERICA,
+        MapName.ASIA_PACIFIC,
+    ):
+        snapshot = snapshots.get(map_name)
+        if snapshot is None:
+            continue
+        routers, internal, external = snapshot.summary_counts()
+        rows.append(
+            Table1Row(
+                map_name=map_name,
+                routers=routers,
+                internal_links=internal,
+                external_links=external,
+            )
+        )
+        distinct_routers.update(node.name for node in snapshot.routers)
+        # Parallel links can share a signature within one map (duplicate
+        # labels); count the per-signature maximum multiplicity across
+        # maps so only *cross-map* repeats de-duplicate.
+        per_map: dict[tuple, int] = {}
+        for link in snapshot.internal_links:
+            signature = _link_signature(link)
+            per_map[signature] = per_map.get(signature, 0) + 1
+        for signature, multiplicity in per_map.items():
+            internal_signatures[signature] = max(
+                internal_signatures.get(signature, 0), multiplicity
+            )
+        external_total += external
+    rows.append(
+        Table1Row(
+            map_name=None,
+            routers=len(distinct_routers),
+            internal_links=sum(internal_signatures.values()),
+            external_links=external_total,
+        )
+    )
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Render Table 1 the way the paper prints it."""
+    lines = [
+        f"{'Network Map':<15} {'OVH routers':>12} {'Internal links':>15} {'External links':>15}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.title:<15} {row.routers:>12,} {row.internal_links:>15,} "
+            f"{row.external_links:>15,}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class Table2Row:
+    """One map's row in Table 2."""
+
+    map_name: MapName | None
+    svg_files: int
+    svg_bytes: int
+    yaml_files: int
+    yaml_bytes: int
+
+    @property
+    def title(self) -> str:
+        return self.map_name.title if self.map_name is not None else "Total"
+
+    @property
+    def unprocessed(self) -> int:
+        """SVG files that produced no YAML."""
+        return self.svg_files - self.yaml_files
+
+    @property
+    def svg_gib(self) -> float:
+        return self.svg_bytes / _GIB
+
+    @property
+    def yaml_gib(self) -> float:
+        return self.yaml_bytes / _GIB
+
+    @property
+    def compression_factor(self) -> float:
+        """How much smaller the YAMLs are than the SVGs (paper: ~8x)."""
+        if self.yaml_bytes == 0:
+            return 0.0
+        return self.svg_bytes / self.yaml_bytes
+
+
+def build_table2(
+    store: DatasetStore,
+    processing: dict[MapName, ProcessingStats] | None = None,
+) -> list[Table2Row]:
+    """Build Table 2 from a dataset store's on-disk contents."""
+    rows: list[Table2Row] = []
+    totals = [0, 0, 0, 0]
+    for map_name in (
+        MapName.EUROPE,
+        MapName.WORLD,
+        MapName.NORTH_AMERICA,
+        MapName.ASIA_PACIFIC,
+    ):
+        svg_files, svg_bytes = store.file_stats(map_name, "svg")
+        yaml_files, yaml_bytes = store.file_stats(map_name, "yaml")
+        if svg_files == 0 and yaml_files == 0:
+            continue
+        rows.append(
+            Table2Row(
+                map_name=map_name,
+                svg_files=svg_files,
+                svg_bytes=svg_bytes,
+                yaml_files=yaml_files,
+                yaml_bytes=yaml_bytes,
+            )
+        )
+        totals[0] += svg_files
+        totals[1] += svg_bytes
+        totals[2] += yaml_files
+        totals[3] += yaml_bytes
+    rows.append(
+        Table2Row(
+            map_name=None,
+            svg_files=totals[0],
+            svg_bytes=totals[1],
+            yaml_files=totals[2],
+            yaml_bytes=totals[3],
+        )
+    )
+    return rows
+
+
+def format_table2(rows: list[Table2Row]) -> str:
+    """Render Table 2 the way the paper prints it (sizes in GiB)."""
+    lines = [
+        f"{'Network Map':<15} {'# SVGs':>10} {'SVG GiB':>10} "
+        f"{'# YAMLs':>10} {'YAML GiB':>10} {'Unproc.':>8}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.title:<15} {row.svg_files:>10,} {row.svg_gib:>10.4f} "
+            f"{row.yaml_files:>10,} {row.yaml_gib:>10.4f} {row.unprocessed:>8,}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the repro library.
+
+The paper's processing scripts "report an error when a link is not connected to
+two (distinct) routers" and reject malformed SVGs.  Every failure mode from
+Section 4 ("Parsing sanity checks" and "The OVH Weather dataset") has a typed
+exception so callers can build the unprocessed-file accounting of Table 2.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """Raised for degenerate geometric inputs (zero-length lines, empty boxes)."""
+
+
+class SvgError(ReproError):
+    """Base class for SVG-level problems."""
+
+
+class MalformedSvgError(SvgError):
+    """The SVG document is not well-formed XML or has invalid attribute values.
+
+    The paper observes such files in the wild: "we observed some SVG files to
+    be invalid, e.g., with malformed attribute values".
+    """
+
+
+class ParseError(ReproError):
+    """Base class for extraction failures (Algorithms 1 and 2)."""
+
+
+class IncompleteLinkError(ParseError):
+    """A link was not constructed from exactly two arrows and two loads."""
+
+
+class LoadRangeError(ParseError):
+    """A link load lies outside the valid [0, 100] range."""
+
+
+class AttributionError(ParseError):
+    """Base class for Algorithm 2 object-attribution failures."""
+
+
+class MissingRouterError(AttributionError):
+    """A link end intersects no router box.
+
+    The paper attributes these to SVGs "lacking elements, such as OVH routers,
+    resulting in a failure to find intersections for a given link".
+    """
+
+
+class SelfLinkError(AttributionError):
+    """A link was attributed the same router at both ends."""
+
+
+class MissingLabelError(AttributionError):
+    """A link end has no label within the attribution distance threshold."""
+
+    def __init__(self, message: str, distance: float | None = None) -> None:
+        super().__init__(message)
+        self.distance = distance
+
+
+class IsolatedRouterError(ParseError):
+    """A router was attributed no link at all after attribution completed."""
+
+
+class SchemaError(ReproError):
+    """A YAML document does not conform to the dataset schema."""
+
+
+class DatasetError(ReproError):
+    """Base class for dataset-store problems (missing snapshots, bad layout)."""
+
+
+class SnapshotNotFoundError(DatasetError):
+    """No snapshot exists for the requested map and timestamp."""
+
+
+class SimulationError(ReproError):
+    """Invalid simulation configuration or impossible event timeline."""

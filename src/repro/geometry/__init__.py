@@ -1,0 +1,13 @@
+"""2D geometry primitives.
+
+These back both sides of the reproduction: the map renderer places boxes and
+arrow polygons on a canvas, and Algorithm 2 re-associates them afterwards by
+computing line/rectangle intersections and point distances in the same 2D
+image space.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+__all__ = ["Point", "Rect", "Segment"]

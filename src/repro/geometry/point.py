@@ -1,0 +1,84 @@
+"""Immutable 2D point/vector type."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point (or free vector) in the SVG 2D image space.
+
+    SVG uses screen coordinates: x grows rightwards, y grows downwards.  All
+    geometry in this library follows that convention.
+    """
+
+    x: float
+    y: float
+
+    def __add__(self, other: Point) -> Point:
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: Point) -> Point:
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> Point:
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> Point:
+        return Point(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> Point:
+        return Point(-self.x, -self.y)
+
+    def dot(self, other: Point) -> float:
+        """Dot product with ``other`` treated as a vector."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: Point) -> float:
+        """Z component of the 3D cross product (signed parallelogram area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length of this point treated as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def distance_to(self, other: Point) -> float:
+        """Euclidean distance to another point."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def midpoint(self, other: Point) -> Point:
+        """Point halfway between ``self`` and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def normalized(self) -> Point:
+        """Unit vector in the direction of this vector.
+
+        Raises:
+            ValueError: if this is the zero vector.
+        """
+        length = self.norm()
+        if length == 0.0:
+            raise ValueError("cannot normalize the zero vector")
+        return Point(self.x / length, self.y / length)
+
+    def perpendicular(self) -> Point:
+        """Vector rotated 90 degrees counter-clockwise (in screen coords)."""
+        return Point(-self.y, self.x)
+
+    def rotated(self, angle: float) -> Point:
+        """Vector rotated by ``angle`` radians around the origin."""
+        cos_a = math.cos(angle)
+        sin_a = math.sin(angle)
+        return Point(self.x * cos_a - self.y * sin_a, self.x * sin_a + self.y * cos_a)
+
+    def is_close(self, other: Point, tolerance: float = 1e-9) -> bool:
+        """Whether both coordinates match within ``tolerance``."""
+        return abs(self.x - other.x) <= tolerance and abs(self.y - other.y) <= tolerance
+
+    def as_tuple(self) -> tuple[float, float]:
+        """``(x, y)`` tuple, handy for serialisation."""
+        return (self.x, self.y)

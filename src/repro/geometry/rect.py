@@ -1,0 +1,157 @@
+"""Axis-aligned rectangles — the white boxes of routers and link labels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned rectangle in SVG screen coordinates.
+
+    ``x``/``y`` is the top-left corner, matching the ``<rect>`` SVG element.
+    """
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise GeometryError(
+                f"rectangle must have positive extent, got {self.width}x{self.height}"
+            )
+
+    @classmethod
+    def from_center(cls, center: Point, width: float, height: float) -> Rect:
+        """Build a rectangle centred on ``center``."""
+        return cls(center.x - width / 2.0, center.y - height / 2.0, width, height)
+
+    @classmethod
+    def bounding(cls, points: list[Point]) -> Rect:
+        """Smallest rectangle containing every point (degenerate inputs padded)."""
+        if not points:
+            raise GeometryError("cannot bound an empty point list")
+        min_x = min(p.x for p in points)
+        max_x = max(p.x for p in points)
+        min_y = min(p.y for p in points)
+        max_y = max(p.y for p in points)
+        width = max(max_x - min_x, _EPSILON * 10)
+        height = max(max_y - min_y, _EPSILON * 10)
+        return cls(min_x, min_y, width, height)
+
+    @property
+    def center(self) -> Point:
+        """Centre point of the rectangle."""
+        return Point(self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    @property
+    def left(self) -> float:
+        return self.x
+
+    @property
+    def right(self) -> float:
+        return self.x + self.width
+
+    @property
+    def top(self) -> float:
+        return self.y
+
+    @property
+    def bottom(self) -> float:
+        return self.y + self.height
+
+    def corners(self) -> list[Point]:
+        """Corner points, clockwise from the top-left."""
+        return [
+            Point(self.left, self.top),
+            Point(self.right, self.top),
+            Point(self.right, self.bottom),
+            Point(self.left, self.bottom),
+        ]
+
+    def edges(self) -> Iterator[Segment]:
+        """The four boundary segments."""
+        corner_list = self.corners()
+        for index in range(4):
+            yield Segment(corner_list[index], corner_list[(index + 1) % 4])
+
+    def contains(self, point: Point, tolerance: float = _EPSILON) -> bool:
+        """Whether ``point`` is inside or on the boundary."""
+        return (
+            self.left - tolerance <= point.x <= self.right + tolerance
+            and self.top - tolerance <= point.y <= self.bottom + tolerance
+        )
+
+    def intersects_line(self, segment: Segment) -> bool:
+        """Whether the *infinite line* supporting ``segment`` crosses the box.
+
+        This is the intersection test of Algorithm 2 (Lines 3-4): routers and
+        labels are matched to a link by intersecting the link's line with
+        their white boxes.  Implemented with the Liang-Barsky slab method on
+        the unbounded parameter range.
+        """
+        direction = segment.end - segment.start
+        origin = segment.start
+        t_min, t_max = float("-inf"), float("inf")
+        for axis_direction, axis_origin, low, high in (
+            (direction.x, origin.x, self.left, self.right),
+            (direction.y, origin.y, self.top, self.bottom),
+        ):
+            if abs(axis_direction) < _EPSILON:
+                if axis_origin < low - _EPSILON or axis_origin > high + _EPSILON:
+                    return False
+                continue
+            t_low = (low - axis_origin) / axis_direction
+            t_high = (high - axis_origin) / axis_direction
+            if t_low > t_high:
+                t_low, t_high = t_high, t_low
+            t_min = max(t_min, t_low)
+            t_max = min(t_max, t_high)
+        return t_min <= t_max + _EPSILON
+
+    def intersects_segment(self, segment: Segment) -> bool:
+        """Whether the *finite* segment crosses or touches the box."""
+        if self.contains(segment.start) or self.contains(segment.end):
+            return True
+        return any(edge.intersects_segment(segment) for edge in self.edges())
+
+    def intersects_rect(self, other: Rect) -> bool:
+        """Whether two rectangles overlap (touching counts)."""
+        return not (
+            self.right < other.left - _EPSILON
+            or other.right < self.left - _EPSILON
+            or self.bottom < other.top - _EPSILON
+            or other.bottom < self.top - _EPSILON
+        )
+
+    def distance_to_point(self, point: Point) -> float:
+        """Distance from ``point`` to the rectangle (0 if inside).
+
+        Algorithm 2's sanity check asserts "the distance between the link end
+        and its label is below a defined threshold"; this is that distance.
+        """
+        dx = max(self.left - point.x, 0.0, point.x - self.right)
+        dy = max(self.top - point.y, 0.0, point.y - self.bottom)
+        return Point(dx, dy).norm()
+
+    def expanded(self, margin: float) -> Rect:
+        """Rectangle grown by ``margin`` pixels on every side."""
+        return Rect(
+            self.x - margin,
+            self.y - margin,
+            self.width + 2 * margin,
+            self.height + 2 * margin,
+        )
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """``(x, y, width, height)`` tuple."""
+        return (self.x, self.y, self.width, self.height)

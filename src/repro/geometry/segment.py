@@ -1,0 +1,125 @@
+"""Line segments and the infinite lines they span.
+
+Algorithm 2 of the paper "computes the straight line in the 2D space
+represented by a link with the middle coordinates of the basis of the two
+arrows of the link", then intersects that line with router and label boxes.
+``Segment`` implements exactly that: a finite segment plus helpers that treat
+it as an infinite line where the paper requires it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A directed segment from ``start`` to ``end``."""
+
+    start: Point
+    end: Point
+
+    def __post_init__(self) -> None:
+        if self.start.distance_to(self.end) < _EPSILON:
+            raise GeometryError(
+                f"degenerate segment: both endpoints at {self.start.as_tuple()}"
+            )
+
+    @property
+    def direction(self) -> Point:
+        """Unit vector pointing from ``start`` to ``end``."""
+        return (self.end - self.start).normalized()
+
+    @property
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return self.start.distance_to(self.end)
+
+    @property
+    def midpoint(self) -> Point:
+        """Centre point of the segment."""
+        return self.start.midpoint(self.end)
+
+    def point_at(self, t: float) -> Point:
+        """Point at parameter ``t`` (0 at ``start``, 1 at ``end``).
+
+        Values outside [0, 1] extrapolate along the supporting line, which is
+        what Algorithm 2 needs: labels and routers sit slightly beyond the
+        arrow bases.
+        """
+        return self.start + (self.end - self.start) * t
+
+    def project(self, point: Point) -> float:
+        """Parameter ``t`` of the orthogonal projection of ``point``."""
+        span = self.end - self.start
+        return (point - self.start).dot(span) / span.dot(span)
+
+    def distance_to_point(self, point: Point) -> float:
+        """Distance from ``point`` to the *segment* (clamped projection)."""
+        t = min(1.0, max(0.0, self.project(point)))
+        return self.point_at(t).distance_to(point)
+
+    def line_distance_to_point(self, point: Point) -> float:
+        """Distance from ``point`` to the supporting *infinite line*."""
+        span = self.end - self.start
+        return abs(span.cross(point - self.start)) / span.norm()
+
+    def line_intersection(self, other: Segment) -> Point | None:
+        """Intersection point of the two supporting infinite lines.
+
+        Returns ``None`` when the lines are parallel (including collinear).
+        """
+        d1 = self.end - self.start
+        d2 = other.end - other.start
+        denominator = d1.cross(d2)
+        if abs(denominator) < _EPSILON:
+            return None
+        t = (other.start - self.start).cross(d2) / denominator
+        return self.point_at(t)
+
+    def intersects_segment(self, other: Segment) -> bool:
+        """Whether the two finite segments properly intersect or touch."""
+
+        def orientation(a: Point, b: Point, c: Point) -> int:
+            value = (b - a).cross(c - a)
+            if abs(value) < _EPSILON:
+                return 0
+            return 1 if value > 0 else -1
+
+        def on_segment(a: Point, b: Point, c: Point) -> bool:
+            return (
+                min(a.x, b.x) - _EPSILON <= c.x <= max(a.x, b.x) + _EPSILON
+                and min(a.y, b.y) - _EPSILON <= c.y <= max(a.y, b.y) + _EPSILON
+            )
+
+        o1 = orientation(self.start, self.end, other.start)
+        o2 = orientation(self.start, self.end, other.end)
+        o3 = orientation(other.start, other.end, self.start)
+        o4 = orientation(other.start, other.end, self.end)
+
+        if o1 != o2 and o3 != o4:
+            return True
+        if o1 == 0 and on_segment(self.start, self.end, other.start):
+            return True
+        if o2 == 0 and on_segment(self.start, self.end, other.end):
+            return True
+        if o3 == 0 and on_segment(other.start, other.end, self.start):
+            return True
+        if o4 == 0 and on_segment(other.start, other.end, self.end):
+            return True
+        return False
+
+    def extended(self, before: float = 0.0, after: float = 0.0) -> Segment:
+        """Segment lengthened by ``before`` pixels behind ``start`` and
+        ``after`` pixels beyond ``end`` along the supporting line."""
+        direction = self.direction
+        return Segment(self.start - direction * before, self.end + direction * after)
+
+    def reversed(self) -> Segment:
+        """Same segment with swapped direction."""
+        return Segment(self.end, self.start)

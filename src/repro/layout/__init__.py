@@ -1,0 +1,19 @@
+"""Map layout and SVG rendering.
+
+Turns a :class:`~repro.topology.model.MapSnapshot` into a weathermap SVG
+with the same geometric conventions the parsing pipeline must invert:
+
+* routers/peerings as white boxes placed by site clusters,
+* each link as two arrow polygons whose bases sit just outside the endpoint
+  boxes, so the line through the base midpoints crosses both boxes,
+* per-end link labels centred on that line a few pixels past each base,
+* per-direction load texts near the link middle.
+
+The renderer is the adversary of Algorithm 2: everything it draws must be
+recoverable from coordinates alone.
+"""
+
+from repro.layout.placement import NodePlacement, NodePlacer
+from repro.layout.renderer import MapRenderer, render_snapshot
+
+__all__ = ["NodePlacement", "NodePlacer", "MapRenderer", "render_snapshot"]

@@ -1,0 +1,217 @@
+"""Link geometry: perimeter endpoint allocation and arrow polygons.
+
+Every link is drawn as two meeting arrows along the straight segment
+between one attachment point on each endpoint's box perimeter.  Parallel
+links get adjacent attachment points, so their lines run parallel — and the
+line through the two arrow *bases* (placed a few pixels outside the boxes)
+always crosses both boxes, which is the invariant Algorithm 2 relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.geometry import Point, Rect, Segment
+from repro.layout.placement import ENDPOINT_SPACING
+
+#: Gap between a box edge and the arrow base just outside it.
+BASE_GAP = 5.0
+
+#: Distance from the arrow base to the centre of the link-end label box.
+#: Nearly zero: the label sits *on* the base, so the link end's own label is
+#: always its nearest intersecting label (distance ~0) during attribution.
+LABEL_OFFSET = 1.0
+
+#: Half-width of the arrow shaft.
+SHAFT_HALF_WIDTH = 3.5
+
+#: Length and half-width of the arrow head.
+HEAD_LENGTH = 9.0
+HEAD_HALF_WIDTH = 7.0
+
+#: Distance from the link middle to each direction's load-text anchor.
+LOAD_TEXT_OFFSET = 26.0
+
+
+def perimeter_length(box: Rect) -> float:
+    """Total perimeter of a box."""
+    return 2.0 * (box.width + box.height)
+
+
+def perimeter_point(box: Rect, position: float) -> Point:
+    """Point at curvilinear ``position`` along the perimeter.
+
+    Position 0 is the middle of the right edge, increasing clockwise in
+    screen coordinates (right → bottom → left → top).
+    """
+    total = perimeter_length(box)
+    s = position % total
+    half_h = box.height / 2.0
+    half_w = box.width / 2.0
+    # Right edge, lower half.
+    if s < half_h:
+        return Point(box.right, box.center.y + s)
+    s -= half_h
+    # Bottom edge, right to left.
+    if s < box.width:
+        return Point(box.right - s, box.bottom)
+    s -= box.width
+    # Left edge, bottom to top.
+    if s < box.height:
+        return Point(box.left, box.bottom - s)
+    s -= box.height
+    # Top edge, left to right.
+    if s < box.width:
+        return Point(box.left + s, box.top)
+    s -= box.width
+    # Right edge, upper half.
+    return Point(box.right, box.top + s)
+
+
+def perimeter_position_towards(box: Rect, target: Point) -> float:
+    """Curvilinear position where the ray from centre to ``target`` exits."""
+    center = box.center
+    direction = target - center
+    if direction.norm() < 1e-9:
+        return 0.0
+    half_w = box.width / 2.0
+    half_h = box.height / 2.0
+    t_x = half_w / abs(direction.x) if direction.x != 0 else math.inf
+    t_y = half_h / abs(direction.y) if direction.y != 0 else math.inf
+    t = min(t_x, t_y)
+    exit_point = center + direction * t
+    if t_x <= t_y:
+        if direction.x > 0:  # right edge
+            if exit_point.y >= center.y:
+                return exit_point.y - center.y
+            return perimeter_length(box) - (center.y - exit_point.y)
+        # left edge
+        return half_h + box.width + (box.bottom - exit_point.y)
+    if direction.y > 0:  # bottom edge (screen y grows downwards)
+        return half_h + (box.right - exit_point.x)
+    # top edge
+    return half_h + box.width + box.height + (exit_point.x - box.left)
+
+
+def relax_positions(ideal: list[float], total: float, gap: float = ENDPOINT_SPACING) -> list[float]:
+    """Spread positions on a circle of circumference ``total`` with a
+    minimum ``gap``, staying close to the ideal positions.
+
+    Returns relaxed positions in the same order as the input.
+    """
+    count = len(ideal)
+    if count == 0:
+        return []
+    if count * gap > total:
+        gap = total / count  # box sizing should prevent this; degrade gently
+    order = sorted(range(count), key=lambda index: ideal[index])
+    positions = [ideal[index] for index in order]
+    for i in range(1, count):
+        if positions[i] < positions[i - 1] + gap:
+            positions[i] = positions[i - 1] + gap
+    # Wraparound: the whole chain must leave a gap between its last and
+    # first positions on the circle.  When the forward pass overflows,
+    # fall back to even spacing anchored at the first position — always
+    # valid because count * gap <= total.
+    if count > 1 and positions[-1] - positions[0] > total - gap:
+        start = positions[0]
+        spacing = total / count
+        positions = [start + index * spacing for index in range(count)]
+    result = [0.0] * count
+    for rank, index in enumerate(order):
+        result[index] = positions[rank]
+    return result
+
+
+@dataclass(frozen=True, slots=True)
+class LinkGeometry:
+    """Everything the renderer draws for one link."""
+
+    #: Arrow polygon for the a→b direction (base corners first and last).
+    arrow_ab: tuple[Point, ...]
+    #: Arrow polygon for the b→a direction.
+    arrow_ba: tuple[Point, ...]
+    #: Label box and text at the a end.
+    label_box_a: Rect
+    #: Label box and text at the b end.
+    label_box_b: Rect
+    #: Anchor of the a→b load percentage text.
+    load_anchor_ab: Point
+    #: Anchor of the b→a load percentage text.
+    load_anchor_ba: Point
+    #: The base midpoints (for tests: the line Algorithm 2 reconstructs).
+    base_a: Point
+    base_b: Point
+
+
+def _arrow_polygon(base: Point, tip: Point) -> tuple[Point, ...]:
+    """A 7-point arrow from ``base`` to ``tip``, base corners first/last."""
+    segment = Segment(base, tip)
+    direction = segment.direction
+    normal = direction.perpendicular()
+    shoulder = tip - direction * HEAD_LENGTH
+    return (
+        base + normal * SHAFT_HALF_WIDTH,
+        shoulder + normal * SHAFT_HALF_WIDTH,
+        shoulder + normal * HEAD_HALF_WIDTH,
+        tip,
+        shoulder - normal * HEAD_HALF_WIDTH,
+        shoulder - normal * SHAFT_HALF_WIDTH,
+        base - normal * SHAFT_HALF_WIDTH,
+    )
+
+
+def label_box_for(text: str, center: Point) -> Rect:
+    """The white box of a link-end label, sized to its text.
+
+    Kept small so a label never strays onto the parallel neighbour's line
+    (links are spaced :data:`~repro.layout.placement.ENDPOINT_SPACING`
+    apart).
+    """
+    width = 4.2 * len(text) + 3.0
+    height = 8.0
+    return Rect.from_center(center, width, height)
+
+
+def build_link_geometry(
+    attach_a: Point,
+    attach_b: Point,
+    label_a: str,
+    label_b: str,
+) -> LinkGeometry:
+    """Geometry of one link between two attachment points.
+
+    Raises:
+        SimulationError: when the attachment points are too close to draw
+            a two-arrow link between them.
+    """
+    if attach_a.distance_to(attach_b) < 2 * (BASE_GAP + LABEL_OFFSET + HEAD_LENGTH) + 8:
+        raise SimulationError("endpoints too close to draw a link")
+    segment = Segment(attach_a, attach_b)
+    direction = segment.direction
+    middle = segment.midpoint
+
+    base_a = attach_a + direction * BASE_GAP
+    base_b = attach_b - direction * BASE_GAP
+    tip_ab = middle - direction * 1.0
+    tip_ba = middle + direction * 1.0
+
+    label_center_a = base_a + direction * LABEL_OFFSET
+    label_center_b = base_b - direction * LABEL_OFFSET
+
+    normal = direction.perpendicular()
+    load_anchor_ab = middle - direction * LOAD_TEXT_OFFSET + normal * 10.0
+    load_anchor_ba = middle + direction * LOAD_TEXT_OFFSET - normal * 10.0
+
+    return LinkGeometry(
+        arrow_ab=_arrow_polygon(base_a, tip_ab),
+        arrow_ba=_arrow_polygon(base_b, tip_ba),
+        label_box_a=label_box_for(label_a, label_center_a),
+        label_box_b=label_box_for(label_b, label_center_b),
+        load_anchor_ab=load_anchor_ab,
+        load_anchor_ba=load_anchor_ba,
+        base_a=base_a,
+        base_b=base_b,
+    )

@@ -1,0 +1,169 @@
+"""Node placement: white boxes on the canvas, clustered by site.
+
+Sites sit on a ring around the canvas centre; a site's routers cluster near
+its anchor; peerings are pushed outward past the router they attach to, as
+on the real map where peering boxes line the borders.  Placement is
+deterministic and collision-free: boxes are nudged along a spiral until
+they stop overlapping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.geometry import Point, Rect
+from repro.rng import substream
+from repro.topology.model import NodeKind
+
+#: Pixels of clearance kept between any two boxes — generous, because two
+#: *connected* boxes need room for two arrows and two labels between them.
+_BOX_MARGIN = 95.0
+
+#: Vertical extent of every node box.
+BOX_HEIGHT = 26.0
+
+#: Pixels of box-perimeter length reserved per link endpoint.  Wide enough
+#: that the label boxes of adjacent endpoints can never reach each other's
+#: arrow bases, which keeps Algorithm 2's nearest-label attribution exact.
+ENDPOINT_SPACING = 20.0
+
+
+@dataclass(frozen=True, slots=True)
+class NodePlacement:
+    """A placed node: its white box on the canvas."""
+
+    name: str
+    kind: NodeKind
+    box: Rect
+
+    @property
+    def center(self) -> Point:
+        return self.box.center
+
+
+def _box_width(name: str, total_endpoints: int) -> float:
+    """Box width: room for the name and for every link endpoint.
+
+    Link endpoints are spread along the whole box perimeter with
+    :data:`ENDPOINT_SPACING` between them (plus 30 % slack so endpoints can
+    stay near the direction they face), so the perimeter — hence the width,
+    the height being fixed — grows with the node's degree.
+    """
+    text_width = 18.0 + 6.2 * len(name)
+    required_perimeter = 1.3 * ENDPOINT_SPACING * total_endpoints
+    endpoint_width = required_perimeter / 2.0 - BOX_HEIGHT
+    return max(60.0, text_width, endpoint_width)
+
+
+class NodePlacer:
+    """Places every node of one map on a canvas, once."""
+
+    def __init__(self, map_title: str, seed: int = 0) -> None:
+        self._map_title = map_title
+        self._rng = substream("placement", map_title, seed)
+        self._placements: dict[str, NodePlacement] = {}
+        self._site_anchor: dict[str, Point] = {}
+        self._site_members: dict[str, int] = {}
+        self.width = 0.0
+        self.height = 0.0
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        routers: list[tuple[str, str, int]],
+        peerings: list[tuple[str, str, int]],
+    ) -> None:
+        """Place all nodes.
+
+        Args:
+            routers: ``(name, site, max_side_endpoints)`` per router.
+            peerings: ``(name, attached_router_site, max_side_endpoints)``
+                per peering.
+        """
+        sites = sorted({site for _, site, _ in routers})
+        if not sites:
+            raise SimulationError("cannot lay out a map with no routers")
+
+        node_count = len(routers) + len(peerings)
+        self.width = max(1600.0, 360.0 * math.sqrt(node_count) + 600.0)
+        self.height = self.width * 0.68
+        center = Point(self.width / 2.0, self.height / 2.0)
+        ring_radius = min(self.width, self.height) * 0.33
+
+        for index, site in enumerate(sites):
+            angle = 2.0 * math.pi * index / len(sites)
+            self._site_anchor[site] = center + Point(
+                ring_radius * math.cos(angle), ring_radius * math.sin(angle)
+            )
+            self._site_members[site] = 0
+
+        for name, site, endpoints in routers:
+            self._place_router(name, site, endpoints)
+        for name, site, endpoints in peerings:
+            self._place_peering(name, site, endpoints)
+
+    def _spiral_place(self, start: Point, width: float, height: float) -> Rect:
+        """First non-overlapping box centred near ``start`` on a spiral."""
+        for step in range(900):
+            radius = 14.0 * step
+            angle = step * 2.399963  # golden angle keeps the spiral even
+            candidate_center = start + Point(
+                radius * math.cos(angle), radius * math.sin(angle)
+            )
+            x = min(max(candidate_center.x, width / 2 + 10), self.width - width / 2 - 10)
+            y = min(max(candidate_center.y, height / 2 + 10), self.height - height / 2 - 10)
+            candidate = Rect.from_center(Point(x, y), width, height)
+            inflated = candidate.expanded(_BOX_MARGIN / 2.0)
+            if not any(
+                inflated.intersects_rect(existing.box.expanded(_BOX_MARGIN / 2.0))
+                for existing in self._placements.values()
+            ):
+                return candidate
+        raise SimulationError("canvas too crowded: could not place a node box")
+
+    def _place_router(self, name: str, site: str, endpoints: int) -> None:
+        anchor = self._site_anchor.get(site)
+        if anchor is None:
+            anchor = Point(self.width / 2.0, self.height / 2.0)
+        rank = self._site_members.get(site, 0)
+        self._site_members[site] = rank + 1
+        jitter = Point(
+            self._rng.uniform(-30.0, 30.0) + 70.0 * (rank % 3 - 1),
+            self._rng.uniform(-24.0, 24.0) + 52.0 * (rank // 3 % 3 - 1),
+        )
+        box = self._spiral_place(anchor + jitter, _box_width(name, endpoints), BOX_HEIGHT)
+        self._placements[name] = NodePlacement(name=name, kind=NodeKind.ROUTER, box=box)
+
+    def _place_peering(self, name: str, site: str, endpoints: int) -> None:
+        anchor = self._site_anchor.get(site, Point(self.width / 2.0, self.height / 2.0))
+        center = Point(self.width / 2.0, self.height / 2.0)
+        if anchor.distance_to(center) < 1.0:
+            outward = Point(1.0, 0.0)
+        else:
+            outward = (anchor - center).normalized()
+        start = anchor + outward * (130.0 + self._rng.uniform(0.0, 90.0))
+        box = self._spiral_place(start, _box_width(name, endpoints), BOX_HEIGHT)
+        self._placements[name] = NodePlacement(name=name, kind=NodeKind.PEERING, box=box)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def placement(self, name: str) -> NodePlacement:
+        """The placed box of one node."""
+        try:
+            return self._placements[name]
+        except KeyError as exc:
+            raise SimulationError(f"node {name!r} was never placed") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._placements
+
+    def placements(self) -> list[NodePlacement]:
+        """All placements, in insertion order."""
+        return list(self._placements.values())

@@ -1,0 +1,220 @@
+"""The map renderer: snapshot → weathermap SVG.
+
+Produces documents with the exact structure the paper's parsing pipeline
+expects — flat consecutive arrow pairs followed by their two load texts,
+label box/text pairs, self-contained object groups — positioned so the
+geometric attribution of Algorithm 2 can invert them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.geometry import Point
+from repro.layout.arrows import (
+    LinkGeometry,
+    build_link_geometry,
+    perimeter_length,
+    perimeter_point,
+    perimeter_position_towards,
+    relax_positions,
+)
+from repro.layout.placement import NodePlacer
+from repro.svgdoc.colors import WEATHERMAP_SCALE, LoadColorScale
+from repro.svgdoc.writer import WeathermapSvgWriter
+from repro.topology.model import Link, MapSnapshot
+
+
+def _default_site_of(name: str) -> str:
+    """Fallback site extractor: the prefix of an OVH-style router name."""
+    return name.split("-", 1)[0]
+
+
+@dataclass(frozen=True, slots=True)
+class RenderedLink:
+    """A link together with the geometry it was drawn with (for tests)."""
+
+    link: Link
+    geometry: LinkGeometry
+
+
+class MapRenderer:
+    """Renders snapshots of one map with a stable node layout.
+
+    The layout is computed from the first snapshot rendered and reused for
+    nodes already seen, so consecutive snapshots of the same map keep their
+    boxes in place — like the real weathermap, where only loads change
+    between five-minute updates.
+    """
+
+    def __init__(
+        self,
+        site_of=None,
+        scale: LoadColorScale = WEATHERMAP_SCALE,
+        seed: int = 0,
+    ) -> None:
+        """Create a renderer.
+
+        Args:
+            site_of: optional ``name -> site`` callable used to cluster
+                router boxes; defaults to the router-name prefix.
+            scale: load-to-colour scale for arrow fills.
+            seed: placement randomisation seed.
+        """
+        self._site_of = site_of if site_of is not None else _default_site_of
+        self._scale = scale
+        self._seed = seed
+        self._placer: NodePlacer | None = None
+        self._placed_names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+
+    def _ensure_layout(self, snapshot: MapSnapshot) -> NodePlacer:
+        """Place any node of ``snapshot`` that has no box yet."""
+        degrees: dict[str, int] = defaultdict(int)
+        for link in snapshot.links:
+            for endpoint in link.nodes:
+                degrees[endpoint] += 1
+
+        peering_site: dict[str, str] = {}
+        for link in snapshot.external_links:
+            for name in link.nodes:
+                node = snapshot.nodes[name]
+                if node.is_peering and name not in peering_site:
+                    other = link.a.node if link.b.node == name else link.b.node
+                    peering_site[name] = self._site_of(other)
+
+        routers = [
+            (node.name, self._site_of(node.name), degrees[node.name])
+            for node in snapshot.routers
+        ]
+        peerings = [
+            (node.name, peering_site.get(node.name, "unknown"), degrees[node.name])
+            for node in snapshot.peerings
+        ]
+
+        if self._placer is None:
+            placer = NodePlacer(snapshot.map_name.value, seed=self._seed)
+            placer.plan(routers, peerings)
+            self._placer = placer
+            self._placed_names = {entry[0] for entry in routers + peerings}
+            return placer
+
+        placer = self._placer
+        for name, site, endpoints in routers:
+            if name not in self._placed_names:
+                placer._place_router(name, site, endpoints)
+                self._placed_names.add(name)
+        for name, site, endpoints in peerings:
+            if name not in self._placed_names:
+                placer._place_peering(name, site, endpoints)
+                self._placed_names.add(name)
+        return placer
+
+    def _attach_points(
+        self, snapshot: MapSnapshot, placer: NodePlacer
+    ) -> dict[tuple[int, str], Point]:
+        """Attachment point for every link end, keyed by (link index, end).
+
+        Ends of the same node are spread along its box perimeter, each as
+        close as the spacing allows to the direction of its far end.
+        """
+        requests: dict[str, list[tuple[int, str, float]]] = defaultdict(list)
+        for index, link in enumerate(snapshot.links):
+            box_a = placer.placement(link.a.node).box
+            box_b = placer.placement(link.b.node).box
+            requests[link.a.node].append(
+                (index, "a", perimeter_position_towards(box_a, box_b.center))
+            )
+            requests[link.b.node].append(
+                (index, "b", perimeter_position_towards(box_b, box_a.center))
+            )
+
+        attach: dict[tuple[int, str], Point] = {}
+        for node_name, entries in requests.items():
+            box = placer.placement(node_name).box
+            relaxed = relax_positions([ideal for _, _, ideal in entries], perimeter_length(box))
+            for (index, end, _), position in zip(entries, relaxed):
+                point = perimeter_point(box, position)
+                # Pull the attachment 2 px inside the box: the link line
+                # must cross the box *interior*, not graze its boundary,
+                # or coordinate rounding could detach it (Algorithm 2
+                # tests line/box intersection exactly).
+                inward = (box.center - point)
+                if inward.norm() > 1e-9:
+                    point = point + inward.normalized() * 2.0
+                attach[(index, end)] = point
+        return attach
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render_with_geometry(
+        self, snapshot: MapSnapshot
+    ) -> tuple[str, list[RenderedLink]]:
+        """Render and also return per-link drawing geometry (for tests)."""
+        placer = self._ensure_layout(snapshot)
+        attach = self._attach_points(snapshot, placer)
+
+        writer = WeathermapSvgWriter(
+            width=placer.width,
+            height=placer.height,
+            title=f"{snapshot.map_name.title} backbone — {snapshot.timestamp.isoformat()}",
+        )
+        writer.add_background()
+        writer.add_comment(f"snapshot {snapshot.timestamp.isoformat()}")
+        writer.add_legend(
+            [(band.color, f"{band.low:g}-{band.high:g}%") for band in self._scale.bands]
+        )
+
+        rendered: list[RenderedLink] = []
+        failures: list[str] = []
+        for index, link in enumerate(snapshot.links):
+            try:
+                geometry = build_link_geometry(
+                    attach[(index, "a")],
+                    attach[(index, "b")],
+                    link.a.label,
+                    link.b.label,
+                )
+            except SimulationError as exc:
+                failures.append(f"{link.a.node}->{link.b.node}: {exc}")
+                continue
+            writer.add_link(
+                arrows=[
+                    (list(geometry.arrow_ab), self._scale.color_for(link.a.load)),
+                    (list(geometry.arrow_ba), self._scale.color_for(link.b.load)),
+                ],
+                loads=[
+                    (link.a.load, geometry.load_anchor_ab),
+                    (link.b.load, geometry.load_anchor_ba),
+                ],
+            )
+            writer.add_link_label(link.a.label, geometry.label_box_a)
+            writer.add_link_label(link.b.label, geometry.label_box_b)
+            rendered.append(RenderedLink(link=link, geometry=geometry))
+        if failures:
+            raise SimulationError(
+                f"could not draw {len(failures)} links: {failures[:3]}"
+            )
+
+        for node in list(snapshot.routers) + list(snapshot.peerings):
+            placement = placer.placement(node.name)
+            writer.add_object(node.name, placement.box, is_peering=node.is_peering)
+
+        return writer.to_svg(), rendered
+
+    def render(self, snapshot: MapSnapshot) -> str:
+        """Render one snapshot to an SVG document string."""
+        svg, _ = self.render_with_geometry(snapshot)
+        return svg
+
+
+def render_snapshot(snapshot: MapSnapshot, site_of=None, seed: int = 0) -> str:
+    """One-shot convenience: render a single snapshot to SVG."""
+    return MapRenderer(site_of=site_of, seed=seed).render(snapshot)

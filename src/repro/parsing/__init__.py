@@ -1,0 +1,36 @@
+"""The SVG-to-topology extraction pipeline — the paper's core contribution.
+
+Two stages, exactly as in Section 4:
+
+* :mod:`repro.parsing.algorithm1` — sequential tag-stream parsing into flat
+  lists of routers, links (two arrows + two loads each), and link labels,
+  relying only on tag classes and document order;
+* :mod:`repro.parsing.algorithm2` — geometric *object attribution*: each
+  link's line (through its two arrow bases) is intersected with router and
+  label boxes; each link end is connected to its nearest intersecting
+  router and assigned its nearest intersecting label, labels being consumed
+  exactly once.
+
+:mod:`repro.parsing.checks` implements the paper's sanity checks and
+:mod:`repro.parsing.pipeline` wraps everything into ``SVG file → MapSnapshot
+→ YAML`` with the error taxonomy needed for Table 2's unprocessed-file
+accounting.
+"""
+
+from repro.parsing.algorithm1 import ExtractedLink, ExtractionResult, extract_objects
+from repro.parsing.algorithm2 import AttributedLink, attribute_objects
+from repro.parsing.checks import ParseReport, run_sanity_checks
+from repro.parsing.pipeline import ParsedMap, parse_svg, parse_svg_file
+
+__all__ = [
+    "ExtractedLink",
+    "ExtractionResult",
+    "extract_objects",
+    "AttributedLink",
+    "attribute_objects",
+    "ParseReport",
+    "run_sanity_checks",
+    "ParsedMap",
+    "parse_svg",
+    "parse_svg_file",
+]

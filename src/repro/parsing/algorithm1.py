@@ -1,0 +1,133 @@
+"""Algorithm 1 — SVG parsing to objects.
+
+A faithful implementation of the paper's Algorithm 1: iterate the SVG tags
+in document order, dispatch on ``class``/tag type, and accumulate three flat
+lists — routers (and peerings), links, and link labels.  Links are stateful:
+"two successive polygon SVG tags represent the two arrows of a bidirectional
+link" and "the two load levels follow the two arrows"; labels are stateful
+the same way (white box first, text second).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import LOAD_MAX, LOAD_MIN
+from repro.errors import IncompleteLinkError, LoadRangeError, MalformedSvgError
+from repro.geometry import Point, Rect
+from repro.svgdoc.elements import (
+    ArrowElement,
+    LabelBoxElement,
+    LabelTextElement,
+    LoadTextElement,
+    ObjectElement,
+    classify_tag,
+)
+from repro.svgdoc.reader import SvgTagStream
+
+
+@dataclass
+class ExtractedLink:
+    """A link as Algorithm 1 sees it: two arrows and two load percentages.
+
+    ``arrows[0]`` is the first arrow in document order; its load is
+    ``loads[0]`` and its base is the link end nearest the egress router of
+    that direction.
+    """
+
+    arrows: list[ArrowElement] = field(default_factory=list)
+    loads: list[float] = field(default_factory=list)
+
+    @property
+    def is_complete(self) -> bool:
+        """Two arrows and two loads make a complete link."""
+        return len(self.arrows) == 2 and len(self.loads) == 2
+
+    @property
+    def bases(self) -> tuple[Point, Point]:
+        """The two arrow-basis midpoints (the link's geometric ends)."""
+        if len(self.arrows) != 2:
+            raise IncompleteLinkError(
+                f"link has {len(self.arrows)} arrows, expected 2"
+            )
+        return (self.arrows[0].base_midpoint, self.arrows[1].base_midpoint)
+
+
+@dataclass(frozen=True, slots=True)
+class ExtractedLabel:
+    """A link label: its white box and its text (e.g. ``#1``)."""
+
+    box: Rect
+    text: str
+
+
+@dataclass
+class ExtractionResult:
+    """Output of Algorithm 1: the three flat object lists."""
+
+    routers: list[ObjectElement] = field(default_factory=list)
+    links: list[ExtractedLink] = field(default_factory=list)
+    labels: list[ExtractedLabel] = field(default_factory=list)
+
+
+def extract_objects(stream: SvgTagStream) -> ExtractionResult:
+    """Run Algorithm 1 over a tag stream.
+
+    Raises:
+        MalformedSvgError: on structurally invalid tags (bad attribute
+            values, label text without a preceding label box, ...).
+        IncompleteLinkError: when arrows/loads do not pair up into links.
+        LoadRangeError: when a load lies outside [0, 100] — the paper's
+            first sanity check, applied during extraction.
+    """
+    result = ExtractionResult()
+    link: ExtractedLink | None = None
+    pending_label_box: LabelBoxElement | None = None
+
+    for tag in stream:
+        element = classify_tag(tag)
+        if element is None:
+            continue
+
+        if isinstance(element, ObjectElement):
+            result.routers.append(element)
+        elif isinstance(element, ArrowElement):
+            if link is None:
+                link = ExtractedLink(arrows=[element])
+            elif len(link.arrows) == 1 and not link.loads:
+                link.arrows.append(element)
+            else:
+                raise IncompleteLinkError(
+                    "third arrow before the previous link's loads completed"
+                )
+        elif isinstance(element, LoadTextElement):
+            if link is None or len(link.arrows) != 2:
+                raise IncompleteLinkError(
+                    "load percentage with no preceding arrow pair"
+                )
+            load = element.load
+            if not LOAD_MIN <= load <= LOAD_MAX:
+                raise LoadRangeError(
+                    f"link load {load} outside [{LOAD_MIN}, {LOAD_MAX}]"
+                )
+            link.loads.append(load)
+            if len(link.loads) == 2:
+                result.links.append(link)
+                link = None
+        elif isinstance(element, LabelBoxElement):
+            if pending_label_box is not None:
+                raise MalformedSvgError("two label boxes without text between")
+            pending_label_box = element
+        elif isinstance(element, LabelTextElement):
+            if pending_label_box is None:
+                raise MalformedSvgError("label text with no preceding label box")
+            result.labels.append(
+                ExtractedLabel(box=pending_label_box.box, text=element.text)
+            )
+            pending_label_box = None
+
+    if link is not None:
+        raise IncompleteLinkError("document ended with an incomplete link")
+    if pending_label_box is not None:
+        raise MalformedSvgError("document ended with an unclosed label")
+    return result

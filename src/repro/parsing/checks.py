@@ -1,0 +1,117 @@
+"""Post-attribution sanity checks (Section 4, "Parsing sanity checks").
+
+Algorithm 1 already enforces the in-stream checks (loads within [0, 100],
+two arrows per link); Algorithm 2 enforces the geometric ones (label
+distance threshold, single-use labels, two distinct routers per link).
+This module runs the remaining whole-map checks and produces the
+:class:`ParseReport` the dataset pipeline stores alongside each YAML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IsolatedRouterError
+from repro.parsing.algorithm1 import ExtractionResult
+from repro.parsing.algorithm2 import AttributedLink
+from repro.svgdoc.colors import WEATHERMAP_SCALE, LoadColorScale
+
+
+@dataclass
+class ParseReport:
+    """Statistics and warnings from parsing one SVG document."""
+
+    router_count: int = 0
+    peering_count: int = 0
+    link_count: int = 0
+    label_count: int = 0
+    unused_labels: int = 0
+    color_mismatches: int = 0
+    isolated_routers: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the document passed every check."""
+        return not self.isolated_routers and not self.warnings
+
+
+def check_load_colors(
+    extraction: ExtractionResult,
+    scale: LoadColorScale = WEATHERMAP_SCALE,
+) -> int:
+    """Count load texts whose arrow colour disagrees with the percentage.
+
+    The weathermap encodes each load twice — "explicitly with a percentage
+    and implicitly through its color" — so the two can be cross-checked.
+    A mismatch means a stale or tampered document (or a scale change).
+    """
+    mismatches = 0
+    for link in extraction.links:
+        for arrow, load in zip(link.arrows, link.loads):
+            if not arrow.fill:
+                continue
+            if not scale.is_consistent(load, arrow.fill):
+                mismatches += 1
+    return mismatches
+
+
+def run_sanity_checks(
+    extraction: ExtractionResult,
+    links: list[AttributedLink],
+    strict: bool = True,
+    check_colors: bool = True,
+) -> ParseReport:
+    """Validate a fully attributed map.
+
+    Args:
+        extraction: Algorithm 1 output (for element totals).
+        links: Algorithm 2 output.
+        strict: raise on failed checks instead of recording warnings.
+        check_colors: cross-check each load percentage against its arrow
+            colour (mismatches are warnings, never fatal).
+
+    Raises:
+        IsolatedRouterError: in strict mode, when an OVH router ends up
+            with no link — the paper's final check ("we ensure that each
+            router is attributed at least one link").
+    """
+    connected: set[str] = set()
+    for link in links:
+        connected.add(link.a.router.name)
+        connected.add(link.b.router.name)
+
+    report = ParseReport(
+        router_count=sum(1 for obj in extraction.routers if obj.is_router),
+        peering_count=sum(1 for obj in extraction.routers if obj.is_peering),
+        link_count=len(links),
+        label_count=len(extraction.labels),
+        unused_labels=len(extraction.labels) - 2 * len(links),
+    )
+
+    if check_colors:
+        report.color_mismatches = check_load_colors(extraction)
+        if report.color_mismatches:
+            report.warnings.append(
+                f"{report.color_mismatches} loads disagree with their arrow colour"
+            )
+
+    isolated = sorted(
+        obj.name
+        for obj in extraction.routers
+        if obj.is_router and obj.name not in connected
+    )
+    if isolated:
+        if strict:
+            raise IsolatedRouterError(
+                f"{len(isolated)} routers have no attributed link: "
+                f"{isolated[:5]}"
+            )
+        report.isolated_routers = isolated
+        report.warnings.append(f"{len(isolated)} isolated routers")
+
+    if report.unused_labels:
+        report.warnings.append(
+            f"{report.unused_labels} labels were never attributed to a link end"
+        )
+    return report

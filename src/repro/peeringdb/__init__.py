@@ -1,0 +1,14 @@
+"""Synthetic PeeringDB substrate.
+
+Figure 6 correlates the weathermap's link-load drop with a PeeringDB
+record announcing the capacity increase (400 Gbps → 500 Gbps towards
+AMS-IX).  We cannot query the real PeeringDB offline, so this package
+provides the closest synthetic equivalent: a timestamped record store of
+per-IXP port capacities whose history includes the scripted upgrade —
+enough to exercise the same correlation code path.
+"""
+
+from repro.peeringdb.model import CapacityRecord, NetworkPresence
+from repro.peeringdb.feed import SyntheticPeeringDB
+
+__all__ = ["CapacityRecord", "NetworkPresence", "SyntheticPeeringDB"]

@@ -1,0 +1,95 @@
+"""The synthetic PeeringDB populated from a simulation.
+
+Every peering on the simulated maps gets a static capacity entry at the
+window start; the scripted upgrade scenario contributes the dated capacity
+increase that Figure 6's arrow *B* points at.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+from repro.errors import DatasetError, SimulationError
+from repro.peeringdb.model import CapacityRecord, NetworkPresence
+from repro.rng import substream
+from repro.simulation.network import BackboneSimulator
+
+#: Plausible per-link capacities for generic peerings, in Gbps.
+_GENERIC_CAPACITIES = (10, 40, 100, 200, 400)
+
+
+class SyntheticPeeringDB:
+    """An offline interconnection database for the simulated backbone."""
+
+    def __init__(self, simulator: BackboneSimulator) -> None:
+        self._presences: dict[str, NetworkPresence] = {}
+        self._populate(simulator)
+
+    def _populate(self, simulator: BackboneSimulator) -> None:
+        scenario = simulator.upgrade
+        try:
+            upgrade_group = simulator.upgrade_group()
+        except SimulationError:  # no scripted scenario on this simulator
+            upgrade_group = None
+
+        seed = simulator.config.seed
+        for map_name in simulator.map_names:
+            evolution = simulator.evolution(map_name)
+            for peering in evolution.peerings:
+                if peering.name in self._presences:
+                    continue
+                if upgrade_group is not None and peering.name == scenario.peering:
+                    self._presences[peering.name] = NetworkPresence(
+                        peering=peering.name,
+                        records=(
+                            CapacityRecord(
+                                peering=peering.name,
+                                capacity_gbps=scenario.capacity_before_gbps,
+                                updated=simulator.config.window_start,
+                            ),
+                            CapacityRecord(
+                                peering=peering.name,
+                                capacity_gbps=scenario.capacity_after_gbps,
+                                updated=scenario.peeringdb_at,
+                            ),
+                        ),
+                    )
+                    continue
+                rng = substream("peeringdb", seed, peering.name)
+                capacity = rng.choice(_GENERIC_CAPACITIES)
+                self._presences[peering.name] = NetworkPresence(
+                    peering=peering.name,
+                    records=(
+                        CapacityRecord(
+                            peering=peering.name,
+                            capacity_gbps=capacity,
+                            updated=peering.lifetime.birth,
+                        ),
+                    ),
+                )
+
+    def peerings(self) -> list[str]:
+        """Every peering point known to the database."""
+        return sorted(self._presences)
+
+    def presence(self, peering: str) -> NetworkPresence:
+        """The capacity history at one peering point."""
+        try:
+            return self._presences[peering]
+        except KeyError as exc:
+            raise DatasetError(f"no PeeringDB presence for {peering!r}") from exc
+
+    def capacity_at(self, peering: str, when: datetime) -> int | None:
+        """Advertised capacity at ``when``."""
+        return self.presence(peering).capacity_at(when)
+
+    def changes_near(
+        self, peering: str, around: datetime, window: timedelta = timedelta(days=30)
+    ) -> list[tuple[datetime, int, int]]:
+        """Capacity changes within ``window`` of ``around`` — the
+        correlation primitive Figure 6's analysis uses."""
+        return [
+            change
+            for change in self.presence(peering).changes()
+            if abs((change[0] - around).total_seconds()) <= window.total_seconds()
+        ]

@@ -1,0 +1,65 @@
+"""PeeringDB-style records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True, slots=True)
+class CapacityRecord:
+    """A dated port-capacity entry for one network at one peering point.
+
+    Mirrors the ``netixlan`` speed field of PeeringDB: the aggregate
+    capacity, in Gbps, that the network advertises at the exchange,
+    effective from ``updated``.
+    """
+
+    peering: str
+    capacity_gbps: int
+    updated: datetime
+
+    def __post_init__(self) -> None:
+        if self.capacity_gbps <= 0:
+            raise SchemaError("capacity must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkPresence:
+    """One network's presence at one peering point, with capacity history."""
+
+    peering: str
+    records: tuple[CapacityRecord, ...]
+
+    def __post_init__(self) -> None:
+        for record in self.records:
+            if record.peering != self.peering:
+                raise SchemaError(
+                    f"record for {record.peering!r} in presence of {self.peering!r}"
+                )
+        stamps = [record.updated for record in self.records]
+        if stamps != sorted(stamps):
+            raise SchemaError("capacity records must be in chronological order")
+
+    def capacity_at(self, when: datetime) -> int | None:
+        """Advertised capacity in effect at ``when`` (None before the
+        first record)."""
+        capacity: int | None = None
+        for record in self.records:
+            if record.updated <= when:
+                capacity = record.capacity_gbps
+            else:
+                break
+        return capacity
+
+    def changes(self) -> list[tuple[datetime, int, int]]:
+        """(when, old capacity, new capacity) for each update."""
+        result: list[tuple[datetime, int, int]] = []
+        previous: int | None = None
+        for record in self.records:
+            if previous is not None and record.capacity_gbps != previous:
+                result.append((record.updated, previous, record.capacity_gbps))
+            previous = record.capacity_gbps
+        return result

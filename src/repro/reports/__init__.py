@@ -1,0 +1,12 @@
+"""Report generation: one bundle summarising a dataset like the paper does.
+
+``build_report`` walks a collected-and-processed dataset directory and
+produces a markdown report plus SVG charts covering the paper's analysis
+surface — collection quality (Figures 2/3), infrastructure (Figure 4),
+loads and ECMP balance (Figure 5), and the dataset tables.  Surfaced on
+the command line as ``repro-weather report``.
+"""
+
+from repro.reports.builder import ReportBuilder, build_report
+
+__all__ = ["ReportBuilder", "build_report"]

@@ -1,0 +1,37 @@
+"""Deterministic backbone-network evolution simulator.
+
+This package substitutes for the live OVH Network Weathermap: it produces,
+for any timestamp in the collection window, the full topology and link loads
+of the four backbone maps, with the behaviours the paper's analysis section
+documents — gradual external-link growth, stepwise internal-link growth,
+make-before-break router upgrades, maintenance dips, diurnal load cycles,
+tight ECMP balance, and a scripted AMS-IX-style link-upgrade event.
+
+Everything is a pure function of (configuration, seed, timestamp): two
+simulators built with the same inputs produce byte-identical histories.
+"""
+
+from repro.simulation.config import (
+    MapProfile,
+    SharedRouters,
+    SimulationConfig,
+    TrafficProfile,
+    default_config,
+    scaleway_like_config,
+)
+from repro.simulation.network import BackboneSimulator
+from repro.simulation.events import UpgradeScenario
+from repro.simulation.seeds import stable_seed, substream
+
+__all__ = [
+    "MapProfile",
+    "SharedRouters",
+    "SimulationConfig",
+    "TrafficProfile",
+    "default_config",
+    "scaleway_like_config",
+    "BackboneSimulator",
+    "UpgradeScenario",
+    "stable_seed",
+    "substream",
+]

@@ -1,0 +1,80 @@
+"""ECMP load spreading over parallel links.
+
+Section 5 evaluates "the effectiveness of traffic engineering techniques
+such as ECMP ... used to spread the traffic" over parallel links, finding
+more than 60 % of directed-group imbalances at or below 1 %, and external
+groups tighter still.  This module models that: each active link of a group
+receives the group's per-link demand plus a small zero-sum jitter, and a
+minority of groups carry a persistent hash skew that produces the
+distribution's tail.
+"""
+
+from __future__ import annotations
+
+from repro.rng import substream
+
+
+def zero_sum_jitter(
+    count: int, sigma: float, *namespace: str | int | float
+) -> list[float]:
+    """``count`` gaussian offsets re-centred to sum to zero.
+
+    Centring keeps the group's aggregate demand intact while perturbing the
+    per-link split — exactly what imperfect flow hashing does.
+    """
+    if count == 0:
+        return []
+    rng = substream("ecmp-jitter", *namespace)
+    offsets = [rng.gauss(0.0, sigma) for _ in range(count)]
+    mean = sum(offsets) / count
+    return [offset - mean for offset in offsets]
+
+
+def persistent_skew(
+    count: int, magnitude: float, *namespace: str | int | float
+) -> list[float]:
+    """Stable per-link offsets for a pathologically skewed group.
+
+    Drawn once per (group, direction) — not per timestamp — so the same
+    links stay persistently hot/cold, as real bad hashing does.
+    """
+    if count == 0:
+        return []
+    rng = substream("ecmp-skew", *namespace)
+    offsets = [rng.uniform(-magnitude, magnitude) for _ in range(count)]
+    mean = sum(offsets) / count
+    return [offset - mean for offset in offsets]
+
+
+def spread_demand(
+    per_link_demand: float,
+    active: list[bool],
+    jitter_sigma: float,
+    skew: list[float] | None,
+    *namespace: str | int | float,
+) -> list[float]:
+    """Per-link loads for one directed parallel group at one instant.
+
+    Args:
+        per_link_demand: demand each *active* link would carry under
+            perfect balancing, in percent of link capacity.
+        active: per-link activity flags (inactive links render at 0 %).
+        jitter_sigma: standard deviation of the per-sample jitter.
+        skew: optional persistent per-link offsets (same length as
+            ``active``), for skewed groups.
+        namespace: seed parts identifying (group, direction, timestamp).
+
+    Returns:
+        Unquantised per-link loads, clamped to [0, 100].
+    """
+    active_indices = [index for index, flag in enumerate(active) if flag]
+    loads = [0.0] * len(active)
+    if not active_indices:
+        return loads
+    jitter = zero_sum_jitter(len(active_indices), jitter_sigma, *namespace)
+    for position, index in enumerate(active_indices):
+        value = per_link_demand + jitter[position]
+        if skew is not None:
+            value += skew[index]
+        loads[index] = min(100.0, max(0.0, value))
+    return loads

@@ -1,0 +1,66 @@
+"""Scripted link-upgrade scenario (the Figure 6 case study).
+
+The paper traces the addition of a fifth parallel link towards the AMS-IX
+peering: the link appears on the map unused (arrow *A*), PeeringDB is
+updated nine days later announcing the capacity increase from 400 Gbps to
+500 Gbps (arrow *B*), and the link is activated two weeks after its
+addition, spreading traffic over all five links and cutting per-link load
+by the 4/5 capacity ratio (arrow *C*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+from repro.constants import MapName
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True, slots=True)
+class UpgradeScenario:
+    """A make-then-activate parallel-link capacity upgrade."""
+
+    map_name: MapName = MapName.EUROPE
+    peering: str = "AMS-IX"
+    #: Parallel links before the upgrade (the paper infers 4 × 100 Gbps).
+    links_before: int = 4
+    per_link_capacity_gbps: int = 100
+    #: Arrow A — the new link appears on the map, unused.
+    added_at: datetime = datetime(2022, 3, 5, tzinfo=timezone.utc)
+    #: Arrow B — PeeringDB reports the new total capacity.
+    peeringdb_at: datetime = datetime(2022, 3, 14, tzinfo=timezone.utc)
+    #: Arrow C — the link starts carrying traffic.
+    activated_at: datetime = datetime(2022, 3, 19, tzinfo=timezone.utc)
+    #: Mean per-link load before the upgrade, in percent.
+    base_load: float = 45.0
+
+    def __post_init__(self) -> None:
+        if not self.added_at < self.peeringdb_at < self.activated_at:
+            raise SimulationError(
+                "upgrade events must be ordered added < peeringdb < activated"
+            )
+        if self.links_before < 1:
+            raise SimulationError("an upgrade needs at least one existing link")
+        if not 0 < self.base_load <= 100:
+            raise SimulationError("base load must be a percentage")
+
+    @property
+    def links_after(self) -> int:
+        """Parallel links once the upgrade completes."""
+        return self.links_before + 1
+
+    @property
+    def capacity_before_gbps(self) -> int:
+        """Aggregate capacity before the upgrade (400 Gbps in the paper)."""
+        return self.links_before * self.per_link_capacity_gbps
+
+    @property
+    def capacity_after_gbps(self) -> int:
+        """Aggregate capacity after the upgrade (500 Gbps in the paper)."""
+        return self.links_after * self.per_link_capacity_gbps
+
+    @property
+    def expected_load_ratio(self) -> float:
+        """Per-link load ratio after activation (4/5 in the paper)."""
+        return self.links_before / self.links_after

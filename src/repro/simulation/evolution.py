@@ -1,0 +1,896 @@
+"""Structural evolution of one backbone map.
+
+Every map element — router, peering, link — gets a deterministic *lifetime*
+(birth, optional death, optional outage windows).  The topology at any
+instant is the set of elements alive then, which gives the simulator three
+properties the reproduction needs:
+
+* **Exact calibration** — elements alive on the reference date are generated
+  to match the paper's Table 1 counts exactly;
+* **Scripted narratives** — the Figure 4a events (make-before-break router
+  swaps, removals, maintenance dips) are lifetimes chosen to replay the
+  paper's Europe-map story;
+* **O(log n) counting** — router/link counts over time (Figures 4a/4b) come
+  from sorted birth/death event arrays, no per-snapshot materialisation.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta, timezone
+
+from repro.constants import MapName
+from repro.errors import SimulationError
+from repro.rng import substream
+from repro.simulation.config import MapProfile, SharedRouters, SimulationConfig
+from repro.simulation.events import UpgradeScenario
+from repro.topology.names import NameGenerator
+
+#: Sentinel "end of time" used for elements that never die.
+FOREVER = datetime.max.replace(tzinfo=timezone.utc)
+
+
+@dataclass(frozen=True, slots=True)
+class Lifetime:
+    """When an element exists on the map."""
+
+    birth: datetime
+    death: datetime = FOREVER
+    outages: tuple[tuple[datetime, datetime], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.death <= self.birth:
+            raise SimulationError("element dies before it is born")
+        for start, end in self.outages:
+            if end <= start:
+                raise SimulationError("outage window is empty")
+
+    def alive_at(self, when: datetime) -> bool:
+        """Whether the element is on the map at ``when``."""
+        if not self.birth <= when < self.death:
+            return False
+        return not any(start <= when < end for start, end in self.outages)
+
+    def intervals(self) -> list[tuple[datetime, datetime]]:
+        """Maximal presence intervals, outages subtracted."""
+        spans = [(self.birth, self.death)]
+        for outage_start, outage_end in sorted(self.outages):
+            next_spans: list[tuple[datetime, datetime]] = []
+            for start, end in spans:
+                if outage_end <= start or end <= outage_start:
+                    next_spans.append((start, end))
+                    continue
+                if start < outage_start:
+                    next_spans.append((start, outage_start))
+                if outage_end < end:
+                    next_spans.append((outage_end, end))
+            spans = next_spans
+        return spans
+
+    def intersect(self, other: Lifetime) -> list[tuple[datetime, datetime]]:
+        """Presence intervals common to two lifetimes."""
+        result: list[tuple[datetime, datetime]] = []
+        for a_start, a_end in self.intervals():
+            for b_start, b_end in other.intervals():
+                start = max(a_start, b_start)
+                end = min(a_end, b_end)
+                if start < end:
+                    result.append((start, end))
+        return sorted(result)
+
+
+class RouterRole:
+    """Structural roles a router can play in the generated backbone."""
+
+    CORE = "core"
+    EDGE = "edge"
+    STUB = "stub"
+
+
+@dataclass(frozen=True, slots=True)
+class RouterSpec:
+    """One router's identity and lifetime on this map."""
+
+    name: str
+    site: str
+    role: str
+    lifetime: Lifetime
+    borrowed: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class PeeringSpec:
+    """One physical peering box and its lifetime."""
+
+    name: str
+    lifetime: Lifetime
+
+
+@dataclass(frozen=True, slots=True)
+class LinkSpec:
+    """One physical link: endpoints, end labels, lifetime, activation.
+
+    ``activation`` is when the link starts carrying traffic; between birth
+    and activation it shows on the map at 0 % — the Figure 6 pattern where
+    the new AMS-IX link "was first added, but not yet used".
+    """
+
+    link_id: str
+    group_id: str
+    a: str
+    b: str
+    label_a: str
+    label_b: str
+    external: bool
+    lifetime: Lifetime
+    activation: datetime | None = None
+
+    @property
+    def active_from(self) -> datetime:
+        """First instant the link may carry traffic."""
+        return self.activation if self.activation is not None else self.lifetime.birth
+
+
+@dataclass(frozen=True, slots=True)
+class GroupSpec:
+    """A parallel-link group: every link between one pair of nodes."""
+
+    group_id: str
+    a: str
+    b: str
+    external: bool
+    links: tuple[LinkSpec, ...]
+    #: True when this group also appears on another map (shared gateway
+    #: links); Table 1's total row counts such links once.
+    shared: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.links)
+
+
+@dataclass(frozen=True, slots=True)
+class BorrowedBundle:
+    """What a borrowing map receives from an owner map: the shared
+    gateway routers and the link groups among them to mirror."""
+
+    owner: MapName
+    routers: tuple[tuple[str, str], ...]  # (name, site)
+    groups: tuple[GroupSpec, ...]
+
+    @property
+    def link_count(self) -> int:
+        return sum(group.size for group in self.groups)
+
+
+class _EventCounter:
+    """Counts alive elements at any instant from presence intervals."""
+
+    def __init__(self, intervals: list[tuple[datetime, datetime]]) -> None:
+        events: list[tuple[datetime, int]] = []
+        for start, end in intervals:
+            events.append((start, 1))
+            if end != FOREVER:
+                events.append((end, -1))
+        events.sort(key=lambda item: item[0])
+        self._times: list[datetime] = []
+        self._counts: list[int] = []
+        running = 0
+        for time, delta in events:
+            running += delta
+            if self._times and self._times[-1] == time:
+                self._counts[-1] = running
+            else:
+                self._times.append(time)
+                self._counts.append(running)
+
+    def count_at(self, when: datetime) -> int:
+        """Number of elements alive at ``when``."""
+        index = bisect.bisect_right(self._times, when) - 1
+        if index < 0:
+            return 0
+        return self._counts[index]
+
+
+class MapEvolution:
+    """The full structural history of one backbone map."""
+
+    def __init__(
+        self,
+        map_name: MapName,
+        profile: MapProfile,
+        config: SimulationConfig,
+        borrowed_bundles: list[BorrowedBundle] | None = None,
+        lend_plans: list[SharedRouters] | None = None,
+        upgrade: UpgradeScenario | None = None,
+    ) -> None:
+        """Generate the map's history.
+
+        Args:
+            map_name: which backbone map this is.
+            profile: structural targets and scripted events.
+            config: global window and seed.
+            borrowed_bundles: gateway routers (and the link groups among
+                them) owned by other maps but also shown on this one; both
+                count toward this map's Table 1 row but de-duplicate in
+                the total row.
+            lend_plans: sharing relations this map *owns*: it designates
+                the gateway routers and builds the shared groups that
+                borrowing maps will mirror.
+            upgrade: optional scripted link-upgrade scenario; the peering
+                group it describes is reserved before procedural generation.
+        """
+        self.map_name = map_name
+        self.profile = profile
+        self.config = config
+        self.upgrade = upgrade if upgrade is not None and upgrade.map_name == map_name else None
+        self.upgrade_group_id: str | None = None
+        self._rng = substream("evolution", config.seed, map_name.value)
+        self._names = NameGenerator(map_name, seed=config.seed)
+        self._link_counter = itertools.count(1)
+        self._bundles = list(borrowed_bundles or [])
+        self._borrowed = [router for bundle in self._bundles for router in bundle.routers]
+        self._lend_plans = list(lend_plans or [])
+        self._lent: dict[MapName, BorrowedBundle] = {}
+
+        self.routers: list[RouterSpec] = []
+        self.extra_routers: list[RouterSpec] = []
+        self.peerings: list[PeeringSpec] = []
+        self.groups: list[GroupSpec] = []
+
+        self._build_routers()
+        mirrored_links = 0
+        for bundle in self._bundles:
+            self.groups.extend(bundle.groups)
+            mirrored_links += bundle.link_count
+        owned_shared_links = self._build_lend_groups()
+        self._shared_internal_links = mirrored_links + owned_shared_links
+        self._build_internal_groups()
+        self._build_external_groups()
+        self._build_extra_router_links()
+
+        self._router_specs = {spec.name: spec for spec in self.all_routers}
+        self._router_counter = _EventCounter(
+            [span for spec in self.all_routers for span in spec.lifetime.intervals()]
+        )
+        self._internal_counter = self._link_counter_for(external=False)
+        self._external_counter = self._link_counter_for(external=True)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @property
+    def all_routers(self) -> list[RouterSpec]:
+        """Reference-roster routers plus extras that die before reference."""
+        return self.routers + self.extra_routers
+
+    @property
+    def all_links(self) -> list[LinkSpec]:
+        """Every link spec across all groups."""
+        return [link for group in self.groups for link in group.links]
+
+    def _random_date(self, start: datetime, end: datetime) -> datetime:
+        """Uniform timestamp in [start, end), snapped to 5-minute ticks."""
+        span = (end - start).total_seconds()
+        offset = self._rng.random() * span
+        snapped = int(offset // 300) * 300
+        return start + timedelta(seconds=snapped)
+
+    def _build_routers(self) -> None:
+        """Generate the reference-date router roster and the extra routers
+        whose scripted removal produces the Figure 4a dips."""
+        profile = self.profile
+        config = self.config
+        target_routers = profile.reference_counts[0]
+        if len(self._borrowed) > target_routers:
+            raise SimulationError("more borrowed routers than the map's target")
+
+        stub_count = int(round(profile.stub_fraction * target_routers))
+        sites = [f"site{index:02d}" for index in range(profile.core_sites)]
+
+        rosters: list[RouterSpec] = []
+        for name, site in self._borrowed:
+            rosters.append(
+                RouterSpec(
+                    name=name,
+                    site=site,
+                    role=RouterRole.CORE,
+                    lifetime=Lifetime(birth=config.window_start),
+                    borrowed=True,
+                )
+            )
+
+        fresh_needed = target_routers - len(self._borrowed)
+        core_budget = max(0, min(2 * profile.core_sites - len(self._borrowed), fresh_needed - stub_count))
+        edge_budget = fresh_needed - stub_count - core_budget
+        if edge_budget < 0:
+            stub_count += edge_budget
+            edge_budget = 0
+
+        roles = (
+            [RouterRole.CORE] * core_budget
+            + [RouterRole.EDGE] * edge_budget
+            + [RouterRole.STUB] * stub_count
+        )
+        for index, role in enumerate(roles):
+            site = sites[index % len(sites)]
+            rosters.append(
+                RouterSpec(
+                    name=self._names.router_name(),
+                    site=site,
+                    role=role,
+                    lifetime=Lifetime(birth=config.window_start),
+                )
+            )
+
+        # Late births: scripted swap additions first, then procedural growth.
+        late_birth_budget = int(round((1 - profile.initial_router_fraction) * target_routers))
+        swap_additions = sum(event.add_count for event in profile.router_swaps)
+        late_birth_budget = max(late_birth_budget, swap_additions)
+
+        mutable = list(rosters)
+        candidates = [
+            index
+            for index, spec in enumerate(mutable)
+            if not spec.borrowed and spec.role != RouterRole.CORE
+        ]
+        self._rng.shuffle(candidates)
+
+        cursor = 0
+        for event in profile.router_swaps:
+            for _ in range(event.add_count):
+                if cursor >= len(candidates):
+                    break
+                index = candidates[cursor]
+                cursor += 1
+                spec = mutable[index]
+                mutable[index] = RouterSpec(
+                    name=spec.name,
+                    site=spec.site,
+                    role=spec.role,
+                    lifetime=Lifetime(birth=self._random_date(event.add_start, event.add_end)),
+                )
+        for _ in range(late_birth_budget - swap_additions):
+            if cursor >= len(candidates):
+                break
+            index = candidates[cursor]
+            cursor += 1
+            spec = mutable[index]
+            birth = self._random_date(config.window_start + timedelta(days=30), config.window_end - timedelta(days=30))
+            mutable[index] = RouterSpec(
+                name=spec.name, site=spec.site, role=spec.role, lifetime=Lifetime(birth=birth)
+            )
+
+        # Scripted maintenance outages on long-lived edge routers.
+        outage_pool = [
+            index
+            for index, spec in enumerate(mutable)
+            if not spec.borrowed
+            and spec.role == RouterRole.EDGE
+            and spec.lifetime.birth == config.window_start
+        ]
+        self._rng.shuffle(outage_pool)
+        pool_cursor = 0
+        for outage in self.profile.outages:
+            for _ in range(outage.router_count):
+                if pool_cursor >= len(outage_pool):
+                    break
+                index = outage_pool[pool_cursor]
+                pool_cursor += 1
+                spec = mutable[index]
+                mutable[index] = RouterSpec(
+                    name=spec.name,
+                    site=spec.site,
+                    role=spec.role,
+                    lifetime=Lifetime(
+                        birth=spec.lifetime.birth,
+                        outages=((outage.start, outage.start + outage.duration),),
+                    ),
+                )
+
+        self.routers = mutable
+
+        # Extra routers: alive from the start, removed at scripted dates.
+        extras: list[RouterSpec] = []
+        removal_plan: list[datetime] = []
+        for event in profile.router_swaps:
+            removal_plan.extend([event.remove_at] * event.remove_count)
+        for count, when in profile.router_removals:
+            removal_plan.extend([when] * count)
+        for removal_date in removal_plan:
+            extras.append(
+                RouterSpec(
+                    name=self._names.router_name(),
+                    site=self._rng.choice(sites),
+                    role=RouterRole.EDGE,
+                    lifetime=Lifetime(birth=config.window_start, death=removal_date),
+                )
+            )
+        self.extra_routers = extras
+
+    def _link_birth_plan(self, count: int, initial_fraction: float, stepped: bool) -> list[datetime]:
+        """Birth dates for ``count`` links of one category.
+
+        External links grow gradually (uniform births); internal links grow
+        "by steps" (births clustered on the profile's step dates) — the
+        Figure 4b contrast.
+        """
+        config = self.config
+        initial = int(round(initial_fraction * count))
+        births = [config.window_start] * initial
+        remaining = count - initial
+        if remaining <= 0:
+            return births[:count]
+        if not stepped:
+            for _ in range(remaining):
+                births.append(self._random_date(config.window_start + timedelta(days=7), config.window_end - timedelta(days=3)))
+            return births
+
+        step_dates = self.profile.internal_step_dates
+        if step_dates is None:
+            step_count = max(3, min(8, remaining // 12 + 3))
+            step_dates = tuple(
+                self._random_date(config.window_start + timedelta(days=45), config.window_end - timedelta(days=15))
+                for _ in range(step_count)
+            )
+        weights = self.profile.internal_step_weights
+        if weights is None or len(weights) != len(step_dates):
+            weights = tuple(1.0 for _ in step_dates)
+        total_weight = sum(weights)
+        allocated = 0
+        for date, weight in zip(step_dates, weights):
+            share = int(round(remaining * weight / total_weight))
+            share = min(share, remaining - allocated)
+            births.extend([date] * share)
+            allocated += share
+        while allocated < remaining:
+            births.append(step_dates[-1])
+            allocated += 1
+        return births
+
+    def _distribute_sizes(self, group_count: int, total_links: int, fixed_singletons: int) -> list[int]:
+        """Split ``total_links`` over ``group_count`` groups, the first
+        ``fixed_singletons`` of which stay at exactly one link (stubs)."""
+        if group_count == 0:
+            if total_links:
+                raise SimulationError("links to place but no groups")
+            return []
+        flexible = group_count - fixed_singletons
+        sizes = [1] * group_count
+        spare = total_links - group_count
+        if spare < 0:
+            raise SimulationError(
+                f"cannot place {total_links} links into {group_count} groups"
+            )
+        if flexible == 0 and spare > 0:
+            raise SimulationError("only singleton groups but extra links to place")
+        flexible_indices = list(range(fixed_singletons, group_count))
+        for _ in range(spare):
+            sizes[self._rng.choice(flexible_indices)] += 1
+        return sizes
+
+    def _make_group(
+        self,
+        node_a: str,
+        node_b: str,
+        size: int,
+        external: bool,
+        births: list[datetime],
+        lifetime_cap: Lifetime | None = None,
+        group_tag: str | None = None,
+    ) -> GroupSpec:
+        """Build one parallel group; link ``#k`` labels, optional duplicates."""
+        group_id = group_tag or f"{self.map_name.value}/g{next(self._link_counter):05d}"
+        duplicate_labels = self._rng.random() < self.profile.duplicate_label_fraction
+        links: list[LinkSpec] = []
+        ordered_births = sorted(births)
+        for index in range(size):
+            label = "#1" if duplicate_labels else f"#{index + 1}"
+            birth = ordered_births[index] if index < len(ordered_births) else ordered_births[-1]
+            death = FOREVER
+            if lifetime_cap is not None:
+                birth = max(birth, lifetime_cap.birth)
+                death = lifetime_cap.death
+            links.append(
+                LinkSpec(
+                    link_id=f"{group_id}/l{index + 1}",
+                    group_id=group_id,
+                    a=node_a,
+                    b=node_b,
+                    label_a=label,
+                    label_b=label,
+                    external=external,
+                    lifetime=Lifetime(birth=birth, death=death),
+                )
+            )
+        return GroupSpec(
+            group_id=group_id, a=node_a, b=node_b, external=external, links=tuple(links)
+        )
+
+    def _build_lend_groups(self) -> int:
+        """Designate lent gateway routers and build the shared groups.
+
+        For each sharing relation this map owns, pick stable core routers,
+        connect them in a ring of parallel groups whose sizes sum to the
+        plan's link count, and record the bundle for the borrowing map to
+        mirror.  Returns the number of links created (they count toward
+        this map's internal-link target).
+        """
+        total_links = 0
+        already_lent: set[str] = set()
+        for plan in self._lend_plans:
+            candidates = [
+                spec
+                for spec in self.routers
+                if not spec.borrowed
+                and spec.role == RouterRole.CORE
+                and spec.lifetime.birth == self.config.window_start
+                and spec.lifetime.death == FOREVER
+                and not spec.lifetime.outages
+                and spec.name not in already_lent
+            ]
+            if len(candidates) < plan.router_count:
+                # Fall back to stable edge routers when the core is small.
+                candidates.extend(
+                    spec
+                    for spec in self.routers
+                    if not spec.borrowed
+                    and spec.role == RouterRole.EDGE
+                    and spec.lifetime.birth == self.config.window_start
+                    and spec.lifetime.death == FOREVER
+                    and not spec.lifetime.outages
+                    and spec.name not in already_lent
+                )
+            if len(candidates) < plan.router_count:
+                raise SimulationError(
+                    f"{self.map_name.value} cannot lend {plan.router_count} routers "
+                    f"to {plan.borrower.value}"
+                )
+            lent = candidates[: plan.router_count]
+            already_lent.update(spec.name for spec in lent)
+
+            pairs: list[tuple[str, str]] = []
+            if len(lent) == 2:
+                pairs.append((lent[0].name, lent[1].name))
+            else:
+                for index, spec in enumerate(lent):
+                    pairs.append((spec.name, lent[(index + 1) % len(lent)].name))
+            sizes = self._distribute_sizes(len(pairs), plan.link_count, fixed_singletons=0)
+            groups: list[GroupSpec] = []
+            for pair_index, ((node_a, node_b), size) in enumerate(zip(pairs, sizes)):
+                group_id = (
+                    f"{self.map_name.value}/shared/{plan.borrower.value}/g{pair_index:02d}"
+                )
+                links = tuple(
+                    LinkSpec(
+                        link_id=f"{group_id}/l{link_index + 1}",
+                        group_id=group_id,
+                        a=node_a,
+                        b=node_b,
+                        label_a=f"#{link_index + 1}",
+                        label_b=f"#{link_index + 1}",
+                        external=False,
+                        lifetime=Lifetime(birth=self.config.window_start),
+                    )
+                    for link_index in range(size)
+                )
+                groups.append(
+                    GroupSpec(
+                        group_id=group_id,
+                        a=node_a,
+                        b=node_b,
+                        external=False,
+                        links=links,
+                        shared=True,
+                    )
+                )
+            self.groups.extend(groups)
+            total_links += plan.link_count
+            self._lent[plan.borrower] = BorrowedBundle(
+                owner=self.map_name,
+                routers=tuple((spec.name, spec.site) for spec in lent),
+                groups=tuple(groups),
+            )
+        return total_links
+
+    def lent_bundle(self, borrower: MapName) -> BorrowedBundle:
+        """The routers and groups this map lends to ``borrower``."""
+        try:
+            return self._lent[borrower]
+        except KeyError as exc:
+            raise SimulationError(
+                f"{self.map_name.value} lends nothing to {borrower.value}"
+            ) from exc
+
+    def _build_internal_groups(self) -> None:
+        """Router-to-router adjacencies: site backbone + edge uplinks + stubs."""
+        profile = self.profile
+        target_internal = profile.reference_counts[1] - self._shared_internal_links
+        if target_internal < 0:
+            raise SimulationError(
+                f"{self.map_name.value}: shared links exceed the internal target"
+            )
+        if target_internal == 0:
+            return
+        cores = [spec for spec in self.routers if spec.role == RouterRole.CORE]
+        edges = [spec for spec in self.routers if spec.role == RouterRole.EDGE]
+        stubs = [spec for spec in self.routers if spec.role == RouterRole.STUB]
+        if len(cores) < 2:
+            cores = cores + edges[: 2 - len(cores)]
+            edges = edges[max(0, 2 - len(cores)):]
+        if len(cores) < 2:
+            raise SimulationError("map too small to build a backbone")
+
+        adjacencies: list[tuple[str, str]] = []
+        seen_pairs: set[tuple[str, str]] = set()
+        borrowed_names = {name for name, _ in self._borrowed}
+
+        def add_pair(a: str, b: str) -> None:
+            key = tuple(sorted((a, b)))
+            if a == b or key in seen_pairs:
+                return
+            # Never generate fresh links between two *borrowed* routers:
+            # links among shared gateways belong to the owner map (and are
+            # mirrored here via the borrowed bundle), so a fresh group
+            # would double-count in Table 1's de-duplicated total.
+            if a in borrowed_names and b in borrowed_names:
+                return
+            seen_pairs.add(key)
+            adjacencies.append((a, b))
+
+        # Core ring plus chords.
+        for index, spec in enumerate(cores):
+            add_pair(spec.name, cores[(index + 1) % len(cores)].name)
+        chord_count = max(1, len(cores) // 3)
+        for _ in range(chord_count * 3):
+            if len(adjacencies) >= len(cores) + chord_count:
+                break
+            first, second = self._rng.sample(cores, 2)
+            add_pair(first.name, second.name)
+
+        # Edge routers uplink to core routers (a few get dual uplinks).
+        for index, spec in enumerate(edges):
+            primary = cores[index % len(cores)]
+            add_pair(spec.name, primary.name)
+            if index % 8 == 0 and len(cores) > 1:
+                secondary = cores[(index + len(cores) // 2) % len(cores)]
+                add_pair(spec.name, secondary.name)
+
+        stub_pairs: list[tuple[str, str]] = []
+        attach_pool = cores + edges if edges else cores
+        for index, spec in enumerate(stubs):
+            target = attach_pool[index % len(attach_pool)]
+            stub_pairs.append((spec.name, target.name))
+
+        group_count = len(adjacencies) + len(stub_pairs)
+        sizes = self._distribute_sizes(group_count, target_internal, fixed_singletons=len(stub_pairs))
+
+        births = self._link_birth_plan(target_internal, profile.initial_internal_fraction, stepped=True)
+        self._rng.shuffle(births)
+        cursor = 0
+        pair_list = stub_pairs + adjacencies
+        router_lookup = {spec.name: spec for spec in self.routers}
+        for (node_a, node_b), size in zip(pair_list, sizes):
+            group_births = births[cursor:cursor + size]
+            cursor += size
+            # Links cannot predate their endpoints.
+            floor = max(router_lookup[node_a].lifetime.birth, router_lookup[node_b].lifetime.birth)
+            group_births = [max(birth, floor) for birth in group_births]
+            # The group's first link is born with its endpoints: a router
+            # must never sit on the map with zero links (the parser's
+            # isolated-router sanity check would reject the snapshot).
+            group_births[0] = floor
+            self.groups.append(
+                self._make_group(node_a, node_b, size, external=False, births=group_births)
+            )
+
+    def _build_external_groups(self) -> None:
+        """Peering attachments, including the scripted upgrade group."""
+        profile = self.profile
+        target_external = profile.reference_counts[2]
+        if target_external == 0:
+            return
+        attach_pool = [
+            spec
+            for spec in self.routers
+            if spec.role in (RouterRole.CORE, RouterRole.EDGE)
+            # Peerings attach to routers present from the campaign start:
+            # otherwise a late-born router would clamp a whole multi-link
+            # peering group to its birth date, producing the stepwise
+            # jumps that Figure 4b reserves for *internal* links.
+            and spec.lifetime.birth == self.config.window_start
+        ]
+        if not attach_pool:
+            attach_pool = list(self.routers)
+
+        # The scripted upgrade group is reserved first so its peering,
+        # size, and link timing are exactly the Figure 6 scenario.
+        if self.upgrade is not None:
+            target_external -= self._build_upgrade_group(attach_pool)
+
+        mean = max(1.5, profile.external_parallel_mean)
+        peering_count = max(1, int(round(target_external / mean)))
+
+        pairs: list[tuple[str, str]] = []
+        peering_names: list[str] = []
+        for index in range(peering_count):
+            peering = self._names.peering_name()
+            peering_names.append(peering)
+            attachments = 2 if self._rng.random() < 0.10 else 1
+            for _ in range(attachments):
+                router = self._rng.choice(attach_pool)
+                pairs.append((router.name, peering))
+
+        sizes = self._distribute_sizes(len(pairs), target_external, fixed_singletons=0)
+        births = self._link_birth_plan(target_external, profile.initial_external_fraction, stepped=False)
+        self._rng.shuffle(births)
+        cursor = 0
+        router_lookup = {spec.name: spec for spec in self.routers}
+        peering_births: dict[str, datetime] = {}
+        for (router_name, peering_name), size in zip(pairs, sizes):
+            group_births = births[cursor:cursor + size]
+            cursor += size
+            floor = router_lookup[router_name].lifetime.birth
+            group_births = [max(birth, floor) for birth in group_births]
+            group = self._make_group(router_name, peering_name, size, external=True, births=group_births)
+            self.groups.append(group)
+            first_birth = min(link.lifetime.birth for link in group.links)
+            existing = peering_births.get(peering_name)
+            if existing is None or first_birth < existing:
+                peering_births[peering_name] = first_birth
+
+        for peering_name in peering_names:
+            self.peerings.append(
+                PeeringSpec(
+                    name=peering_name,
+                    lifetime=Lifetime(birth=peering_births.get(peering_name, self.config.window_start)),
+                )
+            )
+
+    def _build_upgrade_group(self, attach_pool: list[RouterSpec]) -> int:
+        """Create the scripted upgrade group; returns its reference size.
+
+        ``links_before`` links exist from the window start; the extra link
+        is born at ``added_at`` but only activates at ``activated_at``, so
+        between the two it renders at 0 % (the Figure 6 arrow A→C span).
+        """
+        scenario = self.upgrade
+        assert scenario is not None
+        stable = [spec for spec in attach_pool if spec.lifetime.birth == self.config.window_start]
+        router = (stable or attach_pool)[0]
+        peering_name = self._names.reserve(scenario.peering)
+        group_id = f"{self.map_name.value}/upgrade"
+        links: list[LinkSpec] = []
+        for index in range(scenario.links_before):
+            links.append(
+                LinkSpec(
+                    link_id=f"{group_id}/l{index + 1}",
+                    group_id=group_id,
+                    a=router.name,
+                    b=peering_name,
+                    label_a=f"#{index + 1}",
+                    label_b=f"#{index + 1}",
+                    external=True,
+                    lifetime=Lifetime(birth=self.config.window_start),
+                )
+            )
+        links.append(
+            LinkSpec(
+                link_id=f"{group_id}/l{scenario.links_after}",
+                group_id=group_id,
+                a=router.name,
+                b=peering_name,
+                label_a=f"#{scenario.links_after}",
+                label_b=f"#{scenario.links_after}",
+                external=True,
+                lifetime=Lifetime(birth=scenario.added_at),
+                activation=scenario.activated_at,
+            )
+        )
+        group = GroupSpec(
+            group_id=group_id,
+            a=router.name,
+            b=peering_name,
+            external=True,
+            links=tuple(links),
+        )
+        self.groups.append(group)
+        self.peerings.append(
+            PeeringSpec(name=peering_name, lifetime=Lifetime(birth=self.config.window_start))
+        )
+        self.upgrade_group_id = group_id
+        return scenario.links_after
+
+    def _build_extra_router_links(self) -> None:
+        """Links for the extra (to-be-removed) routers.
+
+        These exist only while their router does, so reference-date counts
+        are unaffected, but Figure 4b shows their removal dips.
+        """
+        cores = [spec for spec in self.routers if spec.role == RouterRole.CORE]
+        if not cores:
+            return
+        for spec in self.extra_routers:
+            uplink = self._rng.choice(cores)
+            size = self._rng.randint(2, max(2, int(self.profile.internal_parallel_mean) // 2))
+            births = [spec.lifetime.birth] * size
+            self.groups.append(
+                self._make_group(
+                    spec.name,
+                    uplink.name,
+                    size,
+                    external=False,
+                    births=births,
+                    lifetime_cap=spec.lifetime,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _link_counter_for(self, external: bool) -> _EventCounter:
+        """Alive-count index for one link category, endpoint lifetimes included."""
+        intervals: list[tuple[datetime, datetime]] = []
+        lookup = {spec.name: spec for spec in self.all_routers}
+        for peering in self.peerings:
+            lookup[peering.name] = RouterSpec(
+                name=peering.name, site="", role="peering", lifetime=peering.lifetime
+            )
+        for group in self.groups:
+            if group.external != external:
+                continue
+            life_a = lookup[group.a].lifetime
+            life_b = lookup[group.b].lifetime
+            for link in group.links:
+                for span in link.lifetime.intersect(life_a):
+                    for b_start, b_end in life_b.intervals():
+                        start = max(span[0], b_start)
+                        end = min(span[1], b_end)
+                        if start < end:
+                            intervals.append((start, end))
+        return _EventCounter(intervals)
+
+    def router_count_at(self, when: datetime) -> int:
+        """Number of routers on the map at ``when`` (Figure 4a)."""
+        return self._router_counter.count_at(when)
+
+    def link_counts_at(self, when: datetime) -> tuple[int, int]:
+        """(internal, external) link counts at ``when`` (Figure 4b)."""
+        return (
+            self._internal_counter.count_at(when),
+            self._external_counter.count_at(when),
+        )
+
+    def router_spec(self, name: str) -> RouterSpec:
+        """Lookup a router spec by name."""
+        return self._router_specs[name]
+
+    def alive_links_at(self, when: datetime) -> list[LinkSpec]:
+        """Link specs present at ``when`` (both endpoints alive too)."""
+        lookup: dict[str, Lifetime] = {
+            spec.name: spec.lifetime for spec in self.all_routers
+        }
+        for peering in self.peerings:
+            lookup[peering.name] = peering.lifetime
+        alive: list[LinkSpec] = []
+        for group in self.groups:
+            if not lookup[group.a].alive_at(when) or not lookup[group.b].alive_at(when):
+                continue
+            alive.extend(link for link in group.links if link.lifetime.alive_at(when))
+        return alive
+
+    def alive_routers_at(self, when: datetime) -> list[RouterSpec]:
+        """Router specs present at ``when``."""
+        return [spec for spec in self.all_routers if spec.lifetime.alive_at(when)]
+
+    def alive_peerings_at(self, when: datetime) -> list[PeeringSpec]:
+        """Peering specs present at ``when``."""
+        return [spec for spec in self.peerings if spec.lifetime.alive_at(when)]
+
+    def group_lookup(self) -> dict[str, GroupSpec]:
+        """Groups indexed by id."""
+        return {group.group_id: group for group in self.groups}

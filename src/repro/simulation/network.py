@@ -1,0 +1,203 @@
+"""The backbone simulator: four coordinated maps, snapshots on demand.
+
+``BackboneSimulator`` stands in for the live OVH Network Weathermap.  It
+builds the structural history of the four backbone maps — honouring the
+router-sharing plan that makes Table 1's total row de-duplicate — and
+materialises a full :class:`~repro.topology.model.MapSnapshot` (topology +
+integer link loads) for any timestamp in the collection window.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from repro.constants import MapName
+from repro.errors import SimulationError
+from repro.simulation.config import SimulationConfig, default_config
+from repro.simulation.events import UpgradeScenario
+from repro.simulation.evolution import GroupSpec, LinkSpec, MapEvolution
+from repro.simulation.traffic import TrafficModel
+from repro.topology.model import Link, LinkEnd, MapSnapshot, Node, NodeKind
+
+#: Build order: owners before borrowers.
+_BUILD_ORDER = (
+    MapName.EUROPE,
+    MapName.NORTH_AMERICA,
+    MapName.ASIA_PACIFIC,
+    MapName.WORLD,
+)
+
+
+class BackboneSimulator:
+    """Deterministic stand-in for the OVH Network Weathermap."""
+
+    def __init__(
+        self,
+        config: SimulationConfig | None = None,
+        upgrade: UpgradeScenario | None = None,
+    ) -> None:
+        """Build the full multi-map history.
+
+        Args:
+            config: simulation configuration; the paper-calibrated default
+                when omitted.
+            upgrade: the scripted Figure 6 scenario; the default scenario
+                when omitted.  Pass a scenario with an unused map to
+                disable it.
+        """
+        self.config = config if config is not None else default_config()
+        self.upgrade = upgrade if upgrade is not None else UpgradeScenario()
+        self._evolutions: dict[MapName, MapEvolution] = {}
+        self._traffic: dict[MapName, TrafficModel] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for map_name in _BUILD_ORDER:
+            if map_name not in self.config.maps:
+                continue
+            bundles = []
+            for plan in self.config.shared_routers:
+                if plan.borrower != map_name:
+                    continue
+                owner_evolution = self._evolutions.get(plan.owner)
+                if owner_evolution is None:
+                    raise SimulationError(
+                        f"{plan.borrower.value} borrows from {plan.owner.value}, "
+                        "which is not built yet — sharing must follow the build order"
+                    )
+                bundles.append(owner_evolution.lent_bundle(map_name))
+            lend_plans = [
+                plan for plan in self.config.shared_routers if plan.owner == map_name
+            ]
+            evolution = MapEvolution(
+                map_name,
+                self.config.profile(map_name),
+                self.config,
+                borrowed_bundles=bundles,
+                lend_plans=lend_plans,
+                upgrade=self.upgrade,
+            )
+            self._evolutions[map_name] = evolution
+            upgrade_base = (
+                self.upgrade.base_load
+                if evolution.upgrade_group_id is not None
+                else None
+            )
+            self._traffic[map_name] = TrafficModel(
+                self.config,
+                map_name.value,
+                upgrade_group_id=evolution.upgrade_group_id,
+                upgrade_base_load=upgrade_base,
+            )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def map_names(self) -> list[MapName]:
+        """Maps this simulator produces, in build order."""
+        return [name for name in _BUILD_ORDER if name in self._evolutions]
+
+    def evolution(self, map_name: MapName) -> MapEvolution:
+        """The structural history of one map."""
+        try:
+            return self._evolutions[map_name]
+        except KeyError as exc:
+            raise SimulationError(f"map {map_name.value} not simulated") from exc
+
+    def traffic(self, map_name: MapName) -> TrafficModel:
+        """The traffic model of one map."""
+        return self._traffic[map_name]
+
+    def _check_window(self, when: datetime) -> None:
+        if not self.config.window_start <= when <= self.config.window_end:
+            raise SimulationError(
+                f"{when.isoformat()} outside the simulation window "
+                f"[{self.config.window_start.isoformat()}, "
+                f"{self.config.window_end.isoformat()}]"
+            )
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def counts(self, map_name: MapName, when: datetime) -> tuple[int, int, int]:
+        """Fast (routers, internal links, external links) at ``when``."""
+        self._check_window(when)
+        evolution = self.evolution(map_name)
+        internal, external = evolution.link_counts_at(when)
+        return (evolution.router_count_at(when), internal, external)
+
+    def distinct_router_count(self, when: datetime) -> int:
+        """Routers across all maps, shared appearances counted once.
+
+        This is Table 1's "total takes into account routers appearing
+        simultaneously in several maps".
+        """
+        names: set[str] = set()
+        for evolution in self._evolutions.values():
+            names.update(spec.name for spec in evolution.alive_routers_at(when))
+        return len(names)
+
+    def snapshot(self, map_name: MapName, when: datetime) -> MapSnapshot:
+        """Full topology + loads of one map at one instant."""
+        self._check_window(when)
+        evolution = self.evolution(map_name)
+        traffic = self._traffic[map_name]
+        snapshot = MapSnapshot(map_name=map_name, timestamp=when)
+
+        for router in evolution.alive_routers_at(when):
+            snapshot.add_node(Node(name=router.name, kind=NodeKind.ROUTER))
+        for peering in evolution.alive_peerings_at(when):
+            snapshot.add_node(Node(name=peering.name, kind=NodeKind.PEERING))
+
+        alive_by_group = self._alive_links_by_group(evolution, when)
+        for group, alive_links in alive_by_group:
+            loads = traffic.group_loads(group, alive_links, when)
+            for spec in alive_links:
+                load_ab, load_ba = loads[spec.link_id]
+                snapshot.add_link(
+                    Link(
+                        a=LinkEnd(node=spec.a, label=spec.label_a, load=float(load_ab)),
+                        b=LinkEnd(node=spec.b, label=spec.label_b, load=float(load_ba)),
+                    )
+                )
+        return snapshot
+
+    def _alive_links_by_group(
+        self, evolution: MapEvolution, when: datetime
+    ) -> list[tuple[GroupSpec, list[LinkSpec]]]:
+        """Alive link specs at ``when``, grouped, endpoint lifetimes honoured."""
+        lifetimes = {spec.name: spec.lifetime for spec in evolution.all_routers}
+        for peering in evolution.peerings:
+            lifetimes[peering.name] = peering.lifetime
+        result: list[tuple[GroupSpec, list[LinkSpec]]] = []
+        for group in evolution.groups:
+            if not lifetimes[group.a].alive_at(when):
+                continue
+            if not lifetimes[group.b].alive_at(when):
+                continue
+            alive = [link for link in group.links if link.lifetime.alive_at(when)]
+            if alive:
+                result.append((group, alive))
+        return result
+
+    # ------------------------------------------------------------------
+    # The scripted upgrade (Figure 6)
+    # ------------------------------------------------------------------
+
+    def upgrade_group(self) -> GroupSpec:
+        """The scripted upgrade's parallel-link group."""
+        evolution = self.evolution(self.upgrade.map_name)
+        if evolution.upgrade_group_id is None:
+            raise SimulationError("no upgrade scenario on this simulator")
+        return evolution.group_lookup()[evolution.upgrade_group_id]
+
+    def upgrade_loads(self, when: datetime) -> dict[str, tuple[int, int]]:
+        """Loads of every link of the upgrade group at ``when``."""
+        self._check_window(when)
+        evolution = self.evolution(self.upgrade.map_name)
+        group = self.upgrade_group()
+        alive = [link for link in group.links if link.lifetime.alive_at(when)]
+        return self._traffic[self.upgrade.map_name].group_loads(group, alive, when)

@@ -1,0 +1,10 @@
+"""Seed derivation for the simulator — re-exported from :mod:`repro.rng`.
+
+Kept as its own module so simulation code reads ``seeds.substream(...)``,
+while the implementation lives at the top level to stay import-cycle-free
+(the topology package uses it too).
+"""
+
+from repro.rng import stable_seed, stable_uniform, substream
+
+__all__ = ["stable_seed", "stable_uniform", "substream"]

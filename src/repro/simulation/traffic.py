@@ -1,0 +1,287 @@
+"""Diurnal link-load model.
+
+Reproduces the load behaviours of Figure 5:
+
+* the median load "follows a sinusoidal form over the day, reaching its
+  lowest point between 2 and 4 a.m. and its highest point between 7 and
+  9 p.m." — an asymmetric day cycle with a 3 a.m. trough and 8 p.m. peak;
+* "when the network is more loaded, the variance of the distribution of
+  loads increases" — the per-sample noise is multiplicative;
+* external links load lower than internal ones on average — separate base
+  means per category;
+* parallel links balance tightly (delegated to :mod:`repro.simulation.ecmp`).
+
+After a group gains links, per-link load is *diluted* by the old/new size
+ratio and recovers over several weeks — the mechanism behind the Figure 6
+upgrade signature, applied uniformly to every group.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from repro.rng import stable_uniform, substream
+from repro.simulation.config import SimulationConfig, TrafficProfile
+from repro.simulation.ecmp import persistent_skew, spread_demand
+from repro.simulation.evolution import FOREVER, GroupSpec, LinkSpec
+
+#: Default recovery span after a capacity addition (see
+#: :attr:`~repro.simulation.config.TrafficProfile.dilution_recovery_days`).
+DILUTION_RECOVERY = timedelta(days=75)
+
+#: Loads are printed as integer percentages on the weathermap.
+def quantize(load: float) -> int:
+    """Round a load to the integer percentage shown on the map."""
+    return min(100, max(0, int(round(load))))
+
+
+def diurnal_factor(when: datetime, amplitude: float, peak_hour: float = 20.0, trough_hour: float = 3.0) -> float:
+    """Asymmetric day-cycle multiplier: trough at 3 a.m., peak at 8 p.m.
+
+    The hour axis is warped so a half cosine spans trough→peak (17 h) and
+    the other half spans peak→trough (7 h), then mapped to
+    ``1 ± amplitude``.
+    """
+    hour = when.hour + when.minute / 60.0 + when.second / 3600.0
+    rising_span = (peak_hour - trough_hour) % 24.0
+    since_trough = (hour - trough_hour) % 24.0
+    if since_trough <= rising_span:
+        phase = math.pi * since_trough / rising_span
+    else:
+        phase = math.pi * (1.0 + (since_trough - rising_span) / (24.0 - rising_span))
+    return 1.0 - amplitude * math.cos(phase)
+
+
+def weekly_factor(when: datetime, amplitude: float) -> float:
+    """Weekends run slightly quieter than weekdays."""
+    if when.weekday() >= 5:
+        return 1.0 - amplitude
+    return 1.0 + amplitude / 2.0
+
+
+@dataclass(frozen=True, slots=True)
+class _GroupTraffic:
+    """Cached per-group traffic state.
+
+    Demand-shaping state (base loads, idle/skewed flags) is keyed by the
+    *canonical node pair*, not the group id: all parallel links between
+    two nodes share one traffic aggregate under ECMP, even when the
+    generator created them as separate groups.  ``base_loads`` and the
+    skew are indexed by canonical direction (0 = from the
+    lexicographically smaller node).
+    """
+
+    pair_key: str
+    #: Maps this group's local direction (0 = group.a → group.b) to the
+    #: canonical direction.
+    direction_map: tuple[int, int]
+    base_loads: tuple[float, float]
+    idle: bool
+    skewed: bool
+    disabled: tuple[bool, ...]
+    size_events: tuple[tuple[datetime, int], ...]
+
+
+class TrafficModel:
+    """Deterministic load generator for one map's parallel-link groups."""
+
+    def __init__(self, config: SimulationConfig, map_name_value: str, upgrade_group_id: str | None = None, upgrade_base_load: float | None = None) -> None:
+        self._config = config
+        self._profile: TrafficProfile = config.traffic
+        self._map = map_name_value
+        self._upgrade_group_id = upgrade_group_id
+        self._upgrade_base_load = upgrade_base_load
+        self._cache: dict[str, _GroupTraffic] = {}
+
+    # ------------------------------------------------------------------
+    # Per-group state
+    # ------------------------------------------------------------------
+
+    def _base_load(self, group: GroupSpec, pair_key: str, canonical_direction: int) -> float:
+        """Stable per-direction base load draw (lognormal around the mean)."""
+        profile = self._profile
+        mean = profile.external_mean_load if group.external else profile.internal_mean_load
+        rng = substream("base-load", self._config.seed, pair_key, canonical_direction)
+        # Lognormal with the configured median; sigma controls dispersion.
+        draw = mean * math.exp(rng.gauss(0.0, profile.base_load_sigma))
+        return min(88.0, max(1.5, draw))
+
+    def _size_events(self, group: GroupSpec) -> tuple[tuple[datetime, int], ...]:
+        """Active-link count over time: (instant, count) change points."""
+        deltas: dict[datetime, int] = {}
+        for link in group.links:
+            deltas[link.active_from] = deltas.get(link.active_from, 0) + 1
+            if link.lifetime.death != FOREVER:
+                deltas[link.lifetime.death] = deltas.get(link.lifetime.death, 0) - 1
+        events: list[tuple[datetime, int]] = []
+        count = 0
+        for when in sorted(deltas):
+            count += deltas[when]
+            events.append((when, count))
+        return tuple(events)
+
+    def _group_state(self, group: GroupSpec) -> _GroupTraffic:
+        """Build (or fetch) the cached stable state of one group."""
+        state = self._cache.get(group.group_id)
+        if state is not None:
+            return state
+        profile = self._profile
+        seed = self._config.seed
+        low, high = sorted((group.a, group.b))
+        pair_key = f"{low}|{high}"
+        # Local direction 0 is group.a → group.b; canonical direction 0
+        # always leaves the lexicographically smaller node.
+        direction_map = (0, 1) if group.a == low else (1, 0)
+        if group.group_id == self._upgrade_group_id and self._upgrade_base_load is not None:
+            base_a = base_b = self._upgrade_base_load
+            idle = False
+            skewed = False
+            disabled = tuple(False for _ in group.links)
+        else:
+            base_a = self._base_load(group, pair_key, 0)
+            base_b = self._base_load(group, pair_key, 1)
+            idle = stable_uniform("idle", seed, pair_key) < profile.idle_group_fraction
+            skewed = (
+                stable_uniform("skewed", seed, pair_key)
+                < profile.skewed_group_fraction
+            )
+            disabled = tuple(
+                group.size > 1
+                and stable_uniform("disabled", seed, link.link_id)
+                < profile.disabled_link_fraction
+                for link in group.links
+            )
+        state = _GroupTraffic(
+            pair_key=pair_key,
+            direction_map=direction_map,
+            base_loads=(base_a, base_b),
+            idle=idle,
+            skewed=skewed,
+            disabled=disabled,
+            size_events=self._size_events(group),
+        )
+        self._cache[group.group_id] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # Time-dependent factors
+    # ------------------------------------------------------------------
+
+    def _dilution(self, events: tuple[tuple[datetime, int], ...], when: datetime) -> float:
+        """Per-link demand multiplier after the latest group-size change.
+
+        Right after a growth from ``n_old`` to ``n_new`` links, per-link
+        load drops by ``n_old / n_new`` (total demand is conserved), then
+        recovers linearly over the profile's recovery span as demand
+        catches up with the new capacity.
+        """
+        recovery_days = self._profile.dilution_recovery_days
+        if recovery_days <= 0:
+            return 1.0
+        recovery = timedelta(days=recovery_days)
+        previous_count: int | None = None
+        change_at: datetime | None = None
+        old_count = 0
+        for event_time, count in events:
+            if event_time > when:
+                break
+            if previous_count is not None and count != previous_count:
+                change_at = event_time
+                old_count = previous_count
+            previous_count = count
+        if change_at is None or previous_count is None or previous_count <= 0 or old_count <= 0:
+            return 1.0
+        ratio = old_count / previous_count
+        elapsed = when - change_at
+        if elapsed >= recovery:
+            return 1.0
+        progress = elapsed / recovery
+        return ratio + (1.0 - ratio) * progress
+
+    def _demand(self, group: GroupSpec, state: _GroupTraffic, direction: int, when: datetime) -> float:
+        """Per-active-link demand for one direction at one instant."""
+        profile = self._profile
+        if state.idle:
+            return 1.0
+        canonical = state.direction_map[direction]
+        base = state.base_loads[canonical]
+        factor = diurnal_factor(when, profile.diurnal_amplitude, profile.peak_hour)
+        factor *= weekly_factor(when, profile.weekly_amplitude)
+        # Temporally correlated noise: a slow per-day component (traffic
+        # level varies across days) plus a small per-sample component.
+        # Purely white per-sample noise would bury step changes like the
+        # Figure 6 activation under day-to-day jitter.  Keyed by the node
+        # pair so same-pair groups fluctuate together (one ECMP aggregate).
+        day_rng = substream(
+            "load-noise-day",
+            self._config.seed,
+            state.pair_key,
+            canonical,
+            when.date().isoformat(),
+        )
+        sample_rng = substream(
+            "load-noise", self._config.seed, state.pair_key, canonical, when
+        )
+        factor *= math.exp(
+            day_rng.gauss(0.0, 0.6 * profile.noise_sigma)
+            + sample_rng.gauss(0.0, 0.5 * profile.noise_sigma)
+        )
+        factor *= self._dilution(state.size_events, when)
+        return base * factor
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def group_loads(
+        self, group: GroupSpec, alive_links: list[LinkSpec], when: datetime
+    ) -> dict[str, tuple[int, int]]:
+        """Integer (a→b, b→a) loads for each alive link of the group."""
+        state = self._group_state(group)
+        profile = self._profile
+        alive_ids = {link.link_id for link in alive_links}
+        members = [link for link in group.links if link.link_id in alive_ids]
+        if not members:
+            return {}
+
+        jitter = (
+            profile.external_ecmp_jitter if group.external else profile.internal_ecmp_jitter
+        )
+        index_of = {link.link_id: position for position, link in enumerate(group.links)}
+        active = [
+            link.active_from <= when and not state.disabled[index_of[link.link_id]]
+            for link in members
+        ]
+
+        result: dict[str, tuple[int, int]] = {}
+        per_direction: list[list[float]] = []
+        for direction in range(2):
+            demand = self._demand(group, state, direction, when)
+            skew = None
+            if state.skewed:
+                skew = persistent_skew(
+                    len(members),
+                    profile.skewed_extra_jitter,
+                    self._config.seed,
+                    group.group_id,
+                    direction,
+                )
+            loads = spread_demand(
+                demand,
+                active,
+                jitter,
+                skew,
+                self._config.seed,
+                group.group_id,
+                direction,
+                when,
+            )
+            per_direction.append(loads)
+        for position, link in enumerate(members):
+            result[link.link_id] = (
+                quantize(per_direction[0][position]),
+                quantize(per_direction[1][position]),
+            )
+        return result

@@ -1,0 +1,24 @@
+"""Synthetic provider status page.
+
+The paper's discussion section points at OVH's public status site
+("planned maintenance events and the failures happening in their network")
+as a source that "could give insights on the purpose of some modifications
+of their network".  This package builds the closest synthetic equivalent:
+a timestamped event feed consistent with the simulator's scripted history
+— maintenance windows matching router outages, decommission notices
+matching removals, capacity-work notices matching internal link steps —
+mixed with unrelated routine notices, so correlation analyses have both
+signal and noise to work against.
+"""
+
+from repro.statusfeed.model import EventKind, StatusEvent
+from repro.statusfeed.feed import SyntheticStatusFeed
+from repro.statusfeed.correlate import CorrelationReport, correlate_events
+
+__all__ = [
+    "EventKind",
+    "StatusEvent",
+    "SyntheticStatusFeed",
+    "CorrelationReport",
+    "correlate_events",
+]

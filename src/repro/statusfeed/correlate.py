@@ -1,0 +1,85 @@
+"""Correlate weathermap structural changes with status-page entries.
+
+The paper suggests augmenting the dataset with the provider's status
+site: a router-count dip on the map that coincides with a published
+maintenance window is *explained*; one that does not is a candidate
+failure.  This module implements that join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import timedelta
+
+from repro.analysis.infrastructure import StructuralEvent
+from repro.statusfeed.feed import SyntheticStatusFeed
+from repro.statusfeed.model import EventKind, StatusEvent
+
+
+@dataclass(frozen=True, slots=True)
+class ExplainedEvent:
+    """A structural change matched (or not) with status entries."""
+
+    change: StructuralEvent
+    matches: tuple[StatusEvent, ...]
+
+    @property
+    def explained(self) -> bool:
+        return bool(self.matches)
+
+
+@dataclass
+class CorrelationReport:
+    """Outcome of correlating a change list against the status feed."""
+
+    explained: list[ExplainedEvent] = field(default_factory=list)
+    unexplained: list[ExplainedEvent] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.explained) + len(self.unexplained)
+
+    @property
+    def explained_fraction(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return len(self.explained) / self.total
+
+
+def correlate_events(
+    changes: list[StructuralEvent],
+    feed: SyntheticStatusFeed,
+    window: timedelta = timedelta(days=2),
+    kinds: tuple[EventKind, ...] = (
+        EventKind.PLANNED_MAINTENANCE,
+        EventKind.CAPACITY_WORK,
+        EventKind.INCIDENT,
+    ),
+) -> CorrelationReport:
+    """Match each structural change with nearby status entries.
+
+    Args:
+        changes: detected map changes (from ``structural_events``).
+        feed: the status page.
+        window: slack allowed between the map change and the entry.
+        kinds: status-entry kinds that can explain a structural change
+            (routine notices never do).
+
+    Returns:
+        Report splitting changes into explained and unexplained.
+    """
+    report = CorrelationReport()
+    for change in changes:
+        matches = tuple(
+            event
+            for event in feed.events_between(
+                change.start - window, change.end + window
+            )
+            if event.kind in kinds
+        )
+        item = ExplainedEvent(change=change, matches=matches)
+        if item.explained:
+            report.explained.append(item)
+        else:
+            report.unexplained.append(item)
+    return report

@@ -1,0 +1,169 @@
+"""Build the synthetic status feed from a simulator's scripted history."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+from repro.constants import MapName
+from repro.rng import substream
+from repro.simulation.evolution import FOREVER
+from repro.simulation.network import BackboneSimulator
+from repro.statusfeed.model import EventKind, StatusEvent
+
+
+class SyntheticStatusFeed:
+    """A provider status page consistent with the simulated backbone.
+
+    Signal entries are derived from the simulator's actual history:
+
+    * router outages → planned-maintenance windows on the affected sites,
+    * router removals → decommission maintenance notices,
+    * internal link-growth steps → capacity-work entries,
+    * the scripted upgrade → a capacity-work entry at the peering.
+
+    Noise entries (routine notices unrelated to any structural change)
+    are drawn deterministically from the seed, roughly one per week.
+    """
+
+    def __init__(self, simulator: BackboneSimulator) -> None:
+        self._events: list[StatusEvent] = []
+        self._populate(simulator)
+        self._events.sort(key=lambda event: event.start)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _populate(self, simulator: BackboneSimulator) -> None:
+        for map_name in simulator.map_names:
+            self._add_outage_events(simulator, map_name)
+            self._add_removal_events(simulator, map_name)
+            self._add_step_events(simulator, map_name)
+        self._add_upgrade_event(simulator)
+        self._add_routine_noise(simulator)
+
+    def _add_outage_events(self, simulator: BackboneSimulator, map_name: MapName) -> None:
+        evolution = simulator.evolution(map_name)
+        windows: dict[tuple[datetime, datetime], list[str]] = {}
+        for spec in evolution.all_routers:
+            for window in spec.lifetime.outages:
+                windows.setdefault(window, []).append(spec.site)
+        for (start, end), sites in sorted(windows.items()):
+            # The paper reads dips two ways: planned maintenance or
+            # "failures forcing OVH to temporarily remove routers".  A
+            # deterministic minority of outages report as incidents.
+            rng = substream(
+                "statusfeed-outage-kind",
+                simulator.config.seed,
+                map_name.value,
+                start,
+            )
+            is_incident = rng.random() < 0.4
+            kind = EventKind.INCIDENT if is_incident else EventKind.PLANNED_MAINTENANCE
+            verb = "incident impacting" if is_incident else "maintenance on"
+            self._events.append(
+                StatusEvent(
+                    kind=kind,
+                    title=f"{map_name.title}: {verb} "
+                    f"{len(sites)} routers ({', '.join(sorted(set(sites)))})",
+                    start=start - timedelta(hours=2),
+                    end=end + timedelta(hours=2),
+                    sites=tuple(sorted(set(sites))),
+                )
+            )
+
+    def _add_removal_events(self, simulator: BackboneSimulator, map_name: MapName) -> None:
+        evolution = simulator.evolution(map_name)
+        removals: dict[datetime, list[str]] = {}
+        for spec in evolution.all_routers:
+            if spec.lifetime.death != FOREVER:
+                removals.setdefault(spec.lifetime.death, []).append(spec.site)
+        for when, sites in sorted(removals.items()):
+            self._events.append(
+                StatusEvent(
+                    kind=EventKind.PLANNED_MAINTENANCE,
+                    title=f"{map_name.title}: decommissioning "
+                    f"{len(sites)} routers",
+                    start=when - timedelta(hours=6),
+                    end=when + timedelta(hours=6),
+                    sites=tuple(sorted(set(sites))),
+                )
+            )
+
+    def _add_step_events(self, simulator: BackboneSimulator, map_name: MapName) -> None:
+        profile = simulator.config.profile(map_name)
+        if not profile.internal_step_dates:
+            return
+        for step in profile.internal_step_dates:
+            self._events.append(
+                StatusEvent(
+                    kind=EventKind.CAPACITY_WORK,
+                    title=f"{map_name.title}: backbone capacity augmentation",
+                    start=step - timedelta(hours=12),
+                    end=step + timedelta(hours=12),
+                )
+            )
+
+    def _add_upgrade_event(self, simulator: BackboneSimulator) -> None:
+        scenario = simulator.upgrade
+        if scenario.map_name not in simulator.map_names:
+            return
+        self._events.append(
+            StatusEvent(
+                kind=EventKind.CAPACITY_WORK,
+                title=f"new {scenario.per_link_capacity_gbps}G port towards "
+                f"{scenario.peering}",
+                start=scenario.added_at,
+                end=scenario.activated_at,
+            )
+        )
+
+    def _add_routine_noise(self, simulator: BackboneSimulator) -> None:
+        config = simulator.config
+        rng = substream("statusfeed-noise", config.seed)
+        current = config.window_start
+        while current < config.window_end:
+            current += timedelta(days=rng.uniform(4.0, 10.0))
+            if current >= config.window_end:
+                break
+            duration = timedelta(hours=rng.uniform(0.5, 4.0))
+            self._events.append(
+                StatusEvent(
+                    kind=EventKind.ROUTINE_NOTICE,
+                    title=rng.choice(
+                        (
+                            "DNS resolver maintenance",
+                            "control-panel deployment",
+                            "monitoring agent rollout",
+                            "IPMI firmware campaign",
+                            "out-of-band network checks",
+                        )
+                    ),
+                    start=current,
+                    end=current + duration,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def events(self) -> list[StatusEvent]:
+        """Every entry, chronological."""
+        return list(self._events)
+
+    def events_between(self, start: datetime, end: datetime) -> list[StatusEvent]:
+        """Entries overlapping the [start, end) window."""
+        return [event for event in self._events if event.overlaps(start, end)]
+
+    def events_near(self, when: datetime, window: timedelta = timedelta(days=1)) -> list[StatusEvent]:
+        """Entries touching ``when`` within ``window`` slack."""
+        return [event for event in self._events if event.near(when, window)]
+
+    def structural_events(self) -> list[StatusEvent]:
+        """Entries that announce structural network work (non-noise)."""
+        return [
+            event
+            for event in self._events
+            if event.kind is not EventKind.ROUTINE_NOTICE
+        ]

@@ -1,0 +1,48 @@
+"""Status-page event records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from enum import Enum
+
+from repro.errors import SchemaError
+
+
+class EventKind(str, Enum):
+    """Categories a provider status page typically distinguishes."""
+
+    PLANNED_MAINTENANCE = "planned-maintenance"
+    INCIDENT = "incident"
+    CAPACITY_WORK = "capacity-work"
+    ROUTINE_NOTICE = "routine-notice"
+
+
+@dataclass(frozen=True, slots=True)
+class StatusEvent:
+    """One entry on the status page."""
+
+    kind: EventKind
+    title: str
+    start: datetime
+    end: datetime
+    #: Site codes the entry mentions (empty for network-wide notices).
+    sites: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SchemaError("status event ends before it starts")
+        if not self.title:
+            raise SchemaError("status event needs a title")
+
+    @property
+    def duration(self) -> timedelta:
+        return self.end - self.start
+
+    def overlaps(self, start: datetime, end: datetime) -> bool:
+        """Whether the event intersects the [start, end) window."""
+        return self.start < end and start < self.end
+
+    def near(self, when: datetime, window: timedelta) -> bool:
+        """Whether the event touches ``when`` within ``window`` slack."""
+        return self.overlaps(when - window, when + window)

@@ -1,0 +1,41 @@
+"""SVG document layer.
+
+The OVH Network Weathermap publishes its maps as SVG files whose tags are
+"not all hierarchically organized": routers are self-contained groups, but
+link arrows, load percentages, and link labels appear as a flat sequence of
+tags positioned in the 2D image space.  This package provides:
+
+* :mod:`repro.svgdoc.colors` — the PHP-Weathermap load-to-colour scale,
+* :mod:`repro.svgdoc.elements` — typed views over raw SVG tags,
+* :mod:`repro.svgdoc.writer` — a builder emitting weathermap-style SVGs,
+* :mod:`repro.svgdoc.reader` — a document-order tag-stream reader feeding
+  Algorithm 1.
+"""
+
+from repro.svgdoc.colors import LoadColorScale, WEATHERMAP_SCALE
+from repro.svgdoc.elements import (
+    ArrowElement,
+    LabelBoxElement,
+    LabelTextElement,
+    LoadTextElement,
+    ObjectElement,
+    RawTag,
+    classify_tag,
+)
+from repro.svgdoc.reader import SvgTagStream, read_svg_tags
+from repro.svgdoc.writer import WeathermapSvgWriter
+
+__all__ = [
+    "LoadColorScale",
+    "WEATHERMAP_SCALE",
+    "ArrowElement",
+    "LabelBoxElement",
+    "LabelTextElement",
+    "LoadTextElement",
+    "ObjectElement",
+    "RawTag",
+    "classify_tag",
+    "SvgTagStream",
+    "read_svg_tags",
+    "WeathermapSvgWriter",
+]

@@ -1,0 +1,93 @@
+"""PHP Weathermap load-to-colour scale.
+
+The weathermap reports each link load "explicitly with a percentage and
+implicitly through its color" (Section 4).  This module reproduces the
+default PHP Weathermap ``SCALE`` so rendered arrows carry the same implicit
+signal, and so the parser can cross-check a percentage against its arrow
+colour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SvgError
+
+
+@dataclass(frozen=True, slots=True)
+class ScaleBand:
+    """One band of the scale: loads in ``(low, high]`` map to ``color``."""
+
+    low: float
+    high: float
+    color: str
+
+
+class LoadColorScale:
+    """A piecewise-constant mapping from load percentage to fill colour."""
+
+    def __init__(self, bands: list[ScaleBand], unused_color: str = "#c0c0c0") -> None:
+        if not bands:
+            raise SvgError("a colour scale needs at least one band")
+        self._bands = sorted(bands, key=lambda band: band.low)
+        self._unused_color = unused_color
+        previous_high = self._bands[0].low
+        for band in self._bands:
+            if band.low != previous_high:
+                raise SvgError(
+                    f"scale bands must be contiguous, gap at {previous_high}-{band.low}"
+                )
+            if band.high <= band.low:
+                raise SvgError(f"empty scale band {band.low}-{band.high}")
+            previous_high = band.high
+
+    @property
+    def bands(self) -> list[ScaleBand]:
+        """The scale bands in increasing load order."""
+        return list(self._bands)
+
+    def color_for(self, load: float) -> str:
+        """Fill colour for a load percentage.
+
+        A load of exactly 0 % renders in the 'unused' grey, matching the
+        weathermap convention that "a disabled link is represented with a
+        load level of 0 %".
+        """
+        if load < 0.0 or load > self._bands[-1].high:
+            raise SvgError(f"load {load} outside scale range")
+        if load == 0.0:
+            return self._unused_color
+        for band in self._bands:
+            if band.low < load <= band.high:
+                return band.color
+        return self._bands[0].color
+
+    def band_for_color(self, color: str) -> ScaleBand | None:
+        """Inverse lookup: the band rendered with ``color``, if any."""
+        normalized = color.lower()
+        for band in self._bands:
+            if band.color.lower() == normalized:
+                return band
+        return None
+
+    def is_consistent(self, load: float, color: str) -> bool:
+        """Whether a printed percentage agrees with its arrow colour."""
+        try:
+            return self.color_for(load).lower() == color.lower()
+        except SvgError:
+            return False
+
+
+#: The default PHP Weathermap scale (weathermap.conf ``SCALE`` directives).
+WEATHERMAP_SCALE = LoadColorScale(
+    [
+        ScaleBand(0, 1, "#ffffff"),
+        ScaleBand(1, 10, "#8c00ff"),
+        ScaleBand(10, 25, "#2020ff"),
+        ScaleBand(25, 40, "#00c0ff"),
+        ScaleBand(40, 55, "#00f000"),
+        ScaleBand(55, 70, "#f0f000"),
+        ScaleBand(70, 85, "#ffc000"),
+        ScaleBand(85, 100, "#ff0000"),
+    ]
+)

@@ -1,0 +1,123 @@
+"""Document-order SVG tag-stream reader.
+
+Feeds Algorithm 1, which "iterates over SVG tags" in the order they appear in
+the file.  The reader flattens the document's top level into a sequence of
+:class:`~repro.svgdoc.elements.RawTag` records; router/peering groups keep
+their children attached so their box and name travel together, while link
+arrows, load texts, and label tags stay flat — exactly the mixed structure
+the paper describes.
+"""
+
+from __future__ import annotations
+
+import io
+import xml.etree.ElementTree as ElementTree
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import MalformedSvgError
+from repro.svgdoc.elements import RawTag
+
+_SVG_NAMESPACE = "{http://www.w3.org/2000/svg}"
+
+
+def _local_name(tag: str) -> str:
+    """Strip the SVG XML namespace from a tag name."""
+    if tag.startswith(_SVG_NAMESPACE):
+        return tag[len(_SVG_NAMESPACE):]
+    return tag
+
+
+def _to_raw_tag(element: ElementTree.Element) -> RawTag:
+    """Convert an ElementTree node (and its subtree) to a RawTag."""
+    children = tuple(_to_raw_tag(child) for child in element)
+    return RawTag(
+        tag=_local_name(element.tag),
+        attributes=dict(element.attrib),
+        text=element.text,
+        children=children,
+    )
+
+
+class SvgTagStream:
+    """The flat tag stream of one weathermap SVG document."""
+
+    def __init__(self, tags: list[RawTag], width: float, height: float) -> None:
+        self._tags = tags
+        self.width = width
+        self.height = height
+
+    def __iter__(self) -> Iterator[RawTag]:
+        return iter(self._tags)
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    @property
+    def tags(self) -> list[RawTag]:
+        """All top-level tags in document order."""
+        return list(self._tags)
+
+
+def _parse_dimension(root: ElementTree.Element, name: str) -> float:
+    """Parse the root ``width``/``height`` attribute (may carry units)."""
+    raw = root.attrib.get(name, "0")
+    digits = raw.rstrip("pxtcmine% ")
+    try:
+        return float(digits or "0")
+    except ValueError as exc:
+        raise MalformedSvgError(f"svg root {name} attribute malformed: {raw!r}") from exc
+
+
+def read_svg_tags(source: str | Path | bytes) -> SvgTagStream:
+    """Read a weathermap SVG into its flat tag stream.
+
+    Args:
+        source: a filesystem path, or the raw document bytes/text.
+
+    Raises:
+        MalformedSvgError: when the document is not well-formed XML or its
+            root is not an ``<svg>`` element — the real dataset contains such
+            files and they must be countable, not fatal.
+    """
+    if isinstance(source, Path):
+        data: bytes | str = source.read_bytes()
+    elif isinstance(source, str) and "\n" not in source and source.endswith(".svg"):
+        data = Path(source).read_bytes()
+    else:
+        data = source
+
+    if isinstance(data, str):
+        stream: io.IOBase = io.StringIO(data)
+    else:
+        stream = io.BytesIO(data)
+
+    try:
+        tree = ElementTree.parse(stream)
+    except ElementTree.ParseError as exc:
+        raise MalformedSvgError(f"not well-formed XML: {exc}") from exc
+
+    root = tree.getroot()
+    if _local_name(root.tag) != "svg":
+        raise MalformedSvgError(f"root element is <{_local_name(root.tag)}>, not <svg>")
+
+    tags = [_to_raw_tag(child) for child in root]
+    return SvgTagStream(
+        tags=tags,
+        width=_parse_dimension(root, "width"),
+        height=_parse_dimension(root, "height"),
+    )
+
+
+def iter_svg_files(paths: Iterable[str | Path]) -> Iterator[tuple[Path, SvgTagStream]]:
+    """Stream several SVG files, skipping malformed ones silently.
+
+    Bulk processing helper used by the dataset pipeline when the caller does
+    its own error accounting.
+    """
+    for path in paths:
+        path = Path(path)
+        try:
+            yield path, read_svg_tags(path)
+        except MalformedSvgError:
+            continue

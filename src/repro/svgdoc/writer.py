@@ -1,0 +1,163 @@
+"""Weathermap-style SVG writer.
+
+Emits documents with the structure the paper describes: router and peering
+objects are self-contained ``<g class="object...">`` groups, while the tags
+of links — two ``<polygon>`` arrows followed by two ``class="labellink"``
+load texts — and of link labels — a ``class="node"`` ``<rect>`` followed by
+a ``class="node"`` ``<text>`` — appear *flat* at the top level, positioned
+only by their 2D coordinates.  Recovering their relationships is the job of
+the parsing pipeline.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.errors import SvgError
+from repro.geometry import Point, Rect
+
+
+def _format_number(value: float) -> str:
+    """Format a coordinate compactly (integers without a trailing ``.0``)."""
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+class WeathermapSvgWriter:
+    """Incremental builder for one weathermap SVG document.
+
+    The caller appends elements in the order PHP Weathermap lists them —
+    Algorithm 1 depends on that ordering (arrows of a link are consecutive,
+    loads follow their arrows, a label's text follows its box).
+    """
+
+    def __init__(self, width: float, height: float, title: str = "") -> None:
+        if width <= 0 or height <= 0:
+            raise SvgError(f"canvas must have positive extent, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self.title = title
+        self._parts: list[str] = []
+        self._pending_arrows = 0
+        self._pending_loads = 0
+
+    def add_background(self, color: str = "#f8f8f8") -> None:
+        """Full-canvas background rectangle (ignored by the parser)."""
+        self._parts.append(
+            f'<rect class="background" x="0" y="0" '
+            f'width="{_format_number(self.width)}" '
+            f'height="{_format_number(self.height)}" fill="{color}"/>'
+        )
+
+    def add_comment(self, text: str) -> None:
+        """An XML comment, e.g. the snapshot timestamp."""
+        self._parts.append(f"<!-- {escape(text)} -->")
+
+    def add_object(self, name: str, box: Rect, is_peering: bool) -> None:
+        """A router or physical-peering white box with its name.
+
+        Peerings render their name in upper case and routers in lower case,
+        matching the map convention the paper uses to tell them apart.
+        """
+        kind = "peering" if is_peering else "router"
+        label = name.upper() if is_peering else name.lower()
+        x, y, w, h = (_format_number(v) for v in box.as_tuple())
+        center = box.center
+        self._parts.append(
+            f'<g class="object object-{kind}">'
+            f'<rect x="{x}" y="{y}" width="{w}" height="{h}" '
+            f'fill="#ffffff" stroke="#000000"/>'
+            f'<text x="{_format_number(center.x)}" y="{_format_number(center.y)}" '
+            f'text-anchor="middle">{escape(label)}</text>'
+            f"</g>"
+        )
+
+    def add_arrow(self, points: list[Point], fill: str) -> None:
+        """One link arrow polygon.
+
+        The first and last points must be the two corners of the arrow's
+        basis; Algorithm 2 reconstructs the link line from basis midpoints.
+        """
+        if len(points) < 3:
+            raise SvgError("an arrow polygon needs at least 3 points")
+        if self._pending_arrows >= 2:
+            raise SvgError("a link has exactly two arrows; flush loads first")
+        encoded = " ".join(
+            f"{_format_number(p.x)},{_format_number(p.y)}" for p in points
+        )
+        self._parts.append(
+            f'<polygon points="{encoded}" fill={quoteattr(fill)} stroke="#404040"/>'
+        )
+        self._pending_arrows += 1
+
+    def add_load_text(self, load: float, anchor: Point) -> None:
+        """One direction's load percentage text (``class="labellink"``)."""
+        if self._pending_arrows == 0:
+            raise SvgError("load text must follow its link's arrows")
+        text = f"{load:.0f}%" if load == int(load) else f"{load:.1f}%"
+        self._parts.append(
+            f'<text class="labellink" x="{_format_number(anchor.x)}" '
+            f'y="{_format_number(anchor.y)}" text-anchor="middle" '
+            f'font-size="9">{escape(text)}</text>'
+        )
+        self._pending_loads += 1
+        if self._pending_loads == 2:
+            self._pending_arrows = 0
+            self._pending_loads = 0
+
+    def add_link(
+        self,
+        arrows: list[tuple[list[Point], str]],
+        loads: list[tuple[float, Point]],
+    ) -> None:
+        """One complete bidirectional link: two arrows then two load texts."""
+        if len(arrows) != 2 or len(loads) != 2:
+            raise SvgError("a link is two arrows and two load texts")
+        for points, fill in arrows:
+            self.add_arrow(points, fill)
+        for load, anchor in loads:
+            self.add_load_text(load, anchor)
+
+    def add_link_label(self, text: str, box: Rect) -> None:
+        """A link-end label (e.g. ``#1``): white box then its text."""
+        x, y, w, h = (_format_number(v) for v in box.as_tuple())
+        center = box.center
+        self._parts.append(
+            f'<rect class="node" x="{x}" y="{y}" width="{w}" height="{h}" '
+            f'fill="#ffffff" stroke="#808080"/>'
+        )
+        self._parts.append(
+            f'<text class="node" x="{_format_number(center.x)}" '
+            f'y="{_format_number(center.y)}" text-anchor="middle" '
+            f'font-size="8">{escape(text)}</text>'
+        )
+
+    def add_legend(self, scale_colors: list[tuple[str, str]]) -> None:
+        """Decorative colour legend (classless tags the parser skips)."""
+        y = self.height - 18
+        x = 10.0
+        for color, caption in scale_colors:
+            self._parts.append(
+                f'<rect class="legend" x="{_format_number(x)}" '
+                f'y="{_format_number(y)}" width="12" height="12" fill="{color}"/>'
+            )
+            self._parts.append(
+                f'<text class="legend" x="{_format_number(x + 16)}" '
+                f'y="{_format_number(y + 10)}" font-size="9">{escape(caption)}</text>'
+            )
+            x += 16 + 8 * len(caption)
+
+    def to_svg(self) -> str:
+        """Serialise the document."""
+        if self._pending_arrows or self._pending_loads:
+            raise SvgError("document ends with an incomplete link")
+        header = (
+            '<?xml version="1.0" encoding="UTF-8"?>\n'
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{_format_number(self.width)}" '
+            f'height="{_format_number(self.height)}">'
+        )
+        title = f"<title>{escape(self.title)}</title>" if self.title else ""
+        body = "\n".join(self._parts)
+        return f"{header}\n{title}\n{body}\n</svg>\n"

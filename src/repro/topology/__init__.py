@@ -1,0 +1,44 @@
+"""Topology model of a backbone weather map.
+
+A :class:`~repro.topology.model.MapSnapshot` is the ground truth the simulator
+produces, the structure the parser extracts from SVG, and the unit the dataset
+stores as YAML.  The model mirrors the map semantics of Section 4: OVH routers
+(lower-case names) and physical peerings (upper-case names) as nodes,
+bidirectional links with per-direction load percentages and per-end labels,
+parallel links between the same pair of nodes, and the internal/external link
+distinction the analysis relies on.
+"""
+
+from repro.topology.model import (
+    Link,
+    LinkEnd,
+    MapSnapshot,
+    Node,
+    NodeKind,
+    ParallelGroup,
+)
+from repro.topology.graph import (
+    directed_parallel_groups,
+    node_degrees,
+    parallel_groups,
+    to_networkx,
+)
+from repro.topology.diff import SnapshotDiff, diff_snapshots
+from repro.topology.names import NameGenerator, PEERING_NAMES
+
+__all__ = [
+    "Link",
+    "LinkEnd",
+    "MapSnapshot",
+    "Node",
+    "NodeKind",
+    "ParallelGroup",
+    "directed_parallel_groups",
+    "node_degrees",
+    "parallel_groups",
+    "to_networkx",
+    "SnapshotDiff",
+    "diff_snapshots",
+    "NameGenerator",
+    "PEERING_NAMES",
+]

@@ -1,0 +1,108 @@
+"""Snapshot diffing: what changed between two observations of a map.
+
+The evolution analysis (Figures 4a/4b) and the event narratives of Section 5
+— make-before-break upgrades, forced maintenance, stepwise internal growth —
+are all statements about differences between consecutive snapshots.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.topology.model import Link, MapSnapshot
+
+
+def _link_signature(snapshot: MapSnapshot, link: Link) -> tuple[str, str, str, str]:
+    """Identity of a link across snapshots: endpoints plus end labels.
+
+    Loads change every five minutes; endpoints and labels identify the
+    physical link.
+    """
+    first, second = sorted(
+        ((link.a.node, link.a.label), (link.b.node, link.b.label))
+    )
+    return (first[0], first[1], second[0], second[1])
+
+
+@dataclass
+class SnapshotDiff:
+    """Structural changes from an ``old`` snapshot to a ``new`` one."""
+
+    added_routers: list[str] = field(default_factory=list)
+    removed_routers: list[str] = field(default_factory=list)
+    added_peerings: list[str] = field(default_factory=list)
+    removed_peerings: list[str] = field(default_factory=list)
+    added_internal_links: int = 0
+    removed_internal_links: int = 0
+    added_external_links: int = 0
+    removed_external_links: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the two snapshots have identical structure."""
+        return (
+            not self.added_routers
+            and not self.removed_routers
+            and not self.added_peerings
+            and not self.removed_peerings
+            and self.added_internal_links == 0
+            and self.removed_internal_links == 0
+            and self.added_external_links == 0
+            and self.removed_external_links == 0
+        )
+
+    @property
+    def router_delta(self) -> int:
+        """Net change in router count."""
+        return len(self.added_routers) - len(self.removed_routers)
+
+    @property
+    def link_delta(self) -> int:
+        """Net change in total link count."""
+        return (
+            self.added_internal_links
+            + self.added_external_links
+            - self.removed_internal_links
+            - self.removed_external_links
+        )
+
+
+def diff_snapshots(old: MapSnapshot, new: MapSnapshot) -> SnapshotDiff:
+    """Compute the structural diff between two snapshots of the same map.
+
+    Parallel links with identical labels are handled by multiset counting,
+    so adding one more VODAFONE-style duplicate-label link still counts as
+    one added link.
+    """
+    diff = SnapshotDiff()
+
+    old_routers = {node.name for node in old.routers}
+    new_routers = {node.name for node in new.routers}
+    diff.added_routers = sorted(new_routers - old_routers)
+    diff.removed_routers = sorted(old_routers - new_routers)
+
+    old_peerings = {node.name for node in old.peerings}
+    new_peerings = {node.name for node in new.peerings}
+    diff.added_peerings = sorted(new_peerings - old_peerings)
+    diff.removed_peerings = sorted(old_peerings - new_peerings)
+
+    for external in (False, True):
+        old_links = Counter(
+            _link_signature(old, link)
+            for link in (old.external_links if external else old.internal_links)
+        )
+        new_links = Counter(
+            _link_signature(new, link)
+            for link in (new.external_links if external else new.internal_links)
+        )
+        added = sum((new_links - old_links).values())
+        removed = sum((old_links - new_links).values())
+        if external:
+            diff.added_external_links = added
+            diff.removed_external_links = removed
+        else:
+            diff.added_internal_links = added
+            diff.removed_internal_links = removed
+
+    return diff

@@ -1,0 +1,211 @@
+"""Core topology data model: nodes, links, snapshots, parallel groups."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from enum import Enum
+from typing import Iterator
+
+from repro.constants import LOAD_MAX, LOAD_MIN, MapName
+from repro.errors import LoadRangeError, SchemaError
+
+
+class NodeKind(str, Enum):
+    """The two kinds of white boxes on a weather map."""
+
+    ROUTER = "router"
+    PEERING = "peering"
+
+
+@dataclass(frozen=True, slots=True)
+class Node:
+    """A router or physical peering on the map."""
+
+    name: str
+    kind: NodeKind
+
+    @classmethod
+    def from_name(cls, name: str) -> Node:
+        """Infer the kind from the map's naming convention.
+
+        Peerings are written in upper case on the weathermap, routers in
+        lower case (Section 4, Figure 1).
+        """
+        kind = NodeKind.PEERING if name.upper() == name else NodeKind.ROUTER
+        return cls(name=name, kind=kind)
+
+    @property
+    def is_router(self) -> bool:
+        return self.kind is NodeKind.ROUTER
+
+    @property
+    def is_peering(self) -> bool:
+        return self.kind is NodeKind.PEERING
+
+
+@dataclass(frozen=True, slots=True)
+class LinkEnd:
+    """One end of a bidirectional link: the node it attaches to, the label
+    of that end (e.g. ``#1``), and the egress load *from* that end."""
+
+    node: str
+    label: str
+    load: float
+
+    def __post_init__(self) -> None:
+        if not LOAD_MIN <= self.load <= LOAD_MAX:
+            raise LoadRangeError(
+                f"load {self.load} on end {self.node!r} outside "
+                f"[{LOAD_MIN}, {LOAD_MAX}]"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """A bidirectional link between two nodes.
+
+    ``a.load`` is the utilisation in the a→b direction (egress from ``a``),
+    ``b.load`` the b→a direction.  Parallel links between the same node pair
+    are distinct ``Link`` instances; their labels may or may not be unique
+    (the paper notes VODAFONE's parallel links share labels).
+    """
+
+    a: LinkEnd
+    b: LinkEnd
+
+    def __post_init__(self) -> None:
+        if self.a.node == self.b.node:
+            raise SchemaError(f"link connects {self.a.node!r} to itself")
+
+    @property
+    def nodes(self) -> tuple[str, str]:
+        """Endpoint names in document order."""
+        return (self.a.node, self.b.node)
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Order-independent endpoint pair, for grouping parallel links."""
+        return tuple(sorted((self.a.node, self.b.node)))  # type: ignore[return-value]
+
+    def end_for(self, node: str) -> LinkEnd:
+        """The end attached to ``node``."""
+        if self.a.node == node:
+            return self.a
+        if self.b.node == node:
+            return self.b
+        raise KeyError(f"{node!r} is not an endpoint of this link")
+
+    def load_from(self, node: str) -> float:
+        """Egress load in the direction leaving ``node``."""
+        return self.end_for(node).load
+
+    def is_disabled(self) -> bool:
+        """"A disabled link is represented with a load level of 0 %"."""
+        return self.a.load == 0.0 and self.b.load == 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelGroup:
+    """A directed set of parallel links from ``source`` to ``target``.
+
+    The imbalance analysis of Figure 5c works on these: all parallel links
+    between two nodes, considered in one direction.
+    """
+
+    source: str
+    target: str
+    loads: tuple[float, ...]
+    external: bool
+
+    @property
+    def size(self) -> int:
+        """Number of parallel links in the group."""
+        return len(self.loads)
+
+    def active_loads(self, minimum_load: float = 2.0) -> tuple[float, ...]:
+        """Loads after the paper's filtering.
+
+        "We ignore links with 0 % load as they are unused ... We also
+        discount links with 1 % load as we cannot differentiate a low
+        traffic load value from control traffic only."
+        """
+        return tuple(load for load in self.loads if load >= minimum_load)
+
+    def imbalance(self, minimum_load: float = 2.0) -> float | None:
+        """Max−min load across the group after filtering.
+
+        Returns ``None`` for groups that the paper removes: "we remove sets
+        with only one remaining link".
+        """
+        active = self.active_loads(minimum_load)
+        if len(active) < 2:
+            return None
+        return max(active) - min(active)
+
+
+@dataclass
+class MapSnapshot:
+    """One weather-map observation: the full topology at one instant."""
+
+    map_name: MapName
+    timestamp: datetime
+    nodes: dict[str, Node] = field(default_factory=dict)
+    links: list[Link] = field(default_factory=list)
+
+    def add_node(self, node: Node) -> None:
+        """Register a node; idempotent for identical nodes."""
+        existing = self.nodes.get(node.name)
+        if existing is not None and existing != node:
+            raise SchemaError(f"conflicting definitions for node {node.name!r}")
+        self.nodes[node.name] = node
+
+    def add_link(self, link: Link) -> None:
+        """Register a link; both endpoints must already be nodes."""
+        for endpoint in link.nodes:
+            if endpoint not in self.nodes:
+                raise SchemaError(f"link references unknown node {endpoint!r}")
+        self.links.append(link)
+
+    @property
+    def routers(self) -> list[Node]:
+        """OVH routers on the map (Table 1, column 1)."""
+        return [node for node in self.nodes.values() if node.is_router]
+
+    @property
+    def peerings(self) -> list[Node]:
+        """Physical peerings on the map."""
+        return [node for node in self.nodes.values() if node.is_peering]
+
+    def is_external(self, link: Link) -> bool:
+        """External links connect a router to a physical peering."""
+        kinds = {self.nodes[name].kind for name in link.nodes}
+        return NodeKind.PEERING in kinds
+
+    @property
+    def internal_links(self) -> list[Link]:
+        """Router-to-router links (Table 1, column 2)."""
+        return [link for link in self.links if not self.is_external(link)]
+
+    @property
+    def external_links(self) -> list[Link]:
+        """Router-to-peering links (Table 1, column 3)."""
+        return [link for link in self.links if self.is_external(link)]
+
+    def links_of(self, node_name: str) -> list[Link]:
+        """Every link with an end on ``node_name`` (parallel links included)."""
+        return [link for link in self.links if node_name in link.nodes]
+
+    def degree(self, node_name: str) -> int:
+        """Node degree counting parallel links, as in Figure 4c."""
+        return len(self.links_of(node_name))
+
+    def iter_loads(self) -> Iterator[tuple[Link, str, float]]:
+        """Yield every directed load sample as ``(link, source_node, load)``."""
+        for link in self.links:
+            yield link, link.a.node, link.a.load
+            yield link, link.b.node, link.b.load
+
+    def summary_counts(self) -> tuple[int, int, int]:
+        """Table 1 row: (routers, internal links, external links)."""
+        return (len(self.routers), len(self.internal_links), len(self.external_links))

@@ -1,0 +1,109 @@
+"""OVH-style naming for routers and peerings.
+
+Router names on the weathermap look like ``fra-fr5-pb6-nc5``: an IATA-like
+site code, a datacenter hall, and a role/unit suffix, all lower case.
+Physical peerings carry their network's upper-case name (``ARELION``,
+``OMANTEL``, ``AMS-IX``).  The generator is deterministic given a seed, so
+the simulator produces the same network for the same configuration.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.constants import MapName
+from repro.rng import stable_seed
+
+#: Site codes per backbone map, loosely modelled on OVH's actual footprint.
+SITE_CODES: dict[MapName, list[str]] = {
+    MapName.EUROPE: [
+        "fra", "rbx", "gra", "sbg", "par", "lon", "ams", "bru", "mil",
+        "mad", "vie", "waw", "zur", "prg", "dub", "mrs", "fnc", "lil",
+    ],
+    MapName.WORLD: [
+        "nwk", "lon", "par", "sgp", "syd", "bhs", "mrs", "hkg",
+    ],
+    MapName.NORTH_AMERICA: [
+        "bhs", "nwk", "ash", "chi", "tor", "sea", "lax", "dal", "mia", "hil",
+    ],
+    MapName.ASIA_PACIFIC: [
+        "sgp", "syd", "hkg", "tok", "mum", "che",
+    ],
+}
+
+#: Peering networks seen on the map edges (upper case on the weathermap).
+PEERING_NAMES: list[str] = [
+    "ARELION", "OMANTEL", "VODAFONE", "AMS-IX", "DE-CIX", "FRANCE-IX",
+    "LINX", "COGENT", "LUMEN", "TATA", "GTT", "ZAYO", "TELIA", "ORANGE",
+    "NTT", "PCCW", "SINGTEL", "TELSTRA", "EQUINIX-IX", "ANY2", "SIX",
+    "TORIX", "NYIIX", "ESPANIX", "MIX", "NETNOD", "BNIX", "SWISSIX",
+    "HKIX", "JPIX", "BBIX", "MEGAPORT", "VERIZON", "COMCAST", "CHARTER",
+    "SPRINT", "TELXIUS", "SPARKLE", "EXA", "LIBERTY", "CIRION", "SEABONE",
+]
+
+_ROLES = ["pb", "g", "sdtor", "bb", "nc", "th"]
+
+
+class NameGenerator:
+    """Deterministic router/peering name factory for one map."""
+
+    def __init__(self, map_name: MapName, seed: int = 0) -> None:
+        self._map_name = map_name
+        self._rng = random.Random(stable_seed("names", map_name.value, seed))
+        self._issued: set[str] = set()
+        self._peering_pool = list(PEERING_NAMES)
+        self._rng.shuffle(self._peering_pool)
+
+    @property
+    def map_name(self) -> MapName:
+        """The map this generator names nodes for."""
+        return self._map_name
+
+    def router_name(self, site: str | None = None) -> str:
+        """A fresh lower-case router name, e.g. ``fra-fr5-pb6-nc5``.
+
+        Args:
+            site: force a specific site code; random site otherwise.
+        """
+        sites = SITE_CODES[self._map_name]
+        while True:
+            chosen_site = site or self._rng.choice(sites)
+            hall = f"{chosen_site[:2]}{self._rng.randint(1, 9)}"
+            role = self._rng.choice(_ROLES)
+            name = (
+                f"{chosen_site}-{hall}-{role}{self._rng.randint(1, 9)}"
+                f"-nc{self._rng.randint(1, 9)}"
+            )
+            if name not in self._issued:
+                self._issued.add(name)
+                return name
+
+    def reserve(self, name: str) -> str:
+        """Claim a specific name so the generator never issues it again.
+
+        Used for scripted scenarios (the AMS-IX upgrade of Figure 6) that
+        need a well-known peering on the map.
+        """
+        if name in self._issued:
+            raise ValueError(f"name {name!r} already issued")
+        self._issued.add(name)
+        if name in self._peering_pool:
+            self._peering_pool.remove(name)
+        return name
+
+    def peering_name(self) -> str:
+        """A fresh upper-case peering name; falls back to numbered AS names."""
+        while self._peering_pool:
+            candidate = self._peering_pool.pop()
+            if candidate not in self._issued:
+                self._issued.add(candidate)
+                return candidate
+        while True:
+            candidate = f"AS{self._rng.randint(1000, 64000)}"
+            if candidate not in self._issued:
+                self._issued.add(candidate)
+                return candidate
+
+    def site_of(self, router_name: str) -> str:
+        """Extract the site code prefix from a router name."""
+        return router_name.split("-", 1)[0]

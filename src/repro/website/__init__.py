@@ -1,0 +1,23 @@
+"""The OVH Network Weathermap *website*, simulated.
+
+Section 4 describes the acquisition target precisely: maps "are updated
+every five minutes", "when a map is updated, the most recent snapshot is
+replaced with the updated one", and "the website only keeps past snapshots
+of the day at a granularity of one hour".  This package models that
+publication surface and the paper's polling loop against it:
+
+* :class:`~repro.website.site.WeathermapWebsite` — serves the current SVG
+  of each map plus the same-day hourly archive, replacing content on the
+  five-minute grid (with the occasional malformed document, as observed
+  in the wild);
+* :class:`~repro.website.webcollector.PollingCollector` — the wget-style
+  crawler: polls every five minutes, suffers the pre-May-2022 operational
+  issue, and can *backfill* missed ticks from the site's hourly archive —
+  which is exactly why some of the dataset's gaps close at one-hour
+  granularity.
+"""
+
+from repro.website.site import WeathermapWebsite
+from repro.website.webcollector import PollingCollector, PollingStats
+
+__all__ = ["WeathermapWebsite", "PollingCollector", "PollingStats"]

@@ -1,0 +1,117 @@
+"""The weathermap publication surface."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta, timezone
+
+from repro.constants import MapName, SNAPSHOT_INTERVAL
+from repro.dataset.corruption import CorruptionInjector
+from repro.errors import DatasetError
+from repro.layout.renderer import MapRenderer
+from repro.simulation.network import BackboneSimulator
+
+
+def snapshot_tick(when: datetime) -> datetime:
+    """Floor a wall-clock instant to the site's five-minute update grid."""
+    utc = when.astimezone(timezone.utc)
+    minutes = (utc.minute // 5) * 5
+    return utc.replace(minute=minutes, second=0, microsecond=0)
+
+
+class WeathermapWebsite:
+    """Serves weathermap SVGs the way the real site publishes them.
+
+    The site is stateless over the simulator: the document served "now"
+    is the render of the snapshot at the latest five-minute tick, and the
+    hourly archive contains today's on-the-hour renders.  Renders are
+    cached per (map, tick), and the site occasionally publishes a
+    malformed document (the paper's invalid SVGs exist server-side, so
+    the corruption lives here, not in the crawler).
+    """
+
+    def __init__(
+        self,
+        simulator: BackboneSimulator,
+        corruption: CorruptionInjector | None = None,
+        cache_size: int = 64,
+    ) -> None:
+        self.simulator = simulator
+        self.corruption = (
+            corruption
+            if corruption is not None
+            else CorruptionInjector(seed=simulator.config.seed)
+        )
+        self._renderers: dict[MapName, MapRenderer] = {}
+        self._cache: dict[tuple[MapName, datetime], str] = {}
+        self._cache_size = cache_size
+
+    def _renderer(self, map_name: MapName) -> MapRenderer:
+        renderer = self._renderers.get(map_name)
+        if renderer is None:
+            evolution = self.simulator.evolution(map_name)
+
+            def site_of(name: str, _evolution=evolution) -> str:
+                try:
+                    return _evolution.router_spec(name).site
+                except KeyError:
+                    return name.split("-", 1)[0]
+
+            renderer = MapRenderer(site_of=site_of, seed=self.simulator.config.seed)
+            self._renderers[map_name] = renderer
+        return renderer
+
+    def _render_tick(self, map_name: MapName, tick: datetime) -> str:
+        cached = self._cache.get((map_name, tick))
+        if cached is not None:
+            return cached
+        snapshot = self.simulator.snapshot(map_name, tick)
+        svg = self._renderer(map_name).render(snapshot)
+        svg, _ = self.corruption.maybe_corrupt(svg, map_name, tick)
+        if len(self._cache) >= self._cache_size:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[(map_name, tick)] = svg
+        return svg
+
+    # ------------------------------------------------------------------
+    # The public surface
+    # ------------------------------------------------------------------
+
+    def current(self, map_name: MapName, now: datetime) -> tuple[datetime, str]:
+        """The map as published at wall-clock ``now``.
+
+        Returns the tick the document corresponds to and the SVG text —
+        polling twice within the same five-minute slot yields the same
+        document, as on the real site.
+        """
+        tick = snapshot_tick(now)
+        window = self.simulator.config
+        if not window.window_start <= tick <= window.window_end:
+            raise DatasetError(
+                f"the site has no {map_name.value} map at {now.isoformat()}"
+            )
+        return tick, self._render_tick(map_name, tick)
+
+    def hourly_archive(
+        self, map_name: MapName, now: datetime
+    ) -> list[tuple[datetime, str]]:
+        """Today's past on-the-hour snapshots, oldest first.
+
+        "The website only keeps past snapshots of the day at a granularity
+        of one hour" — so the archive resets at midnight and never offers
+        the current hour's in-progress slot.
+        """
+        utc = now.astimezone(timezone.utc)
+        midnight = utc.replace(hour=0, minute=0, second=0, microsecond=0)
+        window = self.simulator.config
+        entries: list[tuple[datetime, str]] = []
+        hour = midnight
+        while hour + timedelta(hours=1) <= utc:
+            if window.window_start <= hour <= window.window_end:
+                entries.append((hour, self._render_tick(map_name, hour)))
+            hour += timedelta(hours=1)
+        return entries
+
+    @property
+    def update_interval(self) -> timedelta:
+        """How often the site replaces each map."""
+        return SNAPSHOT_INTERVAL

@@ -1,0 +1,18 @@
+"""YAML serialisation of parsed map snapshots.
+
+The released OVH Weather dataset pairs every SVG with a processed YAML file
+(Table 2: 541,819 YAML files, ~8x smaller than the SVGs).  This package
+defines that document schema and the (de)serialisers, with strict schema
+validation on load so corrupt files surface as
+:class:`~repro.errors.SchemaError` instead of silent bad data.
+"""
+
+from repro.yamlio.serialize import snapshot_to_yaml, write_snapshot
+from repro.yamlio.deserialize import snapshot_from_yaml, read_snapshot
+
+__all__ = [
+    "snapshot_to_yaml",
+    "write_snapshot",
+    "snapshot_from_yaml",
+    "read_snapshot",
+]

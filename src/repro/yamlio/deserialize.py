@@ -1,0 +1,94 @@
+"""YAML document → MapSnapshot, with schema validation."""
+
+from __future__ import annotations
+
+from datetime import datetime
+from pathlib import Path
+
+import yaml
+
+from repro.constants import MapName
+from repro.errors import SchemaError
+from repro.topology.model import Link, LinkEnd, MapSnapshot, Node, NodeKind
+
+
+def _require(document: dict, key: str, kind: type) -> object:
+    """Fetch a typed field or raise a SchemaError naming it."""
+    if key not in document:
+        raise SchemaError(f"document missing required field {key!r}")
+    value = document[key]
+    if not isinstance(value, kind):
+        raise SchemaError(
+            f"field {key!r} should be {kind.__name__}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _parse_end(raw: object, side: str) -> LinkEnd:
+    """Validate and build one link end."""
+    if not isinstance(raw, dict):
+        raise SchemaError(f"link end {side!r} is not a mapping")
+    node = raw.get("node")
+    label = raw.get("label")
+    load = raw.get("load")
+    if not isinstance(node, str) or not node:
+        raise SchemaError(f"link end {side!r} has no node name")
+    if not isinstance(label, str):
+        raise SchemaError(f"link end {side!r} has no label")
+    if not isinstance(load, (int, float)) or isinstance(load, bool):
+        raise SchemaError(f"link end {side!r} load is not a number")
+    return LinkEnd(node=node, label=label, load=float(load))
+
+
+def snapshot_from_document(document: dict) -> MapSnapshot:
+    """Build a snapshot from a parsed YAML document."""
+    if not isinstance(document, dict):
+        raise SchemaError("YAML root is not a mapping")
+
+    map_value = _require(document, "map", str)
+    try:
+        map_name = MapName(map_value)
+    except ValueError as exc:
+        raise SchemaError(f"unknown map name {map_value!r}") from exc
+
+    timestamp_text = _require(document, "timestamp", str)
+    try:
+        timestamp = datetime.fromisoformat(timestamp_text)
+    except ValueError as exc:
+        raise SchemaError(f"bad timestamp {timestamp_text!r}") from exc
+
+    snapshot = MapSnapshot(map_name=map_name, timestamp=timestamp)
+    for name in _require(document, "routers", list):
+        if not isinstance(name, str):
+            raise SchemaError("router names must be strings")
+        snapshot.add_node(Node(name=name, kind=NodeKind.ROUTER))
+    for name in _require(document, "peerings", list):
+        if not isinstance(name, str):
+            raise SchemaError("peering names must be strings")
+        snapshot.add_node(Node(name=name, kind=NodeKind.PEERING))
+
+    for raw_link in _require(document, "links", list):
+        if not isinstance(raw_link, dict):
+            raise SchemaError("link entries must be mappings")
+        snapshot.add_link(
+            Link(a=_parse_end(raw_link.get("a"), "a"), b=_parse_end(raw_link.get("b"), "b"))
+        )
+    return snapshot
+
+
+def snapshot_from_yaml(text: str) -> MapSnapshot:
+    """Parse YAML text into a snapshot.
+
+    Raises:
+        SchemaError: on YAML syntax errors or schema violations.
+    """
+    try:
+        document = yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        raise SchemaError(f"invalid YAML: {exc}") from exc
+    return snapshot_from_document(document)
+
+
+def read_snapshot(path: str | Path) -> MapSnapshot:
+    """Read one snapshot from a YAML file."""
+    return snapshot_from_yaml(Path(path).read_text(encoding="utf-8"))

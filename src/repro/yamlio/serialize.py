@@ -1,0 +1,59 @@
+"""MapSnapshot → YAML document."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import yaml
+
+from repro.topology.model import MapSnapshot
+
+
+def snapshot_to_document(snapshot: MapSnapshot) -> dict:
+    """Build the plain-data document for one snapshot.
+
+    The schema mirrors what the extraction produces: the map, the
+    observation time, the two node lists, and one entry per link carrying
+    both ends (node, label, egress load).
+    """
+    return {
+        "map": snapshot.map_name.value,
+        "timestamp": snapshot.timestamp.isoformat(),
+        "routers": sorted(node.name for node in snapshot.routers),
+        "peerings": sorted(node.name for node in snapshot.peerings),
+        "links": [
+            {
+                "a": {
+                    "node": link.a.node,
+                    "label": link.a.label,
+                    "load": link.a.load,
+                },
+                "b": {
+                    "node": link.b.node,
+                    "label": link.b.label,
+                    "load": link.b.load,
+                },
+            }
+            for link in snapshot.links
+        ],
+    }
+
+
+def snapshot_to_yaml(snapshot: MapSnapshot) -> str:
+    """Serialise one snapshot to YAML text."""
+    return yaml.safe_dump(
+        snapshot_to_document(snapshot),
+        sort_keys=False,
+        default_flow_style=None,
+        width=120,
+    )
+
+
+def write_snapshot(snapshot: MapSnapshot, path: str | Path) -> int:
+    """Write one snapshot to a YAML file; returns the byte count."""
+    text = snapshot_to_yaml(snapshot)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = text.encode("utf-8")
+    path.write_bytes(data)
+    return len(data)

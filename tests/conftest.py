@@ -1,0 +1,47 @@
+"""Shared fixtures.
+
+Expensive artefacts (the paper-calibrated simulator, rendered reference
+snapshots) are session-scoped: the simulator is deterministic, so sharing
+it across tests loses nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import MapName, REFERENCE_DATE
+from repro.layout.renderer import MapRenderer
+from repro.parsing.pipeline import parse_svg
+from repro.simulation.network import BackboneSimulator
+
+
+@pytest.fixture(scope="session")
+def simulator() -> BackboneSimulator:
+    """The default paper-calibrated simulator."""
+    return BackboneSimulator()
+
+
+@pytest.fixture(scope="session")
+def europe_reference(simulator):
+    """The Europe map on the Table 1 reference date."""
+    return simulator.snapshot(MapName.EUROPE, REFERENCE_DATE)
+
+
+@pytest.fixture(scope="session")
+def apac_reference(simulator):
+    """The smallest peered map — cheap to render and parse."""
+    return simulator.snapshot(MapName.ASIA_PACIFIC, REFERENCE_DATE)
+
+
+@pytest.fixture(scope="session")
+def apac_svg(apac_reference):
+    """A rendered Asia-Pacific reference SVG document."""
+    return MapRenderer().render(apac_reference)
+
+
+@pytest.fixture(scope="session")
+def apac_parsed(apac_svg, apac_reference):
+    """The Asia-Pacific SVG pushed back through the extraction pipeline."""
+    return parse_svg(
+        apac_svg, MapName.ASIA_PACIFIC, apac_reference.timestamp
+    )

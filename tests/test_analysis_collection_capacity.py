@@ -1,0 +1,100 @@
+"""Tests for collection-quality analytics and capacity estimation."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.analysis.capacity import (
+    peering_volume,
+    total_egress_capacity_gbps,
+    total_egress_volume_gbps,
+    volume_gbps,
+)
+from repro.analysis.collection import (
+    collection_quality,
+    distance_cdf,
+    inter_snapshot_distances,
+)
+from repro.constants import MapName, REFERENCE_DATE, SNAPSHOT_INTERVAL
+from repro.peeringdb.feed import SyntheticPeeringDB
+
+T0 = datetime(2022, 1, 1, tzinfo=timezone.utc)
+
+
+def _stamps(*minute_offsets):
+    return [T0 + timedelta(minutes=m) for m in minute_offsets]
+
+
+class TestDistances:
+    def test_regular(self):
+        distances = inter_snapshot_distances(_stamps(0, 5, 10, 15))
+        assert list(distances) == [300, 300, 300]
+
+    def test_short_list(self):
+        assert inter_snapshot_distances(_stamps(0)).size == 0
+
+    def test_cdf(self):
+        xs, fractions = distance_cdf(_stamps(0, 5, 15))
+        assert list(xs) == [300, 600]
+
+
+class TestCollectionQuality:
+    def test_perfect_collection(self):
+        quality = collection_quality(_stamps(0, 5, 10, 15, 20))
+        assert quality.fraction_at_resolution == 1.0
+        assert quality.longest_gap == SNAPSHOT_INTERVAL
+        assert len(quality.time_frames) == 1
+
+    def test_single_miss(self):
+        quality = collection_quality(_stamps(0, 5, 15, 20))
+        assert quality.fraction_at_resolution == pytest.approx(2 / 3)
+        assert quality.fraction_within_one_miss == 1.0
+
+    def test_segment_split(self):
+        stamps = _stamps(0, 5) + [T0 + timedelta(days=10)]
+        quality = collection_quality(stamps)
+        assert len(quality.time_frames) == 2
+        assert quality.longest_gap > timedelta(days=9)
+
+    def test_empty(self):
+        quality = collection_quality([])
+        assert quality.snapshot_count == 0
+        assert quality.covered == timedelta(0)
+
+
+class TestCapacity:
+    def test_volume(self):
+        assert volume_gbps(50, 100) == 50.0
+        assert volume_gbps(0, 400) == 0.0
+
+    @pytest.fixture(scope="class")
+    def europe(self, simulator):
+        return (
+            simulator.snapshot(MapName.EUROPE, REFERENCE_DATE),
+            SyntheticPeeringDB(simulator),
+        )
+
+    def test_amsix_volume(self, simulator, europe):
+        snapshot, peeringdb = europe
+        volume = peering_volume(snapshot, peeringdb, simulator.upgrade.peering)
+        assert volume is not None
+        assert volume.links == 5
+        assert volume.capacity_gbps == 500
+        assert 0 < volume.egress_gbps < 500
+        assert 0 <= volume.egress_utilisation <= 1
+
+    def test_unknown_peering(self, europe):
+        snapshot, peeringdb = europe
+        assert peering_volume(snapshot, peeringdb, "NOT-THERE") is None
+
+    def test_total_egress_capacity_positive(self, europe):
+        snapshot, peeringdb = europe
+        capacity = total_egress_capacity_gbps(snapshot, peeringdb)
+        # Dozens of peerings at 10-400 Gbps each: several Tbps.
+        assert capacity > 2000
+
+    def test_volume_below_capacity(self, europe):
+        snapshot, peeringdb = europe
+        volume = total_egress_volume_gbps(snapshot, peeringdb)
+        capacity = total_egress_capacity_gbps(snapshot, peeringdb)
+        assert 0 < volume < capacity

@@ -1,0 +1,96 @@
+"""Tests for congestion-episode detection."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.analysis.congestion import (
+    congestion_rate_by_hour,
+    find_congestion,
+)
+from repro.constants import MapName
+from repro.topology.model import Link, LinkEnd, MapSnapshot, Node
+
+T0 = datetime(2022, 5, 2, tzinfo=timezone.utc)
+
+
+def _snapshot(when, load_ab, load_ba=10):
+    snapshot = MapSnapshot(map_name=MapName.EUROPE, timestamp=when)
+    snapshot.add_node(Node.from_name("r1"))
+    snapshot.add_node(Node.from_name("r2"))
+    snapshot.add_link(Link(LinkEnd("r1", "#1", load_ab), LinkEnd("r2", "#1", load_ba)))
+    return snapshot
+
+
+def _series(loads):
+    return [
+        _snapshot(T0 + timedelta(minutes=5 * index), load)
+        for index, load in enumerate(loads)
+    ]
+
+
+class TestEpisodes:
+    def test_sustained_run_detected(self):
+        summary = find_congestion(_series([50, 90, 92, 95, 60]))
+        assert len(summary.episodes) == 1
+        episode = summary.episodes[0]
+        assert episode.source == "r1" and episode.target == "r2"
+        assert episode.samples == 3
+        assert episode.peak_load == 95
+        assert episode.duration == timedelta(minutes=10)
+
+    def test_single_sample_ignored(self):
+        summary = find_congestion(_series([50, 90, 60, 91, 50]))
+        assert summary.episodes == ()
+        assert summary.congested_samples == 2
+
+    def test_min_samples_configurable(self):
+        summary = find_congestion(_series([50, 90, 60]), min_samples=1)
+        assert len(summary.episodes) == 1
+
+    def test_run_open_at_end_closed(self):
+        summary = find_congestion(_series([50, 90, 95]))
+        assert len(summary.episodes) == 1
+        assert summary.episodes[0].samples == 2
+
+    def test_directions_independent(self):
+        snapshots = [
+            _snapshot(T0, 90, 90),
+            _snapshot(T0 + timedelta(minutes=5), 90, 50),
+        ]
+        summary = find_congestion(snapshots)
+        # r1→r2 sustained two snapshots; r2→r1 only one.
+        assert len(summary.episodes) == 1
+        assert summary.episodes[0].source == "r1"
+
+    def test_fraction_accounting(self):
+        summary = find_congestion(_series([90, 90]))
+        assert summary.directed_samples == 4
+        assert summary.congested_samples == 2
+        assert summary.congested_fraction == 0.5
+
+    def test_longest(self):
+        summary = find_congestion(_series([90, 90, 10, 90, 90, 90]))
+        assert summary.longest.samples == 3
+
+
+class TestOnSimulator:
+    def test_congestion_is_occasional(self, simulator):
+        snapshots = [
+            simulator.snapshot(MapName.EUROPE, T0 + timedelta(hours=h))
+            for h in range(24)
+        ]
+        summary = find_congestion(snapshots)
+        # "congestion inside the network happens occasionally": a small
+        # but non-zero fraction of samples run hot.
+        assert 0 < summary.congested_fraction < 0.02
+
+    def test_rate_follows_day_cycle(self, simulator):
+        snapshots = [
+            simulator.snapshot(MapName.EUROPE, T0 + timedelta(hours=h))
+            for h in range(24)
+        ]
+        rates = congestion_rate_by_hour(snapshots)
+        night = sum(rates.get(h, 0) for h in (2, 3, 4))
+        evening = sum(rates.get(h, 0) for h in (18, 19, 20))
+        assert evening > night

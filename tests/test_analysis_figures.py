@@ -1,0 +1,187 @@
+"""Tests for the figure-level analyses (Figures 4, 5) on simulator data.
+
+These run the same computations as the benchmark harness, on smaller
+windows, and assert the paper's qualitative claims.
+"""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.analysis.degrees import degree_ccdf, degree_statistics
+from repro.analysis.imbalance import collect_imbalances, imbalance_cdfs, imbalance_values
+from repro.analysis.infrastructure import (
+    evolution_from_snapshots,
+    infrastructure_evolution,
+    structural_events,
+)
+from repro.analysis.loads import collect_load_samples, hour_of_day_bands, load_cdfs
+from repro.constants import COLLECTION_START, MapName, REFERENCE_DATE
+
+
+def _utc(*args) -> datetime:
+    return datetime(*args, tzinfo=timezone.utc)
+
+
+@pytest.fixture(scope="module")
+def day_snapshots(simulator):
+    """One simulated day of Europe snapshots, hourly."""
+    base = _utc(2022, 4, 6)
+    return [
+        simulator.snapshot(MapName.EUROPE, base + timedelta(hours=h))
+        for h in range(24)
+    ]
+
+
+class TestInfrastructureEvolution:
+    def test_series_cover_window(self, simulator):
+        evolution = infrastructure_evolution(
+            simulator, MapName.EUROPE, interval=timedelta(days=7)
+        )
+        assert evolution.routers.times[0] == COLLECTION_START
+        assert len(evolution.routers) == len(evolution.internal_links)
+
+    def test_reference_values(self, simulator):
+        evolution = infrastructure_evolution(
+            simulator, MapName.EUROPE, interval=timedelta(days=7)
+        )
+        assert evolution.routers.values[-1] == 113
+        assert evolution.internal_links.values[-1] == 744
+        assert evolution.external_links.values[-1] == 265
+
+    def test_make_before_break_classified(self, simulator):
+        evolution = infrastructure_evolution(
+            simulator,
+            MapName.EUROPE,
+            start=_utc(2020, 7, 1),
+            end=_utc(2020, 12, 1),
+            interval=timedelta(days=1),
+        )
+        events = structural_events(evolution.routers, min_delta=2.5)
+        kinds = [event.kind for event in events]
+        assert "make-before-break" in kinds
+
+    def test_from_snapshots_matches_fast_path(self, simulator, day_snapshots):
+        from_snaps = evolution_from_snapshots(day_snapshots)
+        direct = simulator.counts(MapName.EUROPE, day_snapshots[0].timestamp)
+        assert from_snaps.routers.values[0] == direct[0]
+        assert from_snaps.internal_links.values[0] == direct[1]
+
+
+class TestDegreeAnalysis:
+    def test_ccdf_shape(self, europe_reference):
+        degrees, fractions = degree_ccdf(europe_reference)
+        assert degrees[0] >= 1
+        assert fractions[-1] == 0.0
+
+    def test_paper_claims(self, europe_reference):
+        stats = degree_statistics(europe_reference)
+        assert stats.count == 113
+        assert stats.fraction_single_link > 0.20
+        assert stats.fraction_over_20 > 0.20
+        assert stats.max > 20
+
+    def test_empty_snapshot(self):
+        from repro.topology.model import MapSnapshot
+
+        empty = MapSnapshot(map_name=MapName.EUROPE, timestamp=_utc(2022, 1, 1))
+        stats = degree_statistics(empty)
+        assert stats.count == 0
+
+
+class TestLoadAnalysis:
+    def test_sample_counts(self, day_snapshots):
+        samples = collect_load_samples(day_snapshots)
+        expected = sum(2 * len(s.links) for s in day_snapshots)
+        assert len(samples) == expected
+        assert len(samples.internal) + len(samples.external) == expected
+
+    def test_diurnal_cycle(self, day_snapshots):
+        # Median "reaching its lowest point between 2 and 4 a.m. and its
+        # highest point between 7 and 9 p.m."
+        samples = collect_load_samples(day_snapshots)
+        bands = hour_of_day_bands(samples)
+        assert bands.median_trough_hour() in (1, 2, 3, 4, 5)
+        assert bands.median_peak_hour() in (18, 19, 20, 21)
+
+    def test_variance_grows_with_load(self, day_snapshots):
+        samples = collect_load_samples(day_snapshots)
+        bands = hour_of_day_bands(samples)
+        assert bands.spread_at(bands.median_peak_hour()) > bands.spread_at(
+            bands.median_trough_hour()
+        )
+
+    def test_external_lower_than_internal(self, day_snapshots):
+        import numpy
+
+        samples = collect_load_samples(day_snapshots)
+        assert numpy.mean(samples.external) < numpy.mean(samples.internal)
+
+    def test_load_cdf_claims(self, day_snapshots):
+        # "75 % of the loads are below 33 % and very few loads exceed 60 %."
+        from repro.analysis.stats import fraction_at_most
+
+        samples = collect_load_samples(day_snapshots)
+        assert 0.60 < fraction_at_most(samples.all_loads, 33) < 0.92
+        assert fraction_at_most(samples.all_loads, 60) > 0.93
+
+    def test_cdfs_well_formed(self, day_snapshots):
+        samples = collect_load_samples(day_snapshots)
+        cdfs = load_cdfs(samples)
+        assert set(cdfs) == {"all", "internal", "external"}
+        for xs, fractions in cdfs.values():
+            assert fractions[-1] == 1.0
+
+
+class TestImbalanceAnalysis:
+    def test_imbalance_claims(self, day_snapshots):
+        # ">60 % of the imbalance values are lower or equal to 1 %" and
+        # external groups ">90 % ... lower or equal to 2 %".
+        result = collect_imbalances(day_snapshots)
+        assert result.fraction_within(1.0, "all") > 0.60
+        assert result.fraction_within(2.0, "external") > 0.90
+
+    def test_external_tighter_than_internal(self, day_snapshots):
+        result = collect_imbalances(day_snapshots)
+        assert result.fraction_within(1.0, "external") >= result.fraction_within(
+            1.0, "internal"
+        )
+
+    def test_filtering_applied(self, europe_reference):
+        result = imbalance_values(europe_reference)
+        # Every reported imbalance comes from a >=2-link active group.
+        assert all(value >= 0 for value in result.all_values)
+
+    def test_cdfs_keys(self, europe_reference):
+        cdfs = imbalance_cdfs(imbalance_values(europe_reference))
+        assert set(cdfs) == {"internal", "external", "all"}
+
+    def test_skewed_tail_exists(self, day_snapshots):
+        # The persistent-skew minority produces a visible tail.
+        result = collect_imbalances(day_snapshots)
+        assert max(result.all_values) > 3
+
+
+class TestWeeklyContrast:
+    def test_weekends_quieter(self, simulator):
+        from repro.analysis.loads import collect_load_samples, weekly_contrast
+
+        # Wed 2022-04-06 vs Sat 2022-04-09, same hours of day.
+        wednesday = _utc(2022, 4, 6)
+        saturday = _utc(2022, 4, 9)
+        snapshots = []
+        for day in (wednesday, saturday):
+            for hour in (4, 10, 16, 22):
+                snapshots.append(
+                    simulator.snapshot(MapName.EUROPE, day + timedelta(hours=hour))
+                )
+        contrast = weekly_contrast(collect_load_samples(snapshots))
+        assert contrast.weekday_samples > 0 and contrast.weekend_samples > 0
+        assert contrast.weekend_ratio < 1.0
+
+    def test_empty_sides(self):
+        from repro.analysis.loads import LoadSamples, weekly_contrast
+
+        contrast = weekly_contrast(LoadSamples())
+        assert contrast.weekday_mean == 0.0
+        assert contrast.weekend_ratio == 0.0

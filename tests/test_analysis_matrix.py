@@ -1,0 +1,72 @@
+"""Tests for the site-to-site volume matrix."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.analysis.matrix import site_volume_matrix
+from repro.constants import MapName, REFERENCE_DATE
+from repro.peeringdb.feed import SyntheticPeeringDB
+from repro.topology.model import Link, LinkEnd, MapSnapshot, Node
+
+NOW = datetime(2022, 9, 12, tzinfo=timezone.utc)
+
+
+def _snapshot():
+    snapshot = MapSnapshot(map_name=MapName.EUROPE, timestamp=NOW)
+    for name in ("fra-r1", "fra-r2", "lon-r1", "IXP"):
+        snapshot.add_node(Node.from_name(name))
+    # fra→lon at 50 % and 30 % on two parallel 100G links.
+    snapshot.add_link(Link(LinkEnd("fra-r1", "#1", 50), LinkEnd("lon-r1", "#1", 20)))
+    snapshot.add_link(Link(LinkEnd("fra-r1", "#2", 30), LinkEnd("lon-r1", "#2", 10)))
+    # intra-site link: must not appear in the matrix.
+    snapshot.add_link(Link(LinkEnd("fra-r1", "#1", 40), LinkEnd("fra-r2", "#1", 40)))
+    # external link to a peering.
+    snapshot.add_link(Link(LinkEnd("lon-r1", "#1", 10), LinkEnd("IXP", "#1", 5)))
+    return snapshot
+
+
+class TestMatrix:
+    def test_directed_aggregation(self):
+        matrix = site_volume_matrix(_snapshot())
+        # (50% + 30%) of 100G each direction.
+        assert matrix.volume("fra", "lon") == pytest.approx(80.0)
+        assert matrix.volume("lon", "fra") == pytest.approx(30.0)
+
+    def test_intra_site_excluded(self):
+        matrix = site_volume_matrix(_snapshot())
+        assert matrix.volume("fra", "fra") == 0.0
+
+    def test_peerings_are_places(self):
+        matrix = site_volume_matrix(_snapshot())
+        assert "IXP" in matrix.sites
+        assert matrix.volume("lon", "IXP") == pytest.approx(10.0)
+        assert matrix.volume("IXP", "lon") == pytest.approx(5.0)
+
+    def test_busiest_pairs(self):
+        matrix = site_volume_matrix(_snapshot())
+        top = matrix.busiest_pairs(top=1)
+        assert top[0][:2] == ("fra", "lon")
+
+    def test_csv_export(self, tmp_path):
+        matrix = site_volume_matrix(_snapshot())
+        text = matrix.to_csv(tmp_path / "tm.csv")
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("source\\target")
+        assert len(lines) == 1 + len(matrix.sites)
+
+    def test_peeringdb_capacity_applied(self, simulator):
+        snapshot = simulator.snapshot(MapName.EUROPE, REFERENCE_DATE)
+        peeringdb = SyntheticPeeringDB(simulator)
+        with_db = site_volume_matrix(snapshot, peeringdb)
+        without_db = site_volume_matrix(snapshot)
+        # Capacity-aware volumes differ from the flat-100G assumption.
+        assert with_db.total_gbps() != pytest.approx(without_db.total_gbps())
+        assert with_db.total_gbps() > 0
+
+    def test_simulator_matrix_shape(self, europe_reference):
+        matrix = site_volume_matrix(europe_reference)
+        # Every configured site present plus the peerings.
+        site_codes = {s for s in matrix.sites if s.islower()}
+        assert len(site_codes) >= 10
+        assert matrix.total_gbps() > 1000  # multi-Tbps backbone

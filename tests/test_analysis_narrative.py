@@ -1,0 +1,107 @@
+"""Tests for the change-narrative generator."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.analysis.narrative import build_changelog
+from repro.constants import MapName
+from repro.peeringdb.feed import SyntheticPeeringDB
+from repro.statusfeed.feed import SyntheticStatusFeed
+from repro.topology.model import Link, LinkEnd, MapSnapshot, Node
+
+T0 = datetime(2022, 1, 1, tzinfo=timezone.utc)
+
+
+def _snapshot(when, nodes, links):
+    snapshot = MapSnapshot(map_name=MapName.EUROPE, timestamp=when)
+    for name in nodes:
+        snapshot.add_node(Node.from_name(name))
+    for a, b, label in links:
+        snapshot.add_link(Link(LinkEnd(a, label, 10), LinkEnd(b, label, 10)))
+    return snapshot
+
+
+class TestSyntheticNarratives:
+    def test_requires_two_snapshots(self):
+        with pytest.raises(ValueError):
+            build_changelog([_snapshot(T0, ["fra-r1", "lon-r1"], [])])
+
+    def test_no_changes(self):
+        a = _snapshot(T0, ["fra-r1", "lon-r1"], [("fra-r1", "lon-r1", "#1")])
+        b = _snapshot(
+            T0 + timedelta(days=1), ["fra-r1", "lon-r1"], [("fra-r1", "lon-r1", "#1")]
+        )
+        changelog = build_changelog([a, b])
+        assert "no changes" in changelog.render()
+
+    def test_router_addition_narrated(self):
+        a = _snapshot(T0, ["fra-r1", "lon-r1"], [("fra-r1", "lon-r1", "#1")])
+        b = _snapshot(
+            T0 + timedelta(days=1),
+            ["fra-r1", "lon-r1", "fra-r2"],
+            [("fra-r1", "lon-r1", "#1"), ("fra-r1", "fra-r2", "#1")],
+        )
+        text = build_changelog([a, b]).render()
+        assert "1 routers added" in text
+        assert "fra-r2" in text
+        assert "+1 internal" in text
+
+    def test_new_peering_narrated(self):
+        a = _snapshot(T0, ["fra-r1", "lon-r1"], [("fra-r1", "lon-r1", "#1")])
+        b = _snapshot(
+            T0 + timedelta(days=1),
+            ["fra-r1", "lon-r1", "NEWIX"],
+            [("fra-r1", "lon-r1", "#1"), ("fra-r1", "NEWIX", "#1")],
+        )
+        text = build_changelog([a, b]).render()
+        assert "NEWIX" in text
+        assert "+1 external" in text
+
+
+class TestSimulatedNarrative:
+    @pytest.fixture(scope="class")
+    def window(self, simulator):
+        scenario = simulator.upgrade
+        start = scenario.added_at - timedelta(days=10)
+        end = scenario.activated_at + timedelta(days=12)
+        step = (end - start) / 30
+        return [
+            simulator.snapshot(MapName.EUROPE, start + step * i) for i in range(31)
+        ]
+
+    def test_upgrade_narrated_with_peeringdb(self, simulator, window):
+        changelog = build_changelog(
+            window, peeringdb=SyntheticPeeringDB(simulator)
+        )
+        text = changelog.render()
+        assert "capacity upgrade towards AMS-IX" in text
+        assert "400 → 500 Gbps" in text
+        assert "100 Gbps per link" in text
+
+    def test_status_context_included(self, simulator, window):
+        changelog = build_changelog(
+            window, status_feed=SyntheticStatusFeed(simulator)
+        )
+        assert "status page reports" in changelog.render()
+
+    def test_cli_changelog(self, capsys):
+        from repro.cli.main import main
+
+        code = main(
+            [
+                "changelog",
+                "--map",
+                "europe",
+                "--start",
+                "2022-03-01",
+                "--end",
+                "2022-04-01",
+                "--samples",
+                "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Europe map" in out
+        assert "AMS-IX" in out

@@ -1,0 +1,119 @@
+"""Tests for per-site growth attribution and core path diversity."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.analysis.diversity import core_path_diversity, edge_disjoint_paths
+from repro.analysis.sites import (
+    fastest_growing_sites,
+    site_census,
+    site_growth,
+    site_of,
+)
+from repro.constants import MapName, REFERENCE_DATE
+from repro.topology.model import Link, LinkEnd, MapSnapshot, Node
+
+T0 = datetime(2022, 1, 1, tzinfo=timezone.utc)
+
+
+def _snapshot(when, nodes, links):
+    snapshot = MapSnapshot(map_name=MapName.EUROPE, timestamp=when)
+    for name in nodes:
+        snapshot.add_node(Node.from_name(name))
+    for a, b, label in links:
+        snapshot.add_link(Link(LinkEnd(a, label, 10), LinkEnd(b, label, 10)))
+    return snapshot
+
+
+class TestSiteExtraction:
+    def test_site_of(self):
+        assert site_of("fra-fr5-pb6-nc5") == "fra"
+        assert site_of("rbx-rb4-sdtor7-nc5") == "rbx"
+
+    def test_census(self):
+        snapshot = _snapshot(
+            T0, ["fra-r1", "fra-r2", "lon-r1", "PEER"], []
+        )
+        assert site_census(snapshot) == {"fra": 2, "lon": 1}
+
+
+class TestSiteGrowth:
+    def test_growth_attributed(self):
+        before = _snapshot(T0, ["fra-r1", "lon-r1"], [("fra-r1", "lon-r1", "#1")])
+        after = _snapshot(
+            T0 + timedelta(days=30),
+            ["fra-r1", "fra-r2", "lon-r1"],
+            [
+                ("fra-r1", "lon-r1", "#1"),
+                ("fra-r1", "fra-r2", "#1"),
+                ("fra-r1", "fra-r2", "#2"),
+            ],
+        )
+        growth = {item.site: item for item in site_growth(before, after)}
+        assert growth["fra"].routers_added == 1
+        assert growth["fra"].links_added == 4  # two links x two fra ends
+        assert growth["lon"].routers_added == 0
+        assert growth["lon"].link_delta == 0
+
+    def test_removal_attributed(self):
+        before = _snapshot(
+            T0, ["fra-r1", "lon-r1", "lon-r2"],
+            [("fra-r1", "lon-r1", "#1"), ("lon-r1", "lon-r2", "#1")],
+        )
+        after = _snapshot(
+            T0 + timedelta(days=1), ["fra-r1", "lon-r1"], [("fra-r1", "lon-r1", "#1")]
+        )
+        growth = {item.site: item for item in site_growth(before, after)}
+        assert growth["lon"].routers_removed == 1
+        assert growth["lon"].link_delta == -2
+
+    def test_fastest_growing_on_simulator(self, simulator):
+        first = simulator.snapshot(MapName.EUROPE, simulator.config.window_start)
+        last = simulator.snapshot(MapName.EUROPE, REFERENCE_DATE)
+        top = fastest_growing_sites([first, last], top=3)
+        assert len(top) == 3
+        assert top[0].link_delta >= top[1].link_delta >= top[2].link_delta
+        assert top[0].link_delta > 0
+
+    def test_too_few_snapshots(self):
+        assert fastest_growing_sites([_snapshot(T0, ["fra-r1", "lon-r1"], [])]) == []
+
+
+class TestPathDiversity:
+    def test_parallel_links_counted(self):
+        snapshot = _snapshot(
+            T0,
+            ["a-r1", "b-r1"],
+            [("a-r1", "b-r1", "#1"), ("a-r1", "b-r1", "#2"), ("a-r1", "b-r1", "#3")],
+        )
+        assert edge_disjoint_paths(snapshot, "a-r1", "b-r1") == 3
+
+    def test_disconnected_pair(self):
+        snapshot = _snapshot(T0, ["a-r1", "b-r1", "c-r1"], [("a-r1", "b-r1", "#1")])
+        assert edge_disjoint_paths(snapshot, "a-r1", "c-r1") == 0
+
+    def test_peerings_excluded_from_paths(self):
+        # A path through a peering must not count as internal diversity.
+        snapshot = _snapshot(
+            T0,
+            ["a-r1", "b-r1", "IX"],
+            [("a-r1", "b-r1", "#1"), ("a-r1", "IX", "#1"), ("IX", "b-r1", "#1")],
+        )
+        assert edge_disjoint_paths(snapshot, "a-r1", "b-r1") == 1
+
+    def test_missing_router(self):
+        snapshot = _snapshot(T0, ["a-r1", "b-r1"], [("a-r1", "b-r1", "#1")])
+        assert edge_disjoint_paths(snapshot, "a-r1", "ghost") == 0
+
+    def test_core_diversity_on_simulator(self, europe_reference):
+        report = core_path_diversity(europe_reference, max_pairs=15)
+        assert report.pairs_sampled == 15
+        # The paper's claim: core routers see real path diversity.
+        assert report.fraction_multipath == 1.0
+        assert report.mean_disjoint_paths > 5
+
+    def test_empty_core(self):
+        snapshot = _snapshot(T0, ["a-r1", "b-r1"], [("a-r1", "b-r1", "#1")])
+        report = core_path_diversity(snapshot, min_degree=20)
+        assert report.pairs_sampled == 0

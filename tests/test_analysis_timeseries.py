@@ -1,0 +1,101 @@
+"""Unit tests for time series and step detection."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.analysis.timeseries import TimeSeries, detect_steps
+from repro.errors import ReproError
+
+T0 = datetime(2022, 1, 1, tzinfo=timezone.utc)
+
+
+def _series(values, step_hours=1) -> TimeSeries:
+    times = tuple(T0 + timedelta(hours=step_hours * i) for i in range(len(values)))
+    return TimeSeries(times=times, values=tuple(float(v) for v in values))
+
+
+class TestTimeSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            TimeSeries(times=(T0,), values=(1.0, 2.0))
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ReproError):
+            TimeSeries(times=(T0, T0), values=(1.0, 2.0))
+
+    def test_from_pairs_sorts(self):
+        series = TimeSeries.from_pairs(
+            [(T0 + timedelta(hours=1), 2), (T0, 1)]
+        )
+        assert series.values == (1.0, 2.0)
+
+    def test_value_at_step_interpolation(self):
+        series = _series([10, 20, 30])
+        assert series.value_at(T0 + timedelta(minutes=90)) == 20
+
+    def test_value_before_start_raises(self):
+        with pytest.raises(ReproError):
+            _series([1, 2]).value_at(T0 - timedelta(hours=1))
+
+    def test_window(self):
+        series = _series([1, 2, 3, 4])
+        sub = series.window(T0 + timedelta(hours=1), T0 + timedelta(hours=3))
+        assert sub.values == (2.0, 3.0)
+
+    def test_deltas(self):
+        series = _series([1, 4, 2])
+        assert [d for _, d in series.deltas()] == [3.0, -2.0]
+
+    def test_as_arrays(self):
+        times, values = _series([1, 2]).as_arrays()
+        assert list(values) == [1.0, 2.0]
+        assert times[1] - times[0] == 3600
+
+
+class TestStepDetection:
+    def test_clean_step_detected(self):
+        series = _series([10] * 20 + [20] * 20)
+        steps = detect_steps(series, min_delta=5)
+        assert len(steps) == 1
+        assert steps[0].delta == 10
+        assert steps[0].ratio == 2.0
+
+    def test_downward_step(self):
+        series = _series([50] * 20 + [40] * 20)
+        steps = detect_steps(series, min_delta=5)
+        assert len(steps) == 1
+        assert steps[0].delta == -10
+
+    def test_flat_series_no_steps(self):
+        assert detect_steps(_series([7] * 50), min_delta=1) == []
+
+    def test_small_change_below_threshold(self):
+        series = _series([10] * 20 + [10.5] * 20)
+        assert detect_steps(series, min_delta=1) == []
+
+    def test_short_series_no_steps(self):
+        assert detect_steps(_series([1, 100]), min_delta=1) == []
+
+    def test_nearby_detections_merged(self):
+        # A ramp produces several candidate indices; min_gap merges them.
+        series = _series([10] * 20 + [15] * 2 + [20] * 20)
+        steps = detect_steps(series, min_delta=4, min_gap=timedelta(hours=12))
+        assert len(steps) == 1
+
+    def test_two_separated_steps(self):
+        # min_gap must exceed the detection window span (5 samples x 6 h)
+        # so the cluster of candidates around each step merges into one.
+        series = _series([10] * 30 + [20] * 30 + [5] * 30, step_hours=6)
+        steps = detect_steps(series, min_delta=4, min_gap=timedelta(days=2))
+        assert len(steps) == 2
+        assert steps[0].delta > 0 > steps[1].delta
+
+    def test_noise_tolerance_via_median(self):
+        import random
+
+        rng = random.Random(5)
+        values = [10 + rng.uniform(-1, 1) for _ in range(30)]
+        values += [25 + rng.uniform(-1, 1) for _ in range(30)]
+        steps = detect_steps(_series(values), min_delta=8)
+        assert len(steps) == 1

@@ -1,0 +1,182 @@
+"""Tests for the Figure 6 upgrade detection and PeeringDB correlation."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.analysis.upgrades import (
+    GroupObservation,
+    correlate_with_peeringdb,
+    detect_upgrades,
+    track_peering_group,
+)
+from repro.constants import MapName
+from repro.peeringdb.feed import SyntheticPeeringDB
+
+
+@pytest.fixture(scope="module")
+def upgrade_snapshots(simulator):
+    """Six-hourly Europe snapshots spanning the scripted upgrade."""
+    scenario = simulator.upgrade
+    snapshots = []
+    current = scenario.added_at - timedelta(days=8)
+    end = scenario.activated_at + timedelta(days=10)
+    while current < end:
+        snapshots.append(simulator.snapshot(MapName.EUROPE, current))
+        current += timedelta(hours=6)
+    return snapshots
+
+
+@pytest.fixture(scope="module")
+def observations(upgrade_snapshots, simulator):
+    return track_peering_group(upgrade_snapshots, simulator.upgrade.peering)
+
+
+class TestTracking:
+    def test_group_sizes_seen(self, observations, simulator):
+        scenario = simulator.upgrade
+        sizes = {obs.size for obs in observations}
+        assert sizes == {scenario.links_before, scenario.links_after}
+
+    def test_new_link_initially_inactive(self, observations, simulator):
+        scenario = simulator.upgrade
+        grown = [obs for obs in observations if obs.size == scenario.links_after]
+        assert grown[0].active_size == scenario.links_before
+
+    def test_unknown_peering_empty(self, upgrade_snapshots):
+        assert track_peering_group(upgrade_snapshots, "NO-SUCH-IX") == []
+
+
+class TestDetection:
+    def test_exactly_one_upgrade(self, observations):
+        events = detect_upgrades(observations)
+        assert len(events) == 1
+
+    def test_event_dates_match_scenario(self, observations, simulator):
+        scenario = simulator.upgrade
+        event = detect_upgrades(observations)[0]
+        assert abs((event.added_at - scenario.added_at).total_seconds()) < 7 * 3600
+        assert (
+            abs((event.activated_at - scenario.activated_at).total_seconds())
+            < 7 * 3600
+        )
+
+    def test_link_counts(self, observations, simulator):
+        scenario = simulator.upgrade
+        event = detect_upgrades(observations)[0]
+        assert event.links_before == scenario.links_before
+        assert event.links_after == scenario.links_after
+        assert event.expected_load_ratio == pytest.approx(0.8)
+
+    def test_load_drops(self, observations):
+        event = detect_upgrades(observations)[0]
+        assert event.load_after < event.load_before
+
+    def test_no_upgrade_in_flat_stream(self):
+        from datetime import datetime, timezone
+
+        base = datetime(2022, 1, 1, tzinfo=timezone.utc)
+        flat = [
+            GroupObservation(
+                when=base + timedelta(hours=6 * i), loads=(40.0, 41.0, 39.0)
+            )
+            for i in range(40)
+        ]
+        assert detect_upgrades(flat) == []
+
+    def test_size_decrease_not_an_upgrade(self):
+        from datetime import datetime, timezone
+
+        base = datetime(2022, 1, 1, tzinfo=timezone.utc)
+        stream = [
+            GroupObservation(when=base + timedelta(hours=i), loads=(40.0,) * 4)
+            for i in range(10)
+        ] + [
+            GroupObservation(
+                when=base + timedelta(hours=10 + i), loads=(50.0,) * 3
+            )
+            for i in range(10)
+        ]
+        assert detect_upgrades(stream) == []
+
+
+class TestCorrelation:
+    def test_correlated_upgrade(self, observations, simulator):
+        scenario = simulator.upgrade
+        peeringdb = SyntheticPeeringDB(simulator)
+        events = detect_upgrades(observations)
+        correlated = correlate_with_peeringdb(events, peeringdb, scenario.peering)
+        assert len(correlated) == 1
+        item = correlated[0]
+        assert item.peeringdb_updated == scenario.peeringdb_at
+        assert item.capacity_before_gbps == 400
+        assert item.capacity_after_gbps == 500
+
+    def test_per_link_capacity_inferred(self, observations, simulator):
+        # "We can conclude that each link has a capacity of 100 Gbps."
+        scenario = simulator.upgrade
+        peeringdb = SyntheticPeeringDB(simulator)
+        correlated = correlate_with_peeringdb(
+            detect_upgrades(observations), peeringdb, scenario.peering
+        )
+        assert correlated[0].inferred_per_link_capacity_gbps == pytest.approx(100.0)
+
+    def test_no_change_no_correlation(self, observations, simulator):
+        peeringdb = SyntheticPeeringDB(simulator)
+        events = detect_upgrades(observations)
+        # Correlating against a peering with a static capacity history.
+        static_peering = next(
+            name for name in peeringdb.peerings() if name != simulator.upgrade.peering
+        )
+        assert correlate_with_peeringdb(events, peeringdb, static_peering) == []
+
+
+class TestScanAllPeerings:
+    def test_finds_only_the_scripted_upgrade(self, upgrade_snapshots, simulator):
+        from repro.analysis.upgrades import scan_all_peerings
+
+        found = scan_all_peerings(upgrade_snapshots)
+        assert simulator.upgrade.peering in found
+        assert len(found[simulator.upgrade.peering]) == 1
+        # No spurious detections on the dozens of other peerings.
+        assert len(found) == 1
+
+    def test_empty_stream(self):
+        from repro.analysis.upgrades import scan_all_peerings
+
+        assert scan_all_peerings([]) == {}
+
+
+class TestDowngrades:
+    def _stream(self, sizes_and_loads):
+        from datetime import datetime, timezone
+
+        base = datetime(2022, 1, 1, tzinfo=timezone.utc)
+        return [
+            GroupObservation(
+                when=base + timedelta(hours=6 * i), loads=tuple([load] * size)
+            )
+            for i, (size, load) in enumerate(sizes_and_loads)
+        ]
+
+    def test_removal_detected(self):
+        from repro.analysis.upgrades import detect_downgrades
+
+        stream = self._stream([(5, 36)] * 10 + [(4, 45)] * 10)
+        events = detect_downgrades(stream)
+        assert len(events) == 1
+        event = events[0]
+        assert (event.links_before, event.links_after) == (5, 4)
+        assert event.expected_load_ratio == 1.25
+        assert event.observed_load_ratio > 1.0
+
+    def test_growth_not_a_downgrade(self):
+        from repro.analysis.upgrades import detect_downgrades
+
+        stream = self._stream([(4, 45)] * 10 + [(5, 36)] * 10)
+        assert detect_downgrades(stream) == []
+
+    def test_no_downgrade_in_scripted_scenario(self, observations):
+        from repro.analysis.upgrades import detect_downgrades
+
+        assert detect_downgrades(observations) == []

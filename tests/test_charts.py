@@ -1,0 +1,184 @@
+"""Unit tests for chart rendering (SVG charts, ASCII previews, CSV)."""
+
+import pytest
+
+from repro.charts.ascii import ascii_plot, sparkline
+from repro.charts.export import series_to_csv
+from repro.charts.svgchart import BandSeries, ChartRenderer, Series, StepSeries
+from repro.errors import ReproError
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            Series(name="s", xs=(1, 2), ys=(1,))
+
+    def test_band_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            BandSeries(name="b", xs=(1, 2), lows=(1,), highs=(2, 3))
+
+
+class TestChartRenderer:
+    def _chart(self) -> ChartRenderer:
+        chart = ChartRenderer(title="Test chart", x_label="x", y_label="y")
+        chart.add_series(Series(name="line", xs=(0, 1, 2), ys=(0, 1, 4)))
+        return chart
+
+    def test_renders_svg(self):
+        svg = self._chart().to_svg()
+        assert svg.startswith("<svg")
+        assert "Test chart" in svg
+        assert "<polyline" in svg
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ReproError):
+            ChartRenderer(title="empty").to_svg()
+
+    def test_step_series_has_extra_points(self):
+        plain = ChartRenderer(title="t")
+        plain.add_series(Series(name="s", xs=(0, 1, 2), ys=(0, 1, 2)))
+        stepped = ChartRenderer(title="t")
+        stepped.add_series(StepSeries(name="s", xs=(0, 1, 2), ys=(0, 1, 2)))
+        plain_points = plain.to_svg().split('points="')[1]
+        step_points = stepped.to_svg().split('points="')[1]
+        assert len(step_points) > len(plain_points)
+
+    def test_band_rendered_as_polygon(self):
+        chart = ChartRenderer(title="band")
+        chart.add_band(
+            BandSeries(name="b", xs=(0, 1, 2), lows=(0, 1, 1), highs=(2, 3, 3))
+        )
+        chart.add_series(Series(name="median", xs=(0, 1, 2), ys=(1, 2, 2)))
+        assert "<polygon" in chart.to_svg()
+
+    def test_log_x_axis(self):
+        chart = ChartRenderer(title="log", x_log=True)
+        chart.add_series(Series(name="cdf", xs=(1, 10, 100, 1000), ys=(0, 0.5, 0.9, 1)))
+        svg = chart.to_svg()
+        assert "1000" in svg
+
+    def test_legend_names_present(self):
+        chart = ChartRenderer(title="t")
+        chart.add_series(Series(name="internal", xs=(0, 1), ys=(0, 1)))
+        chart.add_series(Series(name="external", xs=(0, 1), ys=(1, 0)))
+        svg = chart.to_svg()
+        assert "internal" in svg and "external" in svg
+
+    def test_write(self, tmp_path):
+        target = tmp_path / "charts" / "out.svg"
+        self._chart().write(target)
+        assert target.exists()
+        assert target.read_text(encoding="utf-8").startswith("<svg")
+
+    def test_custom_color_used(self):
+        chart = ChartRenderer(title="t")
+        chart.add_series(Series(name="s", xs=(0, 1), ys=(0, 1), color="#123456"))
+        assert "#123456" in chart.to_svg()
+
+
+class TestAscii:
+    def test_sparkline_length(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        assert len(line) == 5
+
+    def test_sparkline_downsamples(self):
+        line = sparkline(list(range(1000)), width=50)
+        assert len(line) == 50
+
+    def test_sparkline_flat(self):
+        assert set(sparkline([5, 5, 5])) == {"▁"}
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_ascii_plot_contains_markers(self):
+        plot = ascii_plot([0, 1, 2, 3], [0, 1, 4, 9])
+        assert "*" in plot
+
+    def test_ascii_plot_bounds_shown(self):
+        plot = ascii_plot([0, 100], [5, 50])
+        assert "100" in plot
+
+    def test_ascii_plot_no_data(self):
+        assert ascii_plot([], []) == "(no data)"
+
+
+class TestCsv:
+    def test_columns_written(self):
+        text = series_to_csv({"x": [1, 2], "y": [3, 4]})
+        lines = text.strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,3"
+
+    def test_unequal_lengths_padded(self):
+        text = series_to_csv({"x": [1, 2, 3], "y": [9]})
+        lines = text.strip().splitlines()
+        assert lines[2] == "2,"
+
+    def test_file_output(self, tmp_path):
+        target = tmp_path / "data" / "series.csv"
+        series_to_csv({"a": [1]}, target)
+        assert target.read_text(encoding="utf-8").startswith("a")
+
+
+class TestGantt:
+    def _chart(self):
+        from datetime import datetime, timezone
+
+        from repro.charts.gantt import GanttChart
+
+        chart = GanttChart(title="Figure 2")
+        chart.add_row(
+            "Europe",
+            [
+                (
+                    datetime(2020, 7, 1, tzinfo=timezone.utc),
+                    datetime(2022, 9, 12, tzinfo=timezone.utc),
+                )
+            ],
+        )
+        chart.add_row(
+            "World",
+            [
+                (
+                    datetime(2020, 7, 1, tzinfo=timezone.utc),
+                    datetime(2020, 9, 20, tzinfo=timezone.utc),
+                ),
+                (
+                    datetime(2021, 10, 5, tzinfo=timezone.utc),
+                    datetime(2022, 9, 12, tzinfo=timezone.utc),
+                ),
+            ],
+        )
+        return chart
+
+    def test_renders_rows_and_bars(self):
+        svg = self._chart().to_svg()
+        assert "Europe" in svg and "World" in svg
+        assert svg.count('rx="3"') == 3  # three segment bars
+
+    def test_year_gridlines(self):
+        svg = self._chart().to_svg()
+        assert "2021" in svg and "2022" in svg
+
+    def test_empty_rejected(self):
+        from repro.charts.gantt import GanttChart
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            GanttChart(title="x").to_svg()
+
+    def test_empty_segment_rejected(self):
+        from datetime import datetime, timezone
+
+        from repro.charts.gantt import GanttRow
+        from repro.errors import ReproError
+
+        when = datetime(2022, 1, 1, tzinfo=timezone.utc)
+        with pytest.raises(ReproError):
+            GanttRow(label="x", segments=((when, when),))
+
+    def test_write(self, tmp_path):
+        target = tmp_path / "fig2.svg"
+        self._chart().write(target)
+        assert target.read_text(encoding="utf-8").startswith("<svg")

@@ -1,0 +1,91 @@
+"""End-to-end tests for the repro-weather CLI."""
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_map_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["render", "--map", "mars"])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "/tmp/x", "--start", "2022-01-01", "--end", "2022-01-02"]
+        )
+        assert args.output == "/tmp/x"
+        assert args.interval == 5
+
+
+class TestRender:
+    def test_render_to_file(self, tmp_path, capsys):
+        target = tmp_path / "map.svg"
+        code = main(["render", "--map", "world", "--output", str(target)])
+        assert code == 0
+        assert target.read_text(encoding="utf-8").startswith("<?xml")
+
+    def test_render_to_stdout(self, capsys):
+        code = main(["render", "--map", "world"])
+        assert code == 0
+        assert "<svg" in capsys.readouterr().out
+
+
+class TestPipelineCommands:
+    @pytest.fixture(scope="class")
+    def dataset_dir(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli-dataset")
+        code = main(
+            [
+                "generate",
+                str(root),
+                "--start",
+                "2022-09-11T23:40:00",
+                "--end",
+                "2022-09-12T00:00:00",
+                "--map",
+                "asia-pacific",
+            ]
+        )
+        assert code == 0
+        return root
+
+    def test_generate_wrote_files(self, dataset_dir):
+        assert list(dataset_dir.rglob("*.svg"))
+
+    def test_process(self, dataset_dir, capsys):
+        code = main(["process", str(dataset_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "asia-pacific" in out
+        assert list(dataset_dir.rglob("*.yaml"))
+
+    def test_catalog(self, dataset_dir, capsys):
+        code = main(["catalog", str(dataset_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "asia-pacific" in out
+        assert "5-minute resolution" in out
+
+    def test_tables(self, dataset_dir, capsys):
+        main(["process", str(dataset_dir)])
+        capsys.readouterr()
+        code = main(["tables", str(dataset_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Asia Pacific" in out
+        assert "# SVGs" in out
+
+
+class TestUpgradeCommand:
+    def test_upgrade_case_study(self, capsys):
+        code = main(["upgrade", "--step-hours", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AMS-IX" in out
+        assert "400 -> 500 Gbps" in out
+        assert "per-link capacity 100 Gbps" in out

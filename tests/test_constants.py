@@ -1,0 +1,85 @@
+"""Consistency checks on the paper constants themselves.
+
+These guard against transcription typos: the paper's tables have internal
+arithmetic (totals, per-map sums) that the constants must satisfy.
+"""
+
+from datetime import timedelta
+
+from repro.constants import (
+    COLLECTION_FIX_DATE,
+    COLLECTION_START,
+    LOAD_MAX,
+    LOAD_MIN,
+    MapName,
+    REFERENCE_DATE,
+    SNAPSHOT_INTERVAL,
+    TABLE1_PAPER,
+    TABLE1_PAPER_TOTAL,
+    TABLE2_PAPER,
+    TABLE2_PAPER_TOTAL,
+)
+
+
+class TestTable1Arithmetic:
+    def test_all_maps_present(self):
+        assert set(TABLE1_PAPER) == set(MapName)
+
+    def test_router_total_below_sum(self):
+        # 212 per-map appearances, 181 distinct: 31 shared.
+        per_map_sum = sum(row[0] for row in TABLE1_PAPER.values())
+        assert per_map_sum == 212
+        assert TABLE1_PAPER_TOTAL[0] == 181
+        assert per_map_sum - TABLE1_PAPER_TOTAL[0] == 31
+
+    def test_internal_total_below_sum(self):
+        per_map_sum = sum(row[1] for row in TABLE1_PAPER.values())
+        assert per_map_sum == 1323
+        assert TABLE1_PAPER_TOTAL[1] == 1186
+        assert per_map_sum - TABLE1_PAPER_TOTAL[1] == 137
+
+    def test_external_total_is_plain_sum(self):
+        assert sum(row[2] for row in TABLE1_PAPER.values()) == TABLE1_PAPER_TOTAL[2]
+
+    def test_world_has_no_peerings(self):
+        assert TABLE1_PAPER[MapName.WORLD][2] == 0
+
+
+class TestTable2Arithmetic:
+    def test_file_totals(self):
+        assert sum(row[0] for row in TABLE2_PAPER.values()) == TABLE2_PAPER_TOTAL[0]
+        assert sum(row[2] for row in TABLE2_PAPER.values()) == TABLE2_PAPER_TOTAL[2]
+
+    def test_size_totals(self):
+        # The paper prints per-map sizes rounded to 2 decimals; their sum
+        # lands within one rounding step of the printed total (227.92 vs
+        # 227.93 GiB for the SVGs).
+        assert abs(
+            sum(row[1] for row in TABLE2_PAPER.values()) - TABLE2_PAPER_TOTAL[1]
+        ) <= 0.02
+        assert abs(
+            sum(row[3] for row in TABLE2_PAPER.values()) - TABLE2_PAPER_TOTAL[3]
+        ) <= 0.02
+
+    def test_under_a_hundred_unprocessed_per_map(self):
+        # "leaving less than a hundred files per map unprocessed"
+        for svgs, _, yamls, _ in TABLE2_PAPER.values():
+            assert 0 <= svgs - yamls < 100
+
+    def test_compression_factor_about_eight(self):
+        assert 7.5 < TABLE2_PAPER_TOTAL[1] / TABLE2_PAPER_TOTAL[3] < 8.5
+
+
+class TestTimeline:
+    def test_campaign_spans_two_years(self):
+        span = REFERENCE_DATE - COLLECTION_START
+        assert timedelta(days=700) < span < timedelta(days=830)
+
+    def test_fix_inside_campaign(self):
+        assert COLLECTION_START < COLLECTION_FIX_DATE < REFERENCE_DATE
+
+    def test_cadence_is_five_minutes(self):
+        assert SNAPSHOT_INTERVAL == timedelta(minutes=5)
+
+    def test_load_bounds(self):
+        assert (LOAD_MIN, LOAD_MAX) == (0, 100)

@@ -1,0 +1,85 @@
+"""Tests for dataset archive packing/unpacking."""
+
+import tarfile
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.constants import MapName
+from repro.dataset.archive import pack_dataset, unpack_archive
+from repro.dataset.store import DatasetStore
+from repro.errors import DatasetError
+
+T0 = datetime(2022, 3, 28, tzinfo=timezone.utc)  # spans a month boundary
+
+
+@pytest.fixture()
+def store(tmp_path) -> DatasetStore:
+    store = DatasetStore(tmp_path / "dataset")
+    for day in range(6):  # Mar 28 .. Apr 2
+        when = T0 + timedelta(days=day)
+        store.write(MapName.WORLD, when, "svg", f"<svg day='{day}'/>")
+        store.write(MapName.WORLD, when, "yaml", f"map: world # {day}")
+    return store
+
+
+class TestPack:
+    def test_per_month_bundles(self, store, tmp_path):
+        archives = pack_dataset(store, tmp_path / "bundles", maps=[MapName.WORLD])
+        names = sorted(a.path.name for a in archives)
+        assert names == [
+            "world-svg-2022-03.tar.gz",
+            "world-svg-2022-04.tar.gz",
+            "world-yaml-2022-03.tar.gz",
+            "world-yaml-2022-04.tar.gz",
+        ]
+        by_name = {a.path.name: a for a in archives}
+        assert by_name["world-svg-2022-03.tar.gz"].members == 4
+        assert by_name["world-svg-2022-04.tar.gz"].members == 2
+
+    def test_member_paths_store_relative(self, store, tmp_path):
+        archives = pack_dataset(store, tmp_path / "bundles", maps=[MapName.WORLD])
+        with tarfile.open(archives[0].path) as archive:
+            names = archive.getnames()
+        assert all(name.startswith("world/") for name in names)
+
+    def test_empty_map_skipped(self, store, tmp_path):
+        archives = pack_dataset(store, tmp_path / "bundles", maps=[MapName.EUROPE])
+        assert archives == []
+
+
+class TestUnpack:
+    def test_round_trip(self, store, tmp_path):
+        archives = pack_dataset(store, tmp_path / "bundles", maps=[MapName.WORLD])
+        restored = DatasetStore(tmp_path / "restored")
+        total = sum(unpack_archive(a.path, restored) for a in archives)
+        assert total == 12
+        assert restored.timestamps(MapName.WORLD, "svg") == store.timestamps(
+            MapName.WORLD, "svg"
+        )
+        first = store.timestamps(MapName.WORLD, "svg")[0]
+        assert restored.read_bytes(
+            MapName.WORLD, first, "svg"
+        ) == store.read_bytes(MapName.WORLD, first, "svg")
+
+    def test_missing_archive(self, tmp_path):
+        with pytest.raises(DatasetError):
+            unpack_archive(tmp_path / "nope.tar.gz", DatasetStore(tmp_path / "s"))
+
+    def test_path_traversal_rejected(self, tmp_path):
+        evil = tmp_path / "evil.tar.gz"
+        payload = tmp_path / "payload.svg"
+        payload.write_text("<svg/>")
+        with tarfile.open(evil, "w:gz") as archive:
+            archive.add(payload, arcname="../../outside.svg")
+        with pytest.raises(DatasetError):
+            unpack_archive(evil, DatasetStore(tmp_path / "victim"))
+
+    def test_foreign_file_rejected(self, tmp_path):
+        bundle = tmp_path / "odd.tar.gz"
+        payload = tmp_path / "script.sh"
+        payload.write_text("#!/bin/sh")
+        with tarfile.open(bundle, "w:gz") as archive:
+            archive.add(payload, arcname="world/svg/script.sh")
+        with pytest.raises(DatasetError):
+            unpack_archive(bundle, DatasetStore(tmp_path / "victim"))

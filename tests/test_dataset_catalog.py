@@ -1,0 +1,86 @@
+"""Unit tests for the dataset catalog (Figures 2 and 3 primitives)."""
+
+from datetime import datetime, timedelta, timezone
+
+from repro.constants import MapName, SNAPSHOT_INTERVAL
+from repro.dataset.catalog import DatasetCatalog
+from repro.dataset.store import DatasetStore
+
+T0 = datetime(2022, 1, 1, tzinfo=timezone.utc)
+
+
+def _store_with(tmp_path, stamps) -> DatasetStore:
+    store = DatasetStore(tmp_path)
+    for stamp in stamps:
+        store.write(MapName.EUROPE, stamp, "svg", "<svg/>")
+    return store
+
+
+class TestDistances:
+    def test_regular_cadence(self, tmp_path):
+        stamps = [T0 + SNAPSHOT_INTERVAL * i for i in range(10)]
+        catalog = DatasetCatalog(_store_with(tmp_path, stamps))
+        distances = catalog.distances(MapName.EUROPE)
+        assert len(distances) == 9
+        assert all(d == 300 for d in distances)
+
+    def test_gap_visible(self, tmp_path):
+        stamps = [T0, T0 + SNAPSHOT_INTERVAL, T0 + timedelta(minutes=30)]
+        catalog = DatasetCatalog(_store_with(tmp_path, stamps))
+        assert sorted(catalog.distances(MapName.EUROPE)) == [300, 1500]
+
+    def test_empty_map(self, tmp_path):
+        catalog = DatasetCatalog(_store_with(tmp_path, []))
+        assert catalog.distances(MapName.WORLD).size == 0
+        assert catalog.snapshot_count(MapName.WORLD) == 0
+
+    def test_distance_cdf(self, tmp_path):
+        stamps = [T0, T0 + SNAPSHOT_INTERVAL, T0 + timedelta(minutes=30)]
+        catalog = DatasetCatalog(_store_with(tmp_path, stamps))
+        xs, fractions = catalog.distance_cdf(MapName.EUROPE)
+        assert list(xs) == [300, 1500]
+        assert list(fractions) == [0.5, 1.0]
+
+    def test_fraction_at_resolution(self, tmp_path):
+        stamps = [T0, T0 + SNAPSHOT_INTERVAL, T0 + timedelta(minutes=30)]
+        catalog = DatasetCatalog(_store_with(tmp_path, stamps))
+        assert catalog.fraction_at_resolution(MapName.EUROPE) == 0.5
+
+
+class TestTimeFrames:
+    def test_single_frame(self, tmp_path):
+        stamps = [T0 + SNAPSHOT_INTERVAL * i for i in range(5)]
+        catalog = DatasetCatalog(_store_with(tmp_path, stamps))
+        frames = catalog.time_frames(MapName.EUROPE)
+        assert len(frames) == 1
+        assert frames[0].snapshot_count == 5
+        assert frames[0].duration == SNAPSHOT_INTERVAL * 4
+
+    def test_split_on_large_gap(self, tmp_path):
+        stamps = [T0, T0 + SNAPSHOT_INTERVAL] + [
+            T0 + timedelta(days=30) + SNAPSHOT_INTERVAL * i for i in range(3)
+        ]
+        catalog = DatasetCatalog(_store_with(tmp_path, stamps))
+        frames = catalog.time_frames(MapName.EUROPE, max_gap=timedelta(hours=1))
+        assert len(frames) == 2
+        assert frames[0].snapshot_count == 2
+        assert frames[1].snapshot_count == 3
+
+    def test_small_gap_not_split(self, tmp_path):
+        stamps = [T0, T0 + timedelta(minutes=30)]
+        catalog = DatasetCatalog(_store_with(tmp_path, stamps))
+        frames = catalog.time_frames(MapName.EUROPE, max_gap=timedelta(hours=1))
+        assert len(frames) == 1
+
+    def test_empty(self, tmp_path):
+        catalog = DatasetCatalog(_store_with(tmp_path, []))
+        assert catalog.time_frames(MapName.EUROPE) == []
+
+    def test_caching(self, tmp_path):
+        stamps = [T0]
+        store = _store_with(tmp_path, stamps)
+        catalog = DatasetCatalog(store)
+        assert catalog.snapshot_count(MapName.EUROPE) == 1
+        # Adding a file after the first query is invisible (cached index).
+        store.write(MapName.EUROPE, T0 + SNAPSHOT_INTERVAL, "svg", "<svg/>")
+        assert catalog.snapshot_count(MapName.EUROPE) == 1

@@ -1,0 +1,64 @@
+"""Unit tests for corruption injection."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.constants import MapName
+from repro.dataset.corruption import CorruptionInjector
+from repro.errors import ParseError, SvgError
+from repro.parsing.pipeline import parse_svg
+
+WHEN = datetime(2022, 3, 5, 10, 0, tzinfo=timezone.utc)
+
+
+class TestSelection:
+    def test_deterministic(self):
+        a = CorruptionInjector(seed=1, rate=0.5)
+        b = CorruptionInjector(seed=1, rate=0.5)
+        for minutes in range(0, 100, 5):
+            when = WHEN + timedelta(minutes=minutes)
+            assert a.is_corrupted(MapName.EUROPE, when) == b.is_corrupted(
+                MapName.EUROPE, when
+            )
+
+    def test_rate_respected(self):
+        injector = CorruptionInjector(seed=7, rate=0.1)
+        hits = sum(
+            injector.is_corrupted(MapName.EUROPE, WHEN + timedelta(minutes=5 * i))
+            for i in range(2000)
+        )
+        assert 100 < hits < 320
+
+    def test_zero_rate_never_corrupts(self):
+        injector = CorruptionInjector(seed=7, rate=0.0)
+        svg, corrupted = injector.maybe_corrupt("<svg/>", MapName.EUROPE, WHEN)
+        assert not corrupted
+        assert svg == "<svg/>"
+
+
+class TestCorruptionModes:
+    @pytest.fixture(scope="class")
+    def injector(self):
+        return CorruptionInjector(seed=2022, rate=1.0)
+
+    def test_every_mode_breaks_parsing(self, injector, apac_svg):
+        # Whatever mode is chosen, the file must become unprocessable —
+        # that is what Table 2's unprocessed column counts.
+        failures = 0
+        for minutes in range(0, 120, 5):
+            when = WHEN + timedelta(minutes=minutes)
+            corrupted = injector.corrupt(apac_svg, MapName.ASIA_PACIFIC, when)
+            assert corrupted != apac_svg
+            try:
+                parse_svg(corrupted, MapName.ASIA_PACIFIC, when)
+            except (SvgError, ParseError):
+                failures += 1
+        assert failures == 24
+
+    def test_modes_vary(self, injector, apac_svg):
+        outputs = {
+            injector.corrupt(apac_svg, MapName.ASIA_PACIFIC, WHEN + timedelta(minutes=5 * i))
+            for i in range(12)
+        }
+        assert len(outputs) > 1

@@ -1,0 +1,103 @@
+"""Unit tests for the availability model (Figures 2 and 3 behaviours)."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.constants import COLLECTION_FIX_DATE, MapName, SNAPSHOT_INTERVAL
+from repro.dataset.gaps import AvailabilityModel, CollectionSegment
+from repro.errors import DatasetError
+
+
+def _utc(*args) -> datetime:
+    return datetime(*args, tzinfo=timezone.utc)
+
+
+MODEL = AvailabilityModel(seed=2022)
+
+
+class TestSegments:
+    def test_empty_segment_rejected(self):
+        with pytest.raises(DatasetError):
+            CollectionSegment(_utc(2021, 1, 1), _utc(2021, 1, 1))
+
+    def test_europe_continuous(self):
+        segments = MODEL.segments_for(MapName.EUROPE)
+        assert len(segments) == 1
+
+    def test_other_maps_split(self):
+        # "collected between July and September 2020 and after October 2021"
+        for map_name in (MapName.WORLD, MapName.NORTH_AMERICA, MapName.ASIA_PACIFIC):
+            segments = MODEL.segments_for(map_name)
+            assert len(segments) == 2
+            assert segments[0].end < _utc(2020, 10, 1)
+            assert segments[1].start > _utc(2021, 9, 30)
+
+    def test_outside_segment_never_collected(self):
+        # The 2021 hole in the World map's collection.
+        assert not MODEL.is_collected(MapName.WORLD, _utc(2021, 3, 15, 12, 0))
+
+
+class TestMissRates:
+    def _collected_fraction(self, map_name, start, days=3) -> float:
+        ticks = MODEL.ticks(map_name, start, start + timedelta(days=days))
+        expected = days * 24 * 12
+        return len(ticks) / expected
+
+    def test_europe_high_availability(self):
+        # ">99.8 % of the snapshots are available at the highest resolution"
+        fraction = self._collected_fraction(MapName.EUROPE, _utc(2021, 2, 1), days=5)
+        assert fraction > 0.99
+
+    def test_other_maps_lossier_before_fix(self):
+        fraction = self._collected_fraction(
+            MapName.NORTH_AMERICA, _utc(2022, 2, 1), days=3
+        )
+        assert 0.85 < fraction < 0.99
+
+    def test_fix_improves_collection(self):
+        # "As less short gaps appear ... past this point, the fix improved
+        # our data collection."
+        before = self._collected_fraction(
+            MapName.NORTH_AMERICA, COLLECTION_FIX_DATE - timedelta(days=10), days=5
+        )
+        after = self._collected_fraction(
+            MapName.NORTH_AMERICA, COLLECTION_FIX_DATE + timedelta(days=10), days=5
+        )
+        assert after > before
+
+    def test_deterministic(self):
+        other = AvailabilityModel(seed=2022)
+        when = _utc(2022, 3, 5, 10, 35)
+        for map_name in MapName:
+            assert other.is_collected(map_name, when) == MODEL.is_collected(
+                map_name, when
+            )
+
+    def test_seed_changes_pattern(self):
+        other = AvailabilityModel(seed=1)
+        start = _utc(2022, 2, 1)
+        mine = MODEL.ticks(MapName.NORTH_AMERICA, start, start + timedelta(days=2))
+        theirs = other.ticks(MapName.NORTH_AMERICA, start, start + timedelta(days=2))
+        assert mine != theirs
+
+
+class TestTicks:
+    def test_tick_cadence(self):
+        start = _utc(2021, 6, 1)
+        ticks = MODEL.ticks(MapName.EUROPE, start, start + timedelta(hours=2))
+        assert len(ticks) >= 22  # 24 nominal, tiny loss allowed
+        for a, b in zip(ticks, ticks[1:]):
+            assert (b - a) >= SNAPSHOT_INTERVAL
+
+    def test_custom_interval(self):
+        start = _utc(2021, 6, 1)
+        ticks = MODEL.ticks(
+            MapName.EUROPE, start, start + timedelta(hours=2), interval=timedelta(hours=1)
+        )
+        assert len(ticks) == 2
+
+    def test_unknown_map_raises(self):
+        model = AvailabilityModel(segments={})
+        with pytest.raises(DatasetError):
+            model.is_collected(MapName.EUROPE, _utc(2021, 1, 1))

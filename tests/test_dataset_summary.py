@@ -1,0 +1,63 @@
+"""Unit tests for Table 1 building and formatting."""
+
+import pytest
+
+from repro.constants import (
+    MapName,
+    REFERENCE_DATE,
+    TABLE1_PAPER,
+    TABLE1_PAPER_TOTAL,
+)
+from repro.dataset.summary import build_table1, format_table1
+
+
+@pytest.fixture(scope="module")
+def table1(simulator):
+    snapshots = {
+        map_name: simulator.snapshot(map_name, REFERENCE_DATE)
+        for map_name in simulator.map_names
+    }
+    return build_table1(snapshots)
+
+
+class TestTable1:
+    def test_per_map_rows_match_paper(self, table1):
+        by_map = {row.map_name: row for row in table1 if row.map_name}
+        for map_name, (routers, internal, external) in TABLE1_PAPER.items():
+            row = by_map[map_name]
+            assert (row.routers, row.internal_links, row.external_links) == (
+                routers,
+                internal,
+                external,
+            )
+
+    def test_total_row_deduplicates(self, table1):
+        total = table1[-1]
+        assert total.map_name is None
+        assert (
+            total.routers,
+            total.internal_links,
+            total.external_links,
+        ) == TABLE1_PAPER_TOTAL
+
+    def test_total_less_than_sum(self, table1):
+        per_map = [row for row in table1 if row.map_name]
+        total = table1[-1]
+        assert total.routers < sum(row.routers for row in per_map)
+        assert total.internal_links < sum(row.internal_links for row in per_map)
+        # External links are never shared between maps.
+        assert total.external_links == sum(row.external_links for row in per_map)
+
+    def test_partial_map_set(self, simulator):
+        rows = build_table1(
+            {MapName.EUROPE: simulator.snapshot(MapName.EUROPE, REFERENCE_DATE)}
+        )
+        assert len(rows) == 2
+        assert rows[-1].routers == TABLE1_PAPER[MapName.EUROPE][0]
+
+    def test_formatting(self, table1):
+        text = format_table1(table1)
+        assert "Europe" in text
+        assert "North America" in text
+        assert "Total" in text
+        assert "1,186" in text

@@ -1,0 +1,33 @@
+"""Every shipped example must run clean end to end.
+
+The examples are deliverables; this guards them against API drift.  Each
+runs in a subprocess (its own interpreter, like a user would) and must
+exit 0 without traceback output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 8
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert "Traceback" not in completed.stderr
+    assert completed.stdout.strip()  # every example narrates its findings

@@ -1,0 +1,88 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+
+    def test_subtraction(self):
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scalar_multiplication(self):
+        assert Point(1, -2) * 3 == Point(3, -6)
+
+    def test_right_multiplication(self):
+        assert 2 * Point(1, 2) == Point(2, 4)
+
+    def test_division(self):
+        assert Point(4, 6) / 2 == Point(2, 3)
+
+    def test_negation(self):
+        assert -Point(1, -2) == Point(-1, 2)
+
+
+class TestProducts:
+    def test_dot_product(self):
+        assert Point(1, 2).dot(Point(3, 4)) == 11
+
+    def test_dot_orthogonal_is_zero(self):
+        assert Point(1, 0).dot(Point(0, 5)) == 0
+
+    def test_cross_product_sign(self):
+        # In screen coords, (1,0) x (0,1) is positive (clockwise visual).
+        assert Point(1, 0).cross(Point(0, 1)) == 1
+
+    def test_cross_parallel_is_zero(self):
+        assert Point(2, 4).cross(Point(1, 2)) == 0
+
+
+class TestMetrics:
+    def test_norm(self):
+        assert Point(3, 4).norm() == 5
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(4, 6)) == Point(2, 3)
+
+    def test_is_close_within_tolerance(self):
+        assert Point(1, 1).is_close(Point(1 + 1e-12, 1))
+
+    def test_is_close_outside_tolerance(self):
+        assert not Point(1, 1).is_close(Point(1.1, 1))
+
+
+class TestDirections:
+    def test_normalized_unit_length(self):
+        assert Point(3, 4).normalized().norm() == pytest.approx(1.0)
+
+    def test_normalized_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            Point(0, 0).normalized()
+
+    def test_perpendicular_is_orthogonal(self):
+        p = Point(3, 7)
+        assert p.dot(p.perpendicular()) == 0
+
+    def test_rotated_quarter_turn(self):
+        rotated = Point(1, 0).rotated(math.pi / 2)
+        assert rotated.is_close(Point(0, 1), tolerance=1e-9)
+
+    def test_rotated_preserves_norm(self):
+        assert Point(3, 4).rotated(1.234).norm() == pytest.approx(5.0)
+
+
+class TestSerialisation:
+    def test_as_tuple(self):
+        assert Point(1.5, -2.5).as_tuple() == (1.5, -2.5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(1, 2).x = 3  # type: ignore[misc]

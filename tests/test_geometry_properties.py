@@ -1,0 +1,95 @@
+"""Property-based tests on the geometry primitives (hypothesis).
+
+Algorithm 2's correctness rests on these invariants holding for *every*
+input the renderer can produce, so they are exercised generatively.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.geometry import Point, Rect, Segment
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+positive = st.floats(min_value=0.01, max_value=1e4, allow_nan=False)
+
+points = st.builds(Point, finite, finite)
+rects = st.builds(Rect, finite, finite, positive, positive)
+
+
+def distinct_segments():
+    return st.tuples(points, points).filter(
+        lambda pair: pair[0].distance_to(pair[1]) > 1e-3
+    ).map(lambda pair: Segment(pair[0], pair[1]))
+
+
+@given(points, points)
+def test_distance_symmetry(a, b):
+    assert a.distance_to(b) == b.distance_to(a)
+
+
+@given(points, points, points)
+def test_triangle_inequality(a, b, c):
+    assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+
+@given(points, points)
+def test_midpoint_equidistant(a, b):
+    mid = a.midpoint(b)
+    assert abs(mid.distance_to(a) - mid.distance_to(b)) <= 1e-6 * (
+        1 + a.distance_to(b)
+    )
+
+
+@given(points)
+def test_perpendicular_orthogonal(p):
+    assert p.dot(p.perpendicular()) == 0
+
+
+@given(rects, points)
+def test_distance_zero_iff_contains(rect, point):
+    inside = rect.contains(point, tolerance=0.0)
+    distance = rect.distance_to_point(point)
+    if inside:
+        assert distance == 0
+    else:
+        assert distance > 0
+
+
+@given(rects)
+def test_center_is_inside(rect):
+    assert rect.contains(rect.center)
+
+
+@given(rects)
+def test_line_through_center_always_intersects(rect):
+    # Any line through the centre must intersect the box.
+    line = Segment(rect.center, rect.center + Point(1.0, 0.7))
+    assert rect.intersects_line(line)
+
+
+@given(rects, distinct_segments())
+def test_segment_hit_implies_line_hit(rect, segment):
+    # The finite segment is a subset of its supporting line.
+    if rect.intersects_segment(segment):
+        assert rect.intersects_line(segment)
+
+
+@given(distinct_segments(), points)
+def test_line_distance_below_segment_distance(segment, point):
+    assert (
+        segment.line_distance_to_point(point)
+        <= segment.distance_to_point(point) + 1e-6
+    )
+
+
+@given(distinct_segments())
+def test_point_at_midpoint_matches(segment):
+    assert segment.point_at(0.5).is_close(segment.midpoint, tolerance=1e-6)
+
+
+@given(distinct_segments(), st.floats(min_value=-3, max_value=3))
+def test_projection_roundtrip(segment, t):
+    # Projecting a point generated on the line recovers the parameter.
+    point = segment.point_at(t)
+    assert abs(segment.project(point) - t) <= 1e-4 * (1 + abs(t))

@@ -1,0 +1,131 @@
+"""Unit tests for repro.geometry.rect — especially the line-intersection
+test Algorithm 2 depends on."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Rect, Segment
+
+
+class TestConstruction:
+    def test_empty_rect_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 0, 5)
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 5, -1)
+
+    def test_from_center(self):
+        r = Rect.from_center(Point(5, 5), 4, 2)
+        assert r.as_tuple() == (3, 4, 4, 2)
+
+    def test_bounding(self):
+        r = Rect.bounding([Point(1, 2), Point(5, 0), Point(3, 7)])
+        assert (r.left, r.top, r.right, r.bottom) == (1, 0, 5, 7)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Rect.bounding([])
+
+
+class TestAccessors:
+    def test_center(self):
+        assert Rect(0, 0, 10, 20).center == Point(5, 10)
+
+    def test_edges_count(self):
+        assert len(list(Rect(0, 0, 1, 1).edges())) == 4
+
+    def test_corners_order(self):
+        corners = Rect(0, 0, 2, 3).corners()
+        assert corners[0] == Point(0, 0)
+        assert corners[2] == Point(2, 3)
+
+
+class TestContainment:
+    def test_contains_interior(self):
+        assert Rect(0, 0, 10, 10).contains(Point(5, 5))
+
+    def test_contains_boundary(self):
+        assert Rect(0, 0, 10, 10).contains(Point(0, 5))
+
+    def test_excludes_outside(self):
+        assert not Rect(0, 0, 10, 10).contains(Point(11, 5))
+
+
+class TestLineIntersection:
+    """The core Algorithm 2 primitive: infinite line vs box."""
+
+    def test_horizontal_line_through_box(self):
+        box = Rect(10, 10, 20, 10)
+        line = Segment(Point(0, 15), Point(1, 15))
+        assert box.intersects_line(line)
+
+    def test_line_above_box_misses(self):
+        box = Rect(10, 10, 20, 10)
+        line = Segment(Point(0, 5), Point(1, 5))
+        assert not box.intersects_line(line)
+
+    def test_line_hits_box_far_beyond_segment(self):
+        # The *infinite* line matters; the finite segment is far away.
+        box = Rect(1000, -5, 10, 10)
+        line = Segment(Point(0, 0), Point(1, 0))
+        assert box.intersects_line(line)
+
+    def test_diagonal_line_through_corner_region(self):
+        box = Rect(0, 0, 10, 10)
+        line = Segment(Point(-5, -5), Point(1, 1))
+        assert box.intersects_line(line)
+
+    def test_diagonal_line_missing_box(self):
+        box = Rect(0, 0, 10, 10)
+        line = Segment(Point(20, 0), Point(21, 1))
+        assert not box.intersects_line(line)
+
+    def test_vertical_line(self):
+        box = Rect(0, 0, 10, 10)
+        assert box.intersects_line(Segment(Point(5, -100), Point(5, -99)))
+        assert not box.intersects_line(Segment(Point(15, -100), Point(15, -99)))
+
+
+class TestSegmentIntersection:
+    def test_segment_inside(self):
+        assert Rect(0, 0, 10, 10).intersects_segment(
+            Segment(Point(1, 1), Point(2, 2))
+        )
+
+    def test_segment_crossing(self):
+        assert Rect(0, 0, 10, 10).intersects_segment(
+            Segment(Point(-5, 5), Point(15, 5))
+        )
+
+    def test_segment_outside(self):
+        assert not Rect(0, 0, 10, 10).intersects_segment(
+            Segment(Point(20, 20), Point(30, 30))
+        )
+
+
+class TestRectIntersection:
+    def test_overlapping(self):
+        assert Rect(0, 0, 10, 10).intersects_rect(Rect(5, 5, 10, 10))
+
+    def test_touching_counts(self):
+        assert Rect(0, 0, 10, 10).intersects_rect(Rect(10, 0, 5, 5))
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 10, 10).intersects_rect(Rect(20, 20, 5, 5))
+
+
+class TestDistance:
+    def test_distance_inside_is_zero(self):
+        assert Rect(0, 0, 10, 10).distance_to_point(Point(5, 5)) == 0
+
+    def test_distance_lateral(self):
+        assert Rect(0, 0, 10, 10).distance_to_point(Point(15, 5)) == 5
+
+    def test_distance_diagonal(self):
+        assert Rect(0, 0, 10, 10).distance_to_point(Point(13, 14)) == 5
+
+    def test_expanded(self):
+        r = Rect(10, 10, 10, 10).expanded(2)
+        assert r.as_tuple() == (8, 8, 14, 14)

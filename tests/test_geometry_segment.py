@@ -1,0 +1,115 @@
+"""Unit tests for repro.geometry.segment."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Segment
+
+
+class TestConstruction:
+    def test_degenerate_segment_rejected(self):
+        with pytest.raises(GeometryError):
+            Segment(Point(1, 1), Point(1, 1))
+
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(3, 4)).length == 5
+
+    def test_midpoint(self):
+        assert Segment(Point(0, 0), Point(4, 0)).midpoint == Point(2, 0)
+
+    def test_direction_is_unit(self):
+        assert Segment(Point(0, 0), Point(10, 0)).direction == Point(1, 0)
+
+
+class TestParametrisation:
+    def test_point_at_zero_is_start(self):
+        s = Segment(Point(1, 2), Point(5, 6))
+        assert s.point_at(0) == s.start
+
+    def test_point_at_one_is_end(self):
+        s = Segment(Point(1, 2), Point(5, 6))
+        assert s.point_at(1) == s.end
+
+    def test_point_at_extrapolates(self):
+        s = Segment(Point(0, 0), Point(2, 0))
+        assert s.point_at(2) == Point(4, 0)
+
+    def test_project_midpoint(self):
+        s = Segment(Point(0, 0), Point(4, 0))
+        assert s.project(Point(2, 7)) == pytest.approx(0.5)
+
+    def test_project_before_start_negative(self):
+        s = Segment(Point(0, 0), Point(4, 0))
+        assert s.project(Point(-2, 0)) < 0
+
+
+class TestDistances:
+    def test_distance_to_point_on_segment(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.distance_to_point(Point(5, 3)) == 3
+
+    def test_distance_clamps_to_endpoint(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.distance_to_point(Point(13, 4)) == 5
+
+    def test_line_distance_ignores_extent(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        # Beyond the segment end, but on the supporting line's level.
+        assert s.line_distance_to_point(Point(100, 4)) == pytest.approx(4)
+
+
+class TestIntersections:
+    def test_line_intersection_crossing(self):
+        a = Segment(Point(0, 0), Point(10, 10))
+        b = Segment(Point(0, 10), Point(10, 0))
+        assert a.line_intersection(b).is_close(Point(5, 5))
+
+    def test_line_intersection_parallel_none(self):
+        a = Segment(Point(0, 0), Point(10, 0))
+        b = Segment(Point(0, 1), Point(10, 1))
+        assert a.line_intersection(b) is None
+
+    def test_line_intersection_beyond_segments(self):
+        # Supporting lines cross outside the finite segments.
+        a = Segment(Point(0, 0), Point(1, 1))
+        b = Segment(Point(10, 0), Point(9, 1))
+        point = a.line_intersection(b)
+        assert point is not None
+        assert point.is_close(Point(5, 5))
+
+    def test_segments_intersect(self):
+        a = Segment(Point(0, 0), Point(10, 10))
+        b = Segment(Point(0, 10), Point(10, 0))
+        assert a.intersects_segment(b)
+
+    def test_segments_disjoint(self):
+        a = Segment(Point(0, 0), Point(1, 1))
+        b = Segment(Point(5, 5), Point(6, 5))
+        assert not a.intersects_segment(b)
+
+    def test_segments_touching_endpoint(self):
+        a = Segment(Point(0, 0), Point(5, 0))
+        b = Segment(Point(5, 0), Point(5, 5))
+        assert a.intersects_segment(b)
+
+    def test_collinear_overlapping(self):
+        a = Segment(Point(0, 0), Point(10, 0))
+        b = Segment(Point(5, 0), Point(15, 0))
+        assert a.intersects_segment(b)
+
+    def test_collinear_disjoint(self):
+        a = Segment(Point(0, 0), Point(1, 0))
+        b = Segment(Point(5, 0), Point(7, 0))
+        assert not a.intersects_segment(b)
+
+
+class TestTransforms:
+    def test_extended_lengths(self):
+        s = Segment(Point(0, 0), Point(10, 0)).extended(before=2, after=3)
+        assert s.start == Point(-2, 0)
+        assert s.end == Point(13, 0)
+
+    def test_reversed(self):
+        s = Segment(Point(1, 2), Point(3, 4)).reversed()
+        assert s.start == Point(3, 4)
+        assert s.end == Point(1, 2)

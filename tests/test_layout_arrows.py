@@ -1,0 +1,148 @@
+"""Unit tests for link geometry: perimeter walking, relaxation, arrows."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.geometry import Point, Rect, Segment
+from repro.layout.arrows import (
+    build_link_geometry,
+    label_box_for,
+    perimeter_length,
+    perimeter_point,
+    perimeter_position_towards,
+    relax_positions,
+)
+
+BOX = Rect(100, 100, 80, 26)
+
+
+class TestPerimeterWalk:
+    def test_length(self):
+        assert perimeter_length(BOX) == 2 * (80 + 26)
+
+    def test_position_zero_is_right_middle(self):
+        assert perimeter_point(BOX, 0) == Point(BOX.right, BOX.center.y)
+
+    def test_wraps_around(self):
+        total = perimeter_length(BOX)
+        assert perimeter_point(BOX, total).is_close(perimeter_point(BOX, 0))
+
+    def test_every_position_on_boundary(self):
+        total = perimeter_length(BOX)
+        for i in range(50):
+            point = perimeter_point(BOX, total * i / 50)
+            assert BOX.distance_to_point(point) == pytest.approx(0, abs=1e-9)
+
+    def test_quarter_positions(self):
+        # half_h -> bottom-right corner.
+        p = perimeter_point(BOX, 13)
+        assert p == Point(BOX.right, BOX.bottom)
+
+
+class TestPerimeterTowards:
+    @pytest.mark.parametrize(
+        "target",
+        [
+            Point(500, 113),   # due right
+            Point(-500, 113),  # due left
+            Point(140, 500),   # below
+            Point(140, -500),  # above
+            Point(400, 400),   # diagonal
+            Point(-100, -50),  # other diagonal
+        ],
+    )
+    def test_exit_point_matches_ray(self, target):
+        position = perimeter_position_towards(BOX, target)
+        exit_point = perimeter_point(BOX, position)
+        # The exit point must lie on the centre→target ray.
+        direction = (target - BOX.center).normalized()
+        radial = exit_point - BOX.center
+        cross = abs(direction.cross(radial))
+        assert cross < 1e-6 * max(1.0, radial.norm())
+        assert direction.dot(radial) > 0
+
+    def test_degenerate_target_is_zero(self):
+        assert perimeter_position_towards(BOX, BOX.center) == 0.0
+
+
+class TestRelaxation:
+    def test_empty(self):
+        assert relax_positions([], 100) == []
+
+    def test_single_unchanged(self):
+        assert relax_positions([42.0], 1000) == [42.0]
+
+    def test_min_gap_enforced(self):
+        positions = relax_positions([50.0, 50.0, 50.0], 1000, gap=20)
+        ordered = sorted(positions)
+        assert all(b - a >= 20 - 1e-6 for a, b in zip(ordered, ordered[1:]))
+
+    def test_order_preserved(self):
+        positions = relax_positions([10.0, 300.0, 10.0], 1000, gap=15)
+        # Input order is preserved in the output list.
+        assert positions[1] == 300.0
+
+    def test_overfull_degrades_gap(self):
+        positions = relax_positions([0.0] * 30, 100, gap=20)
+        assert len(positions) == 30
+        ordered = sorted(positions)
+        gaps = [b - a for a, b in zip(ordered, ordered[1:])]
+        assert min(gaps) > 0
+
+    def test_spread_positions_untouched(self):
+        ideal = [0.0, 100.0, 200.0, 300.0]
+        assert relax_positions(list(ideal), 1000, gap=10) == ideal
+
+
+class TestLinkGeometry:
+    def test_too_close_rejected(self):
+        with pytest.raises(SimulationError):
+            build_link_geometry(Point(0, 0), Point(10, 0), "#1", "#1")
+
+    def test_bases_between_attachments(self):
+        geometry = build_link_geometry(Point(0, 0), Point(300, 0), "#1", "#2")
+        assert 0 < geometry.base_a.x < geometry.base_b.x < 300
+
+    def test_line_through_bases_hits_labels(self):
+        geometry = build_link_geometry(Point(0, 0), Point(300, 120), "#1", "#2")
+        line = Segment(geometry.base_a, geometry.base_b)
+        assert geometry.label_box_a.intersects_line(line)
+        assert geometry.label_box_b.intersects_line(line)
+
+    def test_own_label_essentially_on_base(self):
+        geometry = build_link_geometry(Point(0, 0), Point(300, 0), "#1", "#2")
+        assert geometry.label_box_a.distance_to_point(geometry.base_a) < 2.0
+        assert geometry.label_box_b.distance_to_point(geometry.base_b) < 2.0
+
+    def test_arrow_bases_first_and_last(self):
+        geometry = build_link_geometry(Point(0, 0), Point(300, 0), "#1", "#2")
+        polygon = geometry.arrow_ab
+        base_mid = polygon[0].midpoint(polygon[-1])
+        assert base_mid.is_close(geometry.base_a, tolerance=1e-6)
+
+    def test_arrows_meet_in_middle(self):
+        geometry = build_link_geometry(Point(0, 0), Point(300, 0), "#1", "#2")
+        tip_ab = max(geometry.arrow_ab, key=lambda p: p.x)
+        tip_ba = min(geometry.arrow_ba, key=lambda p: p.x)
+        assert abs(tip_ab.x - 150) < 3
+        assert abs(tip_ba.x - 150) < 3
+
+    def test_arrow_polygon_has_seven_points(self):
+        geometry = build_link_geometry(Point(0, 0), Point(300, 0), "#1", "#2")
+        assert len(geometry.arrow_ab) == 7
+        assert len(geometry.arrow_ba) == 7
+
+    def test_load_anchors_on_opposite_sides(self):
+        geometry = build_link_geometry(Point(0, 0), Point(300, 0), "#1", "#2")
+        assert geometry.load_anchor_ab.x < 150 < geometry.load_anchor_ba.x
+
+
+class TestLabelBox:
+    def test_sized_to_text(self):
+        short = label_box_for("#1", Point(0, 0))
+        long = label_box_for("#12", Point(0, 0))
+        assert long.width > short.width
+
+    def test_centered(self):
+        box = label_box_for("#1", Point(10, 20))
+        assert box.center.is_close(Point(10, 20))

@@ -1,0 +1,99 @@
+"""Unit tests for node placement."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.layout.placement import BOX_HEIGHT, NodePlacer
+
+
+def _plan(routers, peerings=()):
+    placer = NodePlacer("test-map")
+    placer.plan(list(routers), list(peerings))
+    return placer
+
+
+class TestPlanning:
+    def test_requires_routers(self):
+        with pytest.raises(SimulationError):
+            _plan([])
+
+    def test_places_every_node(self):
+        placer = _plan(
+            [("r1", "fra", 4), ("r2", "fra", 4), ("r3", "lon", 2)],
+            [("PEER", "fra", 3)],
+        )
+        assert len(placer.placements()) == 4
+        assert "PEER" in placer
+        assert "missing" not in placer
+
+    def test_unplaced_lookup_raises(self):
+        placer = _plan([("r1", "fra", 1), ("r2", "lon", 1)])
+        with pytest.raises(SimulationError):
+            placer.placement("ghost")
+
+    def test_boxes_do_not_overlap(self):
+        routers = [(f"r{i}", f"site{i % 4}", 6) for i in range(40)]
+        placer = _plan(routers)
+        boxes = [p.box for p in placer.placements()]
+        for i, a in enumerate(boxes):
+            for b in boxes[i + 1:]:
+                assert not a.expanded(1.0).intersects_rect(b)
+
+    def test_boxes_inside_canvas(self):
+        routers = [(f"r{i}", "s", 4) for i in range(30)]
+        placer = _plan(routers)
+        for placement in placer.placements():
+            box = placement.box
+            assert box.left >= 0 and box.top >= 0
+            assert box.right <= placer.width and box.bottom <= placer.height
+
+    def test_connected_boxes_have_link_clearance(self):
+        # Minimum gap between any two boxes must fit two arrows + labels.
+        routers = [(f"r{i}", "s0", 8) for i in range(12)]
+        placer = _plan(routers)
+        boxes = [p.box for p in placer.placements()]
+        for i, a in enumerate(boxes):
+            for b in boxes[i + 1:]:
+                gap_x = max(b.left - a.right, a.left - b.right, 0)
+                gap_y = max(b.top - a.bottom, a.top - b.bottom, 0)
+                assert max(gap_x, gap_y) > 60
+
+
+class TestBoxSizing:
+    def test_high_degree_gets_wide_box(self):
+        placer = _plan([("core", "s", 60), ("stub", "s", 1)])
+        core = placer.placement("core").box
+        stub = placer.placement("stub").box
+        assert core.width > stub.width
+        # Perimeter must fit 60 endpoints at the configured spacing.
+        from repro.layout.placement import ENDPOINT_SPACING
+
+        assert 2 * (core.width + core.height) >= 60 * ENDPOINT_SPACING
+
+    def test_long_name_gets_room(self):
+        placer = _plan([("a-very-long-router-name-indeed", "s", 1), ("b", "s", 1)])
+        box = placer.placement("a-very-long-router-name-indeed").box
+        assert box.width > 150
+
+    def test_box_height_fixed(self):
+        placer = _plan([("r1", "s", 5), ("r2", "s", 50)])
+        for placement in placer.placements():
+            assert placement.box.height == BOX_HEIGHT
+
+
+class TestDeterminism:
+    def test_same_seed_same_layout(self):
+        routers = [(f"r{i}", "s", 4) for i in range(10)]
+        a = NodePlacer("m", seed=1)
+        a.plan(list(routers), [])
+        b = NodePlacer("m", seed=1)
+        b.plan(list(routers), [])
+        assert [p.box for p in a.placements()] == [p.box for p in b.placements()]
+
+    def test_different_seed_different_layout(self):
+        routers = [(f"r{i}", "s", 4) for i in range(10)]
+        a = NodePlacer("m", seed=1)
+        a.plan(list(routers), [])
+        b = NodePlacer("m", seed=2)
+        b.plan(list(routers), [])
+        assert [p.box for p in a.placements()] != [p.box for p in b.placements()]

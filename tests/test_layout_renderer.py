@@ -1,0 +1,130 @@
+"""Unit tests for the map renderer."""
+
+from datetime import datetime, timezone
+
+from repro.constants import MapName
+from repro.geometry import Segment
+from repro.layout.renderer import MapRenderer, render_snapshot
+from repro.svgdoc.reader import read_svg_tags
+from repro.topology.model import Link, LinkEnd, MapSnapshot, Node
+
+NOW = datetime(2022, 9, 12, tzinfo=timezone.utc)
+
+
+def _tiny_snapshot() -> MapSnapshot:
+    snapshot = MapSnapshot(map_name=MapName.EUROPE, timestamp=NOW)
+    for name in ("fra-r1", "par-r2", "ARELION"):
+        snapshot.add_node(Node.from_name(name))
+    snapshot.add_link(Link(LinkEnd("fra-r1", "#1", 42), LinkEnd("par-r2", "#1", 9)))
+    snapshot.add_link(Link(LinkEnd("fra-r1", "#2", 10), LinkEnd("par-r2", "#2", 11)))
+    snapshot.add_link(Link(LinkEnd("par-r2", "#1", 30), LinkEnd("ARELION", "#1", 5)))
+    return snapshot
+
+
+class TestDocumentStructure:
+    def test_renders_valid_svg(self):
+        svg = render_snapshot(_tiny_snapshot())
+        stream = read_svg_tags(svg)
+        assert stream.width > 0
+
+    def test_arrow_and_load_counts(self):
+        svg = render_snapshot(_tiny_snapshot())
+        assert svg.count("<polygon") == 6  # 2 per link
+        assert svg.count('class="labellink"') == 6  # 2 per link
+
+    def test_object_count(self):
+        svg = render_snapshot(_tiny_snapshot())
+        assert svg.count('class="object object-router"') == 2
+        assert svg.count('class="object object-peering"') == 1
+
+    def test_label_pair_count(self):
+        svg = render_snapshot(_tiny_snapshot())
+        assert svg.count('class="node"') == 12  # rect + text per link end
+
+    def test_load_percentages_present(self):
+        svg = render_snapshot(_tiny_snapshot())
+        for text in ("42%", "9%", "30%", "5%"):
+            assert text in svg
+
+    def test_title_carries_map_and_time(self):
+        svg = render_snapshot(_tiny_snapshot())
+        assert "Europe" in svg
+        assert "2022-09-12" in svg
+
+    def test_legend_rendered(self):
+        svg = render_snapshot(_tiny_snapshot())
+        assert 'class="legend"' in svg
+
+
+class TestGeometryInvariants:
+    def test_link_lines_cross_both_node_boxes(self):
+        renderer = MapRenderer()
+        snapshot = _tiny_snapshot()
+        svg, rendered = renderer.render_with_geometry(snapshot)
+        placer = renderer._placer
+        for item in rendered:
+            line = Segment(item.geometry.base_a, item.geometry.base_b)
+            box_a = placer.placement(item.link.a.node).box
+            box_b = placer.placement(item.link.b.node).box
+            assert box_a.intersects_line(line)
+            assert box_b.intersects_line(line)
+
+    def test_each_end_closest_box_is_its_router(self):
+        renderer = MapRenderer()
+        svg, rendered = renderer.render_with_geometry(_tiny_snapshot())
+        placer = renderer._placer
+        boxes = {p.name: p.box for p in placer.placements()}
+        for item in rendered:
+            for end, node in (
+                (item.geometry.base_a, item.link.a.node),
+                (item.geometry.base_b, item.link.b.node),
+            ):
+                own = boxes[node].distance_to_point(end)
+                others = [
+                    box.distance_to_point(end)
+                    for name, box in boxes.items()
+                    if name != node
+                ]
+                assert own < min(others)
+
+
+class TestLayoutStability:
+    def test_layout_stable_across_snapshots(self):
+        renderer = MapRenderer()
+        first = _tiny_snapshot()
+        renderer.render(first)
+        box_before = renderer._placer.placement("fra-r1").box
+
+        second = _tiny_snapshot()
+        second.add_node(Node.from_name("new-router"))
+        second.add_link(Link(LinkEnd("new-router", "#1", 1), LinkEnd("fra-r1", "#1", 2)))
+        renderer.render(second)
+        assert renderer._placer.placement("fra-r1").box == box_before
+        assert "new-router" in renderer._placer
+
+    def test_same_seed_same_svg(self):
+        assert render_snapshot(_tiny_snapshot(), seed=3) == render_snapshot(
+            _tiny_snapshot(), seed=3
+        )
+
+    def test_different_seed_different_svg(self):
+        assert render_snapshot(_tiny_snapshot(), seed=3) != render_snapshot(
+            _tiny_snapshot(), seed=4
+        )
+
+
+class TestColors:
+    def test_arrow_color_follows_scale(self):
+        from repro.svgdoc.colors import WEATHERMAP_SCALE
+
+        svg = render_snapshot(_tiny_snapshot())
+        # 42 % load renders in the 40-55 band colour.
+        assert WEATHERMAP_SCALE.color_for(42) in svg
+
+    def test_disabled_link_grey(self):
+        snapshot = MapSnapshot(map_name=MapName.EUROPE, timestamp=NOW)
+        snapshot.add_node(Node.from_name("r1"))
+        snapshot.add_node(Node.from_name("r2"))
+        snapshot.add_link(Link(LinkEnd("r1", "#1", 0), LinkEnd("r2", "#1", 0)))
+        svg = render_snapshot(snapshot)
+        assert "#c0c0c0" in svg

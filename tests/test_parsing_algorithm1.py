@@ -1,0 +1,178 @@
+"""Unit tests for Algorithm 1 (sequential tag-stream extraction)."""
+
+import pytest
+
+from repro.errors import IncompleteLinkError, LoadRangeError, MalformedSvgError
+from repro.geometry import Point, Rect
+from repro.parsing.algorithm1 import extract_objects
+from repro.svgdoc.reader import read_svg_tags
+from repro.svgdoc.writer import WeathermapSvgWriter
+
+
+def _writer() -> WeathermapSvgWriter:
+    return WeathermapSvgWriter(width=400, height=300)
+
+
+def _triangle(offset: float) -> list[Point]:
+    return [Point(offset, 0), Point(offset + 10, 5), Point(offset, 10)]
+
+
+def _document_with_link(load_a: float = 42, load_b: float = 9) -> str:
+    writer = _writer()
+    writer.add_object("fra-r1", Rect(10, 10, 60, 20), is_peering=False)
+    writer.add_object("ARELION", Rect(200, 10, 60, 20), is_peering=True)
+    writer.add_link(
+        arrows=[(_triangle(80), "#fff"), (_triangle(140), "#000")],
+        loads=[(load_a, Point(100, 50)), (load_b, Point(120, 50))],
+    )
+    writer.add_link_label("#1", Rect(75, 5, 12, 8))
+    writer.add_link_label("#1", Rect(150, 5, 12, 8))
+    return writer.to_svg()
+
+
+class TestExtraction:
+    def test_routers_and_peerings_extracted(self):
+        result = extract_objects(read_svg_tags(_document_with_link()))
+        names = {obj.name for obj in result.routers}
+        assert names == {"fra-r1", "ARELION"}
+
+    def test_link_pairing(self):
+        result = extract_objects(read_svg_tags(_document_with_link()))
+        assert len(result.links) == 1
+        link = result.links[0]
+        assert link.is_complete
+        assert link.loads == [42.0, 9.0]
+
+    def test_labels_extracted_in_order(self):
+        result = extract_objects(read_svg_tags(_document_with_link()))
+        assert [label.text for label in result.labels] == ["#1", "#1"]
+
+    def test_bases_are_arrow_base_midpoints(self):
+        result = extract_objects(read_svg_tags(_document_with_link()))
+        base_first, base_second = result.links[0].bases
+        assert base_first == Point(80, 5)
+        assert base_second == Point(140, 5)
+
+    def test_decorations_ignored(self):
+        writer = _writer()
+        writer.add_background()
+        writer.add_legend([("#fff", "0-1%")])
+        result = extract_objects(read_svg_tags(writer.to_svg()))
+        assert not result.routers and not result.links and not result.labels
+
+
+class TestStreamErrors:
+    def test_load_out_of_range(self):
+        # Bypass the writer's own checks with raw SVG.
+        svg = (
+            '<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10">'
+            '<polygon points="0,0 5,5 0,10"/><polygon points="20,0 25,5 20,10"/>'
+            '<text class="labellink" x="1" y="1">142%</text>'
+            "</svg>"
+        )
+        with pytest.raises(LoadRangeError):
+            extract_objects(read_svg_tags(svg))
+
+    def test_negative_load_rejected(self):
+        svg = (
+            '<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10">'
+            '<polygon points="0,0 5,5 0,10"/><polygon points="20,0 25,5 20,10"/>'
+            '<text class="labellink" x="1" y="1">-3%</text>'
+            "</svg>"
+        )
+        with pytest.raises(LoadRangeError):
+            extract_objects(read_svg_tags(svg))
+
+    def test_third_arrow_before_loads(self):
+        svg = (
+            '<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10">'
+            '<polygon points="0,0 5,5 0,10"/><polygon points="20,0 25,5 20,10"/>'
+            '<polygon points="40,0 45,5 40,10"/>'
+            "</svg>"
+        )
+        with pytest.raises(IncompleteLinkError):
+            extract_objects(read_svg_tags(svg))
+
+    def test_load_without_arrows(self):
+        svg = (
+            '<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10">'
+            '<text class="labellink" x="1" y="1">10%</text>'
+            "</svg>"
+        )
+        with pytest.raises(IncompleteLinkError):
+            extract_objects(read_svg_tags(svg))
+
+    def test_document_ending_mid_link(self):
+        svg = (
+            '<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10">'
+            '<polygon points="0,0 5,5 0,10"/>'
+            "</svg>"
+        )
+        with pytest.raises(IncompleteLinkError):
+            extract_objects(read_svg_tags(svg))
+
+    def test_label_text_without_box(self):
+        svg = (
+            '<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10">'
+            '<text class="node">#1</text>'
+            "</svg>"
+        )
+        with pytest.raises(MalformedSvgError):
+            extract_objects(read_svg_tags(svg))
+
+    def test_two_label_boxes_in_a_row(self):
+        svg = (
+            '<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10">'
+            '<rect class="node" x="0" y="0" width="5" height="5"/>'
+            '<rect class="node" x="9" y="0" width="5" height="5"/>'
+            "</svg>"
+        )
+        with pytest.raises(MalformedSvgError):
+            extract_objects(read_svg_tags(svg))
+
+    def test_unclosed_label_at_end(self):
+        svg = (
+            '<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10">'
+            '<rect class="node" x="0" y="0" width="5" height="5"/>'
+            "</svg>"
+        )
+        with pytest.raises(MalformedSvgError):
+            extract_objects(read_svg_tags(svg))
+
+    def test_malformed_attribute_value(self):
+        svg = (
+            '<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10">'
+            '<rect class="node" x="12..34" y="0" width="5" height="5"/>'
+            '<text class="node">#1</text>'
+            "</svg>"
+        )
+        with pytest.raises(MalformedSvgError):
+            extract_objects(read_svg_tags(svg))
+
+
+class TestMultipleLinks:
+    def test_consecutive_links(self):
+        writer = _writer()
+        for offset in (0, 60, 120):
+            writer.add_link(
+                arrows=[(_triangle(offset), "#fff"), (_triangle(offset + 30), "#000")],
+                loads=[(10, Point(offset, 50)), (20, Point(offset + 5, 50))],
+            )
+        result = extract_objects(read_svg_tags(writer.to_svg()))
+        assert len(result.links) == 3
+        assert all(link.is_complete for link in result.links)
+
+    def test_interleaved_labels_between_links(self):
+        writer = _writer()
+        writer.add_link(
+            arrows=[(_triangle(0), "#fff"), (_triangle(30), "#000")],
+            loads=[(10, Point(0, 50)), (20, Point(5, 50))],
+        )
+        writer.add_link_label("#1", Rect(0, 60, 10, 8))
+        writer.add_link(
+            arrows=[(_triangle(60), "#fff"), (_triangle(90), "#000")],
+            loads=[(30, Point(60, 50)), (40, Point(65, 50))],
+        )
+        result = extract_objects(read_svg_tags(writer.to_svg()))
+        assert len(result.links) == 2
+        assert len(result.labels) == 1

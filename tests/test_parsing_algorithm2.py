@@ -1,0 +1,180 @@
+"""Unit tests for Algorithm 2 (geometric object attribution).
+
+These build extraction results by hand so each geometric rule can be
+exercised in isolation: nearest-router selection, nearest-label selection,
+the distance threshold, and single-use label consumption (the defence
+against duplicate labels on parallel links).
+"""
+
+import pytest
+
+from repro.errors import MissingLabelError, MissingRouterError, SelfLinkError
+from repro.geometry import Point, Rect
+from repro.parsing.algorithm1 import ExtractedLabel, ExtractedLink, ExtractionResult
+from repro.parsing.algorithm2 import attribute_objects
+from repro.svgdoc.elements import ArrowElement, ObjectElement
+
+
+def _arrow(base_left: Point, tip: Point) -> ArrowElement:
+    """Minimal 3-point arrow whose basis midpoint is computable."""
+    base_right = Point(base_left.x, base_left.y + 10)
+    return ArrowElement(points=(base_left, tip, base_right))
+
+
+def _horizontal_link(x_left: float, x_right: float, y: float = 0.0) -> ExtractedLink:
+    """A link whose bases sit at (x_left, y+5) and (x_right, y+5)."""
+    return ExtractedLink(
+        arrows=[
+            _arrow(Point(x_left, y), Point((x_left + x_right) / 2 - 2, y + 5)),
+            _arrow(Point(x_right, y), Point((x_left + x_right) / 2 + 2, y + 5)),
+        ],
+        loads=[42.0, 9.0],
+    )
+
+
+def _router(name: str, x: float, y: float = -8.0) -> ObjectElement:
+    """A 40x26 box; y chosen so the link line at y+5 crosses it."""
+    return ObjectElement(name=name, box=Rect(x, y, 40, 26))
+
+
+def _label(text: str, center: Point) -> ExtractedLabel:
+    return ExtractedLabel(box=Rect(center.x - 6, center.y - 4, 12, 8), text=text)
+
+
+def _simple_world() -> ExtractionResult:
+    """One link from router a (left) to router b (right), labels on bases."""
+    return ExtractionResult(
+        routers=[_router("left-router", 40), _router("right-router", 220)],
+        links=[_horizontal_link(90, 210)],
+        labels=[_label("#1", Point(90, 5)), _label("#2", Point(210, 5))],
+    )
+
+
+class TestHappyPath:
+    def test_ends_connected_to_nearest_routers(self):
+        links = attribute_objects(_simple_world())
+        assert links[0].a.router.name == "left-router"
+        assert links[0].b.router.name == "right-router"
+
+    def test_labels_attributed_per_end(self):
+        links = attribute_objects(_simple_world())
+        assert links[0].a.label.text == "#1"
+        assert links[0].b.label.text == "#2"
+
+    def test_loads_follow_arrow_order(self):
+        links = attribute_objects(_simple_world())
+        assert links[0].a.load == 42.0
+        assert links[0].b.load == 9.0
+
+
+class TestRouterAttribution:
+    def test_no_router_on_line(self):
+        world = _simple_world()
+        world.routers = []
+        with pytest.raises(MissingRouterError):
+            attribute_objects(world)
+
+    def test_dropped_objects_reproduce_paper_failure(self):
+        # "Some SVG files are lacking elements, such as OVH routers,
+        # resulting in a failure to find intersections for a given link."
+        world = _simple_world()
+        world.routers = [_router("left-router", 40)]
+        with pytest.raises(SelfLinkError):
+            # Both ends now resolve to the only router on the line.
+            attribute_objects(world)
+
+    def test_intermediate_router_not_stolen(self):
+        # A third box sits on the line, but each end still connects to
+        # its *nearest* intersecting router.
+        world = _simple_world()
+        world.routers.append(_router("middle-router", 130))
+        links = attribute_objects(world)
+        assert links[0].a.router.name == "left-router"
+        assert links[0].b.router.name == "right-router"
+
+    def test_off_line_router_ignored(self):
+        world = _simple_world()
+        world.routers.append(_router("way-up", 90, y=-500))
+        links = attribute_objects(world)
+        assert links[0].a.router.name == "left-router"
+
+
+class TestLabelAttribution:
+    def test_missing_label_raises(self):
+        world = _simple_world()
+        world.labels = [world.labels[0]]
+        with pytest.raises(MissingLabelError):
+            attribute_objects(world)
+
+    def test_distance_threshold_enforced(self):
+        world = _simple_world()
+        # Both labels exist but one is 300 px along the line.
+        world.labels[1] = _label("#2", Point(510, 5))
+        with pytest.raises(MissingLabelError) as info:
+            attribute_objects(world, label_distance_threshold=40)
+        assert info.value.distance is not None
+        assert info.value.distance > 40
+
+    def test_threshold_configurable(self):
+        world = _simple_world()
+        world.labels[1] = _label("#2", Point(245, 5))
+        attribute_objects(world, label_distance_threshold=50)
+        with pytest.raises(MissingLabelError):
+            attribute_objects(world, label_distance_threshold=10)
+
+    def test_off_line_label_ignored(self):
+        world = _simple_world()
+        world.labels.append(_label("#9", Point(90, 300)))
+        links = attribute_objects(world)
+        assert links[0].a.label.text == "#1"
+
+
+class TestLabelConsumption:
+    """The paper's rule: "labels get assigned to a link only once"."""
+
+    def test_duplicate_labels_on_parallel_links(self):
+        # Two parallel links, all four labels read "#1" (VODAFONE case).
+        routers = [
+            ObjectElement(name="left-router", box=Rect(40, -10, 40, 60)),
+            ObjectElement(name="right-router", box=Rect(220, -10, 40, 60)),
+        ]
+        links = [_horizontal_link(90, 210, y=0), _horizontal_link(90, 210, y=20)]
+        labels = [
+            _label("#1", Point(90, 5)),
+            _label("#1", Point(210, 5)),
+            _label("#1", Point(90, 25)),
+            _label("#1", Point(210, 25)),
+        ]
+        world = ExtractionResult(routers=routers, links=links, labels=labels)
+        attributed = attribute_objects(world)
+        assert len(attributed) == 2
+        used = [link.a.label for link in attributed] + [
+            link.b.label for link in attributed
+        ]
+        # All four label *instances* used exactly once.
+        assert len({id(label) for label in used}) == 4
+
+    def test_consumed_label_not_reused(self):
+        # Second link's nearest label was already taken by the first; with
+        # no other label in range the second link must fail, not share.
+        routers = [
+            ObjectElement(name="left-router", box=Rect(40, -10, 40, 60)),
+            ObjectElement(name="right-router", box=Rect(220, -10, 40, 60)),
+        ]
+        links = [_horizontal_link(90, 210, y=0), _horizontal_link(90, 210, y=1)]
+        labels = [
+            _label("#1", Point(90, 5)),
+            _label("#1", Point(210, 5)),
+        ]
+        world = ExtractionResult(routers=routers, links=links, labels=labels)
+        with pytest.raises(MissingLabelError):
+            attribute_objects(world)
+
+
+class TestSelfLink:
+    def test_self_link_detected(self):
+        world = _simple_world()
+        # One wide box swallows both ends.
+        world.routers = [ObjectElement(name="wide", box=Rect(0, -10, 400, 40))]
+        with pytest.raises(SelfLinkError):
+            attribute_objects(world)

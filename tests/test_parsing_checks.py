@@ -1,0 +1,65 @@
+"""Tests for the whole-map sanity checks, including colour consistency."""
+
+import pytest
+
+from repro.constants import MapName
+from repro.parsing.algorithm1 import extract_objects
+from repro.parsing.checks import check_load_colors, run_sanity_checks
+from repro.parsing.pipeline import parse_svg
+from repro.svgdoc.reader import read_svg_tags
+
+
+class TestColorConsistency:
+    def test_rendered_map_consistent(self, apac_svg):
+        extraction = extract_objects(read_svg_tags(apac_svg))
+        assert check_load_colors(extraction) == 0
+
+    def test_report_clean_on_valid_map(self, apac_parsed):
+        assert apac_parsed.report.color_mismatches == 0
+
+    def test_tampered_color_flagged(self, apac_svg, apac_reference):
+        from repro.svgdoc.colors import WEATHERMAP_SCALE
+
+        # Recolour one 40-55% arrow with the 85-100% red.  Arrows carry
+        # the stroke attribute; legend swatches don't.
+        green = WEATHERMAP_SCALE.color_for(45)
+        red = WEATHERMAP_SCALE.color_for(95)
+        needle = f'fill="{green}" stroke="#404040"'
+        assert needle in apac_svg
+        tampered = apac_svg.replace(
+            needle, f'fill="{red}" stroke="#404040"', 1
+        )
+        parsed = parse_svg(tampered, MapName.ASIA_PACIFIC, apac_reference.timestamp)
+        assert parsed.report.color_mismatches == 1
+        assert not parsed.report.ok
+        assert any("colour" in warning for warning in parsed.report.warnings)
+
+    def test_color_check_optional(self, apac_svg):
+        extraction = extract_objects(read_svg_tags(apac_svg))
+        from repro.parsing.algorithm2 import attribute_objects
+
+        links = attribute_objects(extraction)
+        report = run_sanity_checks(extraction, links, check_colors=False)
+        assert report.color_mismatches == 0
+
+    def test_colorless_arrows_skipped(self):
+        """Arrows without a fill attribute are not mismatches."""
+        svg = (
+            '<svg xmlns="http://www.w3.org/2000/svg" width="400" height="100">'
+            '<g class="object"><rect x="0" y="20" width="40" height="26" '
+            'fill="#fff"/><text>left-r</text></g>'
+            '<g class="object"><rect x="300" y="20" width="40" height="26" '
+            'fill="#fff"/><text>right-r</text></g>'
+            '<polygon points="50,28 140,33 50,38"/>'
+            '<polygon points="290,28 200,33 290,38"/>'
+            '<text class="labellink" x="100" y="20">42%</text>'
+            '<text class="labellink" x="240" y="20">9%</text>'
+            '<rect class="node" x="47" y="29" width="8" height="8"/>'
+            '<text class="node">#1</text>'
+            '<rect class="node" x="285" y="29" width="8" height="8"/>'
+            '<text class="node">#1</text>'
+            "</svg>"
+        )
+        parsed = parse_svg(svg, MapName.EUROPE)
+        assert parsed.report.color_mismatches == 0
+        assert parsed.report.link_count == 1

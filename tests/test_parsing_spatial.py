@@ -1,0 +1,95 @@
+"""Tests for the grid index and accelerated-vs-faithful equivalence."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.parsing.spatial import GridIndex
+
+
+class TestGridIndex:
+    def test_empty(self):
+        index = GridIndex([])
+        assert len(index) == 0
+        assert index.near(Point(0, 0), 100) == []
+
+    def test_finds_nearby(self):
+        index = GridIndex([(Rect(10, 10, 20, 20), "a"), (Rect(500, 500, 20, 20), "b")])
+        found = [payload for _, payload in index.near(Point(15, 15), 50)]
+        assert found == ["a"]
+
+    def test_radius_respected(self):
+        # Box left edge at x=100; query point at x=0 → distance 100.
+        index = GridIndex([(Rect(100, 0, 10, 10), "a")])
+        assert index.near(Point(0, 5), 99) == []
+        assert len(index.near(Point(0, 5), 101)) == 1
+
+    def test_large_box_spanning_cells(self):
+        index = GridIndex([(Rect(0, 0, 1000, 30), "wide")], cell_size=64)
+        # Query far from the box origin but on the box.
+        found = index.near(Point(900, 15), 10)
+        assert len(found) == 1
+
+    def test_no_duplicates_across_cells(self):
+        index = GridIndex([(Rect(0, 0, 500, 500), "big")], cell_size=64)
+        assert len(index.near(Point(250, 250), 300)) == 1
+
+    def test_negative_coordinates(self):
+        index = GridIndex([(Rect(-200, -200, 20, 20), "neg")])
+        assert len(index.near(Point(-190, -190), 10)) == 1
+
+
+class TestEquivalence:
+    """Accelerated attribution must match the paper's faithful loop."""
+
+    def test_identical_output_on_real_map(self, apac_svg, apac_reference):
+        from collections import Counter
+
+        from repro.constants import MapName
+        from repro.parsing.pipeline import parse_svg
+
+        fast = parse_svg(apac_svg, MapName.ASIA_PACIFIC, apac_reference.timestamp)
+        slow = parse_svg(
+            apac_svg,
+            MapName.ASIA_PACIFIC,
+            apac_reference.timestamp,
+            accelerated=False,
+        )
+
+        def signatures(snapshot):
+            return Counter(
+                tuple(
+                    sorted(
+                        (
+                            (l.a.node, l.a.label, l.a.load),
+                            (l.b.node, l.b.label, l.b.load),
+                        )
+                    )
+                )
+                for l in snapshot.links
+            )
+
+        assert signatures(fast.snapshot) == signatures(slow.snapshot)
+
+    def test_identical_errors(self):
+        """Both modes fail the same way on a label-less document."""
+        from repro.errors import MissingLabelError
+        from repro.geometry import Rect
+        from repro.parsing.algorithm1 import ExtractedLink, ExtractionResult
+        from repro.parsing.algorithm2 import attribute_objects
+        from repro.svgdoc.elements import ArrowElement, ObjectElement
+
+        def arrow(x):
+            return ArrowElement(points=(Point(x, 0), Point(x + 20, 5), Point(x, 10)))
+
+        world = ExtractionResult(
+            routers=[
+                ObjectElement(name="left", box=Rect(0, -8, 40, 26)),
+                ObjectElement(name="right", box=Rect(300, -8, 40, 26)),
+            ],
+            links=[ExtractedLink(arrows=[arrow(50), arrow(280)], loads=[10.0, 20.0])],
+            labels=[],
+        )
+        with pytest.raises(MissingLabelError):
+            attribute_objects(world, accelerated=True)
+        with pytest.raises(MissingLabelError):
+            attribute_objects(world, accelerated=False)

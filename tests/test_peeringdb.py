@@ -1,0 +1,107 @@
+"""Unit tests for the synthetic PeeringDB substrate."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.errors import DatasetError, SchemaError
+from repro.peeringdb.feed import SyntheticPeeringDB
+from repro.peeringdb.model import CapacityRecord, NetworkPresence
+
+
+def _utc(*args) -> datetime:
+    return datetime(*args, tzinfo=timezone.utc)
+
+
+class TestCapacityRecord:
+    def test_positive_capacity_required(self):
+        with pytest.raises(SchemaError):
+            CapacityRecord(peering="X", capacity_gbps=0, updated=_utc(2022, 1, 1))
+
+
+class TestNetworkPresence:
+    def _presence(self) -> NetworkPresence:
+        return NetworkPresence(
+            peering="AMS-IX",
+            records=(
+                CapacityRecord("AMS-IX", 400, _utc(2020, 7, 1)),
+                CapacityRecord("AMS-IX", 500, _utc(2022, 3, 14)),
+            ),
+        )
+
+    def test_capacity_at(self):
+        presence = self._presence()
+        assert presence.capacity_at(_utc(2021, 1, 1)) == 400
+        assert presence.capacity_at(_utc(2022, 3, 14)) == 500
+        assert presence.capacity_at(_utc(2020, 1, 1)) is None
+
+    def test_changes(self):
+        changes = self._presence().changes()
+        assert changes == [(_utc(2022, 3, 14), 400, 500)]
+
+    def test_wrong_peering_rejected(self):
+        with pytest.raises(SchemaError):
+            NetworkPresence(
+                peering="AMS-IX",
+                records=(CapacityRecord("DE-CIX", 100, _utc(2021, 1, 1)),),
+            )
+
+    def test_unordered_records_rejected(self):
+        with pytest.raises(SchemaError):
+            NetworkPresence(
+                peering="X",
+                records=(
+                    CapacityRecord("X", 100, _utc(2022, 1, 1)),
+                    CapacityRecord("X", 200, _utc(2021, 1, 1)),
+                ),
+            )
+
+
+class TestSyntheticFeed:
+    def test_covers_every_peering(self, simulator):
+        from repro.constants import MapName, REFERENCE_DATE
+
+        peeringdb = SyntheticPeeringDB(simulator)
+        snapshot = simulator.snapshot(MapName.EUROPE, REFERENCE_DATE)
+        for node in snapshot.peerings:
+            assert peeringdb.capacity_at(node.name, REFERENCE_DATE) is not None
+
+    def test_upgrade_history(self, simulator):
+        scenario = simulator.upgrade
+        peeringdb = SyntheticPeeringDB(simulator)
+        before = peeringdb.capacity_at(scenario.peering, scenario.peeringdb_at - timedelta(days=1))
+        after = peeringdb.capacity_at(scenario.peering, scenario.peeringdb_at + timedelta(days=1))
+        assert (before, after) == (400, 500)
+
+    def test_changes_near(self, simulator):
+        scenario = simulator.upgrade
+        peeringdb = SyntheticPeeringDB(simulator)
+        changes = peeringdb.changes_near(
+            scenario.peering, scenario.added_at, timedelta(days=30)
+        )
+        assert len(changes) == 1
+
+    def test_changes_near_window_respected(self, simulator):
+        scenario = simulator.upgrade
+        peeringdb = SyntheticPeeringDB(simulator)
+        changes = peeringdb.changes_near(
+            scenario.peering,
+            scenario.peeringdb_at + timedelta(days=300),
+            timedelta(days=10),
+        )
+        assert changes == []
+
+    def test_unknown_peering_raises(self, simulator):
+        peeringdb = SyntheticPeeringDB(simulator)
+        with pytest.raises(DatasetError):
+            peeringdb.presence("NOT-AN-IX")
+
+    def test_generic_capacities_plausible(self, simulator):
+        peeringdb = SyntheticPeeringDB(simulator)
+        from repro.constants import REFERENCE_DATE
+
+        capacities = {
+            peeringdb.capacity_at(name, REFERENCE_DATE)
+            for name in peeringdb.peerings()
+        }
+        assert capacities <= {10, 40, 100, 200, 400, 500}

@@ -1,0 +1,192 @@
+"""Cross-module property-based tests (hypothesis).
+
+These target the invariants the reproduction's correctness rests on:
+YAML round-trips, ECMP conservation, label-relaxation spacing, and the
+lifetime algebra behind the evolution counters.
+"""
+
+from datetime import datetime, timedelta, timezone
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import cdf, fraction_at_most
+from repro.constants import MapName
+from repro.layout.arrows import relax_positions
+from repro.simulation.ecmp import spread_demand, zero_sum_jitter
+from repro.simulation.evolution import Lifetime
+from repro.topology.model import Link, LinkEnd, MapSnapshot, Node
+from repro.yamlio.deserialize import snapshot_from_yaml
+from repro.yamlio.serialize import snapshot_to_yaml
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+node_names = st.from_regex(r"[a-z]{3}-r[0-9]{1,2}", fullmatch=True)
+peering_names = st.from_regex(r"[A-Z]{3,8}", fullmatch=True)
+labels = st.from_regex(r"#[0-9]{1,2}", fullmatch=True)
+loads = st.integers(min_value=0, max_value=100).map(float)
+
+
+@st.composite
+def snapshots(draw):
+    """A structurally valid random snapshot."""
+    routers = draw(st.lists(node_names, min_size=2, max_size=6, unique=True))
+    peerings = draw(st.lists(peering_names, min_size=0, max_size=3, unique=True))
+    snapshot = MapSnapshot(
+        map_name=draw(st.sampled_from(list(MapName))),
+        timestamp=datetime(2022, 1, 1, tzinfo=timezone.utc)
+        + timedelta(minutes=5 * draw(st.integers(0, 10000))),
+    )
+    for name in routers + peerings:
+        snapshot.add_node(Node.from_name(name))
+    link_count = draw(st.integers(0, 8))
+    all_names = routers + peerings
+    for _ in range(link_count):
+        a = draw(st.sampled_from(routers))
+        b = draw(st.sampled_from(all_names))
+        if a == b:
+            continue
+        snapshot.add_link(
+            Link(
+                a=LinkEnd(a, draw(labels), draw(loads)),
+                b=LinkEnd(b, draw(labels), draw(loads)),
+            )
+        )
+    return snapshot
+
+
+# ---------------------------------------------------------------------------
+# YAML round trip
+# ---------------------------------------------------------------------------
+
+
+@given(snapshots())
+@settings(max_examples=60, deadline=None)
+def test_yaml_round_trip_preserves_everything(snapshot):
+    restored = snapshot_from_yaml(snapshot_to_yaml(snapshot))
+    assert restored.map_name == snapshot.map_name
+    assert restored.timestamp == snapshot.timestamp
+    assert set(restored.nodes) == set(snapshot.nodes)
+    original = sorted(
+        tuple(sorted([(l.a.node, l.a.label, l.a.load), (l.b.node, l.b.label, l.b.load)]))
+        for l in snapshot.links
+    )
+    recovered = sorted(
+        tuple(sorted([(l.a.node, l.a.label, l.a.load), (l.b.node, l.b.label, l.b.load)]))
+        for l in restored.links
+    )
+    assert original == recovered
+
+
+# ---------------------------------------------------------------------------
+# ECMP
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    st.integers(),
+)
+def test_jitter_always_zero_sum(count, sigma, salt):
+    offsets = zero_sum_jitter(count, sigma, "prop", salt)
+    assert abs(sum(offsets)) < 1e-6
+
+
+@given(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    st.lists(st.booleans(), min_size=1, max_size=12),
+    st.integers(),
+)
+def test_spread_demand_bounds_and_activity(demand, active, salt):
+    result = spread_demand(demand, active, 1.0, None, "prop", salt)
+    assert len(result) == len(active)
+    for flag, load in zip(active, result):
+        assert 0.0 <= load <= 100.0
+        if not flag:
+            assert load == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Relaxation
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=999, allow_nan=False), min_size=1, max_size=24),
+    st.floats(min_value=100, max_value=2000, allow_nan=False),
+)
+def test_relax_positions_properties(ideal, total):
+    gap = 10.0
+    relaxed = relax_positions(list(ideal), total, gap=gap)
+    assert len(relaxed) == len(ideal)
+    effective_gap = min(gap, total / len(ideal))
+    ordered = sorted(relaxed)
+    for a, b in zip(ordered, ordered[1:]):
+        assert b - a >= effective_gap - 1e-6
+    # Rank order of the inputs is preserved.
+    input_order = sorted(range(len(ideal)), key=lambda i: ideal[i])
+    output_order = sorted(range(len(relaxed)), key=lambda i: relaxed[i])
+    assert input_order == output_order
+
+
+# ---------------------------------------------------------------------------
+# Lifetimes
+# ---------------------------------------------------------------------------
+
+instants = st.integers(min_value=0, max_value=1000).map(
+    lambda d: datetime(2020, 7, 1, tzinfo=timezone.utc) + timedelta(days=d)
+)
+
+
+@st.composite
+def lifetimes(draw):
+    birth = draw(instants)
+    death = draw(st.one_of(st.none(), instants.filter(lambda t: t > birth)))
+    outage_start = draw(instants)
+    outage_length = draw(st.integers(min_value=1, max_value=20))
+    outages = ()
+    if draw(st.booleans()):
+        outages = ((outage_start, outage_start + timedelta(days=outage_length)),)
+    if death is None:
+        return Lifetime(birth=birth, outages=outages)
+    return Lifetime(birth=birth, death=death, outages=outages)
+
+
+@given(lifetimes(), instants)
+@settings(max_examples=200)
+def test_intervals_agree_with_alive_at(lifetime, when):
+    in_intervals = any(start <= when < end for start, end in lifetime.intervals())
+    assert in_intervals == lifetime.alive_at(when)
+
+
+@given(lifetimes(), lifetimes(), instants)
+@settings(max_examples=200)
+def test_intersection_agrees_with_conjunction(a, b, when):
+    in_intersection = any(
+        start <= when < end for start, end in a.intersect(b)
+    )
+    assert in_intersection == (a.alive_at(when) and b.alive_at(when))
+
+
+# ---------------------------------------------------------------------------
+# Stats
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1))
+def test_cdf_is_monotone_distribution(values):
+    xs, fractions = cdf(values)
+    assert fractions[-1] == 1.0
+    assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+    assert all(b >= a for a, b in zip(xs, xs[1:]))
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=1),
+    st.floats(min_value=-10, max_value=110, allow_nan=False),
+)
+def test_fraction_at_most_matches_count(values, threshold):
+    expected = sum(1 for v in values if v <= threshold) / len(values)
+    assert fraction_at_most(values, threshold) == expected

@@ -1,0 +1,86 @@
+"""Tests for the Scaleway-like comparison provider."""
+
+from datetime import datetime, timedelta, timezone
+
+import numpy
+import pytest
+
+from repro.analysis.imbalance import collect_imbalances
+from repro.analysis.loads import collect_load_samples
+from repro.constants import MapName
+from repro.layout.renderer import MapRenderer
+from repro.parsing.pipeline import parse_svg
+from repro.simulation import BackboneSimulator, scaleway_like_config
+from repro.simulation.events import UpgradeScenario
+
+WHEN = datetime(2022, 6, 15, 12, 0, tzinfo=timezone.utc)
+
+
+@pytest.fixture(scope="module")
+def scaleway():
+    return BackboneSimulator(
+        config=scaleway_like_config(),
+        upgrade=UpgradeScenario(map_name=MapName.WORLD),
+    )
+
+
+class TestScalewayProfile:
+    def test_single_map(self, scaleway):
+        assert scaleway.map_names == [MapName.EUROPE]
+
+    def test_reference_counts(self, scaleway):
+        counts = scaleway.counts(MapName.EUROPE, scaleway.config.window_end)
+        assert counts == (31, 148, 74)
+
+    def test_smaller_than_ovh(self, scaleway, simulator):
+        ours = scaleway.counts(MapName.EUROPE, WHEN)
+        theirs = simulator.counts(MapName.EUROPE, WHEN)
+        assert ours[0] < theirs[0] / 2
+
+    def test_renders_and_parses(self, scaleway):
+        snapshot = scaleway.snapshot(MapName.EUROPE, WHEN)
+        svg = MapRenderer().render(snapshot)
+        parsed = parse_svg(svg, MapName.EUROPE, WHEN)
+        assert parsed.snapshot.summary_counts() == snapshot.summary_counts()
+
+    def test_disjoint_from_ovh(self, scaleway, simulator):
+        ovh_routers = {
+            spec.name for spec in simulator.evolution(MapName.EUROPE).routers
+        }
+        scw_routers = {
+            spec.name for spec in scaleway.evolution(MapName.EUROPE).routers
+        }
+        assert not (ovh_routers & scw_routers)
+
+
+class TestComparisonContrasts:
+    @pytest.fixture(scope="class")
+    def day(self, scaleway, simulator):
+        base = datetime(2022, 6, 13, tzinfo=timezone.utc)
+        ovh = [
+            simulator.snapshot(MapName.EUROPE, base + timedelta(hours=h))
+            for h in range(0, 24, 2)
+        ]
+        scw = [
+            scaleway.snapshot(MapName.EUROPE, base + timedelta(hours=h))
+            for h in range(0, 24, 2)
+        ]
+        return ovh, scw
+
+    def test_smaller_provider_runs_hotter(self, day):
+        ovh, scw = day
+        ovh_loads = collect_load_samples(ovh)
+        scw_loads = collect_load_samples(scw)
+        assert numpy.median(scw_loads.all_loads) > numpy.median(ovh_loads.all_loads)
+
+    def test_smaller_provider_balances_worse(self, day):
+        ovh, scw = day
+        ovh_imbalance = collect_imbalances(ovh)
+        scw_imbalance = collect_imbalances(scw)
+        assert scw_imbalance.fraction_within(1.0) < ovh_imbalance.fraction_within(1.0)
+
+    def test_no_upgrade_group(self, scaleway):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            scaleway.upgrade_group()

@@ -1,0 +1,113 @@
+"""Unit tests for simulation configuration validation."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.constants import MapName, TABLE1_PAPER
+from repro.errors import SimulationError
+from repro.simulation.config import (
+    MapProfile,
+    SharedRouters,
+    SimulationConfig,
+    default_config,
+)
+from repro.simulation.events import UpgradeScenario
+
+
+class TestMapProfile:
+    def test_valid_profile(self):
+        MapProfile(reference_counts=(10, 30, 5), core_sites=3)
+
+    def test_too_few_routers_rejected(self):
+        with pytest.raises(SimulationError):
+            MapProfile(reference_counts=(1, 0, 0), core_sites=1)
+
+    def test_negative_external_rejected(self):
+        with pytest.raises(SimulationError):
+            MapProfile(reference_counts=(10, 30, -1), core_sites=3)
+
+    def test_underconnected_rejected(self):
+        with pytest.raises(SimulationError):
+            MapProfile(reference_counts=(10, 3, 0), core_sites=3)
+
+
+class TestSharedRouters:
+    def test_self_sharing_rejected(self):
+        with pytest.raises(SimulationError):
+            SharedRouters(MapName.EUROPE, MapName.EUROPE, 4, 10)
+
+    def test_single_router_rejected(self):
+        with pytest.raises(SimulationError):
+            SharedRouters(MapName.EUROPE, MapName.WORLD, 1, 10)
+
+    def test_unconnectable_rejected(self):
+        with pytest.raises(SimulationError):
+            SharedRouters(MapName.EUROPE, MapName.WORLD, 5, 3)
+
+
+class TestSimulationConfig:
+    def test_empty_window_rejected(self):
+        when = datetime(2022, 1, 1, tzinfo=timezone.utc)
+        with pytest.raises(SimulationError):
+            SimulationConfig(window_start=when, window_end=when)
+
+    def test_unknown_profile_raises(self):
+        config = SimulationConfig(maps={})
+        with pytest.raises(SimulationError):
+            config.profile(MapName.EUROPE)
+
+
+class TestDefaultConfig:
+    def test_reference_counts_match_table1(self):
+        config = default_config()
+        for map_name, expected in TABLE1_PAPER.items():
+            assert config.profile(map_name).reference_counts == expected
+
+    def test_sharing_arithmetic(self):
+        # 31 duplicate router appearances and 137 duplicate links.
+        config = default_config()
+        assert sum(p.router_count for p in config.shared_routers) == 31
+        assert sum(p.link_count for p in config.shared_routers) == 137
+
+    def test_europe_has_scripted_events(self):
+        profile = default_config().profile(MapName.EUROPE)
+        assert profile.router_swaps
+        assert profile.router_removals
+        assert profile.outages
+        assert profile.internal_step_dates
+
+    def test_step_weights_match_dates(self):
+        profile = default_config().profile(MapName.EUROPE)
+        assert len(profile.internal_step_weights) == len(profile.internal_step_dates)
+
+    def test_seed_threads_through(self):
+        assert default_config(seed=7).seed == 7
+
+
+class TestUpgradeScenario:
+    def test_default_matches_paper(self):
+        scenario = UpgradeScenario()
+        assert scenario.capacity_before_gbps == 400
+        assert scenario.capacity_after_gbps == 500
+        assert scenario.expected_load_ratio == 0.8
+        assert (scenario.peeringdb_at - scenario.added_at).days == 9
+        assert (scenario.activated_at - scenario.added_at).days == 14
+
+    def test_bad_ordering_rejected(self):
+        from datetime import datetime, timezone
+
+        with pytest.raises(SimulationError):
+            UpgradeScenario(
+                added_at=datetime(2022, 3, 10, tzinfo=timezone.utc),
+                peeringdb_at=datetime(2022, 3, 5, tzinfo=timezone.utc),
+                activated_at=datetime(2022, 3, 20, tzinfo=timezone.utc),
+            )
+
+    def test_bad_base_load_rejected(self):
+        with pytest.raises(SimulationError):
+            UpgradeScenario(base_load=0)
+
+    def test_zero_links_rejected(self):
+        with pytest.raises(SimulationError):
+            UpgradeScenario(links_before=0)

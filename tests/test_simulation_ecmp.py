@@ -1,0 +1,72 @@
+"""Unit tests for ECMP load spreading."""
+
+import pytest
+
+from repro.simulation.ecmp import persistent_skew, spread_demand, zero_sum_jitter
+
+
+class TestZeroSumJitter:
+    def test_sums_to_zero(self):
+        offsets = zero_sum_jitter(8, 0.5, "ns", 1)
+        assert sum(offsets) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty(self):
+        assert zero_sum_jitter(0, 0.5, "ns") == []
+
+    def test_deterministic(self):
+        assert zero_sum_jitter(4, 0.5, "a", 1) == zero_sum_jitter(4, 0.5, "a", 1)
+
+    def test_namespace_changes_values(self):
+        assert zero_sum_jitter(4, 0.5, "a") != zero_sum_jitter(4, 0.5, "b")
+
+    def test_magnitude_scales_with_sigma(self):
+        small = max(abs(x) for x in zero_sum_jitter(100, 0.1, "m"))
+        large = max(abs(x) for x in zero_sum_jitter(100, 5.0, "m"))
+        assert large > small
+
+
+class TestPersistentSkew:
+    def test_zero_mean(self):
+        offsets = persistent_skew(6, 8.0, "g", 0)
+        assert sum(offsets) == pytest.approx(0.0, abs=1e-9)
+
+    def test_bounded(self):
+        offsets = persistent_skew(6, 8.0, "g", 0)
+        # Centred uniform(-8, 8): after centring still within 16.
+        assert all(abs(x) <= 16 for x in offsets)
+
+    def test_stable_across_calls(self):
+        assert persistent_skew(6, 8.0, "g", 1) == persistent_skew(6, 8.0, "g", 1)
+
+
+class TestSpreadDemand:
+    def test_inactive_links_zero(self):
+        loads = spread_demand(40.0, [True, False, True], 0.5, None, "t", 1)
+        assert loads[1] == 0.0
+        assert loads[0] > 0 and loads[2] > 0
+
+    def test_all_inactive(self):
+        assert spread_demand(40.0, [False, False], 0.5, None, "t") == [0.0, 0.0]
+
+    def test_loads_near_demand(self):
+        loads = spread_demand(40.0, [True] * 8, 0.5, None, "t", 2)
+        active = [l for l in loads if l > 0]
+        for load in active:
+            assert abs(load - 40.0) < 5
+
+    def test_clamped_to_valid_range(self):
+        high = spread_demand(99.5, [True] * 4, 3.0, None, "t", 3)
+        low = spread_demand(0.2, [True] * 4, 3.0, None, "t", 4)
+        assert all(0 <= l <= 100 for l in high + low)
+
+    def test_skew_applied(self):
+        skew = [10.0, -10.0]
+        loads = spread_demand(40.0, [True, True], 0.0, skew, "t", 5)
+        assert loads[0] - loads[1] == pytest.approx(20.0, abs=1.0)
+
+    def test_imbalance_scales_with_jitter(self):
+        def imbalance(sigma):
+            loads = spread_demand(40.0, [True] * 8, sigma, None, "t", sigma)
+            return max(loads) - min(loads)
+
+        assert imbalance(0.1) < imbalance(5.0)

@@ -1,0 +1,155 @@
+"""Unit tests for the structural evolution generator."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.constants import COLLECTION_START, MapName, REFERENCE_DATE
+from repro.simulation.evolution import FOREVER, RouterRole
+
+
+@pytest.fixture(scope="module")
+def europe(simulator):
+    return simulator.evolution(MapName.EUROPE)
+
+
+@pytest.fixture(scope="module")
+def world(simulator):
+    return simulator.evolution(MapName.WORLD)
+
+
+class TestRouterRoster:
+    def test_reference_roster_size(self, europe):
+        alive = europe.alive_routers_at(REFERENCE_DATE)
+        assert len(alive) == 113
+
+    def test_roles_partition(self, europe):
+        roles = {spec.role for spec in europe.routers}
+        assert roles == {RouterRole.CORE, RouterRole.EDGE, RouterRole.STUB}
+
+    def test_stub_fraction(self, europe):
+        stubs = [s for s in europe.routers if s.role == RouterRole.STUB]
+        assert 0.20 <= len(stubs) / len(europe.routers) <= 0.30
+
+    def test_extra_routers_die_before_reference(self, europe):
+        assert europe.extra_routers
+        for spec in europe.extra_routers:
+            assert spec.lifetime.death < REFERENCE_DATE
+
+    def test_names_unique(self, europe):
+        names = [spec.name for spec in europe.all_routers]
+        assert len(names) == len(set(names))
+
+    def test_borrowed_always_alive(self, world):
+        for spec in world.routers:
+            assert spec.borrowed
+            assert spec.lifetime.birth == COLLECTION_START
+            assert spec.lifetime.death == FOREVER
+
+
+class TestLinkSpecs:
+    def test_stub_groups_are_singletons(self, europe):
+        stub_names = {s.name for s in europe.routers if s.role == RouterRole.STUB}
+        for group in europe.groups:
+            if group.a in stub_names or group.b in stub_names:
+                assert group.size == 1
+
+    def test_link_births_never_precede_endpoints(self, europe):
+        lifetimes = {spec.name: spec.lifetime for spec in europe.all_routers}
+        for peering in europe.peerings:
+            lifetimes[peering.name] = peering.lifetime
+        for group in europe.groups:
+            floor = max(lifetimes[group.a].birth, lifetimes[group.b].birth)
+            for link in group.links:
+                assert link.lifetime.birth >= floor
+
+    def test_every_internal_group_has_a_founding_link(self, europe):
+        """Each internal group's first link is born with its endpoints, so
+        no router is ever present but linkless (external groups attach to
+        core/edge routers that already carry internal links)."""
+        lifetimes = {spec.name: spec.lifetime for spec in europe.all_routers}
+        for group in europe.groups:
+            if group.shared or group.external:
+                continue
+            floor = max(lifetimes[group.a].birth, lifetimes[group.b].birth)
+            assert min(link.lifetime.birth for link in group.links) == floor
+
+    def test_duplicate_label_groups_exist(self, europe):
+        duplicated = [
+            group
+            for group in europe.groups
+            if group.size > 1
+            and len({link.label_a for link in group.links}) == 1
+        ]
+        assert duplicated  # the VODAFONE case from Figure 1
+
+    def test_most_groups_have_sequential_labels(self, europe):
+        sequential = [
+            group
+            for group in europe.groups
+            if group.size > 1
+            and [link.label_a for link in group.links]
+            == [f"#{i + 1}" for i in range(group.size)]
+        ]
+        multi = [g for g in europe.groups if g.size > 1]
+        assert len(sequential) > 0.7 * len(multi)
+
+    def test_link_ids_unique(self, europe):
+        ids = [link.link_id for link in europe.all_links]
+        assert len(ids) == len(set(ids))
+
+
+class TestSharedBundles:
+    def test_lent_bundle_contents(self, simulator):
+        europe = simulator.evolution(MapName.EUROPE)
+        bundle = europe.lent_bundle(MapName.WORLD)
+        assert len(bundle.routers) == 7
+        assert bundle.link_count == 40
+        assert all(group.shared for group in bundle.groups)
+
+    def test_unknown_borrower_raises(self, simulator):
+        from repro.errors import SimulationError
+
+        europe = simulator.evolution(MapName.EUROPE)
+        with pytest.raises(SimulationError):
+            europe.lent_bundle(MapName.EUROPE)
+
+    def test_world_mirrors_everything(self, world):
+        assert all(group.shared for group in world.groups)
+        assert sum(group.size for group in world.groups) == 76
+
+    def test_shared_groups_always_alive(self, simulator):
+        europe = simulator.evolution(MapName.EUROPE)
+        for bundle_target in (MapName.WORLD, MapName.NORTH_AMERICA, MapName.ASIA_PACIFIC):
+            bundle = europe.lent_bundle(bundle_target)
+            for group in bundle.groups:
+                for link in group.links:
+                    assert link.lifetime.birth == COLLECTION_START
+                    assert link.lifetime.death == FOREVER
+
+    def test_no_fresh_links_between_borrowed_pairs(self, simulator):
+        north_america = simulator.evolution(MapName.NORTH_AMERICA)
+        borrowed = {name for name, _ in north_america._borrowed}
+        for group in north_america.groups:
+            if group.a in borrowed and group.b in borrowed:
+                assert group.shared
+
+
+class TestCounters:
+    def test_counts_match_materialisation(self, simulator):
+        europe = simulator.evolution(MapName.EUROPE)
+        for days in (0, 100, 400, 790):
+            when = COLLECTION_START + timedelta(days=days)
+            if when > REFERENCE_DATE:
+                break
+            fast_internal, fast_external = europe.link_counts_at(when)
+            alive = europe.alive_links_at(when)
+            assert fast_internal == sum(1 for l in alive if not l.external)
+            assert fast_external == sum(1 for l in alive if l.external)
+            assert europe.router_count_at(when) == len(europe.alive_routers_at(when))
+
+    def test_upgrade_group_registered(self, europe, simulator):
+        assert europe.upgrade_group_id is not None
+        group = europe.group_lookup()[europe.upgrade_group_id]
+        assert group.b == simulator.upgrade.peering
+        assert group.size == simulator.upgrade.links_after

@@ -1,0 +1,111 @@
+"""Unit tests for element lifetimes and the alive-count index."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.evolution import FOREVER, Lifetime, _EventCounter
+
+
+def _utc(*args) -> datetime:
+    return datetime(*args, tzinfo=timezone.utc)
+
+
+class TestLifetime:
+    def test_alive_between_birth_and_death(self):
+        life = Lifetime(birth=_utc(2021, 1, 1), death=_utc(2021, 6, 1))
+        assert life.alive_at(_utc(2021, 3, 1))
+        assert not life.alive_at(_utc(2020, 12, 31))
+        assert not life.alive_at(_utc(2021, 6, 1))  # death is exclusive
+
+    def test_birth_inclusive(self):
+        life = Lifetime(birth=_utc(2021, 1, 1))
+        assert life.alive_at(_utc(2021, 1, 1))
+
+    def test_forever_by_default(self):
+        life = Lifetime(birth=_utc(2021, 1, 1))
+        assert life.alive_at(_utc(2099, 1, 1))
+
+    def test_death_before_birth_rejected(self):
+        with pytest.raises(SimulationError):
+            Lifetime(birth=_utc(2021, 6, 1), death=_utc(2021, 1, 1))
+
+    def test_outage_hides_element(self):
+        life = Lifetime(
+            birth=_utc(2021, 1, 1),
+            outages=((_utc(2021, 8, 9), _utc(2021, 8, 14)),),
+        )
+        assert not life.alive_at(_utc(2021, 8, 10))
+        assert life.alive_at(_utc(2021, 8, 14))  # outage end exclusive
+        assert life.alive_at(_utc(2021, 8, 8))
+
+    def test_empty_outage_rejected(self):
+        with pytest.raises(SimulationError):
+            Lifetime(birth=_utc(2021, 1, 1), outages=((_utc(2021, 2, 1), _utc(2021, 2, 1)),))
+
+
+class TestIntervals:
+    def test_simple_interval(self):
+        life = Lifetime(birth=_utc(2021, 1, 1), death=_utc(2021, 6, 1))
+        assert life.intervals() == [(_utc(2021, 1, 1), _utc(2021, 6, 1))]
+
+    def test_outage_splits_interval(self):
+        life = Lifetime(
+            birth=_utc(2021, 1, 1),
+            death=_utc(2021, 12, 1),
+            outages=((_utc(2021, 6, 1), _utc(2021, 6, 10)),),
+        )
+        assert life.intervals() == [
+            (_utc(2021, 1, 1), _utc(2021, 6, 1)),
+            (_utc(2021, 6, 10), _utc(2021, 12, 1)),
+        ]
+
+    def test_outage_at_birth_trims_start(self):
+        life = Lifetime(
+            birth=_utc(2021, 1, 1),
+            outages=((_utc(2021, 1, 1), _utc(2021, 1, 5)),),
+        )
+        assert life.intervals()[0][0] == _utc(2021, 1, 5)
+
+    def test_intersect(self):
+        a = Lifetime(birth=_utc(2021, 1, 1), death=_utc(2021, 6, 1))
+        b = Lifetime(birth=_utc(2021, 3, 1), death=_utc(2021, 9, 1))
+        assert a.intersect(b) == [(_utc(2021, 3, 1), _utc(2021, 6, 1))]
+
+    def test_intersect_disjoint(self):
+        a = Lifetime(birth=_utc(2021, 1, 1), death=_utc(2021, 2, 1))
+        b = Lifetime(birth=_utc(2021, 3, 1), death=_utc(2021, 4, 1))
+        assert a.intersect(b) == []
+
+    def test_intersect_with_forever(self):
+        a = Lifetime(birth=_utc(2021, 1, 1))
+        b = Lifetime(birth=_utc(2021, 3, 1))
+        assert a.intersect(b) == [(_utc(2021, 3, 1), FOREVER)]
+
+
+class TestEventCounter:
+    def test_counts_over_time(self):
+        counter = _EventCounter(
+            [
+                (_utc(2021, 1, 1), _utc(2021, 6, 1)),
+                (_utc(2021, 3, 1), FOREVER),
+            ]
+        )
+        assert counter.count_at(_utc(2020, 12, 1)) == 0
+        assert counter.count_at(_utc(2021, 2, 1)) == 1
+        assert counter.count_at(_utc(2021, 4, 1)) == 2
+        assert counter.count_at(_utc(2021, 7, 1)) == 1
+
+    def test_boundary_semantics(self):
+        counter = _EventCounter([(_utc(2021, 1, 1), _utc(2021, 2, 1))])
+        assert counter.count_at(_utc(2021, 1, 1)) == 1  # start inclusive
+        assert counter.count_at(_utc(2021, 2, 1)) == 0  # end exclusive
+
+    def test_simultaneous_events_merged(self):
+        when = _utc(2021, 1, 1)
+        counter = _EventCounter([(when, FOREVER), (when, FOREVER), (when, FOREVER)])
+        assert counter.count_at(when) == 3
+
+    def test_empty(self):
+        assert _EventCounter([]).count_at(_utc(2021, 1, 1)) == 0

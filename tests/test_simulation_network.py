@@ -1,0 +1,219 @@
+"""Calibration and behaviour tests for the backbone simulator.
+
+These assert the headline numbers of the paper directly against the
+simulator: Table 1 counts, the Figure 4 narrative, the Figure 5 load
+behaviours, and the Figure 6 scenario wiring.
+"""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.constants import (
+    COLLECTION_START,
+    MapName,
+    REFERENCE_DATE,
+    TABLE1_PAPER,
+    TABLE1_PAPER_TOTAL,
+)
+from repro.errors import SimulationError
+from repro.simulation.network import BackboneSimulator
+from repro.topology.graph import isolated_routers, node_degrees
+
+
+def _utc(*args) -> datetime:
+    return datetime(*args, tzinfo=timezone.utc)
+
+
+class TestTable1Calibration:
+    def test_per_map_counts_exact(self, simulator):
+        for map_name, expected in TABLE1_PAPER.items():
+            assert simulator.counts(map_name, REFERENCE_DATE) == expected
+
+    def test_distinct_router_total(self, simulator):
+        assert simulator.distinct_router_count(REFERENCE_DATE) == TABLE1_PAPER_TOTAL[0]
+
+    def test_snapshot_matches_fast_counts(self, simulator, europe_reference):
+        assert europe_reference.summary_counts() == simulator.counts(
+            MapName.EUROPE, REFERENCE_DATE
+        )
+
+
+class TestDeterminism:
+    def test_two_simulators_identical(self, simulator):
+        other = BackboneSimulator()
+        t = _utc(2021, 5, 3, 14, 35)
+        a = simulator.snapshot(MapName.ASIA_PACIFIC, t)
+        b = other.snapshot(MapName.ASIA_PACIFIC, t)
+        assert [(l.a, l.b) for l in a.links] == [(l.a, l.b) for l in b.links]
+
+    def test_different_seeds_differ(self, simulator):
+        from repro.simulation.config import default_config
+
+        other = BackboneSimulator(config=default_config(seed=999))
+        t = _utc(2021, 5, 3, 14, 35)
+        a = simulator.snapshot(MapName.EUROPE, t)
+        b = other.snapshot(MapName.EUROPE, t)
+        assert {n for n in a.nodes} != {n for n in b.nodes}
+
+
+class TestEvolutionNarrative:
+    """The Figure 4a Europe events."""
+
+    def test_router_growth_aug_sep_2020(self, simulator):
+        before = simulator.counts(MapName.EUROPE, _utc(2020, 7, 25))[0]
+        after = simulator.counts(MapName.EUROPE, _utc(2020, 9, 20))[0]
+        assert after - before == 10
+
+    def test_removal_after_growth(self, simulator):
+        before = simulator.counts(MapName.EUROPE, _utc(2020, 9, 26))[0]
+        after = simulator.counts(MapName.EUROPE, _utc(2020, 10, 2))[0]
+        assert before - after == 4
+
+    def test_june_2021_removal(self, simulator):
+        before = simulator.counts(MapName.EUROPE, _utc(2021, 6, 9))[0]
+        after = simulator.counts(MapName.EUROPE, _utc(2021, 6, 11))[0]
+        assert before - after == 4
+
+    def test_august_2021_dip_recovers(self, simulator):
+        before = simulator.counts(MapName.EUROPE, _utc(2021, 8, 8))[0]
+        during = simulator.counts(MapName.EUROPE, _utc(2021, 8, 11))[0]
+        after = simulator.counts(MapName.EUROPE, _utc(2021, 8, 20))[0]
+        assert during < before
+        assert after == before
+
+    def test_november_2021_internal_step(self, simulator):
+        before = simulator.counts(MapName.EUROPE, _utc(2021, 11, 8))[1]
+        after = simulator.counts(MapName.EUROPE, _utc(2021, 11, 10))[1]
+        # "An important event of increase" — the largest scripted step.
+        assert after - before > 30
+
+    def test_external_links_grow_gradually(self, simulator):
+        counts = [
+            simulator.counts(MapName.EUROPE, COLLECTION_START + timedelta(days=30 * k))[2]
+            for k in range(0, 26, 2)
+        ]
+        assert counts[-1] > counts[0]
+        # Gradual: no single 2-month step carries more than half the growth.
+        total_growth = counts[-1] - counts[0]
+        biggest_step = max(b - a for a, b in zip(counts, counts[1:]))
+        assert biggest_step < max(2, total_growth * 0.5)
+
+    def test_counts_monotone_nowhere_negative(self, simulator):
+        for k in range(0, 26):
+            routers, internal, external = simulator.counts(
+                MapName.EUROPE, COLLECTION_START + timedelta(days=30 * k)
+            )
+            assert routers > 0 and internal > 0 and external >= 0
+
+
+class TestSnapshotIntegrity:
+    def test_no_isolated_routers(self, simulator, europe_reference):
+        assert isolated_routers(europe_reference) == []
+
+    def test_no_isolated_routers_mid_window(self, simulator):
+        snapshot = simulator.snapshot(MapName.EUROPE, _utc(2021, 2, 14, 7, 25))
+        assert isolated_routers(snapshot) == []
+
+    def test_world_has_no_peerings(self, simulator):
+        snapshot = simulator.snapshot(MapName.WORLD, REFERENCE_DATE)
+        assert snapshot.peerings == []
+
+    def test_degree_distribution_matches_paper(self, europe_reference):
+        degrees = list(node_degrees(europe_reference).values())
+        single = sum(1 for d in degrees if d <= 1) / len(degrees)
+        heavy = sum(1 for d in degrees if d > 20) / len(degrees)
+        # ">20 % of the OVH routers ... are connected with a single link"
+        assert single > 0.20
+        # ">20 % of the OVH routers have more than 20 links"
+        assert heavy > 0.20
+
+    def test_loads_are_integer_percentages(self, europe_reference):
+        for _, _, load in europe_reference.iter_loads():
+            assert load == int(load)
+            assert 0 <= load <= 100
+
+    def test_window_enforced(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.snapshot(MapName.EUROPE, _utc(2019, 1, 1))
+        with pytest.raises(SimulationError):
+            simulator.counts(MapName.EUROPE, _utc(2030, 1, 1))
+
+
+class TestSharedGateways:
+    def test_world_routers_all_borrowed(self, simulator):
+        world = {spec.name for spec in simulator.evolution(MapName.WORLD).all_routers}
+        continental = set()
+        for map_name in (MapName.EUROPE, MapName.NORTH_AMERICA, MapName.ASIA_PACIFIC):
+            continental.update(
+                spec.name for spec in simulator.evolution(map_name).routers
+            )
+        assert world <= continental
+
+    def test_shared_links_have_same_loads_on_both_maps(self, simulator):
+        """A gateway link shown on two maps reports one load value."""
+        when = _utc(2022, 4, 1, 10, 0)
+        europe = simulator.snapshot(MapName.EUROPE, when)
+        world = simulator.snapshot(MapName.WORLD, when)
+
+        def signatures(snapshot):
+            return {
+                tuple(
+                    sorted(
+                        (
+                            (link.a.node, link.a.label, link.a.load),
+                            (link.b.node, link.b.label, link.b.load),
+                        )
+                    )
+                )
+                for link in snapshot.links
+            }
+
+        world_signatures = signatures(world)
+        europe_signatures = signatures(europe)
+        shared = world_signatures & europe_signatures
+        # Europe lends 40 of World's links; every one of them must agree
+        # on loads (same physical link).
+        assert len(shared) >= 30
+
+
+class TestUpgradeScenario:
+    def test_group_size_before_and_after(self, simulator):
+        scenario = simulator.upgrade
+        before = simulator.upgrade_loads(scenario.added_at - timedelta(days=1))
+        assert len(before) == scenario.links_before
+        visible = simulator.upgrade_loads(scenario.added_at + timedelta(days=1))
+        assert len(visible) == scenario.links_after
+
+    def test_new_link_unused_until_activation(self, simulator):
+        scenario = simulator.upgrade
+        mid = simulator.upgrade_loads(scenario.added_at + timedelta(days=5))
+        zero_loads = [loads for loads in mid.values() if loads == (0, 0)]
+        assert len(zero_loads) == 1
+
+    def test_all_links_active_after_activation(self, simulator):
+        scenario = simulator.upgrade
+        after = simulator.upgrade_loads(scenario.activated_at + timedelta(days=1))
+        assert all(loads[0] > 0 for loads in after.values())
+
+    def test_load_drop_matches_capacity_ratio(self, simulator):
+        """Per-link load around activation drops by ~links_before/links_after."""
+        import statistics
+
+        scenario = simulator.upgrade
+
+        def daily_mean(day_offsets, reference):
+            values = []
+            for offset in day_offsets:
+                for hour in (0, 6, 12, 18):
+                    when = reference + timedelta(days=offset, hours=hour)
+                    loads = [
+                        l[0] for l in simulator.upgrade_loads(when).values() if l[0] >= 2
+                    ]
+                    values.extend(loads)
+            return statistics.mean(values)
+
+        before = daily_mean(range(-10, 0), scenario.added_at)
+        after = daily_mean(range(1, 11), scenario.activated_at)
+        ratio = after / before
+        assert 0.6 < ratio < 0.95  # around the 4/5 capacity ratio

@@ -1,0 +1,144 @@
+"""Unit tests for the diurnal traffic model."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.constants import MapName
+from repro.simulation.config import default_config
+from repro.simulation.traffic import (
+    DILUTION_RECOVERY,
+    TrafficModel,
+    diurnal_factor,
+    quantize,
+    weekly_factor,
+)
+
+
+def _utc(*args) -> datetime:
+    return datetime(*args, tzinfo=timezone.utc)
+
+
+class TestQuantize:
+    def test_rounds(self):
+        assert quantize(41.5) == 42
+        assert quantize(41.4) == 41
+
+    def test_clamps(self):
+        assert quantize(150.0) == 100
+        assert quantize(-5.0) == 0
+
+
+class TestDiurnalFactor:
+    def test_trough_at_3am(self):
+        # "reaching its lowest point between 2 and 4 a.m."
+        values = {h: diurnal_factor(_utc(2022, 3, 9, h), 0.38) for h in range(24)}
+        assert min(values, key=values.get) == 3
+
+    def test_peak_at_8pm(self):
+        # "its highest point between 7 and 9 p.m."
+        values = {h: diurnal_factor(_utc(2022, 3, 9, h), 0.38) for h in range(24)}
+        assert max(values, key=values.get) == 20
+
+    def test_amplitude_bounds(self):
+        for h in range(24):
+            factor = diurnal_factor(_utc(2022, 3, 9, h), 0.38)
+            assert 1 - 0.38 <= factor <= 1 + 0.38
+
+    def test_extremes_hit_amplitude(self):
+        assert diurnal_factor(_utc(2022, 3, 9, 3), 0.38) == pytest.approx(0.62)
+        assert diurnal_factor(_utc(2022, 3, 9, 20), 0.38) == pytest.approx(1.38)
+
+    def test_continuous_at_midnight(self):
+        before = diurnal_factor(_utc(2022, 3, 9, 23, 59), 0.38)
+        after = diurnal_factor(_utc(2022, 3, 10, 0, 1), 0.38)
+        assert abs(before - after) < 0.02
+
+    def test_zero_amplitude_is_flat(self):
+        for h in (0, 6, 12, 18):
+            assert diurnal_factor(_utc(2022, 3, 9, h), 0.0) == 1.0
+
+
+class TestWeeklyFactor:
+    def test_weekend_quieter(self):
+        saturday = _utc(2022, 3, 12)
+        tuesday = _utc(2022, 3, 8)
+        assert weekly_factor(saturday, 0.06) < weekly_factor(tuesday, 0.06)
+
+
+class TestTrafficModel:
+    @pytest.fixture()
+    def europe(self, simulator):
+        return simulator.evolution(MapName.EUROPE), simulator.traffic(MapName.EUROPE)
+
+    def test_deterministic(self, simulator):
+        when = _utc(2022, 2, 2, 10, 5)
+        evolution = simulator.evolution(MapName.EUROPE)
+        group = evolution.groups[5]
+        alive = [l for l in group.links if l.lifetime.alive_at(when)]
+        model_a = TrafficModel(simulator.config, "europe")
+        model_b = TrafficModel(simulator.config, "europe")
+        assert model_a.group_loads(group, alive, when) == model_b.group_loads(
+            group, alive, when
+        )
+
+    def test_loads_integers_in_range(self, europe):
+        evolution, traffic = europe
+        when = _utc(2022, 2, 2, 10, 5)
+        for group in evolution.groups[:30]:
+            alive = [l for l in group.links if l.lifetime.alive_at(when)]
+            for load_ab, load_ba in traffic.group_loads(group, alive, when).values():
+                assert isinstance(load_ab, int) and isinstance(load_ba, int)
+                assert 0 <= load_ab <= 100 and 0 <= load_ba <= 100
+
+    def test_inactive_links_zero(self, simulator):
+        scenario = simulator.upgrade
+        when = scenario.added_at + timedelta(days=2)
+        loads = simulator.upgrade_loads(when)
+        inactive = [v for v in loads.values() if v == (0, 0)]
+        assert len(inactive) == 1
+
+    def test_dilution_after_growth(self, simulator):
+        scenario = simulator.upgrade
+        traffic = simulator.traffic(MapName.EUROPE)
+        group = simulator.upgrade_group()
+        state = traffic._group_state(group)
+        just_after = traffic._dilution(state.size_events, scenario.activated_at + timedelta(hours=1))
+        assert just_after == pytest.approx(
+            scenario.links_before / scenario.links_after, abs=0.01
+        )
+        recovered = traffic._dilution(
+            state.size_events, scenario.activated_at + DILUTION_RECOVERY + timedelta(days=1)
+        )
+        assert recovered == 1.0
+
+    def test_no_dilution_before_any_change(self, simulator):
+        traffic = simulator.traffic(MapName.EUROPE)
+        group = simulator.upgrade_group()
+        state = traffic._group_state(group)
+        early = traffic._dilution(state.size_events, _utc(2021, 1, 1))
+        assert early == 1.0
+
+    def test_upgrade_group_never_idle_or_skewed(self, simulator):
+        traffic = simulator.traffic(MapName.EUROPE)
+        state = traffic._group_state(simulator.upgrade_group())
+        assert not state.idle
+        assert not state.skewed
+        assert not any(state.disabled)
+
+    def test_some_groups_idle(self, simulator):
+        traffic = simulator.traffic(MapName.EUROPE)
+        evolution = simulator.evolution(MapName.EUROPE)
+        idle = sum(
+            traffic._group_state(group).idle for group in evolution.groups
+        )
+        assert idle > 0
+
+    def test_base_loads_bounded(self, simulator):
+        config = default_config()
+        traffic = TrafficModel(config, "europe")
+        evolution = simulator.evolution(MapName.EUROPE)
+        for group in evolution.groups[:50]:
+            state = traffic._group_state(group)
+            for base in state.base_loads:
+                assert 1.5 <= base <= 88.0

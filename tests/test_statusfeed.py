@@ -1,0 +1,146 @@
+"""Unit tests for the synthetic status feed and its correlation analysis."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.analysis.infrastructure import StructuralEvent, infrastructure_evolution, structural_events
+from repro.constants import MapName
+from repro.errors import SchemaError
+from repro.statusfeed.correlate import correlate_events
+from repro.statusfeed.feed import SyntheticStatusFeed
+from repro.statusfeed.model import EventKind, StatusEvent
+
+
+def _utc(*args) -> datetime:
+    return datetime(*args, tzinfo=timezone.utc)
+
+
+@pytest.fixture(scope="module")
+def feed(simulator):
+    return SyntheticStatusFeed(simulator)
+
+
+class TestStatusEvent:
+    def test_bad_window_rejected(self):
+        with pytest.raises(SchemaError):
+            StatusEvent(
+                kind=EventKind.INCIDENT,
+                title="x",
+                start=_utc(2022, 1, 2),
+                end=_utc(2022, 1, 1),
+            )
+
+    def test_title_required(self):
+        with pytest.raises(SchemaError):
+            StatusEvent(
+                kind=EventKind.INCIDENT,
+                title="",
+                start=_utc(2022, 1, 1),
+                end=_utc(2022, 1, 2),
+            )
+
+    def test_overlap(self):
+        event = StatusEvent(
+            kind=EventKind.INCIDENT,
+            title="x",
+            start=_utc(2022, 1, 10),
+            end=_utc(2022, 1, 12),
+        )
+        assert event.overlaps(_utc(2022, 1, 11), _utc(2022, 1, 20))
+        assert not event.overlaps(_utc(2022, 1, 12), _utc(2022, 1, 20))
+
+    def test_near(self):
+        event = StatusEvent(
+            kind=EventKind.INCIDENT,
+            title="x",
+            start=_utc(2022, 1, 10),
+            end=_utc(2022, 1, 11),
+        )
+        assert event.near(_utc(2022, 1, 12), timedelta(days=2))
+        assert not event.near(_utc(2022, 1, 20), timedelta(days=2))
+
+
+class TestFeedContents:
+    def test_sorted(self, feed):
+        events = feed.events()
+        assert events == sorted(events, key=lambda e: e.start)
+
+    def test_contains_entry_for_august_outage(self, feed):
+        # Outages report as planned maintenance or as incidents
+        # ("failures forcing OVH to temporarily remove routers").
+        matches = feed.events_near(_utc(2021, 8, 10), timedelta(days=1))
+        assert any(
+            event.kind in (EventKind.PLANNED_MAINTENANCE, EventKind.INCIDENT)
+            for event in matches
+        )
+
+    def test_contains_capacity_work_for_november_step(self, feed):
+        matches = feed.events_near(_utc(2021, 11, 9), timedelta(days=1))
+        assert any(event.kind is EventKind.CAPACITY_WORK for event in matches)
+
+    def test_contains_upgrade_entry(self, feed, simulator):
+        scenario = simulator.upgrade
+        matches = feed.events_between(scenario.added_at, scenario.activated_at)
+        assert any(scenario.peering in event.title for event in matches)
+
+    def test_has_noise(self, feed):
+        routine = [
+            event for event in feed.events() if event.kind is EventKind.ROUTINE_NOTICE
+        ]
+        assert len(routine) > 50  # roughly weekly over two years
+
+    def test_structural_filter(self, feed):
+        assert all(
+            event.kind is not EventKind.ROUTINE_NOTICE
+            for event in feed.structural_events()
+        )
+
+    def test_deterministic(self, simulator):
+        a = SyntheticStatusFeed(simulator).events()
+        b = SyntheticStatusFeed(simulator).events()
+        assert a == b
+
+
+class TestCorrelation:
+    def test_real_changes_explained(self, simulator, feed):
+        evolution = infrastructure_evolution(
+            simulator, MapName.EUROPE, interval=timedelta(hours=12)
+        )
+        changes = structural_events(
+            evolution.routers, min_delta=2.0, pairing_window=timedelta(days=45)
+        )
+        report = correlate_events(changes, feed)
+        assert report.total > 0
+        # Every scripted change has a matching status entry.
+        assert report.explained_fraction == 1.0
+
+    def test_phantom_change_unexplained(self, feed):
+        phantom = StructuralEvent(
+            kind="shrink",
+            start=_utc(2021, 2, 2),
+            end=_utc(2021, 2, 2),
+            delta=-3,
+        )
+        report = correlate_events([phantom], feed, window=timedelta(hours=12))
+        assert report.explained_fraction == 0.0
+        assert len(report.unexplained) == 1
+
+    def test_routine_noise_never_explains(self, feed):
+        # Pick a routine notice and place a phantom change on it.
+        routine = next(
+            event for event in feed.events() if event.kind is EventKind.ROUTINE_NOTICE
+        )
+        phantom = StructuralEvent(
+            kind="growth", start=routine.start, end=routine.end, delta=2
+        )
+        report = correlate_events([phantom], feed, window=timedelta(hours=1))
+        explained_kinds = {
+            match.kind for item in report.explained for match in item.matches
+        }
+        assert EventKind.ROUTINE_NOTICE not in explained_kinds
+
+    def test_empty_changes(self, feed):
+        report = correlate_events([], feed)
+        assert report.total == 0
+        assert report.explained_fraction == 0.0

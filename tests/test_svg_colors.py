@@ -1,0 +1,70 @@
+"""Unit tests for the weathermap load-to-colour scale."""
+
+import pytest
+
+from repro.errors import SvgError
+from repro.svgdoc.colors import WEATHERMAP_SCALE, LoadColorScale, ScaleBand
+
+
+class TestDefaultScale:
+    def test_zero_load_renders_unused_grey(self):
+        # "A disabled link is represented with a load level of 0 %."
+        assert WEATHERMAP_SCALE.color_for(0) == "#c0c0c0"
+
+    def test_low_load_white(self):
+        assert WEATHERMAP_SCALE.color_for(0.5) == "#ffffff"
+
+    def test_band_boundaries_inclusive_above(self):
+        # Bands are (low, high]: exactly 10 is still the 1-10 band.
+        assert WEATHERMAP_SCALE.color_for(10) == "#8c00ff"
+        assert WEATHERMAP_SCALE.color_for(10.01) == "#2020ff"
+
+    def test_full_load_red(self):
+        assert WEATHERMAP_SCALE.color_for(100) == "#ff0000"
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(SvgError):
+            WEATHERMAP_SCALE.color_for(101)
+        with pytest.raises(SvgError):
+            WEATHERMAP_SCALE.color_for(-1)
+
+    def test_every_percent_has_a_color(self):
+        for load in range(0, 101):
+            assert WEATHERMAP_SCALE.color_for(load).startswith("#")
+
+
+class TestInverseLookup:
+    def test_band_for_color(self):
+        band = WEATHERMAP_SCALE.band_for_color("#FF0000")
+        assert band is not None
+        assert band.low == 85
+
+    def test_band_for_unknown_color(self):
+        assert WEATHERMAP_SCALE.band_for_color("#123456") is None
+
+    def test_consistency_check(self):
+        color = WEATHERMAP_SCALE.color_for(42)
+        assert WEATHERMAP_SCALE.is_consistent(42, color)
+        assert not WEATHERMAP_SCALE.is_consistent(42, "#ff0000")
+
+
+class TestValidation:
+    def test_empty_scale_rejected(self):
+        with pytest.raises(SvgError):
+            LoadColorScale([])
+
+    def test_gap_rejected(self):
+        with pytest.raises(SvgError):
+            LoadColorScale(
+                [ScaleBand(0, 10, "#fff"), ScaleBand(20, 30, "#000")]
+            )
+
+    def test_empty_band_rejected(self):
+        with pytest.raises(SvgError):
+            LoadColorScale([ScaleBand(10, 10, "#fff")])
+
+    def test_bands_sorted_on_access(self):
+        scale = LoadColorScale(
+            [ScaleBand(50, 100, "#222"), ScaleBand(0, 50, "#111")]
+        )
+        assert [band.low for band in scale.bands] == [0, 50]

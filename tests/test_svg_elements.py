@@ -1,0 +1,194 @@
+"""Unit tests for SVG tag classification (the Algorithm 1 dispatch)."""
+
+import pytest
+
+from repro.errors import MalformedSvgError
+from repro.geometry import Point
+from repro.svgdoc.elements import (
+    ArrowElement,
+    LabelBoxElement,
+    LabelTextElement,
+    LoadTextElement,
+    ObjectElement,
+    RawTag,
+    classify_tag,
+)
+
+
+def _object_group(name: str) -> RawTag:
+    return RawTag(
+        tag="g",
+        attributes={"class": "object object-router"},
+        children=(
+            RawTag(
+                tag="rect",
+                attributes={"x": "10", "y": "20", "width": "80", "height": "26"},
+            ),
+            RawTag(tag="text", attributes={}, text=name),
+        ),
+    )
+
+
+class TestObjectClassification:
+    def test_router_group(self):
+        element = classify_tag(_object_group("fra-fr5-pb6-nc5"))
+        assert isinstance(element, ObjectElement)
+        assert element.name == "fra-fr5-pb6-nc5"
+        assert element.is_router
+        assert not element.is_peering
+
+    def test_peering_group_uppercase(self):
+        element = classify_tag(_object_group("ARELION"))
+        assert element.is_peering
+
+    def test_hyphenated_peering(self):
+        element = classify_tag(_object_group("AMS-IX"))
+        assert element.is_peering
+
+    def test_box_coordinates_extracted(self):
+        element = classify_tag(_object_group("x"))
+        assert element.box.as_tuple() == (10, 20, 80, 26)
+
+    def test_group_without_rect_rejected(self):
+        tag = RawTag(
+            tag="g",
+            attributes={"class": "object"},
+            children=(RawTag(tag="text", attributes={}, text="name"),),
+        )
+        with pytest.raises(MalformedSvgError):
+            classify_tag(tag)
+
+    def test_group_without_name_rejected(self):
+        tag = RawTag(
+            tag="g",
+            attributes={"class": "object"},
+            children=(
+                RawTag(
+                    tag="rect",
+                    attributes={"x": "0", "y": "0", "width": "1", "height": "1"},
+                ),
+            ),
+        )
+        with pytest.raises(MalformedSvgError):
+            classify_tag(tag)
+
+
+class TestArrowClassification:
+    def test_polygon_is_arrow(self):
+        tag = RawTag(
+            tag="polygon",
+            attributes={"points": "0,0 10,0 5,8", "fill": "#ff0000"},
+        )
+        element = classify_tag(tag)
+        assert isinstance(element, ArrowElement)
+        assert element.fill == "#ff0000"
+        assert len(element.points) == 3
+
+    def test_base_midpoint_first_last(self):
+        tag = RawTag(tag="polygon", attributes={"points": "0,0 5,5 10,0"})
+        element = classify_tag(tag)
+        assert element.base_midpoint == Point(5, 0)
+
+    def test_tip_farthest_from_base(self):
+        tag = RawTag(tag="polygon", attributes={"points": "0,0 5,50 10,0"})
+        assert classify_tag(tag).tip == Point(5, 50)
+
+    def test_malformed_points_rejected(self):
+        tag = RawTag(tag="polygon", attributes={"points": "0,0 banana 10,0"})
+        with pytest.raises(MalformedSvgError):
+            classify_tag(tag)
+
+    def test_odd_coordinate_count_rejected(self):
+        tag = RawTag(tag="polygon", attributes={"points": "0 0 10 0 5"})
+        with pytest.raises(MalformedSvgError):
+            classify_tag(tag)
+
+    def test_too_few_points_rejected(self):
+        tag = RawTag(tag="polygon", attributes={"points": "0,0 1,1"})
+        with pytest.raises(MalformedSvgError):
+            classify_tag(tag)
+
+
+class TestLoadClassification:
+    def test_labellink_text(self):
+        tag = RawTag(
+            tag="text",
+            attributes={"class": "labellink", "x": "5", "y": "6"},
+            text="42%",
+        )
+        element = classify_tag(tag)
+        assert isinstance(element, LoadTextElement)
+        assert element.load == 42.0
+        assert element.anchor == Point(5, 6)
+
+    def test_fractional_load(self):
+        tag = RawTag(
+            tag="text",
+            attributes={"class": "labellink", "x": "0", "y": "0"},
+            text="3.5%",
+        )
+        assert classify_tag(tag).load == 3.5
+
+    def test_load_without_percent_rejected(self):
+        tag = RawTag(
+            tag="text",
+            attributes={"class": "labellink", "x": "0", "y": "0"},
+            text="42",
+        )
+        with pytest.raises(MalformedSvgError):
+            classify_tag(tag).load
+
+    def test_labellink_on_rect_rejected(self):
+        tag = RawTag(
+            tag="rect",
+            attributes={"class": "labellink", "x": "0", "y": "0"},
+        )
+        with pytest.raises(MalformedSvgError):
+            classify_tag(tag)
+
+
+class TestLabelClassification:
+    def test_node_rect_is_label_box(self):
+        tag = RawTag(
+            tag="rect",
+            attributes={
+                "class": "node", "x": "1", "y": "2", "width": "10", "height": "8",
+            },
+        )
+        assert isinstance(classify_tag(tag), LabelBoxElement)
+
+    def test_node_text_is_label_text(self):
+        tag = RawTag(tag="text", attributes={"class": "node"}, text="#1")
+        element = classify_tag(tag)
+        assert isinstance(element, LabelTextElement)
+        assert element.text == "#1"
+
+    def test_node_on_other_tag_rejected(self):
+        tag = RawTag(tag="circle", attributes={"class": "node"})
+        with pytest.raises(MalformedSvgError):
+            classify_tag(tag)
+
+
+class TestIgnoredTags:
+    def test_background_ignored(self):
+        tag = RawTag(tag="rect", attributes={"class": "background"})
+        assert classify_tag(tag) is None
+
+    def test_legend_ignored(self):
+        tag = RawTag(tag="text", attributes={"class": "legend"}, text="0-1%")
+        assert classify_tag(tag) is None
+
+    def test_classless_text_ignored(self):
+        assert classify_tag(RawTag(tag="text", attributes={}, text="x")) is None
+
+
+class TestMalformedAttributes:
+    def test_float_attribute_malformed_value(self):
+        tag = RawTag(tag="rect", attributes={"x": "12..34"})
+        with pytest.raises(MalformedSvgError):
+            tag.float_attribute("x")
+
+    def test_float_attribute_missing(self):
+        tag = RawTag(tag="rect", attributes={})
+        with pytest.raises(MalformedSvgError):
+            tag.float_attribute("x")

@@ -1,0 +1,145 @@
+"""Unit tests for the SVG writer and the tag-stream reader."""
+
+import pytest
+
+from repro.errors import MalformedSvgError, SvgError
+from repro.geometry import Point, Rect
+from repro.svgdoc.reader import read_svg_tags
+from repro.svgdoc.writer import WeathermapSvgWriter
+
+
+def _writer() -> WeathermapSvgWriter:
+    return WeathermapSvgWriter(width=800, height=600, title="test map")
+
+
+def _triangle(offset: float = 0.0) -> list[Point]:
+    return [Point(offset, 0), Point(offset + 10, 5), Point(offset, 10)]
+
+
+class TestWriterStructure:
+    def test_empty_document_is_valid_svg(self):
+        stream = read_svg_tags(_writer().to_svg())
+        assert stream.width == 800
+        assert stream.height == 600
+
+    def test_invalid_canvas_rejected(self):
+        with pytest.raises(SvgError):
+            WeathermapSvgWriter(width=0, height=100)
+
+    def test_object_round_trips(self):
+        writer = _writer()
+        writer.add_object("fra-fr5", Rect(10, 10, 80, 26), is_peering=False)
+        tags = read_svg_tags(writer.to_svg()).tags
+        object_tags = [t for t in tags if t.svg_class.startswith("object")]
+        assert len(object_tags) == 1
+        assert object_tags[0].children[1].text == "fra-fr5"
+
+    def test_peering_name_upper_cased(self):
+        writer = _writer()
+        writer.add_object("arelion", Rect(0, 0, 50, 20), is_peering=True)
+        tags = read_svg_tags(writer.to_svg()).tags
+        object_tag = next(t for t in tags if t.svg_class.startswith("object"))
+        assert object_tag.children[1].text == "ARELION"
+
+    def test_router_name_lower_cased(self):
+        writer = _writer()
+        writer.add_object("FRA-FR5", Rect(0, 0, 50, 20), is_peering=False)
+        tags = read_svg_tags(writer.to_svg()).tags
+        object_tag = next(t for t in tags if t.svg_class.startswith("object"))
+        assert object_tag.children[1].text == "fra-fr5"
+
+
+class TestWriterLinkStateMachine:
+    def test_complete_link(self):
+        writer = _writer()
+        writer.add_link(
+            arrows=[(_triangle(), "#fff"), (_triangle(50), "#000")],
+            loads=[(42, Point(30, 30)), (9, Point(40, 40))],
+        )
+        svg = writer.to_svg()
+        assert svg.count("<polygon") == 2
+        assert svg.count('class="labellink"') == 2
+        assert "42%" in svg and "9%" in svg
+
+    def test_third_arrow_rejected(self):
+        writer = _writer()
+        writer.add_arrow(_triangle(), "#fff")
+        writer.add_arrow(_triangle(30), "#fff")
+        with pytest.raises(SvgError):
+            writer.add_arrow(_triangle(60), "#fff")
+
+    def test_load_before_arrow_rejected(self):
+        with pytest.raises(SvgError):
+            _writer().add_load_text(42, Point(0, 0))
+
+    def test_incomplete_link_blocks_serialisation(self):
+        writer = _writer()
+        writer.add_arrow(_triangle(), "#fff")
+        with pytest.raises(SvgError):
+            writer.to_svg()
+
+    def test_arrow_needs_three_points(self):
+        with pytest.raises(SvgError):
+            _writer().add_arrow([Point(0, 0), Point(1, 1)], "#fff")
+
+    def test_fractional_load_formatting(self):
+        writer = _writer()
+        writer.add_link(
+            arrows=[(_triangle(), "#fff"), (_triangle(50), "#000")],
+            loads=[(3.5, Point(0, 0)), (4, Point(1, 1))],
+        )
+        svg = writer.to_svg()
+        assert "3.5%" in svg
+        assert "4%" in svg
+
+
+class TestWriterLabels:
+    def test_label_pair_order(self):
+        writer = _writer()
+        writer.add_link_label("#1", Rect(5, 5, 12, 8))
+        tags = read_svg_tags(writer.to_svg()).tags
+        node_tags = [t for t in tags if t.svg_class == "node"]
+        assert [t.tag for t in node_tags] == ["rect", "text"]
+        assert node_tags[1].text == "#1"
+
+    def test_label_text_escaped(self):
+        writer = _writer()
+        writer.add_link_label("<&>", Rect(5, 5, 12, 8))
+        stream = read_svg_tags(writer.to_svg())
+        node_text = [t for t in stream.tags if t.svg_class == "node" and t.tag == "text"]
+        assert node_text[0].text == "<&>"
+
+
+class TestReader:
+    def test_malformed_xml_raises(self):
+        with pytest.raises(MalformedSvgError):
+            read_svg_tags("<svg><unclosed></svg")
+
+    def test_non_svg_root_raises(self):
+        with pytest.raises(MalformedSvgError):
+            read_svg_tags("<html></html>")
+
+    def test_bytes_input(self):
+        stream = read_svg_tags(_writer().to_svg().encode("utf-8"))
+        assert stream.width == 800
+
+    def test_namespace_stripped(self):
+        svg = '<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"><rect/></svg>'
+        tags = read_svg_tags(svg).tags
+        assert tags[0].tag == "rect"
+
+    def test_dimension_with_units(self):
+        svg = '<svg xmlns="http://www.w3.org/2000/svg" width="10px" height="20px"></svg>'
+        stream = read_svg_tags(svg)
+        assert (stream.width, stream.height) == (10, 20)
+
+    def test_tag_order_preserved(self):
+        writer = _writer()
+        writer.add_object("a-router", Rect(0, 0, 50, 20), is_peering=False)
+        writer.add_link(
+            arrows=[(_triangle(), "#fff"), (_triangle(50), "#000")],
+            loads=[(1, Point(0, 0)), (2, Point(1, 1))],
+        )
+        tags = [t.tag for t in read_svg_tags(writer.to_svg()).tags]
+        # Object group before polygons before labellink texts.
+        assert tags.index("g") < tags.index("polygon")

@@ -1,0 +1,103 @@
+"""Unit tests for snapshot diffing."""
+
+from datetime import datetime, timezone
+
+from repro.constants import MapName
+from repro.topology.diff import diff_snapshots
+from repro.topology.model import Link, LinkEnd, MapSnapshot, Node
+
+T0 = datetime(2022, 1, 1, tzinfo=timezone.utc)
+T1 = datetime(2022, 1, 2, tzinfo=timezone.utc)
+
+
+def _snapshot(when, nodes, links):
+    snapshot = MapSnapshot(map_name=MapName.EUROPE, timestamp=when)
+    for name in nodes:
+        snapshot.add_node(Node.from_name(name))
+    for a, b, label in links:
+        snapshot.add_link(
+            Link(LinkEnd(a, label, 10), LinkEnd(b, label, 10))
+        )
+    return snapshot
+
+
+class TestRouterDiff:
+    def test_no_change(self):
+        old = _snapshot(T0, ["r1", "r2"], [("r1", "r2", "#1")])
+        new = _snapshot(T1, ["r1", "r2"], [("r1", "r2", "#1")])
+        assert diff_snapshots(old, new).is_empty
+
+    def test_added_router(self):
+        old = _snapshot(T0, ["r1", "r2"], [("r1", "r2", "#1")])
+        new = _snapshot(T1, ["r1", "r2", "r3"], [("r1", "r2", "#1")])
+        diff = diff_snapshots(old, new)
+        assert diff.added_routers == ["r3"]
+        assert diff.router_delta == 1
+
+    def test_removed_router(self):
+        old = _snapshot(T0, ["r1", "r2", "r3"], [("r1", "r2", "#1")])
+        new = _snapshot(T1, ["r1", "r2"], [("r1", "r2", "#1")])
+        diff = diff_snapshots(old, new)
+        assert diff.removed_routers == ["r3"]
+        assert diff.router_delta == -1
+
+    def test_peering_changes_separate(self):
+        old = _snapshot(T0, ["r1", "r2"], [("r1", "r2", "#1")])
+        new = _snapshot(T1, ["r1", "r2", "NEWPEER"], [("r1", "r2", "#1")])
+        diff = diff_snapshots(old, new)
+        assert diff.added_peerings == ["NEWPEER"]
+        assert diff.added_routers == []
+
+
+class TestLinkDiff:
+    def test_added_internal_link(self):
+        old = _snapshot(T0, ["r1", "r2"], [("r1", "r2", "#1")])
+        new = _snapshot(T1, ["r1", "r2"], [("r1", "r2", "#1"), ("r1", "r2", "#2")])
+        diff = diff_snapshots(old, new)
+        assert diff.added_internal_links == 1
+        assert diff.link_delta == 1
+
+    def test_added_external_link(self):
+        old = _snapshot(T0, ["r1", "PEER"], [])
+        new = _snapshot(T1, ["r1", "PEER"], [("r1", "PEER", "#1")])
+        diff = diff_snapshots(old, new)
+        assert diff.added_external_links == 1
+        assert diff.added_internal_links == 0
+
+    def test_load_change_is_not_structural(self):
+        old = _snapshot(T0, ["r1", "r2"], [("r1", "r2", "#1")])
+        new = MapSnapshot(map_name=MapName.EUROPE, timestamp=T1)
+        new.add_node(Node.from_name("r1"))
+        new.add_node(Node.from_name("r2"))
+        new.add_link(Link(LinkEnd("r1", "#1", 99), LinkEnd("r2", "#1", 1)))
+        assert diff_snapshots(old, new).is_empty
+
+    def test_duplicate_label_multiset_counting(self):
+        # Two parallel links sharing the label "#1" (the VODAFONE case):
+        # adding a third still counts as exactly one added link.
+        old = _snapshot(T0, ["r1", "r2"], [("r1", "r2", "#1")] * 2)
+        new = _snapshot(T1, ["r1", "r2"], [("r1", "r2", "#1")] * 3)
+        diff = diff_snapshots(old, new)
+        assert diff.added_internal_links == 1
+        assert diff.removed_internal_links == 0
+
+    def test_endpoint_order_irrelevant(self):
+        old = _snapshot(T0, ["r1", "r2"], [("r1", "r2", "#1")])
+        new = _snapshot(T1, ["r1", "r2"], [("r2", "r1", "#1")])
+        assert diff_snapshots(old, new).is_empty
+
+
+class TestMixedDiff:
+    def test_make_before_break_signature(self):
+        # New router + links added while the old router persists, then gone.
+        old = _snapshot(
+            T0, ["r1", "old-r"], [("r1", "old-r", "#1")]
+        )
+        new = _snapshot(
+            T1, ["r1", "new-r"], [("r1", "new-r", "#1")]
+        )
+        diff = diff_snapshots(old, new)
+        assert diff.added_routers == ["new-r"]
+        assert diff.removed_routers == ["old-r"]
+        assert diff.added_internal_links == 1
+        assert diff.removed_internal_links == 1

@@ -1,0 +1,92 @@
+"""Tests for topology export formats."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.constants import MapName
+from repro.errors import SchemaError
+from repro.topology.export import from_graphml, to_adjacency_csv, to_graphml
+from repro.topology.model import Link, LinkEnd, MapSnapshot, Node
+
+NOW = datetime(2022, 9, 12, tzinfo=timezone.utc)
+
+
+def _snapshot() -> MapSnapshot:
+    snapshot = MapSnapshot(map_name=MapName.EUROPE, timestamp=NOW)
+    for name in ("fra-r1", "par-r2", "AMS-IX"):
+        snapshot.add_node(Node.from_name(name))
+    snapshot.add_link(Link(LinkEnd("fra-r1", "#1", 42), LinkEnd("par-r2", "#1", 9)))
+    snapshot.add_link(Link(LinkEnd("fra-r1", "#2", 10), LinkEnd("par-r2", "#2", 11)))
+    snapshot.add_link(Link(LinkEnd("par-r2", "#1", 30), LinkEnd("AMS-IX", "#1", 5)))
+    return snapshot
+
+
+class TestGraphml:
+    def test_round_trip_counts(self):
+        restored = from_graphml(to_graphml(_snapshot()))
+        assert restored.summary_counts() == (2, 2, 1)
+
+    def test_round_trip_metadata(self):
+        restored = from_graphml(to_graphml(_snapshot()))
+        assert restored.map_name is MapName.EUROPE
+        assert restored.timestamp == NOW
+
+    def test_round_trip_loads_and_labels(self):
+        restored = from_graphml(to_graphml(_snapshot()))
+        signatures = {
+            tuple(sorted([(l.a.node, l.a.label, l.a.load), (l.b.node, l.b.label, l.b.load)]))
+            for l in restored.links
+        }
+        assert (("fra-r1", "#1", 42.0), ("par-r2", "#1", 9.0)) in signatures
+
+    def test_kind_preserved(self):
+        restored = from_graphml(to_graphml(_snapshot()))
+        assert restored.nodes["AMS-IX"].is_peering
+
+    def test_parallel_links_preserved(self):
+        restored = from_graphml(to_graphml(_snapshot()))
+        parallel = [l for l in restored.links if set(l.nodes) == {"fra-r1", "par-r2"}]
+        assert len(parallel) == 2
+
+    def test_file_output(self, tmp_path):
+        target = tmp_path / "out" / "snapshot.graphml"
+        to_graphml(_snapshot(), target)
+        assert target.exists()
+
+    def test_invalid_graphml(self):
+        with pytest.raises(SchemaError):
+            from_graphml("<not-graphml/>")
+
+    def test_missing_metadata(self):
+        import io
+
+        import networkx
+
+        buffer = io.BytesIO()
+        networkx.write_graphml(networkx.MultiGraph(), buffer)
+        with pytest.raises(SchemaError):
+            from_graphml(buffer.getvalue().decode("utf-8"))
+
+    def test_simulator_snapshot_round_trips(self, apac_reference):
+        restored = from_graphml(to_graphml(apac_reference))
+        assert restored.summary_counts() == apac_reference.summary_counts()
+
+
+class TestAdjacencyCsv:
+    def test_rows(self):
+        text = to_adjacency_csv(_snapshot())
+        lines = text.strip().splitlines()
+        assert len(lines) == 4  # header + 3 links
+        assert lines[0].startswith("node_a,")
+
+    def test_external_flag(self):
+        text = to_adjacency_csv(_snapshot())
+        external_rows = [line for line in text.splitlines() if line.endswith(",1")]
+        assert len(external_rows) == 1
+        assert "AMS-IX" in external_rows[0]
+
+    def test_file_output(self, tmp_path):
+        target = tmp_path / "links.csv"
+        to_adjacency_csv(_snapshot(), target)
+        assert target.read_text(encoding="utf-8").count("\n") == 4

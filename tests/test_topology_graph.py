@@ -1,0 +1,107 @@
+"""Unit tests for graph views (degrees, parallel groups, networkx)."""
+
+from datetime import datetime, timezone
+
+import networkx
+
+from repro.constants import MapName
+from repro.topology.graph import (
+    directed_parallel_groups,
+    isolated_routers,
+    mean_parallel_link_count,
+    node_degrees,
+    parallel_groups,
+    to_networkx,
+)
+from repro.topology.model import Link, LinkEnd, MapSnapshot, Node
+
+NOW = datetime(2022, 9, 12, tzinfo=timezone.utc)
+
+
+def _build_snapshot() -> MapSnapshot:
+    snapshot = MapSnapshot(map_name=MapName.EUROPE, timestamp=NOW)
+    for name in ("r1", "r2", "r3", "PEER"):
+        snapshot.add_node(Node.from_name(name))
+    # Two parallel links r1-r2, one r2-r3, one external r1-PEER.
+    snapshot.add_link(Link(LinkEnd("r1", "#1", 10), LinkEnd("r2", "#1", 11)))
+    snapshot.add_link(Link(LinkEnd("r1", "#2", 12), LinkEnd("r2", "#2", 13)))
+    snapshot.add_link(Link(LinkEnd("r2", "#1", 20), LinkEnd("r3", "#1", 21)))
+    snapshot.add_link(Link(LinkEnd("r1", "#1", 30), LinkEnd("PEER", "#1", 31)))
+    return snapshot
+
+
+class TestNetworkx:
+    def test_multigraph_parallel_edges(self):
+        graph = to_networkx(_build_snapshot())
+        assert isinstance(graph, networkx.MultiGraph)
+        assert graph.number_of_edges("r1", "r2") == 2
+
+    def test_node_attributes(self):
+        graph = to_networkx(_build_snapshot())
+        assert graph.nodes["PEER"]["kind"] == "peering"
+        assert graph.nodes["r1"]["kind"] == "router"
+
+    def test_edge_attributes(self):
+        graph = to_networkx(_build_snapshot())
+        edge = list(graph.get_edge_data("r1", "PEER").values())[0]
+        assert edge["external"] is True
+        assert edge["load_ab"] == 30
+
+
+class TestDegrees:
+    def test_degrees_count_parallel(self):
+        degrees = node_degrees(_build_snapshot())
+        assert degrees["r1"] == 3  # 2 parallel + 1 external
+        assert degrees["r2"] == 3
+        assert degrees["r3"] == 1
+
+    def test_routers_only_excludes_peering(self):
+        degrees = node_degrees(_build_snapshot(), routers_only=True)
+        assert "PEER" not in degrees
+
+    def test_include_peerings(self):
+        degrees = node_degrees(_build_snapshot(), routers_only=False)
+        assert degrees["PEER"] == 1
+
+
+class TestParallelGroups:
+    def test_group_count(self):
+        groups = parallel_groups(_build_snapshot())
+        assert len(groups) == 3
+
+    def test_group_sizes(self):
+        groups = parallel_groups(_build_snapshot())
+        assert len(groups[("r1", "r2")]) == 2
+
+    def test_directed_groups_double_undirected(self):
+        directed = directed_parallel_groups(_build_snapshot())
+        assert len(directed) == 6
+
+    def test_directed_group_loads_by_source(self):
+        directed = directed_parallel_groups(_build_snapshot())
+        group = next(
+            g for g in directed if g.source == "r1" and g.target == "r2"
+        )
+        assert group.loads == (10, 12)
+        reverse = next(
+            g for g in directed if g.source == "r2" and g.target == "r1"
+        )
+        assert reverse.loads == (11, 13)
+
+    def test_external_flag_propagates(self):
+        directed = directed_parallel_groups(_build_snapshot())
+        external = [g for g in directed if g.external]
+        assert len(external) == 2
+
+    def test_mean_parallel_count(self):
+        assert mean_parallel_link_count(_build_snapshot()) == 4 / 3
+
+
+class TestIsolation:
+    def test_no_isolated_in_connected_snapshot(self):
+        assert isolated_routers(_build_snapshot()) == []
+
+    def test_isolated_router_detected(self):
+        snapshot = _build_snapshot()
+        snapshot.add_node(Node.from_name("lonely"))
+        assert isolated_routers(snapshot) == ["lonely"]

@@ -1,0 +1,148 @@
+"""Unit tests for the topology data model."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.constants import MapName
+from repro.errors import LoadRangeError, SchemaError
+from repro.topology.model import (
+    Link,
+    LinkEnd,
+    MapSnapshot,
+    Node,
+    NodeKind,
+    ParallelGroup,
+)
+
+NOW = datetime(2022, 9, 12, tzinfo=timezone.utc)
+
+
+def _link(a: str, b: str, load_a: float = 10, load_b: float = 20, label: str = "#1") -> Link:
+    return Link(
+        a=LinkEnd(node=a, label=label, load=load_a),
+        b=LinkEnd(node=b, label=label, load=load_b),
+    )
+
+
+def _snapshot_with(*names: str) -> MapSnapshot:
+    snapshot = MapSnapshot(map_name=MapName.EUROPE, timestamp=NOW)
+    for name in names:
+        snapshot.add_node(Node.from_name(name))
+    return snapshot
+
+
+class TestNode:
+    def test_lowercase_is_router(self):
+        assert Node.from_name("fra-fr5-pb6-nc5").kind is NodeKind.ROUTER
+
+    def test_uppercase_is_peering(self):
+        assert Node.from_name("ARELION").kind is NodeKind.PEERING
+
+    def test_hyphenated_peering(self):
+        assert Node.from_name("AMS-IX").is_peering
+
+
+class TestLinkEnd:
+    def test_load_bounds_enforced(self):
+        with pytest.raises(LoadRangeError):
+            LinkEnd(node="a", label="#1", load=101)
+        with pytest.raises(LoadRangeError):
+            LinkEnd(node="a", label="#1", load=-1)
+
+    def test_boundary_loads_allowed(self):
+        assert LinkEnd(node="a", label="#1", load=0).load == 0
+        assert LinkEnd(node="a", label="#1", load=100).load == 100
+
+
+class TestLink:
+    def test_self_link_rejected(self):
+        with pytest.raises(SchemaError):
+            _link("r1", "r1")
+
+    def test_key_is_order_independent(self):
+        assert _link("b", "a").key == _link("a", "b").key
+
+    def test_load_from(self):
+        link = _link("a", "b", load_a=10, load_b=20)
+        assert link.load_from("a") == 10
+        assert link.load_from("b") == 20
+
+    def test_load_from_unknown_raises(self):
+        with pytest.raises(KeyError):
+            _link("a", "b").load_from("c")
+
+    def test_disabled(self):
+        assert _link("a", "b", 0, 0).is_disabled()
+        assert not _link("a", "b", 0, 1).is_disabled()
+
+
+class TestSnapshot:
+    def test_link_requires_known_nodes(self):
+        snapshot = _snapshot_with("r1")
+        with pytest.raises(SchemaError):
+            snapshot.add_link(_link("r1", "r2"))
+
+    def test_conflicting_node_rejected(self):
+        snapshot = _snapshot_with("r1")
+        with pytest.raises(SchemaError):
+            snapshot.add_node(Node(name="r1", kind=NodeKind.PEERING))
+
+    def test_idempotent_node_add(self):
+        snapshot = _snapshot_with("r1")
+        snapshot.add_node(Node.from_name("r1"))
+        assert len(snapshot.nodes) == 1
+
+    def test_internal_vs_external(self):
+        snapshot = _snapshot_with("r1", "r2", "PEER")
+        snapshot.add_link(_link("r1", "r2"))
+        snapshot.add_link(_link("r1", "PEER"))
+        assert len(snapshot.internal_links) == 1
+        assert len(snapshot.external_links) == 1
+
+    def test_summary_counts(self):
+        snapshot = _snapshot_with("r1", "r2", "PEER")
+        snapshot.add_link(_link("r1", "r2"))
+        snapshot.add_link(_link("r2", "PEER"))
+        assert snapshot.summary_counts() == (2, 1, 1)
+
+    def test_degree_counts_parallel_links(self):
+        snapshot = _snapshot_with("r1", "r2")
+        snapshot.add_link(_link("r1", "r2", label="#1"))
+        snapshot.add_link(_link("r1", "r2", label="#2"))
+        assert snapshot.degree("r1") == 2
+
+    def test_iter_loads_both_directions(self):
+        snapshot = _snapshot_with("r1", "r2")
+        snapshot.add_link(_link("r1", "r2", 10, 20))
+        loads = {(source, load) for _, source, load in snapshot.iter_loads()}
+        assert loads == {("r1", 10.0), ("r2", 20.0)}
+
+
+class TestParallelGroup:
+    def test_imbalance_simple(self):
+        group = ParallelGroup("a", "b", loads=(10, 12, 11), external=False)
+        assert group.imbalance() == 2
+
+    def test_zero_loads_filtered(self):
+        # "We ignore links with 0 % load as they are unused."
+        group = ParallelGroup("a", "b", loads=(0, 10, 12), external=False)
+        assert group.imbalance() == 2
+
+    def test_one_percent_loads_filtered(self):
+        # "We also discount links with 1 % load."
+        group = ParallelGroup("a", "b", loads=(1, 10, 12), external=False)
+        assert group.imbalance() == 2
+
+    def test_singleton_after_filter_dropped(self):
+        # "We remove sets with only one remaining link."
+        group = ParallelGroup("a", "b", loads=(0, 1, 12), external=False)
+        assert group.imbalance() is None
+
+    def test_empty_after_filter_dropped(self):
+        group = ParallelGroup("a", "b", loads=(0, 1), external=False)
+        assert group.imbalance() is None
+
+    def test_perfectly_balanced(self):
+        group = ParallelGroup("a", "b", loads=(30, 30, 30, 30), external=True)
+        assert group.imbalance() == 0

@@ -1,0 +1,68 @@
+"""Unit tests for OVH-style name generation."""
+
+from repro.constants import MapName
+from repro.topology.names import SITE_CODES, NameGenerator, PEERING_NAMES
+
+
+class TestRouterNames:
+    def test_router_name_is_lower_case(self):
+        name = NameGenerator(MapName.EUROPE).router_name()
+        assert name == name.lower()
+
+    def test_router_name_site_prefix(self):
+        generator = NameGenerator(MapName.EUROPE)
+        name = generator.router_name(site="fra")
+        assert name.startswith("fra-")
+
+    def test_random_site_from_map_pool(self):
+        generator = NameGenerator(MapName.ASIA_PACIFIC)
+        for _ in range(20):
+            site = generator.site_of(generator.router_name())
+            assert site in SITE_CODES[MapName.ASIA_PACIFIC]
+
+    def test_names_unique(self):
+        generator = NameGenerator(MapName.EUROPE)
+        names = {generator.router_name() for _ in range(500)}
+        assert len(names) == 500
+
+    def test_deterministic_given_seed(self):
+        first = [NameGenerator(MapName.EUROPE, seed=7).router_name() for _ in range(5)]
+        second = [NameGenerator(MapName.EUROPE, seed=7).router_name() for _ in range(5)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = NameGenerator(MapName.EUROPE, seed=1).router_name()
+        b = NameGenerator(MapName.EUROPE, seed=2).router_name()
+        assert a != b
+
+
+class TestPeeringNames:
+    def test_peering_name_is_upper_case(self):
+        name = NameGenerator(MapName.EUROPE).peering_name()
+        assert name == name.upper()
+
+    def test_pool_exhaustion_falls_back_to_as_numbers(self):
+        generator = NameGenerator(MapName.EUROPE)
+        names = [generator.peering_name() for _ in range(len(PEERING_NAMES) + 10)]
+        assert len(set(names)) == len(names)
+        assert any(name.startswith("AS") for name in names[-10:])
+
+    def test_reserve_prevents_reissue(self):
+        generator = NameGenerator(MapName.EUROPE)
+        generator.reserve("AMS-IX")
+        names = [generator.peering_name() for _ in range(len(PEERING_NAMES) + 5)]
+        assert "AMS-IX" not in names
+
+    def test_reserve_twice_rejected(self):
+        import pytest
+
+        generator = NameGenerator(MapName.EUROPE)
+        generator.reserve("AMS-IX")
+        with pytest.raises(ValueError):
+            generator.reserve("AMS-IX")
+
+
+class TestSiteExtraction:
+    def test_site_of(self):
+        generator = NameGenerator(MapName.EUROPE)
+        assert generator.site_of("fra-fr5-pb6-nc5") == "fra"

@@ -1,0 +1,173 @@
+"""Tests for the simulated weathermap website and the polling crawler."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.constants import MapName
+from repro.dataset.corruption import CorruptionInjector
+from repro.dataset.gaps import AvailabilityModel, CollectionSegment
+from repro.dataset.store import DatasetStore
+from repro.errors import DatasetError
+from repro.website.site import WeathermapWebsite, snapshot_tick
+from repro.website.webcollector import PollingCollector, PollingStats
+
+NOON = datetime(2022, 9, 11, 12, 0, tzinfo=timezone.utc)
+
+
+@pytest.fixture(scope="module")
+def site(simulator):
+    return WeathermapWebsite(
+        simulator, corruption=CorruptionInjector(seed=simulator.config.seed, rate=0.0)
+    )
+
+
+class TestTickGrid:
+    def test_floors_to_five_minutes(self):
+        assert snapshot_tick(NOON + timedelta(minutes=7, seconds=31)) == NOON + timedelta(minutes=5)
+
+    def test_exact_tick_unchanged(self):
+        assert snapshot_tick(NOON) == NOON
+
+    def test_timezone_normalised(self):
+        paris = timezone(timedelta(hours=2))
+        local = datetime(2022, 9, 11, 14, 3, tzinfo=paris)
+        assert snapshot_tick(local) == NOON
+
+
+class TestCurrent:
+    def test_same_slot_same_document(self, site):
+        tick_a, svg_a = site.current(MapName.ASIA_PACIFIC, NOON + timedelta(minutes=1))
+        tick_b, svg_b = site.current(MapName.ASIA_PACIFIC, NOON + timedelta(minutes=4))
+        assert tick_a == tick_b == NOON
+        assert svg_a == svg_b
+
+    def test_next_slot_replaces_document(self, site):
+        _, svg_a = site.current(MapName.ASIA_PACIFIC, NOON)
+        _, svg_b = site.current(MapName.ASIA_PACIFIC, NOON + timedelta(minutes=5))
+        assert svg_a != svg_b
+
+    def test_outside_window_rejected(self, site):
+        with pytest.raises(DatasetError):
+            site.current(MapName.EUROPE, datetime(2019, 1, 1, tzinfo=timezone.utc))
+
+    def test_served_document_parses(self, site):
+        from repro.parsing.pipeline import parse_svg
+
+        tick, svg = site.current(MapName.ASIA_PACIFIC, NOON)
+        parsed = parse_svg(svg, MapName.ASIA_PACIFIC, tick)
+        expected = site.simulator.snapshot(MapName.ASIA_PACIFIC, tick)
+        assert parsed.snapshot.summary_counts() == expected.summary_counts()
+
+
+class TestHourlyArchive:
+    def test_contains_past_hours_only(self, site):
+        archive = site.hourly_archive(MapName.ASIA_PACIFIC, NOON + timedelta(minutes=30))
+        hours = [stamp for stamp, _ in archive]
+        assert hours[0].hour == 0
+        assert hours[-1].hour == 11  # 12:00 not yet archived at 12:30
+        assert len(hours) == 12
+
+    def test_resets_at_midnight(self, site):
+        archive = site.hourly_archive(
+            MapName.ASIA_PACIFIC, NOON.replace(hour=0, minute=40)
+        )
+        assert archive == []
+
+    def test_archive_matches_current_render(self, site):
+        ten = NOON.replace(hour=10)
+        archive = dict(site.hourly_archive(MapName.ASIA_PACIFIC, NOON))
+        _, live = site.current(MapName.ASIA_PACIFIC, ten)
+        assert archive[ten] == live
+
+
+class TestPollingCollector:
+    def _collector(self, site, tmp_path, miss_rate: float, backfill: bool = True):
+        availability = AvailabilityModel(
+            seed=99,
+            segments={
+                map_name: (
+                    CollectionSegment(
+                        site.simulator.config.window_start,
+                        site.simulator.config.window_end,
+                    ),
+                )
+                for map_name in MapName
+            },
+            europe_miss_rate=miss_rate,
+            other_miss_rate_before_fix=miss_rate,
+            other_miss_rate_after_fix=miss_rate,
+            outage_day_rate=0.0,
+        )
+        return PollingCollector(
+            site, DatasetStore(tmp_path), availability=availability, backfill=backfill
+        )
+
+    def test_reliable_polling_stores_every_tick(self, site, tmp_path):
+        collector = self._collector(site, tmp_path, miss_rate=0.0, backfill=False)
+        stats = collector.run(
+            NOON, NOON + timedelta(minutes=30), maps=[MapName.ASIA_PACIFIC]
+        )
+        assert stats.fetched == 6
+        assert stats.failed_polls == 0
+        assert collector.store.timestamps(MapName.ASIA_PACIFIC) == [
+            NOON + timedelta(minutes=5 * i) for i in range(6)
+        ]
+
+    def test_failed_polls_leave_gaps(self, site, tmp_path):
+        collector = self._collector(
+            site, tmp_path, miss_rate=0.5, backfill=False
+        )
+        stats = collector.run(
+            NOON, NOON + timedelta(hours=2), maps=[MapName.ASIA_PACIFIC]
+        )
+        assert stats.failed_polls > 0
+        assert stats.fetched + stats.failed_polls == stats.polls
+
+    def test_backfill_recovers_hourly_snapshots(self, site, tmp_path):
+        collector = self._collector(site, tmp_path, miss_rate=0.45, backfill=True)
+        stats = collector.run(
+            NOON, NOON + timedelta(hours=3), maps=[MapName.ASIA_PACIFIC]
+        )
+        stamps = collector.store.timestamps(MapName.ASIA_PACIFIC)
+        # Every on-the-hour snapshot the archive could have served is
+        # present — fetched live or recovered.  (Hour 14 only enters the
+        # archive at 15:00, when polling has already stopped.)
+        for hour in (12, 13):
+            assert NOON.replace(hour=hour) in stamps
+        assert stats.backfilled > 0
+
+    def test_no_duplicate_writes(self, site, tmp_path):
+        collector = self._collector(site, tmp_path, miss_rate=0.0)
+        collector.run(NOON, NOON + timedelta(minutes=15), maps=[MapName.ASIA_PACIFIC])
+        stats = PollingStats()
+        collector.poll_once(MapName.ASIA_PACIFIC, NOON + timedelta(minutes=5), stats)
+        assert stats.duplicates_skipped == 1
+        assert stats.fetched == 0
+
+    def test_polling_agrees_with_direct_collector(self, site, tmp_path, simulator):
+        """The web path and the fast path store identical documents."""
+        from repro.dataset.collector import SimulatedCollector
+
+        web_store = DatasetStore(tmp_path / "web")
+        direct_store = DatasetStore(tmp_path / "direct")
+        collector = PollingCollector(
+            site,
+            web_store,
+            availability=self._collector(site, tmp_path / "x", 0.0).availability,
+            backfill=False,
+        )
+        collector.run(NOON, NOON + timedelta(minutes=10), maps=[MapName.ASIA_PACIFIC])
+
+        direct = SimulatedCollector(
+            simulator,
+            direct_store,
+            availability=collector.availability,
+            corruption=CorruptionInjector(seed=simulator.config.seed, rate=0.0),
+        )
+        direct.collect(NOON, NOON + timedelta(minutes=10), maps=[MapName.ASIA_PACIFIC])
+
+        for tick in web_store.timestamps(MapName.ASIA_PACIFIC):
+            web_svg = web_store.read_bytes(MapName.ASIA_PACIFIC, tick, "svg")
+            direct_svg = direct_store.read_bytes(MapName.ASIA_PACIFIC, tick, "svg")
+            assert web_svg == direct_svg
