@@ -1,0 +1,181 @@
+"""Throughput benchmark: serial vs. parallel vs. incremental bulk processing.
+
+The paper's workload — 542,049 SVGs extracted into YAML, then re-read for
+every Section 5 figure — is replayed here at small scale over a generated
+corpus:
+
+1. ``process`` serial (the seed's single-threaded loop),
+2. ``process`` parallel (the engine's process-pool fan-out),
+3. ``process`` incremental (warm manifest re-run — the steady state of a
+   collection campaign that only ever appends files),
+4. ``load_all`` serial vs. parallel.
+
+Byte-identical output between the serial and parallel runs is asserted,
+not assumed.  Results go to ``BENCH_throughput.json`` at the repo root to
+seed the perf trajectory; ``cpu_count`` is recorded because process-pool
+speedup is capped by the cores actually available.
+
+Run standalone (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_throughput_processing.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from datetime import timedelta
+from pathlib import Path
+
+from repro.constants import REFERENCE_DATE, MapName, SNAPSHOT_INTERVAL
+from repro.dataset.engine import process_map_parallel
+from repro.dataset.loader import load_all
+from repro.dataset.processor import process_map
+from repro.dataset.store import DatasetStore
+from repro.layout.renderer import MapRenderer
+from repro.simulation.network import BackboneSimulator
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def generate_corpus(store: DatasetStore, map_name: MapName, files: int) -> None:
+    """Render one map at the 5-minute cadence until ``files`` SVGs exist."""
+    simulator = BackboneSimulator()
+    renderer = MapRenderer()
+    when = REFERENCE_DATE - files * SNAPSHOT_INTERVAL
+    for _ in range(files):
+        svg = renderer.render(simulator.snapshot(map_name, when))
+        store.write(map_name, when, "svg", svg)
+        when += SNAPSHOT_INTERVAL
+
+
+def yaml_tree_digest(store: DatasetStore, map_name: MapName) -> str:
+    """One hash over every YAML file name + content, in timestamp order."""
+    digest = hashlib.sha256()
+    for ref in store.iter_refs(map_name, "yaml"):
+        digest.update(ref.path.name.encode())
+        digest.update(ref.path.read_bytes())
+    return digest.hexdigest()
+
+
+def reset_outputs(store: DatasetStore, map_name: MapName) -> None:
+    """Drop the YAML twins and the manifest, keeping the SVG corpus."""
+    shutil.rmtree(store.root / map_name.value / "yaml", ignore_errors=True)
+    store.manifest_path(map_name).unlink(missing_ok=True)
+
+
+def timed(label: str, files: int, fn):
+    """Run ``fn``, print and return (result, files/sec)."""
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    fps = files / elapsed if elapsed > 0 else float("inf")
+    print(f"  {label:<28} {elapsed:>7.2f} s   {fps:>8.1f} files/s")
+    return result, fps
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--files", type=int, default=520, help="corpus size")
+    parser.add_argument("--workers", type=int, default=4, help="pool width")
+    parser.add_argument(
+        "--map", default=MapName.ASIA_PACIFIC.value, help="map to generate"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small corpus (120 files) for CI"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_throughput.json"),
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+    files = 120 if args.quick else args.files
+    map_name = MapName(args.map)
+
+    print(
+        f"corpus: {files} {map_name.value} SVGs, "
+        f"{args.workers} workers, {os.cpu_count()} CPUs"
+    )
+    workdir = Path(tempfile.mkdtemp(prefix="bench-throughput-"))
+    try:
+        store = DatasetStore(workdir)
+        _, gen_fps = timed(
+            "generate", files, lambda: generate_corpus(store, map_name, files)
+        )
+
+        serial_stats, serial_fps = timed(
+            "process serial", files, lambda: process_map(store, map_name)
+        )
+        serial_digest = yaml_tree_digest(store, map_name)
+
+        reset_outputs(store, map_name)
+        parallel_stats, parallel_fps = timed(
+            f"process parallel x{args.workers}",
+            files,
+            lambda: process_map_parallel(store, map_name, workers=args.workers),
+        )
+        parallel_digest = yaml_tree_digest(store, map_name)
+
+        identical = (
+            serial_digest == parallel_digest
+            and serial_stats.processed == parallel_stats.processed
+            and serial_stats.unprocessed == parallel_stats.unprocessed
+            and serial_stats.yaml_bytes == parallel_stats.yaml_bytes
+            and serial_stats.failure_causes == parallel_stats.failure_causes
+        )
+        if not identical:
+            print("ERROR: serial and parallel outputs differ", file=sys.stderr)
+
+        _, incremental_fps = timed(
+            "process incremental (warm)",
+            files,
+            lambda: process_map_parallel(store, map_name, workers=args.workers),
+        )
+
+        _, load_serial_fps = timed(
+            "load serial", files, lambda: load_all(store, map_name)
+        )
+        _, load_parallel_fps = timed(
+            f"load parallel x{args.workers}",
+            files,
+            lambda: load_all(store, map_name, workers=args.workers),
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    report = {
+        "benchmark": "bulk SVG→YAML processing throughput",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "map": map_name.value,
+        "corpus_files": files,
+        "workers": args.workers,
+        "cpu_count": os.cpu_count(),
+        "generate_fps": round(gen_fps, 2),
+        "process_serial_fps": round(serial_fps, 2),
+        "process_parallel_fps": round(parallel_fps, 2),
+        "process_incremental_fps": round(incremental_fps, 2),
+        "load_serial_fps": round(load_serial_fps, 2),
+        "load_parallel_fps": round(load_parallel_fps, 2),
+        "speedup_parallel": round(parallel_fps / serial_fps, 2),
+        "speedup_incremental": round(incremental_fps / serial_fps, 2),
+        "speedup_load": round(load_parallel_fps / load_serial_fps, 2),
+        "outputs_identical": identical,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\nparallel speedup {report['speedup_parallel']}x, "
+          f"incremental {report['speedup_incremental']}x, "
+          f"load {report['speedup_load']}x")
+    print(f"wrote {output}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

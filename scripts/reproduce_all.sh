@@ -20,6 +20,11 @@ echo "== 2/4 tables and figures (benchmark harness) =="
 python3 -m pytest benchmarks/ --benchmark-only -q -s | tee "$ARTIFACTS/benchmarks.txt"
 cp -r benchmarks/output "$ARTIFACTS/figures" 2>/dev/null || true
 
+echo "== 2b/4 bulk-processing throughput (quick mode) =="
+python3 benchmarks/bench_throughput_processing.py --quick \
+    | tee "$ARTIFACTS/throughput.txt"
+cp BENCH_throughput.json "$ARTIFACTS/" 2>/dev/null || true
+
 echo "== 3/4 demonstration dataset (1 hour, all four maps) =="
 DATASET="$ARTIFACTS/dataset"
 repro-weather generate "$DATASET" \

@@ -42,6 +42,18 @@ def _parse_when(text: str) -> datetime:
     return when
 
 
+def _workers_argument(text: str) -> int:
+    try:
+        workers = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if workers < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 0 (0 = one per CPU core), got {workers}"
+        )
+    return workers
+
+
 def _map_argument(text: str) -> MapName:
     try:
         return MapName(text)
@@ -79,7 +91,13 @@ def cmd_process(args: argparse.Namespace) -> int:
     """Run SVG→YAML extraction over a dataset directory."""
     store = DatasetStore(args.dataset)
     for map_name in MapName:
-        stats = process_map(store, map_name, strict=args.strict)
+        stats = process_map(
+            store,
+            map_name,
+            strict=args.strict,
+            overwrite=args.overwrite,
+            workers=args.workers,
+        )
         if stats.total == 0:
             continue
         causes = ", ".join(f"{k}:{v}" for k, v in stats.failure_causes.items())
@@ -347,19 +365,45 @@ def cmd_crawl(args: argparse.Namespace) -> int:
 
 
 def cmd_export(args: argparse.Namespace) -> int:
-    """Export the latest processed snapshot as GraphML or CSV."""
-    from repro.dataset.loader import latest_snapshot
+    """Export processed snapshots as GraphML or CSV.
+
+    Default: the latest snapshot, to stdout or ``--output``.  With
+    ``--output-dir``: every snapshot, one file per timestamp, loading the
+    series through the parallel loader when ``--workers`` asks for it.
+    """
+    from repro.dataset.loader import latest_snapshot, load_all
+    from repro.dataset.store import format_timestamp
     from repro.topology.export import to_adjacency_csv, to_graphml
 
     store = DatasetStore(args.dataset)
+    export = to_graphml if args.format == "graphml" else to_adjacency_csv
+    if args.output_dir:
+        from repro.dataset.engine import default_workers
+
+        workers = default_workers() if args.workers == 0 else args.workers
+        snapshots = load_all(store, args.map, workers=workers)
+        if not snapshots:
+            print(f"no processed snapshots for {args.map.value}", file=sys.stderr)
+            return 1
+        target = Path(args.output_dir)
+        target.mkdir(parents=True, exist_ok=True)
+        total = 0
+        for snapshot in snapshots:
+            name = (
+                f"{args.map.value}-{format_timestamp(snapshot.timestamp)}"
+                f".{args.format}"
+            )
+            total += len(export(snapshot, target / name))
+        print(
+            f"wrote {len(snapshots)} {args.format} files "
+            f"({total / 1024:.1f} KiB) to {target}"
+        )
+        return 0
     snapshot = latest_snapshot(store, args.map)
     if snapshot is None:
         print(f"no processed snapshots for {args.map.value}", file=sys.stderr)
         return 1
-    if args.format == "graphml":
-        text = to_graphml(snapshot, args.output)
-    else:
-        text = to_adjacency_csv(snapshot, args.output)
+    text = export(snapshot, args.output)
     if args.output:
         print(f"wrote {args.output} ({len(text) / 1024:.1f} KiB)")
     else:
@@ -387,6 +431,19 @@ def build_parser() -> argparse.ArgumentParser:
     process = subparsers.add_parser("process", help="SVG → YAML extraction")
     process.add_argument("dataset", help="dataset directory")
     process.add_argument("--strict", action="store_true")
+    process.add_argument(
+        "--workers",
+        type=_workers_argument,
+        default=None,
+        help="worker processes for the extraction (default: serial; "
+        "0 means one per CPU core)",
+    )
+    process.add_argument(
+        "--overwrite",
+        action="store_true",
+        help="re-process files whose YAML already exists "
+        "(also invalidates the incremental manifest)",
+    )
     process.set_defaults(handler=cmd_process)
 
     catalog = subparsers.add_parser("catalog", help="collection quality stats")
@@ -445,6 +502,19 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--map", type=_map_argument, default=MapName.EUROPE)
     export.add_argument("--format", choices=("graphml", "csv"), default="graphml")
     export.add_argument("--output", default=None)
+    export.add_argument(
+        "--output-dir",
+        default=None,
+        help="export the whole snapshot series into this directory "
+        "instead of just the latest snapshot",
+    )
+    export.add_argument(
+        "--workers",
+        type=_workers_argument,
+        default=None,
+        help="worker processes for loading the series with --output-dir "
+        "(default: serial; 0 means one per CPU core)",
+    )
     export.set_defaults(handler=cmd_export)
 
     changelog = subparsers.add_parser(

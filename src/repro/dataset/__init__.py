@@ -12,6 +12,8 @@ package provides:
 * :mod:`repro.dataset.collector` — the simulated collection campaign,
 * :mod:`repro.dataset.processor` — bulk SVG→YAML processing with the
   paper's unprocessable-file accounting,
+* :mod:`repro.dataset.engine` — the parallel + incremental bulk engine
+  (process-pool fan-out and the per-map ``manifest.json`` skip cache),
 * :mod:`repro.dataset.catalog` — index of what was collected (time frames,
   inter-snapshot distances),
 * :mod:`repro.dataset.summary` — the Table 1 and Table 2 builders.
@@ -21,7 +23,12 @@ from repro.dataset.store import DatasetStore, SnapshotRef
 from repro.dataset.gaps import AvailabilityModel, CollectionSegment
 from repro.dataset.corruption import CorruptionInjector
 from repro.dataset.collector import CollectionStats, SimulatedCollector
-from repro.dataset.processor import ProcessingStats, process_map
+from repro.dataset.processor import ProcessingStats, process_map, process_svg_bytes
+from repro.dataset.engine import (
+    Manifest,
+    process_all_parallel,
+    process_map_parallel,
+)
 from repro.dataset.catalog import DatasetCatalog, TimeFrame, time_frames_from
 from repro.dataset.loader import iter_snapshots, latest_snapshot, load_all
 from repro.dataset.validate import ValidationReport, validate_dataset, validate_map
@@ -44,6 +51,10 @@ __all__ = [
     "SimulatedCollector",
     "ProcessingStats",
     "process_map",
+    "process_svg_bytes",
+    "Manifest",
+    "process_all_parallel",
+    "process_map_parallel",
     "DatasetCatalog",
     "TimeFrame",
     "time_frames_from",

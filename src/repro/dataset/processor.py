@@ -5,6 +5,12 @@ files, leaving less than a hundred files per map unprocessed" — processing
 must therefore *skip and count* failures, never abort.  Each failure is
 recorded with its typed cause so Table 2's unprocessed column can be broken
 down the way Section 4 discusses.
+
+The per-file extraction is a pure function (:func:`process_svg_bytes`,
+bytes in → YAML text or a typed failure out) so the parallel engine in
+:mod:`repro.dataset.engine` can ship it to worker processes and still
+merge results into the exact same :class:`ProcessingStats` a serial run
+produces.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 import logging
 from collections import Counter
 from dataclasses import dataclass, field
+from datetime import datetime
 
 from repro.constants import MapName
 from repro.errors import ParseError, SvgError
@@ -36,12 +43,62 @@ class ProcessingStats:
     def total(self) -> int:
         return self.processed + self.unprocessed
 
+    def merge(self, other: "ProcessingStats") -> None:
+        """Fold another run's counts into this one (same map)."""
+        if other.map_name != self.map_name:
+            raise ValueError(
+                f"cannot merge stats of {other.map_name.value} into "
+                f"{self.map_name.value}"
+            )
+        self.processed += other.processed
+        self.unprocessed += other.unprocessed
+        self.yaml_bytes += other.yaml_bytes
+        self.failure_causes.update(other.failure_causes)
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessOutcome:
+    """Result of extracting one SVG document: YAML text or a typed failure."""
+
+    yaml_text: str | None
+    failure_cause: str | None = None
+    failure_message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.yaml_text is not None
+
+
+def process_svg_bytes(
+    data: bytes,
+    map_name: MapName,
+    timestamp: datetime,
+    strict: bool = False,
+) -> ProcessOutcome:
+    """Extract one SVG document into its YAML twin — pure and picklable.
+
+    Never raises for the failure modes the paper counts as unprocessed
+    (malformed SVGs, extraction failures): those come back as a
+    :class:`ProcessOutcome` carrying the exception class name, exactly the
+    key the Table 2 accounting uses.
+    """
+    try:
+        parsed = parse_svg(data, map_name=map_name, timestamp=timestamp, strict=strict)
+    except (SvgError, ParseError) as exc:
+        return ProcessOutcome(
+            yaml_text=None,
+            failure_cause=type(exc).__name__,
+            failure_message=str(exc),
+        )
+    return ProcessOutcome(yaml_text=snapshot_to_yaml(parsed.snapshot))
+
 
 def process_map(
     store: DatasetStore,
     map_name: MapName,
     strict: bool = False,
     overwrite: bool = False,
+    workers: int | None = None,
 ) -> ProcessingStats:
     """Process every stored SVG of one map into its YAML twin.
 
@@ -51,10 +108,25 @@ def process_map(
         strict: apply the whole-map sanity checks strictly (a failed check
             counts the file as unprocessed).
         overwrite: re-process files whose YAML already exists.
+        workers: fan the extraction out over this many worker processes
+            via :func:`repro.dataset.engine.process_map_parallel` (which
+            also maintains the incremental manifest).  ``None`` or ``1``
+            keeps the simple serial loop below; ``0`` means one worker
+            per CPU core.
 
     Returns:
         Per-map counts mirroring a Table 2 row.
     """
+    if workers is not None and workers != 1:
+        from repro.dataset.engine import process_map_parallel
+
+        return process_map_parallel(
+            store,
+            map_name,
+            workers=workers or None,
+            strict=strict,
+            overwrite=overwrite,
+        )
     stats = ProcessingStats(map_name=map_name)
     for ref in store.iter_refs(map_name, "svg"):
         yaml_path = store.path_for(map_name, ref.timestamp, "yaml")
@@ -62,23 +134,20 @@ def process_map(
             stats.processed += 1
             stats.yaml_bytes += yaml_path.stat().st_size
             continue
-        try:
-            parsed = parse_svg(
-                ref.path.read_bytes(),
-                map_name=map_name,
-                timestamp=ref.timestamp,
-                strict=strict,
-            )
-        except (SvgError, ParseError) as exc:
+        outcome = process_svg_bytes(
+            ref.path.read_bytes(), map_name, ref.timestamp, strict=strict
+        )
+        if not outcome.ok:
             stats.unprocessed += 1
-            stats.failure_causes[type(exc).__name__] += 1
+            stats.failure_causes[outcome.failure_cause] += 1
             logger.warning(
-                "unprocessable %s (%s: %s)", ref.path.name, type(exc).__name__, exc
+                "unprocessable %s (%s: %s)",
+                ref.path.name,
+                outcome.failure_cause,
+                outcome.failure_message,
             )
             continue
-        written = store.write(
-            map_name, ref.timestamp, "yaml", snapshot_to_yaml(parsed.snapshot)
-        )
+        written = store.write(map_name, ref.timestamp, "yaml", outcome.yaml_text)
         stats.processed += 1
         stats.yaml_bytes += written.size_bytes
     logger.info(

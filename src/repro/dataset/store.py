@@ -76,6 +76,14 @@ class DatasetStore:
             / f"{map_name.value}-{format_timestamp(when)}.{kind}"
         )
 
+    def manifest_path(self, map_name: MapName) -> Path:
+        """Where the incremental-processing manifest of one map lives.
+
+        The manifest sits next to the ``svg/`` and ``yaml/`` subtrees and is
+        owned by :mod:`repro.dataset.engine`; the store only names it.
+        """
+        return self.root / map_name.value / "manifest.json"
+
     def write(self, map_name: MapName, when: datetime, kind: str, data: str | bytes) -> SnapshotRef:
         """Write one snapshot file, creating directories as needed."""
         path = self.path_for(map_name, when, kind)

@@ -24,6 +24,12 @@ from repro.topology.model import Link, LinkEnd, MapSnapshot, Node, NodeKind
 #: Timestamp used when the caller provides none.
 _EPOCH = datetime(1970, 1, 1, tzinfo=timezone.utc)
 
+#: Version of the extraction pipeline.  Bump whenever a change alters the
+#: YAML a given SVG produces — the incremental bulk engine
+#: (:mod:`repro.dataset.engine`) stores this in its manifest and
+#: reprocesses every file when it no longer matches.
+PARSER_VERSION = 1
+
 
 @dataclass
 class ParsedMap:
@@ -105,11 +111,19 @@ def parse_svg_file(
     map_name: MapName = MapName.EUROPE,
     timestamp: datetime | None = None,
     strict: bool = True,
+    label_distance_threshold: float = LABEL_DISTANCE_THRESHOLD,
+    accelerated: bool = True,
 ) -> ParsedMap:
-    """Extract the topology from an SVG file on disk."""
+    """Extract the topology from an SVG file on disk.
+
+    Accepts the same options as :func:`parse_svg`, so file- and
+    bytes-based parsing behave identically.
+    """
     return parse_svg(
         Path(path).read_bytes(),
         map_name=map_name,
         timestamp=timestamp,
         strict=strict,
+        label_distance_threshold=label_distance_threshold,
+        accelerated=accelerated,
     )

@@ -96,6 +96,10 @@ def read_svg_tags(source: str | Path | bytes) -> SvgTagStream:
         tree = ElementTree.parse(stream)
     except ElementTree.ParseError as exc:
         raise MalformedSvgError(f"not well-formed XML: {exc}") from exc
+    except (LookupError, ValueError) as exc:
+        # expat surfaces a bad/unknown encoding declaration as LookupError
+        # (and a few malformed prologs as ValueError), not as ParseError.
+        raise MalformedSvgError(f"undecodable XML document: {exc}") from exc
 
     root = tree.getroot()
     if _local_name(root.tag) != "svg":

@@ -21,6 +21,30 @@ class TestParser:
         assert args.output == "/tmp/x"
         assert args.interval == 5
 
+    def test_process_workers_args(self):
+        args = build_parser().parse_args(["process", "/tmp/x"])
+        assert args.workers is None
+        assert args.overwrite is False
+        args = build_parser().parse_args(
+            ["process", "/tmp/x", "--workers", "4", "--overwrite"]
+        )
+        assert args.workers == 4
+        assert args.overwrite is True
+
+    def test_export_workers_args(self):
+        args = build_parser().parse_args(["export", "/tmp/x"])
+        assert args.workers is None
+        assert args.output_dir is None
+        args = build_parser().parse_args(
+            ["export", "/tmp/x", "--workers", "2", "--output-dir", "/tmp/out"]
+        )
+        assert args.workers == 2
+        assert args.output_dir == "/tmp/out"
+
+    def test_workers_must_be_int(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["process", "/tmp/x", "--workers", "many"])
+
 
 class TestRender:
     def test_render_to_file(self, tmp_path, capsys):
@@ -79,6 +103,36 @@ class TestPipelineCommands:
         out = capsys.readouterr().out
         assert "Asia Pacific" in out
         assert "# SVGs" in out
+
+    def test_process_with_workers(self, dataset_dir, capsys):
+        code = main(["process", str(dataset_dir), "--workers", "2", "--overwrite"])
+        assert code == 0
+        assert "asia-pacific" in capsys.readouterr().out
+        # The engine path leaves its incremental manifest behind.
+        assert (dataset_dir / "asia-pacific" / "manifest.json").exists()
+
+    def test_export_series(self, dataset_dir, tmp_path, capsys):
+        main(["process", str(dataset_dir)])
+        capsys.readouterr()
+        target = tmp_path / "series"
+        code = main(
+            [
+                "export",
+                str(dataset_dir),
+                "--map",
+                "asia-pacific",
+                "--format",
+                "csv",
+                "--output-dir",
+                str(target),
+                "--workers",
+                "1",
+            ]
+        )
+        assert code == 0
+        written = sorted(target.glob("asia-pacific-*.csv"))
+        assert len(written) == len(list(dataset_dir.rglob("*.yaml")))
+        assert "wrote" in capsys.readouterr().out
 
 
 class TestUpgradeCommand:

@@ -1,0 +1,187 @@
+"""Tests for the parallel + incremental bulk-processing engine.
+
+The contract under test: the engine must reproduce the serial
+``process_map`` run *exactly* (byte-identical YAML, identical
+``ProcessingStats`` including failure causes), while its manifest makes
+warm re-runs skip unchanged files and invalidate cleanly on overwrite,
+parser-version bumps, and edited SVGs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.constants import MapName
+from repro.dataset import engine as engine_module
+from repro.dataset.engine import Manifest, process_map_parallel
+from repro.dataset.processor import process_map, process_svg_bytes
+from repro.dataset.store import DatasetStore
+from repro.layout.renderer import MapRenderer
+
+T0 = datetime(2022, 9, 12, tzinfo=timezone.utc)
+MAP = MapName.ASIA_PACIFIC
+
+#: Timestamps of the injected-corrupt SVGs (one malformed document, one
+#: that is not XML at all) — both must be counted, never fatal.
+CORRUPT_AT = (T0 + timedelta(minutes=10), T0 + timedelta(minutes=20))
+
+
+@pytest.fixture(scope="module")
+def reference_svg(simulator) -> str:
+    """One rendered Asia-Pacific document reused at every timestamp."""
+    return MapRenderer().render(simulator.snapshot(MAP, T0))
+
+
+def build_corpus(root, reference_svg: str, files: int = 6) -> DatasetStore:
+    """A small SVG corpus with two unprocessable files injected."""
+    store = DatasetStore(root)
+    for index in range(files):
+        when = T0 + timedelta(minutes=5 * index)
+        if when in CORRUPT_AT:
+            data = "<svg broken" if when == CORRUPT_AT[0] else "not an svg at all"
+        else:
+            data = reference_svg
+        store.write(MAP, when, "svg", data)
+    return store
+
+
+def yaml_tree(store: DatasetStore) -> dict[str, bytes]:
+    return {ref.path.name: ref.path.read_bytes() for ref in store.iter_refs(MAP, "yaml")}
+
+
+def assert_stats_equal(a, b) -> None:
+    assert a.map_name == b.map_name
+    assert a.processed == b.processed
+    assert a.unprocessed == b.unprocessed
+    assert a.yaml_bytes == b.yaml_bytes
+    assert a.failure_causes == b.failure_causes
+
+
+class TestSerialParallelEquivalence:
+    def test_identical_yaml_and_stats(self, tmp_path, reference_svg):
+        serial_store = build_corpus(tmp_path / "serial", reference_svg)
+        parallel_store = build_corpus(tmp_path / "parallel", reference_svg)
+        serial = process_map(serial_store, MAP)
+        parallel = process_map_parallel(parallel_store, MAP, workers=2, chunk_size=2)
+        assert serial.unprocessed == len(CORRUPT_AT)
+        assert_stats_equal(serial, parallel)
+        assert yaml_tree(serial_store) == yaml_tree(parallel_store)
+
+    def test_process_map_workers_delegates_to_engine(self, tmp_path, reference_svg):
+        store = build_corpus(tmp_path, reference_svg)
+        stats = process_map(store, MAP, workers=2)
+        assert stats.processed == stats.total - len(CORRUPT_AT)
+        # The delegation went through the engine: the manifest exists.
+        assert store.manifest_path(MAP).exists()
+
+
+class TestWorkersOne:
+    def test_degenerates_to_serial_no_pool(self, tmp_path, reference_svg, monkeypatch):
+        def forbidden(*args, **kwargs):
+            raise AssertionError("workers=1 must not spawn a process pool")
+
+        monkeypatch.setattr(engine_module, "ProcessPoolExecutor", forbidden)
+        store = build_corpus(tmp_path / "engine", reference_svg)
+        baseline_store = build_corpus(tmp_path / "baseline", reference_svg)
+        stats = process_map_parallel(store, MAP, workers=1)
+        baseline = process_map(baseline_store, MAP)
+        assert_stats_equal(stats, baseline)
+        assert yaml_tree(store) == yaml_tree(baseline_store)
+
+    def test_invalid_workers_rejected(self, tmp_path, reference_svg):
+        from repro.errors import DatasetError
+
+        store = build_corpus(tmp_path, reference_svg)
+        with pytest.raises(DatasetError):
+            process_map_parallel(store, MAP, workers=-1)
+        with pytest.raises(DatasetError):
+            process_map_parallel(store, MAP, chunk_size=0)
+
+
+class TestManifest:
+    @pytest.fixture()
+    def processed_store(self, tmp_path, reference_svg) -> DatasetStore:
+        store = build_corpus(tmp_path, reference_svg)
+        process_map_parallel(store, MAP, workers=1)
+        return store
+
+    def count_extractions(self, monkeypatch) -> list:
+        calls = []
+
+        def counting(data, map_name, timestamp, strict=False):
+            calls.append(timestamp)
+            return process_svg_bytes(data, map_name, timestamp, strict=strict)
+
+        monkeypatch.setattr(engine_module, "process_svg_bytes", counting)
+        return calls
+
+    def test_warm_rerun_skips_everything(self, processed_store, monkeypatch):
+        calls = self.count_extractions(monkeypatch)
+        first = process_map_parallel(processed_store, MAP, workers=1)
+        assert calls == []
+        assert first.unprocessed == len(CORRUPT_AT)  # failures still counted
+        assert first.processed + first.unprocessed == 6
+        assert first.yaml_bytes > 0
+
+    def test_overwrite_invalidates(self, processed_store, monkeypatch):
+        calls = self.count_extractions(monkeypatch)
+        stats = process_map_parallel(processed_store, MAP, workers=1, overwrite=True)
+        assert len(calls) == 6
+        assert stats.total == 6
+
+    def test_parser_version_bump_invalidates(self, processed_store, monkeypatch):
+        path = processed_store.manifest_path(MAP)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["parser_version"] = document["parser_version"] + 1
+        path.write_text(json.dumps(document), encoding="utf-8")
+        calls = self.count_extractions(monkeypatch)
+        process_map_parallel(processed_store, MAP, workers=1)
+        assert len(calls) == 6
+        # The fresh run stamps the current version back.
+        saved = json.loads(path.read_text(encoding="utf-8"))
+        assert saved["parser_version"] == engine_module.PARSER_VERSION
+
+    def test_edited_svg_reprocessed_alone(self, processed_store, monkeypatch, reference_svg):
+        edited_at = T0  # a healthy file
+        ref = next(iter(processed_store.iter_refs(MAP, "svg")))
+        assert ref.timestamp == edited_at
+        ref.path.write_text(reference_svg + "<!-- edited -->", encoding="utf-8")
+        os.utime(ref.path, ns=(1, 1))  # force a new (size, mtime) fast key
+        calls = self.count_extractions(monkeypatch)
+        process_map_parallel(processed_store, MAP, workers=1)
+        assert calls == [edited_at]
+
+    def test_corrupt_manifest_file_tolerated(self, processed_store, monkeypatch):
+        processed_store.manifest_path(MAP).write_text("{not json", encoding="utf-8")
+        calls = self.count_extractions(monkeypatch)
+        stats = process_map_parallel(processed_store, MAP, workers=1)
+        assert len(calls) == 6
+        assert stats.total == 6
+
+    def test_manifest_disabled(self, tmp_path, reference_svg):
+        store = build_corpus(tmp_path, reference_svg)
+        process_map_parallel(store, MAP, workers=1, use_manifest=False)
+        assert not store.manifest_path(MAP).exists()
+
+
+class TestManifestRoundTrip:
+    def test_save_load(self, tmp_path):
+        manifest = Manifest()
+        manifest.entries["x"] = engine_module.ManifestEntry(
+            sha256="ab", size=3, mtime_ns=7, yaml_bytes=11
+        )
+        manifest.entries["y"] = engine_module.ManifestEntry(
+            sha256="cd", size=4, mtime_ns=9, failure="MalformedSvgError"
+        )
+        path = tmp_path / "manifest.json"
+        manifest.save(path)
+        loaded = Manifest.load(path)
+        assert loaded.entries == manifest.entries
+        assert loaded.parser_version == manifest.parser_version
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Manifest.load(tmp_path / "absent.json").entries == {}

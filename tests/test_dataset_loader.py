@@ -94,3 +94,48 @@ class TestLatest:
 
     def test_latest_empty(self, store):
         assert latest_snapshot(store, MapName.WORLD) is None
+
+
+class TestParallelLoad:
+    def test_matches_serial(self, store):
+        serial = load_all(store, MapName.EUROPE)
+        parallel = load_all(store, MapName.EUROPE, workers=2)
+        assert parallel == serial
+
+    def test_window_filtering(self, store):
+        parallel = load_all(
+            store,
+            MapName.EUROPE,
+            start=T0 + timedelta(minutes=5),
+            end=T0 + timedelta(minutes=15),
+            workers=2,
+        )
+        assert parallel == load_all(
+            store,
+            MapName.EUROPE,
+            start=T0 + timedelta(minutes=5),
+            end=T0 + timedelta(minutes=15),
+        )
+        assert len(parallel) == 2
+
+    def test_empty_map(self, store):
+        assert load_all(store, MapName.WORLD, workers=2) == []
+
+    def test_corrupt_file_propagates_by_default(self, store):
+        when = T0 + timedelta(hours=2)
+        store.write(MapName.EUROPE, when, "yaml", "routers: [unclosed")
+        with pytest.raises(SchemaError):
+            load_all(store, MapName.EUROPE, workers=2)
+
+    def test_corrupt_file_skipped_with_handler(self, store):
+        when = T0 + timedelta(hours=2)
+        store.write(MapName.EUROPE, when, "yaml", "routers: [unclosed")
+        errors = []
+        snapshots = load_all(
+            store,
+            MapName.EUROPE,
+            workers=2,
+            on_error=lambda ref, exc: errors.append(ref.timestamp),
+        )
+        assert len(snapshots) == 5
+        assert errors == [when]

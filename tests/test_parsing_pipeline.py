@@ -137,3 +137,57 @@ class TestSanityChecks:
         )
         report = run_sanity_checks(extraction, [], strict=True)
         assert report.peering_count == 1
+
+
+class TestFileParsing:
+    """File- and bytes-based parsing must accept the same options."""
+
+    def test_options_forwarded(self, tmp_path, apac_svg, apac_reference):
+        from repro.parsing.pipeline import parse_svg_file
+
+        path = tmp_path / "apac.svg"
+        path.write_text(apac_svg, encoding="utf-8")
+        from_file = parse_svg_file(
+            path,
+            MapName.ASIA_PACIFIC,
+            apac_reference.timestamp,
+            label_distance_threshold=123.0,
+            accelerated=False,
+        )
+        from_bytes = parse_svg(
+            apac_svg.encode("utf-8"),
+            MapName.ASIA_PACIFIC,
+            apac_reference.timestamp,
+            label_distance_threshold=123.0,
+            accelerated=False,
+        )
+        assert _link_signatures(from_file.snapshot) == _link_signatures(
+            from_bytes.snapshot
+        )
+        assert from_file.snapshot.summary_counts() == from_bytes.snapshot.summary_counts()
+
+    def test_every_option_reaches_parse_svg(self, tmp_path, apac_svg, monkeypatch):
+        """No option may be silently dropped on the file path."""
+        from repro.parsing import pipeline
+
+        captured = {}
+
+        def recording(source, **kwargs):
+            captured.update(kwargs)
+            return "sentinel"
+
+        monkeypatch.setattr(pipeline, "parse_svg", recording)
+        path = tmp_path / "apac.svg"
+        path.write_text(apac_svg, encoding="utf-8")
+        result = pipeline.parse_svg_file(
+            path,
+            MapName.ASIA_PACIFIC,
+            strict=False,
+            label_distance_threshold=42.0,
+            accelerated=False,
+        )
+        assert result == "sentinel"
+        assert captured["strict"] is False
+        assert captured["label_distance_threshold"] == 42.0
+        assert captured["accelerated"] is False
+        assert captured["map_name"] == MapName.ASIA_PACIFIC
