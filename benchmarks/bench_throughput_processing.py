@@ -8,12 +8,16 @@ corpus:
 2. ``process`` parallel (the engine's process-pool fan-out),
 3. ``process`` incremental (warm manifest re-run — the steady state of a
    collection campaign that only ever appends files),
-4. ``load_all`` serial vs. parallel.
+4. ``load_all`` serial vs. parallel (both forced down the YAML path),
+5. the columnar index: one ``build_index`` compaction, then ``load_all``
+   served entirely from it.
 
 Byte-identical output between the serial and parallel runs is asserted,
-not assumed.  Results go to ``BENCH_throughput.json`` at the repo root to
-seed the perf trajectory; ``cpu_count`` is recorded because process-pool
-speedup is capped by the cores actually available.
+not assumed, and the index-served snapshot list is compared against the
+YAML-parsed one object for object.  Results go to
+``BENCH_throughput.json`` at the repo root to seed the perf trajectory;
+``cpu_count`` is recorded because process-pool speedup is capped by the
+cores actually available.
 
 Run standalone (not under pytest)::
 
@@ -35,6 +39,7 @@ from pathlib import Path
 
 from repro.constants import REFERENCE_DATE, MapName, SNAPSHOT_INTERVAL
 from repro.dataset.engine import process_map_parallel
+from repro.dataset.index import build_index
 from repro.dataset.loader import load_all
 from repro.dataset.processor import process_map
 from repro.dataset.store import DatasetStore
@@ -65,9 +70,10 @@ def yaml_tree_digest(store: DatasetStore, map_name: MapName) -> str:
 
 
 def reset_outputs(store: DatasetStore, map_name: MapName) -> None:
-    """Drop the YAML twins and the manifest, keeping the SVG corpus."""
+    """Drop the YAML twins, manifest, and index, keeping the SVG corpus."""
     shutil.rmtree(store.root / map_name.value / "yaml", ignore_errors=True)
     store.manifest_path(map_name).unlink(missing_ok=True)
+    store.index_path(map_name).unlink(missing_ok=True)
 
 
 def timed(label: str, files: int, fn):
@@ -116,10 +122,14 @@ def main(argv: list[str] | None = None) -> int:
         serial_digest = yaml_tree_digest(store, map_name)
 
         reset_outputs(store, map_name)
+        # update_index=False isolates the processing cost being measured;
+        # the compaction is timed on its own below.
         parallel_stats, parallel_fps = timed(
             f"process parallel x{args.workers}",
             files,
-            lambda: process_map_parallel(store, map_name, workers=args.workers),
+            lambda: process_map_parallel(
+                store, map_name, workers=args.workers, update_index=False
+            ),
         )
         parallel_digest = yaml_tree_digest(store, map_name)
 
@@ -136,17 +146,34 @@ def main(argv: list[str] | None = None) -> int:
         _, incremental_fps = timed(
             "process incremental (warm)",
             files,
-            lambda: process_map_parallel(store, map_name, workers=args.workers),
+            lambda: process_map_parallel(
+                store, map_name, workers=args.workers, update_index=False
+            ),
         )
 
-        _, load_serial_fps = timed(
-            "load serial", files, lambda: load_all(store, map_name)
+        serial_snapshots, load_serial_fps = timed(
+            "load serial (YAML)",
+            files,
+            lambda: load_all(store, map_name, use_index=False),
         )
         _, load_parallel_fps = timed(
-            f"load parallel x{args.workers}",
+            f"load parallel x{args.workers} (YAML)",
             files,
-            lambda: load_all(store, map_name, workers=args.workers),
+            lambda: load_all(store, map_name, workers=args.workers, use_index=False),
         )
+
+        _, index_build_fps = timed(
+            "index build (cold)",
+            files,
+            lambda: build_index(store, map_name, workers=args.workers),
+        )
+        indexed_snapshots, load_index_fps = timed(
+            "load via index", files, lambda: load_all(store, map_name)
+        )
+        if indexed_snapshots != serial_snapshots:
+            identical = False
+            print("ERROR: index-served snapshots differ from YAML", file=sys.stderr)
+        del serial_snapshots, indexed_snapshots
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
@@ -163,16 +190,20 @@ def main(argv: list[str] | None = None) -> int:
         "process_incremental_fps": round(incremental_fps, 2),
         "load_serial_fps": round(load_serial_fps, 2),
         "load_parallel_fps": round(load_parallel_fps, 2),
+        "index_build_fps": round(index_build_fps, 2),
+        "load_index_fps": round(load_index_fps, 2),
         "speedup_parallel": round(parallel_fps / serial_fps, 2),
         "speedup_incremental": round(incremental_fps / serial_fps, 2),
         "speedup_load": round(load_parallel_fps / load_serial_fps, 2),
+        "speedup_index": round(load_index_fps / load_serial_fps, 2),
         "outputs_identical": identical,
     }
     output = Path(args.output)
     output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"\nparallel speedup {report['speedup_parallel']}x, "
           f"incremental {report['speedup_incremental']}x, "
-          f"load {report['speedup_load']}x")
+          f"load {report['speedup_load']}x, "
+          f"indexed load {report['speedup_index']}x")
     print(f"wrote {output}")
     return 0 if identical else 1
 

@@ -12,7 +12,10 @@ Each module regenerates the data behind one part of the evaluation:
 * :mod:`repro.analysis.upgrades` — link-upgrade detection and PeeringDB
   correlation (Figure 6);
 * :mod:`repro.analysis.stats` / :mod:`repro.analysis.timeseries` — shared
-  CDF/percentile/time-series plumbing.
+  CDF/percentile/time-series plumbing;
+* :mod:`repro.analysis.columnar` — the same aggregates computed straight
+  from a :class:`~repro.dataset.index.SnapshotIndex`'s columns, without
+  materialising snapshots.
 
 Every analysis works on iterables of :class:`~repro.topology.model.MapSnapshot`
 so it runs equally on simulator output and on YAML files read back from a
@@ -72,6 +75,17 @@ from repro.analysis.diversity import (
     core_path_diversity,
     edge_disjoint_paths,
 )
+from repro.analysis.columnar import (
+    DirectedLoadColumns,
+    LinkLifetime,
+    LoadMatrix,
+    NodeLifetime,
+    directed_load_columns,
+    link_lifetimes,
+    load_matrix,
+    load_samples,
+    node_lifetimes,
+)
 from repro.analysis.upgrades import (
     CorrelatedUpgrade,
     DowngradeEvent,
@@ -116,6 +130,15 @@ __all__ = [
     "CongestionSummary",
     "congestion_rate_by_hour",
     "find_congestion",
+    "DirectedLoadColumns",
+    "LinkLifetime",
+    "LoadMatrix",
+    "NodeLifetime",
+    "directed_load_columns",
+    "link_lifetimes",
+    "load_matrix",
+    "load_samples",
+    "node_lifetimes",
     "DowngradeEvent",
     "detect_downgrades",
     "scan_all_peerings",

@@ -1,0 +1,391 @@
+"""Vectorised analyses straight over columnar snapshot indexes.
+
+The Section 5 figures reduce a map's whole history to a handful of
+aggregates: directed load distributions (Figures 5a/5b), per-link series,
+and appearance/disappearance times behind the evolution narratives.  Once
+a :class:`~repro.dataset.index.SnapshotIndex` exists, those aggregates
+fall out of its flat columns with numpy — no ``MapSnapshot`` objects are
+materialised, which is what makes a full-series figure pass cheap enough
+to iterate on.
+
+The accessors mirror their object-path equivalents exactly:
+:func:`load_samples` returns the same
+:class:`~repro.analysis.loads.LoadSamples` (element for element) that
+``collect_load_samples(load_all(...))`` would, so every downstream
+figure function works unchanged.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+import numpy
+
+from repro.analysis.loads import LoadSamples
+from repro.dataset.index import SnapshotIndex
+from repro.topology.model import NodeKind
+
+__all__ = [
+    "DirectedLoadColumns",
+    "LinkLifetime",
+    "LoadMatrix",
+    "NodeLifetime",
+    "directed_load_columns",
+    "link_lifetimes",
+    "load_matrix",
+    "load_samples",
+    "node_lifetimes",
+]
+
+
+def _column(raw, dtype) -> numpy.ndarray:
+    """Zero-copy numpy view over one of the index's array columns."""
+    if len(raw) == 0:
+        return numpy.empty(0, dtype=dtype)
+    return numpy.frombuffer(raw, dtype=dtype)
+
+
+def _rows_and_bounds(
+    index: SnapshotIndex, start: datetime | None, end: datetime | None
+) -> tuple[range, int, int]:
+    """Selected snapshot rows plus their link-column slice bounds."""
+    rows = index.rows_in_window(start, end)
+    link_counts = _column(index.link_counts, numpy.uint32)
+    offsets = numpy.concatenate(
+        ([0], numpy.cumsum(link_counts, dtype=numpy.int64))
+    )
+    return rows, int(offsets[rows.start]), int(offsets[rows.stop])
+
+
+def _link_row_of(index: SnapshotIndex) -> numpy.ndarray:
+    """For every link column element, the snapshot row it belongs to."""
+    counts = _column(index.link_counts, numpy.uint32).astype(numpy.int64)
+    return numpy.repeat(numpy.arange(len(counts), dtype=numpy.int64), counts)
+
+
+def _external_links(index: SnapshotIndex) -> numpy.ndarray:
+    """Boolean per link column element: does it touch a peering?
+
+    Fast path: when no name is ever used both as a router and as a
+    peering (the invariable case — kinds follow the map's naming
+    convention), peering-ness is a property of the name id and one table
+    lookup vectorises the whole corpus.  Otherwise each snapshot's own
+    peering membership decides, row by row.
+    """
+    a_nodes = _column(index.link_a_nodes, numpy.uint32)
+    b_nodes = _column(index.link_b_nodes, numpy.uint32)
+    as_router = numpy.zeros(len(index.names), dtype=bool)
+    as_peering = numpy.zeros(len(index.names), dtype=bool)
+    router_ids = _column(index.router_ids, numpy.uint32)
+    peering_ids = _column(index.peering_ids, numpy.uint32)
+    if len(router_ids):
+        as_router[router_ids] = True
+    if len(peering_ids):
+        as_peering[peering_ids] = True
+    if not bool(numpy.any(as_router & as_peering)):
+        return as_peering[a_nodes] | as_peering[b_nodes]
+    # Ambiguous names: fall back to per-snapshot membership.
+    external = numpy.zeros(len(a_nodes), dtype=bool)
+    link_offset = peering_offset = 0
+    for row in range(len(index)):
+        links = index.link_counts[row]
+        peerings = index.peering_counts[row]
+        members = peering_ids[peering_offset : peering_offset + peerings]
+        segment = slice(link_offset, link_offset + links)
+        external[segment] = numpy.isin(a_nodes[segment], members) | numpy.isin(
+            b_nodes[segment], members
+        )
+        link_offset += links
+        peering_offset += peerings
+    return external
+
+
+@dataclass(frozen=True)
+class DirectedLoadColumns:
+    """Every directed load sample of a window, as aligned flat arrays.
+
+    Samples interleave each link's two directions (a→b then b→a) in link
+    order — the same order the object path walks them.
+    """
+
+    loads: numpy.ndarray  #: float64, percent
+    hours: numpy.ndarray  #: int64, UTC hour of day per sample
+    weekdays: numpy.ndarray  #: int64, 0=Monday .. 6=Sunday
+    external: numpy.ndarray  #: bool, link touches a peering
+    snapshot_rows: numpy.ndarray  #: int64, index row per sample
+
+    def __len__(self) -> int:
+        return len(self.loads)
+
+
+def directed_load_columns(
+    index: SnapshotIndex,
+    start: datetime | None = None,
+    end: datetime | None = None,
+) -> DirectedLoadColumns:
+    """All directed load samples in ``[start, end)``, fully vectorised."""
+    rows, lo, hi = _rows_and_bounds(index, start, end)
+    span = hi - lo
+    loads = numpy.empty(2 * span, dtype=numpy.float64)
+    loads[0::2] = _column(index.link_a_loads, numpy.float64)[lo:hi]
+    loads[1::2] = _column(index.link_b_loads, numpy.float64)[lo:hi]
+
+    link_rows = _link_row_of(index)[lo:hi]
+    timestamps = _column(index.timestamps, numpy.int64)
+    epochs = timestamps[link_rows]
+    hours = (epochs // 3600) % 24
+    weekdays = (epochs // 86400 + 3) % 7  # epoch day zero was a Thursday
+
+    external = _external_links(index)[lo:hi]
+    return DirectedLoadColumns(
+        loads=loads,
+        hours=numpy.repeat(hours, 2),
+        weekdays=numpy.repeat(weekdays, 2),
+        external=numpy.repeat(external, 2),
+        snapshot_rows=numpy.repeat(link_rows, 2),
+    )
+
+
+def load_samples(
+    index: SnapshotIndex,
+    start: datetime | None = None,
+    end: datetime | None = None,
+) -> LoadSamples:
+    """The Figure 5 sample set, identical to the object path's.
+
+    Equivalent to ``collect_load_samples(load_all(store, map))`` — same
+    values in the same order — but computed from columns, without
+    reconstructing a single snapshot.
+    """
+    columns = directed_load_columns(index, start, end)
+    samples = LoadSamples()
+    external = columns.external
+    samples.internal = columns.loads[~external].tolist()
+    samples.external = columns.loads[external].tolist()
+    samples.hours = columns.hours.tolist()
+    samples.weekdays = columns.weekdays.tolist()
+    samples._combined = columns.loads.tolist()
+    return samples
+
+
+@dataclass(frozen=True)
+class NodeLifetime:
+    """When one node was first and last observed, and how often."""
+
+    name: str
+    kind: NodeKind
+    first_seen: datetime
+    last_seen: datetime
+    snapshots: int
+
+
+def node_lifetimes(index: SnapshotIndex) -> dict[str, NodeLifetime]:
+    """First/last appearance and presence count per node, vectorised.
+
+    The evolution analyses (Figure 4, the make-before-break narratives)
+    reduce to exactly these boundaries; grouping the membership columns
+    answers them for a whole map history at once.
+    """
+    timestamps = _column(index.timestamps, numpy.int64)
+    results: dict[str, NodeLifetime] = {}
+    for kind, ids_raw, counts_raw in (
+        (NodeKind.ROUTER, index.router_ids, index.router_counts),
+        (NodeKind.PEERING, index.peering_ids, index.peering_counts),
+    ):
+        ids = _column(ids_raw, numpy.uint32).astype(numpy.int64)
+        if not len(ids):
+            continue
+        counts = _column(counts_raw, numpy.uint32).astype(numpy.int64)
+        rows = numpy.repeat(numpy.arange(len(counts), dtype=numpy.int64), counts)
+        order = numpy.argsort(ids, kind="stable")
+        sorted_ids = ids[order]
+        sorted_rows = rows[order]
+        starts = numpy.flatnonzero(
+            numpy.r_[True, sorted_ids[1:] != sorted_ids[:-1]]
+        )
+        ends = numpy.r_[starts[1:], len(sorted_ids)]
+        for begin, finish in zip(starts, ends):
+            name = index.names[int(sorted_ids[begin])]
+            existing = results.get(name)
+            first_row = int(sorted_rows[begin])
+            last_row = int(sorted_rows[finish - 1])
+            present = int(finish - begin)
+            if existing is not None:
+                # A name that switched kinds: merge, keep the later kind.
+                first_row = min(first_row, _row_of(index, existing.first_seen))
+                last_row = max(last_row, _row_of(index, existing.last_seen))
+                present += existing.snapshots
+            results[name] = NodeLifetime(
+                name=name,
+                kind=kind,
+                first_seen=_utc(timestamps[first_row]),
+                last_seen=_utc(timestamps[last_row]),
+                snapshots=present,
+            )
+    return results
+
+
+def _utc(epoch) -> datetime:
+    return datetime.fromtimestamp(int(epoch), tz=timezone.utc)
+
+
+def _row_of(index: SnapshotIndex, when: datetime) -> int:
+    """Row of an exact timestamp previously read from the index."""
+    return bisect.bisect_left(index.timestamps, int(when.timestamp()))
+
+
+@dataclass(frozen=True)
+class LinkLifetime:
+    """When one link (canonical endpoint/label orientation) was observed."""
+
+    node_a: str
+    label_a: str
+    node_b: str
+    label_b: str
+    first_seen: datetime
+    last_seen: datetime
+    snapshots: int
+
+
+def _canonical_link_keys(
+    index: SnapshotIndex, lo: int, hi: int
+) -> tuple[numpy.ndarray, numpy.ndarray]:
+    """(packed key, was-swapped) per link row in ``[lo, hi)``.
+
+    Orientation is canonicalised on the node *ids* (stable within one
+    index) so the two directions of a link share a key.  Keys pack the
+    four ids into one int64 for fast grouping; id tables comfortably fit
+    the packing budget (validated below).
+    """
+    a_nodes = _column(index.link_a_nodes, numpy.uint32)[lo:hi].astype(numpy.int64)
+    b_nodes = _column(index.link_b_nodes, numpy.uint32)[lo:hi].astype(numpy.int64)
+    a_labels = _column(index.link_a_labels, numpy.uint32)[lo:hi].astype(numpy.int64)
+    b_labels = _column(index.link_b_labels, numpy.uint32)[lo:hi].astype(numpy.int64)
+    names = max(1, len(index.names))
+    labels = max(1, len(index.labels))
+    if names * names * labels * labels >= 2**62:
+        raise OverflowError(
+            f"string tables too large to pack link keys "
+            f"({names} names, {labels} labels)"
+        )
+    swapped = b_nodes < a_nodes
+    first_node = numpy.where(swapped, b_nodes, a_nodes)
+    second_node = numpy.where(swapped, a_nodes, b_nodes)
+    first_label = numpy.where(swapped, b_labels, a_labels)
+    second_label = numpy.where(swapped, a_labels, b_labels)
+    keys = (
+        (first_node * names + second_node) * labels + first_label
+    ) * labels + second_label
+    return keys, swapped
+
+
+def _unpack_link_key(index: SnapshotIndex, key: int) -> tuple[str, str, str, str]:
+    names = max(1, len(index.names))
+    labels = max(1, len(index.labels))
+    key, second_label = divmod(key, labels)
+    key, first_label = divmod(key, labels)
+    first_node, second_node = divmod(key, names)
+    return (
+        index.names[first_node],
+        index.labels[first_label],
+        index.names[second_node],
+        index.labels[second_label],
+    )
+
+
+def link_lifetimes(
+    index: SnapshotIndex,
+) -> dict[tuple[str, str, str, str], LinkLifetime]:
+    """First/last observation per link identity across the whole series.
+
+    Parallel links that share both endpoints *and* both labels (the
+    paper's VODAFONE case) collapse onto one key; their presence counts
+    then exceed the snapshot count, which is itself the signal that the
+    key hides a parallel group.
+    """
+    if not len(index.link_counts):
+        return {}
+    keys, _ = _canonical_link_keys(index, 0, len(index.link_a_nodes))
+    rows = _link_row_of(index)
+    timestamps = _column(index.timestamps, numpy.int64)
+    order = numpy.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_rows = rows[order]
+    starts = numpy.flatnonzero(numpy.r_[True, sorted_keys[1:] != sorted_keys[:-1]])
+    ends = numpy.r_[starts[1:], len(sorted_keys)]
+    results: dict[tuple[str, str, str, str], LinkLifetime] = {}
+    for begin, finish in zip(starts, ends):
+        node_a, label_a, node_b, label_b = _unpack_link_key(
+            index, int(sorted_keys[begin])
+        )
+        results[(node_a, label_a, node_b, label_b)] = LinkLifetime(
+            node_a=node_a,
+            label_a=label_a,
+            node_b=node_b,
+            label_b=label_b,
+            first_seen=_utc(timestamps[int(sorted_rows[begin])]),
+            last_seen=_utc(timestamps[int(sorted_rows[finish - 1])]),
+            snapshots=int(finish - begin),
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class LoadMatrix:
+    """Dense per-link load series: one row per snapshot, one column per link.
+
+    ``forward`` holds the egress load leaving the canonical first endpoint
+    (``keys[k][0]``), ``reverse`` the opposite direction; ``nan`` marks
+    snapshots where the link was absent.  Where duplicate parallel links
+    share a key, the last one in document order wins — the matrix is a
+    per-identity view, not a parallel-group accounting.
+    """
+
+    timestamps: numpy.ndarray  #: int64 epoch seconds, one per snapshot row
+    keys: tuple[tuple[str, str, str, str], ...]
+    forward: numpy.ndarray  #: float64 (snapshots, links)
+    reverse: numpy.ndarray  #: float64 (snapshots, links)
+
+    def times(self) -> list[datetime]:
+        """The snapshot timestamps as aware datetimes."""
+        return [_utc(epoch) for epoch in self.timestamps]
+
+    def series(
+        self, key: tuple[str, str, str, str]
+    ) -> tuple[numpy.ndarray, numpy.ndarray]:
+        """(forward, reverse) load series of one link key."""
+        column = self.keys.index(key)
+        return self.forward[:, column], self.reverse[:, column]
+
+
+def load_matrix(
+    index: SnapshotIndex,
+    start: datetime | None = None,
+    end: datetime | None = None,
+) -> LoadMatrix:
+    """Materialise the windowed per-link load matrix from the columns.
+
+    This is the input shape the upgrade detector and the TE-style studies
+    want: aligned time series per link, built in one grouping pass.
+    """
+    rows, lo, hi = _rows_and_bounds(index, start, end)
+    keys, swapped = _canonical_link_keys(index, lo, hi)
+    link_rows = _link_row_of(index)[lo:hi] - rows.start
+    unique_keys, columns = numpy.unique(keys, return_inverse=True)
+    snapshots = len(rows)
+    forward = numpy.full((snapshots, len(unique_keys)), numpy.nan)
+    reverse = numpy.full((snapshots, len(unique_keys)), numpy.nan)
+    a_loads = _column(index.link_a_loads, numpy.float64)[lo:hi]
+    b_loads = _column(index.link_b_loads, numpy.float64)[lo:hi]
+    forward[link_rows, columns] = numpy.where(swapped, b_loads, a_loads)
+    reverse[link_rows, columns] = numpy.where(swapped, a_loads, b_loads)
+    return LoadMatrix(
+        timestamps=_column(index.timestamps, numpy.int64)[
+            rows.start : rows.stop
+        ].copy(),
+        keys=tuple(_unpack_link_key(index, int(key)) for key in unique_keys),
+        forward=forward,
+        reverse=reverse,
+    )

@@ -4,6 +4,7 @@ Subcommands::
 
     generate   simulate a collection campaign into a dataset directory
     process    run the SVG→YAML extraction over a dataset directory
+    index      build or inspect the columnar snapshot index
     catalog    print per-map time frames and snapshot-distance stats
     tables     print Table 1 and Table 2 for a dataset directory
     render     render one snapshot SVG to stdout or a file
@@ -42,14 +43,16 @@ def _parse_when(text: str) -> datetime:
     return when
 
 
-def _workers_argument(text: str) -> int:
+def _workers_argument(text: str) -> int | str:
+    if text == "auto":
+        return text
     try:
         workers = int(text)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+        raise argparse.ArgumentTypeError(f"invalid workers value: {text!r}")
     if workers < 0:
         raise argparse.ArgumentTypeError(
-            f"workers must be >= 0 (0 = one per CPU core), got {workers}"
+            f"workers must be >= 0 (0 or 'auto' = one per CPU core), got {workers}"
         )
     return workers
 
@@ -106,6 +109,68 @@ def cmd_process(args: argparse.Namespace) -> int:
             f"unprocessed {stats.unprocessed:>4} {('(' + causes + ')') if causes else ''}"
         )
     return 0
+
+
+def cmd_index_build(args: argparse.Namespace) -> int:
+    """Build (or incrementally refresh) the columnar snapshot index."""
+    import time
+
+    from repro.dataset.index import build_index
+
+    store = DatasetStore(args.dataset)
+    built_any = False
+    for map_name in [args.map] if args.map else list(MapName):
+        if not any(True for _ in store.iter_refs(map_name, "yaml")):
+            continue
+        started = time.perf_counter()
+        _, stats = build_index(
+            store,
+            map_name,
+            rebuild=args.rebuild,
+            workers=args.workers,
+            on_error=lambda ref, exc: print(
+                f"  skipping unreadable {ref.path.name}: {exc}", file=sys.stderr
+            ),
+        )
+        elapsed = time.perf_counter() - started
+        built_any = True
+        print(
+            f"{map_name.value:<15} {stats.total:>6} rows "
+            f"({stats.parsed} parsed, {stats.reused} reused, "
+            f"{stats.unreadable} unreadable, {stats.removed} removed) "
+            f"{stats.bytes_written / 1024:>9.1f} KiB in {elapsed:.2f} s"
+        )
+    if not built_any:
+        print("no processed snapshots to index", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_index_status(args: argparse.Namespace) -> int:
+    """Report each map's index: rows, size, and freshness."""
+    from repro.dataset.index import index_status
+
+    store = DatasetStore(args.dataset)
+    all_fresh = True
+    shown = 0
+    for map_name in [args.map] if args.map else list(MapName):
+        has_yaml = any(True for _ in store.iter_refs(map_name, "yaml"))
+        status = index_status(store, map_name)
+        if not has_yaml and not status.exists:
+            continue
+        shown += 1
+        verdict = "fresh" if status.fresh else "STALE"
+        detail = "" if status.reason is None else f"  ({status.reason})"
+        print(
+            f"{map_name.value:<15} {verdict:<6} {status.rows:>6} rows "
+            f"{status.skipped:>3} skipped {status.size_bytes / 1024:>9.1f} KiB"
+            f"{detail}"
+        )
+        all_fresh = all_fresh and status.fresh
+    if shown == 0:
+        print("no dataset files found", file=sys.stderr)
+        return 1
+    return 0 if all_fresh else 1
 
 
 def cmd_catalog(args: argparse.Namespace) -> int:
@@ -378,10 +443,7 @@ def cmd_export(args: argparse.Namespace) -> int:
     store = DatasetStore(args.dataset)
     export = to_graphml if args.format == "graphml" else to_adjacency_csv
     if args.output_dir:
-        from repro.dataset.engine import default_workers
-
-        workers = default_workers() if args.workers == 0 else args.workers
-        snapshots = load_all(store, args.map, workers=workers)
+        snapshots = load_all(store, args.map, workers=args.workers)
         if not snapshots:
             print(f"no processed snapshots for {args.map.value}", file=sys.stderr)
             return 1
@@ -436,7 +498,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=_workers_argument,
         default=None,
         help="worker processes for the extraction (default: serial; "
-        "0 means one per CPU core)",
+        "0 or 'auto' means one per CPU core)",
     )
     process.add_argument(
         "--overwrite",
@@ -445,6 +507,35 @@ def build_parser() -> argparse.ArgumentParser:
         "(also invalidates the incremental manifest)",
     )
     process.set_defaults(handler=cmd_process)
+
+    index = subparsers.add_parser(
+        "index", help="build or inspect the columnar snapshot index"
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    index_build = index_sub.add_parser(
+        "build", help="compact each map's YAML series into its index"
+    )
+    index_build.add_argument("dataset", help="dataset directory")
+    index_build.add_argument("--map", type=_map_argument, default=None)
+    index_build.add_argument(
+        "--rebuild",
+        action="store_true",
+        help="discard any existing index instead of refreshing incrementally",
+    )
+    index_build.add_argument(
+        "--workers",
+        type=_workers_argument,
+        default=None,
+        help="worker processes for parsing new YAML files "
+        "(default: serial; 0 or 'auto' means one per CPU core)",
+    )
+    index_build.set_defaults(handler=cmd_index_build)
+    index_status_parser = index_sub.add_parser(
+        "status", help="report index freshness per map"
+    )
+    index_status_parser.add_argument("dataset", help="dataset directory")
+    index_status_parser.add_argument("--map", type=_map_argument, default=None)
+    index_status_parser.set_defaults(handler=cmd_index_status)
 
     catalog = subparsers.add_parser("catalog", help="collection quality stats")
     catalog.add_argument("dataset", help="dataset directory")
@@ -513,7 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=_workers_argument,
         default=None,
         help="worker processes for loading the series with --output-dir "
-        "(default: serial; 0 means one per CPU core)",
+        "(default: serial; 0 or 'auto' means one per CPU core)",
     )
     export.set_defaults(handler=cmd_export)
 

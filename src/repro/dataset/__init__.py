@@ -14,6 +14,10 @@ package provides:
   paper's unprocessable-file accounting,
 * :mod:`repro.dataset.engine` — the parallel + incremental bulk engine
   (process-pool fan-out and the per-map ``manifest.json`` skip cache),
+* :mod:`repro.dataset.index` — the columnar snapshot index each map's
+  YAML series is compacted into, so analyses never re-parse the corpus,
+* :mod:`repro.dataset.workers` — worker-count resolution shared by every
+  pool user (skips the pool where it cannot win),
 * :mod:`repro.dataset.catalog` — index of what was collected (time frames,
   inter-snapshot distances),
 * :mod:`repro.dataset.summary` — the Table 1 and Table 2 builders.
@@ -29,6 +33,16 @@ from repro.dataset.engine import (
     process_all_parallel,
     process_map_parallel,
 )
+from repro.dataset.index import (
+    IndexBuildStats,
+    IndexStatus,
+    SnapshotIndex,
+    build_index,
+    fresh_index,
+    index_status,
+    load_index,
+)
+from repro.dataset.workers import default_workers, resolve_workers
 from repro.dataset.catalog import DatasetCatalog, TimeFrame, time_frames_from
 from repro.dataset.loader import iter_snapshots, latest_snapshot, load_all
 from repro.dataset.validate import ValidationReport, validate_dataset, validate_map
@@ -55,6 +69,15 @@ __all__ = [
     "Manifest",
     "process_all_parallel",
     "process_map_parallel",
+    "IndexBuildStats",
+    "IndexStatus",
+    "SnapshotIndex",
+    "build_index",
+    "fresh_index",
+    "index_status",
+    "load_index",
+    "default_workers",
+    "resolve_workers",
     "DatasetCatalog",
     "TimeFrame",
     "time_frames_from",

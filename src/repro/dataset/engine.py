@@ -42,19 +42,25 @@ from typing import Iterable, Sequence
 from repro.constants import MapName
 from repro.dataset.processor import ProcessingStats, process_svg_bytes
 from repro.dataset.store import DatasetStore, SnapshotRef, format_timestamp
+from repro.dataset.workers import AUTO_WORKERS, default_workers, resolve_workers
 from repro.errors import DatasetError
 from repro.parsing.pipeline import PARSER_VERSION
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "Manifest",
+    "ManifestEntry",
+    "default_workers",
+    "process_all_parallel",
+    "process_map_parallel",
+    "resolve_workers",
+]
 
 logger = logging.getLogger(__name__)
 
 #: How many SVGs each pool task carries; amortises pickling and dispatch
 #: overhead without starving workers at the tail of a run.
 DEFAULT_CHUNK_SIZE = 16
-
-
-def default_workers() -> int:
-    """The engine's default fan-out: one worker per available core."""
-    return max(1, os.cpu_count() or 1)
 
 
 @dataclass(slots=True)
@@ -230,11 +236,12 @@ def _skip_from_manifest(stats: ProcessingStats, entry: ManifestEntry) -> None:
 def process_map_parallel(
     store: DatasetStore,
     map_name: MapName,
-    workers: int | None = None,
+    workers: int | str | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     strict: bool = False,
     overwrite: bool = False,
     use_manifest: bool = True,
+    update_index: bool = True,
 ) -> ProcessingStats:
     """Process one map's SVGs into YAML twins — in parallel, incrementally.
 
@@ -245,21 +252,26 @@ def process_map_parallel(
     Args:
         store: dataset directory to read SVGs from and write YAMLs into.
         map_name: which map to process.
-        workers: worker process count; ``None`` means one per core, and
-            ``1`` degenerates to an in-process loop (no pool spawned).
+        workers: worker process count; ``None``/``"auto"``/``0`` mean one
+            per core.  Requests resolve through
+            :func:`~repro.dataset.workers.resolve_workers`, so one
+            effective worker (including any request on a single-core
+            machine) degenerates to an in-process loop — no pool spawned.
         chunk_size: SVGs per pool task.
         strict: apply the whole-map sanity checks strictly.
         overwrite: ignore the manifest and re-process every file.
         use_manifest: maintain the incremental ``manifest.json``; disable
             to mimic a stateless one-shot run.
+        update_index: after processing, append the newly produced YAML
+            snapshots to the map's columnar index (incrementally, like
+            the manifest); ``overwrite`` rebuilds it from scratch, and a
+            :data:`~repro.parsing.pipeline.PARSER_VERSION` bump discards
+            it — exactly the YAML skip-cache's invalidation rules.
 
     Returns:
         Per-map counts mirroring a Table 2 row.
     """
-    if workers is None:
-        workers = default_workers()
-    if workers < 1:
-        raise DatasetError(f"workers must be >= 1, got {workers}")
+    workers = resolve_workers(workers, default=AUTO_WORKERS)
     if chunk_size < 1:
         raise DatasetError(f"chunk_size must be >= 1, got {chunk_size}")
 
@@ -312,6 +324,18 @@ def process_map_parallel(
 
     if use_manifest:
         manifest.save(manifest_path)
+    if update_index and any(True for _ in store.iter_refs(map_name, "yaml")):
+        from repro.dataset.index import build_index  # breaks an import cycle
+
+        build_index(
+            store,
+            map_name,
+            rebuild=overwrite,
+            workers=workers,
+            on_error=lambda ref, exc: logger.warning(
+                "not indexing unreadable %s: %s", ref.path.name, exc
+            ),
+        )
     logger.info(
         "processed %s: %d ok, %d unprocessable (%d skipped via manifest, "
         "%d workers)",
@@ -327,10 +351,11 @@ def process_map_parallel(
 def process_all_parallel(
     store: DatasetStore,
     maps: Sequence[MapName] | None = None,
-    workers: int | None = None,
+    workers: int | str | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     strict: bool = False,
     overwrite: bool = False,
+    update_index: bool = True,
 ) -> dict[MapName, ProcessingStats]:
     """Run :func:`process_map_parallel` over several maps, one shared config."""
     results: dict[MapName, ProcessingStats] = {}
@@ -342,5 +367,6 @@ def process_all_parallel(
             chunk_size=chunk_size,
             strict=strict,
             overwrite=overwrite,
+            update_index=update_index,
         )
     return results

@@ -1,0 +1,784 @@
+"""Columnar on-disk snapshot index — parse each map's YAML series once.
+
+The paper's Section 5 analyses re-read an entire map's ~174k YAML
+snapshots per figure.  At the measured serial rate that is hours of YAML
+parsing repeated for every figure, so this module compacts a map's
+processed series into one binary file the analyses can be served from —
+the same move time-series databases make when they compact write-ahead
+samples into immutable columnar blocks.
+
+Layout of ``<root>/<map>/index.bin``::
+
+    magic "RWIX" | format version | header length      (struct, fixed)
+    header                                             (JSON, small)
+    columns                                            (array module dumps)
+    SHA-256 over everything above                      (32 bytes)
+
+The header carries the format version's companion metadata: map name,
+:data:`~repro.parsing.pipeline.PARSER_VERSION` at build time, byte order,
+the interned **string tables** (router/peering names and link-end labels),
+the per-section element counts, any *skipped* sources (unreadable YAML
+files, kept so the index can still answer for a corpus with corrupt
+members), and a fingerprint of the source files' ``(timestamp, size,
+mtime_ns)`` stats.
+
+The columns are flat :mod:`array` dumps, one per field, in file order:
+
+========================  ======  =====================================
+column                    type    one element per
+========================  ======  =====================================
+``timestamps``            ``q``   snapshot (epoch seconds, UTC)
+``source_sizes``          ``q``   snapshot (YAML file size)
+``source_mtimes``         ``q``   snapshot (YAML file mtime_ns)
+``router_counts``         ``I``   snapshot
+``peering_counts``        ``I``   snapshot
+``link_counts``           ``I``   snapshot
+``router_ids``            ``I``   router membership (concatenated)
+``peering_ids``           ``I``   peering membership (concatenated)
+``link_a_nodes``          ``I``   link (concatenated)
+``link_a_labels``         ``I``   link
+``link_b_nodes``          ``I``   link
+``link_b_labels``         ``I``   link
+``link_a_loads``          ``d``   link (egress load a→b, percent)
+``link_b_loads``          ``d``   link (egress load b→a, percent)
+========================  ======  =====================================
+
+Everything is stdlib; floats are stored as binary doubles, so an indexed
+load is the *same* ``float`` the YAML parser produced and reconstruction
+is exact — :func:`repro.dataset.loader.load_all` returns equal
+:class:`~repro.topology.model.MapSnapshot` objects from either path.
+
+Freshness is checked against the live YAML tree (one ``stat()`` per file,
+no reads): any added, removed, or modified source makes the index stale
+and readers fall back to YAML.  :func:`build_index` is incremental the
+same way the engine's ``manifest.json`` is — unchanged rows are carried
+over wholesale, only new or modified files are parsed — and the index is
+discarded outright on ``rebuild=True`` or a ``PARSER_VERSION`` bump.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import logging
+import struct
+import sys
+from array import array
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from itertools import accumulate
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+from repro.constants import MapName
+from repro.dataset.store import DatasetStore, SnapshotRef
+from repro.dataset.workers import resolve_workers
+from repro.errors import SchemaError, SnapshotIndexError
+from repro.parsing.pipeline import PARSER_VERSION
+from repro.topology.model import Link, LinkEnd, MapSnapshot, Node, NodeKind
+from repro.yamlio.deserialize import snapshot_from_yaml
+
+logger = logging.getLogger(__name__)
+
+INDEX_MAGIC = b"RWIX"
+INDEX_FORMAT_VERSION = 1
+
+_PREFIX = struct.Struct("<4sII")  # magic, format version, header byte length
+_DIGEST_BYTES = 32
+
+#: (column attribute, array typecode) in file order.
+_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("timestamps", "q"),
+    ("source_sizes", "q"),
+    ("source_mtimes", "q"),
+    ("router_counts", "I"),
+    ("peering_counts", "I"),
+    ("link_counts", "I"),
+    ("router_ids", "I"),
+    ("peering_ids", "I"),
+    ("link_a_nodes", "I"),
+    ("link_a_labels", "I"),
+    ("link_b_nodes", "I"),
+    ("link_b_labels", "I"),
+    ("link_a_loads", "d"),
+    ("link_b_loads", "d"),
+)
+
+
+def _epoch(when: datetime) -> int:
+    """Epoch seconds of a snapshot timestamp (always whole seconds)."""
+    return int(when.timestamp())
+
+
+def _when(epoch: int) -> datetime:
+    """Inverse of :func:`_epoch`, always UTC-aware."""
+    return datetime.fromtimestamp(epoch, tz=timezone.utc)
+
+
+@dataclass(frozen=True, slots=True)
+class SkippedSource:
+    """A source YAML file the index could not parse, remembered by stat.
+
+    Keeping these lets the index stay *fresh* for a corpus that contains
+    corrupt members: the reader replays the recorded failure exactly where
+    the YAML path would have hit it.
+    """
+
+    size: int
+    mtime_ns: int
+    message: str
+
+
+class SnapshotIndex:
+    """One map's snapshot series in columnar, interned form."""
+
+    timestamps: array
+    source_sizes: array
+    source_mtimes: array
+    router_counts: array
+    peering_counts: array
+    link_counts: array
+    router_ids: array
+    peering_ids: array
+    link_a_nodes: array
+    link_a_labels: array
+    link_b_nodes: array
+    link_b_labels: array
+    link_a_loads: array
+    link_b_loads: array
+
+    def __init__(
+        self, map_name: MapName, parser_version: int = PARSER_VERSION
+    ) -> None:
+        self.map_name = map_name
+        self.parser_version = parser_version
+        self.names: list[str] = []
+        self.labels: list[str] = []
+        #: Unreadable sources by epoch second, part of the indexed universe.
+        self.skipped: dict[int, SkippedSource] = {}
+        for attribute, typecode in _COLUMNS:
+            setattr(self, attribute, array(typecode))
+        self._name_ids: dict[str, int] = {}
+        self._label_ids: dict[str, int] = {}
+        self._offsets: tuple[list[int], list[int], list[int]] | None = None
+        self._node_cache: dict[tuple[int, NodeKind], Node] = {}
+        self._link_cache: dict[tuple[int, int, float, int, int, float], Link] = {}
+
+    # -- building ----------------------------------------------------------
+
+    def _intern_name(self, name: str) -> int:
+        index = self._name_ids.get(name)
+        if index is None:
+            index = self._name_ids[name] = len(self.names)
+            self.names.append(name)
+        return index
+
+    def _intern_label(self, label: str) -> int:
+        index = self._label_ids.get(label)
+        if index is None:
+            index = self._label_ids[label] = len(self.labels)
+            self.labels.append(label)
+        return index
+
+    def adopt_tables(self, other: "SnapshotIndex") -> None:
+        """Share another index's string tables (prefix-compatible ids).
+
+        Required before :meth:`append_row_from` so the donor's ids stay
+        valid verbatim; only callable on an empty index.
+        """
+        if len(self) or self.names or self.labels:
+            raise SnapshotIndexError("can only adopt tables into an empty index")
+        self.names = list(other.names)
+        self.labels = list(other.labels)
+        self._name_ids = {name: i for i, name in enumerate(self.names)}
+        self._label_ids = {label: i for i, label in enumerate(self.labels)}
+
+    def append_snapshot(self, snapshot: MapSnapshot, size: int, mtime_ns: int) -> None:
+        """Intern and append one parsed snapshot (rows stay in time order)."""
+        self.timestamps.append(_epoch(snapshot.timestamp))
+        self.source_sizes.append(size)
+        self.source_mtimes.append(mtime_ns)
+        routers = peerings = 0
+        for node in snapshot.nodes.values():
+            if node.kind is NodeKind.ROUTER:
+                self.router_ids.append(self._intern_name(node.name))
+                routers += 1
+            else:
+                self.peering_ids.append(self._intern_name(node.name))
+                peerings += 1
+        self.router_counts.append(routers)
+        self.peering_counts.append(peerings)
+        self.link_counts.append(len(snapshot.links))
+        for link in snapshot.links:
+            self.link_a_nodes.append(self._intern_name(link.a.node))
+            self.link_a_labels.append(self._intern_label(link.a.label))
+            self.link_b_nodes.append(self._intern_name(link.b.node))
+            self.link_b_labels.append(self._intern_label(link.b.label))
+            self.link_a_loads.append(link.a.load)
+            self.link_b_loads.append(link.b.load)
+        self._offsets = None
+
+    def append_row_from(self, other: "SnapshotIndex", row: int) -> None:
+        """Carry one unchanged row over from a previous index generation.
+
+        The string tables must have been adopted from ``other`` (ids are
+        copied verbatim, not re-interned) — that is what makes the reuse
+        path pure array slicing with no YAML and no hashing.
+        """
+        r0, r1, p0, p1, l0, l1 = other._row_bounds(row)
+        self.timestamps.append(other.timestamps[row])
+        self.source_sizes.append(other.source_sizes[row])
+        self.source_mtimes.append(other.source_mtimes[row])
+        self.router_counts.append(r1 - r0)
+        self.peering_counts.append(p1 - p0)
+        self.link_counts.append(l1 - l0)
+        self.router_ids.extend(other.router_ids[r0:r1])
+        self.peering_ids.extend(other.peering_ids[p0:p1])
+        self.link_a_nodes.extend(other.link_a_nodes[l0:l1])
+        self.link_a_labels.extend(other.link_a_labels[l0:l1])
+        self.link_b_nodes.extend(other.link_b_nodes[l0:l1])
+        self.link_b_labels.extend(other.link_b_labels[l0:l1])
+        self.link_a_loads.extend(other.link_a_loads[l0:l1])
+        self.link_b_loads.extend(other.link_b_loads[l0:l1])
+        self._offsets = None
+
+    # -- reading -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def _row_bounds(self, row: int) -> tuple[int, int, int, int, int, int]:
+        if self._offsets is None:
+            self._offsets = (
+                [0, *accumulate(self.router_counts)],
+                [0, *accumulate(self.peering_counts)],
+                [0, *accumulate(self.link_counts)],
+            )
+        routers, peerings, links = self._offsets
+        return (
+            routers[row],
+            routers[row + 1],
+            peerings[row],
+            peerings[row + 1],
+            links[row],
+            links[row + 1],
+        )
+
+    def _node(self, name_id: int, kind: NodeKind) -> Node:
+        node = self._node_cache.get((name_id, kind))
+        if node is None:
+            node = Node(name=self.names[name_id], kind=kind)
+            self._node_cache[(name_id, kind)] = node
+        return node
+
+    def timestamp_at(self, row: int) -> datetime:
+        """The snapshot timestamp of one row."""
+        return _when(self.timestamps[row])
+
+    def snapshot(self, row: int) -> MapSnapshot:
+        """Reconstruct one row as a full :class:`MapSnapshot`.
+
+        The result is equal to parsing the row's source YAML file: names
+        and labels come back from the string tables, loads from the double
+        columns, and node kinds from which id-list the node sat in.
+        """
+        r0, r1, p0, p1, l0, l1 = self._row_bounds(row)
+        names = self.names
+        labels = self.labels
+        nodes: dict[str, Node] = {}
+        for name_id in self.router_ids[r0:r1]:
+            nodes[names[name_id]] = self._node(name_id, NodeKind.ROUTER)
+        for name_id in self.peering_ids[p0:p1]:
+            nodes[names[name_id]] = self._node(name_id, NodeKind.PEERING)
+        # Identical (endpoints, labels, loads) combinations recur constantly
+        # across a series — loads are small percentages — so immutable Link
+        # objects are shared between reconstructed snapshots.
+        cache = self._link_cache
+        if len(cache) > 1 << 20:
+            cache.clear()
+        links: list[Link] = []
+        for j in range(l0, l1):
+            key = (
+                self.link_a_nodes[j],
+                self.link_a_labels[j],
+                self.link_a_loads[j],
+                self.link_b_nodes[j],
+                self.link_b_labels[j],
+                self.link_b_loads[j],
+            )
+            link = cache.get(key)
+            if link is None:
+                link = cache[key] = Link(
+                    a=LinkEnd(node=names[key[0]], label=labels[key[1]], load=key[2]),
+                    b=LinkEnd(node=names[key[3]], label=labels[key[4]], load=key[5]),
+                )
+            links.append(link)
+        # Bypass add_node/add_link: rows were validated when first parsed.
+        return MapSnapshot(
+            map_name=self.map_name,
+            timestamp=_when(self.timestamps[row]),
+            nodes=nodes,
+            links=links,
+        )
+
+    def rows_in_window(
+        self, start: datetime | None = None, end: datetime | None = None
+    ) -> range:
+        """Row indices whose timestamps fall inside ``[start, end)``."""
+        lo = 0 if start is None else bisect.bisect_left(self.timestamps, _epoch(start))
+        hi = (
+            len(self.timestamps)
+            if end is None
+            else bisect.bisect_left(self.timestamps, _epoch(end))
+        )
+        return range(lo, hi)
+
+    def iter_snapshots(
+        self, start: datetime | None = None, end: datetime | None = None
+    ) -> Iterator[MapSnapshot]:
+        """Reconstructed snapshots in time order, optionally windowed."""
+        for row in self.rows_in_window(start, end):
+            yield self.snapshot(row)
+
+    # -- freshness ---------------------------------------------------------
+
+    def source_fingerprint(self) -> str:
+        """SHA-256 over the indexed universe's ``(epoch, size, mtime_ns)``."""
+        digest = hashlib.sha256()
+        for row in range(len(self)):
+            digest.update(
+                b"row %d %d %d;"
+                % (self.timestamps[row], self.source_sizes[row], self.source_mtimes[row])
+            )
+        for epoch in sorted(self.skipped):
+            entry = self.skipped[epoch]
+            digest.update(b"skip %d %d %d;" % (epoch, entry.size, entry.mtime_ns))
+        return digest.hexdigest()
+
+    def fresh_for(self, refs: Sequence[SnapshotRef]) -> bool:
+        """Whether this index exactly covers the given YAML refs.
+
+        Every ref must appear — as an indexed row or a recorded skip —
+        with a matching ``(size, mtime_ns)``, and the index must contain
+        nothing else.  One ``stat()`` per file, no reads.
+        """
+        indexed = {
+            self.timestamps[row]: (self.source_sizes[row], self.source_mtimes[row])
+            for row in range(len(self))
+        }
+        seen = 0
+        for ref in refs:
+            seen += 1
+            try:
+                stat = ref.path.stat()
+            except OSError:
+                return False
+            key = _epoch(ref.timestamp)
+            expected = indexed.get(key)
+            if expected is not None:
+                if expected != (stat.st_size, stat.st_mtime_ns):
+                    return False
+                continue
+            skip = self.skipped.get(key)
+            if (
+                skip is None
+                or skip.size != stat.st_size
+                or skip.mtime_ns != stat.st_mtime_ns
+            ):
+                return False
+        return seen == len(indexed) + len(self.skipped)
+
+    # -- serialisation -----------------------------------------------------
+
+    def save(self, path: Path) -> int:
+        """Write the index atomically; returns the byte count."""
+        header = {
+            "map": self.map_name.value,
+            "parser_version": self.parser_version,
+            "byteorder": sys.byteorder,
+            "names": self.names,
+            "labels": self.labels,
+            "counts": {
+                attribute: len(getattr(self, attribute))
+                for attribute, _ in _COLUMNS
+            },
+            "skipped": [
+                [epoch, entry.size, entry.mtime_ns, entry.message]
+                for epoch, entry in sorted(self.skipped.items())
+            ],
+            "fingerprint": self.source_fingerprint(),
+        }
+        header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+        parts = [_PREFIX.pack(INDEX_MAGIC, INDEX_FORMAT_VERSION, len(header_bytes))]
+        parts.append(header_bytes)
+        for attribute, _ in _COLUMNS:
+            parts.append(getattr(self, attribute).tobytes())
+        payload = b"".join(parts)
+        data = payload + hashlib.sha256(payload).digest()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        scratch = path.with_suffix(".bin.tmp")
+        scratch.write_bytes(data)
+        scratch.replace(path)
+        return len(data)
+
+    @classmethod
+    def load(cls, path: Path) -> "SnapshotIndex":
+        """Read an index file back, verifying integrity end to end.
+
+        Raises:
+            SnapshotIndexError: missing file, bad magic, unknown format
+                version, checksum mismatch, truncation, or inconsistent
+                section counts — callers treat all of these as "no index".
+        """
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise SnapshotIndexError(f"cannot read index {path}: {exc}") from exc
+        if len(data) < _PREFIX.size + _DIGEST_BYTES:
+            raise SnapshotIndexError(f"index {path} is truncated")
+        payload, digest = data[:-_DIGEST_BYTES], data[-_DIGEST_BYTES:]
+        if hashlib.sha256(payload).digest() != digest:
+            raise SnapshotIndexError(f"index {path} fails its checksum")
+        magic, version, header_length = _PREFIX.unpack_from(payload)
+        if magic != INDEX_MAGIC:
+            raise SnapshotIndexError(f"index {path} has bad magic {magic!r}")
+        if version != INDEX_FORMAT_VERSION:
+            raise SnapshotIndexError(
+                f"index {path} has format version {version}, "
+                f"expected {INDEX_FORMAT_VERSION}"
+            )
+        offset = _PREFIX.size
+        try:
+            header = json.loads(payload[offset : offset + header_length])
+            map_name = MapName(header["map"])
+            index = cls(map_name, parser_version=int(header["parser_version"]))
+            index.names = [str(name) for name in header["names"]]
+            index.labels = [str(label) for label in header["labels"]]
+            counts = header["counts"]
+            for epoch, size, mtime_ns, message in header.get("skipped", []):
+                index.skipped[int(epoch)] = SkippedSource(
+                    size=int(size), mtime_ns=int(mtime_ns), message=str(message)
+                )
+            swap = header["byteorder"] != sys.byteorder
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotIndexError(f"index {path} has a bad header: {exc}") from exc
+        offset += header_length
+        for attribute, typecode in _COLUMNS:
+            column: array = getattr(index, attribute)
+            expected = int(counts.get(attribute, -1))
+            span = expected * column.itemsize
+            if expected < 0 or offset + span > len(payload):
+                raise SnapshotIndexError(f"index {path} column {attribute} truncated")
+            column.frombytes(payload[offset : offset + span])
+            if swap:
+                column.byteswap()
+            offset += span
+        if offset != len(payload):
+            raise SnapshotIndexError(f"index {path} has trailing bytes")
+        index._name_ids = {name: i for i, name in enumerate(index.names)}
+        index._label_ids = {label: i for i, label in enumerate(index.labels)}
+        index._validate()
+        return index
+
+    def _validate(self) -> None:
+        """Cross-check section lengths and id bounds after a load."""
+        rows = len(self.timestamps)
+        for attribute in ("source_sizes", "source_mtimes", "router_counts",
+                          "peering_counts", "link_counts"):
+            if len(getattr(self, attribute)) != rows:
+                raise SnapshotIndexError(f"column {attribute} length mismatch")
+        if len(self.router_ids) != sum(self.router_counts):
+            raise SnapshotIndexError("router id column length mismatch")
+        if len(self.peering_ids) != sum(self.peering_counts):
+            raise SnapshotIndexError("peering id column length mismatch")
+        links = sum(self.link_counts)
+        for attribute in ("link_a_nodes", "link_a_labels", "link_b_nodes",
+                          "link_b_labels", "link_a_loads", "link_b_loads"):
+            if len(getattr(self, attribute)) != links:
+                raise SnapshotIndexError(f"column {attribute} length mismatch")
+        names = len(self.names)
+        labels = len(self.labels)
+        for column, bound in (
+            (self.router_ids, names),
+            (self.peering_ids, names),
+            (self.link_a_nodes, names),
+            (self.link_b_nodes, names),
+            (self.link_a_labels, labels),
+            (self.link_b_labels, labels),
+        ):
+            if len(column) and max(column) >= bound:
+                raise SnapshotIndexError("interned id out of table bounds")
+        if any(b < a for a, b in zip(self.timestamps, self.timestamps[1:])):
+            raise SnapshotIndexError("timestamp column is not sorted")
+
+
+# ---------------------------------------------------------------------------
+# Build / load / status
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IndexBuildStats:
+    """What one :func:`build_index` run did."""
+
+    map_name: MapName
+    parsed: int = 0
+    reused: int = 0
+    unreadable: int = 0
+    removed: int = 0
+    bytes_written: int = 0
+
+    @property
+    def total(self) -> int:
+        """Rows in the resulting index."""
+        return self.parsed + self.reused
+
+
+def load_index(store: DatasetStore, map_name: MapName) -> SnapshotIndex | None:
+    """Read a map's index if one exists and is sound; ``None`` otherwise."""
+    path = store.index_path(map_name)
+    if not path.exists():
+        return None
+    try:
+        index = SnapshotIndex.load(path)
+    except SnapshotIndexError as exc:
+        logger.warning("ignoring unusable snapshot index: %s", exc)
+        return None
+    if index.map_name != map_name:
+        logger.warning(
+            "index %s claims map %s; ignoring", path, index.map_name.value
+        )
+        return None
+    return index
+
+
+def fresh_index(store: DatasetStore, map_name: MapName) -> SnapshotIndex | None:
+    """The map's index, but only if it exactly matches the live YAML tree.
+
+    Stale, corrupt, absent, or parser-version-skewed indexes all come back
+    as ``None`` — the caller falls back to parsing YAML.
+    """
+    index = load_index(store, map_name)
+    if index is None:
+        return None
+    if index.parser_version != PARSER_VERSION:
+        logger.info(
+            "index for %s built at parser version %d (current %d); ignoring",
+            map_name.value,
+            index.parser_version,
+            PARSER_VERSION,
+        )
+        return None
+    if not index.fresh_for(list(store.iter_refs(map_name, "yaml"))):
+        return None
+    return index
+
+
+def _parse_source(path: str) -> tuple[MapSnapshot | None, str]:
+    """Pool worker: one YAML file → (snapshot, "") or (None, error text)."""
+    try:
+        return snapshot_from_yaml(Path(path).read_text(encoding="utf-8")), ""
+    except SchemaError as exc:
+        return None, str(exc)
+
+
+def build_index(
+    store: DatasetStore,
+    map_name: MapName,
+    rebuild: bool = False,
+    workers: int | str | None = None,
+    on_error: Callable[[SnapshotRef, SchemaError], None] | None = None,
+    parser_version: int = PARSER_VERSION,
+) -> tuple[SnapshotIndex, IndexBuildStats]:
+    """Build or refresh one map's columnar index from its YAML series.
+
+    Incremental by default: rows whose source file is unchanged (same
+    ``size`` and ``mtime_ns``) are carried over from the existing index
+    without touching the YAML; new and modified files are parsed (over a
+    process pool when ``workers`` asks for one); rows whose source
+    vanished are dropped.  An existing index built at a different
+    ``PARSER_VERSION`` is discarded, mirroring the engine's manifest.
+
+    Args:
+        rebuild: ignore any existing index and parse everything.
+        workers: worker request, resolved via
+            :func:`repro.dataset.workers.resolve_workers` (default serial).
+        on_error: called for unreadable YAML files, which are recorded as
+            skipped sources; without a handler, schema errors propagate.
+
+    Returns:
+        The saved index and the build accounting.
+    """
+    refs = list(store.iter_refs(map_name, "yaml"))
+    previous: SnapshotIndex | None = None
+    if not rebuild:
+        previous = load_index(store, map_name)
+        if previous is not None and previous.parser_version != parser_version:
+            logger.info(
+                "discarding index for %s (parser version %d -> %d)",
+                map_name.value,
+                previous.parser_version,
+                parser_version,
+            )
+            previous = None
+
+    stats = IndexBuildStats(map_name=map_name)
+    index = SnapshotIndex(map_name, parser_version)
+    previous_rows: dict[int, int] = {}
+    if previous is not None:
+        index.adopt_tables(previous)
+        previous_rows = {
+            previous.timestamps[row]: row for row in range(len(previous))
+        }
+
+    # Plan in ref (time) order: reuse an unchanged row, or parse the file.
+    plan: list[tuple[SnapshotRef, int | None]] = []
+    to_parse: list[SnapshotRef] = []
+    stats_by_ref: dict[int, tuple[int, int]] = {}
+    for ref in refs:
+        try:
+            stat = ref.path.stat()
+        except OSError:
+            continue  # raced with deletion; the index simply omits it
+        key = _epoch(ref.timestamp)
+        stats_by_ref[key] = (stat.st_size, stat.st_mtime_ns)
+        row = previous_rows.get(key)
+        if row is not None and previous is not None and (
+            previous.source_sizes[row] == stat.st_size
+            and previous.source_mtimes[row] == stat.st_mtime_ns
+        ):
+            plan.append((ref, row))
+            continue
+        skip = previous.skipped.get(key) if previous is not None else None
+        if (
+            skip is not None
+            and skip.size == stat.st_size
+            and skip.mtime_ns == stat.st_mtime_ns
+        ):
+            index.skipped[key] = skip
+            stats.unreadable += 1
+            continue
+        plan.append((ref, None))
+        to_parse.append(ref)
+
+    parsed: dict[int, tuple[MapSnapshot | None, str]] = {}
+    effective_workers = resolve_workers(workers)
+    if to_parse and effective_workers > 1:
+        chunksize = max(1, len(to_parse) // (effective_workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=min(effective_workers, len(to_parse))
+        ) as executor:
+            for ref, outcome in zip(
+                to_parse,
+                executor.map(
+                    _parse_source,
+                    [str(ref.path) for ref in to_parse],
+                    chunksize=chunksize,
+                ),
+            ):
+                parsed[_epoch(ref.timestamp)] = outcome
+    else:
+        for ref in to_parse:
+            parsed[_epoch(ref.timestamp)] = _parse_source(str(ref.path))
+
+    for ref, previous_row in plan:
+        key = _epoch(ref.timestamp)
+        size, mtime_ns = stats_by_ref[key]
+        if previous_row is not None:
+            index.append_row_from(previous, previous_row)
+            stats.reused += 1
+            continue
+        snapshot, message = parsed[key]
+        if snapshot is None:
+            exc = SchemaError(message)
+            if on_error is None:
+                raise exc
+            on_error(ref, exc)
+            index.skipped[key] = SkippedSource(
+                size=size, mtime_ns=mtime_ns, message=message
+            )
+            stats.unreadable += 1
+            continue
+        snapshot.timestamp = ref.timestamp
+        index.append_snapshot(snapshot, size, mtime_ns)
+        stats.parsed += 1
+
+    if previous is not None:
+        stats.removed = max(0, len(previous) - stats.reused)
+    stats.bytes_written = index.save(store.index_path(map_name))
+    logger.info(
+        "indexed %s: %d rows (%d parsed, %d reused, %d unreadable, %d removed)",
+        map_name.value,
+        len(index),
+        stats.parsed,
+        stats.reused,
+        stats.unreadable,
+        stats.removed,
+    )
+    return index, stats
+
+
+@dataclass(frozen=True)
+class IndexStatus:
+    """What ``repro-weather index status`` reports for one map."""
+
+    map_name: MapName
+    path: Path
+    exists: bool
+    fresh: bool
+    rows: int
+    skipped: int
+    names: int
+    labels: int
+    size_bytes: int
+    parser_version: int | None
+    fingerprint: str | None
+    reason: str | None
+
+
+def index_status(store: DatasetStore, map_name: MapName) -> IndexStatus:
+    """Inspect one map's index without touching any YAML content."""
+    path = store.index_path(map_name)
+    if not path.exists():
+        return IndexStatus(
+            map_name=map_name, path=path, exists=False, fresh=False, rows=0,
+            skipped=0, names=0, labels=0, size_bytes=0, parser_version=None,
+            fingerprint=None, reason="no index file",
+        )
+    try:
+        index = SnapshotIndex.load(path)
+    except SnapshotIndexError as exc:
+        return IndexStatus(
+            map_name=map_name, path=path, exists=True, fresh=False, rows=0,
+            skipped=0, names=0, labels=0, size_bytes=path.stat().st_size,
+            parser_version=None, fingerprint=None, reason=str(exc),
+        )
+    reason: str | None = None
+    fresh = False
+    if index.map_name != map_name:
+        reason = f"index claims map {index.map_name.value!r}"
+    elif index.parser_version != PARSER_VERSION:
+        reason = (
+            f"built at parser version {index.parser_version}, "
+            f"current is {PARSER_VERSION}"
+        )
+    elif not index.fresh_for(list(store.iter_refs(map_name, "yaml"))):
+        reason = "source YAML files changed since the index was built"
+    else:
+        fresh = True
+    return IndexStatus(
+        map_name=map_name,
+        path=path,
+        exists=True,
+        fresh=fresh,
+        rows=len(index),
+        skipped=len(index.skipped),
+        names=len(index.names),
+        labels=len(index.labels),
+        size_bytes=path.stat().st_size,
+        parser_version=index.parser_version,
+        fingerprint=index.source_fingerprint(),
+        reason=reason,
+    )

@@ -98,7 +98,7 @@ def process_map(
     map_name: MapName,
     strict: bool = False,
     overwrite: bool = False,
-    workers: int | None = None,
+    workers: int | str | None = None,
 ) -> ProcessingStats:
     """Process every stored SVG of one map into its YAML twin.
 
@@ -108,11 +108,11 @@ def process_map(
         strict: apply the whole-map sanity checks strictly (a failed check
             counts the file as unprocessed).
         overwrite: re-process files whose YAML already exists.
-        workers: fan the extraction out over this many worker processes
-            via :func:`repro.dataset.engine.process_map_parallel` (which
-            also maintains the incremental manifest).  ``None`` or ``1``
-            keeps the simple serial loop below; ``0`` means one worker
-            per CPU core.
+        workers: fan the extraction out over worker processes via
+            :func:`repro.dataset.engine.process_map_parallel` (which also
+            maintains the incremental manifest and the columnar snapshot
+            index).  ``None`` or ``1`` keeps the simple serial loop
+            below; ``0`` or ``"auto"`` means one worker per CPU core.
 
     Returns:
         Per-map counts mirroring a Table 2 row.
@@ -123,7 +123,7 @@ def process_map(
         return process_map_parallel(
             store,
             map_name,
-            workers=workers or None,
+            workers=workers,
             strict=strict,
             overwrite=overwrite,
         )

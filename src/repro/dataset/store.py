@@ -84,6 +84,14 @@ class DatasetStore:
         """
         return self.root / map_name.value / "manifest.json"
 
+    def index_path(self, map_name: MapName) -> Path:
+        """Where the columnar snapshot index of one map lives.
+
+        Like the manifest, it sits next to the ``svg/`` and ``yaml/``
+        subtrees; :mod:`repro.dataset.index` owns its contents.
+        """
+        return self.root / map_name.value / "index.bin"
+
     def write(self, map_name: MapName, when: datetime, kind: str, data: str | bytes) -> SnapshotRef:
         """Write one snapshot file, creating directories as needed."""
         path = self.path_for(map_name, when, kind)

@@ -1,0 +1,59 @@
+"""Worker-count resolution shared by the CLI and the library API.
+
+BENCH_throughput.json showed the process pool *regressing* on small
+machines (``speedup_load = 0.84`` with one core): spawning workers,
+pickling results, and re-importing the library costs more than the
+parallelism returns when there is nothing to run in parallel with.  Every
+pool user therefore resolves its worker request through
+:func:`resolve_workers`, which collapses to serial execution whenever the
+effective width is one — including any request on a single-core machine.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import DatasetError
+
+#: The sentinel accepted everywhere a worker count is: one worker per core.
+AUTO_WORKERS = "auto"
+
+
+def default_workers() -> int:
+    """The default fan-out: one worker per available core."""
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_workers(workers: int | str | None, default: int | str = 1) -> int:
+    """Resolve a worker request to the count of workers actually worth using.
+
+    Args:
+        workers: ``None`` (take ``default``), ``"auto"`` or ``0`` (one per
+            CPU core), or an explicit positive count.
+        default: what ``None`` means for this call site — ``1`` for the
+            loaders (serial unless asked), ``"auto"`` for the bulk engine.
+
+    Returns:
+        The effective worker count.  Always ``1`` on a single-core machine,
+        whatever was requested: the pool cannot win there, so callers skip
+        it entirely.
+
+    Raises:
+        DatasetError: for negative counts or unrecognised strings.
+    """
+    if workers is None:
+        workers = default
+    if isinstance(workers, str):
+        if workers != AUTO_WORKERS:
+            raise DatasetError(
+                f"workers must be a count, 0, or {AUTO_WORKERS!r}; got {workers!r}"
+            )
+        workers = 0
+    if workers < 0:
+        raise DatasetError(f"workers must be >= 0 (0 = one per CPU core), got {workers}")
+    cpus = os.cpu_count() or 1
+    if workers == 0:
+        workers = cpus
+    if cpus <= 1:
+        return 1
+    return workers

@@ -81,5 +81,14 @@ class SnapshotNotFoundError(DatasetError):
     """No snapshot exists for the requested map and timestamp."""
 
 
+class SnapshotIndexError(DatasetError):
+    """The columnar snapshot index is missing, corrupt, or incompatible.
+
+    Callers on the read path treat this as "no index": the YAML series is
+    authoritative and the index is only ever a derived cache, so a bad
+    index file must degrade to a slower load, never to a failed one.
+    """
+
+
 class SimulationError(ReproError):
     """Invalid simulation configuration or impossible event timeline."""

@@ -8,6 +8,11 @@ import yaml
 
 from repro.topology.model import MapSnapshot
 
+#: libyaml's emitter when compiled in, the pure-Python one otherwise.  The
+#: two produce byte-identical documents for this schema (asserted by the
+#: test suite), so which one a machine uses never shows in the dataset.
+_DUMPER = getattr(yaml, "CSafeDumper", yaml.SafeDumper)
+
 
 def snapshot_to_document(snapshot: MapSnapshot) -> dict:
     """Build the plain-data document for one snapshot.
@@ -41,8 +46,9 @@ def snapshot_to_document(snapshot: MapSnapshot) -> dict:
 
 def snapshot_to_yaml(snapshot: MapSnapshot) -> str:
     """Serialise one snapshot to YAML text."""
-    return yaml.safe_dump(
+    return yaml.dump(
         snapshot_to_document(snapshot),
+        Dumper=_DUMPER,
         sort_keys=False,
         default_flow_style=None,
         width=120,

@@ -1,0 +1,196 @@
+"""Tests for the vectorised index-backed analysis accessors.
+
+Each accessor's ground truth is the object path run over the same data:
+``load_samples`` must match ``collect_load_samples(load_all(...))``
+element for element, and the lifetime/matrix accessors must agree with a
+brute-force walk over the reconstructed snapshots.
+"""
+
+from __future__ import annotations
+
+import math
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.analysis.columnar import (
+    directed_load_columns,
+    link_lifetimes,
+    load_matrix,
+    load_samples,
+    node_lifetimes,
+)
+from repro.analysis.loads import collect_load_samples
+from repro.constants import MapName
+from repro.dataset.index import SnapshotIndex, build_index
+from repro.dataset.loader import load_all
+from repro.dataset.store import DatasetStore
+from repro.topology.model import Link, LinkEnd, MapSnapshot, Node, NodeKind
+from repro.yamlio.serialize import snapshot_to_yaml
+
+T0 = datetime(2022, 3, 6, 22, 0, tzinfo=timezone.utc)  # Sunday, crosses midnight
+MAP = MapName.EUROPE
+HOURS = 6
+
+
+def _snapshot(when: datetime, step: int) -> MapSnapshot:
+    """A small topology that churns: r3 and its link exist only early on."""
+    snapshot = MapSnapshot(map_name=MAP, timestamp=when)
+    snapshot.add_node(Node.from_name("fra-r1"))
+    snapshot.add_node(Node.from_name("par-r2"))
+    snapshot.add_node(Node.from_name("AMS-IX"))
+    snapshot.add_link(
+        Link(LinkEnd("fra-r1", "#1", float(10 + step)), LinkEnd("par-r2", "#1", float(step)))
+    )
+    snapshot.add_link(
+        Link(LinkEnd("par-r2", "#2", 30.0), LinkEnd("AMS-IX", "#1", 2.0))
+    )
+    if step < 3:
+        snapshot.add_node(Node.from_name("waw-r3"))
+        snapshot.add_link(
+            Link(LinkEnd("waw-r3", "#1", 5.0), LinkEnd("fra-r1", "#2", 6.0))
+        )
+    return snapshot
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory) -> DatasetStore:
+    store = DatasetStore(tmp_path_factory.mktemp("columnar"))
+    for step in range(HOURS):
+        when = T0 + timedelta(hours=step)
+        store.write(MAP, when, "yaml", snapshot_to_yaml(_snapshot(when, step)))
+    return store
+
+
+@pytest.fixture(scope="module")
+def index(store) -> SnapshotIndex:
+    built, _ = build_index(store, MAP)
+    return built
+
+
+@pytest.fixture(scope="module")
+def snapshots(store):
+    return load_all(store, MAP, use_index=False)
+
+
+class TestLoadSamples:
+    def test_identical_to_object_path(self, index, snapshots):
+        expected = collect_load_samples(snapshots)
+        got = load_samples(index)
+        assert got.internal == expected.internal
+        assert got.external == expected.external
+        assert got.hours == expected.hours
+        assert got.weekdays == expected.weekdays
+        assert got.all_loads == expected.all_loads
+
+    def test_windowed(self, index, snapshots):
+        start = T0 + timedelta(hours=1)
+        end = T0 + timedelta(hours=4)
+        expected = collect_load_samples(
+            s for s in snapshots if start <= s.timestamp < end
+        )
+        got = load_samples(index, start=start, end=end)
+        assert got.all_loads == expected.all_loads
+        assert got.internal == expected.internal
+        assert got.external == expected.external
+
+    def test_directed_columns_shape(self, index, snapshots):
+        columns = directed_load_columns(index)
+        total_links = sum(len(s.links) for s in snapshots)
+        assert len(columns) == 2 * total_links
+        # Hour/weekday derive from the snapshot timestamp (UTC).
+        assert columns.hours[0] == 22
+        assert columns.weekdays[0] == 6  # T0 is a Sunday
+        # The series crosses midnight into Monday.
+        assert 0 in columns.weekdays
+
+
+class TestNodeLifetimes:
+    def test_matches_brute_force(self, index, snapshots):
+        lifetimes = node_lifetimes(index)
+        names = {name for s in snapshots for name in s.nodes}
+        assert set(lifetimes) == names
+        for name in names:
+            seen = [s.timestamp for s in snapshots if name in s.nodes]
+            lifetime = lifetimes[name]
+            assert lifetime.first_seen == min(seen)
+            assert lifetime.last_seen == max(seen)
+            assert lifetime.snapshots == len(seen)
+
+    def test_kinds(self, index):
+        lifetimes = node_lifetimes(index)
+        assert lifetimes["fra-r1"].kind is NodeKind.ROUTER
+        assert lifetimes["AMS-IX"].kind is NodeKind.PEERING
+
+    def test_churned_node_bounded(self, index):
+        lifetime = node_lifetimes(index)["waw-r3"]
+        assert lifetime.first_seen == T0
+        assert lifetime.last_seen == T0 + timedelta(hours=2)
+        assert lifetime.snapshots == 3
+
+
+class TestLinkLifetimes:
+    def test_presence_accounts_for_every_link(self, index, snapshots):
+        lifetimes = link_lifetimes(index)
+        total_links = sum(len(s.links) for s in snapshots)
+        assert sum(l.snapshots for l in lifetimes.values()) == total_links
+
+    def test_direction_insensitive_key(self, index, snapshots):
+        lifetimes = link_lifetimes(index)
+        for s in snapshots:
+            for link in s.links:
+                forward = (link.a.node, link.a.label, link.b.node, link.b.label)
+                backward = (link.b.node, link.b.label, link.a.node, link.a.label)
+                assert (forward in lifetimes) != (backward in lifetimes) or (
+                    forward == backward
+                )
+
+    def test_churned_link_bounded(self, index):
+        lifetimes = link_lifetimes(index)
+        key = next(k for k in lifetimes if "waw-r3" in (k[0], k[2]))
+        assert lifetimes[key].snapshots == 3
+        assert lifetimes[key].last_seen == T0 + timedelta(hours=2)
+
+
+class TestLoadMatrix:
+    def test_values_match_snapshots(self, index, snapshots):
+        matrix = load_matrix(index)
+        assert matrix.forward.shape == (len(snapshots), len(matrix.keys))
+        assert matrix.times() == [s.timestamp for s in snapshots]
+        for row, snapshot in enumerate(snapshots):
+            for link in snapshot.links:
+                forward = (link.a.node, link.a.label, link.b.node, link.b.label)
+                if forward in matrix.keys:
+                    expected_fwd, expected_rev = link.a.load, link.b.load
+                    key = forward
+                else:
+                    key = (link.b.node, link.b.label, link.a.node, link.a.label)
+                    expected_fwd, expected_rev = link.b.load, link.a.load
+                fwd, rev = matrix.series(key)
+                assert fwd[row] == expected_fwd
+                assert rev[row] == expected_rev
+
+    def test_absent_links_are_nan(self, index, snapshots):
+        matrix = load_matrix(index)
+        key = next(k for k in matrix.keys if "waw-r3" in (k[0], k[2]))
+        fwd, _ = matrix.series(key)
+        assert not math.isnan(fwd[0])
+        assert math.isnan(fwd[len(snapshots) - 1])
+
+    def test_windowed_matrix(self, index, snapshots):
+        start = T0 + timedelta(hours=3)
+        matrix = load_matrix(index, start=start)
+        survivors = [s for s in snapshots if s.timestamp >= start]
+        assert matrix.forward.shape[0] == len(survivors)
+        # The churned link never appears in this window at all.
+        assert all("waw-r3" not in (k[0], k[2]) for k in matrix.keys)
+
+
+class TestEmptyIndex:
+    def test_all_accessors_tolerate_empty(self):
+        index = SnapshotIndex(MAP)
+        assert load_samples(index).all_loads == []
+        assert node_lifetimes(index) == {}
+        assert link_lifetimes(index) == {}
+        matrix = load_matrix(index)
+        assert matrix.forward.shape == (0, 0)

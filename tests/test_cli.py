@@ -45,6 +45,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["process", "/tmp/x", "--workers", "many"])
 
+    def test_workers_accepts_auto(self):
+        args = build_parser().parse_args(["process", "/tmp/x", "--workers", "auto"])
+        assert args.workers == "auto"
+
+    def test_index_build_args(self):
+        args = build_parser().parse_args(["index", "build", "/tmp/x"])
+        assert args.index_command == "build"
+        assert args.rebuild is False
+        assert args.workers is None
+        args = build_parser().parse_args(
+            ["index", "build", "/tmp/x", "--rebuild", "--map", "europe", "--workers", "auto"]
+        )
+        assert args.rebuild is True
+        assert args.workers == "auto"
+
+    def test_index_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["index", "/tmp/x"])
+
 
 class TestRender:
     def test_render_to_file(self, tmp_path, capsys):
@@ -110,6 +129,32 @@ class TestPipelineCommands:
         assert "asia-pacific" in capsys.readouterr().out
         # The engine path leaves its incremental manifest behind.
         assert (dataset_dir / "asia-pacific" / "manifest.json").exists()
+
+    def test_index_build_and_status(self, dataset_dir, capsys):
+        main(["process", str(dataset_dir)])
+        capsys.readouterr()
+        code = main(["index", "build", str(dataset_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "asia-pacific" in out
+        assert "rows" in out
+        assert (dataset_dir / "asia-pacific" / "index.bin").exists()
+        code = main(["index", "status", str(dataset_dir)])
+        assert code == 0
+        assert "fresh" in capsys.readouterr().out
+
+    def test_index_status_stale_exits_nonzero(self, dataset_dir, capsys):
+        main(["process", str(dataset_dir)])
+        main(["index", "build", str(dataset_dir)])
+        capsys.readouterr()
+        (dataset_dir / "asia-pacific" / "index.bin").write_bytes(b"garbage")
+        code = main(["index", "status", str(dataset_dir)])
+        assert code == 1
+        assert "STALE" in capsys.readouterr().out
+
+    def test_index_build_empty_dataset(self, tmp_path, capsys):
+        code = main(["index", "build", str(tmp_path / "empty")])
+        assert code == 1
 
     def test_export_series(self, dataset_dir, tmp_path, capsys):
         main(["process", str(dataset_dir)])

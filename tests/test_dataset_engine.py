@@ -168,6 +168,41 @@ class TestManifest:
         assert not store.manifest_path(MAP).exists()
 
 
+class TestIndexMaintenance:
+    """Processing leaves the columnar snapshot index fresh behind it."""
+
+    def test_processing_builds_a_fresh_index(self, tmp_path, reference_svg):
+        from repro.dataset.index import fresh_index
+
+        store = build_corpus(tmp_path, reference_svg)
+        stats = process_map_parallel(store, MAP, workers=1)
+        assert store.index_path(MAP).exists()
+        index = fresh_index(store, MAP)
+        assert index is not None
+        assert len(index) == stats.processed
+
+    def test_index_serves_the_processed_series(self, tmp_path, reference_svg):
+        from repro.dataset.loader import load_all
+
+        store = build_corpus(tmp_path, reference_svg)
+        process_map_parallel(store, MAP, workers=1)
+        via_yaml = load_all(store, MAP, use_index=False)
+        assert load_all(store, MAP) == via_yaml
+
+    def test_update_index_disabled(self, tmp_path, reference_svg):
+        store = build_corpus(tmp_path, reference_svg)
+        process_map_parallel(store, MAP, workers=1, update_index=False)
+        assert not store.index_path(MAP).exists()
+
+    def test_warm_rerun_keeps_index_fresh(self, tmp_path, reference_svg):
+        from repro.dataset.index import fresh_index
+
+        store = build_corpus(tmp_path, reference_svg)
+        process_map_parallel(store, MAP, workers=1)
+        process_map_parallel(store, MAP, workers=1)
+        assert fresh_index(store, MAP) is not None
+
+
 class TestManifestRoundTrip:
     def test_save_load(self, tmp_path):
         manifest = Manifest()

@@ -1,0 +1,451 @@
+"""Tests for the columnar snapshot index.
+
+The contract under test: an index-served load is *indistinguishable* from
+the YAML path (equal snapshots, same errors in the same order), freshness
+tracks the live YAML tree exactly, a damaged index file degrades to the
+YAML fallback instead of failing, and incremental builds reuse unchanged
+rows the way the engine's manifest reuses unchanged SVGs.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from datetime import datetime, timedelta, timezone
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import MapName
+from repro.dataset.index import (
+    INDEX_MAGIC,
+    SnapshotIndex,
+    build_index,
+    fresh_index,
+    index_status,
+    load_index,
+)
+from repro.dataset.loader import latest_snapshot, load_all
+from repro.dataset.store import DatasetStore
+from repro.dataset.workers import default_workers, resolve_workers
+from repro.errors import DatasetError, SchemaError, SnapshotIndexError
+from repro.parsing.pipeline import PARSER_VERSION
+from repro.topology.model import Link, LinkEnd, MapSnapshot, Node
+from repro.yamlio.serialize import snapshot_to_yaml
+
+T0 = datetime(2022, 3, 1, tzinfo=timezone.utc)
+MAP = MapName.EUROPE
+FILES = 6
+
+
+def _snapshot(when: datetime, load: float = 10.0) -> MapSnapshot:
+    snapshot = MapSnapshot(map_name=MAP, timestamp=when)
+    for name in ("fra-r1", "par-r2", "AMS-IX"):
+        snapshot.add_node(Node.from_name(name))
+    snapshot.add_link(
+        Link(LinkEnd("fra-r1", "#1", load), LinkEnd("par-r2", "#1", load / 2))
+    )
+    snapshot.add_link(Link(LinkEnd("par-r2", "#2", 5.0), LinkEnd("AMS-IX", "#1", 1.0)))
+    return snapshot
+
+
+@pytest.fixture()
+def store(tmp_path) -> DatasetStore:
+    store = DatasetStore(tmp_path)
+    for i in range(FILES):
+        when = T0 + timedelta(minutes=5 * i)
+        store.write(MAP, when, "yaml", snapshot_to_yaml(_snapshot(when, load=float(i))))
+    return store
+
+
+class TestRoundTrip:
+    def test_load_all_served_by_index_is_identical(self, store):
+        via_yaml = load_all(store, MAP, use_index=False)
+        build_index(store, MAP)
+        assert fresh_index(store, MAP) is not None
+        assert load_all(store, MAP) == via_yaml
+
+    def test_index_path_reads_no_yaml(self, store, monkeypatch):
+        build_index(store, MAP)
+        from repro.dataset import loader as loader_module
+
+        def forbidden(text):
+            raise AssertionError("a fresh index must not parse YAML")
+
+        monkeypatch.setattr(loader_module, "snapshot_from_yaml", forbidden)
+        assert len(load_all(store, MAP)) == FILES
+
+    def test_window_matches_yaml_path(self, store):
+        build_index(store, MAP)
+        start = T0 + timedelta(minutes=5)
+        end = T0 + timedelta(minutes=20)
+        assert load_all(store, MAP, start=start, end=end) == load_all(
+            store, MAP, start=start, end=end, use_index=False
+        )
+
+    def test_latest_served_by_index(self, store):
+        build_index(store, MAP)
+        latest = latest_snapshot(store, MAP)
+        assert latest == latest_snapshot(store, MAP, use_index=False)
+        assert latest.links[0].a.load == FILES - 1
+
+    def test_file_round_trip_preserves_tables(self, store):
+        index, _ = build_index(store, MAP)
+        reloaded = SnapshotIndex.load(store.index_path(MAP))
+        assert reloaded.names == index.names
+        assert reloaded.labels == index.labels
+        assert reloaded.parser_version == index.parser_version
+        assert list(reloaded.timestamps) == list(index.timestamps)
+        assert [reloaded.snapshot(r) for r in range(len(reloaded))] == [
+            index.snapshot(r) for r in range(len(index))
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Property tests: reconstruction is exact for arbitrary valid series
+# ---------------------------------------------------------------------------
+
+node_names = st.from_regex(r"[a-z]{3}-r[0-9]{1,2}", fullmatch=True)
+peering_names = st.from_regex(r"[A-Z]{3,8}", fullmatch=True)
+labels = st.from_regex(r"#[0-9]{1,2}", fullmatch=True)
+loads = st.integers(min_value=0, max_value=100).map(float)
+
+
+@st.composite
+def snapshot_series(draw):
+    """A short series of structurally valid snapshots of one map."""
+    map_name = draw(st.sampled_from(list(MapName)))
+    slots = draw(st.lists(st.integers(0, 10000), min_size=1, max_size=4, unique=True))
+    series = []
+    for slot in sorted(slots):
+        routers = draw(st.lists(node_names, min_size=2, max_size=5, unique=True))
+        peerings = draw(st.lists(peering_names, min_size=0, max_size=3, unique=True))
+        snapshot = MapSnapshot(
+            map_name=map_name,
+            timestamp=datetime(2022, 1, 1, tzinfo=timezone.utc)
+            + timedelta(minutes=5 * slot),
+        )
+        for name in routers + peerings:
+            snapshot.add_node(Node.from_name(name))
+        for _ in range(draw(st.integers(0, 6))):
+            a = draw(st.sampled_from(routers))
+            b = draw(st.sampled_from(routers + peerings))
+            if a == b:
+                continue
+            snapshot.add_link(
+                Link(
+                    a=LinkEnd(a, draw(labels), draw(loads)),
+                    b=LinkEnd(b, draw(labels), draw(loads)),
+                )
+            )
+        series.append(snapshot)
+    return series
+
+
+@given(snapshot_series())
+@settings(max_examples=50, deadline=None)
+def test_reconstruction_is_exact(series):
+    index = SnapshotIndex(series[0].map_name)
+    for snapshot in series:
+        index.append_snapshot(snapshot, size=1, mtime_ns=1)
+    assert [index.snapshot(row) for row in range(len(index))] == series
+
+
+@given(snapshot_series())
+@settings(max_examples=25, deadline=None)
+def test_save_load_survives_arbitrary_series(series):
+    index = SnapshotIndex(series[0].map_name)
+    for number, snapshot in enumerate(series):
+        index.append_snapshot(snapshot, size=number, mtime_ns=number)
+    with tempfile.TemporaryDirectory() as scratch:
+        path = DatasetStore(scratch).index_path(series[0].map_name)
+        index.save(path)
+        reloaded = SnapshotIndex.load(path)
+    assert [reloaded.snapshot(row) for row in range(len(reloaded))] == series
+    assert reloaded.source_fingerprint() == index.source_fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Freshness
+# ---------------------------------------------------------------------------
+
+
+class TestFreshness:
+    def test_fresh_after_build(self, store):
+        build_index(store, MAP)
+        assert fresh_index(store, MAP) is not None
+
+    def test_absent_index_is_not_fresh(self, store):
+        assert fresh_index(store, MAP) is None
+
+    def test_new_file_staled(self, store):
+        build_index(store, MAP)
+        when = T0 + timedelta(hours=1)
+        store.write(MAP, when, "yaml", snapshot_to_yaml(_snapshot(when)))
+        assert fresh_index(store, MAP) is None
+
+    def test_modified_file_staled(self, store):
+        build_index(store, MAP)
+        ref = next(iter(store.iter_refs(MAP, "yaml")))
+        ref.path.write_text(
+            snapshot_to_yaml(_snapshot(ref.timestamp, load=99.0)), encoding="utf-8"
+        )
+        os.utime(ref.path, ns=(1, 1))
+        assert fresh_index(store, MAP) is None
+
+    def test_removed_file_staled(self, store):
+        build_index(store, MAP)
+        next(iter(store.iter_refs(MAP, "yaml"))).path.unlink()
+        assert fresh_index(store, MAP) is None
+
+    def test_stale_load_falls_back_to_yaml(self, store):
+        build_index(store, MAP)
+        when = T0 + timedelta(hours=1)
+        store.write(MAP, when, "yaml", snapshot_to_yaml(_snapshot(when, load=50.0)))
+        snapshots = load_all(store, MAP)
+        assert len(snapshots) == FILES + 1
+        assert snapshots[-1].links[0].a.load == 50.0
+
+    def test_parser_version_skew_not_fresh(self, store):
+        build_index(store, MAP, parser_version=PARSER_VERSION + 1)
+        assert load_index(store, MAP) is not None
+        assert fresh_index(store, MAP) is None
+
+
+# ---------------------------------------------------------------------------
+# Damaged index files: always fall back, never fail
+# ---------------------------------------------------------------------------
+
+
+class TestDamagedIndex:
+    def damage(self, store, mutate):
+        build_index(store, MAP)
+        path = store.index_path(MAP)
+        path.write_bytes(mutate(path.read_bytes()))
+        return path
+
+    def test_truncated(self, store):
+        self.damage(store, lambda data: data[: len(data) // 2])
+        assert load_index(store, MAP) is None
+
+    def test_flipped_byte_fails_checksum(self, store):
+        middle = None
+
+        def flip(data):
+            at = len(data) // 2
+            return data[:at] + bytes([data[at] ^ 0xFF]) + data[at + 1 :]
+
+        self.damage(store, flip)
+        assert load_index(store, MAP) is None
+
+    def test_bad_magic(self, store):
+        self.damage(store, lambda data: b"XXXX" + data[len(INDEX_MAGIC) :])
+        assert load_index(store, MAP) is None
+
+    def test_load_raises_typed_error(self, store):
+        path = self.damage(store, lambda data: data[:10])
+        with pytest.raises(SnapshotIndexError):
+            SnapshotIndex.load(path)
+
+    def test_corrupt_index_load_all_falls_back(self, store):
+        via_yaml = load_all(store, MAP, use_index=False)
+        self.damage(store, lambda data: data[: len(data) // 3])
+        assert load_all(store, MAP) == via_yaml
+
+    def test_rebuild_after_corruption(self, store):
+        self.damage(store, lambda data: data[:20])
+        index, stats = build_index(store, MAP)
+        assert stats.parsed == FILES
+        assert fresh_index(store, MAP) is not None
+
+
+# ---------------------------------------------------------------------------
+# Incremental builds
+# ---------------------------------------------------------------------------
+
+
+class TestIncremental:
+    def test_warm_rebuild_reuses_everything(self, store):
+        build_index(store, MAP)
+        _, stats = build_index(store, MAP)
+        assert stats.parsed == 0
+        assert stats.reused == FILES
+
+    def test_new_file_parsed_alone(self, store):
+        build_index(store, MAP)
+        when = T0 + timedelta(hours=1)
+        store.write(MAP, when, "yaml", snapshot_to_yaml(_snapshot(when)))
+        index, stats = build_index(store, MAP)
+        assert (stats.parsed, stats.reused) == (1, FILES)
+        assert len(index) == FILES + 1
+        assert fresh_index(store, MAP) is not None
+
+    def test_modified_file_reparsed_alone(self, store):
+        build_index(store, MAP)
+        ref = next(iter(store.iter_refs(MAP, "yaml")))
+        ref.path.write_text(
+            snapshot_to_yaml(_snapshot(ref.timestamp, load=77.0)), encoding="utf-8"
+        )
+        os.utime(ref.path, ns=(1, 1))
+        index, stats = build_index(store, MAP)
+        assert (stats.parsed, stats.reused) == (1, FILES - 1)
+        assert index.snapshot(0).links[0].a.load == 77.0
+
+    def test_removed_file_dropped(self, store):
+        build_index(store, MAP)
+        next(iter(store.iter_refs(MAP, "yaml"))).path.unlink()
+        index, stats = build_index(store, MAP)
+        assert stats.removed == 1
+        assert len(index) == FILES - 1
+        assert fresh_index(store, MAP) is not None
+
+    def test_rebuild_flag_parses_everything(self, store):
+        build_index(store, MAP)
+        _, stats = build_index(store, MAP, rebuild=True)
+        assert stats.parsed == FILES
+        assert stats.reused == 0
+
+    def test_parser_version_bump_discards_previous(self, store):
+        build_index(store, MAP, parser_version=PARSER_VERSION + 1)
+        _, stats = build_index(store, MAP)
+        assert stats.parsed == FILES
+        assert stats.reused == 0
+
+
+# ---------------------------------------------------------------------------
+# Corrupt YAML sources: skipped, remembered, replayed
+# ---------------------------------------------------------------------------
+
+
+class TestSkippedSources:
+    CORRUPT_AT = T0 + timedelta(minutes=5 * 2)
+
+    @pytest.fixture()
+    def store_with_corrupt(self, store) -> DatasetStore:
+        path = store.path_for(MAP, self.CORRUPT_AT, "yaml")
+        path.write_text("routers: [unclosed", encoding="utf-8")
+        os.utime(path, ns=(1, 1))
+        return store
+
+    def test_build_raises_without_handler(self, store_with_corrupt):
+        with pytest.raises(SchemaError):
+            build_index(store_with_corrupt, MAP)
+
+    def test_build_records_skip_and_stays_fresh(self, store_with_corrupt):
+        errors = []
+        index, stats = build_index(
+            store_with_corrupt, MAP, on_error=lambda ref, exc: errors.append(ref.timestamp)
+        )
+        assert errors == [self.CORRUPT_AT]
+        assert stats.unreadable == 1
+        assert len(index) == FILES - 1
+        assert fresh_index(store_with_corrupt, MAP) is not None
+
+    def test_indexed_load_replays_the_error(self, store_with_corrupt):
+        build_index(store_with_corrupt, MAP, on_error=lambda ref, exc: None)
+        with pytest.raises(SchemaError):
+            load_all(store_with_corrupt, MAP)
+
+    def test_indexed_load_reports_skip_in_time_order(self, store_with_corrupt):
+        build_index(store_with_corrupt, MAP, on_error=lambda ref, exc: None)
+        events = []
+        snapshots = load_all(
+            store_with_corrupt,
+            MAP,
+            on_error=lambda ref, exc: events.append(("error", ref.timestamp)),
+        )
+        assert len(snapshots) == FILES - 1
+        assert events == [("error", self.CORRUPT_AT)]
+        # Same outcome as the YAML walk, element for element.
+        assert snapshots == load_all(
+            store_with_corrupt, MAP, on_error=lambda ref, exc: None, use_index=False
+        )
+
+    def test_incremental_rerun_reuses_the_skip(self, store_with_corrupt):
+        build_index(store_with_corrupt, MAP, on_error=lambda ref, exc: None)
+        _, stats = build_index(store_with_corrupt, MAP)  # no handler needed now
+        assert stats.parsed == 0
+        assert stats.unreadable == 1
+        assert stats.reused == FILES - 1
+
+    def test_latest_walks_past_trailing_corruption(self, store):
+        when = T0 + timedelta(hours=2)
+        store.write(MAP, when, "yaml", "routers: [unclosed")
+        build_index(store, MAP, on_error=lambda ref, exc: None)
+        latest = latest_snapshot(store, MAP)
+        assert latest is not None
+        assert latest.timestamp == T0 + timedelta(minutes=5 * (FILES - 1))
+        assert latest == latest_snapshot(store, MAP, use_index=False)
+
+
+# ---------------------------------------------------------------------------
+# Status reporting
+# ---------------------------------------------------------------------------
+
+
+class TestStatus:
+    def test_missing(self, store):
+        status = index_status(store, MAP)
+        assert (status.exists, status.fresh) == (False, False)
+        assert status.reason == "no index file"
+
+    def test_fresh(self, store):
+        build_index(store, MAP)
+        status = index_status(store, MAP)
+        assert status.fresh
+        assert status.rows == FILES
+        assert status.parser_version == PARSER_VERSION
+        assert status.reason is None
+        assert status.size_bytes == store.index_path(MAP).stat().st_size
+
+    def test_stale_reports_reason(self, store):
+        build_index(store, MAP)
+        when = T0 + timedelta(hours=1)
+        store.write(MAP, when, "yaml", snapshot_to_yaml(_snapshot(when)))
+        status = index_status(store, MAP)
+        assert not status.fresh
+        assert "changed" in status.reason
+
+    def test_corrupt_reports_reason(self, store):
+        build_index(store, MAP)
+        path = store.index_path(MAP)
+        path.write_bytes(path.read_bytes()[:10])
+        status = index_status(store, MAP)
+        assert status.exists and not status.fresh
+        assert status.reason
+
+
+# ---------------------------------------------------------------------------
+# Worker resolution
+# ---------------------------------------------------------------------------
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self):
+        assert resolve_workers(None) == 1
+
+    def test_auto_means_one_per_core(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert resolve_workers("auto") == 8
+        assert resolve_workers(0) == 8
+        assert resolve_workers(None, default="auto") == 8
+        assert default_workers() == 8
+
+    def test_explicit_count_kept_on_multicore(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert resolve_workers(4) == 4
+
+    def test_single_core_collapses_to_serial(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert resolve_workers(4) == 1
+        assert resolve_workers("auto") == 1
+
+    def test_invalid_requests_rejected(self):
+        with pytest.raises(DatasetError):
+            resolve_workers(-1)
+        with pytest.raises(DatasetError):
+            resolve_workers("many")
+
+    def test_build_index_rejects_bad_workers(self, store):
+        with pytest.raises(DatasetError):
+            build_index(store, MAP, workers=-2)

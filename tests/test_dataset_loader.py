@@ -95,6 +95,40 @@ class TestLatest:
     def test_latest_empty(self, store):
         assert latest_snapshot(store, MapName.WORLD) is None
 
+    def test_latest_walks_past_trailing_corruption(self, store):
+        # A campaign dying mid-write leaves the newest file truncated; the
+        # loader must fall back to the newest snapshot that still parses.
+        store.write(MapName.EUROPE, T0 + timedelta(hours=2), "yaml", "routers: [unclosed")
+        store.write(MapName.EUROPE, T0 + timedelta(hours=3), "yaml", "")
+        latest = latest_snapshot(store, MapName.EUROPE)
+        assert latest is not None
+        assert latest.timestamp == T0 + timedelta(minutes=20)
+        assert latest.links[0].a.load == 4
+
+    def test_latest_all_corrupt_is_none(self, store, tmp_path):
+        other = DatasetStore(tmp_path / "all-corrupt")
+        other.write(MapName.EUROPE, T0, "yaml", "routers: [unclosed")
+        assert latest_snapshot(other, MapName.EUROPE) is None
+
+
+class TestIndexFastPath:
+    def test_index_and_yaml_paths_agree(self, store):
+        from repro.dataset.index import build_index, fresh_index
+
+        via_yaml = load_all(store, MapName.EUROPE, use_index=False)
+        build_index(store, MapName.EUROPE)
+        assert fresh_index(store, MapName.EUROPE) is not None
+        assert load_all(store, MapName.EUROPE) == via_yaml
+        assert list(iter_snapshots(store, MapName.EUROPE)) == via_yaml
+
+    def test_stale_index_ignored(self, store):
+        from repro.dataset.index import build_index
+
+        build_index(store, MapName.EUROPE)
+        when = T0 + timedelta(hours=1)
+        store.write(MapName.EUROPE, when, "yaml", snapshot_to_yaml(_snapshot(when, load=9)))
+        assert len(load_all(store, MapName.EUROPE)) == 6
+
 
 class TestParallelLoad:
     def test_matches_serial(self, store):

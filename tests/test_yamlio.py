@@ -120,6 +120,45 @@ class TestSchemaValidation:
             snapshot_from_yaml(text)
 
 
+class TestLibyamlEquivalence:
+    """The accelerated (libyaml) code paths must be drop-in equivalent.
+
+    When PyYAML was built without its C extension the aliases already
+    point at the pure-Python classes and these assertions are trivially
+    true — the contract is that callers can never tell which one ran.
+    """
+
+    def test_dump_byte_identical_to_pure_python(self, monkeypatch):
+        import yaml
+
+        from repro.yamlio import serialize
+
+        accelerated = snapshot_to_yaml(_snapshot())
+        monkeypatch.setattr(serialize, "_DUMPER", yaml.SafeDumper)
+        assert snapshot_to_yaml(_snapshot()) == accelerated
+
+    def test_load_matches_pure_python(self, monkeypatch):
+        import yaml
+
+        from repro.yamlio import deserialize
+
+        text = snapshot_to_yaml(_snapshot())
+        accelerated = snapshot_from_yaml(text)
+        monkeypatch.setattr(deserialize, "_LOADER", yaml.SafeLoader)
+        assert snapshot_from_yaml(text) == accelerated
+
+    def test_parse_errors_identical(self, monkeypatch):
+        import yaml
+
+        from repro.yamlio import deserialize
+
+        with pytest.raises(SchemaError):
+            snapshot_from_yaml("links: [unclosed")
+        monkeypatch.setattr(deserialize, "_LOADER", yaml.SafeLoader)
+        with pytest.raises(SchemaError):
+            snapshot_from_yaml("links: [unclosed")
+
+
 class TestCompactness:
     def test_yaml_much_smaller_than_svg(self, apac_reference, apac_svg):
         # Table 2: the processed YAMLs are roughly 8x smaller than SVGs.
