@@ -4,17 +4,20 @@ The paper's workload — 542,049 SVGs extracted into YAML, then re-read for
 every Section 5 figure — is replayed here at small scale over a generated
 corpus:
 
-1. ``process`` serial (the seed's single-threaded loop),
-2. ``process`` parallel (the engine's process-pool fan-out),
-3. ``process`` incremental (warm manifest re-run — the steady state of a
+1. ``process`` serial on the streaming fast path (the default), with the
+   per-stage wall-time breakdown,
+2. ``process`` serial forced down the faithful DOM path
+   (``fast_path=False``) — the fast-path speedup baseline,
+3. ``process`` parallel (the engine's process-pool fan-out),
+4. ``process`` incremental (warm manifest re-run — the steady state of a
    collection campaign that only ever appends files),
-4. ``load_all`` serial vs. parallel (both forced down the YAML path),
-5. the columnar index: one ``build_index`` compaction, then ``load_all``
+5. ``load_all`` serial vs. parallel (both forced down the YAML path),
+6. the columnar index: one ``build_index`` compaction, then ``load_all``
    served entirely from it.
 
-Byte-identical output between the serial and parallel runs is asserted,
-not assumed, and the index-served snapshot list is compared against the
-YAML-parsed one object for object.  Results go to
+Byte-identical output between the fast-path, DOM-path, and parallel runs
+is asserted, not assumed, and the index-served snapshot list is compared
+against the YAML-parsed one object for object.  Results go to
 ``BENCH_throughput.json`` at the repo root to seed the perf trajectory;
 ``cpu_count`` is recorded because process-pool speedup is capped by the
 cores actually available.
@@ -39,6 +42,7 @@ from pathlib import Path
 
 from repro.constants import REFERENCE_DATE, MapName, SNAPSHOT_INTERVAL
 from repro.dataset.engine import process_map_parallel
+from repro.parsing.pipeline import StageTimings
 from repro.dataset.index import build_index
 from repro.dataset.loader import load_all
 from repro.dataset.processor import process_map
@@ -116,10 +120,21 @@ def main(argv: list[str] | None = None) -> int:
             "generate", files, lambda: generate_corpus(store, map_name, files)
         )
 
+        stage_timings = StageTimings()
         serial_stats, serial_fps = timed(
-            "process serial", files, lambda: process_map(store, map_name)
+            "process serial (fast path)",
+            files,
+            lambda: process_map(store, map_name, timings=stage_timings),
         )
         serial_digest = yaml_tree_digest(store, map_name)
+
+        reset_outputs(store, map_name)
+        dom_stats, dom_fps = timed(
+            "process serial (DOM path)",
+            files,
+            lambda: process_map(store, map_name, fast_path=False),
+        )
+        dom_digest = yaml_tree_digest(store, map_name)
 
         reset_outputs(store, map_name)
         # update_index=False isolates the processing cost being measured;
@@ -135,13 +150,17 @@ def main(argv: list[str] | None = None) -> int:
 
         identical = (
             serial_digest == parallel_digest
+            and serial_digest == dom_digest
             and serial_stats.processed == parallel_stats.processed
+            and serial_stats.processed == dom_stats.processed
             and serial_stats.unprocessed == parallel_stats.unprocessed
             and serial_stats.yaml_bytes == parallel_stats.yaml_bytes
             and serial_stats.failure_causes == parallel_stats.failure_causes
         )
         if not identical:
-            print("ERROR: serial and parallel outputs differ", file=sys.stderr)
+            print(
+                "ERROR: fast/DOM/parallel outputs differ", file=sys.stderr
+            )
 
         _, incremental_fps = timed(
             "process incremental (warm)",
@@ -186,21 +205,29 @@ def main(argv: list[str] | None = None) -> int:
         "cpu_count": os.cpu_count(),
         "generate_fps": round(gen_fps, 2),
         "process_serial_fps": round(serial_fps, 2),
+        "process_serial_dom_fps": round(dom_fps, 2),
         "process_parallel_fps": round(parallel_fps, 2),
         "process_incremental_fps": round(incremental_fps, 2),
         "load_serial_fps": round(load_serial_fps, 2),
         "load_parallel_fps": round(load_parallel_fps, 2),
         "index_build_fps": round(index_build_fps, 2),
         "load_index_fps": round(load_index_fps, 2),
+        "speedup_fast_path": round(serial_fps / dom_fps, 2),
         "speedup_parallel": round(parallel_fps / serial_fps, 2),
         "speedup_incremental": round(incremental_fps / serial_fps, 2),
         "speedup_load": round(load_parallel_fps / load_serial_fps, 2),
         "speedup_index": round(load_index_fps / load_serial_fps, 2),
         "outputs_identical": identical,
+        "stage_breakdown": stage_timings.as_dict(),
     }
     output = Path(args.output)
     output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-    print(f"\nparallel speedup {report['speedup_parallel']}x, "
+    stages = report["stage_breakdown"]["seconds"]
+    print("\nfast-path stage breakdown (serial run):")
+    for stage, seconds in stages.items():
+        print(f"  {stage:<10} {seconds:>8.2f} s")
+    print(f"fast path speedup {report['speedup_fast_path']}x over DOM, "
+          f"parallel {report['speedup_parallel']}x, "
           f"incremental {report['speedup_incremental']}x, "
           f"load {report['speedup_load']}x, "
           f"indexed load {report['speedup_index']}x")

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Guard the throughput trajectory: fail on benchmark regressions.
+
+Compares a freshly produced benchmark report against the committed
+baseline (``BENCH_throughput.json`` at the repo root).  Every ``*_fps``
+key present in both documents is checked; any throughput drop beyond the
+tolerance fails the run.  Keys only present on one side are reported but
+never fatal (benchmarks grow new measurements over time).
+
+Absolute numbers depend on the machine, so this is a *relative* guard
+meant for comparing two runs on the same host — e.g. the quick-mode run
+inside ``scripts/reproduce_all.sh`` against the repository baseline::
+
+    python3 scripts/check_bench_regression.py fresh.json \
+        [--baseline BENCH_throughput.json] [--tolerance 0.20]
+
+Exit status: 0 when no ``*_fps`` key regressed beyond the tolerance,
+1 otherwise (or when either document cannot be read).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_throughput.json"
+
+
+def load_report(path: Path) -> dict:
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read benchmark report {path}: {exc}")
+    if not isinstance(document, dict):
+        raise SystemExit(f"benchmark report {path} is not a JSON object")
+    return document
+
+
+def throughput_keys(report: dict) -> dict[str, float]:
+    """The comparable measurements: every numeric ``*_fps`` entry."""
+    return {
+        key: float(value)
+        for key, value in report.items()
+        if key.endswith("_fps") and isinstance(value, (int, float))
+    }
+
+
+def compare(
+    baseline: dict, fresh: dict, tolerance: float
+) -> list[tuple[str, float, float, float]]:
+    """Regressed keys as ``(key, baseline_fps, fresh_fps, drop_ratio)``."""
+    base = throughput_keys(baseline)
+    new = throughput_keys(fresh)
+    regressions = []
+    for key in sorted(base.keys() & new.keys()):
+        before, after = base[key], new[key]
+        if before <= 0:
+            continue
+        drop = 1.0 - after / before
+        if drop > tolerance:
+            regressions.append((key, before, after, drop))
+    for key in sorted(base.keys() ^ new.keys()):
+        side = "baseline" if key in base else "fresh report"
+        print(f"note: {key} only present in the {side}; skipped")
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", type=Path, help="freshly produced report")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed reference report (default: repo BENCH_throughput.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="maximum allowed relative throughput drop (default: 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_report(args.baseline)
+    fresh = load_report(args.fresh)
+    regressions = compare(baseline, fresh, args.tolerance)
+
+    checked = len(throughput_keys(baseline).keys() & throughput_keys(fresh).keys())
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)}/{checked} throughput keys dropped "
+            f"more than {args.tolerance:.0%}:"
+        )
+        for key, before, after, drop in regressions:
+            print(f"  {key:<28} {before:>9.2f} -> {after:>9.2f}  (-{drop:.0%})")
+        return 1
+    print(f"OK: {checked} throughput keys within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

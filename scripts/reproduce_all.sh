@@ -21,9 +21,16 @@ python3 -m pytest benchmarks/ --benchmark-only -q -s | tee "$ARTIFACTS/benchmark
 cp -r benchmarks/output "$ARTIFACTS/figures" 2>/dev/null || true
 
 echo "== 2b/4 bulk-processing throughput (quick mode) =="
+# Write the fresh report next to the other artefacts first so the
+# committed baseline survives for the regression comparison below.
 python3 benchmarks/bench_throughput_processing.py --quick \
+    --output "$ARTIFACTS/BENCH_throughput.json" \
     | tee "$ARTIFACTS/throughput.txt"
-cp BENCH_throughput.json "$ARTIFACTS/" 2>/dev/null || true
+# Quick mode measures a 120-file corpus against the 520-file committed
+# baseline and shares the host with whatever else runs here, so allow
+# wide variance; the default 20% tolerance is for like-for-like runs.
+python3 scripts/check_bench_regression.py "$ARTIFACTS/BENCH_throughput.json" \
+    --tolerance 0.5
 
 echo "== 3/4 demonstration dataset (1 hour, all four maps) =="
 DATASET="$ARTIFACTS/dataset"

@@ -100,6 +100,7 @@ def cmd_process(args: argparse.Namespace) -> int:
             strict=args.strict,
             overwrite=args.overwrite,
             workers=args.workers,
+            fast_path=args.fast_path,
         )
         if stats.total == 0:
             continue
@@ -505,6 +506,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-process files whose YAML already exists "
         "(also invalidates the incremental manifest)",
+    )
+    process.add_argument(
+        "--no-fast-path",
+        dest="fast_path",
+        action="store_false",
+        help="force the faithful DOM parse instead of the fused streaming "
+        "pass (identical output; for timing comparisons and debugging)",
     )
     process.set_defaults(handler=cmd_process)
 

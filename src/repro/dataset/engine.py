@@ -161,6 +161,7 @@ def _process_batch(
     map_value: str,
     strict: bool,
     items: Sequence[tuple[str, str]],
+    fast_path: bool = True,
 ) -> list[_WorkerResult]:
     """Pool worker: read, hash, and extract one batch of SVG files.
 
@@ -174,7 +175,11 @@ def _process_batch(
         data = path.read_bytes()
         stat = path.stat()
         outcome = process_svg_bytes(
-            data, map_name, datetime.fromisoformat(stamp_iso), strict=strict
+            data,
+            map_name,
+            datetime.fromisoformat(stamp_iso),
+            strict=strict,
+            fast_path=fast_path,
         )
         results.append(
             _WorkerResult(
@@ -242,6 +247,7 @@ def process_map_parallel(
     overwrite: bool = False,
     use_manifest: bool = True,
     update_index: bool = True,
+    fast_path: bool = True,
 ) -> ProcessingStats:
     """Process one map's SVGs into YAML twins — in parallel, incrementally.
 
@@ -267,6 +273,8 @@ def process_map_parallel(
             the manifest); ``overwrite`` rebuilds it from scratch, and a
             :data:`~repro.parsing.pipeline.PARSER_VERSION` bump discards
             it — exactly the YAML skip-cache's invalidation rules.
+        fast_path: fused streaming parse in the workers (identical
+            output; automatic DOM fallback per document).
 
     Returns:
         Per-map counts mirroring a Table 2 row.
@@ -298,6 +306,7 @@ def process_map_parallel(
                     map_name.value,
                     strict,
                     [(ref.timestamp.isoformat(), str(ref.path)) for ref in batch],
+                    fast_path,
                 )
                 for batch in batches
             )
@@ -309,6 +318,7 @@ def process_map_parallel(
                     map_name.value,
                     strict,
                     [(ref.timestamp.isoformat(), str(ref.path)) for ref in batch],
+                    fast_path,
                 )
                 for batch in batches
             ]
@@ -356,6 +366,7 @@ def process_all_parallel(
     strict: bool = False,
     overwrite: bool = False,
     update_index: bool = True,
+    fast_path: bool = True,
 ) -> dict[MapName, ProcessingStats]:
     """Run :func:`process_map_parallel` over several maps, one shared config."""
     results: dict[MapName, ProcessingStats] = {}
@@ -368,5 +379,6 @@ def process_all_parallel(
             strict=strict,
             overwrite=overwrite,
             update_index=update_index,
+            fast_path=fast_path,
         )
     return results

@@ -20,10 +20,12 @@ from collections import Counter
 from dataclasses import dataclass, field
 from datetime import datetime
 
+from time import perf_counter
+
 from repro.constants import MapName
 from repro.errors import ParseError, SvgError
 from repro.dataset.store import DatasetStore
-from repro.parsing.pipeline import parse_svg
+from repro.parsing.pipeline import StageTimings, parse_svg
 from repro.yamlio.serialize import snapshot_to_yaml
 
 logger = logging.getLogger(__name__)
@@ -74,6 +76,8 @@ def process_svg_bytes(
     map_name: MapName,
     timestamp: datetime,
     strict: bool = False,
+    fast_path: bool = True,
+    timings: StageTimings | None = None,
 ) -> ProcessOutcome:
     """Extract one SVG document into its YAML twin — pure and picklable.
 
@@ -81,16 +85,34 @@ def process_svg_bytes(
     (malformed SVGs, extraction failures): those come back as a
     :class:`ProcessOutcome` carrying the exception class name, exactly the
     key the Table 2 accounting uses.
+
+    Args:
+        fast_path: fused streaming parse with automatic DOM fallback
+            (identical output either way; False forces the faithful path).
+        timings: accumulate per-stage wall time, including the YAML
+            emission this function adds on top of :func:`parse_svg`.
     """
     try:
-        parsed = parse_svg(data, map_name=map_name, timestamp=timestamp, strict=strict)
+        parsed = parse_svg(
+            data,
+            map_name=map_name,
+            timestamp=timestamp,
+            strict=strict,
+            fast_path=fast_path,
+            timings=timings,
+        )
     except (SvgError, ParseError) as exc:
         return ProcessOutcome(
             yaml_text=None,
             failure_cause=type(exc).__name__,
             failure_message=str(exc),
         )
-    return ProcessOutcome(yaml_text=snapshot_to_yaml(parsed.snapshot))
+    if timings is None:
+        return ProcessOutcome(yaml_text=snapshot_to_yaml(parsed.snapshot))
+    started = perf_counter()
+    text = snapshot_to_yaml(parsed.snapshot)
+    timings.add("serialize", perf_counter() - started)
+    return ProcessOutcome(yaml_text=text)
 
 
 def process_map(
@@ -99,6 +121,8 @@ def process_map(
     strict: bool = False,
     overwrite: bool = False,
     workers: int | str | None = None,
+    fast_path: bool = True,
+    timings: StageTimings | None = None,
 ) -> ProcessingStats:
     """Process every stored SVG of one map into its YAML twin.
 
@@ -113,6 +137,9 @@ def process_map(
             maintains the incremental manifest and the columnar snapshot
             index).  ``None`` or ``1`` keeps the simple serial loop
             below; ``0`` or ``"auto"`` means one worker per CPU core.
+        fast_path: fused streaming parse with automatic DOM fallback.
+        timings: accumulate per-stage wall time over the run (serial loop
+            only — worker-process timings cannot be merged back).
 
     Returns:
         Per-map counts mirroring a Table 2 row.
@@ -126,6 +153,7 @@ def process_map(
             workers=workers,
             strict=strict,
             overwrite=overwrite,
+            fast_path=fast_path,
         )
     stats = ProcessingStats(map_name=map_name)
     for ref in store.iter_refs(map_name, "svg"):
@@ -135,7 +163,12 @@ def process_map(
             stats.yaml_bytes += yaml_path.stat().st_size
             continue
         outcome = process_svg_bytes(
-            ref.path.read_bytes(), map_name, ref.timestamp, strict=strict
+            ref.path.read_bytes(),
+            map_name,
+            ref.timestamp,
+            strict=strict,
+            fast_path=fast_path,
+            timings=timings,
         )
         if not outcome.ok:
             stats.unprocessed += 1

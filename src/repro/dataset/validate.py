@@ -95,6 +95,7 @@ def validate_map(
     map_name: MapName,
     cross_check_fraction: float = 0.1,
     seed: int = 0,
+    fast_path: bool = True,
 ) -> ValidationReport:
     """Validate one map's stored files.
 
@@ -104,6 +105,8 @@ def validate_map(
         cross_check_fraction: deterministic fraction of snapshots whose
             SVG is re-extracted and compared to the stored YAML.
         seed: selects which snapshots get cross-checked.
+        fast_path: fused streaming parse for the cross-check re-extraction
+            (identical results; False forces the faithful DOM path).
     """
     report = ValidationReport(map_name=map_name)
     svg_stamps = set(store.timestamps(map_name, "svg"))
@@ -140,6 +143,7 @@ def validate_map(
                     store.read_bytes(map_name, ref.timestamp, "svg"),
                     map_name=map_name,
                     timestamp=ref.timestamp,
+                    fast_path=fast_path,
                 )
             except (SvgError, ParseError) as exc:
                 report.cross_check_failures += 1
@@ -164,12 +168,17 @@ def validate_dataset(
     store: DatasetStore,
     cross_check_fraction: float = 0.1,
     seed: int = 0,
+    fast_path: bool = True,
 ) -> dict[MapName, ValidationReport]:
     """Validate every map present in the dataset."""
     reports: dict[MapName, ValidationReport] = {}
     for map_name in MapName:
         report = validate_map(
-            store, map_name, cross_check_fraction=cross_check_fraction, seed=seed
+            store,
+            map_name,
+            cross_check_fraction=cross_check_fraction,
+            seed=seed,
+            fast_path=fast_path,
         )
         if report.yaml_files or report.svg_files:
             reports[map_name] = report

@@ -39,6 +39,8 @@ from repro.svgdoc.elements import ObjectElement
 #: Comfortably above both the arrow base gap and the label threshold.
 _SEARCH_RADIUS = 90.0
 
+_INFINITY = float("inf")
+
 
 @dataclass(frozen=True, slots=True)
 class AttributedEnd:
@@ -132,56 +134,54 @@ def attribute_objects(
         ends: list[AttributedEnd] = []
         for end_position, load in zip((base_first, base_second), link.loads):
             # --- router attribution -------------------------------------
-            router_candidates: list[ObjectElement]
+            # The inlined nearest scans below keep the *first* candidate on
+            # equal distances, exactly like min() with a key function.
+            router = None
+            router_distance = _INFINITY
             if router_index is not None:
-                router_candidates = [
-                    router
-                    for _, router in router_index.near(end_position, _SEARCH_RADIUS)
-                    if router.box.intersects_line(line)
-                ]
-                if not router_candidates:
-                    router_candidates = full_routers()
-            else:
-                router_candidates = full_routers()
-            if not router_candidates:
+                for box, candidate in router_index.near(end_position, _SEARCH_RADIUS):
+                    if box.intersects_line(line):
+                        distance = box.distance_to_point(end_position)
+                        if distance < router_distance:
+                            router_distance = distance
+                            router = candidate
+            if router is None:
+                for candidate in full_routers():
+                    distance = candidate.box.distance_to_point(end_position)
+                    if distance < router_distance:
+                        router_distance = distance
+                        router = candidate
+            if router is None:
                 raise MissingRouterError(
                     f"no router box intersects the link line near "
                     f"({end_position.x:.0f}, {end_position.y:.0f})"
                 )
-            router = min(
-                router_candidates,
-                key=lambda candidate: candidate.box.distance_to_point(end_position),
-            )
 
             # --- label attribution --------------------------------------
-            label_candidates: list[int]
+            best_index = -1
+            distance = _INFINITY
             if label_index is not None:
-                label_candidates = [
-                    position
-                    for _, position in label_index.near(end_position, _SEARCH_RADIUS)
-                    if not consumed[position]
-                    and labels[position].box.intersects_line(line)
-                ]
-                if not label_candidates:
-                    label_candidates = [
-                        position for position in full_labels() if not consumed[position]
-                    ]
-            else:
-                label_candidates = [
-                    position for position in full_labels() if not consumed[position]
-                ]
-            if not label_candidates:
+                for box, position in label_index.near(end_position, _SEARCH_RADIUS):
+                    if not consumed[position] and box.intersects_line(line):
+                        candidate_distance = box.distance_to_point(end_position)
+                        if candidate_distance < distance:
+                            distance = candidate_distance
+                            best_index = position
+            if best_index < 0:
+                for position in full_labels():
+                    if consumed[position]:
+                        continue
+                    candidate_distance = labels[position].box.distance_to_point(
+                        end_position
+                    )
+                    if candidate_distance < distance:
+                        distance = candidate_distance
+                        best_index = position
+            if best_index < 0:
                 raise MissingLabelError(
                     f"no label intersects the link line near "
                     f"({end_position.x:.0f}, {end_position.y:.0f})"
                 )
-            best_index = min(
-                label_candidates,
-                key=lambda position: labels[position].box.distance_to_point(
-                    end_position
-                ),
-            )
-            distance = labels[best_index].box.distance_to_point(end_position)
             if distance > label_distance_threshold:
                 raise MissingLabelError(
                     f"closest label {labels[best_index].text!r} is {distance:.1f} px "

@@ -10,14 +10,16 @@ way Table 2 does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
+from time import perf_counter
 
 from repro.constants import LABEL_DISTANCE_THRESHOLD, MapName
 from repro.parsing.algorithm1 import ExtractionResult, extract_objects
 from repro.parsing.algorithm2 import attribute_objects
 from repro.parsing.checks import ParseReport, run_sanity_checks
+from repro.parsing.stream import stream_extract
 from repro.svgdoc.reader import read_svg_tags
 from repro.topology.model import Link, LinkEnd, MapSnapshot, Node, NodeKind
 
@@ -28,7 +30,53 @@ _EPOCH = datetime(1970, 1, 1, tzinfo=timezone.utc)
 #: YAML a given SVG produces — the incremental bulk engine
 #: (:mod:`repro.dataset.engine`) stores this in its manifest and
 #: reprocesses every file when it no longer matches.
-PARSER_VERSION = 1
+#:
+#: 2: stricter root width/height parsing (malformed unit suffixes now fail
+#:    instead of silently mis-parsing), so some previously-processed files
+#:    change outcome.
+PARSER_VERSION = 2
+
+
+@dataclass
+class StageTimings:
+    """Cumulative per-stage wall time over one or more parsed documents.
+
+    Pass an instance to :func:`parse_svg` (and
+    :func:`repro.dataset.processor.process_svg_bytes`, which adds the YAML
+    emission) to attribute processing time to the pipeline stages.  The
+    fused streaming pass cannot split reading from extraction, so its
+    whole pass is charged to ``extract`` and ``read`` stays 0 unless the
+    DOM path runs.
+    """
+
+    seconds: dict[str, float] = field(
+        default_factory=lambda: {
+            "read": 0.0,
+            "extract": 0.0,
+            "attribute": 0.0,
+            "checks": 0.0,
+            "serialize": 0.0,
+        }
+    )
+    #: Documents the streaming fast path handled end-to-end.
+    fast_path_hits: int = 0
+    #: Documents that fell back to the faithful DOM path.
+    fallbacks: int = 0
+
+    def add(self, stage: str, elapsed: float) -> None:
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + elapsed
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view (used by the throughput benchmark)."""
+        return {
+            "seconds": {key: round(value, 4) for key, value in self.seconds.items()},
+            "fast_path_hits": self.fast_path_hits,
+            "fallbacks": self.fallbacks,
+        }
 
 
 @dataclass
@@ -76,6 +124,8 @@ def parse_svg(
     strict: bool = True,
     label_distance_threshold: float = LABEL_DISTANCE_THRESHOLD,
     accelerated: bool = True,
+    fast_path: bool = True,
+    timings: StageTimings | None = None,
 ) -> ParsedMap:
     """Extract the topology from an SVG document.
 
@@ -87,22 +137,59 @@ def parse_svg(
         label_distance_threshold: Algorithm 2 label-distance limit.
         accelerated: use the grid-indexed attribution (identical results;
             set False for the paper's exact quadratic formulation).
+        fast_path: run reader + Algorithm 1 as one fused streaming pass
+            (:func:`repro.parsing.stream.stream_extract`); identical
+            results, and any document outside the expected shape falls
+            back to the faithful DOM path below — set False to force that
+            path outright.
+        timings: accumulate per-stage wall time into this object.
 
     Raises:
         MalformedSvgError: not an SVG, or invalid attribute values.
         ParseError subclasses: extraction or attribution failures.
     """
-    stream = read_svg_tags(source)
-    extraction = extract_objects(stream)
+    extraction: ExtractionResult | None = None
+    if fast_path:
+        started = perf_counter() if timings is not None else 0.0
+        streamed = stream_extract(source)
+        if streamed is not None:
+            extraction = streamed[0]
+        if timings is not None:
+            if extraction is not None:
+                timings.add("extract", perf_counter() - started)
+                timings.fast_path_hits += 1
+            else:
+                timings.fallbacks += 1
+    if extraction is None:
+        if timings is None:
+            stream = read_svg_tags(source)
+            extraction = extract_objects(stream)
+        else:
+            started = perf_counter()
+            stream = read_svg_tags(source)
+            timings.add("read", perf_counter() - started)
+            started = perf_counter()
+            extraction = extract_objects(stream)
+            timings.add("extract", perf_counter() - started)
+
+    started = perf_counter() if timings is not None else 0.0
     links = attribute_objects(
         extraction,
         label_distance_threshold=label_distance_threshold,
         accelerated=accelerated,
     )
+    if timings is not None:
+        timings.add("attribute", perf_counter() - started)
+        started = perf_counter()
     report = run_sanity_checks(extraction, links, strict=strict)
+    if timings is not None:
+        timings.add("checks", perf_counter() - started)
+        started = perf_counter()
     snapshot = _snapshot_from(
         extraction, links, map_name, timestamp if timestamp is not None else _EPOCH
     )
+    if timings is not None:
+        timings.add("serialize", perf_counter() - started)
     return ParsedMap(snapshot=snapshot, report=report, extraction=extraction)
 
 
@@ -113,6 +200,8 @@ def parse_svg_file(
     strict: bool = True,
     label_distance_threshold: float = LABEL_DISTANCE_THRESHOLD,
     accelerated: bool = True,
+    fast_path: bool = True,
+    timings: StageTimings | None = None,
 ) -> ParsedMap:
     """Extract the topology from an SVG file on disk.
 
@@ -126,4 +215,6 @@ def parse_svg_file(
         strict=strict,
         label_distance_threshold=label_distance_threshold,
         accelerated=accelerated,
+        fast_path=fast_path,
+        timings=timings,
     )

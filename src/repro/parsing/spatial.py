@@ -8,6 +8,12 @@ and its label essentially on it, so any candidate farther than a small
 radius can never be the nearest.  Falling back to the full scan when the
 neighbourhood is empty preserves the error behaviour exactly; tests assert
 output equivalence with the faithful mode.
+
+Entries live in parallel arrays addressed by a dense entry id; each grid
+cell holds ids.  Queries deduplicate entries spanning several cells with a
+per-query epoch stamp on the entry — bumping one integer replaces the
+fresh ``set`` + ``id()`` hashing the hot attribution loop used to pay for
+on every ``near`` call.
 """
 
 from __future__ import annotations
@@ -25,15 +31,23 @@ class GridIndex(Generic[T]):
 
     def __init__(self, items: Iterable[tuple[Rect, T]], cell_size: float = 128.0) -> None:
         self._cell_size = cell_size
-        self._cells: dict[tuple[int, int], list[tuple[Rect, T]]] = defaultdict(list)
-        self._count = 0
+        self._boxes: list[Rect] = []
+        self._payloads: list[T] = []
+        cells: dict[tuple[int, int], list[int]] = defaultdict(list)
         for box, payload in items:
-            self._count += 1
+            entry = len(self._boxes)
+            self._boxes.append(box)
+            self._payloads.append(payload)
             for cell in self._cells_of(box):
-                self._cells[cell].append((box, payload))
+                cells[cell].append(entry)
+        self._cells = dict(cells)
+        #: Per-entry stamp of the last query that touched it; a query is
+        #: one bump of ``_epoch``, so "stamp == epoch" means "already seen".
+        self._stamps = [0] * len(self._boxes)
+        self._epoch = 0
 
     def __len__(self) -> int:
-        return self._count
+        return len(self._boxes)
 
     def _cells_of(self, box: Rect) -> Iterable[tuple[int, int]]:
         x_low = int(box.left // self._cell_size)
@@ -48,21 +62,32 @@ class GridIndex(Generic[T]):
         """Every indexed item whose box is within ``radius`` of ``point``.
 
         The grid over-approximates (cell granularity), then the exact
-        box-distance filter trims the result.
+        box-distance filter trims the result.  Entry order follows cell
+        scan order, first sighting wins — identical to the historical
+        set-based dedup.
         """
-        x_low = int((point.x - radius) // self._cell_size)
-        x_high = int((point.x + radius) // self._cell_size)
-        y_low = int((point.y - radius) // self._cell_size)
-        y_high = int((point.y + radius) // self._cell_size)
-        seen: set[int] = set()
+        cell_size = self._cell_size
+        x_low = int((point.x - radius) // cell_size)
+        x_high = int((point.x + radius) // cell_size)
+        y_low = int((point.y - radius) // cell_size)
+        y_high = int((point.y + radius) // cell_size)
+        self._epoch += 1
+        epoch = self._epoch
+        stamps = self._stamps
+        boxes = self._boxes
+        payloads = self._payloads
+        cells = self._cells
         result: list[tuple[Rect, T]] = []
         for x in range(x_low, x_high + 1):
             for y in range(y_low, y_high + 1):
-                for box, payload in self._cells.get((x, y), ()):
-                    key = id(payload)
-                    if key in seen:
+                bucket = cells.get((x, y))
+                if bucket is None:
+                    continue
+                for entry in bucket:
+                    if stamps[entry] == epoch:
                         continue
-                    seen.add(key)
+                    stamps[entry] = epoch
+                    box = boxes[entry]
                     if box.distance_to_point(point) <= radius:
-                        result.append((box, payload))
+                        result.append((box, payloads[entry]))
         return result

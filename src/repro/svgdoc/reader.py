@@ -11,6 +11,7 @@ the paper describes.
 from __future__ import annotations
 
 import io
+import re
 import xml.etree.ElementTree as ElementTree
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -19,6 +20,13 @@ from repro.errors import MalformedSvgError
 from repro.svgdoc.elements import RawTag
 
 _SVG_NAMESPACE = "{http://www.w3.org/2000/svg}"
+
+#: A CSS-style length: a float, optionally followed by one known unit.
+#: Anything else — including a mangled unit suffix like ``800pxx`` that the
+#: old character-strip heuristic silently accepted — is malformed.
+_DIMENSION_RE = re.compile(
+    r"\s*([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)\s*(?:px|pt|pc|cm|mm|in|em|ex|%)?\s*$"
+)
 
 
 def _local_name(tag: str) -> str:
@@ -42,8 +50,8 @@ def _to_raw_tag(element: ElementTree.Element) -> RawTag:
 class SvgTagStream:
     """The flat tag stream of one weathermap SVG document."""
 
-    def __init__(self, tags: list[RawTag], width: float, height: float) -> None:
-        self._tags = tags
+    def __init__(self, tags: Iterable[RawTag], width: float, height: float) -> None:
+        self._tags = tuple(tags)
         self.width = width
         self.height = height
 
@@ -54,19 +62,49 @@ class SvgTagStream:
         return len(self._tags)
 
     @property
-    def tags(self) -> list[RawTag]:
-        """All top-level tags in document order."""
-        return list(self._tags)
+    def tags(self) -> tuple[RawTag, ...]:
+        """All top-level tags in document order (immutable, not a copy)."""
+        return self._tags
+
+
+def parse_dimension_value(raw: str) -> float:
+    """Parse one CSS-style length value (``800``, ``800px``, ``100%``...).
+
+    Raises:
+        MalformedSvgError: when the value is not a number followed by at
+            most one known unit — malformed suffixes must fail loudly, not
+            silently mis-parse.
+    """
+    match = _DIMENSION_RE.match(raw)
+    if match is None:
+        raise MalformedSvgError(f"malformed dimension value: {raw!r}")
+    return float(match.group(1))
 
 
 def _parse_dimension(root: ElementTree.Element, name: str) -> float:
     """Parse the root ``width``/``height`` attribute (may carry units)."""
     raw = root.attrib.get(name, "0")
-    digits = raw.rstrip("pxtcmine% ")
     try:
-        return float(digits or "0")
-    except ValueError as exc:
-        raise MalformedSvgError(f"svg root {name} attribute malformed: {raw!r}") from exc
+        return parse_dimension_value(raw)
+    except MalformedSvgError as exc:
+        raise MalformedSvgError(
+            f"svg root {name} attribute malformed: {raw!r}"
+        ) from exc
+
+
+def load_source(source: str | Path | bytes) -> bytes | str:
+    """Resolve a parse source to document data.
+
+    A ``Path`` (or a path-looking single-line ``.svg`` string) is read from
+    disk; raw bytes/text pass through.  Shared by this reader and the
+    streaming fast path (:mod:`repro.parsing.stream`) so both parse the
+    same document and raise the same ``OSError`` for an unreadable file.
+    """
+    if isinstance(source, Path):
+        return source.read_bytes()
+    if isinstance(source, str) and "\n" not in source and source.endswith(".svg"):
+        return Path(source).read_bytes()
+    return source
 
 
 def read_svg_tags(source: str | Path | bytes) -> SvgTagStream:
@@ -80,12 +118,7 @@ def read_svg_tags(source: str | Path | bytes) -> SvgTagStream:
             root is not an ``<svg>`` element — the real dataset contains such
             files and they must be countable, not fatal.
     """
-    if isinstance(source, Path):
-        data: bytes | str = source.read_bytes()
-    elif isinstance(source, str) and "\n" not in source and source.endswith(".svg"):
-        data = Path(source).read_bytes()
-    else:
-        data = source
+    data = load_source(source)
 
     if isinstance(data, str):
         stream: io.IOBase = io.StringIO(data)

@@ -1,0 +1,84 @@
+"""Tests for the benchmark regression guard script."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / "check_bench_regression.py"
+_SPEC = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+guard = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(guard)
+
+BASELINE = {
+    "process_serial_fps": 50.0,
+    "process_parallel_fps": 60.0,
+    "load_index_fps": 1000.0,
+    "speedup_parallel": 1.2,  # not *_fps: never compared
+    "outputs_identical": True,
+}
+
+
+def write(tmp_path: Path, name: str, document: dict) -> Path:
+    path = tmp_path / name
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return path
+
+
+def run(tmp_path, fresh: dict, tolerance: float = 0.20) -> int:
+    baseline = write(tmp_path, "baseline.json", BASELINE)
+    report = write(tmp_path, "fresh.json", fresh)
+    return guard.main(
+        [str(report), "--baseline", str(baseline), "--tolerance", str(tolerance)]
+    )
+
+
+class TestCompare:
+    def test_identical_reports_pass(self, tmp_path):
+        assert run(tmp_path, dict(BASELINE)) == 0
+
+    def test_improvement_passes(self, tmp_path):
+        fresh = dict(BASELINE, process_serial_fps=120.0)
+        assert run(tmp_path, fresh) == 0
+
+    def test_drop_within_tolerance_passes(self, tmp_path):
+        fresh = dict(BASELINE, process_serial_fps=41.0)  # -18%
+        assert run(tmp_path, fresh) == 0
+
+    def test_drop_beyond_tolerance_fails(self, tmp_path):
+        fresh = dict(BASELINE, process_serial_fps=39.0)  # -22%
+        assert run(tmp_path, fresh) == 1
+
+    def test_tolerance_is_configurable(self, tmp_path):
+        fresh = dict(BASELINE, process_serial_fps=39.0)  # -22%
+        assert run(tmp_path, fresh, tolerance=0.30) == 0
+        assert run(tmp_path, fresh, tolerance=0.10) == 1
+
+    def test_any_fps_key_can_fail_the_run(self, tmp_path):
+        fresh = dict(BASELINE, load_index_fps=100.0)
+        assert run(tmp_path, fresh) == 1
+
+    def test_non_fps_keys_ignored(self, tmp_path):
+        fresh = dict(BASELINE, speedup_parallel=0.1, outputs_identical=False)
+        assert run(tmp_path, fresh) == 0
+
+    def test_new_and_missing_keys_tolerated(self, tmp_path):
+        fresh = dict(BASELINE, brand_new_fps=1.0)
+        del fresh["load_index_fps"]
+        assert run(tmp_path, fresh) == 0
+
+
+class TestBadInput:
+    def test_unreadable_report_exits_nonzero(self, tmp_path):
+        with pytest.raises(SystemExit):
+            guard.main([str(tmp_path / "absent.json")])
+
+    def test_non_object_report_exits_nonzero(self, tmp_path):
+        path = write(tmp_path, "fresh.json", {})
+        path.write_text("[1, 2]", encoding="utf-8")
+        baseline = write(tmp_path, "baseline.json", BASELINE)
+        with pytest.raises(SystemExit):
+            guard.main([str(path), "--baseline", str(baseline)])

@@ -112,9 +112,9 @@ class TestManifest:
     def count_extractions(self, monkeypatch) -> list:
         calls = []
 
-        def counting(data, map_name, timestamp, strict=False):
+        def counting(data, map_name, timestamp, strict=False, **kwargs):
             calls.append(timestamp)
-            return process_svg_bytes(data, map_name, timestamp, strict=strict)
+            return process_svg_bytes(data, map_name, timestamp, strict=strict, **kwargs)
 
         monkeypatch.setattr(engine_module, "process_svg_bytes", counting)
         return calls

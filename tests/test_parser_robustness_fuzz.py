@@ -11,6 +11,7 @@ from hypothesis import given, settings, strategies as st
 from repro.constants import MapName
 from repro.errors import ReproError
 from repro.parsing.pipeline import parse_svg
+from repro.yamlio.serialize import snapshot_to_yaml
 
 
 def _mutate(document: str, operations) -> str:
@@ -65,3 +66,40 @@ def test_arbitrary_bytes_fail_typed(data):
         parse_svg(data, MapName.EUROPE, strict=False)
     except ReproError:
         pass
+
+
+def _observed_outcome(document, fast_path: bool):
+    """What a caller can see from one parse: the YAML or the typed error."""
+    try:
+        parsed = parse_svg(
+            document, MapName.ASIA_PACIFIC, strict=False, fast_path=fast_path
+        )
+    except ReproError as exc:
+        return ("error", type(exc), str(exc))
+    return ("ok", snapshot_to_yaml(parsed.snapshot))
+
+
+@given(mutations)
+@settings(max_examples=150, deadline=None)
+def test_mutated_documents_fast_and_faithful_agree(apac_svg, operations):
+    """Differential fuzzing of the two parse paths.
+
+    On *any* mutated document the streaming fast path must be
+    indistinguishable from the faithful DOM pipeline: either both produce
+    byte-identical YAML, or both raise the same exception type with the
+    same message.  (The fast path guarantees this by falling back to the
+    DOM path on anything outside the expected shape, so the property holds
+    even for inputs the stream machine refuses.)
+    """
+    mutated = _mutate(apac_svg, operations)
+    assert _observed_outcome(mutated, True) == _observed_outcome(mutated, False)
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+@settings(max_examples=60, deadline=None)
+def test_truncated_documents_fast_and_faithful_agree(apac_svg, cut):
+    """Every truncation point yields identical outcomes on both paths."""
+    truncated = apac_svg[: cut % (len(apac_svg) + 1)]
+    assert _observed_outcome(truncated, True) == _observed_outcome(
+        truncated, False
+    )

@@ -13,8 +13,9 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.constants import MapName
 from repro.layout.renderer import MapRenderer
-from repro.parsing.pipeline import parse_svg
+from repro.parsing.pipeline import StageTimings, parse_svg
 from repro.topology.model import Link, LinkEnd, MapSnapshot, Node
+from repro.yamlio.serialize import snapshot_to_yaml
 
 NOW = datetime(2022, 9, 12, tzinfo=timezone.utc)
 
@@ -106,3 +107,27 @@ def test_faithful_mode_matches_accelerated(snapshot):
     fast = parse_svg(svg, MapName.EUROPE, NOW)
     slow = parse_svg(svg, MapName.EUROPE, NOW, accelerated=False)
     assert _signatures(fast.snapshot) == _signatures(slow.snapshot)
+
+
+@given(renderable_snapshots(), st.integers(min_value=0, max_value=5))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_fast_path_yaml_byte_identical_on_rendered_documents(snapshot, seed):
+    """The streaming fast path must be invisible in the dataset.
+
+    For any rendered document, the fused expat pass and the faithful DOM
+    pipeline must serialise to *byte-identical* YAML — and the fast path
+    must actually have run (zero fallbacks), or the equivalence proves
+    nothing.
+    """
+    svg = MapRenderer(seed=seed).render(snapshot)
+    timings = StageTimings()
+    streamed = parse_svg(svg, MapName.EUROPE, NOW, timings=timings)
+    faithful = parse_svg(svg, MapName.EUROPE, NOW, fast_path=False)
+    assert timings.fast_path_hits == 1 and timings.fallbacks == 0
+    assert snapshot_to_yaml(streamed.snapshot) == snapshot_to_yaml(
+        faithful.snapshot
+    )
