@@ -7,13 +7,17 @@ corpus:
 1. ``process`` serial on the streaming fast path (the default), with the
    per-stage wall-time breakdown,
 2. ``process`` serial forced down the faithful DOM path
-   (``fast_path=False``) — the fast-path speedup baseline,
+   (``ParseOptions(fast_path=False)``) — the fast-path speedup baseline,
 3. ``process`` parallel (the engine's process-pool fan-out),
 4. ``process`` incremental (warm manifest re-run — the steady state of a
    collection campaign that only ever appends files),
 5. ``load_all`` serial vs. parallel (both forced down the YAML path),
 6. the columnar index: one ``build_index`` compaction, then ``load_all``
-   served entirely from it.
+   served entirely from it,
+7. ``process`` serial again with the telemetry registry swapped for a
+   :class:`~repro.telemetry.NullRegistry` — the with/without-sink pair
+   that prices the telemetry subsystem itself
+   (``telemetry_overhead_pct``, budget <=2%, CI guard at 5%).
 
 Byte-identical output between the fast-path, DOM-path, and parallel runs
 is asserted, not assumed, and the index-served snapshot list is compared
@@ -42,13 +46,14 @@ from pathlib import Path
 
 from repro.constants import REFERENCE_DATE, MapName, SNAPSHOT_INTERVAL
 from repro.dataset.engine import process_map_parallel
-from repro.parsing.pipeline import StageTimings
+from repro.parsing.pipeline import ParseOptions, StageTimings
 from repro.dataset.index import build_index
 from repro.dataset.loader import load_all
 from repro.dataset.processor import process_map
 from repro.dataset.store import DatasetStore
 from repro.layout.renderer import MapRenderer
 from repro.simulation.network import BackboneSimulator
+from repro.telemetry import MetricsRegistry, NullRegistry, use_registry
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -132,9 +137,36 @@ def main(argv: list[str] | None = None) -> int:
         dom_stats, dom_fps = timed(
             "process serial (DOM path)",
             files,
-            lambda: process_map(store, map_name, fast_path=False),
+            lambda: process_map(
+                store, map_name, options=ParseOptions(fast_path=False)
+            ),
         )
         dom_digest = yaml_tree_digest(store, map_name)
+
+        # Telemetry overhead: the same serial fast-path run under a live
+        # registry vs. a NullRegistry sink.  Both runs are cold (outputs
+        # reset), so the only variable is the metrics subsystem.
+        reset_outputs(store, map_name)
+        with use_registry(MetricsRegistry()):
+            _, telemetry_fps = timed(
+                "process serial (telemetry)",
+                files,
+                lambda: process_map(store, map_name),
+            )
+        telemetry_digest = yaml_tree_digest(store, map_name)
+        reset_outputs(store, map_name)
+        with use_registry(NullRegistry()):
+            _, no_telemetry_fps = timed(
+                "process serial (null sink)",
+                files,
+                lambda: process_map(store, map_name),
+            )
+        no_telemetry_digest = yaml_tree_digest(store, map_name)
+        telemetry_overhead_pct = (
+            (no_telemetry_fps - telemetry_fps) / no_telemetry_fps * 100.0
+            if no_telemetry_fps > 0
+            else 0.0
+        )
 
         reset_outputs(store, map_name)
         # update_index=False isolates the processing cost being measured;
@@ -151,6 +183,8 @@ def main(argv: list[str] | None = None) -> int:
         identical = (
             serial_digest == parallel_digest
             and serial_digest == dom_digest
+            and serial_digest == telemetry_digest
+            and serial_digest == no_telemetry_digest
             and serial_stats.processed == parallel_stats.processed
             and serial_stats.processed == dom_stats.processed
             and serial_stats.unprocessed == parallel_stats.unprocessed
@@ -206,6 +240,8 @@ def main(argv: list[str] | None = None) -> int:
         "generate_fps": round(gen_fps, 2),
         "process_serial_fps": round(serial_fps, 2),
         "process_serial_dom_fps": round(dom_fps, 2),
+        "process_serial_no_telemetry_fps": round(no_telemetry_fps, 2),
+        "telemetry_overhead_pct": round(telemetry_overhead_pct, 2),
         "process_parallel_fps": round(parallel_fps, 2),
         "process_incremental_fps": round(incremental_fps, 2),
         "load_serial_fps": round(load_serial_fps, 2),
@@ -226,6 +262,8 @@ def main(argv: list[str] | None = None) -> int:
     print("\nfast-path stage breakdown (serial run):")
     for stage, seconds in stages.items():
         print(f"  {stage:<10} {seconds:>8.2f} s")
+    print(f"telemetry overhead {report['telemetry_overhead_pct']}% "
+          f"(live registry vs. null sink)")
     print(f"fast path speedup {report['speedup_fast_path']}x over DOM, "
           f"parallel {report['speedup_parallel']}x, "
           f"incremental {report['speedup_incremental']}x, "

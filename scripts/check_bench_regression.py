@@ -12,10 +12,18 @@ meant for comparing two runs on the same host — e.g. the quick-mode run
 inside ``scripts/reproduce_all.sh`` against the repository baseline::
 
     python3 scripts/check_bench_regression.py fresh.json \
-        [--baseline BENCH_throughput.json] [--tolerance 0.20]
+        [--baseline BENCH_throughput.json] [--tolerance 0.20] \
+        [--max-telemetry-overhead 5.0]
 
-Exit status: 0 when no ``*_fps`` key regressed beyond the tolerance,
-1 otherwise (or when either document cannot be read).
+The fresh report's ``telemetry_overhead_pct`` (the benchmark's
+with/without-sink comparison) is additionally checked as an *absolute*
+ceiling: the telemetry subsystem promises <=2% overhead, and the guard
+fails at 5% to leave room for benchmark noise.  A fresh report without
+the key (older benchmark) skips the check.
+
+Exit status: 0 when no ``*_fps`` key regressed beyond the tolerance and
+the telemetry overhead is under its ceiling, 1 otherwise (or when either
+document cannot be read).
 """
 
 from __future__ import annotations
@@ -83,23 +91,48 @@ def main(argv: list[str] | None = None) -> int:
         default=0.20,
         help="maximum allowed relative throughput drop (default: 0.20)",
     )
+    parser.add_argument(
+        "--max-telemetry-overhead",
+        type=float,
+        default=5.0,
+        help="maximum allowed telemetry_overhead_pct in the fresh report "
+        "(absolute percent; default: 5.0)",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_report(args.baseline)
     fresh = load_report(args.fresh)
     regressions = compare(baseline, fresh, args.tolerance)
 
+    failed = False
     checked = len(throughput_keys(baseline).keys() & throughput_keys(fresh).keys())
     if regressions:
+        failed = True
         print(
             f"FAIL: {len(regressions)}/{checked} throughput keys dropped "
             f"more than {args.tolerance:.0%}:"
         )
         for key, before, after, drop in regressions:
             print(f"  {key:<28} {before:>9.2f} -> {after:>9.2f}  (-{drop:.0%})")
-        return 1
-    print(f"OK: {checked} throughput keys within {args.tolerance:.0%} of baseline")
-    return 0
+    else:
+        print(f"OK: {checked} throughput keys within {args.tolerance:.0%} of baseline")
+
+    overhead = fresh.get("telemetry_overhead_pct")
+    if isinstance(overhead, (int, float)):
+        if overhead > args.max_telemetry_overhead:
+            failed = True
+            print(
+                f"FAIL: telemetry overhead {overhead:.2f}% exceeds the "
+                f"{args.max_telemetry_overhead:.1f}% ceiling"
+            )
+        else:
+            print(
+                f"OK: telemetry overhead {overhead:.2f}% within the "
+                f"{args.max_telemetry_overhead:.1f}% ceiling"
+            )
+    else:
+        print("note: fresh report has no telemetry_overhead_pct; skipped")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -29,14 +29,18 @@ python3 benchmarks/bench_throughput_processing.py --quick \
 # Quick mode measures a 120-file corpus against the 520-file committed
 # baseline and shares the host with whatever else runs here, so allow
 # wide variance; the default 20% tolerance is for like-for-like runs.
+# The telemetry with/without-sink overhead from the fresh report is an
+# absolute ceiling (subsystem budget 2%, guard at 5% for noise).
 python3 scripts/check_bench_regression.py "$ARTIFACTS/BENCH_throughput.json" \
-    --tolerance 0.5
+    --tolerance 0.5 --max-telemetry-overhead 5.0
 
 echo "== 3/4 demonstration dataset (1 hour, all four maps) =="
 DATASET="$ARTIFACTS/dataset"
 repro-weather generate "$DATASET" \
     --start 2022-09-11T23:00:00 --end 2022-09-12T00:00:00
-repro-weather process "$DATASET"
+repro-weather process "$DATASET" --metrics-out "$ARTIFACTS/metrics.json"
+repro-weather metrics "$ARTIFACTS/metrics.json" --format prom \
+    --output "$ARTIFACTS/metrics.prom"
 repro-weather validate "$DATASET" --cross-check 0.5
 repro-weather tables "$DATASET" | tee "$ARTIFACTS/tables.txt"
 

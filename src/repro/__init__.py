@@ -11,6 +11,8 @@ The library rebuilds the paper's whole stack:
 * the **dataset substrate** — collection, storage, cataloguing, YAML
   processing (:mod:`repro.dataset`, :mod:`repro.yamlio`),
 * a synthetic **PeeringDB** (:mod:`repro.peeringdb`),
+* an always-on **telemetry registry** — counters, histograms, spans,
+  Prometheus/JSON export (:mod:`repro.telemetry`),
 * the **analysis library** regenerating every table and figure
   (:mod:`repro.analysis`).
 
@@ -25,31 +27,74 @@ Quickstart::
     svg = render_snapshot(snapshot)
     parsed = parse_svg(svg, MapName.EUROPE, snapshot.timestamp)
     assert parsed.snapshot.summary_counts() == snapshot.summary_counts()
+
+Everything listed in ``__all__`` is the **stable public surface**; it
+imports lazily (PEP 562), so ``import repro`` stays cheap — pulling in
+:class:`BackboneSimulator` does not drag the analysis stack along.
+Names living outside ``__all__`` (and anything underscore-prefixed) are
+internal and may change between releases; see the README's
+"Public vs internal API" section.
 """
 
-from repro.constants import (
-    COLLECTION_START,
-    MapName,
-    REFERENCE_DATE,
-    SNAPSHOT_INTERVAL,
-)
-from repro.simulation import BackboneSimulator, SimulationConfig, default_config
-from repro.topology.model import Link, LinkEnd, MapSnapshot, Node, NodeKind
+from __future__ import annotations
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = [
-    "COLLECTION_START",
-    "MapName",
-    "REFERENCE_DATE",
-    "SNAPSHOT_INTERVAL",
-    "BackboneSimulator",
-    "SimulationConfig",
-    "default_config",
-    "Link",
-    "LinkEnd",
-    "MapSnapshot",
-    "Node",
-    "NodeKind",
-    "__version__",
-]
+#: name → (module, attribute) for every lazily exported public name.
+_EXPORTS: dict[str, tuple[str, str]] = {
+    # constants
+    "COLLECTION_START": ("repro.constants", "COLLECTION_START"),
+    "MapName": ("repro.constants", "MapName"),
+    "REFERENCE_DATE": ("repro.constants", "REFERENCE_DATE"),
+    "SNAPSHOT_INTERVAL": ("repro.constants", "SNAPSHOT_INTERVAL"),
+    # simulation
+    "BackboneSimulator": ("repro.simulation", "BackboneSimulator"),
+    "SimulationConfig": ("repro.simulation", "SimulationConfig"),
+    "default_config": ("repro.simulation", "default_config"),
+    # topology model
+    "Link": ("repro.topology.model", "Link"),
+    "LinkEnd": ("repro.topology.model", "LinkEnd"),
+    "MapSnapshot": ("repro.topology.model", "MapSnapshot"),
+    "Node": ("repro.topology.model", "Node"),
+    "NodeKind": ("repro.topology.model", "NodeKind"),
+    # parsing pipeline
+    "ParseOptions": ("repro.parsing.pipeline", "ParseOptions"),
+    "parse_svg": ("repro.parsing.pipeline", "parse_svg"),
+    "parse_svg_file": ("repro.parsing.pipeline", "parse_svg_file"),
+    # dataset substrate
+    "DatasetStore": ("repro.dataset.store", "DatasetStore"),
+    "load_all": ("repro.dataset.loader", "load_all"),
+    "iter_snapshots": ("repro.dataset.loader", "iter_snapshots"),
+    "latest_snapshot": ("repro.dataset.loader", "latest_snapshot"),
+    "process_map": ("repro.dataset.processor", "process_map"),
+    "process_svg_bytes": ("repro.dataset.processor", "process_svg_bytes"),
+    "process_map_parallel": ("repro.dataset.engine", "process_map_parallel"),
+    "validate_dataset": ("repro.dataset.validate", "validate_dataset"),
+    # yaml twins
+    "snapshot_from_yaml": ("repro.yamlio.deserialize", "snapshot_from_yaml"),
+    "snapshot_to_yaml": ("repro.yamlio.serialize", "snapshot_to_yaml"),
+    # telemetry
+    "MetricsRegistry": ("repro.telemetry", "MetricsRegistry"),
+    "get_registry": ("repro.telemetry", "get_registry"),
+    "use_registry": ("repro.telemetry", "use_registry"),
+    "snapshot_to_prometheus": ("repro.telemetry", "snapshot_to_prometheus"),
+}
+
+__all__ = sorted([*_EXPORTS, "__version__"])
+
+
+def __getattr__(name: str):
+    """Resolve a public name on first touch (PEP 562 lazy export)."""
+    try:
+        module_name, attribute = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(module_name), attribute)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

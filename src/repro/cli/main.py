@@ -9,6 +9,11 @@ Subcommands::
     tables     print Table 1 and Table 2 for a dataset directory
     render     render one snapshot SVG to stdout or a file
     upgrade    replay the Figure 6 case study
+    metrics    render a saved telemetry snapshot (Prometheus or JSON)
+
+``process``, ``index build``, and ``export`` accept ``--metrics-out PATH``
+to dump the run's telemetry registry as a JSON snapshot, which ``metrics``
+renders back in either exposition format.
 """
 
 from __future__ import annotations
@@ -30,8 +35,10 @@ from repro.dataset.processor import process_map
 from repro.dataset.store import DatasetStore
 from repro.dataset.summary import build_table1, build_table2, format_table1, format_table2
 from repro.layout.renderer import MapRenderer
+from repro.parsing.pipeline import ParseOptions
 from repro.peeringdb.feed import SyntheticPeeringDB
 from repro.simulation.network import BackboneSimulator
+from repro.telemetry import get_registry, write_metrics_file
 from repro.yamlio.deserialize import snapshot_from_yaml
 
 
@@ -55,6 +62,14 @@ def _workers_argument(text: str) -> int | str:
             f"workers must be >= 0 (0 or 'auto' = one per CPU core), got {workers}"
         )
     return workers
+
+
+def _maybe_write_metrics(args: argparse.Namespace) -> None:
+    """Honour ``--metrics-out`` by snapshotting the active registry."""
+    path = getattr(args, "metrics_out", None)
+    if path:
+        write_metrics_file(Path(path), get_registry())
+        print(f"wrote metrics to {path}", file=sys.stderr)
 
 
 def _map_argument(text: str) -> MapName:
@@ -93,6 +108,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_process(args: argparse.Namespace) -> int:
     """Run SVG→YAML extraction over a dataset directory."""
     store = DatasetStore(args.dataset)
+    options = ParseOptions(fast_path=args.fast_path)
     for map_name in MapName:
         stats = process_map(
             store,
@@ -100,7 +116,7 @@ def cmd_process(args: argparse.Namespace) -> int:
             strict=args.strict,
             overwrite=args.overwrite,
             workers=args.workers,
-            fast_path=args.fast_path,
+            options=options,
         )
         if stats.total == 0:
             continue
@@ -109,6 +125,7 @@ def cmd_process(args: argparse.Namespace) -> int:
             f"{map_name.value:<15} processed {stats.processed:>6} "
             f"unprocessed {stats.unprocessed:>4} {('(' + causes + ')') if causes else ''}"
         )
+    _maybe_write_metrics(args)
     return 0
 
 
@@ -141,6 +158,7 @@ def cmd_index_build(args: argparse.Namespace) -> int:
             f"{stats.unreadable} unreadable, {stats.removed} removed) "
             f"{stats.bytes_written / 1024:>9.1f} KiB in {elapsed:.2f} s"
         )
+    _maybe_write_metrics(args)
     if not built_any:
         print("no processed snapshots to index", file=sys.stderr)
         return 1
@@ -461,6 +479,7 @@ def cmd_export(args: argparse.Namespace) -> int:
             f"wrote {len(snapshots)} {args.format} files "
             f"({total / 1024:.1f} KiB) to {target}"
         )
+        _maybe_write_metrics(args)
         return 0
     snapshot = latest_snapshot(store, args.map)
     if snapshot is None:
@@ -469,6 +488,33 @@ def cmd_export(args: argparse.Namespace) -> int:
     text = export(snapshot, args.output)
     if args.output:
         print(f"wrote {args.output} ({len(text) / 1024:.1f} KiB)")
+    else:
+        sys.stdout.write(text)
+    _maybe_write_metrics(args)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Render a saved metrics snapshot as Prometheus exposition or JSON."""
+    from repro.errors import TelemetryError
+    from repro.telemetry import (
+        read_snapshot_file,
+        snapshot_to_json,
+        snapshot_to_prometheus,
+    )
+
+    try:
+        snapshot = read_snapshot_file(args.snapshot)
+    except TelemetryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.format == "prom":
+        text = snapshot_to_prometheus(snapshot)
+    else:
+        text = snapshot_to_json(snapshot)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}")
     else:
         sys.stdout.write(text)
     return 0
@@ -514,6 +560,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="force the faithful DOM parse instead of the fused streaming "
         "pass (identical output; for timing comparisons and debugging)",
     )
+    process.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's telemetry as a JSON snapshot to this path",
+    )
     process.set_defaults(handler=cmd_process)
 
     index = subparsers.add_parser(
@@ -536,6 +588,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for parsing new YAML files "
         "(default: serial; 0 or 'auto' means one per CPU core)",
+    )
+    index_build.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's telemetry as a JSON snapshot to this path",
     )
     index_build.set_defaults(handler=cmd_index_build)
     index_status_parser = index_sub.add_parser(
@@ -614,6 +672,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for loading the series with --output-dir "
         "(default: serial; 0 or 'auto' means one per CPU core)",
     )
+    export.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's telemetry as a JSON snapshot to this path",
+    )
     export.set_defaults(handler=cmd_export)
 
     changelog = subparsers.add_parser(
@@ -646,6 +710,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of snapshots to re-extract from SVG (default 0.1)",
     )
     validate.set_defaults(handler=cmd_validate)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="render a saved telemetry snapshot"
+    )
+    metrics.add_argument("snapshot", help="JSON snapshot written by --metrics-out")
+    metrics.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="Prometheus text exposition (default) or structured JSON",
+    )
+    metrics.add_argument("--output", default=None, help="write here instead of stdout")
+    metrics.set_defaults(handler=cmd_metrics)
 
     report = subparsers.add_parser(
         "report", help="write a markdown + charts report for a dataset"

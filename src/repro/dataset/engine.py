@@ -15,6 +15,16 @@ orthogonal ways while reproducing the serial accounting *exactly*:
   identical :class:`~repro.dataset.processor.ProcessingStats` (including
   the ``failure_causes`` Counter the Table 2 breakdown needs).
 
+* **Telemetry fan-in** — each pool task runs under a private
+  :class:`~repro.telemetry.MetricsRegistry` and ships its snapshot back
+  alongside the batch results; the parent merges every snapshot into the
+  active registry, so a parallel run's counters (files processed/failed,
+  fast-path hits, per-stage histograms) total exactly what a serial run
+  over the same corpus produces.  Parent-side work adds its own series:
+  ``repro_manifest_lookups_total{map,outcome}`` for the skip cache,
+  ``repro_engine_batch_seconds`` for worker batch wall time, and
+  ``repro_process_run_seconds{mode="parallel"}`` for the whole map.
+
 * **Incremental manifest** — a per-map ``manifest.json`` in the
   :class:`~repro.dataset.store.DatasetStore` records, per processed SVG,
   the content hash, a cheap ``(size, mtime_ns)`` fast key, the parser
@@ -40,11 +50,12 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.constants import MapName
-from repro.dataset.processor import ProcessingStats, process_svg_bytes
+from repro.dataset.processor import ProcessingStats, file_metrics, process_svg_bytes
 from repro.dataset.store import DatasetStore, SnapshotRef, format_timestamp
 from repro.dataset.workers import AUTO_WORKERS, default_workers, resolve_workers
 from repro.errors import DatasetError
-from repro.parsing.pipeline import PARSER_VERSION
+from repro.parsing.pipeline import PARSER_VERSION, ParseOptions, resolve_parse_options
+from repro.telemetry import MetricsRegistry, get_registry, use_registry
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
@@ -161,37 +172,46 @@ def _process_batch(
     map_value: str,
     strict: bool,
     items: Sequence[tuple[str, str]],
-    fast_path: bool = True,
-) -> list[_WorkerResult]:
+    options: ParseOptions = ParseOptions(),
+) -> tuple[list[_WorkerResult], dict]:
     """Pool worker: read, hash, and extract one batch of SVG files.
 
     ``items`` are ``(timestamp_iso, path)`` pairs; results come back in the
     same order, which is what lets the parent merge deterministically.
+    The batch runs under a private metrics registry whose snapshot
+    travels back with the results — the parent merges it, so nothing the
+    workers observe (stage timings, fast-path hits, failure causes) is
+    lost to process isolation.
     """
     map_name = MapName(map_value)
     results: list[_WorkerResult] = []
-    for stamp_iso, path_text in items:
-        path = Path(path_text)
-        data = path.read_bytes()
-        stat = path.stat()
-        outcome = process_svg_bytes(
-            data,
-            map_name,
-            datetime.fromisoformat(stamp_iso),
-            strict=strict,
-            fast_path=fast_path,
-        )
-        results.append(
-            _WorkerResult(
-                yaml_text=outcome.yaml_text,
-                failure_cause=outcome.failure_cause,
-                failure_message=outcome.failure_message,
-                sha256=hashlib.sha256(data).hexdigest(),
-                size=stat.st_size,
-                mtime_ns=stat.st_mtime_ns,
-            )
-        )
-    return results
+    local = MetricsRegistry()
+    with use_registry(local):
+        with local.span(
+            "repro_engine_batch", "Worker batch wall time", map=map_value
+        ):
+            for stamp_iso, path_text in items:
+                path = Path(path_text)
+                data = path.read_bytes()
+                stat = path.stat()
+                outcome = process_svg_bytes(
+                    data,
+                    map_name,
+                    datetime.fromisoformat(stamp_iso),
+                    strict=strict,
+                    options=options,
+                )
+                results.append(
+                    _WorkerResult(
+                        yaml_text=outcome.yaml_text,
+                        failure_cause=outcome.failure_cause,
+                        failure_message=outcome.failure_message,
+                        sha256=hashlib.sha256(data).hexdigest(),
+                        size=stat.st_size,
+                        mtime_ns=stat.st_mtime_ns,
+                    )
+                )
+    return results, local.snapshot()
 
 
 def _chunked(refs: Sequence[SnapshotRef], size: int) -> Iterable[Sequence[SnapshotRef]]:
@@ -225,6 +245,8 @@ def _apply_result(
         stats.processed += 1
         stats.yaml_bytes += written.size_bytes
         entry.yaml_bytes = written.size_bytes
+        _, _, yaml_bytes_counter = file_metrics()
+        yaml_bytes_counter.inc(written.size_bytes, map=ref.map_name.value)
     manifest.entries[format_timestamp(ref.timestamp)] = entry
 
 
@@ -247,7 +269,9 @@ def process_map_parallel(
     overwrite: bool = False,
     use_manifest: bool = True,
     update_index: bool = True,
-    fast_path: bool = True,
+    options: ParseOptions | None = None,
+    *,
+    fast_path: bool | None = None,
 ) -> ProcessingStats:
     """Process one map's SVGs into YAML twins — in parallel, incrementally.
 
@@ -273,15 +297,34 @@ def process_map_parallel(
             the manifest); ``overwrite`` rebuilds it from scratch, and a
             :data:`~repro.parsing.pipeline.PARSER_VERSION` bump discards
             it — exactly the YAML skip-cache's invalidation rules.
-        fast_path: fused streaming parse in the workers (identical
-            output; automatic DOM fallback per document).
+        options: parse configuration shipped (pickled) to every worker.
+        fast_path: deprecated — use ``options=ParseOptions(fast_path=...)``.
 
     Returns:
         Per-map counts mirroring a Table 2 row.
     """
+    opts = resolve_parse_options(options, fast_path=fast_path)
     workers = resolve_workers(workers, default=AUTO_WORKERS)
     if chunk_size < 1:
         raise DatasetError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    registry = get_registry()
+    files, _, _ = file_metrics(registry)
+    manifest_lookups = registry.counter(
+        "repro_manifest_lookups_total",
+        "Manifest skip-cache lookups by outcome (hit = file skipped)",
+    )
+    registry.histogram("repro_engine_batch_seconds", "Worker batch wall time")
+    run_span = registry.span(
+        "repro_process_run",
+        "Whole-map SVG→YAML run wall time",
+        map=map_name.value,
+        mode="parallel",
+    )
+    # Materialise both outcomes so a fully-cached (or cache-less) run still
+    # exports the family with explicit zeros.
+    manifest_lookups.inc(0, map=map_name.value, outcome="hit")
+    manifest_lookups.inc(0, map=map_name.value, outcome="miss")
 
     manifest_path = store.manifest_path(map_name)
     manifest = Manifest.load(manifest_path) if use_manifest else Manifest()
@@ -289,48 +332,53 @@ def process_map_parallel(
         manifest.entries.clear()
 
     stats = ProcessingStats(map_name=map_name)
-    pending: list[SnapshotRef] = []
-    for ref in store.iter_refs(map_name, "svg"):
-        entry = manifest.entries.get(format_timestamp(ref.timestamp))
-        if entry is not None and entry.matches_stat(ref.path.stat()):
-            _skip_from_manifest(stats, entry)
-            continue
-        pending.append(ref)
-    skipped = stats.total
+    with run_span:
+        pending: list[SnapshotRef] = []
+        for ref in store.iter_refs(map_name, "svg"):
+            entry = manifest.entries.get(format_timestamp(ref.timestamp))
+            if entry is not None and entry.matches_stat(ref.path.stat()):
+                _skip_from_manifest(stats, entry)
+                manifest_lookups.inc(1, map=map_name.value, outcome="hit")
+                files.inc(1, map=map_name.value, outcome="skipped")
+                continue
+            manifest_lookups.inc(1, map=map_name.value, outcome="miss")
+            pending.append(ref)
+        skipped = stats.total
 
-    if pending:
-        batches = list(_chunked(pending, chunk_size))
-        if workers == 1:
-            result_batches = (
-                _process_batch(
-                    map_name.value,
-                    strict,
-                    [(ref.timestamp.isoformat(), str(ref.path)) for ref in batch],
-                    fast_path,
+        if pending:
+            batches = list(_chunked(pending, chunk_size))
+            if workers == 1:
+                result_batches = (
+                    _process_batch(
+                        map_name.value,
+                        strict,
+                        [(ref.timestamp.isoformat(), str(ref.path)) for ref in batch],
+                        opts,
+                    )
+                    for batch in batches
                 )
-                for batch in batches
-            )
-        else:
-            executor = ProcessPoolExecutor(max_workers=min(workers, len(batches)))
-            futures = [
-                executor.submit(
-                    _process_batch,
-                    map_name.value,
-                    strict,
-                    [(ref.timestamp.isoformat(), str(ref.path)) for ref in batch],
-                    fast_path,
-                )
-                for batch in batches
-            ]
-            result_batches = (future.result() for future in futures)
-        try:
-            # Submission order == ref order, so the merge is deterministic.
-            for batch, results in zip(batches, result_batches):
-                for ref, result in zip(batch, results):
-                    _apply_result(store, manifest, stats, ref, result)
-        finally:
-            if workers != 1:
-                executor.shutdown()
+            else:
+                executor = ProcessPoolExecutor(max_workers=min(workers, len(batches)))
+                futures = [
+                    executor.submit(
+                        _process_batch,
+                        map_name.value,
+                        strict,
+                        [(ref.timestamp.isoformat(), str(ref.path)) for ref in batch],
+                        opts,
+                    )
+                    for batch in batches
+                ]
+                result_batches = (future.result() for future in futures)
+            try:
+                # Submission order == ref order, so the merge is deterministic.
+                for batch, (results, worker_snapshot) in zip(batches, result_batches):
+                    registry.merge(worker_snapshot)
+                    for ref, result in zip(batch, results):
+                        _apply_result(store, manifest, stats, ref, result)
+            finally:
+                if workers != 1:
+                    executor.shutdown()
 
     if use_manifest:
         manifest.save(manifest_path)
@@ -366,9 +414,12 @@ def process_all_parallel(
     strict: bool = False,
     overwrite: bool = False,
     update_index: bool = True,
-    fast_path: bool = True,
+    options: ParseOptions | None = None,
+    *,
+    fast_path: bool | None = None,
 ) -> dict[MapName, ProcessingStats]:
     """Run :func:`process_map_parallel` over several maps, one shared config."""
+    opts = resolve_parse_options(options, fast_path=fast_path)
     results: dict[MapName, ProcessingStats] = {}
     for map_name in maps if maps is not None else list(MapName):
         results[map_name] = process_map_parallel(
@@ -379,6 +430,6 @@ def process_all_parallel(
             strict=strict,
             overwrite=overwrite,
             update_index=update_index,
-            fast_path=fast_path,
+            options=opts,
         )
     return results

@@ -70,6 +70,7 @@ from dataclasses import dataclass
 from datetime import datetime, timezone
 from itertools import accumulate
 from pathlib import Path
+from time import perf_counter
 from typing import Callable, Iterator, Sequence
 
 from repro.constants import MapName
@@ -77,6 +78,7 @@ from repro.dataset.store import DatasetStore, SnapshotRef
 from repro.dataset.workers import resolve_workers
 from repro.errors import SchemaError, SnapshotIndexError
 from repro.parsing.pipeline import PARSER_VERSION
+from repro.telemetry import get_registry
 from repro.topology.model import Link, LinkEnd, MapSnapshot, Node, NodeKind
 from repro.yamlio.deserialize import snapshot_from_yaml
 
@@ -542,7 +544,11 @@ def load_index(store: DatasetStore, map_name: MapName) -> SnapshotIndex | None:
     if not path.exists():
         return None
     try:
-        index = SnapshotIndex.load(path)
+        with get_registry().span(
+            "repro_index_load", "Columnar index file load wall time",
+            map=map_name.value,
+        ):
+            index = SnapshotIndex.load(path)
     except SnapshotIndexError as exc:
         logger.warning("ignoring unusable snapshot index: %s", exc)
         return None
@@ -558,10 +564,17 @@ def fresh_index(store: DatasetStore, map_name: MapName) -> SnapshotIndex | None:
     """The map's index, but only if it exactly matches the live YAML tree.
 
     Stale, corrupt, absent, or parser-version-skewed indexes all come back
-    as ``None`` — the caller falls back to parsing YAML.
+    as ``None`` — the caller falls back to parsing YAML.  Every call
+    lands in ``repro_index_cache_total{map,outcome}`` as a hit (fresh
+    index served) or a miss (any fallback-to-YAML reason).
     """
+    cache = get_registry().counter(
+        "repro_index_cache_total",
+        "Snapshot-index freshness checks by outcome (hit = index served)",
+    )
     index = load_index(store, map_name)
     if index is None:
+        cache.inc(1, map=map_name.value, outcome="miss")
         return None
     if index.parser_version != PARSER_VERSION:
         logger.info(
@@ -570,9 +583,12 @@ def fresh_index(store: DatasetStore, map_name: MapName) -> SnapshotIndex | None:
             index.parser_version,
             PARSER_VERSION,
         )
+        cache.inc(1, map=map_name.value, outcome="miss")
         return None
     if not index.fresh_for(list(store.iter_refs(map_name, "yaml"))):
+        cache.inc(1, map=map_name.value, outcome="miss")
         return None
+    cache.inc(1, map=map_name.value, outcome="hit")
     return index
 
 
@@ -611,6 +627,15 @@ def build_index(
     Returns:
         The saved index and the build accounting.
     """
+    registry = get_registry()
+    rows_counter = registry.counter(
+        "repro_index_rows_total",
+        "Index build rows by outcome (parsed, reused, unreadable, removed)",
+    )
+    build_seconds = registry.histogram(
+        "repro_index_build_seconds", "Index build wall time"
+    )
+    build_started = perf_counter()
     refs = list(store.iter_refs(map_name, "yaml"))
     previous: SnapshotIndex | None = None
     if not rebuild:
@@ -708,6 +733,9 @@ def build_index(
     if previous is not None:
         stats.removed = max(0, len(previous) - stats.reused)
     stats.bytes_written = index.save(store.index_path(map_name))
+    build_seconds.observe(perf_counter() - build_started, map=map_name.value)
+    for outcome in ("parsed", "reused", "unreadable", "removed"):
+        rows_counter.inc(getattr(stats, outcome), map=map_name.value, outcome=outcome)
     logger.info(
         "indexed %s: %d rows (%d parsed, %d reused, %d unreadable, %d removed)",
         map_name.value,

@@ -34,10 +34,19 @@ from repro.dataset.index import SnapshotIndex, fresh_index
 from repro.dataset.store import DatasetStore, SnapshotRef
 from repro.dataset.workers import resolve_workers
 from repro.errors import SchemaError
+from repro.telemetry import get_registry
 from repro.topology.model import MapSnapshot
 from repro.yamlio.deserialize import snapshot_from_yaml
 
 logger = logging.getLogger(__name__)
+
+
+def _loaded_counter():
+    """Snapshots served to callers, labelled by map and serving tier."""
+    return get_registry().counter(
+        "repro_snapshots_loaded_total",
+        "Snapshots served to callers by source tier (index or yaml)",
+    )
 
 
 def iter_snapshots(
@@ -65,10 +74,13 @@ def iter_snapshots(
         One :class:`MapSnapshot` per readable YAML file, stamped with the
         file's timestamp (authoritative over the document's own field).
     """
+    loaded = _loaded_counter()
     if use_index:
         index = fresh_index(store, map_name)
         if index is not None:
-            yield from _iter_from_index(store, index, start, end, on_error)
+            for snapshot in _iter_from_index(store, index, start, end, on_error):
+                loaded.inc(1, map=map_name.value, source="index")
+                yield snapshot
             return
     for ref in _refs_in_window(store, map_name, start, end):
         try:
@@ -79,6 +91,7 @@ def iter_snapshots(
             on_error(ref, exc)
             continue
         snapshot.timestamp = ref.timestamp
+        loaded.inc(1, map=map_name.value, source="yaml")
         yield snapshot
 
 
@@ -92,11 +105,13 @@ def latest_snapshot(
     ``on_error`` philosophy, unreadable trailing files are skipped (with a
     warning) and the loader walks back to the newest snapshot that parses.
     """
+    loaded = _loaded_counter()
     if use_index:
         index = fresh_index(store, map_name)
         if index is not None:
             if len(index) == 0:
                 return None
+            loaded.inc(1, map=map_name.value, source="index")
             return index.snapshot(len(index) - 1)
     refs = list(store.iter_refs(map_name, "yaml"))
     for ref in reversed(refs):
@@ -106,6 +121,7 @@ def latest_snapshot(
             logger.warning("skipping unreadable %s: %s", ref.path.name, exc)
             continue
         snapshot.timestamp = ref.timestamp
+        loaded.inc(1, map=map_name.value, source="yaml")
         return snapshot
     return None
 
@@ -133,42 +149,50 @@ def load_all(
             the index path ignores ``workers`` (it is faster than any
             pool).  Results are equal to the YAML path's.
     """
-    if use_index:
-        index = fresh_index(store, map_name)
-        if index is not None:
-            return list(_iter_from_index(store, index, start, end, on_error))
-    effective_workers = resolve_workers(workers)
-    if effective_workers <= 1:
-        return list(
-            iter_snapshots(
-                store, map_name, start=start, end=end, on_error=on_error,
-                use_index=False,
+    registry = get_registry()
+    loaded = _loaded_counter()
+    with registry.span(
+        "repro_load_all", "load_all wall time", map=map_name.value
+    ):
+        if use_index:
+            index = fresh_index(store, map_name)
+            if index is not None:
+                snapshots = list(_iter_from_index(store, index, start, end, on_error))
+                loaded.inc(len(snapshots), map=map_name.value, source="index")
+                return snapshots
+        effective_workers = resolve_workers(workers)
+        if effective_workers <= 1:
+            return list(
+                iter_snapshots(
+                    store, map_name, start=start, end=end, on_error=on_error,
+                    use_index=False,
+                )
             )
-        )
-    refs = list(_refs_in_window(store, map_name, start, end))
-    if not refs:
-        return []
-    snapshots: list[MapSnapshot] = []
-    chunksize = max(1, len(refs) // (effective_workers * 4))
-    with ProcessPoolExecutor(
-        max_workers=min(effective_workers, len(refs))
-    ) as executor:
-        # executor.map preserves input order, so the output stays sorted.
-        for ref, (snapshot, error_message) in zip(
-            refs,
-            executor.map(
-                _deserialize_file, [str(ref.path) for ref in refs], chunksize=chunksize
-            ),
-        ):
-            if snapshot is None:
-                exc = SchemaError(error_message)
-                if on_error is None:
-                    raise exc
-                on_error(ref, exc)
-                continue
-            snapshot.timestamp = ref.timestamp
-            snapshots.append(snapshot)
-    return snapshots
+        refs = list(_refs_in_window(store, map_name, start, end))
+        if not refs:
+            return []
+        snapshots = []
+        chunksize = max(1, len(refs) // (effective_workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=min(effective_workers, len(refs))
+        ) as executor:
+            # executor.map preserves input order, so the output stays sorted.
+            for ref, (snapshot, error_message) in zip(
+                refs,
+                executor.map(
+                    _deserialize_file, [str(ref.path) for ref in refs], chunksize=chunksize
+                ),
+            ):
+                if snapshot is None:
+                    exc = SchemaError(error_message)
+                    if on_error is None:
+                        raise exc
+                    on_error(ref, exc)
+                    continue
+                snapshot.timestamp = ref.timestamp
+                snapshots.append(snapshot)
+        loaded.inc(len(snapshots), map=map_name.value, source="yaml")
+        return snapshots
 
 
 def _iter_from_index(

@@ -11,6 +11,13 @@ bytes in → YAML text or a typed failure out) so the parallel engine in
 :mod:`repro.dataset.engine` can ship it to worker processes and still
 merge results into the exact same :class:`ProcessingStats` a serial run
 produces.
+
+Every outcome also lands in the active metrics registry
+(:mod:`repro.telemetry`): ``repro_files_total{map,outcome}`` counts
+processed / failed / skipped files, ``repro_failures_total{map,cause}``
+breaks failures down by typed cause, and ``repro_yaml_bytes_total{map}``
+tracks output volume — Table 2 as live counters instead of a return
+value that dies with the run.
 """
 
 from __future__ import annotations
@@ -25,10 +32,39 @@ from time import perf_counter
 from repro.constants import MapName
 from repro.errors import ParseError, SvgError
 from repro.dataset.store import DatasetStore
-from repro.parsing.pipeline import StageTimings, parse_svg
+from repro.parsing.pipeline import (
+    ParseOptions,
+    StageTimings,
+    observe_stage,
+    parse_svg,
+    resolve_parse_options,
+)
+from repro.telemetry import get_registry
 from repro.yamlio.serialize import snapshot_to_yaml
 
 logger = logging.getLogger(__name__)
+
+
+def file_metrics(registry=None):
+    """The per-file outcome instruments, pre-registered on ``registry``.
+
+    Shared by the serial loop here and the parallel engine, so both
+    paths produce the same metric families and series names.
+    """
+    registry = registry if registry is not None else get_registry()
+    return (
+        registry.counter(
+            "repro_files_total",
+            "SVG files by processing outcome (processed, failed, skipped)",
+        ),
+        registry.counter(
+            "repro_failures_total",
+            "Unprocessable SVG files by typed failure cause",
+        ),
+        registry.counter(
+            "repro_yaml_bytes_total", "Bytes of YAML produced"
+        ),
+    )
 
 
 @dataclass
@@ -76,7 +112,9 @@ def process_svg_bytes(
     map_name: MapName,
     timestamp: datetime,
     strict: bool = False,
-    fast_path: bool = True,
+    options: ParseOptions | None = None,
+    *,
+    fast_path: bool | None = None,
     timings: StageTimings | None = None,
 ) -> ProcessOutcome:
     """Extract one SVG document into its YAML twin — pure and picklable.
@@ -87,31 +125,37 @@ def process_svg_bytes(
     key the Table 2 accounting uses.
 
     Args:
-        fast_path: fused streaming parse with automatic DOM fallback
-            (identical output either way; False forces the faithful path).
+        options: parse configuration (fast path, attribution, threshold).
+        fast_path: deprecated — use ``options=ParseOptions(fast_path=...)``.
         timings: accumulate per-stage wall time, including the YAML
             emission this function adds on top of :func:`parse_svg`.
     """
+    opts = resolve_parse_options(options, fast_path=fast_path)
+    files, failures, _ = file_metrics()
     try:
         parsed = parse_svg(
             data,
             map_name=map_name,
             timestamp=timestamp,
             strict=strict,
-            fast_path=fast_path,
+            options=opts,
             timings=timings,
         )
     except (SvgError, ParseError) as exc:
+        files.inc(1, map=map_name.value, outcome="failed")
+        failures.inc(1, map=map_name.value, cause=type(exc).__name__)
         return ProcessOutcome(
             yaml_text=None,
             failure_cause=type(exc).__name__,
             failure_message=str(exc),
         )
-    if timings is None:
-        return ProcessOutcome(yaml_text=snapshot_to_yaml(parsed.snapshot))
     started = perf_counter()
     text = snapshot_to_yaml(parsed.snapshot)
-    timings.add("serialize", perf_counter() - started)
+    elapsed = perf_counter() - started
+    observe_stage("serialize", elapsed)
+    if timings is not None:
+        timings.add("serialize", elapsed)
+    files.inc(1, map=map_name.value, outcome="processed")
     return ProcessOutcome(yaml_text=text)
 
 
@@ -121,7 +165,9 @@ def process_map(
     strict: bool = False,
     overwrite: bool = False,
     workers: int | str | None = None,
-    fast_path: bool = True,
+    options: ParseOptions | None = None,
+    *,
+    fast_path: bool | None = None,
     timings: StageTimings | None = None,
 ) -> ProcessingStats:
     """Process every stored SVG of one map into its YAML twin.
@@ -137,13 +183,16 @@ def process_map(
             maintains the incremental manifest and the columnar snapshot
             index).  ``None`` or ``1`` keeps the simple serial loop
             below; ``0`` or ``"auto"`` means one worker per CPU core.
-        fast_path: fused streaming parse with automatic DOM fallback.
+        options: parse configuration shared by every file.
+        fast_path: deprecated — use ``options=ParseOptions(fast_path=...)``.
         timings: accumulate per-stage wall time over the run (serial loop
-            only — worker-process timings cannot be merged back).
+            only — worker-process timings travel through the telemetry
+            registry instead).
 
     Returns:
         Per-map counts mirroring a Table 2 row.
     """
+    opts = resolve_parse_options(options, fast_path=fast_path)
     if workers is not None and workers != 1:
         from repro.dataset.engine import process_map_parallel
 
@@ -153,36 +202,46 @@ def process_map(
             workers=workers,
             strict=strict,
             overwrite=overwrite,
-            fast_path=fast_path,
+            options=opts,
         )
+    registry = get_registry()
+    files, _, yaml_bytes_counter = file_metrics(registry)
     stats = ProcessingStats(map_name=map_name)
-    for ref in store.iter_refs(map_name, "svg"):
-        yaml_path = store.path_for(map_name, ref.timestamp, "yaml")
-        if yaml_path.exists() and not overwrite:
-            stats.processed += 1
-            stats.yaml_bytes += yaml_path.stat().st_size
-            continue
-        outcome = process_svg_bytes(
-            ref.path.read_bytes(),
-            map_name,
-            ref.timestamp,
-            strict=strict,
-            fast_path=fast_path,
-            timings=timings,
-        )
-        if not outcome.ok:
-            stats.unprocessed += 1
-            stats.failure_causes[outcome.failure_cause] += 1
-            logger.warning(
-                "unprocessable %s (%s: %s)",
-                ref.path.name,
-                outcome.failure_cause,
-                outcome.failure_message,
+    with registry.span(
+        "repro_process_run",
+        "Whole-map SVG→YAML run wall time",
+        map=map_name.value,
+        mode="serial",
+    ):
+        for ref in store.iter_refs(map_name, "svg"):
+            yaml_path = store.path_for(map_name, ref.timestamp, "yaml")
+            if yaml_path.exists() and not overwrite:
+                stats.processed += 1
+                stats.yaml_bytes += yaml_path.stat().st_size
+                files.inc(1, map=map_name.value, outcome="skipped")
+                continue
+            outcome = process_svg_bytes(
+                ref.path.read_bytes(),
+                map_name,
+                ref.timestamp,
+                strict=strict,
+                options=opts,
+                timings=timings,
             )
-            continue
-        written = store.write(map_name, ref.timestamp, "yaml", outcome.yaml_text)
-        stats.processed += 1
-        stats.yaml_bytes += written.size_bytes
+            if not outcome.ok:
+                stats.unprocessed += 1
+                stats.failure_causes[outcome.failure_cause] += 1
+                logger.warning(
+                    "unprocessable %s (%s: %s)",
+                    ref.path.name,
+                    outcome.failure_cause,
+                    outcome.failure_message,
+                )
+                continue
+            written = store.write(map_name, ref.timestamp, "yaml", outcome.yaml_text)
+            stats.processed += 1
+            stats.yaml_bytes += written.size_bytes
+            yaml_bytes_counter.inc(written.size_bytes, map=map_name.value)
     logger.info(
         "processed %s: %d ok, %d unprocessable",
         map_name.value,

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from repro.constants import MapName
 from repro.dataset.store import DatasetStore
 from repro.errors import ParseError, ReproError, SchemaError, SvgError
-from repro.parsing.pipeline import parse_svg
+from repro.parsing.pipeline import ParseOptions, parse_svg, resolve_parse_options
 from repro.rng import stable_uniform
 from repro.topology.graph import isolated_routers
 from repro.yamlio.deserialize import snapshot_from_yaml
@@ -95,7 +95,9 @@ def validate_map(
     map_name: MapName,
     cross_check_fraction: float = 0.1,
     seed: int = 0,
-    fast_path: bool = True,
+    options: ParseOptions | None = None,
+    *,
+    fast_path: bool | None = None,
 ) -> ValidationReport:
     """Validate one map's stored files.
 
@@ -105,9 +107,11 @@ def validate_map(
         cross_check_fraction: deterministic fraction of snapshots whose
             SVG is re-extracted and compared to the stored YAML.
         seed: selects which snapshots get cross-checked.
-        fast_path: fused streaming parse for the cross-check re-extraction
-            (identical results; False forces the faithful DOM path).
+        options: parse configuration for the cross-check re-extraction
+            (the fast and DOM paths produce identical results).
+        fast_path: deprecated — use ``options=ParseOptions(fast_path=...)``.
     """
+    opts = resolve_parse_options(options, fast_path=fast_path)
     report = ValidationReport(map_name=map_name)
     svg_stamps = set(store.timestamps(map_name, "svg"))
     report.svg_files = len(svg_stamps)
@@ -143,7 +147,7 @@ def validate_map(
                     store.read_bytes(map_name, ref.timestamp, "svg"),
                     map_name=map_name,
                     timestamp=ref.timestamp,
-                    fast_path=fast_path,
+                    options=opts,
                 )
             except (SvgError, ParseError) as exc:
                 report.cross_check_failures += 1
@@ -168,9 +172,12 @@ def validate_dataset(
     store: DatasetStore,
     cross_check_fraction: float = 0.1,
     seed: int = 0,
-    fast_path: bool = True,
+    options: ParseOptions | None = None,
+    *,
+    fast_path: bool | None = None,
 ) -> dict[MapName, ValidationReport]:
     """Validate every map present in the dataset."""
+    opts = resolve_parse_options(options, fast_path=fast_path)
     reports: dict[MapName, ValidationReport] = {}
     for map_name in MapName:
         report = validate_map(
@@ -178,7 +185,7 @@ def validate_dataset(
             map_name,
             cross_check_fraction=cross_check_fraction,
             seed=seed,
-            fast_path=fast_path,
+            options=opts,
         )
         if report.yaml_files or report.svg_files:
             reports[map_name] = report

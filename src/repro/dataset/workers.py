@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import os
 
-from repro.errors import DatasetError
+from repro.errors import WorkerCountError
 
 #: The sentinel accepted everywhere a worker count is: one worker per core.
 AUTO_WORKERS = "auto"
@@ -39,18 +39,32 @@ def resolve_workers(workers: int | str | None, default: int | str = 1) -> int:
         it entirely.
 
     Raises:
-        DatasetError: for negative counts or unrecognised strings.
+        WorkerCountError: for counts below 1 (other than the ``0`` /
+            ``"auto"`` sentinel), non-integral counts, or unrecognised
+            strings.  Also a :class:`ValueError`, so argument-validating
+            callers catch it naturally.  A negative count must never
+            reach :class:`~concurrent.futures.ProcessPoolExecutor`,
+            which would only reject it with an opaque message — or,
+            after a ``min()`` against a batch count, silently spawn the
+            wrong pool.
     """
     if workers is None:
         workers = default
     if isinstance(workers, str):
         if workers != AUTO_WORKERS:
-            raise DatasetError(
+            raise WorkerCountError(
                 f"workers must be a count, 0, or {AUTO_WORKERS!r}; got {workers!r}"
             )
         workers = 0
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise WorkerCountError(
+            f"workers must be an int, 0, or {AUTO_WORKERS!r}; got {workers!r}"
+        )
     if workers < 0:
-        raise DatasetError(f"workers must be >= 0 (0 = one per CPU core), got {workers}")
+        raise WorkerCountError(
+            f"workers must be >= 1 (0 or {AUTO_WORKERS!r} = one per CPU core), "
+            f"got {workers}"
+        )
     cpus = os.cpu_count() or 1
     if workers == 0:
         workers = cpus

@@ -81,6 +81,15 @@ class SnapshotNotFoundError(DatasetError):
     """No snapshot exists for the requested map and timestamp."""
 
 
+class WorkerCountError(DatasetError, ValueError):
+    """An invalid worker-count request (negative, non-integral, bad string).
+
+    Also a :class:`ValueError`: worker counts arrive from CLI flags and
+    plain library calls alike, and callers validating arguments expect
+    the stdlib taxonomy.
+    """
+
+
 class SnapshotIndexError(DatasetError):
     """The columnar snapshot index is missing, corrupt, or incompatible.
 
@@ -92,3 +101,13 @@ class SnapshotIndexError(DatasetError):
 
 class SimulationError(ReproError):
     """Invalid simulation configuration or impossible event timeline."""
+
+
+class TelemetryError(ReproError):
+    """Misused metrics API or an unreadable metrics snapshot.
+
+    Raised for programming errors (decreasing a counter, re-registering a
+    name under a different kind) and for corrupt ``--metrics-out``
+    artefacts — never from the instrumented hot paths themselves, which
+    only ever add observations.
+    """

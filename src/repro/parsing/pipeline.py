@@ -6,11 +6,26 @@ checks, and emit the structured topology (serialised to YAML by
 :mod:`repro.yamlio`).  Every failure raises a typed exception from
 :mod:`repro.errors`, so bulk runs can account for unprocessable files the
 way Table 2 does.
+
+Parsing behaviour is configured through one frozen :class:`ParseOptions`
+object (``fast_path``, ``accelerated``, ``label_distance_threshold``)
+accepted as ``options=`` by every entry point from :func:`parse_svg` up
+to the bulk engine and the CLI.  The historical individual keywords
+still work but are deprecated aliases, normalised into a
+:class:`ParseOptions` at the boundary with a ``DeprecationWarning``.
+
+Every parse also feeds the process-wide metrics registry
+(:mod:`repro.telemetry`): per-stage wall time lands in the
+``repro_parse_stage_seconds`` histogram and fast-path hits/fallbacks in
+``repro_parse_fast_path_total``, whatever the caller does — the
+:class:`StageTimings` accumulator remains only as a per-run view for
+callers that want their own scoped numbers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from datetime import datetime, timezone
 from pathlib import Path
 from time import perf_counter
@@ -21,6 +36,7 @@ from repro.parsing.algorithm2 import attribute_objects
 from repro.parsing.checks import ParseReport, run_sanity_checks
 from repro.parsing.stream import stream_extract
 from repro.svgdoc.reader import read_svg_tags
+from repro.telemetry import get_registry
 from repro.topology.model import Link, LinkEnd, MapSnapshot, Node, NodeKind
 
 #: Timestamp used when the caller provides none.
@@ -36,17 +52,142 @@ _EPOCH = datetime(1970, 1, 1, tzinfo=timezone.utc)
 #:    change outcome.
 PARSER_VERSION = 2
 
+@dataclass(frozen=True, slots=True)
+class ParseOptions:
+    """How to run the extraction pipeline — one object, passed everywhere.
+
+    Replaces the ``fast_path`` / ``accelerated`` /
+    ``label_distance_threshold`` keywords that used to be threaded
+    through every layer individually.  Frozen so a single instance can be
+    shared across threads and pickled to pool workers.
+
+    Attributes:
+        fast_path: run reader + Algorithm 1 as one fused streaming pass
+            (:func:`repro.parsing.stream.stream_extract`); identical
+            results, and any document outside the expected shape falls
+            back to the faithful DOM path — ``False`` forces that path
+            outright.
+        accelerated: use the grid-indexed attribution (identical
+            results; ``False`` for the paper's exact quadratic
+            formulation).
+        label_distance_threshold: Algorithm 2 label-distance limit.
+    """
+
+    fast_path: bool = True
+    accelerated: bool = True
+    label_distance_threshold: float = LABEL_DISTANCE_THRESHOLD
+
+
+#: The defaults every entry point shares.
+DEFAULT_PARSE_OPTIONS = ParseOptions()
+
+
+def resolve_parse_options(
+    options: ParseOptions | None = None,
+    *,
+    label_distance_threshold: float | None = None,
+    accelerated: bool | None = None,
+    fast_path: bool | None = None,
+    stacklevel: int = 3,
+) -> ParseOptions:
+    """Normalise an ``options=`` object and/or deprecated keywords.
+
+    The boundary every public entry point funnels through: without any
+    deprecated keyword the given options object (or the shared default)
+    comes back as-is; with deprecated keywords a single
+    ``DeprecationWarning`` is emitted — one warning per call, however
+    many aliases were passed — and an equivalent :class:`ParseOptions`
+    is built.  Mixing ``options=`` with a deprecated keyword is
+    ambiguous and raises :class:`TypeError`.
+    """
+    overrides: dict[str, object] = {}
+    if label_distance_threshold is not None:
+        overrides["label_distance_threshold"] = label_distance_threshold
+    if accelerated is not None:
+        overrides["accelerated"] = accelerated
+    if fast_path is not None:
+        overrides["fast_path"] = fast_path
+    if not overrides:
+        return options if options is not None else DEFAULT_PARSE_OPTIONS
+    names = ", ".join(sorted(overrides))
+    if options is not None:
+        raise TypeError(
+            f"pass options=ParseOptions(...) or the deprecated "
+            f"keyword(s) {names}, not both"
+        )
+    warnings.warn(
+        f"the {names} keyword(s) are deprecated; pass "
+        f"options=ParseOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return replace(DEFAULT_PARSE_OPTIONS, **overrides)
+
+
+#: Per-stage histogram bounds: stages run sub-millisecond (checks) to
+#: tens of milliseconds (DOM extract on a big map).
+STAGE_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 1.0,
+)
+
+
+class _PipelineMetrics:
+    """The pipeline's instruments, bound once per active registry."""
+
+    __slots__ = ("registry", "stage", "fast_path")
+
+    def __init__(self, registry) -> None:
+        self.registry = registry
+        self.stage = registry.histogram(
+            "repro_parse_stage_seconds",
+            "Wall time per extraction pipeline stage",
+            buckets=STAGE_BUCKETS,
+        )
+        self.fast_path = registry.counter(
+            "repro_parse_fast_path_total",
+            "Documents the fused streaming pass handled (hit) or "
+            "punted to the DOM path (fallback)",
+        )
+
+
+_metrics_cache: _PipelineMetrics | None = None
+
+
+def _metrics() -> _PipelineMetrics:
+    """Instrument bundle for the active registry (cached per registry)."""
+    global _metrics_cache
+    cached = _metrics_cache
+    registry = get_registry()
+    if cached is None or cached.registry is not registry:
+        cached = _metrics_cache = _PipelineMetrics(registry)
+    return cached
+
+
+def observe_stage(stage: str, elapsed: float) -> None:
+    """Charge ``elapsed`` seconds to one pipeline stage's histogram.
+
+    For the few call sites outside this module that extend a stage —
+    the YAML emission in :mod:`repro.dataset.processor` counts as
+    ``serialize`` time, matching :class:`StageTimings`.
+    """
+    _metrics().stage.observe(elapsed, stage=stage)
+
 
 @dataclass
 class StageTimings:
     """Cumulative per-stage wall time over one or more parsed documents.
 
-    Pass an instance to :func:`parse_svg` (and
-    :func:`repro.dataset.processor.process_svg_bytes`, which adds the YAML
-    emission) to attribute processing time to the pipeline stages.  The
-    fused streaming pass cannot split reading from extraction, so its
-    whole pass is charged to ``extract`` and ``read`` stays 0 unless the
-    DOM path runs.
+    A caller-scoped accumulator: pass an instance to :func:`parse_svg`
+    (and :func:`repro.dataset.processor.process_svg_bytes`, which adds
+    the YAML emission) to collect per-stage wall time for *this run
+    only*.  The same numbers always also flow into the process-wide
+    ``repro_parse_stage_seconds`` histogram and
+    ``repro_parse_fast_path_total`` counter in
+    :mod:`repro.telemetry` — new code should read those.  The fused
+    streaming pass cannot split reading from extraction, so its whole
+    pass is charged to ``extract`` and ``read`` stays 0 unless the DOM
+    path runs.
     """
 
     seconds: dict[str, float] = field(
@@ -122,9 +263,11 @@ def parse_svg(
     map_name: MapName = MapName.EUROPE,
     timestamp: datetime | None = None,
     strict: bool = True,
-    label_distance_threshold: float = LABEL_DISTANCE_THRESHOLD,
-    accelerated: bool = True,
-    fast_path: bool = True,
+    options: ParseOptions | None = None,
+    *,
+    label_distance_threshold: float | None = None,
+    accelerated: bool | None = None,
+    fast_path: bool | None = None,
     timings: StageTimings | None = None,
 ) -> ParsedMap:
     """Extract the topology from an SVG document.
@@ -134,62 +277,86 @@ def parse_svg(
         map_name: which backbone map the document depicts.
         timestamp: observation time to stamp the snapshot with.
         strict: raise on sanity-check failures instead of recording them.
-        label_distance_threshold: Algorithm 2 label-distance limit.
-        accelerated: use the grid-indexed attribution (identical results;
-            set False for the paper's exact quadratic formulation).
-        fast_path: run reader + Algorithm 1 as one fused streaming pass
-            (:func:`repro.parsing.stream.stream_extract`); identical
-            results, and any document outside the expected shape falls
-            back to the faithful DOM path below — set False to force that
-            path outright.
-        timings: accumulate per-stage wall time into this object.
+        options: how to parse (fast path, attribution acceleration,
+            label-distance threshold); defaults to
+            :data:`DEFAULT_PARSE_OPTIONS`.
+        label_distance_threshold: deprecated — use
+            ``options=ParseOptions(label_distance_threshold=...)``.
+        accelerated: deprecated — use
+            ``options=ParseOptions(accelerated=...)``.
+        fast_path: deprecated — use ``options=ParseOptions(fast_path=...)``.
+        timings: accumulate per-stage wall time into this object (the
+            process-wide telemetry histogram is fed either way).
 
     Raises:
         MalformedSvgError: not an SVG, or invalid attribute values.
         ParseError subclasses: extraction or attribution failures.
     """
-    extraction: ExtractionResult | None = None
-    if fast_path:
-        started = perf_counter() if timings is not None else 0.0
-        streamed = stream_extract(source)
-        if streamed is not None:
-            extraction = streamed[0]
-        if timings is not None:
-            if extraction is not None:
-                timings.add("extract", perf_counter() - started)
-                timings.fast_path_hits += 1
-            else:
-                timings.fallbacks += 1
-    if extraction is None:
-        if timings is None:
-            stream = read_svg_tags(source)
-            extraction = extract_objects(stream)
-        else:
-            started = perf_counter()
-            stream = read_svg_tags(source)
-            timings.add("read", perf_counter() - started)
-            started = perf_counter()
-            extraction = extract_objects(stream)
-            timings.add("extract", perf_counter() - started)
-
-    started = perf_counter() if timings is not None else 0.0
-    links = attribute_objects(
-        extraction,
+    opts = resolve_parse_options(
+        options,
         label_distance_threshold=label_distance_threshold,
         accelerated=accelerated,
+        fast_path=fast_path,
     )
-    if timings is not None:
-        timings.add("attribute", perf_counter() - started)
+    metrics = _metrics()
+    stage_hist = metrics.stage
+
+    extraction: ExtractionResult | None = None
+    if opts.fast_path:
         started = perf_counter()
+        streamed = stream_extract(source)
+        elapsed = perf_counter() - started
+        if streamed is not None:
+            extraction = streamed[0]
+            stage_hist.observe(elapsed, stage="extract")
+            metrics.fast_path.inc(1, outcome="hit")
+            if timings is not None:
+                timings.add("extract", elapsed)
+                timings.fast_path_hits += 1
+        else:
+            metrics.fast_path.inc(1, outcome="fallback")
+            if timings is not None:
+                timings.fallbacks += 1
+    if extraction is None:
+        started = perf_counter()
+        stream = read_svg_tags(source)
+        elapsed = perf_counter() - started
+        stage_hist.observe(elapsed, stage="read")
+        if timings is not None:
+            timings.add("read", elapsed)
+        started = perf_counter()
+        extraction = extract_objects(stream)
+        elapsed = perf_counter() - started
+        stage_hist.observe(elapsed, stage="extract")
+        if timings is not None:
+            timings.add("extract", elapsed)
+
+    started = perf_counter()
+    links = attribute_objects(
+        extraction,
+        label_distance_threshold=opts.label_distance_threshold,
+        accelerated=opts.accelerated,
+    )
+    elapsed = perf_counter() - started
+    stage_hist.observe(elapsed, stage="attribute")
+    if timings is not None:
+        timings.add("attribute", elapsed)
+
+    started = perf_counter()
     report = run_sanity_checks(extraction, links, strict=strict)
+    elapsed = perf_counter() - started
+    stage_hist.observe(elapsed, stage="checks")
     if timings is not None:
-        timings.add("checks", perf_counter() - started)
-        started = perf_counter()
+        timings.add("checks", elapsed)
+
+    started = perf_counter()
     snapshot = _snapshot_from(
         extraction, links, map_name, timestamp if timestamp is not None else _EPOCH
     )
+    elapsed = perf_counter() - started
+    stage_hist.observe(elapsed, stage="serialize")
     if timings is not None:
-        timings.add("serialize", perf_counter() - started)
+        timings.add("serialize", elapsed)
     return ParsedMap(snapshot=snapshot, report=report, extraction=extraction)
 
 
@@ -198,9 +365,11 @@ def parse_svg_file(
     map_name: MapName = MapName.EUROPE,
     timestamp: datetime | None = None,
     strict: bool = True,
-    label_distance_threshold: float = LABEL_DISTANCE_THRESHOLD,
-    accelerated: bool = True,
-    fast_path: bool = True,
+    options: ParseOptions | None = None,
+    *,
+    label_distance_threshold: float | None = None,
+    accelerated: bool | None = None,
+    fast_path: bool | None = None,
     timings: StageTimings | None = None,
 ) -> ParsedMap:
     """Extract the topology from an SVG file on disk.
@@ -208,13 +377,17 @@ def parse_svg_file(
     Accepts the same options as :func:`parse_svg`, so file- and
     bytes-based parsing behave identically.
     """
+    opts = resolve_parse_options(
+        options,
+        label_distance_threshold=label_distance_threshold,
+        accelerated=accelerated,
+        fast_path=fast_path,
+    )
     return parse_svg(
         Path(path).read_bytes(),
         map_name=map_name,
         timestamp=timestamp,
         strict=strict,
-        label_distance_threshold=label_distance_threshold,
-        accelerated=accelerated,
-        fast_path=fast_path,
+        options=opts,
         timings=timings,
     )

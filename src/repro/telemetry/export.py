@@ -1,0 +1,146 @@
+"""Render metrics snapshots as structured JSON or Prometheus text.
+
+Both exporters work from the plain snapshot dict
+(:meth:`~repro.telemetry.registry.MetricsRegistry.snapshot`), never from
+live instruments — the same artefact ``--metrics-out`` writes, a worker
+ships to its parent, and ``repro-weather metrics`` reads back.  The
+Prometheus renderer follows the text exposition format 0.0.4: ``# HELP``
+/ ``# TYPE`` headers, escaped label values, cumulative ``_bucket``
+series with an explicit ``+Inf`` bound, and ``_sum`` / ``_count``
+companions per histogram series.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.errors import TelemetryError
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = [
+    "load_metrics_file",
+    "read_snapshot_file",
+    "snapshot_to_json",
+    "snapshot_to_prometheus",
+    "write_metrics_file",
+]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """A sample value: integral floats lose the trailing ``.0``."""
+    if value != value:
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    """A ``le`` bucket bound, rendered stably (``0.25``, ``1``, ``+Inf``)."""
+    if bound == math.inf:
+        return "+Inf"
+    if float(bound).is_integer():
+        return str(int(bound))
+    return repr(float(bound))
+
+
+def _label_text(pairs: list, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    """``{a="x",le="0.5"}`` or the empty string for an unlabelled series."""
+    rendered = [
+        f'{name}="{_escape_label(str(value))}"' for name, value in pairs
+    ]
+    rendered.extend(f'{name}="{_escape_label(value)}"' for name, value in extra)
+    return "{" + ",".join(rendered) + "}" if rendered else ""
+
+
+def snapshot_to_prometheus(snapshot: dict) -> str:
+    """Render one metrics snapshot in Prometheus text exposition format."""
+    _check_version(snapshot)
+    lines: list[str] = []
+    for entry in snapshot.get("metrics", []):
+        name = entry["name"]
+        kind = entry["kind"]
+        help_text = entry.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            bounds = [float(bound) for bound in entry["buckets"]]
+            for raw_key, value in entry["series"]:
+                cumulative = 0
+                for bound, count in zip(
+                    bounds + [math.inf], value["counts"]
+                ):
+                    cumulative += count
+                    labels = _label_text(
+                        raw_key, extra=(("le", _format_bound(bound)),)
+                    )
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                base = _label_text(raw_key)
+                lines.append(f"{name}_sum{base} {_format_value(value['sum'])}")
+                lines.append(f"{name}_count{base} {cumulative}")
+        elif kind in ("counter", "gauge"):
+            for raw_key, value in entry["series"]:
+                lines.append(
+                    f"{name}{_label_text(raw_key)} {_format_value(float(value))}"
+                )
+        else:
+            raise TelemetryError(f"metric {name!r} has unknown kind {kind!r}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def snapshot_to_json(snapshot: dict) -> str:
+    """Render one metrics snapshot as stable, human-diffable JSON."""
+    _check_version(snapshot)
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+
+
+def _check_version(snapshot: dict) -> None:
+    if not isinstance(snapshot, dict):
+        raise TelemetryError("metrics snapshot is not a JSON object")
+    version = snapshot.get("version")
+    if version != MetricsRegistry.SNAPSHOT_VERSION:
+        raise TelemetryError(
+            f"unsupported metrics snapshot version {version!r} "
+            f"(expected {MetricsRegistry.SNAPSHOT_VERSION})"
+        )
+
+
+def write_metrics_file(path: str | Path, registry: MetricsRegistry) -> int:
+    """Dump a registry snapshot as JSON; returns the byte count."""
+    text = snapshot_to_json(registry.snapshot())
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    data = text.encode("utf-8")
+    path.write_bytes(data)
+    return len(data)
+
+
+def read_snapshot_file(path: str | Path) -> dict:
+    """Read a ``--metrics-out`` artefact back, validating its shape."""
+    try:
+        snapshot = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise TelemetryError(f"cannot read metrics file {path}: {exc}") from exc
+    _check_version(snapshot)
+    return snapshot
+
+
+def load_metrics_file(path: str | Path) -> MetricsRegistry:
+    """Rebuild a registry from a ``--metrics-out`` artefact."""
+    registry = MetricsRegistry()
+    registry.merge(read_snapshot_file(path))
+    return registry

@@ -9,6 +9,7 @@ import yaml
 
 from repro.constants import MapName
 from repro.errors import SchemaError
+from repro.telemetry import get_registry
 from repro.topology.model import Link, LinkEnd, MapSnapshot, Node, NodeKind
 
 #: libyaml's parser when compiled in, the pure-Python one otherwise.  Both
@@ -87,11 +88,21 @@ def snapshot_from_yaml(text: str) -> MapSnapshot:
     Raises:
         SchemaError: on YAML syntax errors or schema violations.
     """
+    docs = get_registry().counter(
+        "repro_yaml_docs_total", "YAML documents by operation"
+    )
     try:
         document = yaml.load(text, Loader=_LOADER)
-    except yaml.YAMLError as exc:
+        snapshot = snapshot_from_document(document)
+    except (yaml.YAMLError, SchemaError) as exc:
+        get_registry().counter(
+            "repro_yaml_errors_total", "YAML documents rejected by operation"
+        ).inc(1, op="deserialize")
+        if isinstance(exc, SchemaError):
+            raise
         raise SchemaError(f"invalid YAML: {exc}") from exc
-    return snapshot_from_document(document)
+    docs.inc(1, op="deserialize")
+    return snapshot
 
 
 def read_snapshot(path: str | Path) -> MapSnapshot:

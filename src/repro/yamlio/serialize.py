@@ -7,6 +7,7 @@ from pathlib import Path
 import yaml
 from yaml.nodes import MappingNode, ScalarNode, SequenceNode
 
+from repro.telemetry import get_registry
 from repro.topology.model import MapSnapshot
 
 #: libyaml's emitter when compiled in, the pure-Python one otherwise.  The
@@ -129,6 +130,9 @@ def snapshot_to_yaml(snapshot: MapSnapshot) -> str:
     rendered and randomised snapshots.  Every node object is fresh: the
     serializer would otherwise emit anchors/aliases for reused nodes.
     """
+    get_registry().counter(
+        "repro_yaml_docs_total", "YAML documents by operation"
+    ).inc(1, op="serialize")
     links_node = SequenceNode(
         _SEQ_TAG,
         [

@@ -28,12 +28,18 @@ def write(tmp_path: Path, name: str, document: dict) -> Path:
     return path
 
 
-def run(tmp_path, fresh: dict, tolerance: float = 0.20) -> int:
+def run(
+    tmp_path,
+    fresh: dict,
+    tolerance: float = 0.20,
+    max_overhead: float | None = None,
+) -> int:
     baseline = write(tmp_path, "baseline.json", BASELINE)
     report = write(tmp_path, "fresh.json", fresh)
-    return guard.main(
-        [str(report), "--baseline", str(baseline), "--tolerance", str(tolerance)]
-    )
+    argv = [str(report), "--baseline", str(baseline), "--tolerance", str(tolerance)]
+    if max_overhead is not None:
+        argv += ["--max-telemetry-overhead", str(max_overhead)]
+    return guard.main(argv)
 
 
 class TestCompare:
@@ -69,6 +75,38 @@ class TestCompare:
         fresh = dict(BASELINE, brand_new_fps=1.0)
         del fresh["load_index_fps"]
         assert run(tmp_path, fresh) == 0
+
+
+class TestTelemetryOverhead:
+    def test_overhead_below_ceiling_passes(self, tmp_path):
+        fresh = dict(BASELINE, telemetry_overhead_pct=1.3)
+        assert run(tmp_path, fresh) == 0
+
+    def test_overhead_at_ceiling_passes(self, tmp_path):
+        fresh = dict(BASELINE, telemetry_overhead_pct=5.0)
+        assert run(tmp_path, fresh) == 0
+
+    def test_overhead_above_ceiling_fails(self, tmp_path):
+        fresh = dict(BASELINE, telemetry_overhead_pct=5.1)
+        assert run(tmp_path, fresh) == 1
+
+    def test_negative_overhead_is_noise_not_failure(self, tmp_path):
+        fresh = dict(BASELINE, telemetry_overhead_pct=-2.0)
+        assert run(tmp_path, fresh) == 0
+
+    def test_ceiling_is_configurable(self, tmp_path):
+        fresh = dict(BASELINE, telemetry_overhead_pct=3.0)
+        assert run(tmp_path, fresh, max_overhead=2.0) == 1
+        assert run(tmp_path, fresh, max_overhead=4.0) == 0
+
+    def test_missing_key_skips_the_check(self, tmp_path):
+        assert run(tmp_path, dict(BASELINE)) == 0
+
+    def test_overhead_failure_independent_of_fps(self, tmp_path):
+        fresh = dict(
+            BASELINE, process_serial_fps=120.0, telemetry_overhead_pct=9.0
+        )
+        assert run(tmp_path, fresh) == 1
 
 
 class TestBadInput:

@@ -45,6 +45,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["process", "/tmp/x", "--workers", "many"])
 
+    def test_negative_workers_rejected(self):
+        for command in (["process", "/tmp/x"], ["export", "/tmp/x"]):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([*command, "--workers", "-1"])
+
+    def test_metrics_out_flags(self):
+        args = build_parser().parse_args(
+            ["process", "/tmp/x", "--metrics-out", "/tmp/m.json"]
+        )
+        assert args.metrics_out == "/tmp/m.json"
+        args = build_parser().parse_args(["index", "build", "/tmp/x"])
+        assert args.metrics_out is None
+
+    def test_metrics_command_args(self):
+        args = build_parser().parse_args(["metrics", "m.json"])
+        assert args.format == "prom"
+        args = build_parser().parse_args(["metrics", "m.json", "--format", "json"])
+        assert args.format == "json"
+
     def test_workers_accepts_auto(self):
         args = build_parser().parse_args(["process", "/tmp/x", "--workers", "auto"])
         assert args.workers == "auto"
@@ -178,6 +197,55 @@ class TestPipelineCommands:
         written = sorted(target.glob("asia-pacific-*.csv"))
         assert len(written) == len(list(dataset_dir.rglob("*.yaml")))
         assert "wrote" in capsys.readouterr().out
+
+
+class TestMetricsCommand:
+    def test_process_metrics_out_then_render(self, tmp_path, capsys):
+        """The acceptance path: --metrics-out, then ``metrics --format prom``."""
+        root = tmp_path / "ds"
+        assert main(
+            [
+                "generate", str(root),
+                "--start", "2022-09-11T23:50:00",
+                "--end", "2022-09-12T00:00:00",
+                "--map", "asia-pacific",
+            ]
+        ) == 0
+        metrics_path = tmp_path / "m.json"
+        assert main(
+            ["process", str(root), "--metrics-out", str(metrics_path)]
+        ) == 0
+        assert metrics_path.exists()
+        capsys.readouterr()
+        assert main(["metrics", str(metrics_path)]) == 0
+        prom = capsys.readouterr().out
+        assert "# TYPE repro_files_total counter" in prom
+        assert 'repro_files_total{map="asia-pacific",outcome="processed"}' in prom
+        assert "# TYPE repro_parse_stage_seconds histogram" in prom
+        assert 'le="+Inf"' in prom
+        assert "repro_parse_fast_path_total" in prom
+        assert main(["metrics", str(metrics_path), "--format", "json"]) == 0
+        import json as json_module
+
+        document = json_module.loads(capsys.readouterr().out)
+        assert document["version"] == 1
+
+    def test_metrics_unreadable_snapshot_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("nonsense", encoding="utf-8")
+        assert main(["metrics", str(bad)]) == 1
+        assert capsys.readouterr().err
+
+    def test_metrics_output_file(self, tmp_path, capsys):
+        from repro.telemetry import MetricsRegistry, write_metrics_file
+
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(2)
+        source = tmp_path / "m.json"
+        write_metrics_file(source, registry)
+        target = tmp_path / "m.prom"
+        assert main(["metrics", str(source), "--output", str(target)]) == 0
+        assert "c_total 2" in target.read_text(encoding="utf-8")
 
 
 class TestUpgradeCommand:

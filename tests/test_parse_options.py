@@ -1,0 +1,223 @@
+"""Tests for the ParseOptions API redesign and its telemetry wiring.
+
+Contracts: the options object and the deprecated per-call kwargs produce
+identical results (the kwargs warning exactly once per call), options
+survive pickling into pool workers, and instrumented runs — serial or
+parallel, live registry or null sink — write byte-identical YAML.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+from dataclasses import FrozenInstanceError
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.constants import LABEL_DISTANCE_THRESHOLD, MapName
+from repro.dataset.engine import process_map_parallel
+from repro.dataset.processor import process_map, process_svg_bytes
+from repro.dataset.store import DatasetStore
+from repro.dataset.validate import validate_map
+from repro.layout.renderer import MapRenderer
+from repro.parsing.pipeline import (
+    DEFAULT_PARSE_OPTIONS,
+    ParseOptions,
+    parse_svg,
+    resolve_parse_options,
+)
+from repro.telemetry import MetricsRegistry, NullRegistry, use_registry
+
+T0 = datetime(2022, 9, 12, tzinfo=timezone.utc)
+MAP = MapName.ASIA_PACIFIC
+
+
+@pytest.fixture(scope="module")
+def svg(simulator) -> str:
+    return MapRenderer().render(simulator.snapshot(MAP, T0))
+
+
+def build_corpus(root, svg: str, files: int = 4, corrupt: bool = True) -> DatasetStore:
+    store = DatasetStore(root)
+    for index in range(files):
+        when = T0 + timedelta(minutes=5 * index)
+        broken = corrupt and index == 2
+        store.write(MAP, when, "svg", "<svg broken" if broken else svg)
+    return store
+
+
+def yaml_tree(store: DatasetStore) -> dict[str, bytes]:
+    return {
+        ref.path.name: ref.path.read_bytes()
+        for ref in store.iter_refs(MAP, "yaml")
+    }
+
+
+class TestParseOptions:
+    def test_defaults_mirror_the_legacy_kwargs(self):
+        options = ParseOptions()
+        assert options.fast_path is True
+        assert options.accelerated is True
+        assert options.label_distance_threshold == LABEL_DISTANCE_THRESHOLD
+
+    def test_frozen(self):
+        with pytest.raises(FrozenInstanceError):
+            ParseOptions().fast_path = False
+
+    def test_picklable(self):
+        options = ParseOptions(fast_path=False, label_distance_threshold=10.0)
+        assert pickle.loads(pickle.dumps(options)) == options
+
+
+class TestResolveParseOptions:
+    def test_no_arguments_yields_defaults(self):
+        assert resolve_parse_options() is DEFAULT_PARSE_OPTIONS
+
+    def test_options_passed_through(self):
+        options = ParseOptions(fast_path=False)
+        assert resolve_parse_options(options) is options
+
+    def test_deprecated_kwarg_warns_once_per_call(self):
+        with pytest.warns(DeprecationWarning) as caught:
+            options = resolve_parse_options(fast_path=False, accelerated=False)
+        assert len(caught) == 1
+        assert "deprecated" in str(caught[0].message)
+        assert options == ParseOptions(fast_path=False, accelerated=False)
+
+    def test_mixing_options_and_deprecated_kwargs_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_parse_options(ParseOptions(), fast_path=False)
+
+
+class TestDeprecatedCallPaths:
+    def test_parse_svg_kwargs_warn_and_match_options(self, svg):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            via_options = parse_svg(
+                svg, MAP, T0, options=ParseOptions(fast_path=False)
+            )
+        with pytest.warns(DeprecationWarning):
+            via_kwargs = parse_svg(svg, MAP, T0, fast_path=False)
+        assert via_options.snapshot == via_kwargs.snapshot
+
+    def test_parse_svg_threshold_kwarg_still_honoured(self, svg):
+        with pytest.warns(DeprecationWarning):
+            parsed = parse_svg(svg, MAP, T0, label_distance_threshold=200.0)
+        assert parsed.snapshot.links
+
+    def test_process_svg_bytes_kwarg_warns_and_matches(self, svg):
+        data = svg.encode()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            via_options = process_svg_bytes(
+                data, MAP, T0, options=ParseOptions(fast_path=False)
+            )
+        with pytest.warns(DeprecationWarning):
+            via_kwargs = process_svg_bytes(data, MAP, T0, fast_path=False)
+        assert via_options.yaml_text == via_kwargs.yaml_text
+
+    def test_validate_map_kwarg_warns(self, svg, tmp_path):
+        store = build_corpus(tmp_path, svg)
+        process_map(store, MAP)
+        with pytest.warns(DeprecationWarning):
+            report = validate_map(store, MAP, fast_path=False)
+        assert report.yaml_files == 3
+
+    def test_engine_kwarg_warns(self, svg, tmp_path):
+        store = build_corpus(tmp_path, svg)
+        with pytest.warns(DeprecationWarning):
+            stats = process_map_parallel(store, MAP, workers=1, fast_path=False)
+        assert stats.processed == 3
+
+
+class TestByteIdenticalOutputs:
+    def test_options_path_matches_deprecated_kwargs_path(self, svg, tmp_path):
+        """The ISSUE's acceptance criterion: identical YAML bytes."""
+        store_a = build_corpus(tmp_path / "a", svg)
+        store_b = build_corpus(tmp_path / "b", svg)
+        process_map(store_a, MAP, options=ParseOptions(fast_path=False))
+        with pytest.warns(DeprecationWarning):
+            process_map(store_b, MAP, fast_path=False)
+        assert yaml_tree(store_a) == yaml_tree(store_b)
+
+    def test_null_registry_run_is_byte_identical(self, svg, tmp_path):
+        """Telemetry never changes outputs."""
+        store_a = build_corpus(tmp_path / "a", svg)
+        store_b = build_corpus(tmp_path / "b", svg)
+        with use_registry(MetricsRegistry()):
+            process_map(store_a, MAP)
+        with use_registry(NullRegistry()):
+            process_map(store_b, MAP)
+        assert yaml_tree(store_a) == yaml_tree(store_b)
+
+
+class TestTelemetryTotals:
+    def test_parallel_totals_equal_serial_totals(self, svg, tmp_path):
+        """Worker snapshots merged in the parent reproduce the serial
+        counters exactly — files, failures, and stage observations."""
+        store_serial = build_corpus(tmp_path / "serial", svg, files=6)
+        store_parallel = build_corpus(tmp_path / "parallel", svg, files=6)
+        serial, parallel = MetricsRegistry(), MetricsRegistry()
+        with use_registry(serial):
+            process_map(store_serial, MAP)
+        with use_registry(parallel):
+            process_map_parallel(
+                store_parallel, MAP, workers=2, chunk_size=2, update_index=False
+            )
+        for name in ("repro_files_total", "repro_failures_total",
+                     "repro_yaml_bytes_total"):
+            assert parallel.get(name).series() == serial.get(name).series(), name
+        stage_serial = serial.get("repro_parse_stage_seconds")
+        stage_parallel = parallel.get("repro_parse_stage_seconds")
+        for key in stage_serial.series():
+            labels = dict(key)
+            assert stage_parallel.count(**labels) == stage_serial.count(**labels)
+        fast_serial = serial.get("repro_parse_fast_path_total")
+        fast_parallel = parallel.get("repro_parse_fast_path_total")
+        assert fast_parallel.series() == fast_serial.series()
+
+    def test_manifest_hits_counted_on_warm_rerun(self, svg, tmp_path):
+        store = build_corpus(tmp_path, svg, files=4)
+        process_map_parallel(store, MAP, workers=1, update_index=False)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            process_map_parallel(store, MAP, workers=1, update_index=False)
+        lookups = registry.get("repro_manifest_lookups_total")
+        assert lookups.value(map=MAP.value, outcome="hit") == 4
+        assert lookups.value(map=MAP.value, outcome="miss") == 0
+        files = registry.get("repro_files_total")
+        assert files.value(map=MAP.value, outcome="skipped") == 4
+
+    def test_index_cache_hit_and_miss_counted(self, svg, tmp_path):
+        from repro.dataset.index import build_index, fresh_index
+
+        store = build_corpus(tmp_path, svg, files=3, corrupt=False)
+        process_map(store, MAP)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            assert fresh_index(store, MAP) is None  # no index yet -> miss
+            build_index(store, MAP)
+            assert fresh_index(store, MAP) is not None  # now a hit
+        cache = registry.get("repro_index_cache_total")
+        assert cache.value(map=MAP.value, outcome="miss") == 1
+        assert cache.value(map=MAP.value, outcome="hit") == 1
+        rows = registry.get("repro_index_rows_total")
+        assert rows.value(map=MAP.value, outcome="parsed") == 3
+        assert registry.get("repro_index_build_seconds").count(map=MAP.value) == 1
+
+    def test_loader_counts_snapshots_by_source(self, svg, tmp_path):
+        from repro.dataset.index import build_index
+        from repro.dataset.loader import load_all
+
+        store = build_corpus(tmp_path, svg, files=3, corrupt=False)
+        process_map(store, MAP)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            yaml_loaded = load_all(store, MAP, use_index=False)
+            build_index(store, MAP)
+            index_loaded = load_all(store, MAP)
+        assert yaml_loaded == index_loaded
+        loaded = registry.get("repro_snapshots_loaded_total")
+        assert loaded.value(map=MAP.value, source="yaml") == 3
+        assert loaded.value(map=MAP.value, source="index") == 3

@@ -179,15 +179,18 @@ class TestFileParsing:
         monkeypatch.setattr(pipeline, "parse_svg", recording)
         path = tmp_path / "apac.svg"
         path.write_text(apac_svg, encoding="utf-8")
-        result = pipeline.parse_svg_file(
-            path,
-            MapName.ASIA_PACIFIC,
-            strict=False,
-            label_distance_threshold=42.0,
-            accelerated=False,
-        )
+        with pytest.warns(DeprecationWarning):
+            result = pipeline.parse_svg_file(
+                path,
+                MapName.ASIA_PACIFIC,
+                strict=False,
+                label_distance_threshold=42.0,
+                accelerated=False,
+            )
         assert result == "sentinel"
         assert captured["strict"] is False
-        assert captured["label_distance_threshold"] == 42.0
-        assert captured["accelerated"] is False
         assert captured["map_name"] == MapName.ASIA_PACIFIC
+        options = captured["options"]
+        assert options.label_distance_threshold == 42.0
+        assert options.accelerated is False
+        assert options.fast_path is True

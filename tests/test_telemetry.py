@@ -1,0 +1,351 @@
+"""Tests for the repro.telemetry subsystem.
+
+The contracts under test: instruments are thread-safe under concurrent
+hammering, registry snapshots round-trip through merge (so parallel runs
+total exactly what serial runs do), exports render valid Prometheus text
+exposition, and the NullRegistry records nothing while keeping every
+call site valid.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    load_metrics_file,
+    read_snapshot_file,
+    set_registry,
+    snapshot_to_json,
+    snapshot_to_prometheus,
+    use_registry,
+    write_metrics_file,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = MetricsRegistry().counter("c_total")
+        counter.inc(2, map="europe")
+        counter.inc(3, map="europe")
+        counter.inc(1, map="world")
+        assert counter.value(map="europe") == 5
+        assert counter.value(map="world") == 1
+        assert counter.total() == 6
+
+    def test_untouched_series_reads_zero(self):
+        counter = MetricsRegistry().counter("c_total")
+        assert counter.value(map="nowhere") == 0
+
+    def test_inc_zero_materialises_the_series(self):
+        counter = MetricsRegistry().counter("c_total")
+        counter.inc(0, outcome="miss")
+        assert ((("outcome", "miss"),), 0.0) in counter.series().items()
+
+    def test_negative_inc_rejected(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(TelemetryError):
+            counter.inc(-1)
+
+    def test_label_order_is_irrelevant(self):
+        counter = MetricsRegistry().counter("c_total")
+        counter.inc(1, a="x", b="y")
+        counter.inc(1, b="y", a="x")
+        assert counter.value(b="y", a="x") == 2
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(3)
+        assert gauge.value() == 4
+
+
+class TestHistogram:
+    def test_bucket_placement_le_semantics(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.0)  # le="1" bucket includes the bound itself
+        histogram.observe(1.5)
+        histogram.observe(99.0)  # +Inf overflow
+        series = histogram.series()[()]
+        assert series.counts == [2, 1, 1]
+        assert series.sum == pytest.approx(102.0)
+
+    def test_count_and_total(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in (0.001, 0.2, 3.0):
+            histogram.observe(value, stage="read")
+        assert histogram.count(stage="read") == 3
+        assert histogram.total_seconds(stage="read") == pytest.approx(3.201)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().histogram("h", buckets=(2.0, 1.0))
+
+
+class TestSpan:
+    def test_span_observes_elapsed_into_seconds_histogram(self):
+        registry = MetricsRegistry()
+        with registry.span("work", map="europe") as span:
+            pass
+        assert span.elapsed >= 0
+        histogram = registry.get("work_seconds")
+        assert histogram.count(map="europe") == 1
+
+    def test_span_observes_even_when_the_block_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.span("work"):
+                raise RuntimeError("boom")
+        assert registry.get("work_seconds").count() == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c_total") is registry.counter("c_total")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(TelemetryError):
+            registry.gauge("name")
+
+    def test_histogram_bucket_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(TelemetryError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().counter("bad name!")
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc()
+        registry.reset()
+        assert registry.instruments() == []
+
+    def test_concurrent_hammering_loses_no_update(self):
+        """The ISSUE's concurrency contract: N threads, zero lost counts."""
+        registry = MetricsRegistry()
+        threads_n, per_thread = 8, 2000
+        barrier = threading.Barrier(threads_n)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            # get-or-create races on purpose: every thread asks by name.
+            counter = registry.counter("hammer_total")
+            histogram = registry.histogram("hammer_seconds")
+            for i in range(per_thread):
+                counter.inc(1, worker=worker % 2)
+                histogram.observe(0.001 * (i % 7))
+
+        threads = [
+            threading.Thread(target=hammer, args=(n,)) for n in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.get("hammer_total").total() == threads_n * per_thread
+        assert registry.get("hammer_seconds").count() == threads_n * per_thread
+
+
+class TestSnapshotAndMerge:
+    def build(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("files_total", "files").inc(3, map="europe")
+        registry.counter("files_total").inc(1, map="world")
+        registry.gauge("depth").set(7)
+        histogram = registry.histogram("stage_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05, stage="read")
+        histogram.observe(0.5, stage="read")
+        return registry
+
+    def test_snapshot_is_json_safe(self):
+        snapshot = self.build().snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["version"] == MetricsRegistry.SNAPSHOT_VERSION
+
+    def test_merge_from_snapshot_reproduces_the_source(self):
+        source = self.build()
+        target = MetricsRegistry()
+        target.merge(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+    def test_merge_adds_counters_and_histograms(self):
+        target = self.build()
+        target.merge(self.build().snapshot())
+        assert target.get("files_total").value(map="europe") == 6
+        assert target.get("stage_seconds").count(stage="read") == 4
+
+    def test_merge_gauge_last_write_wins(self):
+        target = self.build()
+        other = MetricsRegistry()
+        other.gauge("depth").set(11)
+        target.merge(other)
+        assert target.get("depth").value() == 11
+
+    def test_parallel_totals_equal_sum_of_worker_snapshots(self):
+        """The engine's fan-in contract, in miniature: the parent registry
+        after merging every worker snapshot totals exactly the per-worker
+        sums."""
+        snapshots = []
+        for worker in range(4):
+            local = MetricsRegistry()
+            local.counter("files_total").inc(worker + 1, map="europe")
+            local.histogram("stage_seconds").observe(0.01 * (worker + 1))
+            snapshots.append(local.snapshot())
+        parent = MetricsRegistry()
+        for snapshot in snapshots:
+            parent.merge(snapshot)
+        assert parent.get("files_total").value(map="europe") == 1 + 2 + 3 + 4
+        assert parent.get("stage_seconds").count() == 4
+        assert parent.get("stage_seconds").total_seconds() == pytest.approx(0.1)
+
+    def test_merge_version_mismatch_rejected(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().merge({"version": 999, "metrics": []})
+
+    def test_merge_histogram_slot_mismatch_rejected(self):
+        snapshot = {
+            "version": 1,
+            "metrics": [
+                {
+                    "name": "h",
+                    "kind": "histogram",
+                    "help": "",
+                    "buckets": [1.0, 2.0],
+                    "series": [[[], {"counts": [1, 2], "sum": 0.5}]],
+                }
+            ],
+        }
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().merge(snapshot)
+
+
+class TestPrometheusExposition:
+    def test_renders_help_type_and_series(self):
+        registry = MetricsRegistry()
+        registry.counter("files_total", "Files by outcome").inc(
+            3, map="europe", outcome="processed"
+        )
+        text = snapshot_to_prometheus(registry.snapshot())
+        assert "# HELP files_total Files by outcome\n" in text
+        assert "# TYPE files_total counter\n" in text
+        assert 'files_total{map="europe",outcome="processed"} 3\n' in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("stage_seconds", "t", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        text = snapshot_to_prometheus(registry.snapshot())
+        assert 'stage_seconds_bucket{le="0.1"} 1\n' in text
+        assert 'stage_seconds_bucket{le="1"} 2\n' in text
+        assert 'stage_seconds_bucket{le="+Inf"} 3\n' in text
+        assert "stage_seconds_count 3\n" in text
+        assert "stage_seconds_sum 5.55" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(1, path='a"b\\c\nd')
+        text = snapshot_to_prometheus(registry.snapshot())
+        assert 'c_total{path="a\\"b\\\\c\\nd"} 1\n' in text
+
+    def test_every_line_is_wellformed(self):
+        """No blank metric lines, every sample line is NAME{...} VALUE."""
+        registry = MetricsRegistry()
+        registry.counter("a_total", "with ümlaut help").inc(2, k="v")
+        registry.gauge("b", "").set(1.5)
+        registry.histogram("c_seconds").observe(0.2, stage="x")
+        for line in snapshot_to_prometheus(registry.snapshot()).splitlines():
+            assert line
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                name, _, value = line.rpartition(" ")
+                assert name
+                float(value)  # every sample value parses as a number
+
+
+class TestFileRoundTrip:
+    def test_write_read_load(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("files_total").inc(5, map="europe")
+        path = tmp_path / "metrics.json"
+        write_metrics_file(path, registry)
+        snapshot = read_snapshot_file(path)
+        assert snapshot == registry.snapshot()
+        loaded = load_metrics_file(path)
+        assert loaded.get("files_total").value(map="europe") == 5
+
+    def test_json_export_parses_back(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(1)
+        assert json.loads(snapshot_to_json(registry.snapshot()))["version"] == 1
+
+    def test_corrupt_file_raises_telemetry_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json", encoding="utf-8")
+        with pytest.raises(TelemetryError):
+            read_snapshot_file(path)
+
+    def test_missing_file_raises_telemetry_error(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            read_snapshot_file(tmp_path / "absent.json")
+
+
+class TestActiveRegistry:
+    def test_use_registry_swaps_and_restores(self):
+        before = get_registry()
+        private = MetricsRegistry()
+        with use_registry(private) as active:
+            assert active is private
+            assert get_registry() is private
+        assert get_registry() is before
+
+    def test_set_registry_returns_previous(self):
+        before = get_registry()
+        private = MetricsRegistry()
+        assert set_registry(private) is before
+        assert set_registry(before) is private
+
+    def test_set_registry_rejects_non_registry(self):
+        with pytest.raises(TelemetryError):
+            set_registry(object())
+
+
+class TestNullRegistry:
+    def test_records_nothing_but_accepts_everything(self):
+        registry = NullRegistry()
+        registry.counter("c_total").inc(5, map="europe")
+        registry.gauge("g").set(3)
+        registry.histogram("h").observe(1.0)
+        with registry.span("work") as span:
+            pass
+        assert span.elapsed == 0.0
+        assert registry.counter("c_total").value(map="europe") == 0
+        assert registry.histogram("h").count() == 0
+
+    def test_snapshot_series_stay_empty(self):
+        registry = NullRegistry()
+        registry.counter("c_total").inc(5)
+        for entry in registry.snapshot()["metrics"]:
+            assert entry["series"] == []
+
+    def test_default_buckets_are_strictly_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
