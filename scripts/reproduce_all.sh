@@ -13,6 +13,9 @@ set -euo pipefail
 ARTIFACTS="${1:-artifacts}"
 mkdir -p "$ARTIFACTS"
 
+echo "== 0/4 static analysis (invariant linter + ruff/mypy when installed) =="
+python3 scripts/run_static_analysis.py
+
 echo "== 1/4 test suite =="
 python3 -m pytest tests/ -q
 

@@ -25,6 +25,7 @@ import numpy
 
 from repro.analysis.loads import LoadSamples
 from repro.dataset.index import SnapshotIndex
+from repro.errors import ColumnarCapacityError
 from repro.topology.model import NodeKind
 
 __all__ = [
@@ -266,7 +267,7 @@ def _canonical_link_keys(
     names = max(1, len(index.names))
     labels = max(1, len(index.labels))
     if names * names * labels * labels >= 2**62:
-        raise OverflowError(
+        raise ColumnarCapacityError(
             f"string tables too large to pack link keys "
             f"({names} names, {labels} labels)"
         )

@@ -14,6 +14,7 @@ from typing import Callable, Iterable
 
 from repro.analysis.timeseries import Step, TimeSeries, detect_steps
 from repro.constants import MapName
+from repro.errors import AnalysisError
 from repro.simulation.network import BackboneSimulator
 from repro.topology.model import MapSnapshot
 
@@ -74,7 +75,7 @@ def evolution_from_snapshots(snapshots: Iterable[MapSnapshot]) -> Infrastructure
     """Same series, computed from stored snapshots (the YAML path)."""
     ordered = sorted(snapshots, key=lambda snapshot: snapshot.timestamp)
     if not ordered:
-        raise ValueError("no snapshots given")
+        raise AnalysisError("no snapshots given")
     times = tuple(snapshot.timestamp for snapshot in ordered)
     return InfrastructureEvolution(
         map_name=ordered[0].map_name,

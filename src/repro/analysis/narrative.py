@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from datetime import timedelta
 
 from repro.analysis.sites import site_growth
+from repro.errors import AnalysisError
 from repro.analysis.upgrades import scan_all_peerings
 from repro.peeringdb.feed import SyntheticPeeringDB
 from repro.statusfeed.feed import SyntheticStatusFeed
@@ -140,12 +141,12 @@ def build_changelog(
         status_feed: optional provider status page for explanations.
 
     Raises:
-        ValueError: with fewer than two snapshots there is nothing to
-            narrate.
+        AnalysisError: with fewer than two snapshots there is nothing to
+            narrate (also a ValueError).
     """
     ordered = sorted(snapshots, key=lambda snapshot: snapshot.timestamp)
     if len(ordered) < 2:
-        raise ValueError("a changelog needs at least two snapshots")
+        raise AnalysisError("a changelog needs at least two snapshots")
     changelog = Changelog(first=ordered[0], last=ordered[-1])
     _describe_router_churn(changelog)
     _describe_site_growth(changelog)

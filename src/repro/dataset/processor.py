@@ -30,7 +30,7 @@ from datetime import datetime
 from time import perf_counter
 
 from repro.constants import MapName
-from repro.errors import ParseError, SvgError
+from repro.errors import ParseError, StatsMergeError, SvgError
 from repro.dataset.store import DatasetStore
 from repro.parsing.pipeline import (
     ParseOptions,
@@ -84,7 +84,7 @@ class ProcessingStats:
     def merge(self, other: "ProcessingStats") -> None:
         """Fold another run's counts into this one (same map)."""
         if other.map_name != self.map_name:
-            raise ValueError(
+            raise StatsMergeError(
                 f"cannot merge stats of {other.map_name.value} into "
                 f"{self.map_name.value}"
             )

@@ -1,0 +1,51 @@
+"""The invariant rule pack.
+
+| id     | invariant                                                      |
+|--------|----------------------------------------------------------------|
+| REP001 | internal callers pass ``ParseOptions``, not deprecated kwargs  |
+| REP002 | telemetry instrument names: convention + documented            |
+| REP003 | no nondeterminism inside the byte-identical pure modules       |
+| REP004 | pool-submitted callables are module-level (picklable)          |
+| REP005 | raises use the typed ``repro.errors`` hierarchy; no bare except|
+| REP006 | ``repro.__all__`` matches the committed ``api_surface.json``   |
+| REP007 | no mutable default arguments                                   |
+
+``REP000`` (unused suppression) and ``REP999`` (unparseable file) are
+engine-reserved ids.  Each rule documents its rationale, examples, and
+suppression syntax in ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.engine import Rule
+from repro.devtools.rules.api_surface import ApiSurfaceRule
+from repro.devtools.rules.defaults import MutableDefaultRule
+from repro.devtools.rules.determinism import DeterminismRule
+from repro.devtools.rules.options import ParseOptionsRule
+from repro.devtools.rules.pool import PicklableSubmitRule
+from repro.devtools.rules.raises import TypedRaiseRule
+from repro.devtools.rules.telemetry import TelemetryNameRule
+
+__all__ = [
+    "ApiSurfaceRule",
+    "DeterminismRule",
+    "MutableDefaultRule",
+    "ParseOptionsRule",
+    "PicklableSubmitRule",
+    "TelemetryNameRule",
+    "TypedRaiseRule",
+    "default_rules",
+]
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every rule, in id order."""
+    return [
+        ParseOptionsRule(),
+        TelemetryNameRule(),
+        DeterminismRule(),
+        PicklableSubmitRule(),
+        TypedRaiseRule(),
+        ApiSurfaceRule(),
+        MutableDefaultRule(),
+    ]

@@ -1,0 +1,134 @@
+"""REP006 — the public API surface drifts only by explicit review.
+
+``repro.__all__`` is the stable public surface (PEP 562 lazy exports).
+Because it is assembled from the ``_EXPORTS`` table, a stray edit can
+silently widen or shrink the surface without anyone noticing until a
+downstream import breaks.  The rule extracts the surface *statically*
+from ``src/repro/__init__.py`` — the string keys of the ``_EXPORTS``
+dict literal plus any string constants in the ``__all__`` expression —
+and compares it against the committed ``api_surface.json`` snapshot.
+Changing the surface therefore always shows up as a reviewable two-line
+diff: the code change and the snapshot change
+(``repro-weather check --update-api-snapshot``).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from typing import Iterable
+
+from repro.devtools.engine import CheckConfig, Finding, Rule
+
+_SNAPSHOT_VERSION = 1
+
+
+def extract_surface(tree: ast.Module) -> list[str]:
+    """The public names, read statically from the ``__init__`` AST.
+
+    Understands the repo's idiom: a module-level ``_EXPORTS`` dict with
+    literal string keys, and an ``__all__`` assignment whose expression
+    may mix ``*_EXPORTS`` with extra string literals (``"__version__"``).
+    """
+    names: set[str] = set()
+    for node in tree.body:
+        targets = (
+            node.targets
+            if isinstance(node, ast.Assign)
+            else [node.target]
+            if isinstance(node, ast.AnnAssign)
+            else []
+        )
+        target_names = {t.id for t in targets if isinstance(t, ast.Name)}
+        value = getattr(node, "value", None)
+        if value is None:
+            continue
+        if "_EXPORTS" in target_names and isinstance(value, ast.Dict):
+            for key in value.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    names.add(key.value)
+        if "__all__" in target_names:
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    names.add(sub.value)
+    return sorted(names)
+
+
+def write_snapshot(config: CheckConfig, surface: list[str]) -> None:
+    """Persist the surface as the committed snapshot."""
+    assert config.api_snapshot is not None
+    payload = {"version": _SNAPSHOT_VERSION, "names": surface}
+    config.api_snapshot.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+class ApiSurfaceRule(Rule):
+    rule_id = "REP006"
+    summary = "repro.__all__ matches the committed api_surface.json"
+
+    def finish(self, config: CheckConfig) -> Iterable[Finding]:
+        init = config.api_init
+        snapshot_path = config.api_snapshot
+        if init is None or snapshot_path is None or not init.is_file():
+            return ()
+        relpath = init.relative_to(config.root).as_posix()
+        surface = extract_surface(
+            ast.parse(init.read_text(encoding="utf-8"), filename=str(init))
+        )
+        if config.update_api_snapshot:
+            write_snapshot(config, surface)
+            return ()
+        snapshot_rel = snapshot_path.relative_to(config.root).as_posix()
+        if not snapshot_path.is_file():
+            return [
+                Finding(
+                    rule=self.rule_id,
+                    path=relpath,
+                    line=1,
+                    col=1,
+                    message=(
+                        f"no {snapshot_rel} snapshot; run "
+                        f"'repro-weather check --update-api-snapshot' and "
+                        f"commit it"
+                    ),
+                )
+            ]
+        try:
+            recorded = json.loads(snapshot_path.read_text(encoding="utf-8"))
+            names = recorded["names"]
+        except (json.JSONDecodeError, KeyError, TypeError):
+            return [
+                Finding(
+                    rule=self.rule_id,
+                    path=snapshot_rel,
+                    line=1,
+                    col=1,
+                    message=(
+                        "api_surface.json is unreadable; regenerate it with "
+                        "'repro-weather check --update-api-snapshot'"
+                    ),
+                )
+            ]
+        added = sorted(set(surface) - set(names))
+        removed = sorted(set(names) - set(surface))
+        if not added and not removed:
+            return ()
+        details = []
+        if added:
+            details.append(f"added: {', '.join(added)}")
+        if removed:
+            details.append(f"removed: {', '.join(removed)}")
+        return [
+            Finding(
+                rule=self.rule_id,
+                path=relpath,
+                line=1,
+                col=1,
+                message=(
+                    f"public API surface drifted from {snapshot_rel} "
+                    f"({'; '.join(details)}) — review the change, then "
+                    f"refresh the snapshot with --update-api-snapshot"
+                ),
+            )
+        ]

@@ -1,0 +1,79 @@
+"""REP007 — no mutable default arguments.
+
+A mutable default is evaluated once at definition time and shared by
+every call — in a library whose bulk engine re-enters the same functions
+from pool workers and long-lived CLI runs, a default ``[]`` or ``{}``
+that accumulates state is a correctness bug waiting for the second call.
+Use ``None`` plus an in-body default, or ``dataclasses.field`` with a
+``default_factory``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.engine import Finding, Rule, SourceModule
+
+#: Constructor names whose call as a default is equally shared state.
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter"}
+)
+
+_MUTABLE_NODES = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_NODES):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_FACTORIES
+    return False
+
+
+class MutableDefaultRule(Rule):
+    rule_id = "REP007"
+    summary = "no mutable default arguments"
+
+    def _check(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+        module: SourceModule,
+        label: str,
+    ) -> Iterable[Finding]:
+        findings = []
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if default is not None and _is_mutable_default(default):
+                findings.append(
+                    self.finding(
+                        module,
+                        default,
+                        f"mutable default {ast.unparse(default)!r} in "
+                        f"{label} is shared across calls; use None and "
+                        f"default inside the body",
+                    )
+                )
+        return findings
+
+    def visit_FunctionDef(
+        self, node: ast.FunctionDef, module: SourceModule
+    ) -> Iterable[Finding]:
+        return self._check(node, module, f"{node.name}()")
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, module: SourceModule
+    ) -> Iterable[Finding]:
+        return self._check(node, module, f"{node.name}()")
+
+    def visit_Lambda(
+        self, node: ast.Lambda, module: SourceModule
+    ) -> Iterable[Finding]:
+        return self._check(node, module, "lambda")

@@ -1,0 +1,150 @@
+"""REP003 — no nondeterminism inside the byte-identical pure modules.
+
+The fast-path/DOM and serial/parallel byte-identity guarantees (and the
+incremental manifest's content-hash skip cache) only hold because the
+parse/serialize modules are pure functions of their inputs.  Wall-clock
+reads, the global (unseeded) ``random`` state, and entropy sources are
+therefore banned inside them.  Explicitly allowed: monotonic timers
+(``perf_counter``/``monotonic``) because telemetry timing never alters
+outputs, and seeded ``random.Random(seed)`` instances, which are how the
+deterministic generators derive reproducible streams.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.engine import Finding, Rule, SourceModule
+
+#: Dotted prefixes of the modules that must stay pure.
+PURE_MODULE_PREFIXES = (
+    "repro.parsing",
+    "repro.yamlio",
+    "repro.svgdoc",
+    "repro.geometry",
+    "repro.topology",
+)
+
+#: ``module_or_class.attribute`` calls that read wall clocks or entropy.
+BANNED_ATTRIBUTES = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+        ("os", "urandom"),
+        ("uuid", "uuid4"),
+        ("uuid", "uuid1"),
+    }
+)
+
+#: Names whose import alone marks nondeterminism in a pure module.
+_BANNED_FROM_IMPORTS = {
+    "time": {"time", "time_ns"},
+    "os": {"urandom"},
+    "uuid": {"uuid1", "uuid4"},
+}
+
+#: The only attribute of the ``random`` module a pure module may touch:
+#: an explicitly seeded generator.
+_ALLOWED_RANDOM_ATTRS = frozenset({"Random"})
+
+
+def _is_pure(module: SourceModule) -> bool:
+    return module.name.startswith(PURE_MODULE_PREFIXES)
+
+
+class DeterminismRule(Rule):
+    rule_id = "REP003"
+    summary = "pure parse/serialize modules read no clocks or entropy"
+
+    def visit_Call(
+        self, node: ast.Call, module: SourceModule
+    ) -> Iterable[Finding]:
+        if not _is_pure(module) or not isinstance(node.func, ast.Attribute):
+            return ()
+        attribute = node.func
+        base = attribute.value
+        base_name = None
+        if isinstance(base, ast.Name):
+            base_name = base.id
+        elif isinstance(base, ast.Attribute):  # e.g. datetime.datetime.now
+            base_name = base.attr
+        if base_name is None:
+            return ()
+        if (base_name, attribute.attr) in BANNED_ATTRIBUTES:
+            return [
+                self.finding(
+                    module,
+                    node,
+                    f"{base_name}.{attribute.attr}() is nondeterministic; "
+                    f"pure modules must not read clocks or entropy",
+                )
+            ]
+        if base_name == "random" and attribute.attr not in _ALLOWED_RANDOM_ATTRS:
+            return [
+                self.finding(
+                    module,
+                    node,
+                    f"random.{attribute.attr}() uses the unseeded global "
+                    f"RNG; use a seeded random.Random via repro.rng",
+                )
+            ]
+        if base_name == "secrets":
+            return [
+                self.finding(
+                    module, node, "secrets.* is entropy; pure modules ban it"
+                )
+            ]
+        return ()
+
+    def visit_ImportFrom(
+        self, node: ast.ImportFrom, module: SourceModule
+    ) -> Iterable[Finding]:
+        if not _is_pure(module) or node.module is None:
+            return ()
+        findings = []
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name not in _ALLOWED_RANDOM_ATTRS:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"'from random import {alias.name}' pulls the "
+                            f"unseeded global RNG into a pure module",
+                        )
+                    )
+        elif node.module == "secrets":
+            findings.append(
+                self.finding(
+                    module, node, "importing secrets into a pure module"
+                )
+            )
+        else:
+            banned = _BANNED_FROM_IMPORTS.get(node.module, set())
+            for alias in node.names:
+                if alias.name in banned:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"'from {node.module} import {alias.name}' is "
+                            f"nondeterministic in a pure module",
+                        )
+                    )
+        return findings
+
+    def visit_Import(
+        self, node: ast.Import, module: SourceModule
+    ) -> Iterable[Finding]:
+        if not _is_pure(module):
+            return ()
+        return [
+            self.finding(module, node, "importing secrets into a pure module")
+            for alias in node.names
+            if alias.name == "secrets"
+        ]

@@ -1,0 +1,77 @@
+"""REP001 — internal callers must pass ``ParseOptions``.
+
+PR 4 replaced the per-knob keywords (``fast_path``, ``accelerated``,
+``label_distance_threshold``) threaded through every pipeline layer with
+one frozen :class:`repro.parsing.pipeline.ParseOptions` object.  The old
+keywords survive at the public boundary as deprecated aliases, but
+*internal* code reaching an entry point through them would re-trigger
+the deprecation warning on every call and silently fork the
+configuration path the fast-path/DOM byte-identity guarantee depends
+on.  This rule pins the invariant: inside ``src/repro`` the deprecated
+keywords never appear on a pipeline entry-point call.
+
+``resolve_parse_options`` is exempt by design — it *is* the boundary
+that normalises the aliases — as is constructing ``ParseOptions`` itself
+(its constructor legitimately takes the same field names).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.engine import Finding, Rule, SourceModule
+
+#: The PR-4-deprecated per-knob aliases.
+DEPRECATED_KWARGS = frozenset(
+    {"fast_path", "accelerated", "label_distance_threshold"}
+)
+
+#: Entry points that accept ``options=`` and (deprecated) the aliases.
+ENTRY_POINTS = frozenset(
+    {
+        "parse_svg",
+        "parse_svg_file",
+        "process_svg_bytes",
+        "process_map",
+        "process_map_parallel",
+        "process_all_parallel",
+        "validate_dataset",
+        "validate_map",
+    }
+)
+
+
+def _callee_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class ParseOptionsRule(Rule):
+    rule_id = "REP001"
+    summary = "internal callers pass ParseOptions, never deprecated kwargs"
+
+    def visit_Call(
+        self, node: ast.Call, module: SourceModule
+    ) -> Iterable[Finding]:
+        name = _callee_name(node.func)
+        if name not in ENTRY_POINTS:
+            return ()
+        offending = sorted(
+            keyword.arg
+            for keyword in node.keywords
+            if keyword.arg in DEPRECATED_KWARGS
+        )
+        if not offending:
+            return ()
+        return [
+            self.finding(
+                module,
+                node,
+                f"{name}() called with deprecated keyword(s) "
+                f"{', '.join(offending)}; pass options=ParseOptions(...)",
+            )
+        ]

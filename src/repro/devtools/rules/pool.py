@@ -1,0 +1,85 @@
+"""REP004 — pool-submitted callables must be module-level (picklable).
+
+``ProcessPoolExecutor`` pickles the submitted callable by qualified
+name.  A lambda or a function defined inside another function pickles
+only at submission *time of failure* — the error surfaces deep inside
+the pool machinery, long after the code that introduced it.  The bulk
+engine's workers (``repro.dataset.engine._process_batch``) are
+module-level for exactly this reason; the rule keeps it that way for
+every future ``.submit(...)`` site.
+
+Accepted first arguments: a name bound at module level (def, class, or
+import), a dotted attribute rooted in an imported module, and
+``functools.partial(...)`` of either.  Everything else — lambdas, names
+only bound inside the enclosing function, bound methods of local
+objects — is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.engine import Finding, Rule, SourceModule
+
+
+def _root_name(expr: ast.expr) -> str | None:
+    """The leftmost name of a dotted attribute chain, if any."""
+    while isinstance(expr, ast.Attribute):
+        expr = expr.value
+    return expr.id if isinstance(expr, ast.Name) else None
+
+
+class PicklableSubmitRule(Rule):
+    rule_id = "REP004"
+    summary = "callables handed to ProcessPoolExecutor.submit are module-level"
+
+    def visit_Call(
+        self, node: ast.Call, module: SourceModule
+    ) -> Iterable[Finding]:
+        if not (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "submit"
+            and node.args
+        ):
+            return ()
+        problem = self._describe_problem(node.args[0], module)
+        if problem is None:
+            return ()
+        return [
+            self.finding(
+                module,
+                node,
+                f"{problem} submitted to a process pool — workers must be "
+                f"module-level so they pickle",
+            )
+        ]
+
+    def _describe_problem(
+        self, candidate: ast.expr, module: SourceModule
+    ) -> str | None:
+        """Why ``candidate`` may not pickle; ``None`` when it looks safe."""
+        if isinstance(candidate, ast.Lambda):
+            return "lambda"
+        if isinstance(candidate, ast.Name):
+            if candidate.id in module.toplevel_names:
+                return None
+            return f"locally-bound callable {candidate.id!r}"
+        if isinstance(candidate, ast.Attribute):
+            root = _root_name(candidate)
+            if root is not None and root in module.imported_modules:
+                return None
+            return f"bound attribute {ast.unparse(candidate)!r}"
+        if isinstance(candidate, ast.Call):
+            callee = candidate.func
+            callee_name = (
+                callee.id
+                if isinstance(callee, ast.Name)
+                else callee.attr
+                if isinstance(callee, ast.Attribute)
+                else None
+            )
+            if callee_name == "partial" and candidate.args:
+                return self._describe_problem(candidate.args[0], module)
+            return "dynamically constructed callable"
+        return "non-name callable expression"

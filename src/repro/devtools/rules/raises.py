@@ -1,0 +1,154 @@
+"""REP005 — typed raises and no blind exception handling.
+
+Table 2's unprocessed-file accounting works because every failure mode
+has a class in :mod:`repro.errors`; an ad-hoc ``ValueError`` raised deep
+in a pipeline stage would be invisible to that taxonomy.  The rule
+requires every ``raise`` in ``src/repro`` to construct an exception
+imported from :mod:`repro.errors` (or re-raise what was caught), and
+bans handlers that can swallow anything.
+
+Allowed raise forms:
+
+* ``raise`` — bare re-raise inside a handler;
+* ``raise name [from ...]`` — re-raising a bound exception object, or a
+  module-private control-flow sentinel class (``_Fallback``-style);
+* ``raise TypedError(...)`` where ``TypedError`` is imported from
+  :mod:`repro.errors` (or accessed through the module:
+  ``errors.TypedError(...)``);
+* ``raise _Sentinel(...)`` for module-private (underscore) classes —
+  internal control flow that never escapes the module;
+* a module-level class defined locally whose bases resolve to the typed
+  hierarchy;
+* ``raise AttributeError(...)`` inside ``__getattr__`` /
+  ``__getattribute__`` — the PEP 562 / descriptor protocol requires
+  exactly that type.
+
+Handler findings: bare ``except:`` always; ``except Exception:`` (or
+``BaseException``) only when the handler neither binds the exception
+(``as exc``) nor re-raises — i.e. when it can silently swallow
+everything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.engine import Finding, Rule, SourceModule
+
+#: Functions whose protocol mandates raising AttributeError.
+_ATTR_PROTOCOL_FUNCTIONS = frozenset({"__getattr__", "__getattribute__"})
+
+
+class TypedRaiseRule(Rule):
+    rule_id = "REP005"
+    summary = "raises use repro.errors; no bare/blind excepts"
+
+    def visit_Raise(
+        self, node: ast.Raise, module: SourceModule
+    ) -> Iterable[Finding]:
+        exc = node.exc
+        if exc is None or isinstance(exc, ast.Name):
+            return ()  # bare re-raise / bound variable / sentinel class
+        if isinstance(exc, ast.Call):
+            if self._call_is_typed(exc, node, module):
+                return ()
+            return [
+                self.finding(
+                    module,
+                    node,
+                    f"raise of untyped exception "
+                    f"{ast.unparse(exc.func)!r}; use the repro.errors "
+                    f"hierarchy",
+                )
+            ]
+        return [
+            self.finding(
+                module,
+                node,
+                f"raise of non-name expression {ast.unparse(exc)!r}; "
+                f"construct a repro.errors exception explicitly",
+            )
+        ]
+
+    def visit_ExceptHandler(
+        self, node: ast.ExceptHandler, module: SourceModule
+    ) -> Iterable[Finding]:
+        if node.type is None:
+            return [
+                self.finding(
+                    module, node, "bare 'except:' hides every failure mode"
+                )
+            ]
+        if (
+            isinstance(node.type, ast.Name)
+            and node.type.id in ("Exception", "BaseException")
+            and node.name is None
+            and not any(isinstance(stmt, ast.Raise) for stmt in ast.walk(node))
+        ):
+            return [
+                self.finding(
+                    module,
+                    node,
+                    f"blind 'except {node.type.id}:' swallows failures — "
+                    f"bind the exception or re-raise a typed one",
+                )
+            ]
+        return ()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _call_is_typed(
+        self, call: ast.Call, raise_node: ast.Raise, module: SourceModule
+    ) -> bool:
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in module.errors_imports or name.startswith("_"):
+                return True
+            if self._local_class_is_typed(name, module, seen=set()):
+                return True
+            if name == "AttributeError":
+                enclosing = module.enclosing_function(raise_node)
+                return (
+                    getattr(enclosing, "name", None) in _ATTR_PROTOCOL_FUNCTIONS
+                )
+            return False
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id in module.errors_module_aliases:
+                return True
+            # repro.errors.SomeError(...)
+            return (
+                isinstance(base, ast.Attribute)
+                and base.attr == "errors"
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "repro"
+            )
+        return False
+
+    def _local_class_is_typed(
+        self, name: str, module: SourceModule, seen: set[str]
+    ) -> bool:
+        """A module-level class counts when its bases reach repro.errors."""
+        if name in seen:
+            return False
+        seen.add(name)
+        definition = module.local_classes.get(name)
+        if definition is None:
+            return False
+        if name.startswith("_"):
+            return True
+        for base in definition.bases:
+            if isinstance(base, ast.Name):
+                if base.id in module.errors_imports:
+                    return True
+                if self._local_class_is_typed(base.id, module, seen):
+                    return True
+            elif (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id in module.errors_module_aliases
+            ):
+                return True
+        return False

@@ -1,0 +1,120 @@
+"""REP002 — telemetry instrument names: convention + documentation.
+
+Every instrument the library creates must follow the naming convention
+``repro_[a-z_]+`` with the kind-appropriate unit suffix (counters end in
+``_total``, histograms in ``_seconds`` or ``_bytes``; span base names
+get ``_seconds`` appended by the registry), and every name created in
+code must appear in ``docs/observability.md`` — the instrument catalogue
+is a contract, and an undocumented metric is an unreviewed one.
+
+Only calls with a literal string name are checked; the registry's own
+internals (which build names like ``f"{name}_seconds"``) live in
+``repro.telemetry`` and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.devtools.engine import CheckConfig, Finding, Rule, SourceModule
+
+#: Method name → required suffixes for the *created* instrument name
+#: (``None`` = no suffix requirement beyond the base convention).
+INSTRUMENT_METHODS: dict[str, tuple[str, ...] | None] = {
+    "counter": ("_total",),
+    "gauge": None,
+    "histogram": ("_seconds", "_bytes"),
+    "span": None,  # base name; the registry appends ``_seconds``
+}
+
+#: The base naming convention every instrument must match.
+NAME_RE = re.compile(r"repro_[a-z][a-z_]*[a-z]\Z")
+
+#: Token shape used to harvest documented names from the catalogue.
+_DOC_TOKEN_RE = re.compile(r"\brepro_[a-z_]+\b")
+
+#: Modules exempt from the rule (the registry machinery itself).
+_EXEMPT_PREFIX = "repro.telemetry"
+
+
+class TelemetryNameRule(Rule):
+    rule_id = "REP002"
+    summary = "instrument names follow the convention and are documented"
+
+    def __init__(self) -> None:
+        #: (relpath, line, effective name) for the cross-file doc check.
+        self._created: list[tuple[str, int, str]] = []
+
+    def visit_Call(
+        self, node: ast.Call, module: SourceModule
+    ) -> Iterable[Finding]:
+        if module.name.startswith(_EXEMPT_PREFIX):
+            return ()
+        if not isinstance(node.func, ast.Attribute):
+            return ()
+        method = node.func.attr
+        suffixes = INSTRUMENT_METHODS.get(method)
+        if method not in INSTRUMENT_METHODS or not node.args:
+            return ()
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            return ()
+        name = first.value
+        findings = []
+        if not NAME_RE.match(name):
+            findings.append(
+                self.finding(
+                    module,
+                    node,
+                    f"instrument name {name!r} does not match "
+                    f"'repro_[a-z_]+' convention",
+                )
+            )
+        effective = name
+        if method == "span":
+            if name.endswith(("_seconds", "_total", "_bytes")):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"span base name {name!r} must not carry a unit "
+                        f"suffix; the registry appends '_seconds'",
+                    )
+                )
+            effective = f"{name}_seconds"
+        elif suffixes is not None and not name.endswith(suffixes):
+            findings.append(
+                self.finding(
+                    module,
+                    node,
+                    f"{method} name {name!r} must end with "
+                    f"{' or '.join(repr(s) for s in suffixes)}",
+                )
+            )
+        self._created.append((module.relpath, node.lineno, effective))
+        return findings
+
+    def finish(self, config: CheckConfig) -> Iterable[Finding]:
+        doc = config.observability_doc
+        if doc is None or not doc.is_file():
+            return ()
+        documented = set(_DOC_TOKEN_RE.findall(doc.read_text(encoding="utf-8")))
+        doc_rel = doc.relative_to(config.root).as_posix()
+        findings = []
+        for relpath, line, name in self._created:
+            if name not in documented:
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=relpath,
+                        line=line,
+                        col=1,
+                        message=(
+                            f"instrument {name!r} is not documented in "
+                            f"{doc_rel} — add it to the catalogue"
+                        ),
+                    )
+                )
+        return findings

@@ -8,13 +8,19 @@ exception so callers can build the unprocessed-file accounting of Table 2.
 
 from __future__ import annotations
 
+from argparse import ArgumentTypeError
+
 
 class ReproError(Exception):
     """Base class for every error raised by the repro library."""
 
 
-class GeometryError(ReproError):
-    """Raised for degenerate geometric inputs (zero-length lines, empty boxes)."""
+class GeometryError(ReproError, ValueError):
+    """Raised for degenerate geometric inputs (zero-length lines, empty boxes).
+
+    Also a :class:`ValueError`: geometric degeneracy is an invalid-argument
+    condition, and callers validating inputs expect the stdlib taxonomy.
+    """
 
 
 class SvgError(ReproError):
@@ -96,6 +102,73 @@ class SnapshotIndexError(DatasetError):
     Callers on the read path treat this as "no index": the YAML series is
     authoritative and the index is only ever a derived cache, so a bad
     index file must degrade to a slower load, never to a failed one.
+    """
+
+
+class AnalysisError(ReproError, ValueError):
+    """An analysis invoked on inputs it cannot summarise (an empty or
+    single-snapshot series where a trend or changelog needs at least two
+    observations).  Also a :class:`ValueError`."""
+
+
+class OptionsError(ReproError, TypeError):
+    """Contradictory parse-configuration arguments.
+
+    Raised when a caller mixes ``options=ParseOptions(...)`` with one of
+    the deprecated per-knob keywords it replaced — the request is
+    ambiguous, so neither side can win silently.  Also a
+    :class:`TypeError`, matching how the stdlib reports incompatible
+    argument combinations.
+    """
+
+
+class StatsMergeError(DatasetError, ValueError):
+    """Two processing-stat accumulators that cannot be folded together.
+
+    Merging per-map accounting across maps would silently corrupt the
+    Table 2 bookkeeping, so the mismatch is an error, not a best-effort
+    union.
+    """
+
+
+class UnknownEndpointError(ReproError, KeyError):
+    """A node queried on a link it is not an endpoint of.
+
+    Also a :class:`KeyError`: the link's two ends form a tiny mapping
+    from node name to :class:`~repro.topology.model.LinkEnd`, and lookup
+    misses follow the stdlib taxonomy.
+    """
+
+
+class NameRegistryError(ReproError, ValueError):
+    """A router/peering name request the deterministic generator must refuse
+    (reserving a name that was already issued)."""
+
+
+class ColumnarCapacityError(ReproError, OverflowError):
+    """A columnar computation would overflow its packed representation.
+
+    The vectorised link-key packing fits four string-table ids into one
+    int64; tables large enough to break that bound abort loudly instead
+    of aliasing keys.  Also an :class:`OverflowError`.
+    """
+
+
+class CliUsageError(ReproError, ArgumentTypeError):
+    """An invalid command-line argument value.
+
+    Subclasses :class:`argparse.ArgumentTypeError` so argparse renders
+    the message verbatim in its usage error, while staying catchable as
+    part of the typed :class:`ReproError` hierarchy.
+    """
+
+
+class StaticAnalysisError(ReproError):
+    """The :mod:`repro.devtools` checker cannot run at all.
+
+    Raised for setup problems — an undiscoverable repository root, an
+    unreadable rule input — never for rule findings, which are reported
+    as data so the CLI can render them and exit 1.
     """
 
 

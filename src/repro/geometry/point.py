@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.errors import GeometryError
+
 
 @dataclass(frozen=True, slots=True)
 class Point:
@@ -58,11 +60,11 @@ class Point:
         """Unit vector in the direction of this vector.
 
         Raises:
-            ValueError: if this is the zero vector.
+            GeometryError: if this is the zero vector (also a ValueError).
         """
         length = self.norm()
         if length == 0.0:
-            raise ValueError("cannot normalize the zero vector")
+            raise GeometryError("cannot normalize the zero vector")
         return Point(self.x / length, self.y / length)
 
     def perpendicular(self) -> Point:

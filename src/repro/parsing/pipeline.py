@@ -31,12 +31,13 @@ from pathlib import Path
 from time import perf_counter
 
 from repro.constants import LABEL_DISTANCE_THRESHOLD, MapName
+from repro.errors import OptionsError
 from repro.parsing.algorithm1 import ExtractionResult, extract_objects
-from repro.parsing.algorithm2 import attribute_objects
+from repro.parsing.algorithm2 import AttributedLink, attribute_objects
 from repro.parsing.checks import ParseReport, run_sanity_checks
 from repro.parsing.stream import stream_extract
 from repro.svgdoc.reader import read_svg_tags
-from repro.telemetry import get_registry
+from repro.telemetry import MetricsRegistry, get_registry
 from repro.topology.model import Link, LinkEnd, MapSnapshot, Node, NodeKind
 
 #: Timestamp used when the caller provides none.
@@ -98,7 +99,8 @@ def resolve_parse_options(
     ``DeprecationWarning`` is emitted — one warning per call, however
     many aliases were passed — and an equivalent :class:`ParseOptions`
     is built.  Mixing ``options=`` with a deprecated keyword is
-    ambiguous and raises :class:`TypeError`.
+    ambiguous and raises :class:`~repro.errors.OptionsError` (a
+    :class:`TypeError`).
     """
     overrides: dict[str, object] = {}
     if label_distance_threshold is not None:
@@ -111,7 +113,7 @@ def resolve_parse_options(
         return options if options is not None else DEFAULT_PARSE_OPTIONS
     names = ", ".join(sorted(overrides))
     if options is not None:
-        raise TypeError(
+        raise OptionsError(
             f"pass options=ParseOptions(...) or the deprecated "
             f"keyword(s) {names}, not both"
         )
@@ -137,7 +139,7 @@ class _PipelineMetrics:
 
     __slots__ = ("registry", "stage", "fast_path")
 
-    def __init__(self, registry) -> None:
+    def __init__(self, registry: MetricsRegistry) -> None:
         self.registry = registry
         self.stage = registry.histogram(
             "repro_parse_stage_seconds",
@@ -231,7 +233,7 @@ class ParsedMap:
 
 def _snapshot_from(
     extraction: ExtractionResult,
-    links,
+    links: list[AttributedLink],
     map_name: MapName,
     timestamp: datetime,
 ) -> MapSnapshot:

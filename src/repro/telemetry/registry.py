@@ -241,7 +241,9 @@ class MetricsRegistry:
 
     # -- instrument access -------------------------------------------------
 
-    def _get_or_create(self, cls: type, name: str, help: str, **extra) -> Instrument:
+    def _get_or_create(
+        self, cls: type, name: str, help: str, **extra: object
+    ) -> Instrument:
         instrument = self._instruments.get(name)
         if instrument is None:
             with self._lock:

@@ -8,7 +8,7 @@ from enum import Enum
 from typing import Iterator
 
 from repro.constants import LOAD_MAX, LOAD_MIN, MapName
-from repro.errors import LoadRangeError, SchemaError
+from repro.errors import LoadRangeError, SchemaError, UnknownEndpointError
 
 
 class NodeKind(str, Enum):
@@ -94,7 +94,7 @@ class Link:
             return self.a
         if self.b.node == node:
             return self.b
-        raise KeyError(f"{node!r} is not an endpoint of this link")
+        raise UnknownEndpointError(f"{node!r} is not an endpoint of this link")
 
     def load_from(self, node: str) -> float:
         """Egress load in the direction leaving ``node``."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 
 from repro.constants import MapName
+from repro.errors import NameRegistryError
 from repro.rng import stable_seed
 
 #: Site codes per backbone map, loosely modelled on OVH's actual footprint.
@@ -85,7 +86,7 @@ class NameGenerator:
         need a well-known peering on the map.
         """
         if name in self._issued:
-            raise ValueError(f"name {name!r} already issued")
+            raise NameRegistryError(f"name {name!r} already issued")
         self._issued.add(name)
         if name in self._peering_pool:
             self._peering_pool.remove(name)
