@@ -37,6 +37,7 @@ MYPY_STRICT_TARGETS = (
     "repro.telemetry",
     "repro.parsing",
     "repro.dataset.workers",
+    "repro.dataset.query",
 )
 
 

@@ -70,6 +70,11 @@ _EXPORTS: dict[str, tuple[str, str]] = {
     "process_svg_bytes": ("repro.dataset.processor", "process_svg_bytes"),
     "process_map_parallel": ("repro.dataset.engine", "process_map_parallel"),
     "validate_dataset": ("repro.dataset.validate", "validate_dataset"),
+    # zero-copy query engine
+    "MappedIndex": ("repro.dataset.query", "MappedIndex"),
+    "ScanPredicate": ("repro.dataset.query", "ScanPredicate"),
+    "ScanResult": ("repro.dataset.query", "ScanResult"),
+    "open_query": ("repro.dataset.query", "open_query"),
     # yaml twins
     "snapshot_from_yaml": ("repro.yamlio.deserialize", "snapshot_from_yaml"),
     "snapshot_to_yaml": ("repro.yamlio.serialize", "snapshot_to_yaml"),

@@ -76,12 +76,16 @@ from repro.analysis.diversity import (
     edge_disjoint_paths,
 )
 from repro.analysis.columnar import (
+    ColumnSource,
     DirectedLoadColumns,
     LinkLifetime,
     LoadMatrix,
     NodeLifetime,
+    count_series,
     directed_load_columns,
+    imbalance_samples,
     link_lifetimes,
+    link_load_series,
     load_matrix,
     load_samples,
     node_lifetimes,
@@ -130,12 +134,16 @@ __all__ = [
     "CongestionSummary",
     "congestion_rate_by_hour",
     "find_congestion",
+    "ColumnSource",
     "DirectedLoadColumns",
     "LinkLifetime",
     "LoadMatrix",
     "NodeLifetime",
+    "count_series",
     "directed_load_columns",
+    "imbalance_samples",
     "link_lifetimes",
+    "link_load_series",
     "load_matrix",
     "load_samples",
     "node_lifetimes",

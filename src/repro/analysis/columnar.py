@@ -13,6 +13,13 @@ The accessors mirror their object-path equivalents exactly:
 :class:`~repro.analysis.loads.LoadSamples` (element for element) that
 ``collect_load_samples(load_all(...))`` would, so every downstream
 figure function works unchanged.
+
+Every accessor takes a :data:`ColumnSource` — either an in-heap
+:class:`~repro.dataset.index.SnapshotIndex` or the zero-copy
+:class:`~repro.dataset.query.MappedIndex` engine.  The two expose the
+same column attributes; over a mapped engine nothing here copies the
+corpus, so whole-series figures run directly against the shared
+``index.bin`` mapping.
 """
 
 from __future__ import annotations
@@ -20,21 +27,35 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 from datetime import datetime, timezone
+from typing import TYPE_CHECKING, Union
 
 import numpy
 
+from repro.analysis.imbalance import MINIMUM_ACTIVE_LOAD, ImbalanceResult
+from repro.analysis.infrastructure import InfrastructureEvolution
 from repro.analysis.loads import LoadSamples
+from repro.analysis.timeseries import TimeSeries
 from repro.dataset.index import SnapshotIndex
-from repro.errors import ColumnarCapacityError
+from repro.errors import AnalysisError, ColumnarCapacityError
 from repro.topology.model import NodeKind
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dataset.query import MappedIndex
+
+#: Any columnar snapshot source: the in-heap index or the mmap engine.
+ColumnSource = Union["SnapshotIndex", "MappedIndex"]
+
 __all__ = [
+    "ColumnSource",
     "DirectedLoadColumns",
     "LinkLifetime",
     "LoadMatrix",
     "NodeLifetime",
+    "count_series",
     "directed_load_columns",
+    "imbalance_samples",
     "link_lifetimes",
+    "link_load_series",
     "load_matrix",
     "load_samples",
     "node_lifetimes",
@@ -42,14 +63,21 @@ __all__ = [
 
 
 def _column(raw, dtype) -> numpy.ndarray:
-    """Zero-copy numpy view over one of the index's array columns."""
+    """Zero-copy numpy view over one columnar source column.
+
+    ``SnapshotIndex`` columns are ``array.array`` buffers, the mapped
+    engine's are already numpy views (numpy backend) or ``memoryview``
+    casts (stdlib backend); all reach numpy without copying.
+    """
+    if isinstance(raw, numpy.ndarray):
+        return raw
     if len(raw) == 0:
         return numpy.empty(0, dtype=dtype)
     return numpy.frombuffer(raw, dtype=dtype)
 
 
 def _rows_and_bounds(
-    index: SnapshotIndex, start: datetime | None, end: datetime | None
+    index: ColumnSource, start: datetime | None, end: datetime | None
 ) -> tuple[range, int, int]:
     """Selected snapshot rows plus their link-column slice bounds."""
     rows = index.rows_in_window(start, end)
@@ -60,13 +88,13 @@ def _rows_and_bounds(
     return rows, int(offsets[rows.start]), int(offsets[rows.stop])
 
 
-def _link_row_of(index: SnapshotIndex) -> numpy.ndarray:
+def _link_row_of(index: ColumnSource) -> numpy.ndarray:
     """For every link column element, the snapshot row it belongs to."""
     counts = _column(index.link_counts, numpy.uint32).astype(numpy.int64)
     return numpy.repeat(numpy.arange(len(counts), dtype=numpy.int64), counts)
 
 
-def _external_links(index: SnapshotIndex) -> numpy.ndarray:
+def _external_links(index: ColumnSource) -> numpy.ndarray:
     """Boolean per link column element: does it touch a peering?
 
     Fast path: when no name is ever used both as a router and as a
@@ -122,7 +150,7 @@ class DirectedLoadColumns:
 
 
 def directed_load_columns(
-    index: SnapshotIndex,
+    index: ColumnSource,
     start: datetime | None = None,
     end: datetime | None = None,
 ) -> DirectedLoadColumns:
@@ -150,7 +178,7 @@ def directed_load_columns(
 
 
 def load_samples(
-    index: SnapshotIndex,
+    index: ColumnSource,
     start: datetime | None = None,
     end: datetime | None = None,
 ) -> LoadSamples:
@@ -182,7 +210,7 @@ class NodeLifetime:
     snapshots: int
 
 
-def node_lifetimes(index: SnapshotIndex) -> dict[str, NodeLifetime]:
+def node_lifetimes(index: ColumnSource) -> dict[str, NodeLifetime]:
     """First/last appearance and presence count per node, vectorised.
 
     The evolution analyses (Figure 4, the make-before-break narratives)
@@ -232,7 +260,7 @@ def _utc(epoch) -> datetime:
     return datetime.fromtimestamp(int(epoch), tz=timezone.utc)
 
 
-def _row_of(index: SnapshotIndex, when: datetime) -> int:
+def _row_of(index: ColumnSource, when: datetime) -> int:
     """Row of an exact timestamp previously read from the index."""
     return bisect.bisect_left(index.timestamps, int(when.timestamp()))
 
@@ -251,7 +279,7 @@ class LinkLifetime:
 
 
 def _canonical_link_keys(
-    index: SnapshotIndex, lo: int, hi: int
+    index: ColumnSource, lo: int, hi: int
 ) -> tuple[numpy.ndarray, numpy.ndarray]:
     """(packed key, was-swapped) per link row in ``[lo, hi)``.
 
@@ -282,7 +310,7 @@ def _canonical_link_keys(
     return keys, swapped
 
 
-def _unpack_link_key(index: SnapshotIndex, key: int) -> tuple[str, str, str, str]:
+def _unpack_link_key(index: ColumnSource, key: int) -> tuple[str, str, str, str]:
     names = max(1, len(index.names))
     labels = max(1, len(index.labels))
     key, second_label = divmod(key, labels)
@@ -297,7 +325,7 @@ def _unpack_link_key(index: SnapshotIndex, key: int) -> tuple[str, str, str, str
 
 
 def link_lifetimes(
-    index: SnapshotIndex,
+    index: ColumnSource,
 ) -> dict[tuple[str, str, str, str], LinkLifetime]:
     """First/last observation per link identity across the whole series.
 
@@ -362,7 +390,7 @@ class LoadMatrix:
 
 
 def load_matrix(
-    index: SnapshotIndex,
+    index: ColumnSource,
     start: datetime | None = None,
     end: datetime | None = None,
 ) -> LoadMatrix:
@@ -389,4 +417,169 @@ def load_matrix(
         keys=tuple(_unpack_link_key(index, int(key)) for key in unique_keys),
         forward=forward,
         reverse=reverse,
+    )
+
+
+def imbalance_samples(
+    index: ColumnSource,
+    start: datetime | None = None,
+    end: datetime | None = None,
+    minimum_load: float = MINIMUM_ACTIVE_LOAD,
+) -> ImbalanceResult:
+    """The Figure 5c sample set, identical to the object path's.
+
+    Equivalent to ``collect_imbalances(load_all(store, map))`` — the same
+    imbalances in the same order — computed by grouping the flat link
+    columns.  Group ordering follows the object path exactly: snapshots
+    in time order, groups within a snapshot by their sorted endpoint
+    *names* (hence the rank table below), and each group contributing
+    its forward direction before its backward one.
+    """
+    result = ImbalanceResult()
+    rows, lo, hi = _rows_and_bounds(index, start, end)
+    if hi == lo:
+        return result
+    a_nodes = _column(index.link_a_nodes, numpy.uint32)[lo:hi].astype(numpy.int64)
+    b_nodes = _column(index.link_b_nodes, numpy.uint32)[lo:hi].astype(numpy.int64)
+    a_loads = _column(index.link_a_loads, numpy.float64)[lo:hi]
+    b_loads = _column(index.link_b_loads, numpy.float64)[lo:hi]
+    link_rows = _link_row_of(index)[lo:hi]
+    external = _external_links(index)[lo:hi]
+
+    # Rank of every name id in lexicographic name order, so id-space
+    # comparisons reproduce the object path's string-sorted group keys.
+    names = index.names
+    count = max(1, len(names))
+    order_by_name = numpy.asarray(
+        sorted(range(len(names)), key=names.__getitem__), dtype=numpy.int64
+    )
+    rank = numpy.empty(count, dtype=numpy.int64)
+    rank[order_by_name] = numpy.arange(len(names), dtype=numpy.int64)
+
+    a_rank = rank[a_nodes]
+    b_rank = rank[b_nodes]
+    swapped = b_rank < a_rank
+    left = numpy.where(swapped, b_rank, a_rank)
+    right = numpy.where(swapped, a_rank, b_rank)
+    forward = numpy.where(swapped, b_loads, a_loads)  # egress from left
+    backward = numpy.where(swapped, a_loads, b_loads)  # egress from right
+    if len(index) * count * count >= 2**62:
+        raise ColumnarCapacityError(
+            f"series too large to pack group keys "
+            f"({len(index)} rows, {count} names)"
+        )
+    keys = (link_rows * count + left) * count + right
+    order = numpy.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    starts = numpy.flatnonzero(numpy.r_[True, sorted_keys[1:] != sorted_keys[:-1]])
+    ends = numpy.r_[starts[1:], len(sorted_keys)]
+    for begin, finish in zip(starts, ends):
+        members = order[begin:finish]
+        bucket = result.external if external[members[0]] else result.internal
+        for loads in (forward[members], backward[members]):
+            active = loads[loads >= minimum_load]
+            if len(active) >= 2:
+                bucket.append(float(active.max() - active.min()))
+    return result
+
+
+def count_series(
+    index: ColumnSource,
+    start: datetime | None = None,
+    end: datetime | None = None,
+) -> InfrastructureEvolution:
+    """The Figure 4 evolution series, identical to the object path's.
+
+    Equivalent to ``evolution_from_snapshots(load_all(store, map))`` —
+    the router and internal/external link counts come straight from the
+    count columns, the internal/external split from the membership
+    columns.
+
+    Raises:
+        AnalysisError: the window selects no snapshots (the object path
+            refuses an empty series the same way).
+    """
+    rows, lo, hi = _rows_and_bounds(index, start, end)
+    if len(rows) == 0:
+        raise AnalysisError("no snapshots given")
+    routers = _column(index.router_counts, numpy.uint32)[rows.start : rows.stop]
+    totals = _column(index.link_counts, numpy.uint32)[
+        rows.start : rows.stop
+    ].astype(numpy.int64)
+    link_rows = _link_row_of(index)[lo:hi] - rows.start
+    external = _external_links(index)[lo:hi]
+    external_counts = numpy.bincount(
+        link_rows, weights=external.astype(numpy.float64), minlength=len(rows)
+    ).astype(numpy.int64)
+    internal_counts = totals - external_counts
+    times = tuple(
+        _utc(epoch)
+        for epoch in _column(index.timestamps, numpy.int64)[rows.start : rows.stop]
+    )
+    return InfrastructureEvolution(
+        map_name=index.map_name,
+        routers=TimeSeries(times, tuple(float(v) for v in routers)),
+        internal_links=TimeSeries(times, tuple(float(v) for v in internal_counts)),
+        external_links=TimeSeries(times, tuple(float(v) for v in external_counts)),
+    )
+
+
+def link_load_series(
+    index: ColumnSource,
+    key: tuple[str, str, str, str],
+    start: datetime | None = None,
+    end: datetime | None = None,
+) -> tuple[TimeSeries, TimeSeries]:
+    """(forward, reverse) load series of one link identity.
+
+    ``key`` is ``(node_a, label_a, node_b, label_b)`` in either
+    orientation; *forward* is the egress direction leaving ``key[0]``,
+    matching ``link.load_from(key[0])`` on the object path.  Snapshots
+    where the link is absent contribute no point (unlike
+    :func:`load_matrix`, which marks them ``nan``).  A key hiding
+    same-labelled parallel links yields duplicate timestamps and is
+    rejected by :class:`~repro.analysis.timeseries.TimeSeries` — exactly
+    as building the series from snapshots would be.
+    """
+    node_a, label_a, node_b, label_b = key
+    try:
+        ids = (
+            index.names.index(node_a),
+            index.labels.index(label_a),
+            index.names.index(node_b),
+            index.labels.index(label_b),
+        )
+    except ValueError:
+        return TimeSeries((), ()), TimeSeries((), ())
+    rows, lo, hi = _rows_and_bounds(index, start, end)
+    a_nodes = _column(index.link_a_nodes, numpy.uint32)[lo:hi]
+    a_labels = _column(index.link_a_labels, numpy.uint32)[lo:hi]
+    b_nodes = _column(index.link_b_nodes, numpy.uint32)[lo:hi]
+    b_labels = _column(index.link_b_labels, numpy.uint32)[lo:hi]
+    mask = (
+        (a_nodes == ids[0])
+        & (a_labels == ids[1])
+        & (b_nodes == ids[2])
+        & (b_labels == ids[3])
+    ) | (
+        (a_nodes == ids[2])
+        & (a_labels == ids[3])
+        & (b_nodes == ids[0])
+        & (b_labels == ids[1])
+    )
+    selected = numpy.flatnonzero(mask)
+    if not len(selected):
+        return TimeSeries((), ()), TimeSeries((), ())
+    a_loads = _column(index.link_a_loads, numpy.float64)[lo:hi][selected]
+    b_loads = _column(index.link_b_loads, numpy.float64)[lo:hi][selected]
+    from_a = a_nodes[selected] == ids[0]
+    forward = numpy.where(from_a, a_loads, b_loads)
+    reverse = numpy.where(from_a, b_loads, a_loads)
+    epochs = _column(index.timestamps, numpy.int64)[
+        _link_row_of(index)[lo:hi][selected]
+    ]
+    times = tuple(_utc(epoch) for epoch in epochs)
+    return (
+        TimeSeries(times, tuple(float(v) for v in forward)),
+        TimeSeries(times, tuple(float(v) for v in reverse)),
     )

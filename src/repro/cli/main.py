@@ -5,6 +5,7 @@ Subcommands::
     generate   simulate a collection campaign into a dataset directory
     process    run the SVG→YAML extraction over a dataset directory
     index      build or inspect the columnar snapshot index
+    query      zero-copy scans over the index (time range, node, link, load)
     catalog    print per-map time frames and snapshot-distance stats
     tables     print Table 1 and Table 2 for a dataset directory
     render     render one snapshot SVG to stdout or a file
@@ -192,6 +193,84 @@ def cmd_index_status(args: argparse.Namespace) -> int:
         print("no dataset files found", file=sys.stderr)
         return 1
     return 0 if all_fresh else 1
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Scan the mapped index: time-range/node/link/load filters, no objects."""
+    import csv
+    from itertools import islice
+
+    from repro.dataset.query import ScanPredicate, open_query
+    from repro.errors import QueryError
+
+    store = DatasetStore(args.dataset)
+    engine = open_query(
+        store, args.map, backend=args.backend, use_mmap=not args.no_mmap
+    )
+    if engine is None:
+        print(
+            f"no fresh index for {args.map.value}; "
+            f"run `repro-weather index build {args.dataset}` first",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        predicate = ScanPredicate(
+            start=_parse_when(args.start) if args.start else None,
+            end=_parse_when(args.end) if args.end else None,
+            node=args.node,
+            link=(args.link[0], args.link[1]) if args.link else None,
+            min_load=args.min_load,
+            max_load=args.max_load,
+        )
+    except QueryError as exc:
+        print(str(exc), file=sys.stderr)
+        engine.close()
+        return 1
+    with engine:
+        result = engine.scan(predicate)
+        if args.format == "csv":
+            writer = csv.writer(sys.stdout)
+            writer.writerow(
+                ["timestamp", "node_a", "label_a", "load_a",
+                 "node_b", "label_b", "load_b"]
+            )
+            for record in result.records():
+                writer.writerow(
+                    [record.timestamp.isoformat(), record.node_a, record.label_a,
+                     record.load_a, record.node_b, record.label_b, record.load_b]
+                )
+        else:
+            source = "mmap" if engine.mapped else "buffered"
+            print(
+                f"{args.map.value}: {len(result):,} matching links over "
+                f"{result.snapshot_count:,} snapshots "
+                f"({engine.backend} backend, {source} source)"
+            )
+            peak = count = 0.0
+            total = 0
+            for batch in result.batches():
+                for i in range(len(batch)):
+                    high = max(float(batch.a_loads[i]), float(batch.b_loads[i]))
+                    peak = max(peak, high)
+                    count += high
+                    total += 1
+            if total:
+                print(f"  peak-direction load: max {peak:.1f}%, "
+                      f"mean {count / total:.1f}%")
+            for record in islice(result.records(), args.limit):
+                print(
+                    f"  {record.timestamp.isoformat()}  "
+                    f"{record.node_a}[{record.label_a}] {record.load_a:5.1f}% "
+                    f"<-> {record.load_b:5.1f}% [{record.label_b}]{record.node_b}"
+                )
+            if len(result) > args.limit:
+                print(
+                    f"  ... {len(result) - args.limit:,} more "
+                    f"(raise --limit or use --format csv)"
+                )
+    _maybe_write_metrics(args)
+    return 0
 
 
 def cmd_catalog(args: argparse.Namespace) -> int:
@@ -636,6 +715,58 @@ def build_parser() -> argparse.ArgumentParser:
     index_status_parser.add_argument("dataset", help="dataset directory")
     index_status_parser.add_argument("--map", type=_map_argument, default=None)
     index_status_parser.set_defaults(handler=cmd_index_status)
+
+    query = subparsers.add_parser(
+        "query", help="zero-copy scans over the columnar index"
+    )
+    query.add_argument("dataset", help="dataset directory")
+    query.add_argument("--map", type=_map_argument, default=MapName.EUROPE)
+    query.add_argument("--start", default=None, help="ISO lower bound (inclusive)")
+    query.add_argument("--end", default=None, help="ISO upper bound (exclusive)")
+    query.add_argument("--node", default=None, help="keep links touching this node")
+    query.add_argument(
+        "--link",
+        nargs=2,
+        default=None,
+        metavar=("NODE_A", "NODE_B"),
+        help="keep links between these two nodes (either orientation)",
+    )
+    query.add_argument(
+        "--min-load", type=float, default=None,
+        help="keep links whose busier direction is at least this load (%%)",
+    )
+    query.add_argument(
+        "--max-load", type=float, default=None,
+        help="keep links whose busier direction is at most this load (%%)",
+    )
+    query.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "memoryview"),
+        default="auto",
+        help="column-view backend (default: numpy when available)",
+    )
+    query.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="read the index with buffered I/O instead of mapping it",
+    )
+    query.add_argument(
+        "--limit", type=int, default=20,
+        help="matching links to print in table format (default 20)",
+    )
+    query.add_argument(
+        "--format",
+        choices=("table", "csv"),
+        default="table",
+        help="human table with a summary (default) or full CSV on stdout",
+    )
+    query.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's telemetry as a JSON snapshot to this path",
+    )
+    query.set_defaults(handler=cmd_query)
 
     catalog = subparsers.add_parser("catalog", help="collection quality stats")
     catalog.add_argument("dataset", help="dataset directory")

@@ -16,6 +16,8 @@ package provides:
   (process-pool fan-out and the per-map ``manifest.json`` skip cache),
 * :mod:`repro.dataset.index` — the columnar snapshot index each map's
   YAML series is compacted into, so analyses never re-parse the corpus,
+* :mod:`repro.dataset.query` — the zero-copy ``mmap`` query engine over
+  that index: predicate-pushdown scans with no object materialisation,
 * :mod:`repro.dataset.workers` — worker-count resolution shared by every
   pool user (skips the pool where it cannot win),
 * :mod:`repro.dataset.catalog` — index of what was collected (time frames,
@@ -41,6 +43,14 @@ from repro.dataset.index import (
     fresh_index,
     index_status,
     load_index,
+)
+from repro.dataset.query import (
+    ColumnBatch,
+    LinkRecord,
+    MappedIndex,
+    ScanPredicate,
+    ScanResult,
+    open_query,
 )
 from repro.dataset.workers import default_workers, resolve_workers
 from repro.dataset.catalog import DatasetCatalog, TimeFrame, time_frames_from
@@ -76,6 +86,12 @@ __all__ = [
     "fresh_index",
     "index_status",
     "load_index",
+    "ColumnBatch",
+    "LinkRecord",
+    "MappedIndex",
+    "ScanPredicate",
+    "ScanResult",
+    "open_query",
     "default_workers",
     "resolve_workers",
     "DatasetCatalog",

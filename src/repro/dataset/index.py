@@ -114,6 +114,170 @@ def _epoch(when: datetime) -> int:
     return int(when.timestamp())
 
 
+@dataclass(frozen=True, slots=True)
+class ColumnSpec:
+    """Where one column's elements sit inside an ``index.bin`` file."""
+
+    attribute: str
+    typecode: str
+    itemsize: int
+    offset: int
+    count: int
+
+    @property
+    def end(self) -> int:
+        """Byte offset one past the column's last element."""
+        return self.offset + self.count * self.itemsize
+
+
+@dataclass(frozen=True)
+class IndexLayout:
+    """The byte layout of one ``index.bin`` — the mapping contract.
+
+    This is what lets :mod:`repro.dataset.query` expose the columns as
+    zero-copy views over a shared read-only mapping: every column's byte
+    span is known from the prefix and JSON header alone, so no column
+    data needs to be read (or copied) to locate any other.  The same
+    parse backs :meth:`SnapshotIndex.load`, which *does* then copy the
+    spans into :mod:`array` columns.
+    """
+
+    map_name: MapName
+    parser_version: int
+    byteorder: str
+    names: list[str]
+    labels: list[str]
+    skipped: dict[int, SkippedSource]
+    fingerprint: str
+    #: attribute → spec, in file order.
+    columns: dict[str, ColumnSpec]
+    #: Bytes covered by the trailing SHA-256 (prefix + header + columns).
+    payload_length: int
+
+
+def parse_index_layout(buffer, source: str = "index") -> IndexLayout:
+    """Parse an index file's prefix and header into its byte layout.
+
+    Args:
+        buffer: the whole file as any buffer object (``bytes``,
+            ``memoryview``, ``mmap``) — only the prefix and header bytes
+            are materialised, never the columns.
+        source: how to name the file in error messages.
+
+    Raises:
+        SnapshotIndexError: truncation, bad magic, unknown format
+            version, a malformed header, or column spans that do not
+            tile the payload exactly.
+    """
+    view = memoryview(buffer)
+    if len(view) < _PREFIX.size + _DIGEST_BYTES:
+        raise SnapshotIndexError(f"index {source} is truncated")
+    magic, version, header_length = _PREFIX.unpack_from(view)
+    if magic != INDEX_MAGIC:
+        raise SnapshotIndexError(f"index {source} has bad magic {magic!r}")
+    if version != INDEX_FORMAT_VERSION:
+        raise SnapshotIndexError(
+            f"index {source} has format version {version}, "
+            f"expected {INDEX_FORMAT_VERSION}"
+        )
+    payload_length = len(view) - _DIGEST_BYTES
+    offset = _PREFIX.size
+    if offset + header_length > payload_length:
+        raise SnapshotIndexError(f"index {source} header is truncated")
+    try:
+        header = json.loads(bytes(view[offset : offset + header_length]))
+        map_name = MapName(header["map"])
+        parser_version = int(header["parser_version"])
+        byteorder = str(header["byteorder"])
+        names = [str(name) for name in header["names"]]
+        labels = [str(label) for label in header["labels"]]
+        counts = header["counts"]
+        skipped = {
+            int(epoch): SkippedSource(
+                size=int(size), mtime_ns=int(mtime_ns), message=str(message)
+            )
+            for epoch, size, mtime_ns, message in header.get("skipped", [])
+        }
+        fingerprint = str(header.get("fingerprint", ""))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotIndexError(f"index {source} has a bad header: {exc}") from exc
+    offset += header_length
+    columns: dict[str, ColumnSpec] = {}
+    for attribute, typecode in _COLUMNS:
+        itemsize = array(typecode).itemsize
+        try:
+            count = int(counts.get(attribute, -1))
+        except (TypeError, ValueError) as exc:
+            raise SnapshotIndexError(
+                f"index {source} has a bad count for {attribute}"
+            ) from exc
+        span = count * itemsize
+        if count < 0 or offset + span > payload_length:
+            raise SnapshotIndexError(f"index {source} column {attribute} truncated")
+        columns[attribute] = ColumnSpec(
+            attribute=attribute,
+            typecode=typecode,
+            itemsize=itemsize,
+            offset=offset,
+            count=count,
+        )
+        offset += span
+    if offset != payload_length:
+        raise SnapshotIndexError(f"index {source} has trailing bytes")
+    return IndexLayout(
+        map_name=map_name,
+        parser_version=parser_version,
+        byteorder=byteorder,
+        names=names,
+        labels=labels,
+        skipped=skipped,
+        fingerprint=fingerprint,
+        columns=columns,
+        payload_length=payload_length,
+    )
+
+
+def covers_refs(index, refs: Sequence[SnapshotRef]) -> bool:
+    """Whether an index-shaped object exactly covers the given YAML refs.
+
+    Shared freshness walk for :class:`SnapshotIndex` and the query
+    engine's :class:`~repro.dataset.query.MappedIndex`: ``index`` only
+    needs ``timestamps`` / ``source_sizes`` / ``source_mtimes`` columns
+    and the ``skipped`` mapping.  Every ref must appear — as an indexed
+    row or a recorded skip — with a matching ``(size, mtime_ns)``, and
+    the index must contain nothing else.  One ``stat()`` per file, no
+    reads.
+    """
+    timestamps = index.timestamps
+    sizes = index.source_sizes
+    mtimes = index.source_mtimes
+    indexed = {
+        timestamps[row]: (sizes[row], mtimes[row])
+        for row in range(len(timestamps))
+    }
+    seen = 0
+    for ref in refs:
+        seen += 1
+        try:
+            stat = ref.path.stat()
+        except OSError:
+            return False
+        key = _epoch(ref.timestamp)
+        expected = indexed.get(key)
+        if expected is not None:
+            if expected != (stat.st_size, stat.st_mtime_ns):
+                return False
+            continue
+        skip = index.skipped.get(key)
+        if (
+            skip is None
+            or skip.size != stat.st_size
+            or skip.mtime_ns != stat.st_mtime_ns
+        ):
+            return False
+    return seen == len(indexed) + len(index.skipped)
+
+
 def _when(epoch: int) -> datetime:
     """Inverse of :func:`_epoch`, always UTC-aware."""
     return datetime.fromtimestamp(epoch, tz=timezone.utc)
@@ -366,31 +530,7 @@ class SnapshotIndex:
         with a matching ``(size, mtime_ns)``, and the index must contain
         nothing else.  One ``stat()`` per file, no reads.
         """
-        indexed = {
-            self.timestamps[row]: (self.source_sizes[row], self.source_mtimes[row])
-            for row in range(len(self))
-        }
-        seen = 0
-        for ref in refs:
-            seen += 1
-            try:
-                stat = ref.path.stat()
-            except OSError:
-                return False
-            key = _epoch(ref.timestamp)
-            expected = indexed.get(key)
-            if expected is not None:
-                if expected != (stat.st_size, stat.st_mtime_ns):
-                    return False
-                continue
-            skip = self.skipped.get(key)
-            if (
-                skip is None
-                or skip.size != stat.st_size
-                or skip.mtime_ns != stat.st_mtime_ns
-            ):
-                return False
-        return seen == len(indexed) + len(self.skipped)
+        return covers_refs(self, refs)
 
     # -- serialisation -----------------------------------------------------
 
@@ -443,42 +583,17 @@ class SnapshotIndex:
         payload, digest = data[:-_DIGEST_BYTES], data[-_DIGEST_BYTES:]
         if hashlib.sha256(payload).digest() != digest:
             raise SnapshotIndexError(f"index {path} fails its checksum")
-        magic, version, header_length = _PREFIX.unpack_from(payload)
-        if magic != INDEX_MAGIC:
-            raise SnapshotIndexError(f"index {path} has bad magic {magic!r}")
-        if version != INDEX_FORMAT_VERSION:
-            raise SnapshotIndexError(
-                f"index {path} has format version {version}, "
-                f"expected {INDEX_FORMAT_VERSION}"
-            )
-        offset = _PREFIX.size
-        try:
-            header = json.loads(payload[offset : offset + header_length])
-            map_name = MapName(header["map"])
-            index = cls(map_name, parser_version=int(header["parser_version"]))
-            index.names = [str(name) for name in header["names"]]
-            index.labels = [str(label) for label in header["labels"]]
-            counts = header["counts"]
-            for epoch, size, mtime_ns, message in header.get("skipped", []):
-                index.skipped[int(epoch)] = SkippedSource(
-                    size=int(size), mtime_ns=int(mtime_ns), message=str(message)
-                )
-            swap = header["byteorder"] != sys.byteorder
-        except (KeyError, TypeError, ValueError) as exc:
-            raise SnapshotIndexError(f"index {path} has a bad header: {exc}") from exc
-        offset += header_length
-        for attribute, typecode in _COLUMNS:
-            column: array = getattr(index, attribute)
-            expected = int(counts.get(attribute, -1))
-            span = expected * column.itemsize
-            if expected < 0 or offset + span > len(payload):
-                raise SnapshotIndexError(f"index {path} column {attribute} truncated")
-            column.frombytes(payload[offset : offset + span])
+        layout = parse_index_layout(data, source=str(path))
+        index = cls(layout.map_name, parser_version=layout.parser_version)
+        index.names = layout.names
+        index.labels = layout.labels
+        index.skipped = dict(layout.skipped)
+        swap = layout.byteorder != sys.byteorder
+        for spec in layout.columns.values():
+            column: array = getattr(index, spec.attribute)
+            column.frombytes(payload[spec.offset : spec.end])
             if swap:
                 column.byteswap()
-            offset += span
-        if offset != len(payload):
-            raise SnapshotIndexError(f"index {path} has trailing bytes")
         index._name_ids = {name: i for i, name in enumerate(index.names)}
         index._label_ids = {label: i for i, label in enumerate(index.labels)}
         index._validate()

@@ -1,0 +1,820 @@
+"""Zero-copy ``mmap`` query engine over the columnar snapshot index.
+
+:mod:`repro.dataset.index` removed YAML parsing from the read path; this
+module removes *object construction*.  The paper's whole-series analyses
+(load distributions, ECMP imbalance, lifetimes, evolution) reduce to
+column scans, yet serving them through ``load_all`` still materialises
+one ``MapSnapshot`` — dict, ``Node`` and ``Link`` objects included — per
+row, which dominates at 542k snapshots / 227.93 GiB.  Here the index
+file is memory-mapped and each column is exposed *in place*:
+
+* the mapping is **shared and read-only** — many worker processes scan
+  one page cache copy of ``index.bin`` with no per-process heaps, the
+  design that makes an HTTP serving layer cheap under fan-out;
+* every column is a **zero-copy view** over the mapping — a numpy
+  ``frombuffer`` view where numpy is available, a pure-stdlib
+  ``memoryview.cast`` otherwise.  Both backends implement the same scans
+  and are tested against each other element for element;
+* the small **scan planner** does predicate pushdown: time ranges bind
+  to a row window by bisecting the timestamp column, node / link
+  identity filters compare interned ids, and load thresholds compare
+  the flat double columns — no snapshot is ever constructed.
+
+Lifecycle: :func:`repro.dataset.index.build_index` replaces the file
+atomically (write-aside, then rename), so an open :class:`MappedIndex`
+keeps serving its *generation* even while a newer one lands on disk —
+the mapped inode stays alive until the engine is closed.
+:meth:`MappedIndex.check_generation` detects the supersession and raises
+:class:`~repro.errors.StaleIndexError` so long-lived readers know to
+reopen.  On hosts without ``mmap`` (and with ``use_mmap=False``) the
+same engine runs over one plain buffered read of the file.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left, bisect_right
+from importlib import import_module
+from dataclasses import dataclass
+from datetime import datetime
+from itertools import accumulate
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+try:  # pragma: no cover - exercised only on mmap-less platforms
+    _mmap: Any = import_module("mmap")
+except ImportError:  # pragma: no cover
+    _mmap = None
+
+from repro.constants import MapName
+from repro.dataset.index import (
+    IndexLayout,
+    covers_refs,
+    parse_index_layout,
+)
+from repro.dataset.store import DatasetStore
+from repro.errors import QueryError, SnapshotIndexError, StaleIndexError
+from repro.parsing.pipeline import PARSER_VERSION
+from repro.telemetry import get_registry
+
+__all__ = [
+    "BACKENDS",
+    "ColumnBatch",
+    "LinkRecord",
+    "MappedIndex",
+    "ScanPredicate",
+    "ScanResult",
+    "open_query",
+    "resolve_backend",
+]
+
+#: Recognised backend requests: ``auto`` picks numpy when importable.
+BACKENDS = ("auto", "numpy", "memoryview")
+
+#: Column attributes in file order (mirrors ``index._COLUMNS``).
+_COLUMN_ATTRIBUTES = (
+    "timestamps",
+    "source_sizes",
+    "source_mtimes",
+    "router_counts",
+    "peering_counts",
+    "link_counts",
+    "router_ids",
+    "peering_ids",
+    "link_a_nodes",
+    "link_a_labels",
+    "link_b_nodes",
+    "link_b_labels",
+    "link_a_loads",
+    "link_b_loads",
+)
+
+
+def resolve_backend(backend: str) -> str:
+    """Resolve a backend request to the one that will actually run.
+
+    ``"auto"`` prefers numpy (vectorised predicate masks) and falls back
+    to the pure-stdlib ``memoryview`` backend when numpy is not
+    importable.  Asking for ``"numpy"`` explicitly on a host without it
+    is an error, not a silent downgrade.
+
+    Raises:
+        QueryError: unknown backend name, or ``"numpy"`` requested where
+            numpy cannot be imported.
+    """
+    if backend not in BACKENDS:
+        raise QueryError(
+            f"unknown query backend {backend!r}; one of: {', '.join(BACKENDS)}"
+        )
+    if backend == "memoryview":
+        return backend
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        if backend == "numpy":
+            raise QueryError(
+                "the numpy query backend was requested but numpy is not "
+                "importable; use backend='memoryview'"
+            ) from None
+        return "memoryview"
+    return "numpy"
+
+
+def _epoch(when: datetime) -> int:
+    return int(when.timestamp())
+
+
+@dataclass(frozen=True, slots=True)
+class ScanPredicate:
+    """What a scan should keep, evaluated directly on the flat columns.
+
+    A link row matches when **all** of the set filters hold:
+
+    * its snapshot timestamp lies in ``[start, end)``;
+    * ``node`` (if set) names either endpoint;
+    * ``link`` (if set) names both endpoints, in either orientation;
+    * ``max(load_a, load_b)`` is ``>= min_load`` and ``<= max_load``
+      (each bound only when set) — the threshold applies to the link's
+      busier direction, the quantity the congestion analyses rank by.
+
+    Names that were never interned simply match nothing: scanning for an
+    unknown router returns an empty result, not an error.
+    """
+
+    start: datetime | None = None
+    end: datetime | None = None
+    node: str | None = None
+    link: tuple[str, str] | None = None
+    min_load: float | None = None
+    max_load: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.start is not None and self.end is not None and self.end < self.start:
+            raise QueryError(
+                f"scan window ends ({self.end.isoformat()}) before it "
+                f"starts ({self.start.isoformat()})"
+            )
+        if self.node is not None and not self.node:
+            raise QueryError("node filter must be a non-empty name")
+        if self.link is not None:
+            if len(self.link) != 2 or not self.link[0] or not self.link[1]:
+                raise QueryError(
+                    f"link filter must name two endpoints, got {self.link!r}"
+                )
+        for bound_name in ("min_load", "max_load"):
+            bound = getattr(self, bound_name)
+            if bound is not None and not 0.0 <= bound <= 100.0:
+                raise QueryError(
+                    f"{bound_name} must lie in [0, 100], got {bound!r}"
+                )
+        if (
+            self.min_load is not None
+            and self.max_load is not None
+            and self.max_load < self.min_load
+        ):
+            raise QueryError(
+                f"max_load {self.max_load} is below min_load {self.min_load}"
+            )
+
+    @property
+    def filters_links(self) -> bool:
+        """Whether any per-link filter is set (beyond the time window)."""
+        return (
+            self.node is not None
+            or self.link is not None
+            or self.min_load is not None
+            or self.max_load is not None
+        )
+
+
+@dataclass(frozen=True)
+class ColumnBatch:
+    """One aligned chunk of scan matches, column by column.
+
+    Every field has one element per matching link occurrence.  Node and
+    label fields carry *interned ids* — resolve them through the
+    engine's ``names`` / ``labels`` tables only where strings are
+    actually needed; the whole point of the batch form is that most
+    consumers (histograms, thresholds, matrices) never do.
+    """
+
+    rows: Any  #: snapshot row per match
+    timestamps: Any  #: epoch seconds per match
+    a_nodes: Any
+    a_labels: Any
+    a_loads: Any
+    b_nodes: Any
+    b_labels: Any
+    b_loads: Any
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass(frozen=True, slots=True)
+class LinkRecord:
+    """One scan match resolved to strings — the CLI/report form.
+
+    Constructing these is the only materialising accessor on a scan
+    result; the batch/column accessors stay zero-copy.
+    """
+
+    timestamp: datetime
+    node_a: str
+    label_a: str
+    load_a: float
+    node_b: str
+    label_b: str
+    load_b: float
+
+
+class MappedIndex:
+    """One map's ``index.bin`` served as zero-copy column views.
+
+    Columns carry the same attribute names as
+    :class:`~repro.dataset.index.SnapshotIndex`, so the vectorised
+    accessors in :mod:`repro.analysis.columnar` run unchanged over
+    either source — in-heap arrays or this shared mapping.
+    """
+
+    timestamps: Any
+    source_sizes: Any
+    source_mtimes: Any
+    router_counts: Any
+    peering_counts: Any
+    link_counts: Any
+    router_ids: Any
+    peering_ids: Any
+    link_a_nodes: Any
+    link_a_labels: Any
+    link_b_nodes: Any
+    link_b_labels: Any
+    link_a_loads: Any
+    link_b_loads: Any
+
+    def __init__(
+        self,
+        buffer: Any,
+        layout: IndexLayout,
+        *,
+        path: Path | None = None,
+        backend: str = "auto",
+        generation: tuple[int, int, int] | None = None,
+        mapped: bool = False,
+    ) -> None:
+        self._buffer = buffer
+        self._layout = layout
+        self.path = path
+        self.backend = resolve_backend(backend)
+        self.generation = generation
+        self.mapped = mapped
+        self.map_name = layout.map_name
+        self.parser_version = layout.parser_version
+        self.names = layout.names
+        self.labels = layout.labels
+        self.skipped = layout.skipped
+        self.fingerprint = layout.fingerprint
+        self.closed = False
+        self._name_ids: dict[str, int] | None = None
+        self._link_offsets: Any = None
+        if self.backend == "numpy":
+            import numpy
+
+            for attribute in _COLUMN_ATTRIBUTES:
+                spec = layout.columns[attribute]
+                setattr(
+                    self,
+                    attribute,
+                    numpy.frombuffer(
+                        buffer,
+                        dtype=numpy.dtype(spec.typecode),
+                        count=spec.count,
+                        offset=spec.offset,
+                    ),
+                )
+        else:
+            view = memoryview(buffer)
+            for attribute in _COLUMN_ATTRIBUTES:
+                spec = layout.columns[attribute]
+                setattr(
+                    self, attribute, view[spec.offset : spec.end].cast(spec.typecode)
+                )
+
+    # -- opening -----------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: Path,
+        *,
+        backend: str = "auto",
+        use_mmap: bool = True,
+        verify: bool = False,
+    ) -> "MappedIndex":
+        """Map (or, fallback, read) one ``index.bin`` into an engine.
+
+        Args:
+            backend: ``"auto"`` / ``"numpy"`` / ``"memoryview"``.
+            use_mmap: set ``False`` to force the buffered-read fallback
+                (the path Windows-like hosts without a working ``mmap``
+                take automatically).
+            verify: also check the trailing SHA-256 — one full pass over
+                the mapping, so it is opt-in; the structural layout
+                checks always run.
+
+        Raises:
+            SnapshotIndexError: unreadable file, malformed layout,
+                checksum mismatch (with ``verify=True``), or a file
+                whose byte order is not this host's — a foreign-endian
+                index cannot be viewed zero-copy and must be rebuilt
+                (or read through :meth:`SnapshotIndex.load`, which
+                swaps).
+        """
+        effective_backend = resolve_backend(backend)
+        buffer: Any
+        try:
+            with path.open("rb") as handle:
+                stat = os.fstat(handle.fileno())
+                generation = (stat.st_ino, stat.st_size, stat.st_mtime_ns)
+                mapped = False
+                if use_mmap and _mmap is not None and stat.st_size > 0:
+                    try:
+                        buffer = _mmap.mmap(
+                            handle.fileno(), 0, access=_mmap.ACCESS_READ
+                        )
+                        mapped = True
+                    except (OSError, ValueError, OverflowError):
+                        buffer = handle.read()
+                else:
+                    buffer = handle.read()
+        except OSError as exc:
+            raise SnapshotIndexError(f"cannot read index {path}: {exc}") from exc
+        try:
+            layout = parse_index_layout(buffer, source=str(path))
+            if layout.byteorder != sys_byteorder():
+                raise SnapshotIndexError(
+                    f"index {path} was written on a {layout.byteorder}-endian "
+                    f"host; zero-copy mapping needs native byte order — "
+                    f"rebuild the index on this host"
+                )
+            if verify:
+                _verify_checksum(buffer, layout, source=str(path))
+        except SnapshotIndexError:
+            if mapped:
+                buffer.close()
+            raise
+        get_registry().counter(
+            "repro_query_opens_total",
+            "Query-engine opens by data source (mmap vs buffered read)",
+        ).inc(
+            1,
+            map=layout.map_name.value,
+            source="mmap" if mapped else "buffered",
+            backend=effective_backend,
+        )
+        return cls(
+            buffer,
+            layout,
+            path=path,
+            backend=effective_backend,
+            generation=generation,
+            mapped=mapped,
+        )
+
+    def close(self) -> None:
+        """Drop the column views and close the mapping.
+
+        Views handed out by earlier scans may still reference the
+        mapping; the OS keeps the pages alive until those are garbage
+        collected, so closing is always safe — it just stops *new*
+        scans.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        for attribute in _COLUMN_ATTRIBUTES:
+            setattr(self, attribute, None)
+        self._link_offsets = None
+        buffer, self._buffer = self._buffer, None
+        if self.mapped and buffer is not None:
+            try:
+                buffer.close()
+            except BufferError:
+                # Exported views (numpy arrays, memoryview casts) still
+                # reference the map; the mapping is released when they go.
+                pass
+
+    def __enter__(self) -> "MappedIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- freshness / generation --------------------------------------------
+
+    def check_generation(self) -> None:
+        """Raise if the on-disk ``index.bin`` superseded this mapping.
+
+        An incremental build replaces the file atomically; this engine
+        keeps serving its own generation regardless (the mapped inode
+        survives the rename), but long-lived readers poll this to know
+        when to reopen.
+
+        Raises:
+            StaleIndexError: the file was replaced or removed.
+            QueryError: the engine was opened from a buffer, not a path.
+        """
+        if self.path is None or self.generation is None:
+            raise QueryError("this engine was not opened from a file path")
+        try:
+            stat = self.path.stat()
+        except OSError as exc:
+            raise StaleIndexError(
+                f"index {self.path} vanished after being mapped: {exc}"
+            ) from exc
+        current = (stat.st_ino, stat.st_size, stat.st_mtime_ns)
+        if current != self.generation:
+            raise StaleIndexError(
+                f"index {self.path} was rebuilt since this mapping was "
+                f"opened; reopen to serve the new generation"
+            )
+
+    def fresh_for(self, refs: Sequence[Any]) -> bool:
+        """Whether this generation exactly covers the given YAML refs."""
+        return covers_refs(self, refs)
+
+    # -- column geometry ----------------------------------------------------
+
+    def __len__(self) -> int:
+        self._require_open()
+        return len(self.timestamps)
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise QueryError("query engine is closed")
+
+    def rows_in_window(
+        self, start: datetime | None = None, end: datetime | None = None
+    ) -> range:
+        """Row indices whose timestamps fall inside ``[start, end)``."""
+        self._require_open()
+        lo = 0 if start is None else bisect_left(self.timestamps, _epoch(start))
+        hi = (
+            len(self.timestamps)
+            if end is None
+            else bisect_left(self.timestamps, _epoch(end))
+        )
+        return range(lo, hi)
+
+    def timestamp_at(self, row: int) -> datetime:
+        """The snapshot timestamp of one row (UTC-aware)."""
+        from datetime import timezone
+
+        self._require_open()
+        return datetime.fromtimestamp(int(self.timestamps[row]), tz=timezone.utc)
+
+    def link_offsets(self) -> Any:
+        """Prefix sums of ``link_counts``: row → first link element."""
+        self._require_open()
+        if self._link_offsets is None:
+            if self.backend == "numpy":
+                import numpy
+
+                self._link_offsets = numpy.concatenate(
+                    (
+                        numpy.zeros(1, dtype=numpy.int64),
+                        numpy.cumsum(self.link_counts, dtype=numpy.int64),
+                    )
+                )
+            else:
+                self._link_offsets = list(accumulate(self.link_counts, initial=0))
+        return self._link_offsets
+
+    def link_slice(self, rows: range) -> tuple[int, int]:
+        """The link-element slice covering a contiguous row window."""
+        offsets = self.link_offsets()
+        return int(offsets[rows.start]), int(offsets[rows.stop])
+
+    def name_id(self, name: str) -> int | None:
+        """Interned id of a node name, ``None`` when never observed."""
+        self._require_open()
+        if self._name_ids is None:
+            self._name_ids = {value: i for i, value in enumerate(self.names)}
+        return self._name_ids.get(name)
+
+    # -- scanning -----------------------------------------------------------
+
+    def scan(self, predicate: ScanPredicate | None = None) -> "ScanResult":
+        """Run one predicate-pushdown scan over the mapped columns.
+
+        Time bounds bisect the timestamp column down to a row window,
+        the window binds a contiguous link-element slice through the
+        prefix offsets, and the per-link filters reduce that slice to
+        the matching elements — vectorised boolean masks on the numpy
+        backend, a tight loop over the casts on the stdlib one.  Both
+        return identical selections.
+        """
+        self._require_open()
+        if predicate is None:
+            predicate = ScanPredicate()
+        registry = get_registry()
+        with registry.span(
+            "repro_query_scan",
+            "Predicate-pushdown scan wall time",
+            map=self.map_name.value,
+            backend=self.backend,
+        ):
+            rows = self.rows_in_window(predicate.start, predicate.end)
+            lo, hi = self.link_slice(rows)
+            selected: Any
+            if not predicate.filters_links:
+                selected = range(lo, hi)
+            elif self.backend == "numpy":
+                selected = self._select_numpy(predicate, lo, hi)
+            else:
+                selected = self._select_python(predicate, lo, hi)
+        registry.counter(
+            "repro_query_scans_total", "Scans executed by the query engine"
+        ).inc(1, map=self.map_name.value, backend=self.backend)
+        registry.counter(
+            "repro_query_rows_scanned_total",
+            "Snapshot rows covered by query-engine scans",
+        ).inc(len(rows), map=self.map_name.value)
+        registry.counter(
+            "repro_query_links_matched_total",
+            "Link occurrences matched by query-engine scans",
+        ).inc(len(selected), map=self.map_name.value)
+        return ScanResult(
+            index=self, predicate=predicate, rows=rows, lo=lo, hi=hi,
+            selected=selected,
+        )
+
+    def _select_numpy(self, predicate: ScanPredicate, lo: int, hi: int) -> Any:
+        import numpy
+
+        a_nodes = self.link_a_nodes[lo:hi]
+        b_nodes = self.link_b_nodes[lo:hi]
+        mask = numpy.ones(hi - lo, dtype=bool)
+        if predicate.node is not None:
+            node_id = self.name_id(predicate.node)
+            if node_id is None:
+                return numpy.empty(0, dtype=numpy.int64)
+            mask &= (a_nodes == node_id) | (b_nodes == node_id)
+        if predicate.link is not None:
+            first = self.name_id(predicate.link[0])
+            second = self.name_id(predicate.link[1])
+            if first is None or second is None:
+                return numpy.empty(0, dtype=numpy.int64)
+            mask &= ((a_nodes == first) & (b_nodes == second)) | (
+                (a_nodes == second) & (b_nodes == first)
+            )
+        if predicate.min_load is not None or predicate.max_load is not None:
+            peak = numpy.maximum(self.link_a_loads[lo:hi], self.link_b_loads[lo:hi])
+            if predicate.min_load is not None:
+                mask &= peak >= predicate.min_load
+            if predicate.max_load is not None:
+                mask &= peak <= predicate.max_load
+        return numpy.flatnonzero(mask).astype(numpy.int64) + lo
+
+    def _select_python(
+        self, predicate: ScanPredicate, lo: int, hi: int
+    ) -> list[int]:
+        a_nodes = self.link_a_nodes
+        b_nodes = self.link_b_nodes
+        a_loads = self.link_a_loads
+        b_loads = self.link_b_loads
+        node_id = -1
+        first = second = -1
+        if predicate.node is not None:
+            resolved = self.name_id(predicate.node)
+            if resolved is None:
+                return []
+            node_id = resolved
+        if predicate.link is not None:
+            maybe_first = self.name_id(predicate.link[0])
+            maybe_second = self.name_id(predicate.link[1])
+            if maybe_first is None or maybe_second is None:
+                return []
+            first, second = maybe_first, maybe_second
+        min_load = predicate.min_load
+        max_load = predicate.max_load
+        selected: list[int] = []
+        for j in range(lo, hi):
+            a, b = a_nodes[j], b_nodes[j]
+            if node_id >= 0 and a != node_id and b != node_id:
+                continue
+            if first >= 0 and not (
+                (a == first and b == second) or (a == second and b == first)
+            ):
+                continue
+            if min_load is not None or max_load is not None:
+                peak = a_loads[j]
+                other = b_loads[j]
+                if other > peak:
+                    peak = other
+                if min_load is not None and peak < min_load:
+                    continue
+                if max_load is not None and peak > max_load:
+                    continue
+            selected.append(j)
+        return selected
+
+
+def sys_byteorder() -> str:
+    """This host's byte order (separated out for monkeypatched tests)."""
+    import sys
+
+    return sys.byteorder
+
+
+def _verify_checksum(buffer: Any, layout: IndexLayout, source: str) -> None:
+    import hashlib
+
+    # The views must be released before raising so an mmap buffer can
+    # still be closed by the caller's error path.
+    with memoryview(buffer) as view:
+        with view[: layout.payload_length] as payload:
+            digest = hashlib.sha256(payload).digest()
+        with view[layout.payload_length :] as trailer:
+            recorded = bytes(trailer)
+    if digest != recorded:
+        raise SnapshotIndexError(f"index {source} fails its checksum")
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """The outcome of one scan: which rows and link elements matched.
+
+    ``selected`` holds absolute link-element indices (a ``range`` when
+    no per-link filter applied — the whole-window fast path).  The
+    accessors below resolve them against the engine's columns; none of
+    them reconstructs a snapshot.
+    """
+
+    index: MappedIndex
+    predicate: ScanPredicate
+    rows: range  #: snapshot rows inside the time window
+    lo: int  #: first link element of the window
+    hi: int  #: one past the last link element of the window
+    selected: Any  #: matching link-element indices, ascending
+
+    def __len__(self) -> int:
+        return len(self.selected)
+
+    @property
+    def snapshot_count(self) -> int:
+        """Snapshot rows the scan covered (matched or not)."""
+        return len(self.rows)
+
+    def row_of(self, element: int) -> int:
+        """The snapshot row one absolute link element belongs to."""
+        offsets = self.index.link_offsets()
+        if self.index.backend == "numpy":
+            import numpy
+
+            return int(numpy.searchsorted(offsets, element, side="right")) - 1
+        return bisect_right(offsets, element) - 1
+
+    def batches(self, size: int = 65536) -> Iterator[ColumnBatch]:
+        """The matches as aligned column chunks of at most ``size``.
+
+        With no per-link filter the chunks are pure slices of the
+        mapped columns — zero-copy end to end; filtered scans gather
+        the selected elements (the result set is what gets copied,
+        never the corpus).
+        """
+        if size < 1:
+            raise QueryError(f"batch size must be >= 1, got {size}")
+        engine = self.index
+        engine._require_open()
+        selected = self.selected
+        for begin in range(0, len(selected), size):
+            chunk = selected[begin : begin + size]
+            yield self._batch_for(chunk)
+
+    def _batch_for(self, chunk: Any) -> ColumnBatch:
+        engine = self.index
+        if isinstance(chunk, range):
+            gather: Any = slice(chunk.start, chunk.stop)
+        elif engine.backend == "numpy":
+            gather = chunk
+        else:
+            gather = list(chunk)
+        if engine.backend == "numpy":
+            import numpy
+
+            offsets = engine.link_offsets()
+            if isinstance(gather, slice):
+                rows = (
+                    numpy.searchsorted(
+                        offsets,
+                        numpy.arange(gather.start, gather.stop, dtype=numpy.int64),
+                        side="right",
+                    )
+                    - 1
+                )
+                a_nodes = engine.link_a_nodes[gather]
+                a_labels = engine.link_a_labels[gather]
+                a_loads = engine.link_a_loads[gather]
+                b_nodes = engine.link_b_nodes[gather]
+                b_labels = engine.link_b_labels[gather]
+                b_loads = engine.link_b_loads[gather]
+            else:
+                rows = numpy.searchsorted(offsets, gather, side="right") - 1
+                a_nodes = engine.link_a_nodes[gather]
+                a_labels = engine.link_a_labels[gather]
+                a_loads = engine.link_a_loads[gather]
+                b_nodes = engine.link_b_nodes[gather]
+                b_labels = engine.link_b_labels[gather]
+                b_loads = engine.link_b_loads[gather]
+            timestamps = engine.timestamps[rows] if len(rows) else rows
+            return ColumnBatch(
+                rows=rows, timestamps=timestamps,
+                a_nodes=a_nodes, a_labels=a_labels, a_loads=a_loads,
+                b_nodes=b_nodes, b_labels=b_labels, b_loads=b_loads,
+            )
+        elements = list(gather) if not isinstance(gather, slice) else list(
+            range(gather.start, gather.stop)
+        )
+        rows_list = [self.row_of(j) for j in elements]
+        return ColumnBatch(
+            rows=rows_list,
+            timestamps=[engine.timestamps[row] for row in rows_list],
+            a_nodes=[engine.link_a_nodes[j] for j in elements],
+            a_labels=[engine.link_a_labels[j] for j in elements],
+            a_loads=[engine.link_a_loads[j] for j in elements],
+            b_nodes=[engine.link_b_nodes[j] for j in elements],
+            b_labels=[engine.link_b_labels[j] for j in elements],
+            b_loads=[engine.link_b_loads[j] for j in elements],
+        )
+
+    def directed_loads(self) -> list[float]:
+        """Every matching load sample, both directions interleaved.
+
+        Order matches the object path exactly: link order, ``a`` before
+        ``b`` — what :mod:`repro.analysis.loads` feeds its CDFs.
+        """
+        out: list[float] = []
+        for batch in self.batches():
+            a_loads = batch.a_loads
+            b_loads = batch.b_loads
+            for i in range(len(batch)):
+                out.append(a_loads[i])
+                out.append(b_loads[i])
+        return out
+
+    def records(self) -> Iterator[LinkRecord]:
+        """The matches resolved to strings, in element order."""
+        engine = self.index
+        names = engine.names
+        labels = engine.labels
+        for batch in self.batches():
+            for i in range(len(batch)):
+                yield LinkRecord(
+                    timestamp=engine.timestamp_at(int(batch.rows[i])),
+                    node_a=names[int(batch.a_nodes[i])],
+                    label_a=labels[int(batch.a_labels[i])],
+                    load_a=float(batch.a_loads[i]),
+                    node_b=names[int(batch.b_nodes[i])],
+                    label_b=labels[int(batch.b_labels[i])],
+                    load_b=float(batch.b_loads[i]),
+                )
+
+
+def open_query(
+    store: DatasetStore,
+    map_name: MapName,
+    *,
+    backend: str = "auto",
+    use_mmap: bool = True,
+    require_fresh: bool = True,
+) -> MappedIndex | None:
+    """Open a map's index for querying, but only if it can serve truthfully.
+
+    Mirrors :func:`repro.dataset.index.fresh_index`: a missing, corrupt,
+    parser-version-skewed, or stale index comes back as ``None`` (each
+    landing in ``repro_index_cache_total`` as a miss) — the caller falls
+    back to the object path.  ``require_fresh=False`` skips the
+    one-``stat()``-per-file freshness walk for callers that already hold
+    the freshness invariant (a serving layer polling
+    :meth:`MappedIndex.check_generation` between builds).
+    """
+    cache = get_registry().counter(
+        "repro_index_cache_total",
+        "Snapshot-index freshness checks by outcome (hit = index served)",
+    )
+    path = store.index_path(map_name)
+    try:
+        engine = MappedIndex.open(path, backend=backend, use_mmap=use_mmap)
+    except SnapshotIndexError:
+        cache.inc(1, map=map_name.value, outcome="miss")
+        return None
+    ok = engine.map_name == map_name and engine.parser_version == PARSER_VERSION
+    if ok and require_fresh:
+        ok = engine.fresh_for(list(store.iter_refs(map_name, "yaml")))
+    if not ok:
+        engine.close()
+        cache.inc(1, map=map_name.value, outcome="miss")
+        return None
+    cache.inc(1, map=map_name.value, outcome="hit")
+    return engine

@@ -105,6 +105,28 @@ class SnapshotIndexError(DatasetError):
     """
 
 
+class StaleIndexError(SnapshotIndexError):
+    """A memory-mapped index generation superseded on disk.
+
+    The zero-copy query engine maps one *generation* of ``index.bin``;
+    an incremental :func:`repro.dataset.index.build_index` replaces the
+    file atomically, so existing mappings keep serving their generation
+    (the old inode stays alive under the mapping) but
+    :meth:`~repro.dataset.query.MappedIndex.check_generation` reports
+    the supersession with this error so long-lived readers can reopen.
+    """
+
+
+class QueryError(DatasetError, ValueError):
+    """An invalid scan request to the zero-copy query engine.
+
+    Raised for malformed predicates (an empty node name, a load bound
+    outside [0, 100], an end before a start), unknown backend names, and
+    scans against a closed engine.  Also a :class:`ValueError`: predicate
+    validation is plain argument validation.
+    """
+
+
 class AnalysisError(ReproError, ValueError):
     """An analysis invoked on inputs it cannot summarise (an empty or
     single-snapshot series where a trend or changelog needs at least two

@@ -14,17 +14,24 @@ from datetime import datetime, timedelta, timezone
 import pytest
 
 from repro.analysis.columnar import (
+    count_series,
     directed_load_columns,
+    imbalance_samples,
     link_lifetimes,
+    link_load_series,
     load_matrix,
     load_samples,
     node_lifetimes,
 )
+from repro.analysis.imbalance import collect_imbalances
+from repro.analysis.infrastructure import evolution_from_snapshots
 from repro.analysis.loads import collect_load_samples
 from repro.constants import MapName
 from repro.dataset.index import SnapshotIndex, build_index
 from repro.dataset.loader import load_all
+from repro.dataset.query import MappedIndex
 from repro.dataset.store import DatasetStore
+from repro.errors import AnalysisError
 from repro.topology.model import Link, LinkEnd, MapSnapshot, Node, NodeKind
 from repro.yamlio.serialize import snapshot_to_yaml
 
@@ -42,8 +49,17 @@ def _snapshot(when: datetime, step: int) -> MapSnapshot:
     snapshot.add_link(
         Link(LinkEnd("fra-r1", "#1", float(10 + step)), LinkEnd("par-r2", "#1", float(step)))
     )
+    # A second fra-r1<->par-r2 link makes the pair an ECMP parallel
+    # group, so the imbalance analyses have internal samples.
+    snapshot.add_link(
+        Link(LinkEnd("fra-r1", "#3", float(20 + step)), LinkEnd("par-r2", "#3", 8.0))
+    )
     snapshot.add_link(
         Link(LinkEnd("par-r2", "#2", 30.0), LinkEnd("AMS-IX", "#1", 2.0))
+    )
+    # ... and a second par-r2<->AMS-IX link provides an external group.
+    snapshot.add_link(
+        Link(LinkEnd("par-r2", "#4", 25.0), LinkEnd("AMS-IX", "#2", 3.0))
     )
     if step < 3:
         snapshot.add_node(Node.from_name("waw-r3"))
@@ -63,9 +79,25 @@ def store(tmp_path_factory) -> DatasetStore:
 
 
 @pytest.fixture(scope="module")
-def index(store) -> SnapshotIndex:
+def built(store) -> SnapshotIndex:
     built, _ = build_index(store, MAP)
     return built
+
+
+@pytest.fixture(scope="module", params=["heap", "numpy", "memoryview"])
+def index(request, store, built):
+    """Every ColumnSource: the in-heap index and both mapped backends.
+
+    Each accessor test therefore runs three times — proving the
+    vectorised analyses are source-agnostic, exactly as the
+    ``ColumnSource`` union promises.
+    """
+    if request.param == "heap":
+        yield built
+        return
+    engine = MappedIndex.open(store.index_path(MAP), backend=request.param)
+    yield engine
+    engine.close()
 
 
 @pytest.fixture(scope="module")
@@ -186,6 +218,101 @@ class TestLoadMatrix:
         assert all("waw-r3" not in (k[0], k[2]) for k in matrix.keys)
 
 
+class TestImbalanceSamples:
+    def test_identical_to_object_path(self, index, snapshots):
+        expected = collect_imbalances(snapshots)
+        got = imbalance_samples(index)
+        assert got.internal == expected.internal
+        assert got.external == expected.external
+        assert len(got.all_values) > 0
+
+    def test_windowed(self, index, snapshots):
+        start = T0 + timedelta(hours=1)
+        end = T0 + timedelta(hours=4)
+        expected = collect_imbalances(
+            s for s in snapshots if start <= s.timestamp < end
+        )
+        got = imbalance_samples(index, start=start, end=end)
+        assert got.internal == expected.internal
+        assert got.external == expected.external
+
+    def test_minimum_load_threshold_matches(self, index, snapshots):
+        for threshold in (0.0, 5.0, 50.0):
+            expected = collect_imbalances(snapshots, minimum_load=threshold)
+            got = imbalance_samples(index, minimum_load=threshold)
+            assert got.internal == expected.internal
+            assert got.external == expected.external
+
+
+class TestCountSeries:
+    def test_identical_to_object_path(self, index, snapshots):
+        expected = evolution_from_snapshots(snapshots)
+        got = count_series(index)
+        assert got.map_name is expected.map_name
+        for attribute in ("routers", "internal_links", "external_links"):
+            assert getattr(got, attribute).times == getattr(expected, attribute).times
+            assert (
+                getattr(got, attribute).values == getattr(expected, attribute).values
+            )
+
+    def test_windowed(self, index, snapshots):
+        start = T0 + timedelta(hours=2)
+        expected = evolution_from_snapshots(
+            s for s in snapshots if s.timestamp >= start
+        )
+        got = count_series(index, start=start)
+        assert got.routers.values == expected.routers.values
+        assert got.routers.times == expected.routers.times
+
+    def test_empty_window_raises_like_the_object_path(self, index):
+        with pytest.raises(AnalysisError):
+            count_series(index, end=T0 - timedelta(days=1))
+
+
+class TestLinkLoadSeries:
+    def test_matches_object_path_both_orientations(self, index, snapshots):
+        key = ("fra-r1", "#1", "par-r2", "#1")
+        forward, reverse = link_load_series(index, key)
+
+        def is_key(link):
+            return (link.a.node, link.a.label, link.b.node, link.b.label) == key
+
+        expected_times = tuple(
+            s.timestamp for s in snapshots for link in s.links if is_key(link)
+        )
+        expected_forward = tuple(
+            link.load_from("fra-r1")
+            for s in snapshots
+            for link in s.links
+            if is_key(link)
+        )
+        assert forward.times == expected_times
+        assert forward.values == expected_forward
+        # The flipped key swaps which direction is "forward".
+        flipped_forward, flipped_reverse = link_load_series(
+            index, ("par-r2", "#1", "fra-r1", "#1")
+        )
+        assert flipped_forward.values == reverse.values
+        assert flipped_reverse.values == forward.values
+
+    def test_churned_link_contributes_only_where_present(self, index):
+        forward, _ = link_load_series(index, ("waw-r3", "#1", "fra-r1", "#2"))
+        assert len(forward.times) == 3
+        assert forward.values == (5.0, 5.0, 5.0)
+
+    def test_windowed(self, index):
+        start = T0 + timedelta(hours=2)
+        forward, _ = link_load_series(
+            index, ("waw-r3", "#1", "fra-r1", "#2"), start=start
+        )
+        assert len(forward.times) == 1
+
+    def test_unknown_key_yields_empty_series(self, index):
+        forward, reverse = link_load_series(index, ("nope", "#1", "fra-r1", "#1"))
+        assert forward.times == ()
+        assert reverse.times == ()
+
+
 class TestEmptyIndex:
     def test_all_accessors_tolerate_empty(self):
         index = SnapshotIndex(MAP)
@@ -194,3 +321,4 @@ class TestEmptyIndex:
         assert link_lifetimes(index) == {}
         matrix = load_matrix(index)
         assert matrix.forward.shape == (0, 0)
+        assert imbalance_samples(index).all_values == []

@@ -109,6 +109,44 @@ class TestTelemetryOverhead:
         assert run(tmp_path, fresh) == 1
 
 
+class TestSingleCoreHost:
+    """A fresh report flagged ``single_core_host`` marks its parallel and
+    telemetry-overhead numbers as noise; the guard must not fail on them."""
+
+    def test_parallel_fps_drop_is_skipped(self, tmp_path, capsys):
+        fresh = dict(
+            BASELINE, process_parallel_fps=10.0, single_core_host=True
+        )
+        assert run(tmp_path, fresh) == 0
+        assert "process_parallel_fps skipped" in capsys.readouterr().out
+
+    def test_serial_keys_still_guarded(self, tmp_path):
+        fresh = dict(
+            BASELINE, process_serial_fps=10.0, single_core_host=True
+        )
+        assert run(tmp_path, fresh) == 1
+
+    def test_telemetry_ceiling_is_skipped(self, tmp_path, capsys):
+        fresh = dict(
+            BASELINE, telemetry_overhead_pct=40.0, single_core_host=True
+        )
+        assert run(tmp_path, fresh) == 0
+        assert "telemetry overhead ceiling skipped" in capsys.readouterr().out
+
+    def test_flag_false_changes_nothing(self, tmp_path):
+        fresh = dict(
+            BASELINE, process_parallel_fps=10.0, single_core_host=False
+        )
+        assert run(tmp_path, fresh) == 1
+
+    def test_scan_series_fps_is_guarded_when_in_baseline(self, tmp_path):
+        baseline = dict(BASELINE, scan_series_fps=40000.0)
+        fresh = dict(baseline, scan_series_fps=10000.0, single_core_host=True)
+        baseline_path = write(tmp_path, "scan-baseline.json", baseline)
+        report = write(tmp_path, "scan-fresh.json", fresh)
+        assert guard.main([str(report), "--baseline", str(baseline_path)]) == 1
+
+
 class TestBadInput:
     def test_unreadable_report_exits_nonzero(self, tmp_path):
         with pytest.raises(SystemExit):

@@ -256,3 +256,88 @@ class TestUpgradeCommand:
         assert "AMS-IX" in out
         assert "400 -> 500 Gbps" in out
         assert "per-link capacity 100 Gbps" in out
+
+
+class TestQueryCommand:
+    @pytest.fixture()
+    def indexed_dataset(self, tmp_path):
+        from datetime import datetime, timedelta, timezone
+
+        from repro.constants import MapName
+        from repro.dataset.index import build_index
+        from repro.dataset.store import DatasetStore
+        from repro.topology.model import Link, LinkEnd, MapSnapshot, Node
+        from repro.yamlio.serialize import snapshot_to_yaml
+
+        store = DatasetStore(tmp_path)
+        t0 = datetime(2022, 3, 1, tzinfo=timezone.utc)
+        for step in range(4):
+            when = t0 + timedelta(minutes=5 * step)
+            snapshot = MapSnapshot(map_name=MapName.EUROPE, timestamp=when)
+            snapshot.add_node(Node.from_name("fra-r1"))
+            snapshot.add_node(Node.from_name("par-r2"))
+            snapshot.add_link(
+                Link(
+                    LinkEnd("fra-r1", "#1", float(20 * step)),
+                    LinkEnd("par-r2", "#1", 3.0),
+                )
+            )
+            store.write(MapName.EUROPE, when, "yaml", snapshot_to_yaml(snapshot))
+        build_index(store, MapName.EUROPE)
+        return tmp_path
+
+    def test_query_args(self):
+        args = build_parser().parse_args(
+            ["query", "/tmp/x", "--node", "fra-r1", "--min-load", "25",
+             "--link", "a", "b", "--backend", "memoryview", "--no-mmap"]
+        )
+        assert args.node == "fra-r1"
+        assert args.min_load == 25.0
+        assert args.link == ["a", "b"]
+        assert args.backend == "memoryview"
+        assert args.no_mmap is True
+        assert args.limit == 20
+        assert args.format == "table"
+
+    def test_table_output(self, indexed_dataset, capsys):
+        assert main(["query", str(indexed_dataset)]) == 0
+        out = capsys.readouterr().out
+        assert "4 matching links over 4 snapshots" in out
+        assert "mmap source" in out
+        assert "fra-r1[#1]" in out
+
+    def test_filters_and_csv(self, indexed_dataset, capsys):
+        assert main(
+            ["query", str(indexed_dataset), "--min-load", "30", "--format", "csv"]
+        ) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("timestamp,node_a")
+        assert len(lines) == 1 + 2  # loads 40 and 60 pass the threshold
+        assert all("fra-r1" in line for line in lines[1:])
+
+    def test_no_mmap_runs_buffered(self, indexed_dataset, capsys):
+        assert main(["query", str(indexed_dataset), "--no-mmap"]) == 0
+        assert "buffered source" in capsys.readouterr().out
+
+    def test_missing_index_fails_with_hint(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path)]) == 1
+        assert "index build" in capsys.readouterr().err
+
+    def test_invalid_predicate_fails(self, indexed_dataset, capsys):
+        assert main(
+            ["query", str(indexed_dataset), "--min-load", "80", "--max-load", "20"]
+        ) == 1
+        assert "min_load" in capsys.readouterr().err
+
+    def test_metrics_out(self, indexed_dataset, tmp_path, capsys):
+        import json as json_module
+
+        metrics_path = tmp_path / "query-metrics.json"
+        assert main(
+            ["query", str(indexed_dataset), "--metrics-out", str(metrics_path)]
+        ) == 0
+        document = json_module.loads(metrics_path.read_text(encoding="utf-8"))
+        names = {metric["name"] for metric in document["metrics"]}
+        assert "repro_query_scans_total" in names
+        assert "repro_query_scan_seconds" in names

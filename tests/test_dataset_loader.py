@@ -173,3 +173,50 @@ class TestParallelLoad:
         )
         assert len(snapshots) == 5
         assert errors == [when]
+
+
+class TestPoolCollapse:
+    """The loader skips the process pool wherever it cannot win.
+
+    This is what keeps ``speedup_load`` honest in the benchmark: a
+    "parallel" load that would collapse to serial work is never measured
+    as if a pool had run.
+    """
+
+    @staticmethod
+    def _forbid_pool(monkeypatch):
+        from repro.dataset import loader as loader_module
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("no process pool may be spawned here")
+
+        monkeypatch.setattr(loader_module, "ProcessPoolExecutor", forbidden)
+
+    def test_fresh_index_never_spawns_a_pool(self, store, monkeypatch):
+        from repro.dataset.index import build_index
+
+        build_index(store, MapName.EUROPE)
+        self._forbid_pool(monkeypatch)
+        assert len(load_all(store, MapName.EUROPE, workers=8)) == 5
+
+    def test_collapsed_request_never_spawns_a_pool(self, store, monkeypatch):
+        from repro.dataset import loader as loader_module
+
+        serial = load_all(store, MapName.EUROPE, use_index=False)
+        monkeypatch.setattr(
+            loader_module, "resolve_workers", lambda workers, default=1: 1
+        )
+        self._forbid_pool(monkeypatch)
+        assert (
+            load_all(store, MapName.EUROPE, workers=8, use_index=False) == serial
+        )
+
+    def test_single_core_host_collapses_any_request(self, monkeypatch):
+        import repro.dataset.workers as workers_module
+
+        monkeypatch.setattr(workers_module.os, "cpu_count", lambda: 1)
+        from repro.dataset.workers import resolve_workers
+
+        assert resolve_workers(8) == 1
+        assert resolve_workers("auto") == 1
+        assert resolve_workers(0) == 1
