@@ -2,12 +2,16 @@
 """Guard the throughput trajectory: fail on benchmark regressions.
 
 Compares a freshly produced benchmark report against the committed
-baseline (``BENCH_throughput.json`` at the repo root).  Every ``*_fps``
-key present in both documents is checked — including the zero-copy query
-engine's ``scan_series_fps``, so a >20% scan-throughput drop fails CI at
-the default tolerance.  Any throughput drop beyond the tolerance fails
-the run.  Keys only present on one side are reported but never fatal
-(benchmarks grow new measurements over time).
+baseline (``BENCH_throughput.json`` at the repo root; pass
+``--baseline BENCH_ingest.json`` for the ingestion benchmark).  Every
+``*_fps`` key present in both documents is checked — including the
+zero-copy query engine's ``scan_series_fps`` and the ingestion daemon's
+``ingest_sustained_fps`` — and any throughput drop beyond the tolerance
+fails the run.  Every ``*_seconds`` key present in both documents is
+checked the other way around (lower is better): ``recovery_seconds`` or
+``compact_incremental_seconds`` *growing* beyond the tolerance fails.
+Keys only present on one side are reported but never fatal (benchmarks
+grow new measurements over time).
 
 A fresh report carrying ``"single_core_host": true`` marks its parallel
 and telemetry-overhead numbers as noise (on one core the "parallel" runs
@@ -55,7 +59,7 @@ def load_report(path: Path) -> dict:
 
 
 def throughput_keys(report: dict) -> dict[str, float]:
-    """The comparable measurements: every numeric ``*_fps`` entry."""
+    """The higher-is-better measurements: every numeric ``*_fps`` entry."""
     return {
         key: float(value)
         for key, value in report.items()
@@ -63,26 +67,51 @@ def throughput_keys(report: dict) -> dict[str, float]:
     }
 
 
+def duration_keys(report: dict) -> dict[str, float]:
+    """The lower-is-better measurements: every numeric ``*_seconds`` entry."""
+    return {
+        key: float(value)
+        for key, value in report.items()
+        if key.endswith("_seconds") and isinstance(value, (int, float))
+    }
+
+
+def comparable_keys(report: dict) -> set[str]:
+    return throughput_keys(report).keys() | duration_keys(report).keys()
+
+
 def compare(
     baseline: dict, fresh: dict, tolerance: float
 ) -> list[tuple[str, float, float, float]]:
-    """Regressed keys as ``(key, baseline_fps, fresh_fps, drop_ratio)``."""
-    base = throughput_keys(baseline)
-    new = throughput_keys(fresh)
+    """Regressed keys as ``(key, baseline, fresh, change_ratio)``.
+
+    ``change_ratio`` is the relative move in the *bad* direction: a
+    throughput drop for ``*_fps`` keys, a duration increase for
+    ``*_seconds`` keys.
+    """
+    base_fps, new_fps = throughput_keys(baseline), throughput_keys(fresh)
+    base_sec, new_sec = duration_keys(baseline), duration_keys(fresh)
     regressions = []
-    for key in sorted(base.keys() & new.keys()):
+    for key in sorted(base_fps.keys() & new_fps.keys()):
         if fresh.get("single_core_host") and key.endswith("_parallel_fps"):
             print(f"note: {key} skipped (single_core_host: parallel "
                   f"numbers are noise on one core)")
             continue
-        before, after = base[key], new[key]
+        before, after = base_fps[key], new_fps[key]
         if before <= 0:
             continue
         drop = 1.0 - after / before
         if drop > tolerance:
             regressions.append((key, before, after, drop))
-    for key in sorted(base.keys() ^ new.keys()):
-        side = "baseline" if key in base else "fresh report"
+    for key in sorted(base_sec.keys() & new_sec.keys()):
+        before, after = base_sec[key], new_sec[key]
+        if before <= 0:
+            continue
+        growth = after / before - 1.0
+        if growth > tolerance:
+            regressions.append((key, before, after, growth))
+    for key in sorted(comparable_keys(baseline) ^ comparable_keys(fresh)):
+        side = "baseline" if key in comparable_keys(baseline) else "fresh report"
         print(f"note: {key} only present in the {side}; skipped")
     return regressions
 
@@ -116,17 +145,17 @@ def main(argv: list[str] | None = None) -> int:
     regressions = compare(baseline, fresh, args.tolerance)
 
     failed = False
-    checked = len(throughput_keys(baseline).keys() & throughput_keys(fresh).keys())
+    checked = len(comparable_keys(baseline) & comparable_keys(fresh))
     if regressions:
         failed = True
         print(
-            f"FAIL: {len(regressions)}/{checked} throughput keys dropped "
+            f"FAIL: {len(regressions)}/{checked} benchmark keys regressed "
             f"more than {args.tolerance:.0%}:"
         )
-        for key, before, after, drop in regressions:
-            print(f"  {key:<28} {before:>9.2f} -> {after:>9.2f}  (-{drop:.0%})")
+        for key, before, after, change in regressions:
+            print(f"  {key:<28} {before:>9.2f} -> {after:>9.2f}  ({change:+.0%})")
     else:
-        print(f"OK: {checked} throughput keys within {args.tolerance:.0%} of baseline")
+        print(f"OK: {checked} benchmark keys within {args.tolerance:.0%} of baseline")
 
     overhead = fresh.get("telemetry_overhead_pct")
     if fresh.get("single_core_host"):

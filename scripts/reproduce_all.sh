@@ -37,6 +37,18 @@ python3 benchmarks/bench_throughput_processing.py --quick \
 python3 scripts/check_bench_regression.py "$ARTIFACTS/BENCH_throughput.json" \
     --tolerance 0.5 --max-telemetry-overhead 5.0
 
+echo "== 2c/4 ingestion daemon smoke (quick mode: kill, resume, compact) =="
+# A 540-file corpus against the 100k-file committed baseline: the quick
+# run pays two interpreter startups over ~20 s of work, so its sustained
+# number sits well below the amortised full-scale one — hence the wider
+# tolerance.  The lower-is-better *_seconds keys shrink with corpus size
+# and can only pass; they gate like-for-like full runs.
+python3 benchmarks/bench_ingest.py --quick \
+    --output "$ARTIFACTS/BENCH_ingest.json" \
+    | tee "$ARTIFACTS/ingest.txt"
+python3 scripts/check_bench_regression.py "$ARTIFACTS/BENCH_ingest.json" \
+    --baseline BENCH_ingest.json --tolerance 0.6
+
 echo "== 3/4 demonstration dataset (1 hour, all four maps) =="
 DATASET="$ARTIFACTS/dataset"
 repro-weather generate "$DATASET" \

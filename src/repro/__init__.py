@@ -63,6 +63,10 @@ _EXPORTS: dict[str, tuple[str, str]] = {
     "parse_svg_file": ("repro.parsing.pipeline", "parse_svg_file"),
     # dataset substrate
     "DatasetStore": ("repro.dataset.store", "DatasetStore"),
+    "InMemoryStore": ("repro.dataset.store", "InMemoryStore"),
+    "ShardedDatasetStore": ("repro.dataset.store", "ShardedDatasetStore"),
+    "StorageBackend": ("repro.dataset.store", "StorageBackend"),
+    "open_store": ("repro.dataset.store", "open_store"),
     "load_all": ("repro.dataset.loader", "load_all"),
     "iter_snapshots": ("repro.dataset.loader", "iter_snapshots"),
     "latest_snapshot": ("repro.dataset.loader", "latest_snapshot"),
@@ -75,6 +79,12 @@ _EXPORTS: dict[str, tuple[str, str]] = {
     "ScanPredicate": ("repro.dataset.query", "ScanPredicate"),
     "ScanResult": ("repro.dataset.query", "ScanResult"),
     "open_query": ("repro.dataset.query", "open_query"),
+    "open_sharded_query": ("repro.dataset.shards", "open_sharded_query"),
+    "compact_map_shards": ("repro.dataset.shards", "compact_map_shards"),
+    # ingestion daemon
+    "IngestConfig": ("repro.dataset.ingest", "IngestConfig"),
+    "IngestDaemon": ("repro.dataset.ingest", "IngestDaemon"),
+    "resume_ingest": ("repro.dataset.ingest", "resume_ingest"),
     # yaml twins
     "snapshot_from_yaml": ("repro.yamlio.deserialize", "snapshot_from_yaml"),
     "snapshot_to_yaml": ("repro.yamlio.serialize", "snapshot_to_yaml"),

@@ -4,6 +4,7 @@ Subcommands::
 
     generate   simulate a collection campaign into a dataset directory
     process    run the SVG→YAML extraction over a dataset directory
+    ingest     run/resume the crash-safe ingestion daemon, or show its status
     index      build or inspect the columnar snapshot index
     query      zero-copy scans over the index (time range, node, link, load)
     catalog    print per-map time frames and snapshot-distance stats
@@ -21,6 +22,7 @@ renders back in either exposition format.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from datetime import datetime, timedelta, timezone
 from pathlib import Path
@@ -34,7 +36,7 @@ from repro.constants import MapName, REFERENCE_DATE
 from repro.dataset.catalog import DatasetCatalog
 from repro.dataset.collector import SimulatedCollector
 from repro.dataset.processor import process_map
-from repro.dataset.store import DatasetStore
+from repro.dataset.store import DatasetStore, ShardedDatasetStore, open_store
 from repro.dataset.summary import build_table1, build_table2, format_table1, format_table2
 from repro.errors import CliUsageError
 from repro.layout.renderer import MapRenderer
@@ -87,10 +89,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2022, help="simulation seed")
 
 
+def _new_store(path: str, sharded: bool) -> DatasetStore:
+    """A store for a dataset being created, honouring an existing layout."""
+    if sharded:
+        store = ShardedDatasetStore(path)
+        store.mark()
+        return store
+    return open_store(path)
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     """Simulate a collection campaign into a dataset directory."""
     simulator = BackboneSimulator()
-    store = DatasetStore(args.output)
+    store = _new_store(args.output, args.sharded)
     collector = SimulatedCollector(simulator, store)
     maps = [args.map] if args.map else None
     start = _parse_when(args.start)
@@ -110,7 +121,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_process(args: argparse.Namespace) -> int:
     """Run SVG→YAML extraction over a dataset directory."""
-    store = DatasetStore(args.dataset)
+    store = open_store(args.dataset)
     options = ParseOptions(fast_path=args.fast_path)
     for map_name in MapName:
         stats = process_map(
@@ -132,14 +143,138 @@ def cmd_process(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ingest_config(args: argparse.Namespace):
+    """Build an :class:`~repro.dataset.ingest.IngestConfig` from CLI flags."""
+    from repro.dataset.ingest import IngestConfig
+
+    return IngestConfig(
+        queue_size=args.queue_size,
+        workers=args.workers,
+        checkpoint_every=args.checkpoint_every,
+        fsync_every=args.fsync_every,
+        max_files=args.max_files,
+        strict=args.strict,
+        update_index=not args.no_index,
+    )
+
+
+def _print_ingest_stats(stats) -> None:
+    print(
+        f"ingested {stats.ingested} files "
+        f"({stats.processed} processed, {stats.failed} failed, "
+        f"{stats.skipped} skipped, {stats.replayed} replayed from journal) "
+        f"in {stats.run_seconds:.1f} s — {stats.sustained_fps:.1f} files/s"
+    )
+    if stats.recovery_seconds > 0:
+        print(f"  recovery {stats.recovery_seconds:.3f} s, "
+              f"{stats.checkpoints} checkpoints")
+
+
+def cmd_ingest_run(args: argparse.Namespace) -> int:
+    """Run the crash-safe ingestion daemon over a dataset directory."""
+    from repro.dataset.ingest import IngestDaemon
+
+    store = _new_store(args.dataset, args.sharded)
+    maps = [args.map] if args.map else None
+    daemon = IngestDaemon(store, _ingest_config(args))
+    stats = daemon.run(maps)
+    _print_ingest_stats(stats)
+    _maybe_write_metrics(args)
+    return 0
+
+
+def cmd_ingest_resume(args: argparse.Namespace) -> int:
+    """Resume an interrupted ingestion run (replays the journal first)."""
+    from repro.dataset.ingest import resume_ingest
+    from repro.errors import IngestError
+
+    store = open_store(args.dataset)
+    maps = [args.map] if args.map else None
+    try:
+        stats = resume_ingest(store, _ingest_config(args), maps)
+    except IngestError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    _print_ingest_stats(stats)
+    _maybe_write_metrics(args)
+    return 0
+
+
+def cmd_ingest_status(args: argparse.Namespace) -> int:
+    """Show the last status the ingestion daemon published."""
+    from repro.dataset.ingest import read_ingest_status
+
+    status = read_ingest_status(args.dataset)
+    if status is None:
+        print(f"no ingest status under {args.dataset}", file=sys.stderr)
+        return 1
+    pid = status.get("pid")
+    alive = False
+    if isinstance(pid, int):
+        try:
+            os.kill(pid, 0)
+            alive = True
+        except PermissionError:
+            alive = True  # exists, just not ours to signal
+        except OSError:
+            alive = False
+    state = status.get("state", "?")
+    liveness = "running" if alive and state != "done" else "not running"
+    print(f"state {state} (pid {pid}, {liveness})")
+    print(
+        f"  processed {status.get('processed', 0)}  "
+        f"failed {status.get('failed', 0)}  "
+        f"skipped {status.get('skipped', 0)}  "
+        f"replayed {status.get('replayed', 0)}"
+    )
+    pending_left = status.get("pending_left")
+    if pending_left is not None:
+        print(f"  pending {pending_left} of {status.get('pending_total', '?')} "
+              f"(queue depth {status.get('queue_depth', 0)})")
+    overall = status.get("overall_fps")
+    recent = status.get("recent_fps")
+    if isinstance(overall, (int, float)) and isinstance(recent, (int, float)):
+        print(f"  throughput {overall:.1f} files/s overall, "
+              f"{recent:.1f} files/s recent")
+    return 0
+
+
 def cmd_index_build(args: argparse.Namespace) -> int:
     """Build (or incrementally refresh) the columnar snapshot index."""
     import time
 
     from repro.dataset.index import build_index
 
-    store = DatasetStore(args.dataset)
+    store = open_store(args.dataset)
     built_any = False
+    if isinstance(store, ShardedDatasetStore):
+        from repro.dataset.shards import compact_map_shards
+
+        for map_name in [args.map] if args.map else list(MapName):
+            if not any(True for _ in store.iter_refs(map_name, "yaml")):
+                continue
+            shard_stats = compact_map_shards(
+                store,
+                map_name,
+                rebuild=args.rebuild,
+                workers=args.workers,
+                on_error=lambda ref, exc: print(
+                    f"  skipping unreadable {ref.path.name}: {exc}", file=sys.stderr
+                ),
+            )
+            built_any = True
+            shards_total = len(shard_stats.built) + len(shard_stats.skipped)
+            print(
+                f"{map_name.value:<15} {shard_stats.rows:>6} rows across "
+                f"{shards_total} shards ({len(shard_stats.built)} built, "
+                f"{len(shard_stats.skipped)} skipped, "
+                f"{len(shard_stats.removed)} removed) in {shard_stats.seconds:.2f} s"
+            )
+        _maybe_write_metrics(args)
+        if not built_any:
+            print("no processed snapshots to index", file=sys.stderr)
+            return 1
+        return 0
     for map_name in [args.map] if args.map else list(MapName):
         if not any(True for _ in store.iter_refs(map_name, "yaml")):
             continue
@@ -172,9 +307,37 @@ def cmd_index_status(args: argparse.Namespace) -> int:
     """Report each map's index: rows, size, and freshness."""
     from repro.dataset.index import index_status
 
-    store = DatasetStore(args.dataset)
+    store = open_store(args.dataset)
     all_fresh = True
     shown = 0
+    if isinstance(store, ShardedDatasetStore):
+        from repro.dataset.shards import ShardManifest, verify_shards
+
+        for map_name in [args.map] if args.map else list(MapName):
+            has_yaml = any(True for _ in store.iter_refs(map_name, "yaml"))
+            manifest = ShardManifest.load(store.shards_manifest_path(map_name))
+            if not has_yaml and not manifest.shards:
+                continue
+            shown += 1
+            entries = verify_shards(store, map_name)
+            fresh = entries is not None
+            listed = entries if entries is not None else sorted(
+                manifest.shards.items()
+            )
+            rows = sum(entry.rows for _, entry in listed)
+            skipped = sum(entry.skipped for _, entry in listed)
+            size = sum(entry.index_size for _, entry in listed)
+            verdict = "fresh" if fresh else "STALE"
+            print(
+                f"{map_name.value:<15} {verdict:<6} {rows:>6} rows "
+                f"{skipped:>3} skipped {size / 1024:>9.1f} KiB "
+                f"({len(listed)} shards)"
+            )
+            all_fresh = all_fresh and fresh
+        if shown == 0:
+            print("no dataset files found", file=sys.stderr)
+            return 1
+        return 0 if all_fresh else 1
     for map_name in [args.map] if args.map else list(MapName):
         has_yaml = any(True for _ in store.iter_refs(map_name, "yaml"))
         status = index_status(store, map_name)
@@ -203,10 +366,17 @@ def cmd_query(args: argparse.Namespace) -> int:
     from repro.dataset.query import ScanPredicate, open_query
     from repro.errors import QueryError
 
-    store = DatasetStore(args.dataset)
-    engine = open_query(
-        store, args.map, backend=args.backend, use_mmap=not args.no_mmap
-    )
+    store = open_store(args.dataset)
+    if isinstance(store, ShardedDatasetStore):
+        from repro.dataset.shards import open_sharded_query
+
+        engine = open_sharded_query(
+            store, args.map, backend=args.backend, use_mmap=not args.no_mmap
+        )
+    else:
+        engine = open_query(
+            store, args.map, backend=args.backend, use_mmap=not args.no_mmap
+        )
     if engine is None:
         print(
             f"no fresh index for {args.map.value}; "
@@ -275,7 +445,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 def cmd_catalog(args: argparse.Namespace) -> int:
     """Print time frames and snapshot-distance stats (Figures 2 and 3)."""
-    catalog = DatasetCatalog(DatasetStore(args.dataset))
+    catalog = DatasetCatalog(open_store(args.dataset))
     for map_name in MapName:
         count = catalog.snapshot_count(map_name)
         if count == 0:
@@ -293,7 +463,7 @@ def cmd_catalog(args: argparse.Namespace) -> int:
 
 def cmd_tables(args: argparse.Namespace) -> int:
     """Print Table 1 (from stored YAMLs) and Table 2 for a dataset."""
-    store = DatasetStore(args.dataset)
+    store = open_store(args.dataset)
     snapshots = {}
     for map_name in MapName:
         refs = list(store.iter_refs(map_name, "yaml"))
@@ -366,7 +536,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis.stats import fraction_at_most
     from repro.dataset.loader import load_all
 
-    store = DatasetStore(args.dataset)
+    store = open_store(args.dataset)
     snapshots = load_all(store, args.map)
     if not snapshots:
         print(f"no processed snapshots for {args.map.value} in {args.dataset}",
@@ -456,7 +626,7 @@ def cmd_archive(args: argparse.Namespace) -> int:
     """Pack a dataset into per-map, per-month bundles — or unpack one."""
     from repro.dataset.archive import pack_dataset, unpack_archive
 
-    store = DatasetStore(args.dataset)
+    store = open_store(args.dataset)
     if args.unpack:
         count = unpack_archive(args.unpack, store)
         print(f"unpacked {count} files into {args.dataset}")
@@ -479,7 +649,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
     from repro.dataset.validate import validate_dataset
 
     reports = validate_dataset(
-        DatasetStore(args.dataset), cross_check_fraction=args.cross_check
+        open_store(args.dataset), cross_check_fraction=args.cross_check
     )
     if not reports:
         print("no dataset files found", file=sys.stderr)
@@ -517,7 +687,7 @@ def cmd_crawl(args: argparse.Namespace) -> int:
     simulator = BackboneSimulator()
     site = WeathermapWebsite(simulator)
     collector = PollingCollector(
-        site, DatasetStore(args.output), backfill=not args.no_backfill
+        site, _new_store(args.output, args.sharded), backfill=not args.no_backfill
     )
     maps = [args.map] if args.map else None
     stats = collector.run(_parse_when(args.start), _parse_when(args.end), maps=maps)
@@ -540,7 +710,7 @@ def cmd_export(args: argparse.Namespace) -> int:
     from repro.dataset.store import format_timestamp
     from repro.topology.export import to_adjacency_csv, to_graphml
 
-    store = DatasetStore(args.dataset)
+    store = open_store(args.dataset)
     export = to_graphml if args.format == "graphml" else to_adjacency_csv
     if args.output_dir:
         snapshots = load_all(store, args.map, workers=args.workers)
@@ -647,6 +817,11 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--end", required=True, help="ISO end time")
     generate.add_argument("--map", type=_map_argument, default=None)
     generate.add_argument("--interval", type=int, default=5, help="minutes between snapshots")
+    generate.add_argument(
+        "--sharded",
+        action="store_true",
+        help="mark the dataset for the sharded (per-day index) layout",
+    )
     _add_common(generate)
     generate.set_defaults(handler=cmd_generate)
 
@@ -680,6 +855,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's telemetry as a JSON snapshot to this path",
     )
     process.set_defaults(handler=cmd_process)
+
+    ingest = subparsers.add_parser(
+        "ingest", help="run or resume the crash-safe ingestion daemon"
+    )
+    ingest_sub = ingest.add_subparsers(dest="ingest_command", required=True)
+
+    def _add_ingest_knobs(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("dataset", help="dataset directory")
+        sub.add_argument("--map", type=_map_argument, default=None)
+        sub.add_argument(
+            "--workers", type=int, default=1,
+            help="parser threads feeding the single writer (default 1)",
+        )
+        sub.add_argument(
+            "--queue-size", type=int, default=256,
+            help="bound on the work and result queues (default 256)",
+        )
+        sub.add_argument(
+            "--checkpoint-every", type=int, default=512,
+            help="files between manifest folds + shard compactions (default 512)",
+        )
+        sub.add_argument(
+            "--fsync-every", type=int, default=64,
+            help="files between YAML/journal durability batches (default 64)",
+        )
+        sub.add_argument(
+            "--max-files", type=int, default=None,
+            help="stop after ingesting this many files (for paced runs)",
+        )
+        sub.add_argument("--strict", action="store_true")
+        sub.add_argument(
+            "--no-index",
+            action="store_true",
+            help="skip index maintenance entirely (compact later with "
+            "`index build`)",
+        )
+        sub.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help="write the run's telemetry as a JSON snapshot to this path",
+        )
+
+    ingest_run = ingest_sub.add_parser(
+        "run", help="ingest everything pending (recovers first if needed)"
+    )
+    _add_ingest_knobs(ingest_run)
+    ingest_run.add_argument(
+        "--sharded",
+        action="store_true",
+        help="mark the dataset for the sharded (per-day index) layout",
+    )
+    ingest_run.set_defaults(handler=cmd_ingest_run)
+    ingest_resume = ingest_sub.add_parser(
+        "resume", help="resume an interrupted run (requires prior state)"
+    )
+    _add_ingest_knobs(ingest_resume)
+    ingest_resume.set_defaults(handler=cmd_ingest_resume)
+    ingest_status = ingest_sub.add_parser(
+        "status", help="show the daemon's last published status"
+    )
+    ingest_status.add_argument("dataset", help="dataset directory")
+    ingest_status.set_defaults(handler=cmd_ingest_status)
 
     index = subparsers.add_parser(
         "index", help="build or inspect the columnar snapshot index"
@@ -813,6 +1051,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-backfill",
         action="store_true",
         help="skip recovering missed ticks from the hourly archive",
+    )
+    crawl.add_argument(
+        "--sharded",
+        action="store_true",
+        help="mark the dataset for the sharded (per-day index) layout",
     )
     _add_common(crawl)
     crawl.set_defaults(handler=cmd_crawl)

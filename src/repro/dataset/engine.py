@@ -51,7 +51,13 @@ from typing import Iterable, Sequence
 
 from repro.constants import MapName
 from repro.dataset.processor import ProcessingStats, file_metrics, process_svg_bytes
-from repro.dataset.store import DatasetStore, SnapshotRef, format_timestamp
+from repro.dataset.store import (
+    DatasetStore,
+    ShardedDatasetStore,
+    SnapshotRef,
+    atomic_write_text,
+    format_timestamp,
+)
 from repro.dataset.workers import AUTO_WORKERS, default_workers, resolve_workers
 from repro.errors import DatasetError
 from repro.parsing.pipeline import PARSER_VERSION, ParseOptions, resolve_parse_options
@@ -145,15 +151,18 @@ class Manifest:
         return manifest
 
     def save(self, path: Path) -> None:
-        """Write the manifest atomically (write-aside then rename)."""
+        """Write the manifest atomically and durably.
+
+        Write-aside + fsync + ``os.replace`` (via
+        :func:`~repro.dataset.store.atomic_write_text`), so a mid-write
+        kill leaves either the previous manifest or the new one — never a
+        truncated file that would poison the skip cache.
+        """
         document = {
             "parser_version": self.parser_version,
             "entries": {key: asdict(entry) for key, entry in self.entries.items()},
         }
-        path.parent.mkdir(parents=True, exist_ok=True)
-        scratch = path.with_suffix(".json.tmp")
-        scratch.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
-        scratch.replace(path)
+        atomic_write_text(path, json.dumps(document, sort_keys=True))
 
 
 @dataclass(frozen=True, slots=True)
@@ -383,17 +392,27 @@ def process_map_parallel(
     if use_manifest:
         manifest.save(manifest_path)
     if update_index and any(True for _ in store.iter_refs(map_name, "yaml")):
-        from repro.dataset.index import build_index  # breaks an import cycle
-
-        build_index(
-            store,
-            map_name,
-            rebuild=overwrite,
-            workers=workers,
-            on_error=lambda ref, exc: logger.warning(
-                "not indexing unreadable %s: %s", ref.path.name, exc
-            ),
+        on_error = lambda ref, exc: logger.warning(  # noqa: E731
+            "not indexing unreadable %s: %s", ref.path.name, exc
         )
+        if isinstance(store, ShardedDatasetStore):
+            # Sharded datasets compact per-day shard indexes — O(changed
+            # shards), not O(corpus) — instead of the monolithic index.
+            from repro.dataset.shards import compact_map_shards  # import cycle
+
+            compact_map_shards(
+                store, map_name, rebuild=overwrite, workers=workers, on_error=on_error
+            )
+        else:
+            from repro.dataset.index import build_index  # breaks an import cycle
+
+            build_index(
+                store,
+                map_name,
+                rebuild=overwrite,
+                workers=workers,
+                on_error=on_error,
+            )
     logger.info(
         "processed %s: %d ok, %d unprocessable (%d skipped via manifest, "
         "%d workers)",

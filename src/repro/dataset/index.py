@@ -74,7 +74,7 @@ from time import perf_counter
 from typing import Callable, Iterator, Sequence
 
 from repro.constants import MapName
-from repro.dataset.store import DatasetStore, SnapshotRef
+from repro.dataset.store import DatasetStore, SnapshotRef, atomic_write_bytes
 from repro.dataset.workers import resolve_workers
 from repro.errors import SchemaError, SnapshotIndexError
 from repro.parsing.pipeline import PARSER_VERSION
@@ -559,11 +559,9 @@ class SnapshotIndex:
             parts.append(getattr(self, attribute).tobytes())
         payload = b"".join(parts)
         data = payload + hashlib.sha256(payload).digest()
-        path.parent.mkdir(parents=True, exist_ok=True)
-        scratch = path.with_suffix(".bin.tmp")
-        scratch.write_bytes(data)
-        scratch.replace(path)
-        return len(data)
+        # Write-aside + fsync + replace: a mid-write kill leaves either the
+        # previous index generation or the new one, never a truncated file.
+        return atomic_write_bytes(path, data)
 
     @classmethod
     def load(cls, path: Path) -> "SnapshotIndex":
@@ -655,7 +653,11 @@ class IndexBuildStats:
 
 def load_index(store: DatasetStore, map_name: MapName) -> SnapshotIndex | None:
     """Read a map's index if one exists and is sound; ``None`` otherwise."""
-    path = store.index_path(map_name)
+    return load_index_at(store.index_path(map_name), map_name)
+
+
+def load_index_at(path: Path, map_name: MapName) -> SnapshotIndex | None:
+    """Read an index file (monolithic or per-shard) if it is sound."""
     if not path.exists():
         return None
     try:
@@ -722,6 +724,9 @@ def build_index(
     workers: int | str | None = None,
     on_error: Callable[[SnapshotRef, SchemaError], None] | None = None,
     parser_version: int = PARSER_VERSION,
+    *,
+    refs: Sequence[SnapshotRef] | None = None,
+    index_path: Path | None = None,
 ) -> tuple[SnapshotIndex, IndexBuildStats]:
     """Build or refresh one map's columnar index from its YAML series.
 
@@ -738,6 +743,11 @@ def build_index(
             :func:`repro.dataset.workers.resolve_workers` (default serial).
         on_error: called for unreadable YAML files, which are recorded as
             skipped sources; without a handler, schema errors propagate.
+        refs: the source universe to index; defaults to every YAML ref of
+            the map.  Shard compaction passes one shard's refs here.
+        index_path: where to load the previous generation from and save
+            the result; defaults to the map's monolithic index path.
+            Shard compaction passes the per-shard path.
 
     Returns:
         The saved index and the build accounting.
@@ -751,10 +761,13 @@ def build_index(
         "repro_index_build_seconds", "Index build wall time"
     )
     build_started = perf_counter()
-    refs = list(store.iter_refs(map_name, "yaml"))
+    if refs is None:
+        refs = list(store.iter_refs(map_name, "yaml"))
+    if index_path is None:
+        index_path = store.index_path(map_name)
     previous: SnapshotIndex | None = None
     if not rebuild:
-        previous = load_index(store, map_name)
+        previous = load_index_at(index_path, map_name)
         if previous is not None and previous.parser_version != parser_version:
             logger.info(
                 "discarding index for %s (parser version %d -> %d)",
@@ -847,7 +860,7 @@ def build_index(
 
     if previous is not None:
         stats.removed = max(0, len(previous) - stats.reused)
-    stats.bytes_written = index.save(store.index_path(map_name))
+    stats.bytes_written = index.save(index_path)
     build_seconds.observe(perf_counter() - build_started, map=map_name.value)
     for outcome in ("parsed", "reused", "unreadable", "removed"):
         rows_counter.inc(getattr(stats, outcome), map=map_name.value, outcome=outcome)

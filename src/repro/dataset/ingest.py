@@ -1,0 +1,838 @@
+"""Long-lived ingestion: bounded queues, a write-ahead journal, crash-safe resume.
+
+The paper's archive was collected continuously for 26 months by a
+five-minute crontab; anything that long-lived *will* be interrupted —
+reboots, OOM kills, power loss — and the CAIDA longitudinal-collection
+line of work is blunt about why that matters: the asset is the unbroken
+series, so recovery must resume exactly, not approximately.  This module
+turns the one-shot processing engine into a daemon with three guarantees:
+
+* **Bounded memory** — producer/consumer queues with hard capacity
+  bounds; enumeration blocks when parsing falls behind and parsing
+  blocks when writing falls behind, so peak RSS is flat in corpus size.
+
+* **Crash-safe resume** — every ingested file is recorded in an
+  append-only write-ahead journal (one CRC-32-framed JSON line per
+  file), and the journal is fsync'd *after* the YAML files it describes,
+  so a journal record on disk implies its YAML is durable.  Checkpoints
+  fold the journal into the engine's ``manifest.json`` (atomically,
+  fsync'd) and truncate it.  After a SIGKILL, recovery replays the
+  journal tail into the manifest and re-ingests only files neither knew
+  about — no re-parse of journaled work, no duplicate rows, and because
+  parsing is deterministic the resumed run's YAML tree is byte-identical
+  to an uninterrupted one.
+
+* **O(new shard) index maintenance** — on a
+  :class:`~repro.dataset.store.ShardedDatasetStore`, checkpoints compact
+  only the day-shards touched since the last checkpoint via
+  :func:`~repro.dataset.shards.compact_map_shards`; the monolithic
+  rebuild (or even its O(corpus) incremental rewrite) never runs.
+
+Journal record format (one line, ``crc32-hex space json newline``)::
+
+    5f3a9c01 {"failure":null,"map":"europe","mtime_ns":...,"sha256":"...",
+              "size":126526,"stamp":"20220912T000000Z","yaml_bytes":14836}
+
+A torn tail (the only damage a crash can produce on an append-only file)
+is dropped silently; a bad record *followed by a good one* means real
+corruption and raises :class:`~repro.errors.JournalError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import queue
+import zlib
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter, time
+from typing import BinaryIO, Sequence
+
+from repro.constants import MapName
+from repro.dataset.engine import Manifest, ManifestEntry, _skip_from_manifest
+from repro.dataset.processor import (
+    ProcessingStats,
+    ProcessOutcome,
+    file_metrics,
+    process_svg_bytes,
+)
+from repro.dataset.store import (
+    DatasetStore,
+    ShardedDatasetStore,
+    SnapshotRef,
+    StorageBackend,
+    atomic_write_text,
+    format_timestamp,
+    fsync_directory,
+    shard_key,
+)
+from repro.errors import IngestError, JournalError
+from repro.parsing.pipeline import ParseOptions
+from repro.telemetry import get_registry
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "IngestConfig",
+    "IngestDaemon",
+    "IngestJournal",
+    "IngestStats",
+    "JournalRecord",
+    "read_ingest_status",
+    "resume_ingest",
+    "status_path",
+]
+
+STATUS_FILE_NAME = "ingest-status.json"
+
+
+# ---------------------------------------------------------------------------
+# Journal
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class JournalRecord:
+    """One ingested file's durable fact: source stat, hash, outcome."""
+
+    map_value: str
+    stamp: str
+    sha256: str
+    size: int
+    mtime_ns: int
+    yaml_bytes: int | None = None
+    failure: str | None = None
+
+    def to_entry(self) -> ManifestEntry:
+        """The manifest entry this record folds into at a checkpoint."""
+        return ManifestEntry(
+            sha256=self.sha256,
+            size=self.size,
+            mtime_ns=self.mtime_ns,
+            yaml_bytes=self.yaml_bytes,
+            failure=self.failure,
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON payload (sorted keys — what the CRC covers)."""
+        return json.dumps(
+            {
+                "failure": self.failure,
+                "map": self.map_value,
+                "mtime_ns": self.mtime_ns,
+                "sha256": self.sha256,
+                "size": self.size,
+                "stamp": self.stamp,
+                "yaml_bytes": self.yaml_bytes,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "JournalRecord":
+        """Parse one decoded JSON payload; :class:`JournalError` on shape."""
+        if not isinstance(payload, dict):
+            raise JournalError("journal payload is not an object")
+        try:
+            yaml_bytes = payload["yaml_bytes"]
+            failure = payload["failure"]
+            return cls(
+                map_value=str(payload["map"]),
+                stamp=str(payload["stamp"]),
+                sha256=str(payload["sha256"]),
+                size=int(payload["size"]),
+                mtime_ns=int(payload["mtime_ns"]),
+                yaml_bytes=None if yaml_bytes is None else int(yaml_bytes),
+                failure=None if failure is None else str(failure),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JournalError(f"journal payload malformed: {exc}") from exc
+
+
+def _parse_journal_line(line: bytes) -> JournalRecord | None:
+    """One framed line → record, or ``None`` if the frame is damaged."""
+    if not line.endswith(b"\n"):
+        return None  # torn write: the trailing newline never made it
+    body = line[:-1]
+    if len(body) < 10 or body[8:9] != b" ":
+        return None
+    crc_text, payload = body[:8], body[9:]
+    try:
+        expected = int(crc_text, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(payload) != expected:
+        return None
+    try:
+        return JournalRecord.from_payload(json.loads(payload))
+    except (ValueError, JournalError):
+        return None
+
+
+class IngestJournal:
+    """Append-only, CRC-framed, explicitly-fsync'd write-ahead journal.
+
+    Appends buffer in the OS; callers decide when :meth:`sync` runs (the
+    daemon fsyncs the YAML files a batch of records describes *first*,
+    so every durable record points at durable data).  :meth:`clear`
+    truncates after a checkpoint has folded the records somewhere safer.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._handle: BinaryIO | None = None
+        self.appended = 0
+
+    def append(self, record: JournalRecord) -> None:
+        """Buffer one framed record at the journal's tail."""
+        payload = record.to_json().encode("utf-8")
+        line = b"%08x %s\n" % (zlib.crc32(payload), payload)
+        if self._handle is None:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "ab")
+            except OSError as exc:
+                raise JournalError(f"cannot open journal {self.path}: {exc}") from exc
+        try:
+            self._handle.write(line)
+        except OSError as exc:
+            raise JournalError(f"cannot append to journal {self.path}: {exc}") from exc
+        self.appended += 1
+
+    def sync(self) -> None:
+        """Flush buffered records and fsync the journal file."""
+        if self._handle is None:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Flush and close the append handle (the file stays)."""
+        if self._handle is not None:
+            self.sync()
+            self._handle.close()
+            self._handle = None
+
+    def clear(self) -> None:
+        """Drop the journal after its records were checkpointed."""
+        self.close()
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+        fsync_directory(self.path.parent)
+
+    def replay(self) -> tuple[list[JournalRecord], int]:
+        """Read every sound record back; ``(records, dropped_lines)``.
+
+        A damaged frame with only damaged (or no) frames after it is a
+        torn tail and is silently dropped — that is what a crash leaves.
+
+        Raises:
+            JournalError: a damaged frame *followed by a sound one*,
+                which an append-only crash cannot produce — the journal
+                is corrupt, and dropping the middle of it would silently
+                lose history.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return [], 0
+        except OSError as exc:
+            raise JournalError(f"cannot read journal {self.path}: {exc}") from exc
+        records: list[JournalRecord] = []
+        dropped = 0
+        bad_seen = False
+        for line in raw.splitlines(keepends=True):
+            record = _parse_journal_line(line)
+            if record is None:
+                bad_seen = True
+                dropped += 1
+                continue
+            if bad_seen:
+                raise JournalError(
+                    f"journal {self.path} has a sound record after a damaged "
+                    f"one — mid-file corruption, not a torn tail"
+                )
+            records.append(record)
+        return records, dropped
+
+
+# ---------------------------------------------------------------------------
+# Daemon configuration and accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class IngestConfig:
+    """Knobs of one ingestion run; validated eagerly.
+
+    ``queue_size`` bounds *both* the work and the result queue, so at
+    most ``2 × queue_size + workers`` files are in flight — the flat-RSS
+    guarantee.  ``checkpoint_every`` paces manifest folds and shard
+    compaction; ``fsync_every`` paces the YAML-then-journal durability
+    batches inside a checkpoint interval.
+    """
+
+    queue_size: int = 256
+    workers: int = 1
+    checkpoint_every: int = 512
+    fsync_every: int = 64
+    max_files: int | None = None
+    strict: bool = False
+    update_index: bool = True
+    options: ParseOptions | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("queue_size", "workers", "checkpoint_every", "fsync_every"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise IngestError(f"{name} must be a positive integer, got {value!r}")
+        if self.max_files is not None and (
+            not isinstance(self.max_files, int) or self.max_files < 1
+        ):
+            raise IngestError(
+                f"max_files must be a positive integer or None, got {self.max_files!r}"
+            )
+
+
+@dataclass
+class IngestStats:
+    """What one :class:`IngestDaemon` run (or resume) did."""
+
+    processed: int = 0
+    failed: int = 0
+    skipped: int = 0
+    replayed: int = 0
+    dropped: int = 0
+    checkpoints: int = 0
+    recovery_seconds: float = 0.0
+    run_seconds: float = 0.0
+    per_map: dict[MapName, ProcessingStats] = field(default_factory=dict)
+
+    @property
+    def ingested(self) -> int:
+        """Files actually read and parsed this run (not skipped)."""
+        return self.processed + self.failed
+
+    @property
+    def sustained_fps(self) -> float:
+        """Ingested files per second of total run wall time."""
+        if self.run_seconds <= 0:
+            return 0.0
+        return self.ingested / self.run_seconds
+
+
+def status_path(store: StorageBackend) -> Path:
+    """Where the daemon's liveness/progress file lives."""
+    return store.root / STATUS_FILE_NAME
+
+
+def read_ingest_status(root: str | Path) -> dict[str, object] | None:
+    """The last status the daemon published, or ``None`` if never/corrupt.
+
+    The file is written atomically, so a reader sees either a complete
+    status document or nothing — never a torn one.
+    """
+    try:
+        raw = (Path(root) / STATUS_FILE_NAME).read_text(encoding="utf-8")
+    except OSError:
+        return None
+    try:
+        payload = json.loads(raw)
+    except ValueError:
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+@dataclass(slots=True)
+class _Processed:
+    """One file's outcome crossing the worker → writer queue."""
+
+    ref: SnapshotRef
+    sha256: str
+    size: int
+    mtime_ns: int
+    outcome: ProcessOutcome
+
+
+# ---------------------------------------------------------------------------
+# Daemon
+# ---------------------------------------------------------------------------
+
+
+class IngestDaemon:
+    """The long-lived SVG→YAML ingestion pipeline over any storage backend.
+
+    One writer (the calling thread) owns the manifest, the journal, and
+    every YAML write; ``config.workers`` pool threads do the CPU work
+    (read, hash, parse); one producer thread enumerates pending refs.
+    All hand-offs go through bounded queues, so memory stays flat no
+    matter how deep the backlog is.
+
+    On a non-:attr:`~repro.dataset.store.StorageBackend.persistent`
+    backend (the in-memory store) the daemon still ingests — same
+    queues, same accounting — but keeps manifest state in memory only
+    and skips the journal and the indexes, since there is no filesystem
+    to make anything durable on.
+    """
+
+    def __init__(self, store: StorageBackend, config: IngestConfig | None = None) -> None:
+        self.store = store
+        self.config = config if config is not None else IngestConfig()
+        self.stats = IngestStats()
+        #: Filesystem-backed stores get the full journal/manifest/index
+        #: treatment; the in-memory backend runs stateless.
+        self.durable = bool(store.persistent) and isinstance(store, DatasetStore)
+        self._started = 0.0
+        self._recent_mark = (0.0, 0)  # (perf_counter, ingested) at last status
+        self._queue_depth = 0
+        self._maps: list[MapName] = []
+        self._pending_total = 0
+
+    # -- public entry points ------------------------------------------------
+
+    def run(self, maps: Sequence[MapName] | None = None) -> IngestStats:
+        """Recover, then ingest everything pending; returns the accounting.
+
+        Safe to invoke on a dataset a previous run was SIGKILL'd out of:
+        recovery replays the journal into the manifest first, so nothing
+        already ingested is read, parsed, or written again.
+        """
+        registry = get_registry()
+        run_span = registry.span(
+            "repro_ingest_run", "Whole ingestion run wall time"
+        )
+        self._maps = list(maps) if maps is not None else list(MapName)
+        self._started = perf_counter()
+        self._recent_mark = (self._started, 0)
+        self._write_status("starting")
+        with run_span:
+            for map_name in self._maps:
+                self._ingest_map(map_name)
+                if self._budget_left() == 0:
+                    break
+        self.stats.run_seconds = perf_counter() - self._started
+        self._write_status("done")
+        logger.info(
+            "ingested %d files (%d failed, %d skipped, %d replayed) in %.1fs",
+            self.stats.ingested,
+            self.stats.failed,
+            self.stats.skipped,
+            self.stats.replayed,
+            self.stats.run_seconds,
+        )
+        return self.stats
+
+    # -- recovery -----------------------------------------------------------
+
+    def _recover_map(self, map_name: MapName, journal: IngestJournal | None) -> Manifest:
+        """Fold any journal tail into the manifest — the resume fast path."""
+        registry = get_registry()
+        journal_counter = registry.counter(
+            "repro_ingest_journal_records_total",
+            "Write-ahead journal records by event (appended, replayed, dropped)",
+        )
+        recover_seconds = registry.histogram(
+            "repro_ingest_recover_seconds", "Crash-recovery wall time per map"
+        )
+        started = perf_counter()
+        if not self.durable:
+            return Manifest()
+        manifest = Manifest.load(self.store.manifest_path(map_name))
+        if journal is not None:
+            records, dropped = journal.replay()
+            for record in records:
+                manifest.entries[record.stamp] = record.to_entry()
+            if records:
+                # The journal facts are durable; promote them before the
+                # journal is truncated so a crash here loses nothing.
+                manifest.save(self.store.manifest_path(map_name))
+                journal.clear()
+            self.stats.replayed += len(records)
+            self.stats.dropped += dropped
+            journal_counter.inc(len(records), map=map_name.value, event="replayed")
+            journal_counter.inc(dropped, map=map_name.value, event="dropped")
+            if records or dropped:
+                logger.info(
+                    "recovered %s: %d journal records replayed, %d torn dropped",
+                    map_name.value,
+                    len(records),
+                    dropped,
+                )
+        elapsed = perf_counter() - started
+        self.stats.recovery_seconds += elapsed
+        recover_seconds.observe(elapsed, map=map_name.value)
+        return manifest
+
+    # -- the pipeline -------------------------------------------------------
+
+    def _budget_left(self) -> int | None:
+        """Files this run may still ingest, or ``None`` for unlimited."""
+        if self.config.max_files is None:
+            return None
+        return max(0, self.config.max_files - self.stats.ingested)
+
+    def _pending_refs(self, map_name: MapName, manifest: Manifest) -> list[SnapshotRef]:
+        """SVG refs the manifest does not already account for, in time order."""
+        files_counter, _, _ = file_metrics()
+        ingest_files = get_registry().counter(
+            "repro_ingest_files_total",
+            "Ingestion daemon files by outcome (processed, failed, skipped)",
+        )
+        map_stats = self.stats.per_map.setdefault(
+            map_name, ProcessingStats(map_name=map_name)
+        )
+        pending: list[SnapshotRef] = []
+        for ref in self.store.iter_refs(map_name, "svg"):
+            entry = manifest.entries.get(format_timestamp(ref.timestamp))
+            if entry is not None:
+                size, mtime_ns = ref.stat_key()
+                if entry.size == size and entry.mtime_ns == mtime_ns:
+                    _skip_from_manifest(map_stats, entry)
+                    self.stats.skipped += 1
+                    files_counter.inc(1, map=map_name.value, outcome="skipped")
+                    ingest_files.inc(1, map=map_name.value, outcome="skipped")
+                    continue
+            pending.append(ref)
+        budget = self._budget_left()
+        if budget is not None and len(pending) > budget:
+            pending = pending[:budget]
+        return pending
+
+    def _worker_loop(
+        self,
+        map_name: MapName,
+        work: "queue.Queue[SnapshotRef | None]",
+        results: "queue.Queue[_Processed | None]",
+    ) -> None:
+        """Pool thread: read → hash → parse, until the ``None`` sentinel."""
+        while True:
+            ref = work.get()
+            if ref is None:
+                results.put(None)
+                return
+            data = self.store.read_ref(ref)
+            size, mtime_ns = ref.stat_key()
+            outcome = process_svg_bytes(
+                data,
+                map_name,
+                ref.timestamp,
+                strict=self.config.strict,
+                options=self.config.options,
+            )
+            results.put(
+                _Processed(
+                    ref=ref,
+                    sha256=hashlib.sha256(data).hexdigest(),
+                    size=size,
+                    mtime_ns=mtime_ns,
+                    outcome=outcome,
+                )
+            )
+
+    def _producer_loop(
+        self,
+        pending: Sequence[SnapshotRef],
+        work: "queue.Queue[SnapshotRef | None]",
+    ) -> None:
+        """Pool thread: feed refs into the bounded work queue, then sentinels."""
+        for ref in pending:
+            work.put(ref)  # blocks when workers fall behind — backpressure
+        for _ in range(self.config.workers):
+            work.put(None)
+
+    def _sync_batch(
+        self, journal: IngestJournal | None, yaml_paths: list[Path]
+    ) -> None:
+        """Make a batch durable: YAML files first, then their journal records."""
+        if not self.durable:
+            yaml_paths.clear()
+            return
+        parents: set[Path] = set()
+        for path in yaml_paths:
+            try:
+                fd = os.open(path, os.O_RDONLY)
+            except OSError:
+                continue
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            parents.add(path.parent)
+        for parent in parents:
+            fsync_directory(parent)
+        yaml_paths.clear()
+        if journal is not None:
+            journal.sync()
+
+    def _checkpoint(
+        self,
+        map_name: MapName,
+        manifest: Manifest,
+        journal: IngestJournal | None,
+        yaml_paths: list[Path],
+        touched_shards: set[str],
+        pending_left: int,
+    ) -> None:
+        """Fold the journal into the manifest and compact touched shards."""
+        registry = get_registry()
+        checkpoint_seconds = registry.histogram(
+            "repro_ingest_checkpoint_seconds", "Checkpoint (fold + compact) wall time"
+        )
+        started = perf_counter()
+        self._sync_batch(journal, yaml_paths)
+        if self.durable:
+            manifest.save(self.store.manifest_path(map_name))
+            if journal is not None:
+                journal.clear()
+            if (
+                self.config.update_index
+                and touched_shards
+                and isinstance(self.store, ShardedDatasetStore)
+            ):
+                from repro.dataset.shards import compact_map_shards
+
+                compact_map_shards(
+                    self.store,
+                    map_name,
+                    only=sorted(touched_shards),
+                    on_error=lambda ref, exc: logger.warning(
+                        "not indexing unreadable %s: %s", ref.path.name, exc
+                    ),
+                )
+        touched_shards.clear()
+        self.stats.checkpoints += 1
+        checkpoint_seconds.observe(perf_counter() - started, map=map_name.value)
+        self._write_status("running", pending_left=pending_left)
+
+    def _ingest_map(self, map_name: MapName) -> None:
+        """Recover one map, then drain its pending SVGs through the queues."""
+        registry = get_registry()
+        files_counter, _, yaml_bytes_counter = file_metrics()
+        ingest_files = registry.counter(
+            "repro_ingest_files_total",
+            "Ingestion daemon files by outcome (processed, failed, skipped)",
+        )
+        journal_counter = registry.counter(
+            "repro_ingest_journal_records_total",
+            "Write-ahead journal records by event (appended, replayed, dropped)",
+        )
+        depth_gauge = registry.gauge(
+            "repro_ingest_queue_depth", "Items waiting in the ingest work queue"
+        )
+
+        journal: IngestJournal | None = None
+        if self.durable and isinstance(self.store, DatasetStore):
+            journal = IngestJournal(self.store.journal_path(map_name))
+        manifest = self._recover_map(map_name, journal)
+        pending = self._pending_refs(map_name, manifest)
+        self._pending_total += len(pending)
+        map_stats = self.stats.per_map.setdefault(
+            map_name, ProcessingStats(map_name=map_name)
+        )
+        if not pending:
+            # Nothing new, but leave the indexes consistent with the tree.
+            self._finish_map(map_name, manifest, journal, had_pending=False)
+            return
+
+        work: "queue.Queue[SnapshotRef | None]" = queue.Queue(self.config.queue_size)
+        results: "queue.Queue[_Processed | None]" = queue.Queue(self.config.queue_size)
+        yaml_batch: list[Path] = []
+        touched_shards: set[str] = set()
+        since_sync = 0
+        since_checkpoint = 0
+        done = 0
+        finished_workers = 0
+
+        with ThreadPoolExecutor(max_workers=self.config.workers + 1) as pool:
+            futures: list[Future[None]] = [
+                pool.submit(self._producer_loop, pending, work)
+            ]
+            for _ in range(self.config.workers):
+                futures.append(pool.submit(self._worker_loop, map_name, work, results))
+            while finished_workers < self.config.workers:
+                try:
+                    item = results.get(timeout=1.0)
+                except queue.Empty:
+                    self._raise_pipeline_failure(futures)
+                    continue
+                if item is None:
+                    finished_workers += 1
+                    continue
+                ref, outcome = item.ref, item.outcome
+                entry = ManifestEntry(
+                    sha256=item.sha256, size=item.size, mtime_ns=item.mtime_ns
+                )
+                if outcome.yaml_text is None:
+                    entry.failure = outcome.failure_cause
+                    map_stats.unprocessed += 1
+                    map_stats.failure_causes[outcome.failure_cause] += 1
+                    self.stats.failed += 1
+                    ingest_files.inc(1, map=map_name.value, outcome="failed")
+                    logger.warning(
+                        "unprocessable %s (%s: %s)",
+                        ref.path.name,
+                        outcome.failure_cause,
+                        outcome.failure_message,
+                    )
+                else:
+                    written = self.store.write(
+                        map_name, ref.timestamp, "yaml", outcome.yaml_text
+                    )
+                    entry.yaml_bytes = written.size_bytes
+                    map_stats.processed += 1
+                    map_stats.yaml_bytes += written.size_bytes
+                    yaml_bytes_counter.inc(written.size_bytes, map=map_name.value)
+                    self.stats.processed += 1
+                    ingest_files.inc(1, map=map_name.value, outcome="processed")
+                    yaml_batch.append(written.path)
+                    touched_shards.add(shard_key(ref.timestamp))
+                stamp = format_timestamp(ref.timestamp)
+                manifest.entries[stamp] = entry
+                if journal is not None:
+                    journal.append(
+                        JournalRecord(
+                            map_value=map_name.value,
+                            stamp=stamp,
+                            sha256=item.sha256,
+                            size=item.size,
+                            mtime_ns=item.mtime_ns,
+                            yaml_bytes=entry.yaml_bytes,
+                            failure=entry.failure,
+                        )
+                    )
+                    journal_counter.inc(1, map=map_name.value, event="appended")
+                done += 1
+                since_sync += 1
+                since_checkpoint += 1
+                self._queue_depth = work.qsize()
+                depth_gauge.set(self._queue_depth, map=map_name.value)
+                if since_sync >= self.config.fsync_every:
+                    self._sync_batch(journal, yaml_batch)
+                    since_sync = 0
+                if since_checkpoint >= self.config.checkpoint_every:
+                    self._checkpoint(
+                        map_name,
+                        manifest,
+                        journal,
+                        yaml_batch,
+                        touched_shards,
+                        pending_left=len(pending) - done,
+                    )
+                    since_checkpoint = 0
+            self._raise_pipeline_failure(futures)
+
+        self._checkpoint(
+            map_name, manifest, journal, yaml_batch, touched_shards, pending_left=0
+        )
+        self._finish_map(map_name, manifest, journal, had_pending=True)
+
+    def _raise_pipeline_failure(self, futures: Sequence["Future[None]"]) -> None:
+        """Surface a dead producer/worker as a typed error instead of a hang."""
+        for future in futures:
+            if future.done():
+                exc = future.exception()
+                if exc is not None:
+                    raise IngestError(f"ingest pipeline thread died: {exc}") from exc
+
+    def _finish_map(
+        self,
+        map_name: MapName,
+        manifest: Manifest,
+        journal: IngestJournal | None,
+        had_pending: bool,
+    ) -> None:
+        """Close the journal and leave this map's indexes fully compacted."""
+        if journal is not None:
+            journal.close()
+        if not self.durable or not self.config.update_index:
+            return
+        if not any(True for _ in self.store.iter_refs(map_name, "yaml")):
+            return
+        if isinstance(self.store, ShardedDatasetStore):
+            from repro.dataset.shards import compact_map_shards
+
+            compact_map_shards(
+                self.store,
+                map_name,
+                on_error=lambda ref, exc: logger.warning(
+                    "not indexing unreadable %s: %s", ref.path.name, exc
+                ),
+            )
+        elif had_pending:
+            from repro.dataset.index import build_index
+
+            build_index(
+                self.store,
+                map_name,
+                on_error=lambda ref, exc: logger.warning(
+                    "not indexing unreadable %s: %s", ref.path.name, exc
+                ),
+            )
+
+    # -- status -------------------------------------------------------------
+
+    def _write_status(self, state: str, pending_left: int | None = None) -> None:
+        """Publish progress atomically; readers never see a torn file."""
+        if not self.durable:
+            return
+        now = perf_counter()
+        elapsed = max(now - self._started, 1e-9)
+        recent_t, recent_n = self._recent_mark
+        window = max(now - recent_t, 1e-9)
+        recent_fps = (self.stats.ingested - recent_n) / window
+        self._recent_mark = (now, self.stats.ingested)
+        payload = {
+            "state": state,
+            "pid": os.getpid(),
+            "maps": [map_name.value for map_name in self._maps],
+            "processed": self.stats.processed,
+            "failed": self.stats.failed,
+            "skipped": self.stats.skipped,
+            "replayed": self.stats.replayed,
+            "checkpoints": self.stats.checkpoints,
+            "pending_left": pending_left,
+            "pending_total": self._pending_total,
+            "queue_depth": self._queue_depth,
+            "recovery_seconds": self.stats.recovery_seconds,
+            "elapsed_seconds": elapsed,
+            "overall_fps": self.stats.ingested / elapsed,
+            "recent_fps": recent_fps,
+            "updated_unix": time(),
+        }
+        atomic_write_text(
+            status_path(self.store),
+            json.dumps(payload, sort_keys=True),
+            durable=False,
+        )
+
+
+def resume_ingest(
+    store: StorageBackend,
+    config: IngestConfig | None = None,
+    maps: Sequence[MapName] | None = None,
+) -> IngestStats:
+    """Resume an interrupted ingestion run; refuses a dataset with no state.
+
+    ``run()`` on a fresh :class:`IngestDaemon` already *is* the resume
+    path — this wrapper just makes "there was nothing to resume" a typed
+    error instead of silently starting from scratch, which is what the
+    ``ingest resume`` CLI wants.
+    """
+    if not isinstance(store, DatasetStore) or not store.persistent:
+        raise IngestError("resume needs a filesystem-backed dataset store")
+    targets = list(maps) if maps is not None else list(MapName)
+    has_state = any(
+        store.manifest_path(map_name).exists() or store.journal_path(map_name).exists()
+        for map_name in targets
+    )
+    if not has_state:
+        raise IngestError(
+            f"nothing to resume under {store.root}: no manifest and no journal"
+        )
+    return IngestDaemon(store, config).run(targets)

@@ -31,7 +31,7 @@ from typing import Callable, Iterator
 
 from repro.constants import MapName
 from repro.dataset.index import SnapshotIndex, fresh_index
-from repro.dataset.store import DatasetStore, SnapshotRef
+from repro.dataset.store import DatasetStore, ShardedDatasetStore, SnapshotRef
 from repro.dataset.workers import resolve_workers
 from repro.errors import SchemaError
 from repro.telemetry import get_registry
@@ -47,6 +47,22 @@ def _loaded_counter():
         "repro_snapshots_loaded_total",
         "Snapshots served to callers by source tier (index or yaml)",
     )
+
+
+def _fresh_indexes(store: DatasetStore, map_name: MapName) -> list[SnapshotIndex] | None:
+    """The map's fresh index set, in time order, or ``None``.
+
+    On a :class:`~repro.dataset.store.ShardedDatasetStore` this is the
+    per-day shard indexes (which partition time, so chaining them
+    preserves global order); on a flat store, the monolithic index as a
+    one-element list.  Any staleness reports ``None`` — fall back to YAML.
+    """
+    if isinstance(store, ShardedDatasetStore):
+        from repro.dataset.shards import fresh_shard_indexes
+
+        return fresh_shard_indexes(store, map_name)
+    index = fresh_index(store, map_name)
+    return None if index is None else [index]
 
 
 def iter_snapshots(
@@ -76,11 +92,12 @@ def iter_snapshots(
     """
     loaded = _loaded_counter()
     if use_index:
-        index = fresh_index(store, map_name)
-        if index is not None:
-            for snapshot in _iter_from_index(store, index, start, end, on_error):
-                loaded.inc(1, map=map_name.value, source="index")
-                yield snapshot
+        indexes = _fresh_indexes(store, map_name)
+        if indexes is not None:
+            for index in indexes:
+                for snapshot in _iter_from_index(store, index, start, end, on_error):
+                    loaded.inc(1, map=map_name.value, source="index")
+                    yield snapshot
             return
     for ref in _refs_in_window(store, map_name, start, end):
         try:
@@ -107,12 +124,14 @@ def latest_snapshot(
     """
     loaded = _loaded_counter()
     if use_index:
-        index = fresh_index(store, map_name)
-        if index is not None:
-            if len(index) == 0:
-                return None
-            loaded.inc(1, map=map_name.value, source="index")
-            return index.snapshot(len(index) - 1)
+        indexes = _fresh_indexes(store, map_name)
+        if indexes is not None:
+            for index in reversed(indexes):
+                if len(index) == 0:
+                    continue  # a shard of nothing but unreadable sources
+                loaded.inc(1, map=map_name.value, source="index")
+                return index.snapshot(len(index) - 1)
+            return None
     refs = list(store.iter_refs(map_name, "yaml"))
     for ref in reversed(refs):
         try:
@@ -155,9 +174,13 @@ def load_all(
         "repro_load_all", "load_all wall time", map=map_name.value
     ):
         if use_index:
-            index = fresh_index(store, map_name)
-            if index is not None:
-                snapshots = list(_iter_from_index(store, index, start, end, on_error))
+            indexes = _fresh_indexes(store, map_name)
+            if indexes is not None:
+                snapshots = [
+                    snapshot
+                    for index in indexes
+                    for snapshot in _iter_from_index(store, index, start, end, on_error)
+                ]
                 loaded.inc(len(snapshots), map=map_name.value, source="index")
                 return snapshots
         effective_workers = resolve_workers(workers)

@@ -1,0 +1,535 @@
+"""Per-day shard indexes: O(new shard) maintenance for paper-scale corpora.
+
+The monolithic ``index.bin`` is rewritten whole on every refresh — even a
+fully-incremental build copies every carried-over row — so its
+maintenance cost grows linearly with the archive.  At the paper's scale
+(542k snapshots over 26 months, Table 2) that makes every five-minute
+collection tick pay for the whole corpus.  This module partitions the
+index by UTC day, matching the ``YYYY/MM/DD`` day directories the file
+tree already uses::
+
+    <root>/<map>/shards/2022-09-12/index.bin     one day's columnar index
+    <root>/<map>/shards/manifest.json            per-shard generations
+
+Each shard index is an ordinary :class:`~repro.dataset.index.SnapshotIndex`
+file (same format, same checksums, own string tables), built by the same
+incremental :func:`~repro.dataset.index.build_index` restricted to the
+shard's refs.  The shard manifest pins, per shard, a fingerprint of the
+source files' ``(epoch, size, mtime_ns)`` stats and the built index
+file's ``(size, mtime_ns)`` generation — PR 6's generation-pinning idea
+one level up.  :func:`compact_map_shards` then touches only shards whose
+fingerprint changed: a steady-state ingest tick compacts exactly one
+day-shard no matter how many years of history sit beneath it.
+
+Readers get the same two tiers the monolithic index has:
+
+* :func:`fresh_shard_indexes` — in-heap :class:`SnapshotIndex` objects
+  for the loaders (``load_all`` / ``iter_snapshots``).
+* :func:`open_sharded_query` — a :class:`ShardedMappedIndex` fanning one
+  :class:`~repro.dataset.query.MappedIndex` out per shard, with a
+  chaining :class:`ShardedScanResult`.  Interned ids are shard-local, so
+  records and loads are resolved per shard before being chained.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Callable, Iterator, Sequence
+
+from repro.constants import MapName
+from repro.dataset.index import SnapshotIndex, build_index, load_index_at
+from repro.dataset.query import (
+    ColumnBatch,
+    LinkRecord,
+    MappedIndex,
+    ScanPredicate,
+    ScanResult,
+)
+from repro.dataset.store import (
+    ShardedDatasetStore,
+    SnapshotRef,
+    atomic_write_text,
+    parse_shard_key,
+)
+from repro.errors import DatasetError, SnapshotIndexError
+from repro.parsing.pipeline import PARSER_VERSION
+from repro.telemetry import get_registry
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "ShardCompactionStats",
+    "ShardEntry",
+    "ShardManifest",
+    "ShardedMappedIndex",
+    "ShardedScanResult",
+    "compact_map_shards",
+    "fresh_shard_indexes",
+    "open_sharded_query",
+    "shard_fingerprint",
+    "verify_shards",
+]
+
+
+def shard_fingerprint(refs: Sequence[SnapshotRef]) -> str:
+    """SHA-256 over one shard's source ``(epoch, size, mtime_ns)`` stats.
+
+    Parsing is deterministic, so unchanged source stats mean an unchanged
+    shard index; this is the same freshness contract the monolithic
+    index's fingerprint makes, computed *before* any build.
+    """
+    digest = hashlib.sha256()
+    for ref in refs:
+        size, mtime_ns = ref.stat_key()
+        digest.update(
+            b"%d %d %d;" % (int(ref.timestamp.timestamp()), size, mtime_ns)
+        )
+    return digest.hexdigest()
+
+
+@dataclass(slots=True)
+class ShardEntry:
+    """What the shard manifest pins about one built shard index."""
+
+    fingerprint: str
+    rows: int
+    skipped: int
+    index_size: int
+    index_mtime_ns: int
+
+    def matches_index(self, path: Path) -> bool:
+        """Cheap check that the built index file is still the pinned one."""
+        try:
+            stat = path.stat()
+        except OSError:
+            return False
+        return (
+            stat.st_size == self.index_size
+            and stat.st_mtime_ns == self.index_mtime_ns
+        )
+
+
+class ShardManifest:
+    """The per-map ledger of shard index generations.
+
+    Serialised as JSON under ``<map>/shards/manifest.json``::
+
+        {
+          "parser_version": 2,
+          "shards": {
+            "2022-09-12": {
+              "fingerprint": "...", "rows": 288, "skipped": 0,
+              "index_size": 123456, "index_mtime_ns": ...
+            }
+          }
+        }
+
+    Version skew discards every entry, mirroring the processing manifest:
+    a parser bump recompacts the whole archive cleanly.
+    """
+
+    def __init__(self, parser_version: int = PARSER_VERSION) -> None:
+        self.parser_version = parser_version
+        self.shards: dict[str, ShardEntry] = {}
+
+    @classmethod
+    def load(cls, path: Path) -> "ShardManifest":
+        """Read a shard manifest, tolerating absence, corruption, and skew."""
+        manifest = cls()
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return manifest
+        if not isinstance(document, dict):
+            return manifest
+        if document.get("parser_version") != manifest.parser_version:
+            logger.info(
+                "shard manifest %s has parser version %r (current %r); recompacting",
+                path,
+                document.get("parser_version"),
+                manifest.parser_version,
+            )
+            return manifest
+        raw_shards = document.get("shards", {})
+        if not isinstance(raw_shards, dict):
+            return manifest
+        for key, raw in raw_shards.items():
+            try:
+                parse_shard_key(key)
+                manifest.shards[key] = ShardEntry(
+                    fingerprint=str(raw["fingerprint"]),
+                    rows=int(raw["rows"]),
+                    skipped=int(raw["skipped"]),
+                    index_size=int(raw["index_size"]),
+                    index_mtime_ns=int(raw["index_mtime_ns"]),
+                )
+            except (KeyError, TypeError, ValueError, DatasetError):
+                continue  # one bad entry just loses its skip, not the run
+        return manifest
+
+    def save(self, path: Path) -> None:
+        """Write the shard manifest atomically and durably."""
+        document = {
+            "parser_version": self.parser_version,
+            "shards": {
+                key: {
+                    "fingerprint": entry.fingerprint,
+                    "rows": entry.rows,
+                    "skipped": entry.skipped,
+                    "index_size": entry.index_size,
+                    "index_mtime_ns": entry.index_mtime_ns,
+                }
+                for key, entry in self.shards.items()
+            },
+        }
+        atomic_write_text(path, json.dumps(document, sort_keys=True))
+
+
+@dataclass
+class ShardCompactionStats:
+    """What one :func:`compact_map_shards` run did."""
+
+    map_name: MapName
+    built: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+    rows: int = 0
+    parsed: int = 0
+    reused: int = 0
+    seconds: float = 0.0
+
+
+def compact_map_shards(
+    store: ShardedDatasetStore,
+    map_name: MapName,
+    *,
+    rebuild: bool = False,
+    workers: int | str | None = None,
+    on_error: Callable[[SnapshotRef, Exception], None] | None = None,
+    parser_version: int = PARSER_VERSION,
+    only: Sequence[str] | None = None,
+) -> ShardCompactionStats:
+    """Bring one map's shard indexes up to date — O(changed shards).
+
+    Walks the day shards the YAML tree currently holds, fingerprints each
+    shard's source stats (one ``stat()`` per file, no reads), and rebuilds
+    only shards whose fingerprint or pinned index generation changed.
+    Steady-state ingestion therefore pays for one shard per tick, however
+    large the archive behind it has grown.  Shards whose last YAML file
+    vanished are removed, index directory and manifest entry both.
+
+    ``only`` restricts the walk to the named shard keys — the ingestion
+    daemon passes the shards it touched since its last checkpoint, which
+    drops even the fingerprint walk from O(corpus) to O(new shard).
+    Other shards' manifest entries are left untouched and the
+    removed-shard sweep is skipped (a later full compaction handles it).
+    """
+    registry = get_registry()
+    compactions = registry.counter(
+        "repro_shard_compactions_total",
+        "Shard-compaction decisions by outcome (built, skipped, removed)",
+    )
+    compact_seconds = registry.histogram(
+        "repro_shard_compact_seconds", "Whole-map shard compaction wall time"
+    )
+    started = perf_counter()
+    manifest_path = store.shards_manifest_path(map_name)
+    manifest = ShardManifest.load(manifest_path)
+    manifest.parser_version = parser_version
+    if rebuild:
+        manifest.shards.clear()
+    stats = ShardCompactionStats(map_name=map_name)
+
+    if only is not None:
+        for key in only:
+            parse_shard_key(key)
+        live_keys = [
+            key
+            for key in only
+            if any(True for _ in store.iter_shard_refs(map_name, "yaml", key))
+        ]
+    else:
+        live_keys = store.shard_keys(map_name, "yaml")
+    for key in live_keys:
+        refs = list(store.iter_shard_refs(map_name, "yaml", key))
+        fingerprint = shard_fingerprint(refs)
+        index_path = store.shard_index_path(map_name, key)
+        entry = manifest.shards.get(key)
+        if (
+            not rebuild
+            and entry is not None
+            and entry.fingerprint == fingerprint
+            and entry.matches_index(index_path)
+        ):
+            stats.skipped.append(key)
+            stats.rows += entry.rows
+            continue
+        index, build_stats = build_index(
+            store,
+            map_name,
+            rebuild=rebuild,
+            workers=workers,
+            on_error=on_error,
+            parser_version=parser_version,
+            refs=refs,
+            index_path=index_path,
+        )
+        index_stat = index_path.stat()
+        manifest.shards[key] = ShardEntry(
+            fingerprint=fingerprint,
+            rows=len(index),
+            skipped=len(index.skipped),
+            index_size=index_stat.st_size,
+            index_mtime_ns=index_stat.st_mtime_ns,
+        )
+        stats.built.append(key)
+        stats.rows += len(index)
+        stats.parsed += build_stats.parsed
+        stats.reused += build_stats.reused
+
+    if only is None:
+        for key in sorted(set(manifest.shards) - set(live_keys)):
+            del manifest.shards[key]
+            shutil.rmtree(
+                store.shard_index_path(map_name, key).parent, ignore_errors=True
+            )
+            stats.removed.append(key)
+
+    manifest.save(manifest_path)
+    stats.seconds = perf_counter() - started
+    compact_seconds.observe(stats.seconds, map=map_name.value)
+    for outcome, keys in (
+        ("built", stats.built),
+        ("skipped", stats.skipped),
+        ("removed", stats.removed),
+    ):
+        compactions.inc(len(keys), map=map_name.value, outcome=outcome)
+    logger.info(
+        "compacted %s: %d shards built, %d skipped, %d removed (%d rows)",
+        map_name.value,
+        len(stats.built),
+        len(stats.skipped),
+        len(stats.removed),
+        stats.rows,
+    )
+    return stats
+
+
+def verify_shards(
+    store: ShardedDatasetStore, map_name: MapName
+) -> list[tuple[str, ShardEntry]] | None:
+    """The manifest's shard list iff it exactly covers the live YAML tree.
+
+    One directory walk plus one ``stat()`` per file — the sharded
+    equivalent of the monolithic index's freshness walk.  Any skew
+    (missing shard, extra shard, changed fingerprint, replaced index
+    file, parser-version mismatch) reports unfresh.
+    """
+    cache = get_registry().counter(
+        "repro_shard_cache_total",
+        "Sharded-index freshness checks by outcome (hit = shards served)",
+    )
+    manifest = ShardManifest.load(store.shards_manifest_path(map_name))
+    live_keys = store.shard_keys(map_name, "yaml")
+    fresh = manifest.parser_version == PARSER_VERSION and set(live_keys) == set(
+        manifest.shards
+    )
+    entries: list[tuple[str, ShardEntry]] = []
+    if fresh:
+        for key in live_keys:
+            entry = manifest.shards[key]
+            refs = list(store.iter_shard_refs(map_name, "yaml", key))
+            if entry.fingerprint != shard_fingerprint(refs) or not entry.matches_index(
+                store.shard_index_path(map_name, key)
+            ):
+                fresh = False
+                break
+            entries.append((key, entry))
+    cache.inc(1, map=map_name.value, outcome="hit" if fresh else "miss")
+    return entries if fresh else None
+
+
+def fresh_shard_indexes(
+    store: ShardedDatasetStore, map_name: MapName
+) -> list[SnapshotIndex] | None:
+    """Every shard index, in time order, iff the set is fresh.
+
+    ``None`` on any staleness or load failure — callers fall back to the
+    YAML object path exactly as they do for the monolithic index.  An
+    empty list means a fresh, empty dataset.
+    """
+    entries = verify_shards(store, map_name)
+    if entries is None:
+        return None
+    indexes: list[SnapshotIndex] = []
+    for key, _ in entries:
+        index = load_index_at(store.shard_index_path(map_name, key), map_name)
+        if index is None or index.parser_version != PARSER_VERSION:
+            return None
+        indexes.append(index)
+    return indexes
+
+
+class ShardedMappedIndex:
+    """One map's shard indexes served as a single query engine.
+
+    Fans a :class:`~repro.dataset.query.MappedIndex` out per shard, in
+    time order.  Interned ids are shard-local, so cross-shard results
+    are chained at the record/load level, never by concatenating id
+    columns.
+    """
+
+    def __init__(
+        self, map_name: MapName, engines: list[tuple[str, MappedIndex]]
+    ) -> None:
+        self.map_name = map_name
+        #: ``(shard_key, MappedIndex)`` in time order.
+        self.engines = engines
+        self.closed = False
+
+    @property
+    def backend(self) -> str:
+        """The column backend the shard engines use (uniform by build)."""
+        if not self.engines:
+            return "memoryview"
+        return self.engines[0][1].backend
+
+    @property
+    def mapped(self) -> bool:
+        """Whether every shard engine is serving from an mmap."""
+        return bool(self.engines) and all(
+            engine.mapped for _, engine in self.engines
+        )
+
+    @property
+    def shard_keys(self) -> list[str]:
+        """The shard keys served, in time order."""
+        return [key for key, _ in self.engines]
+
+    def __len__(self) -> int:
+        return sum(len(engine) for _, engine in self.engines)
+
+    def check_generation(self) -> None:
+        """Raise :class:`StaleIndexError` if any shard was superseded."""
+        for _, engine in self.engines:
+            engine.check_generation()
+
+    def scan(self, predicate: ScanPredicate | None = None) -> "ShardedScanResult":
+        """Scan every shard with one predicate; results chain in time order.
+
+        Shards partition time, so per-shard window bisection composes to
+        exactly the global window and chained results keep global time
+        order.
+        """
+        return ShardedScanResult(
+            index=self,
+            results=[engine.scan(predicate) for _, engine in self.engines],
+        )
+
+    def close(self) -> None:
+        """Close every shard engine."""
+        if self.closed:
+            return
+        self.closed = True
+        for _, engine in self.engines:
+            engine.close()
+
+    def __enter__(self) -> "ShardedMappedIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class ShardedScanResult:
+    """Per-shard scan results chained into one, in time order.
+
+    Mirrors the :class:`~repro.dataset.query.ScanResult` surface the CLI
+    and analyses consume: sizes sum, record and load accessors chain.
+    ``batches()`` yields each shard's column batches unchanged — loads
+    and timestamps are physical values and safe to mix, but the interned
+    id columns are only meaningful against the *owning* shard's tables,
+    which is why :meth:`records` resolves strings before chaining.
+    """
+
+    index: ShardedMappedIndex
+    results: list[ScanResult]
+
+    def __len__(self) -> int:
+        return sum(len(result) for result in self.results)
+
+    @property
+    def snapshot_count(self) -> int:
+        """Snapshot rows the scan covered across all shards."""
+        return sum(result.snapshot_count for result in self.results)
+
+    def batches(self, size: int = 65536) -> Iterator[ColumnBatch]:
+        """Every shard's column batches, in shard (time) order."""
+        for result in self.results:
+            yield from result.batches(size)
+
+    def directed_loads(self) -> list[float]:
+        """Every matching load sample across shards, both directions."""
+        out: list[float] = []
+        for result in self.results:
+            out.extend(result.directed_loads())
+        return out
+
+    def records(self) -> Iterator[LinkRecord]:
+        """The matches resolved to strings, chained in time order."""
+        for result in self.results:
+            yield from result.records()
+
+
+def open_sharded_query(
+    store: ShardedDatasetStore,
+    map_name: MapName,
+    *,
+    backend: str = "auto",
+    use_mmap: bool = True,
+    require_fresh: bool = True,
+) -> ShardedMappedIndex | None:
+    """Open a sharded map for querying, but only if every shard is fresh.
+
+    The sharded counterpart of :func:`repro.dataset.query.open_query`:
+    verifies the shard manifest against the live tree (skippable via
+    ``require_fresh=False`` for serving layers that poll
+    :meth:`ShardedMappedIndex.check_generation`), then maps every shard
+    index.  Any unsound shard closes the rest and reports ``None``.
+    """
+    if require_fresh:
+        entries = verify_shards(store, map_name)
+        if entries is None:
+            return None
+        keys = [key for key, _ in entries]
+    else:
+        manifest = ShardManifest.load(store.shards_manifest_path(map_name))
+        if manifest.parser_version != PARSER_VERSION:
+            return None
+        keys = sorted(manifest.shards)
+    engines: list[tuple[str, MappedIndex]] = []
+    for key in keys:
+        try:
+            engine = MappedIndex.open(
+                store.shard_index_path(map_name, key),
+                backend=backend,
+                use_mmap=use_mmap,
+            )
+        except SnapshotIndexError:
+            for _, opened in engines:
+                opened.close()
+            return None
+        if engine.map_name != map_name or engine.parser_version != PARSER_VERSION:
+            engine.close()
+            for _, opened in engines:
+                opened.close()
+            return None
+        engines.append((key, engine))
+    return ShardedMappedIndex(map_name, engines)

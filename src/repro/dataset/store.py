@@ -1,22 +1,37 @@
-"""On-disk dataset layout.
+"""Storage backends for the snapshot dataset.
 
-One directory per map, ``svg/`` and ``yaml/`` subtrees, files named by UTC
-timestamp::
+The canonical on-disk layout has one directory per map with ``svg/`` and
+``yaml/`` subtrees, files named by UTC timestamp::
 
     <root>/<map>/svg/2022/09/12/europe-20220912T000000Z.svg
     <root>/<map>/yaml/2022/09/12/europe-20220912T000000Z.yaml
 
 Timestamps are recoverable from file names alone, which is how the catalog
 indexes half a million files without opening any.
+
+Three backends implement the :class:`StorageBackend` protocol:
+
+* :class:`DatasetStore` — the flat local-dir layout above, with one
+  monolithic ``index.bin`` per map.
+* :class:`ShardedDatasetStore` — same file tree (the ``YYYY/MM/DD`` day
+  directories already partition snapshots by map/day) plus per-day shard
+  indexes under ``<map>/shards/<YYYY-MM-DD>/index.bin`` and a shard
+  manifest, so index maintenance is O(new shard) instead of O(corpus).
+* :class:`InMemoryStore` — a dict-backed store for tests; no filesystem.
+
+A sharded dataset is marked by a ``layout.json`` at the root so that
+:func:`open_store` can reconstruct the right backend transparently.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import re
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Iterator
+from typing import Iterator, Protocol, runtime_checkable
 
 from repro.constants import MapName
 from repro.errors import DatasetError, SnapshotNotFoundError
@@ -25,6 +40,10 @@ _TIMESTAMP_FORMAT = "%Y%m%dT%H%M%SZ"
 _FILE_PATTERN = re.compile(
     r"^(?P<map>[a-z-]+)-(?P<stamp>\d{8}T\d{6}Z)\.(?P<kind>svg|yaml)$"
 )
+_SHARD_KEY_PATTERN = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+
+LAYOUT_FILE_NAME = "layout.json"
+SHARDED_LAYOUT = "sharded"
 
 
 def format_timestamp(when: datetime) -> str:
@@ -40,23 +59,131 @@ def parse_timestamp(stamp: str) -> datetime:
         raise DatasetError(f"bad snapshot timestamp {stamp!r}") from exc
 
 
+def shard_key(when: datetime) -> str:
+    """The UTC-day shard a snapshot belongs to, e.g. ``"2022-09-12"``."""
+    utc = when.astimezone(timezone.utc)
+    return f"{utc.year:04d}-{utc.month:02d}-{utc.day:02d}"
+
+
+def parse_shard_key(key: str) -> datetime:
+    """The UTC midnight a shard key names; rejects malformed keys."""
+    if _SHARD_KEY_PATTERN.match(key) is None:
+        raise DatasetError(f"bad shard key {key!r}")
+    try:
+        return datetime.strptime(key, "%Y-%m-%d").replace(tzinfo=timezone.utc)
+    except ValueError as exc:
+        raise DatasetError(f"bad shard key {key!r}") from exc
+
+
+def fsync_directory(path: Path) -> None:
+    """Flush a directory entry to disk; a no-op where unsupported."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Path, data: bytes, *, durable: bool = True) -> int:
+    """Write *data* so readers never observe a partial file.
+
+    The bytes land in a sibling temp file which is fsync'd and then
+    ``os.replace``'d over *path*; with ``durable`` the parent directory
+    entry is flushed too, so a mid-write kill leaves either the old file
+    or the new one — never a truncated hybrid.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    scratch = path.with_name(path.name + ".tmp")
+    with open(scratch, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        if durable:
+            os.fsync(handle.fileno())
+    os.replace(scratch, path)
+    if durable:
+        fsync_directory(path.parent)
+    return len(data)
+
+
+def atomic_write_text(path: Path, text: str, *, durable: bool = True) -> int:
+    """UTF-8 variant of :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(path, text.encode("utf-8"), durable=durable)
+
+
 @dataclass(frozen=True, slots=True)
 class SnapshotRef:
-    """A reference to one stored snapshot file."""
+    """A reference to one stored snapshot file.
+
+    ``size`` and ``mtime_ns`` are optional stat hints: backends that
+    already know them (the in-memory store, directory walks that stat
+    anyway) populate them so consumers can avoid a per-file ``stat()``.
+    """
 
     map_name: MapName
     timestamp: datetime
     kind: str  # "svg" or "yaml"
     path: Path
+    size: int | None = None
+    mtime_ns: int | None = None
 
     @property
     def size_bytes(self) -> int:
-        """File size on disk."""
+        """File size in bytes (from the hint, else one ``stat()``)."""
+        if self.size is not None:
+            return self.size
         return self.path.stat().st_size
+
+    def stat_key(self) -> tuple[int, int]:
+        """``(size, mtime_ns)`` freshness key, stat-free when hinted."""
+        if self.size is not None and self.mtime_ns is not None:
+            return self.size, self.mtime_ns
+        stat = self.path.stat()
+        return stat.st_size, stat.st_mtime_ns
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """The minimal surface the dataset pipeline needs from storage.
+
+    Implementations must keep :meth:`iter_refs` sorted by timestamp and
+    raise :class:`~repro.errors.SnapshotNotFoundError` for missing reads.
+    ``persistent`` says whether manifest/index side-car files are real
+    filesystem paths (the in-memory backend has neither).
+    """
+
+    persistent: bool
+    root: Path
+
+    def path_for(self, map_name: MapName, when: datetime, kind: str) -> Path: ...
+
+    def manifest_path(self, map_name: MapName) -> Path: ...
+
+    def index_path(self, map_name: MapName) -> Path: ...
+
+    def write(
+        self, map_name: MapName, when: datetime, kind: str, data: str | bytes
+    ) -> SnapshotRef: ...
+
+    def read_bytes(self, map_name: MapName, when: datetime, kind: str) -> bytes: ...
+
+    def read_ref(self, ref: SnapshotRef) -> bytes: ...
+
+    def iter_refs(self, map_name: MapName, kind: str) -> Iterator[SnapshotRef]: ...
+
+    def timestamps(self, map_name: MapName, kind: str = "svg") -> list[datetime]: ...
+
+    def file_stats(self, map_name: MapName, kind: str) -> tuple[int, int]: ...
 
 
 class DatasetStore:
-    """Reads and writes the dataset directory tree."""
+    """Reads and writes the flat local-dir dataset tree."""
+
+    persistent = True
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
@@ -92,6 +219,10 @@ class DatasetStore:
         """
         return self.root / map_name.value / "index.bin"
 
+    def journal_path(self, map_name: MapName) -> Path:
+        """Where the ingestion write-ahead journal of one map lives."""
+        return self.root / map_name.value / "journal.wal"
+
     def write(self, map_name: MapName, when: datetime, kind: str, data: str | bytes) -> SnapshotRef:
         """Write one snapshot file, creating directories as needed."""
         path = self.path_for(map_name, when, kind)
@@ -99,7 +230,9 @@ class DatasetStore:
         if isinstance(data, str):
             data = data.encode("utf-8")
         path.write_bytes(data)
-        return SnapshotRef(map_name=map_name, timestamp=when, kind=kind, path=path)
+        return SnapshotRef(
+            map_name=map_name, timestamp=when, kind=kind, path=path, size=len(data)
+        )
 
     def read_bytes(self, map_name: MapName, when: datetime, kind: str) -> bytes:
         """Read one snapshot file's raw contents."""
@@ -109,6 +242,16 @@ class DatasetStore:
                 f"no {kind} snapshot of {map_name.value} at {when.isoformat()}"
             )
         return path.read_bytes()
+
+    def read_ref(self, ref: SnapshotRef) -> bytes:
+        """Read the raw contents a :class:`SnapshotRef` points at."""
+        try:
+            return ref.path.read_bytes()
+        except FileNotFoundError as exc:
+            raise SnapshotNotFoundError(
+                f"no {ref.kind} snapshot of {ref.map_name.value} at "
+                f"{ref.timestamp.isoformat()}"
+            ) from exc
 
     def iter_refs(self, map_name: MapName, kind: str) -> Iterator[SnapshotRef]:
         """All stored snapshots of one map and kind, in timestamp order."""
@@ -143,3 +286,234 @@ class DatasetStore:
             count += 1
             total += ref.size_bytes
         return count, total
+
+
+class ShardedDatasetStore(DatasetStore):
+    """Flat layout plus per-day shard indexes.
+
+    The snapshot file tree is byte-identical to :class:`DatasetStore` —
+    the ``YYYY/MM/DD`` day directories already partition the corpus by
+    map/day, so "sharding" adds only the index side-cars::
+
+        <root>/<map>/shards/<YYYY-MM-DD>/index.bin   per-shard columnar index
+        <root>/<map>/shards/manifest.json            shard generations
+        <root>/layout.json                           backend marker
+
+    :mod:`repro.dataset.shards` owns the shard manifest and compaction;
+    the store only names the paths and enumerates shard members.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        super().__init__(root)
+
+    def mark(self) -> None:
+        """Persist the layout marker so :func:`open_store` picks this backend."""
+        payload = json.dumps({"layout": SHARDED_LAYOUT, "version": 1}, indent=2)
+        atomic_write_text(self.root / LAYOUT_FILE_NAME, payload + "\n")
+
+    def shards_root(self, map_name: MapName) -> Path:
+        """The directory holding one map's shard indexes and manifest."""
+        return self.root / map_name.value / "shards"
+
+    def shards_manifest_path(self, map_name: MapName) -> Path:
+        """Where the per-shard generation manifest of one map lives."""
+        return self.shards_root(map_name) / "manifest.json"
+
+    def shard_index_path(self, map_name: MapName, key: str) -> Path:
+        """Where one shard's columnar index lives."""
+        parse_shard_key(key)
+        return self.shards_root(map_name) / key / "index.bin"
+
+    def shard_day_dir(self, map_name: MapName, kind: str, key: str) -> Path:
+        """The snapshot day directory a shard key maps onto."""
+        if kind not in ("svg", "yaml"):
+            raise DatasetError(f"unknown snapshot kind {kind!r}")
+        day = parse_shard_key(key)
+        return (
+            self.root
+            / map_name.value
+            / kind
+            / f"{day.year:04d}"
+            / f"{day.month:02d}"
+            / f"{day.day:02d}"
+        )
+
+    def shard_keys(self, map_name: MapName, kind: str = "yaml") -> list[str]:
+        """Sorted shard keys that currently hold at least one snapshot."""
+        base = self.root / map_name.value / kind
+        if not base.exists():
+            return []
+        keys: set[str] = set()
+        for year_dir in base.iterdir():
+            if not year_dir.is_dir() or not year_dir.name.isdigit():
+                continue
+            for month_dir in year_dir.iterdir():
+                if not month_dir.is_dir() or not month_dir.name.isdigit():
+                    continue
+                for day_dir in month_dir.iterdir():
+                    if not day_dir.is_dir() or not day_dir.name.isdigit():
+                        continue
+                    if any(day_dir.glob(f"*.{kind}")):
+                        keys.add(
+                            f"{year_dir.name}-{month_dir.name}-{day_dir.name}"
+                        )
+        return sorted(keys)
+
+    def iter_shard_refs(
+        self, map_name: MapName, kind: str, key: str
+    ) -> Iterator[SnapshotRef]:
+        """One shard's snapshots in timestamp order — an O(shard) listing."""
+        day_dir = self.shard_day_dir(map_name, kind, key)
+        if not day_dir.exists():
+            return
+        refs: list[SnapshotRef] = []
+        for path in day_dir.glob(f"*.{kind}"):
+            match = _FILE_PATTERN.match(path.name)
+            if match is None or match.group("map") != map_name.value:
+                continue
+            refs.append(
+                SnapshotRef(
+                    map_name=map_name,
+                    timestamp=parse_timestamp(match.group("stamp")),
+                    kind=kind,
+                    path=path,
+                )
+            )
+        refs.sort(key=lambda ref: ref.timestamp)
+        yield from refs
+
+
+class InMemoryStore:
+    """Dict-backed :class:`StorageBackend` for tests — no filesystem.
+
+    Paths returned by :meth:`path_for` are synthetic (under a ``<memory>``
+    pseudo-root) and must not be opened; use :meth:`read_bytes` or
+    :meth:`read_ref`. Writes stamp a monotonically increasing fake
+    ``mtime_ns`` so freshness keys change on overwrite, like a real disk.
+    """
+
+    persistent = False
+
+    def __init__(self) -> None:
+        self.root = Path("<memory>")
+        self._files: dict[tuple[str, str, str], tuple[bytes, int]] = {}
+        self._ticks = 0
+
+    def _key(self, map_name: MapName, when: datetime, kind: str) -> tuple[str, str, str]:
+        if kind not in ("svg", "yaml"):
+            raise DatasetError(f"unknown snapshot kind {kind!r}")
+        return map_name.value, kind, format_timestamp(when)
+
+    def path_for(self, map_name: MapName, when: datetime, kind: str) -> Path:
+        """Synthetic path mirroring the on-disk layout; never opened."""
+        if kind not in ("svg", "yaml"):
+            raise DatasetError(f"unknown snapshot kind {kind!r}")
+        utc = when.astimezone(timezone.utc)
+        return (
+            self.root
+            / map_name.value
+            / kind
+            / f"{utc.year:04d}"
+            / f"{utc.month:02d}"
+            / f"{utc.day:02d}"
+            / f"{map_name.value}-{format_timestamp(when)}.{kind}"
+        )
+
+    def manifest_path(self, map_name: MapName) -> Path:
+        """Synthetic manifest path; the in-memory store persists nothing."""
+        return self.root / map_name.value / "manifest.json"
+
+    def index_path(self, map_name: MapName) -> Path:
+        """Synthetic index path; the in-memory store persists nothing."""
+        return self.root / map_name.value / "index.bin"
+
+    def write(self, map_name: MapName, when: datetime, kind: str, data: str | bytes) -> SnapshotRef:
+        """Store one snapshot in the dict."""
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        self._ticks += 1
+        self._files[self._key(map_name, when, kind)] = (data, self._ticks)
+        return SnapshotRef(
+            map_name=map_name,
+            timestamp=when.astimezone(timezone.utc),
+            kind=kind,
+            path=self.path_for(map_name, when, kind),
+            size=len(data),
+            mtime_ns=self._ticks,
+        )
+
+    def read_bytes(self, map_name: MapName, when: datetime, kind: str) -> bytes:
+        """Read one stored snapshot's raw contents."""
+        try:
+            return self._files[self._key(map_name, when, kind)][0]
+        except KeyError as exc:
+            raise SnapshotNotFoundError(
+                f"no {kind} snapshot of {map_name.value} at {when.isoformat()}"
+            ) from exc
+
+    def read_ref(self, ref: SnapshotRef) -> bytes:
+        """Read the raw contents a :class:`SnapshotRef` points at."""
+        return self.read_bytes(ref.map_name, ref.timestamp, ref.kind)
+
+    def iter_refs(self, map_name: MapName, kind: str) -> Iterator[SnapshotRef]:
+        """All stored snapshots of one map and kind, in timestamp order."""
+        refs: list[SnapshotRef] = []
+        for (name, stored_kind, stamp), (data, tick) in self._files.items():
+            if name != map_name.value or stored_kind != kind:
+                continue
+            when = parse_timestamp(stamp)
+            refs.append(
+                SnapshotRef(
+                    map_name=map_name,
+                    timestamp=when,
+                    kind=kind,
+                    path=self.path_for(map_name, when, kind),
+                    size=len(data),
+                    mtime_ns=tick,
+                )
+            )
+        refs.sort(key=lambda ref: ref.timestamp)
+        yield from refs
+
+    def timestamps(self, map_name: MapName, kind: str = "svg") -> list[datetime]:
+        """Sorted snapshot timestamps of one map."""
+        return [ref.timestamp for ref in self.iter_refs(map_name, kind)]
+
+    def file_stats(self, map_name: MapName, kind: str) -> tuple[int, int]:
+        """(file count, total bytes) for one map and kind."""
+        count = 0
+        total = 0
+        for ref in self.iter_refs(map_name, kind):
+            count += 1
+            total += ref.size_bytes
+        return count, total
+
+
+def dataset_layout(root: str | Path) -> str | None:
+    """The layout recorded in ``<root>/layout.json``, if any."""
+    marker = Path(root) / LAYOUT_FILE_NAME
+    try:
+        raw = marker.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return None
+    try:
+        payload = json.loads(raw)
+    except ValueError:
+        return None
+    if not isinstance(payload, dict):
+        return None
+    layout = payload.get("layout")
+    return layout if isinstance(layout, str) else None
+
+
+def open_store(root: str | Path) -> DatasetStore:
+    """Open a dataset directory with the backend its marker names.
+
+    Datasets without a ``layout.json`` (every pre-shard dataset) get the
+    flat :class:`DatasetStore`; ``{"layout": "sharded"}`` selects
+    :class:`ShardedDatasetStore`. The snapshot tree is identical either
+    way, so this only changes which indexes serve reads.
+    """
+    if dataset_layout(root) == SHARDED_LAYOUT:
+        return ShardedDatasetStore(root)
+    return DatasetStore(root)

@@ -13,6 +13,12 @@ import), a dotted attribute rooted in an imported module, and
 ``functools.partial(...)`` of either.  Everything else — lambdas, names
 only bound inside the enclosing function, bound methods of local
 objects — is flagged.
+
+``ThreadPoolExecutor`` receivers are exempt: threads share the process,
+nothing is pickled, and bound methods are the natural way to hand a
+worker its shared state (the ingestion daemon's queue workers do exactly
+that).  The rule tracks names bound to ``ThreadPoolExecutor(...)`` —
+by assignment or ``with ... as name`` — and skips their ``.submit``.
 """
 
 from __future__ import annotations
@@ -30,9 +36,40 @@ def _root_name(expr: ast.expr) -> str | None:
     return expr.id if isinstance(expr, ast.Name) else None
 
 
+def _leaf_name(expr: ast.expr) -> str | None:
+    """The rightmost name of a call target (``x.y.Z`` → ``Z``)."""
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return expr.id if isinstance(expr, ast.Name) else None
+
+
+def _is_thread_pool_call(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Call)
+        and _leaf_name(expr.func) == "ThreadPoolExecutor"
+    )
+
+
 class PicklableSubmitRule(Rule):
     rule_id = "REP004"
     summary = "callables handed to ProcessPoolExecutor.submit are module-level"
+
+    def __init__(self) -> None:
+        self._thread_pools: set[str] = set()
+
+    def begin_module(self, module: SourceModule) -> None:
+        """Collect the names this file binds to ``ThreadPoolExecutor``s."""
+        self._thread_pools = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and _is_thread_pool_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._thread_pools.add(target.id)
+            elif isinstance(node, ast.withitem) and _is_thread_pool_call(
+                node.context_expr
+            ):
+                if isinstance(node.optional_vars, ast.Name):
+                    self._thread_pools.add(node.optional_vars.id)
 
     def visit_Call(
         self, node: ast.Call, module: SourceModule
@@ -43,6 +80,11 @@ class PicklableSubmitRule(Rule):
             and node.args
         ):
             return ()
+        receiver = _root_name(node.func.value)
+        if receiver is not None and receiver in self._thread_pools:
+            return ()  # thread pools share the process; nothing pickles
+        if _is_thread_pool_call(node.func.value):
+            return ()  # ThreadPoolExecutor(...).submit(...) inline
         problem = self._describe_problem(node.args[0], module)
         if problem is None:
             return ()

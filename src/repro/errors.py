@@ -194,6 +194,27 @@ class StaticAnalysisError(ReproError):
     """
 
 
+class IngestError(DatasetError):
+    """The ingestion daemon cannot run or resume.
+
+    Raised for configuration problems (a non-positive queue bound, a
+    resume requested against a dataset with no prior state) and for
+    storage backends that cannot honour the crash-safety contract —
+    never for per-file parse failures, which are accounted as data in
+    :class:`~repro.dataset.processor.ProcessingStats`.
+    """
+
+
+class JournalError(IngestError):
+    """The write-ahead journal cannot be appended to or replayed.
+
+    Corrupt *tail* records are not an error — an append-only journal
+    truncated by a crash is expected and recovery simply drops the torn
+    tail — but corruption in the middle of the file, or an unwritable
+    journal path, aborts loudly instead of silently dropping history.
+    """
+
+
 class SimulationError(ReproError):
     """Invalid simulation configuration or impossible event timeline."""
 

@@ -1,0 +1,233 @@
+"""Tests for per-day shard indexes: compaction, freshness, serving tiers.
+
+The headline contract: :func:`compact_map_shards` touches only shards
+whose sources changed (O(new shard), not O(corpus)), and the sharded
+serving tiers — loaders and the query engine — return exactly what the
+monolithic index returns over the same YAML tree.
+"""
+
+from __future__ import annotations
+
+import os
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.constants import MapName
+from repro.dataset.index import build_index
+from repro.dataset.loader import latest_snapshot, load_all
+from repro.dataset.processor import process_svg_bytes
+from repro.dataset.query import ScanPredicate, open_query
+from repro.dataset.shards import (
+    ShardManifest,
+    compact_map_shards,
+    fresh_shard_indexes,
+    open_sharded_query,
+    verify_shards,
+)
+from repro.dataset.store import DatasetStore, ShardedDatasetStore
+from repro.errors import DatasetError
+
+T0 = datetime(2022, 9, 12, tzinfo=timezone.utc)
+MAP = MapName.ASIA_PACIFIC
+DAYS = (T0, T0 + timedelta(days=1), T0 + timedelta(days=2))
+PER_DAY = 3
+
+
+@pytest.fixture(scope="module")
+def reference_yaml(apac_svg) -> str:
+    """One processed YAML document, reused at every timestamp.
+
+    Timestamps are authoritative from file names, so one document can
+    stand in for the whole corpus.
+    """
+    outcome = process_svg_bytes(apac_svg.encode("utf-8"), MAP, T0)
+    assert outcome.yaml_text is not None
+    return outcome.yaml_text
+
+
+def build_corpus(root, yaml_text: str) -> ShardedDatasetStore:
+    """Three day-shards of YAML snapshots in a marked sharded store."""
+    store = ShardedDatasetStore(root)
+    store.mark()
+    for day in DAYS:
+        for slot in range(PER_DAY):
+            store.write(MAP, day + timedelta(minutes=5 * slot), "yaml", yaml_text)
+    return store
+
+
+class TestCompaction:
+    def test_first_compaction_builds_every_shard(self, tmp_path, reference_yaml):
+        store = build_corpus(tmp_path, reference_yaml)
+        stats = compact_map_shards(store, MAP)
+        assert sorted(stats.built) == store.shard_keys(MAP, "yaml")
+        assert stats.skipped == [] and stats.removed == []
+        assert stats.rows == len(DAYS) * PER_DAY
+        for key in stats.built:
+            assert store.shard_index_path(MAP, key).exists()
+
+    def test_recompaction_skips_everything(self, tmp_path, reference_yaml):
+        store = build_corpus(tmp_path, reference_yaml)
+        compact_map_shards(store, MAP)
+        again = compact_map_shards(store, MAP)
+        assert again.built == [] and again.removed == []
+        assert sorted(again.skipped) == store.shard_keys(MAP, "yaml")
+        assert again.parsed == 0
+
+    def test_new_day_builds_only_its_shard(self, tmp_path, reference_yaml):
+        store = build_corpus(tmp_path, reference_yaml)
+        compact_map_shards(store, MAP)
+        new_day = T0 + timedelta(days=5)
+        store.write(MAP, new_day, "yaml", reference_yaml)
+        stats = compact_map_shards(store, MAP)
+        assert stats.built == ["2022-09-17"]
+        assert len(stats.skipped) == len(DAYS)
+        assert stats.parsed == 1  # only the new file was read
+
+    def test_touched_file_rebuilds_only_its_shard(self, tmp_path, reference_yaml):
+        store = build_corpus(tmp_path, reference_yaml)
+        compact_map_shards(store, MAP)
+        victim = next(store.iter_shard_refs(MAP, "yaml", "2022-09-13")).path
+        os.utime(victim, ns=(1, 1))  # same bytes, new stat → fingerprint change
+        stats = compact_map_shards(store, MAP)
+        assert stats.built == ["2022-09-13"]
+        assert len(stats.skipped) == len(DAYS) - 1
+
+    def test_removed_day_sweeps_shard(self, tmp_path, reference_yaml):
+        store = build_corpus(tmp_path, reference_yaml)
+        compact_map_shards(store, MAP)
+        for ref in list(store.iter_shard_refs(MAP, "yaml", "2022-09-12")):
+            ref.path.unlink()
+        stats = compact_map_shards(store, MAP)
+        assert stats.removed == ["2022-09-12"]
+        assert not store.shard_index_path(MAP, "2022-09-12").parent.exists()
+        manifest = ShardManifest.load(store.shards_manifest_path(MAP))
+        assert "2022-09-12" not in manifest.shards
+
+    def test_only_restricts_the_walk(self, tmp_path, reference_yaml):
+        store = build_corpus(tmp_path, reference_yaml)
+        compact_map_shards(store, MAP)
+        for key in ("2022-09-12", "2022-09-14"):
+            ref = next(store.iter_shard_refs(MAP, "yaml", key))
+            os.utime(ref.path, ns=(2, 2))
+        stats = compact_map_shards(store, MAP, only=["2022-09-12"])
+        assert stats.built == ["2022-09-12"]
+        # The other stale shard was out of scope — a full pass catches it.
+        assert verify_shards(store, MAP) is None
+        full = compact_map_shards(store, MAP)
+        assert full.built == ["2022-09-14"]
+        assert verify_shards(store, MAP) is not None
+
+    def test_only_rejects_bad_keys(self, tmp_path, reference_yaml):
+        store = build_corpus(tmp_path, reference_yaml)
+        with pytest.raises(DatasetError):
+            compact_map_shards(store, MAP, only=["not-a-day"])
+
+    def test_rebuild_discards_and_rebuilds_all(self, tmp_path, reference_yaml):
+        store = build_corpus(tmp_path, reference_yaml)
+        compact_map_shards(store, MAP)
+        stats = compact_map_shards(store, MAP, rebuild=True)
+        assert sorted(stats.built) == store.shard_keys(MAP, "yaml")
+        assert stats.skipped == []
+
+
+class TestFreshness:
+    def test_fresh_after_compaction(self, tmp_path, reference_yaml):
+        store = build_corpus(tmp_path, reference_yaml)
+        compact_map_shards(store, MAP)
+        indexes = fresh_shard_indexes(store, MAP)
+        assert indexes is not None
+        assert [len(index) for index in indexes] == [PER_DAY] * len(DAYS)
+
+    def test_stale_on_any_touch(self, tmp_path, reference_yaml):
+        store = build_corpus(tmp_path, reference_yaml)
+        compact_map_shards(store, MAP)
+        os.utime(next(store.iter_shard_refs(MAP, "yaml", "2022-09-14")).path, ns=(3, 3))
+        assert fresh_shard_indexes(store, MAP) is None
+
+    def test_stale_on_new_day(self, tmp_path, reference_yaml):
+        store = build_corpus(tmp_path, reference_yaml)
+        compact_map_shards(store, MAP)
+        store.write(MAP, T0 + timedelta(days=9), "yaml", reference_yaml)
+        assert fresh_shard_indexes(store, MAP) is None
+
+    def test_parser_version_skew_discards_manifest(self, tmp_path, reference_yaml):
+        store = build_corpus(tmp_path, reference_yaml)
+        compact_map_shards(store, MAP, parser_version=-1)
+        assert verify_shards(store, MAP) is None
+        stats = compact_map_shards(store, MAP)
+        assert sorted(stats.built) == store.shard_keys(MAP, "yaml")
+
+    def test_empty_map_is_fresh_and_empty(self, tmp_path):
+        store = ShardedDatasetStore(tmp_path)
+        store.mark()
+        compact_map_shards(store, MAP)
+        assert fresh_shard_indexes(store, MAP) == []
+
+
+class TestServingEquivalence:
+    @pytest.fixture()
+    def twin_stores(self, tmp_path, reference_yaml):
+        """The same YAML tree under a sharded and a flat store."""
+        sharded = build_corpus(tmp_path / "sharded", reference_yaml)
+        compact_map_shards(sharded, MAP)
+        flat = DatasetStore(tmp_path / "flat")
+        for ref in sharded.iter_refs(MAP, "yaml"):
+            flat.write(MAP, ref.timestamp, "yaml", ref.path.read_bytes())
+        build_index(flat, MAP)
+        return sharded, flat
+
+    def test_query_matches_monolithic(self, twin_stores):
+        sharded, flat = twin_stores
+        predicate = ScanPredicate(start=T0, end=T0 + timedelta(days=2))
+        with open_sharded_query(sharded, MAP) as sharded_engine, open_query(
+            flat, MAP
+        ) as flat_engine:
+            assert sharded_engine is not None and flat_engine is not None
+            ours = sharded_engine.scan(predicate)
+            theirs = flat_engine.scan(predicate)
+            assert len(ours) == len(theirs)
+            assert ours.snapshot_count == theirs.snapshot_count
+            assert ours.directed_loads() == theirs.directed_loads()
+            key = lambda r: (  # noqa: E731
+                r.timestamp, r.node_a, r.label_a, r.load_a,
+                r.node_b, r.label_b, r.load_b,
+            )
+            assert list(map(key, ours.records())) == list(map(key, theirs.records()))
+
+    def test_sharded_engine_surface(self, twin_stores):
+        sharded, _ = twin_stores
+        engine = open_sharded_query(sharded, MAP)
+        assert engine is not None
+        with engine:
+            assert engine.shard_keys == sharded.shard_keys(MAP, "yaml")
+            assert len(engine) == len(DAYS) * PER_DAY
+            engine.check_generation()  # fresh → no raise
+        assert engine.closed
+
+    def test_loader_serves_from_shards(self, twin_stores):
+        sharded, flat = twin_stores
+        ours = load_all(sharded, MAP)
+        theirs = load_all(flat, MAP)
+        assert [s.timestamp for s in ours] == [s.timestamp for s in theirs]
+        assert [len(s.nodes) for s in ours] == [len(s.nodes) for s in theirs]
+        last = latest_snapshot(sharded, MAP)
+        assert last is not None
+        assert last.timestamp == theirs[-1].timestamp
+
+    def test_loader_falls_back_to_yaml_when_stale(self, twin_stores):
+        sharded, _ = twin_stores
+        os.utime(
+            next(sharded.iter_shard_refs(MAP, "yaml", "2022-09-13")).path, ns=(4, 4)
+        )
+        snapshots = load_all(sharded, MAP)  # YAML path, still complete
+        assert len(snapshots) == len(DAYS) * PER_DAY
+
+    def test_window_respects_shard_boundaries(self, twin_stores):
+        sharded, _ = twin_stores
+        middle_day = load_all(
+            sharded, MAP, start=DAYS[1], end=DAYS[1] + timedelta(days=1)
+        )
+        assert [s.timestamp for s in middle_day] == [
+            DAYS[1] + timedelta(minutes=5 * slot) for slot in range(PER_DAY)
+        ]
