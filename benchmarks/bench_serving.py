@@ -1,0 +1,377 @@
+"""Serving benchmark: cached read throughput over the mmap query engine.
+
+The read API's claim is that a weathermap dashboard refresh costs a
+cache lookup, not an index scan: responses are rendered once per index
+generation, revalidated by ETag, and hot-swapped — never dropped — when
+an ingest checkpoint rewrites a shard.  This benchmark drives a real
+``WeatherServer`` (in-process, ephemeral port, persistent HTTP/1.1
+connections) through three phases and measures the claims:
+
+1. **Cold vs warm** (``cold_warm_ratio``): every endpoint URL is
+   requested once against an empty response cache, then repeatedly
+   against a full one.  The ratio is how much work the cache absorbs.
+
+2. **Steady state under ingest** (``serving_rps``, per-endpoint
+   ``*_p50_seconds`` / ``*_p99_seconds``, ``http_5xx``): a zipf-ish
+   request mix (snapshot-heavy, the dashboard profile) runs while a
+   writer thread lands live ingest checkpoints — new YAML plus a
+   targeted ``compact_map_shards`` — under the readers.  The engine
+   cache must absorb every generation change: ``http_5xx`` must be 0
+   and ``zero_5xx_during_checkpoint`` true.
+
+3. **Cached hot path** (``serving_cached_rps``): one snapshot URL
+   hammered back-to-back.  The acceptance floor is 1,000 req/s on the
+   single-core reference host; the response never touches the columns
+   after the first render.
+
+``cache_hit_rate`` is read from the server's own
+``repro_server_cache_total`` counters across the whole run and must
+stay ≥ 0.8 under the mixed phase's invalidations.
+
+Results go to ``BENCH_serving.json`` at the repo root;
+``scripts/check_bench_regression.py`` guards ``serving_rps`` /
+``serving_cached_rps`` (higher is better) and every ``*_seconds`` key
+(lower is better) against that baseline.
+
+Run standalone (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import random
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from datetime import datetime, timedelta, timezone
+from pathlib import Path
+
+from repro.constants import MapName
+from repro.dataset.processor import process_svg_bytes
+from repro.dataset.shards import compact_map_shards
+from repro.dataset.store import ShardedDatasetStore
+from repro.layout.renderer import MapRenderer
+from repro.server import ServerConfig, create_server
+from repro.simulation.network import BackboneSimulator
+from repro.telemetry import MetricsRegistry, use_registry
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+T0 = datetime(2022, 9, 12, tzinfo=timezone.utc)
+MAP = MapName.ASIA_PACIFIC
+
+#: The dashboard profile: a few hot URLs dominate, analytics trail off.
+#: (endpoint label, relative weight, URL template index)
+MIX_WEIGHTS = {
+    "snapshot": 10,
+    "maps": 4,
+    "series": 3,
+    "evolution": 2,
+    "imbalance": 1,
+}
+
+
+def build_corpus(
+    root: Path, days: int, per_day: int
+) -> tuple[ShardedDatasetStore, str]:
+    """A compacted multi-day shard corpus from one rendered document."""
+    simulator = BackboneSimulator()
+    svg = MapRenderer().render(simulator.snapshot(MAP, T0))
+    outcome = process_svg_bytes(svg.encode("utf-8"), MAP, T0)
+    if outcome.yaml_text is None:
+        raise SystemExit("reference document failed to process")
+    store = ShardedDatasetStore(root)
+    store.mark()
+    for day in range(days):
+        for slot in range(per_day):
+            when = T0 + timedelta(days=day, minutes=5 * slot)
+            store.write(MAP, when, "yaml", outcome.yaml_text)
+    compact_map_shards(store, MAP)
+    return store, outcome.yaml_text
+
+
+class Client:
+    """One persistent connection; every GET is timed."""
+
+    def __init__(self, port: int) -> None:
+        self.conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+
+    def get(self, path: str) -> tuple[int, bytes, float]:
+        started = time.perf_counter()
+        self.conn.request("GET", path)
+        response = self.conn.getresponse()
+        body = response.read()
+        return response.status, body, time.perf_counter() - started
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-quantile of ``samples`` (nearest-rank, q in [0, 1])."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def request_urls(client: Client) -> dict[str, list[str]]:
+    """The URL population per endpoint, derived from the live corpus."""
+    status, body, _ = client.get(f"/maps/{MAP.value}/snapshot")
+    if status != 200:
+        raise SystemExit(f"corpus probe failed: {status} {body[:200]!r}")
+    link = json.loads(body)["links"][0]
+    pair = f"{link['node_a']}:{link['node_b']}"
+    day2 = T0 + timedelta(days=1)
+    window = (
+        f"start={int(day2.timestamp())}"
+        f"&end={int((day2 + timedelta(days=1)).timestamp())}"
+    )
+    return {
+        "snapshot": [
+            f"/maps/{MAP.value}/snapshot",
+            f"/maps/{MAP.value}/snapshot?at={int(day2.timestamp())}",
+        ],
+        "maps": ["/maps"],
+        "series": [
+            f"/maps/{MAP.value}/series?link={pair}",
+            f"/maps/{MAP.value}/series?link={pair}&{window}",
+        ],
+        "evolution": [
+            f"/maps/{MAP.value}/evolution",
+            f"/maps/{MAP.value}/evolution?{window}",
+        ],
+        "imbalance": [f"/maps/{MAP.value}/imbalance"],
+    }
+
+
+def cache_totals(registry: MetricsRegistry) -> tuple[float, float]:
+    """(hits, misses) summed from ``repro_server_cache_total``."""
+    hits = misses = 0.0
+    for metric in registry.snapshot()["metrics"]:
+        if metric["name"] != "repro_server_cache_total":
+            continue
+        for labels, value in metric["series"]:
+            outcome = dict(labels).get("outcome")
+            if outcome == "hit":
+                hits += value
+            elif outcome == "miss":
+                misses += value
+    return hits, misses
+
+
+def run_checkpoints(
+    store: ShardedDatasetStore,
+    yaml_text: str,
+    first_day: datetime,
+    rounds: int,
+    pause: float,
+) -> None:
+    """Land ``rounds`` live ingest checkpoints on one fresh day-shard."""
+    key = first_day.strftime("%Y-%m-%d")
+    for round_no in range(rounds):
+        when = first_day + timedelta(minutes=5 * round_no)
+        store.write(MAP, when, "yaml", yaml_text)
+        compact_map_shards(store, MAP, only=[key])
+        time.sleep(pause)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small corpus + short phases for CI"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_serving.json"),
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+
+    days = 3 if args.quick else 7
+    per_day = 6 if args.quick else 24
+    warm_repeats = 10 if args.quick else 30
+    steady_requests = 800 if args.quick else 4000
+    cached_requests = 2000 if args.quick else 10000
+    checkpoints = 5 if args.quick else 10
+
+    print(
+        f"corpus: {days} day-shards x {per_day} snapshots of {MAP.value}, "
+        f"{os.cpu_count()} CPUs"
+    )
+    registry = MetricsRegistry()
+    workdir = Path(tempfile.mkdtemp(prefix="bench-serving-"))
+    server = None
+    try:
+        store, yaml_text = build_corpus(workdir, days, per_day)
+        with use_registry(registry):
+            server = create_server(store, ServerConfig(port=0))
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            client = Client(server.server_address[1])
+
+            urls = request_urls(client)
+            # The probe warmed the default-snapshot URL; reset so the
+            # cold phase sees a genuinely empty cache.
+            server.cache.clear()
+            server.engines.invalidate(MAP)
+
+            # -- phase 1: cold vs warm -------------------------------------
+            cold: list[float] = []
+            warm: list[float] = []
+            for endpoint_urls in urls.values():
+                for url in endpoint_urls:
+                    status, body, elapsed = client.get(url)
+                    if status != 200:
+                        raise SystemExit(f"cold {url}: {status} {body[:200]!r}")
+                    cold.append(elapsed)
+            for endpoint_urls in urls.values():
+                for url in endpoint_urls:
+                    repeats = []
+                    for _ in range(warm_repeats):
+                        _, _, elapsed = client.get(url)
+                        repeats.append(elapsed)
+                    warm.append(percentile(repeats, 0.5))
+            cold_mean = sum(cold) / len(cold)
+            warm_mean = sum(warm) / len(warm)
+            cold_warm_ratio = cold_mean / warm_mean if warm_mean > 0 else 0.0
+            print(
+                f"  cold {cold_mean * 1e3:.2f} ms vs warm "
+                f"{warm_mean * 1e3:.3f} ms per request "
+                f"({cold_warm_ratio:.0f}x)"
+            )
+
+            # -- phase 2: zipf-ish mix under live ingest checkpoints -------
+            rng = random.Random(7)
+            population = [
+                (endpoint, url)
+                for endpoint, endpoint_urls in urls.items()
+                for url in endpoint_urls
+            ]
+            weights = [
+                MIX_WEIGHTS[endpoint] / len(urls[endpoint])
+                for endpoint, _ in population
+            ]
+            checkpoint_day = T0 + timedelta(days=days)
+            writer = threading.Thread(
+                target=run_checkpoints,
+                args=(store, yaml_text, checkpoint_day, checkpoints, 0.05),
+            )
+            latencies: dict[str, list[float]] = {name: [] for name in urls}
+            http_5xx = 0
+            writer.start()
+            started = time.perf_counter()
+            issued = 0
+            try:
+                while issued < steady_requests or writer.is_alive():
+                    endpoint, url = rng.choices(population, weights)[0]
+                    status, _, elapsed = client.get(url)
+                    latencies[endpoint].append(elapsed)
+                    if status >= 500:
+                        http_5xx += 1
+                    issued += 1
+            finally:
+                writer.join()
+            steady_seconds = time.perf_counter() - started
+            serving_rps = issued / steady_seconds
+            print(
+                f"  steady mix: {issued} requests in {steady_seconds:.1f} s "
+                f"({serving_rps:.0f} req/s) across {checkpoints} live "
+                f"checkpoints, {http_5xx} 5xx"
+            )
+
+            # -- phase 3: the cached snapshot hot path ---------------------
+            hot_url = urls["snapshot"][0]
+            client.get(hot_url)  # render once for the new generation
+            started = time.perf_counter()
+            for _ in range(cached_requests):
+                status, _, _ = client.get(hot_url)
+                if status >= 500:
+                    http_5xx += 1
+            cached_seconds = time.perf_counter() - started
+            serving_cached_rps = cached_requests / cached_seconds
+            print(
+                f"  cached snapshot: {cached_requests} requests in "
+                f"{cached_seconds:.1f} s ({serving_cached_rps:.0f} req/s)"
+            )
+
+            client.close()
+        hits, misses = cache_totals(registry)
+        cache_hit_rate = hits / (hits + misses) if hits + misses else 0.0
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    ok = True
+    if http_5xx:
+        ok = False
+        print(f"ERROR: {http_5xx} 5xx responses under live ingest", file=sys.stderr)
+    if cache_hit_rate < 0.8:
+        ok = False
+        print(
+            f"ERROR: cache hit rate {cache_hit_rate:.2f} below the 0.8 floor",
+            file=sys.stderr,
+        )
+    if serving_cached_rps < 1000:
+        ok = False
+        print(
+            f"ERROR: cached reads at {serving_cached_rps:.0f} req/s, "
+            "below the 1,000 req/s floor",
+            file=sys.stderr,
+        )
+
+    report = {
+        "benchmark": "cached HTTP read API over the shared mmap query engine",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "corpus_snapshots": days * per_day,
+        "day_shards": days,
+        "map": MAP.value,
+        "cpu_count": os.cpu_count(),
+        "single_core_host": (os.cpu_count() or 1) <= 1,
+        "steady_requests": issued,
+        "cached_requests": cached_requests,
+        "ingest_checkpoints": checkpoints,
+        "serving_rps": round(serving_rps, 1),
+        "serving_cached_rps": round(serving_cached_rps, 1),
+        "cache_hit_rate": round(cache_hit_rate, 4),
+        "cold_warm_ratio": round(cold_warm_ratio, 1),
+        "http_5xx": http_5xx,
+        "zero_5xx_during_checkpoint": http_5xx == 0,
+        "outputs_consistent": ok,
+    }
+    # Quick mode's latency tails are bimodal noise (how many cold
+    # renders land in the small sample depends on checkpoint timing), so
+    # their keys get a prefix the regression gate won't find in the full
+    # committed baseline: reported, compared only between quick runs,
+    # never fatal against the full run.
+    prefix = "quick_" if args.quick else ""
+    for endpoint, samples in latencies.items():
+        if not samples:
+            continue
+        report[f"{prefix}{endpoint}_p50_seconds"] = round(
+            percentile(samples, 0.50), 6
+        )
+        report[f"{prefix}{endpoint}_p99_seconds"] = round(
+            percentile(samples, 0.99), 6
+        )
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"steady {report['serving_rps']} req/s, cached "
+        f"{report['serving_cached_rps']} req/s, hit rate "
+        f"{report['cache_hit_rate']}, {http_5xx} 5xx"
+    )
+    print(f"wrote {output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,10 +3,12 @@
 
 Compares a freshly produced benchmark report against the committed
 baseline (``BENCH_throughput.json`` at the repo root; pass
-``--baseline BENCH_ingest.json`` for the ingestion benchmark).  Every
-``*_fps`` key present in both documents is checked — including the
-zero-copy query engine's ``scan_series_fps`` and the ingestion daemon's
-``ingest_sustained_fps`` — and any throughput drop beyond the tolerance
+``--baseline BENCH_ingest.json`` for the ingestion benchmark, or
+``--baseline BENCH_serving.json`` for the HTTP read API).  Every
+``*_fps`` and ``*_rps`` key present in both documents is checked —
+including the zero-copy query engine's ``scan_series_fps``, the
+ingestion daemon's ``ingest_sustained_fps``, and the serving layer's
+``serving_cached_rps`` — and any throughput drop beyond the tolerance
 fails the run.  Every ``*_seconds`` key present in both documents is
 checked the other way around (lower is better): ``recovery_seconds`` or
 ``compact_incremental_seconds`` *growing* beyond the tolerance fails.
@@ -32,7 +34,7 @@ ceiling: the telemetry subsystem promises <=2% overhead, and the guard
 fails at 5% to leave room for benchmark noise.  A fresh report without
 the key (older benchmark) skips the check.
 
-Exit status: 0 when no ``*_fps`` key regressed beyond the tolerance and
+Exit status: 0 when no throughput or duration key regressed beyond the tolerance and
 the telemetry overhead is under its ceiling, 1 otherwise (or when either
 document cannot be read).
 """
@@ -59,11 +61,11 @@ def load_report(path: Path) -> dict:
 
 
 def throughput_keys(report: dict) -> dict[str, float]:
-    """The higher-is-better measurements: every numeric ``*_fps`` entry."""
+    """Higher-is-better measurements: numeric ``*_fps`` / ``*_rps`` entries."""
     return {
         key: float(value)
         for key, value in report.items()
-        if key.endswith("_fps") and isinstance(value, (int, float))
+        if key.endswith(("_fps", "_rps")) and isinstance(value, (int, float))
     }
 
 

@@ -49,6 +49,18 @@ python3 benchmarks/bench_ingest.py --quick \
 python3 scripts/check_bench_regression.py "$ARTIFACTS/BENCH_ingest.json" \
     --baseline BENCH_ingest.json --tolerance 0.6
 
+echo "== 2d/4 HTTP read API (quick mode: cache, hot-swap, throughput) =="
+# An 18-snapshot corpus against the 168-snapshot committed baseline; the
+# rate keys (serving_rps, serving_cached_rps) are per-second and roughly
+# comparable across corpus sizes — the wide tolerance absorbs the rest.
+# Quick mode prefixes its latency-percentile keys (bimodal small-sample
+# tails), so the gate notes them without comparing to the full baseline.
+python3 benchmarks/bench_serving.py --quick \
+    --output "$ARTIFACTS/BENCH_serving.json" \
+    | tee "$ARTIFACTS/serving.txt"
+python3 scripts/check_bench_regression.py "$ARTIFACTS/BENCH_serving.json" \
+    --baseline BENCH_serving.json --tolerance 0.75
+
 echo "== 3/4 demonstration dataset (1 hour, all four maps) =="
 DATASET="$ARTIFACTS/dataset"
 repro-weather generate "$DATASET" \

@@ -38,7 +38,7 @@ internal and may change between releases; see the README's
 
 from __future__ import annotations
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: name → (module, attribute) for every lazily exported public name.
 _EXPORTS: dict[str, tuple[str, str]] = {
@@ -81,6 +81,12 @@ _EXPORTS: dict[str, tuple[str, str]] = {
     "open_query": ("repro.dataset.query", "open_query"),
     "open_sharded_query": ("repro.dataset.shards", "open_sharded_query"),
     "compact_map_shards": ("repro.dataset.shards", "compact_map_shards"),
+    "resolve_read_handle": ("repro.dataset.handles", "resolve_read_handle"),
+    # http read api
+    "ServerConfig": ("repro.server", "ServerConfig"),
+    "WeatherServer": ("repro.server", "WeatherServer"),
+    "create_server": ("repro.server", "create_server"),
+    "serve": ("repro.server", "serve"),
     # ingestion daemon
     "IngestConfig": ("repro.dataset.ingest", "IngestConfig"),
     "IngestDaemon": ("repro.dataset.ingest", "IngestDaemon"),

@@ -7,12 +7,13 @@ Subcommands::
     ingest     run/resume the crash-safe ingestion daemon, or show its status
     index      build or inspect the columnar snapshot index
     query      zero-copy scans over the index (time range, node, link, load)
+    serve      run the cached HTTP read API over a dataset directory
     catalog    print per-map time frames and snapshot-distance stats
     tables     print Table 1 and Table 2 for a dataset directory
     render     render one snapshot SVG to stdout or a file
     upgrade    replay the Figure 6 case study
     metrics    render a saved telemetry snapshot (Prometheus or JSON)
-    check      run the project's static-analysis rule pack (REP001–REP007)
+    check      run the project's static-analysis rule pack (REP001–REP008)
 
 ``process``, ``index build``, and ``export`` accept ``--metrics-out PATH``
 to dump the run's telemetry registry as a JSON snapshot, which ``metrics``
@@ -363,20 +364,14 @@ def cmd_query(args: argparse.Namespace) -> int:
     import csv
     from itertools import islice
 
-    from repro.dataset.query import ScanPredicate, open_query
+    from repro.dataset.handles import resolve_read_handle
+    from repro.dataset.query import ScanPredicate
     from repro.errors import QueryError
 
     store = open_store(args.dataset)
-    if isinstance(store, ShardedDatasetStore):
-        from repro.dataset.shards import open_sharded_query
-
-        engine = open_sharded_query(
-            store, args.map, backend=args.backend, use_mmap=not args.no_mmap
-        )
-    else:
-        engine = open_query(
-            store, args.map, backend=args.backend, use_mmap=not args.no_mmap
-        )
+    engine = resolve_read_handle(
+        store, args.map, backend=args.backend, use_mmap=not args.no_mmap
+    )
     if engine is None:
         print(
             f"no fresh index for {args.map.value}; "
@@ -440,6 +435,35 @@ def cmd_query(args: argparse.Namespace) -> int:
                     f"(raise --limit or use --format csv)"
                 )
     _maybe_write_metrics(args)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the cached HTTP read API until interrupted."""
+    from repro.errors import ServerError
+    from repro.server import ServerConfig, create_server
+
+    store = open_store(args.dataset)
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            backend=args.backend,
+            use_mmap=not args.no_mmap,
+            cache_entries=args.cache_entries,
+        )
+        server = create_server(store, config)
+    except (ServerError, OSError) as exc:
+        print(f"cannot start server: {exc}", file=sys.stderr)
+        return 1
+    host, port = server.server_address[0], server.server_address[1]
+    print(f"serving on http://{host}:{port}/ (Ctrl-C to stop)", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
     return 0
 
 
@@ -1005,6 +1029,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's telemetry as a JSON snapshot to this path",
     )
     query.set_defaults(handler=cmd_query)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the cached HTTP read API over a dataset"
+    )
+    serve.add_argument("dataset", help="dataset directory")
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port; 0 picks a free one (default 8080)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "memoryview"),
+        default="auto",
+        help="column-view backend (default: numpy when available)",
+    )
+    serve.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="read indexes with buffered I/O instead of mapping them",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=256,
+        help="response-cache capacity in entries (default 256)",
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     catalog = subparsers.add_parser("catalog", help="collection quality stats")
     catalog.add_argument("dataset", help="dataset directory")

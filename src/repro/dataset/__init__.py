@@ -18,6 +18,8 @@ package provides:
   YAML series is compacted into, so analyses never re-parse the corpus,
 * :mod:`repro.dataset.query` — the zero-copy ``mmap`` query engine over
   that index: predicate-pushdown scans with no object materialisation,
+* :mod:`repro.dataset.handles` — layout-agnostic read handles: one place
+  that picks flat vs sharded engines and names index generations,
 * :mod:`repro.dataset.workers` — worker-count resolution shared by every
   pool user (skips the pool where it cannot win),
 * :mod:`repro.dataset.catalog` — index of what was collected (time frames,
@@ -44,6 +46,7 @@ from repro.dataset.index import (
     index_status,
     load_index,
 )
+from repro.dataset.handles import ReadHandle, read_generation, resolve_read_handle
 from repro.dataset.query import (
     ColumnBatch,
     LinkRecord,
@@ -89,9 +92,12 @@ __all__ = [
     "ColumnBatch",
     "LinkRecord",
     "MappedIndex",
+    "ReadHandle",
     "ScanPredicate",
     "ScanResult",
     "open_query",
+    "read_generation",
+    "resolve_read_handle",
     "default_workers",
     "resolve_workers",
     "DatasetCatalog",

@@ -37,7 +37,9 @@ import hashlib
 import json
 import logging
 import shutil
+import threading
 from dataclasses import dataclass, field
+from datetime import datetime
 from pathlib import Path
 from time import perf_counter
 from typing import Callable, Iterator, Sequence
@@ -50,6 +52,7 @@ from repro.dataset.query import (
     MappedIndex,
     ScanPredicate,
     ScanResult,
+    resolve_backend,
 )
 from repro.dataset.store import (
     ShardedDatasetStore,
@@ -376,6 +379,18 @@ def fresh_shard_indexes(
     return indexes
 
 
+@dataclass
+class _ShardSlot:
+    """One shard's place in a sharded engine, opened on first demand."""
+
+    key: str
+    path: Path
+    start_epoch: int  #: UTC midnight the shard key names
+    end_epoch: int  #: start of the next UTC day (half-open)
+    rows: int  #: row count pinned by the shard manifest
+    engine: MappedIndex | None = None
+
+
 class ShardedMappedIndex:
     """One map's shard indexes served as a single query engine.
 
@@ -383,62 +398,181 @@ class ShardedMappedIndex:
     time order.  Interned ids are shard-local, so cross-shard results
     are chained at the record/load level, never by concatenating id
     columns.
+
+    Shards open **lazily**: a scan binds its time window to the shard
+    keys first (each ``YYYY-MM-DD`` shard covers exactly one half-open
+    UTC day, because shard membership is derived from the snapshot
+    filename timestamps), and only the overlapping shards are ever
+    mapped.  A window that touches two days of a two-year archive opens
+    two files, not seven hundred.  Opening is thread-safe, so server
+    worker threads can share one instance.
     """
 
     def __init__(
-        self, map_name: MapName, engines: list[tuple[str, MappedIndex]]
+        self,
+        map_name: MapName,
+        shards: Sequence[tuple[str, Path, int]],
+        *,
+        backend: str = "auto",
+        use_mmap: bool = True,
     ) -> None:
         self.map_name = map_name
-        #: ``(shard_key, MappedIndex)`` in time order.
-        self.engines = engines
+        #: Requested (not yet resolved) backend; validated eagerly so a
+        #: typo fails at open time, not at first scan.
+        self._requested_backend = backend
+        self._resolved_backend = resolve_backend(backend)
+        self._use_mmap = use_mmap
+        self._slots: list[_ShardSlot] = []
+        for key, path, rows in shards:
+            start = int(parse_shard_key(key).timestamp())
+            self._slots.append(
+                _ShardSlot(
+                    key=key,
+                    path=path,
+                    start_epoch=start,
+                    end_epoch=start + 86400,
+                    rows=rows,
+                )
+            )
+        self._open_lock = threading.Lock()
         self.closed = False
 
     @property
     def backend(self) -> str:
         """The column backend the shard engines use (uniform by build)."""
-        if not self.engines:
-            return "memoryview"
-        return self.engines[0][1].backend
+        for slot in self._slots:
+            if slot.engine is not None:
+                return slot.engine.backend
+        return self._resolved_backend
 
     @property
     def mapped(self) -> bool:
-        """Whether every shard engine is serving from an mmap."""
-        return bool(self.engines) and all(
-            engine.mapped for _, engine in self.engines
-        )
+        """Whether every *opened* shard engine is serving from an mmap."""
+        opened = [slot.engine for slot in self._slots if slot.engine is not None]
+        return bool(opened) and all(engine.mapped for engine in opened)
 
     @property
     def shard_keys(self) -> list[str]:
-        """The shard keys served, in time order."""
-        return [key for key, _ in self.engines]
+        """The shard keys served, in time order (no shard is opened)."""
+        return [slot.key for slot in self._slots]
+
+    @property
+    def opened_shard_keys(self) -> list[str]:
+        """The shard keys actually mapped so far — the prune's witness."""
+        return [slot.key for slot in self._slots if slot.engine is not None]
 
     def __len__(self) -> int:
-        return sum(len(engine) for _, engine in self.engines)
+        """Total rows served, from manifest hints where still unopened."""
+        return sum(
+            len(slot.engine) if slot.engine is not None else slot.rows
+            for slot in self._slots
+        )
 
     def check_generation(self) -> None:
-        """Raise :class:`StaleIndexError` if any shard was superseded."""
-        for _, engine in self.engines:
-            engine.check_generation()
+        """Raise :class:`StaleIndexError` if any opened shard was superseded.
+
+        Unopened slots have nothing mapped to go stale; callers that
+        need whole-set freshness use the shard manifest (see
+        :func:`repro.dataset.handles.read_generation`).
+        """
+        for slot in self._slots:
+            if slot.engine is not None:
+                slot.engine.check_generation()
+
+    def _engine(self, slot: _ShardSlot) -> MappedIndex:
+        """The slot's engine, mapping the shard on first use (thread-safe)."""
+        self._require_open()
+        engine = slot.engine
+        if engine is not None:
+            return engine
+        with self._open_lock:
+            if slot.engine is None:
+                opened = MappedIndex.open(
+                    slot.path,
+                    backend=self._requested_backend,
+                    use_mmap=self._use_mmap,
+                )
+                if (
+                    opened.map_name != self.map_name
+                    or opened.parser_version != PARSER_VERSION
+                ):
+                    mismatch = (
+                        f"shard {slot.key} index {slot.path} belongs to "
+                        f"{opened.map_name.value} parser v{opened.parser_version}, "
+                        f"not {self.map_name.value} parser v{PARSER_VERSION}"
+                    )
+                    opened.close()
+                    raise SnapshotIndexError(mismatch)
+                slot.engine = opened
+            return slot.engine
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise SnapshotIndexError("sharded query engine is closed")
+
+    def _overlapping(
+        self, start: datetime | None, end: datetime | None
+    ) -> list[_ShardSlot]:
+        """Slots whose UTC day intersects the half-open ``[start, end)``."""
+        selected = []
+        for slot in self._slots:
+            if start is not None and int(start.timestamp()) >= slot.end_epoch:
+                continue
+            if end is not None and int(end.timestamp()) <= slot.start_epoch:
+                continue
+            selected.append(slot)
+        return selected
+
+    def iter_engines(
+        self,
+        start: datetime | None = None,
+        end: datetime | None = None,
+        *,
+        reverse: bool = False,
+    ) -> Iterator[MappedIndex]:
+        """Shard engines overlapping the window, opened as consumed.
+
+        ``reverse=True`` walks newest-first — a latest-row lookup opens
+        one shard and stops instead of mapping the whole archive.
+        """
+        slots = self._overlapping(start, end)
+        for slot in reversed(slots) if reverse else slots:
+            yield self._engine(slot)
 
     def scan(self, predicate: ScanPredicate | None = None) -> "ShardedScanResult":
-        """Scan every shard with one predicate; results chain in time order.
+        """Scan the shards the predicate's window touches, in time order.
 
         Shards partition time, so per-shard window bisection composes to
         exactly the global window and chained results keep global time
-        order.
+        order; shards wholly outside the window are pruned from the
+        shard-key span without ever being opened.
         """
+        if predicate is None:
+            predicate = ScanPredicate()
+        selected = self._overlapping(predicate.start, predicate.end)
+        pruning = get_registry().counter(
+            "repro_shard_scan_shards_total",
+            "Per-scan shard decisions (scanned vs pruned by the time window)",
+        )
+        pruning.inc(len(selected), map=self.map_name.value, outcome="scanned")
+        pruning.inc(
+            len(self._slots) - len(selected),
+            map=self.map_name.value,
+            outcome="pruned",
+        )
         return ShardedScanResult(
             index=self,
-            results=[engine.scan(predicate) for _, engine in self.engines],
+            results=[self._engine(slot).scan(predicate) for slot in selected],
         )
 
     def close(self) -> None:
-        """Close every shard engine."""
+        """Close every opened shard engine."""
         if self.closed:
             return
         self.closed = True
-        for _, engine in self.engines:
-            engine.close()
+        for slot in self._slots:
+            if slot.engine is not None:
+                slot.engine.close()
 
     def __enter__(self) -> "ShardedMappedIndex":
         return self
@@ -500,36 +634,26 @@ def open_sharded_query(
 
     The sharded counterpart of :func:`repro.dataset.query.open_query`:
     verifies the shard manifest against the live tree (skippable via
-    ``require_fresh=False`` for serving layers that poll
-    :meth:`ShardedMappedIndex.check_generation`), then maps every shard
-    index.  Any unsound shard closes the rest and reports ``None``.
+    ``require_fresh=False`` for serving layers that poll generation
+    tokens themselves), then hands the manifest's shard list to a
+    *lazy* :class:`ShardedMappedIndex` — no shard file is mapped until
+    a query's time window actually reaches it.  An unsound shard
+    therefore surfaces at first touch as :class:`SnapshotIndexError`,
+    not here.
     """
     if require_fresh:
         entries = verify_shards(store, map_name)
         if entries is None:
             return None
-        keys = [key for key, _ in entries]
     else:
         manifest = ShardManifest.load(store.shards_manifest_path(map_name))
         if manifest.parser_version != PARSER_VERSION:
             return None
-        keys = sorted(manifest.shards)
-    engines: list[tuple[str, MappedIndex]] = []
-    for key in keys:
-        try:
-            engine = MappedIndex.open(
-                store.shard_index_path(map_name, key),
-                backend=backend,
-                use_mmap=use_mmap,
-            )
-        except SnapshotIndexError:
-            for _, opened in engines:
-                opened.close()
-            return None
-        if engine.map_name != map_name or engine.parser_version != PARSER_VERSION:
-            engine.close()
-            for _, opened in engines:
-                opened.close()
-            return None
-        engines.append((key, engine))
-    return ShardedMappedIndex(map_name, engines)
+        entries = [(key, manifest.shards[key]) for key in sorted(manifest.shards)]
+    shards = [
+        (key, store.shard_index_path(map_name, key), entry.rows)
+        for key, entry in entries
+    ]
+    return ShardedMappedIndex(
+        map_name, shards, backend=backend, use_mmap=use_mmap
+    )

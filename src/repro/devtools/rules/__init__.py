@@ -9,6 +9,7 @@
 | REP005 | raises use the typed ``repro.errors`` hierarchy; no bare except|
 | REP006 | ``repro.__all__`` matches the committed ``api_surface.json``   |
 | REP007 | no mutable default arguments                                   |
+| REP008 | ``repro.server`` never parses or materialises snapshots        |
 
 ``REP000`` (unused suppression) and ``REP999`` (unparseable file) are
 engine-reserved ids.  Each rule documents its rationale, examples, and
@@ -24,6 +25,7 @@ from repro.devtools.rules.determinism import DeterminismRule
 from repro.devtools.rules.options import ParseOptionsRule
 from repro.devtools.rules.pool import PicklableSubmitRule
 from repro.devtools.rules.raises import TypedRaiseRule
+from repro.devtools.rules.serving import ServingIsolationRule
 from repro.devtools.rules.telemetry import TelemetryNameRule
 
 __all__ = [
@@ -32,6 +34,7 @@ __all__ = [
     "MutableDefaultRule",
     "ParseOptionsRule",
     "PicklableSubmitRule",
+    "ServingIsolationRule",
     "TelemetryNameRule",
     "TypedRaiseRule",
     "default_rules",
@@ -48,4 +51,5 @@ def default_rules() -> list[Rule]:
         TypedRaiseRule(),
         ApiSurfaceRule(),
         MutableDefaultRule(),
+        ServingIsolationRule(),
     ]

@@ -1,0 +1,134 @@
+"""REP008 — the serving layer stays on the zero-copy read path.
+
+The HTTP server's performance contract is that request handling never
+re-parses documents or materialises ``MapSnapshot`` object graphs: every
+response is computed off the shared column views (PR 7's engine), which
+is what lets all worker threads serve from one mapping.  That guarantee
+is easy to erode one convenient import at a time, so this rule pins it:
+modules under ``repro.server`` must not import the parsing pipeline,
+the YAML object codecs, or the snapshot loaders, and must not construct
+``MapSnapshot`` anywhere on a request path.
+
+Flagged inside ``repro.server`` modules:
+
+* ``import repro.parsing...`` / ``from repro.parsing... import ...``
+  (likewise ``repro.yamlio`` and ``repro.dataset.loader``);
+* ``from <anywhere> import MapSnapshot`` — the import *is* the intent;
+* any ``MapSnapshot(...)`` call, by name or attribute.
+
+Everything outside ``repro.server`` is out of scope: the CLI, the
+ingestion daemon, and the analyses legitimately parse and materialise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.engine import Finding, Rule, SourceModule
+
+#: Module prefixes the serving layer must never import (object path).
+_FORBIDDEN_PREFIXES = (
+    "repro.parsing",
+    "repro.yamlio",
+    "repro.dataset.loader",
+)
+
+_SNAPSHOT_CLASS = "MapSnapshot"
+
+
+def _in_scope(module: SourceModule) -> bool:
+    return module.name == "repro.server" or module.name.startswith("repro.server.")
+
+
+def _forbidden(target: str) -> bool:
+    return any(
+        target == prefix or target.startswith(prefix + ".")
+        for prefix in _FORBIDDEN_PREFIXES
+    )
+
+
+class ServingIsolationRule(Rule):
+    rule_id = "REP008"
+    summary = "repro.server stays off the parsing/object path"
+
+    def visit_Import(
+        self, node: ast.Import, module: SourceModule
+    ) -> Iterable[Finding]:
+        if not _in_scope(module):
+            return ()
+        return [
+            self.finding(
+                module,
+                node,
+                f"serving module imports {alias.name!r}; request paths "
+                f"must stay on the columnar read path",
+            )
+            for alias in node.names
+            if _forbidden(alias.name)
+        ]
+
+    def visit_ImportFrom(
+        self, node: ast.ImportFrom, module: SourceModule
+    ) -> Iterable[Finding]:
+        if not _in_scope(module):
+            return ()
+        if node.level:
+            return self._relative(node, module)
+        findings = []
+        if node.module is not None and _forbidden(node.module):
+            findings.append(
+                self.finding(
+                    module,
+                    node,
+                    f"serving module imports from {node.module!r}; request "
+                    f"paths must stay on the columnar read path",
+                )
+            )
+        findings.extend(
+            self.finding(
+                module,
+                node,
+                f"serving module imports {_SNAPSHOT_CLASS!r}; responses "
+                f"must be computed from column views, not snapshot objects",
+            )
+            for alias in node.names
+            if alias.name == _SNAPSHOT_CLASS
+        )
+        return findings
+
+    def _relative(
+        self, node: ast.ImportFrom, module: SourceModule
+    ) -> Iterable[Finding]:
+        """Relative imports stay inside ``repro.server`` — only the
+        snapshot-class import needs checking."""
+        return [
+            self.finding(
+                module,
+                node,
+                f"serving module imports {_SNAPSHOT_CLASS!r}; responses "
+                f"must be computed from column views, not snapshot objects",
+            )
+            for alias in node.names
+            if alias.name == _SNAPSHOT_CLASS
+        ]
+
+    def visit_Call(
+        self, node: ast.Call, module: SourceModule
+    ) -> Iterable[Finding]:
+        if not _in_scope(module):
+            return ()
+        func = node.func
+        constructed = (
+            isinstance(func, ast.Name) and func.id == _SNAPSHOT_CLASS
+        ) or (isinstance(func, ast.Attribute) and func.attr == _SNAPSHOT_CLASS)
+        if constructed:
+            return [
+                self.finding(
+                    module,
+                    node,
+                    f"serving module constructs {_SNAPSHOT_CLASS}; request "
+                    f"paths must not materialise snapshot objects",
+                )
+            ]
+        return ()

@@ -215,6 +215,17 @@ class JournalError(IngestError):
     """
 
 
+class ServerError(ReproError):
+    """The HTTP serving layer cannot start or route.
+
+    Raised for configuration problems (an invalid bind address, a
+    non-positive cache capacity) and for programming errors in route
+    registration — never for per-request failures, which map to HTTP
+    status codes (400/404/503) so one bad query can't take a worker
+    thread down.
+    """
+
+
 class SimulationError(ReproError):
     """Invalid simulation configuration or impossible event timeline."""
 

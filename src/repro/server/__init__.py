@@ -1,0 +1,35 @@
+"""``repro.server`` — the cached HTTP read API over the dataset.
+
+The paper's weather map was, first and foremost, *served*: operators
+watched the network's state continuously for 26 months.  This package
+reproduces that serving role as a stdlib-only threaded HTTP API whose
+worker threads all share one zero-copy query engine per (map, shard),
+with generation-pinned hot-swap across ingest checkpoints and an
+ETag-bearing LRU response cache.  See ``docs/serving.md`` for the
+endpoint reference and cache semantics.
+"""
+
+from repro.server.app import (
+    ServerConfig,
+    WeatherRequestHandler,
+    WeatherServer,
+    create_server,
+    serve,
+)
+from repro.server.cache import CachedResponse, ResponseCache
+from repro.server.engines import EngineCache, PinnedEngine
+from repro.server.router import RouteMatch, match_route
+
+__all__ = [
+    "CachedResponse",
+    "EngineCache",
+    "PinnedEngine",
+    "ResponseCache",
+    "RouteMatch",
+    "ServerConfig",
+    "WeatherRequestHandler",
+    "WeatherServer",
+    "create_server",
+    "match_route",
+    "serve",
+]

@@ -1,0 +1,368 @@
+"""The HTTP app: ThreadingHTTPServer workers over the shared engines.
+
+Layering (thin-router → services → data access)::
+
+    WeatherRequestHandler     parses/validates, renders JSON, maps errors
+        └─ router.match_route     names the endpoint, extracts the map slug
+        └─ services.*_payload     computes dicts off the column views
+              └─ EngineCache      one generation-pinned handle per map
+              └─ ResponseCache    rendered bodies keyed by generation
+
+Request-path guarantees:
+
+* an ingest checkpoint never 500s a reader — generation changes are
+  absorbed by the engine hot-swap, and a mid-swap
+  :class:`~repro.errors.SnapshotIndexError` gets one invalidate-and-
+  retry before degrading to 503;
+* every cacheable response carries a strong ETag (a hash of the exact
+  body), and ``If-None-Match`` revalidation answers 304 without
+  rendering anything;
+* client mistakes are 400 (bad parameters) or 404 (unknown path, map,
+  or snapshot), each as a small JSON error body.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.analysis.imbalance import MINIMUM_ACTIVE_LOAD
+from repro.constants import MapName
+from repro.dataset.handles import ReadHandle, read_generation
+from repro.dataset.store import DatasetStore
+from repro.errors import (
+    AnalysisError,
+    QueryError,
+    ServerError,
+    SnapshotIndexError,
+    SnapshotNotFoundError,
+)
+from repro.server import services
+from repro.server.cache import ResponseCache
+from repro.server.engines import EngineCache
+from repro.server.router import RouteMatch, match_route
+from repro.telemetry import get_registry, snapshot_to_prometheus
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["ServerConfig", "WeatherRequestHandler", "WeatherServer", "create_server", "serve"]
+
+#: Query parameters each endpoint accepts; anything else is a 400.
+_ENDPOINT_PARAMS: dict[str, frozenset[str]] = {
+    "healthz": frozenset(),
+    "metrics": frozenset(),
+    "maps": frozenset(),
+    "snapshot": frozenset({"at"}),
+    "series": frozenset({"link", "start", "end"}),
+    "imbalance": frozenset({"start", "end", "min_load"}),
+    "evolution": frozenset({"start", "end"}),
+}
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """How one :class:`WeatherServer` binds and serves."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    backend: str = "auto"
+    use_mmap: bool = True
+    cache_entries: int = 256
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ServerError(f"port must lie in [0, 65535], got {self.port}")
+        if self.cache_entries < 1:
+            raise ServerError(
+                f"cache_entries must be >= 1, got {self.cache_entries}"
+            )
+
+
+def _parse_timestamp(text: str | None, name: str) -> datetime | None:
+    """An ISO-8601 or epoch-seconds query value, UTC when naive."""
+    if text is None:
+        return None
+    try:
+        return datetime.fromtimestamp(float(text), tz=timezone.utc)
+    except (ValueError, OverflowError, OSError):
+        pass
+    try:
+        when = datetime.fromisoformat(text)
+    except ValueError:
+        raise QueryError(
+            f"{name} must be an ISO-8601 timestamp or epoch seconds, "
+            f"got {text!r}"
+        ) from None
+    if when.tzinfo is None:
+        when = when.replace(tzinfo=timezone.utc)
+    return when
+
+
+def _parse_params(raw_query: str, allowed: frozenset[str]) -> dict[str, str]:
+    """The query string as a flat dict; unknown or repeated keys are 400s."""
+    params: dict[str, str] = {}
+    for name, values in parse_qs(
+        raw_query, keep_blank_values=True, strict_parsing=False
+    ).items():
+        if name not in allowed:
+            expected = ", ".join(sorted(allowed)) or "none"
+            raise QueryError(
+                f"unknown query parameter {name!r} (expected: {expected})"
+            )
+        if len(values) != 1:
+            raise QueryError(
+                f"query parameter {name!r} given {len(values)} times"
+            )
+        params[name] = values[0]
+    return params
+
+
+class WeatherServer(ThreadingHTTPServer):
+    """The threaded read API over one dataset store."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, store: DatasetStore, config: ServerConfig) -> None:
+        self.config = config
+        self.engines = EngineCache(
+            store, backend=config.backend, use_mmap=config.use_mmap
+        )
+        self.cache = ResponseCache(config.cache_entries)
+        super().__init__((config.host, config.port), WeatherRequestHandler)
+
+    def server_close(self) -> None:
+        super().server_close()
+        self.engines.close()
+
+
+class WeatherRequestHandler(BaseHTTPRequestHandler):
+    """One GET request: route, validate, serve from cache, count."""
+
+    server: WeatherServer
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-weather"
+    # Headers and body flush as separate writes; without TCP_NODELAY the
+    # second one stalls ~40 ms behind Nagle + the client's delayed ACK.
+    disable_nagle_algorithm = True
+
+    def log_message(self, format: str, *args: object) -> None:
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    def do_GET(self) -> None:
+        parts = urlsplit(self.path)
+        match = match_route(parts.path)
+        endpoint = match.endpoint if match is not None else "unknown"
+        registry = get_registry()
+        status = 500
+        try:
+            with registry.span(
+                "repro_server_request",
+                "HTTP request wall time by endpoint",
+                endpoint=endpoint,
+            ):
+                status = self._dispatch(match, parts.path, parts.query)
+        except Exception as exc:
+            logger.exception("unhandled error serving %s", self.path)
+            try:
+                status = self._send_json(
+                    500, {"error": f"internal error: {exc}"}
+                )
+            except OSError as write_exc:
+                logger.debug("client gone before error reply: %s", write_exc)
+        registry.counter(
+            "repro_server_requests_total",
+            "HTTP requests by endpoint and response status",
+        ).inc(1, endpoint=endpoint, status=str(status))
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(
+        self, match: RouteMatch | None, path: str, raw_query: str
+    ) -> int:
+        if match is None:
+            return self._send_json(404, {"error": f"no such path {path!r}"})
+        try:
+            params = _parse_params(raw_query, _ENDPOINT_PARAMS[match.endpoint])
+        except QueryError as exc:
+            return self._send_json(400, {"error": str(exc)})
+        if match.endpoint == "healthz":
+            return self._send_json(200, {"status": "ok"})
+        if match.endpoint == "metrics":
+            text = snapshot_to_prometheus(get_registry().snapshot())
+            return self._send_bytes(
+                200, text.encode("utf-8"), "text/plain; version=0.0.4"
+            )
+        map_name: MapName | None = None
+        if match.map_slug is not None:
+            try:
+                map_name = MapName(match.map_slug)
+            except ValueError:
+                return self._send_json(
+                    404, {"error": f"unknown map {match.map_slug!r}"}
+                )
+        try:
+            return self._serve_cached(match.endpoint, map_name, params)
+        except (QueryError, AnalysisError) as exc:
+            return self._send_json(400, {"error": str(exc)})
+        except SnapshotNotFoundError as exc:
+            return self._send_json(404, {"error": str(exc)})
+
+    def _serve_cached(
+        self,
+        endpoint: str,
+        map_name: MapName | None,
+        params: dict[str, str],
+    ) -> int:
+        """Serve one cacheable endpoint, retrying once across a hot-swap."""
+        last_error: SnapshotIndexError | None = None
+        for attempt in range(2):
+            try:
+                return self._serve_once(endpoint, map_name, params)
+            except SnapshotIndexError as exc:  # includes StaleIndexError
+                last_error = exc
+                if map_name is not None:
+                    self.server.engines.invalidate(map_name)
+                logger.info(
+                    "engine went stale serving %s (attempt %d): %s",
+                    endpoint,
+                    attempt + 1,
+                    exc,
+                )
+        return self._send_json(
+            503, {"error": f"index unavailable mid-rebuild: {last_error}"}
+        )
+
+    def _serve_once(
+        self,
+        endpoint: str,
+        map_name: MapName | None,
+        params: dict[str, str],
+    ) -> int:
+        server = self.server
+        canonical = tuple(sorted(params.items()))
+        if map_name is None:
+            # /maps spans every map: its generation is the tuple of all.
+            token: object = tuple(
+                read_generation(server.engines.store, name) for name in MapName
+            )
+            key: tuple = ("*", endpoint, canonical, token)
+
+            def build() -> dict:
+                return services.maps_payload(server.engines)
+
+        else:
+            pinned = server.engines.handle(map_name)
+            key = (map_name.value, endpoint, canonical, pinned.token)
+            handle, bound_map = pinned.handle, map_name
+
+            def build() -> dict:
+                return self._build_payload(endpoint, handle, bound_map, params)
+
+        cached = server.cache.get(endpoint, key)
+        if cached is None:
+            body = json.dumps(
+                build(), sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+            cached = server.cache.put(key, body, "application/json")
+        if cached.matches(self.headers.get("If-None-Match")):
+            return self._send_not_modified(cached.etag)
+        return self._send_bytes(
+            200, cached.body, cached.content_type, etag=cached.etag
+        )
+
+    def _build_payload(
+        self,
+        endpoint: str,
+        handle: ReadHandle,
+        map_name: MapName,
+        params: dict[str, str],
+    ) -> dict:
+        start = _parse_timestamp(params.get("start"), "start")
+        end = _parse_timestamp(params.get("end"), "end")
+        if endpoint == "snapshot":
+            at = _parse_timestamp(params.get("at"), "at")
+            return services.snapshot_payload(handle, map_name, at)
+        if endpoint == "series":
+            raw_link = params.get("link")
+            if raw_link is None:
+                raise QueryError("series requires link=<node_a>:<node_b>")
+            node_a, sep, node_b = raw_link.partition(":")
+            if not sep or not node_a or not node_b:
+                raise QueryError(
+                    f"link must be <node_a>:<node_b>, got {raw_link!r}"
+                )
+            return services.series_payload(
+                handle, map_name, (node_a, node_b), start, end
+            )
+        if endpoint == "imbalance":
+            minimum = MINIMUM_ACTIVE_LOAD
+            raw_minimum = params.get("min_load")
+            if raw_minimum is not None:
+                try:
+                    minimum = float(raw_minimum)
+                except ValueError:
+                    raise QueryError(
+                        f"min_load must be a number, got {raw_minimum!r}"
+                    ) from None
+                if not 0.0 <= minimum <= 100.0:
+                    raise QueryError(
+                        f"min_load must lie in [0, 100], got {minimum}"
+                    )
+            return services.imbalance_payload(
+                handle, map_name, start, end, minimum
+            )
+        if endpoint == "evolution":
+            return services.evolution_payload(handle, map_name, start, end)
+        raise ServerError(f"no payload builder for endpoint {endpoint!r}")
+
+    # -- response writing --------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict) -> int:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return self._send_bytes(status, body, "application/json")
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        etag: str | None = None,
+    ) -> int:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if etag is not None:
+            self.send_header("ETag", etag)
+        self.end_headers()
+        self.wfile.write(body)
+        return status
+
+    def _send_not_modified(self, etag: str) -> int:
+        self.send_response(304)
+        self.send_header("ETag", etag)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+        return 304
+
+
+def create_server(
+    store: DatasetStore, config: ServerConfig | None = None
+) -> WeatherServer:
+    """Bind (but do not run) a :class:`WeatherServer` over one store."""
+    return WeatherServer(store, config or ServerConfig())
+
+
+def serve(store: DatasetStore, config: ServerConfig | None = None) -> None:
+    """Run the read API until interrupted (the ``repro-weather serve`` body)."""
+    server = create_server(store, config)
+    host, port = server.server_address[0], server.server_address[1]
+    logger.info("serving weather map read API on http://%s:%s/", host, port)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()

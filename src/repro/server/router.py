@@ -1,0 +1,54 @@
+"""The tiny router: one regex table from paths to endpoint names.
+
+Routing is deliberately dumb — a literal table plus one pattern for the
+per-map views — so the layering stays thin-router → service → data
+access: the router names the endpoint and extracts the map slug, the
+app layer validates parameters, the services compute.  The endpoint
+name doubles as the telemetry label on
+``repro_server_requests_total{endpoint, ...}``, which is why unmatched
+paths still resolve (to ``None``) rather than raising: unknown-path
+counts are worth having.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["RouteMatch", "match_route"]
+
+#: Endpoint names whose responses are cacheable (immutable given the
+#: generation token in the cache key).
+CACHEABLE_ENDPOINTS = frozenset(
+    {"maps", "snapshot", "series", "imbalance", "evolution"}
+)
+
+_MAP_VIEW = re.compile(
+    r"^/maps/(?P<map>[a-z0-9-]+)/(?P<view>snapshot|series|imbalance|evolution)$"
+)
+
+
+@dataclass(frozen=True)
+class RouteMatch:
+    """What the router decided about one request path."""
+
+    endpoint: str
+    #: The raw map slug from the path; the app layer resolves it to a
+    #: :class:`~repro.constants.MapName` (404 on an unknown value).
+    map_slug: str | None = None
+
+
+def match_route(path: str) -> RouteMatch | None:
+    """Resolve a request path to its endpoint, ``None`` when unrouted."""
+    if path == "/healthz":
+        return RouteMatch(endpoint="healthz")
+    if path == "/metrics":
+        return RouteMatch(endpoint="metrics")
+    if path == "/maps":
+        return RouteMatch(endpoint="maps")
+    matched = _MAP_VIEW.match(path)
+    if matched is not None:
+        return RouteMatch(
+            endpoint=matched.group("view"), map_slug=matched.group("map")
+        )
+    return None

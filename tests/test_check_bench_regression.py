@@ -67,6 +67,16 @@ class TestCompare:
         fresh = dict(BASELINE, load_index_fps=100.0)
         assert run(tmp_path, fresh) == 1
 
+    def test_rps_keys_guarded_like_fps(self, tmp_path):
+        baseline = dict(BASELINE, serving_cached_rps=2000.0)
+        drop = dict(baseline, serving_cached_rps=1000.0)  # -50%
+        baseline_path = write(tmp_path, "rps-baseline.json", baseline)
+        report = write(tmp_path, "rps-fresh.json", drop)
+        assert guard.main([str(report), "--baseline", str(baseline_path)]) == 1
+        gain = dict(baseline, serving_cached_rps=4000.0)
+        report = write(tmp_path, "rps-gain.json", gain)
+        assert guard.main([str(report), "--baseline", str(baseline_path)]) == 0
+
     def test_non_fps_keys_ignored(self, tmp_path):
         fresh = dict(BASELINE, speedup_parallel=0.1, outputs_identical=False)
         assert run(tmp_path, fresh) == 0

@@ -438,6 +438,61 @@ class TestRep007MutableDefaults:
         assert check_tree(root).ok
 
 
+class TestRep008ServingIsolation:
+    def test_parsing_import_inside_server_flagged(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            {
+                "server/handlers.py": (
+                    "import repro.parsing\n"
+                    "from repro.yamlio import snapshot_from_yaml\n"
+                    "from repro.dataset.loader import load_all\n"
+                )
+            },
+        )
+        assert rules_found(check_tree(root)) == ["REP008"] * 3
+
+    def test_snapshot_import_and_call_flagged(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            {
+                "server/views.py": (
+                    "from repro.topology.model import MapSnapshot\n"
+                    "def build():\n"
+                    "    return MapSnapshot(map_name=None, timestamp=None,\n"
+                    "                       nodes=(), links=())\n"
+                )
+            },
+        )
+        assert rules_found(check_tree(root)) == ["REP008"] * 2
+
+    def test_same_imports_outside_server_clean(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            {
+                "analysis/loads.py": (
+                    "import repro.parsing\n"
+                    "from repro.topology.model import MapSnapshot\n"
+                    "def build():\n"
+                    "    return MapSnapshot\n"
+                )
+            },
+        )
+        assert check_tree(root).ok
+
+    def test_index_imports_inside_server_clean(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            {
+                "server/app.py": (
+                    "from repro.dataset.handles import resolve_read_handle\n"
+                    "from repro.dataset.query import ScanPredicate\n"
+                )
+            },
+        )
+        assert check_tree(root).ok
+
+
 class TestSuppressions:
     def test_noqa_drops_the_finding(self, tmp_path):
         root = make_tree(

@@ -1,0 +1,453 @@
+"""Tests for the cached HTTP read API (repro.server).
+
+The serving contracts pinned here, end to end over a real
+``ThreadingHTTPServer`` bound to an ephemeral port:
+
+* every cacheable response carries a strong ETag that is stable across
+  identical queries, and ``If-None-Match`` revalidation answers 304
+  with an empty body;
+* the response cache keys on the index *generation*, so an ingest
+  checkpoint (new YAML + ``compact_map_shards``) makes the very next
+  request serve fresh data — no TTLs, no manual purges;
+* concurrent readers never see a 5xx while compaction hot-swaps the
+  engine under them;
+* a windowed request opens only the day-shards its window overlaps
+  (the shard-prune satellite, asserted through the HTTP layer).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from contextlib import contextmanager
+from datetime import datetime, timedelta, timezone
+from urllib.parse import quote
+
+import pytest
+
+from repro.constants import MapName
+from repro.dataset.processor import process_svg_bytes
+from repro.dataset.shards import ShardedMappedIndex, compact_map_shards
+from repro.dataset.store import ShardedDatasetStore
+from repro.errors import ServerError
+from repro.server import ServerConfig, create_server, match_route
+from repro.server.cache import CachedResponse, ResponseCache
+
+T0 = datetime(2022, 9, 12, tzinfo=timezone.utc)
+MAP = MapName.ASIA_PACIFIC
+DAYS = (T0, T0 + timedelta(days=1), T0 + timedelta(days=2))
+PER_DAY = 3
+
+
+@pytest.fixture(scope="module")
+def reference_yaml(apac_svg) -> str:
+    outcome = process_svg_bytes(apac_svg.encode("utf-8"), MAP, T0)
+    assert outcome.yaml_text is not None
+    return outcome.yaml_text
+
+
+def build_corpus(root, yaml_text: str) -> ShardedDatasetStore:
+    """Three compacted day-shards of snapshots in a marked sharded store."""
+    store = ShardedDatasetStore(root)
+    store.mark()
+    for day in DAYS:
+        for slot in range(PER_DAY):
+            store.write(MAP, day + timedelta(minutes=5 * slot), "yaml", yaml_text)
+    compact_map_shards(store, MAP)
+    return store
+
+
+@contextmanager
+def running_server(store, **config_kwargs):
+    """A live server on an ephemeral port, torn down afterwards."""
+    server = create_server(store, ServerConfig(port=0, **config_kwargs))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class Client:
+    """A persistent HTTP/1.1 connection with JSON conveniences."""
+
+    def __init__(self, port: int) -> None:
+        self.conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+
+    def get(self, path, headers=None):
+        self.conn.request("GET", path, headers=headers or {})
+        response = self.conn.getresponse()
+        body = response.read()
+        return response.status, response.getheader("ETag"), body
+
+    def get_json(self, path, expect=200):
+        status, _, body = self.get(path)
+        assert status == expect, body.decode("utf-8", "replace")
+        return json.loads(body)
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+@pytest.fixture(scope="module")
+def corpus_store(tmp_path_factory, reference_yaml):
+    return build_corpus(tmp_path_factory.mktemp("serving"), reference_yaml)
+
+
+@pytest.fixture(scope="module")
+def served(corpus_store):
+    """One shared read-only server + client for the endpoint tests."""
+    with running_server(corpus_store) as server:
+        client = Client(server.server_address[1])
+        yield client
+        client.close()
+
+
+class TestRouting:
+    def test_literal_routes(self):
+        assert match_route("/healthz").endpoint == "healthz"
+        assert match_route("/metrics").endpoint == "metrics"
+        match = match_route("/maps")
+        assert match.endpoint == "maps" and match.map_slug is None
+
+    def test_map_view_routes(self):
+        for view in ("snapshot", "series", "imbalance", "evolution"):
+            match = match_route(f"/maps/asia-pacific/{view}")
+            assert match is not None
+            assert match.endpoint == view
+            assert match.map_slug == "asia-pacific"
+
+    def test_unroutable_paths(self):
+        for path in ("/", "/maps/", "/maps/europe", "/maps/europe/latest",
+                     "/maps/EUROPE/snapshot", "/healthz/extra"):
+            assert match_route(path) is None
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        assert served.get_json("/healthz") == {"status": "ok"}
+
+    def test_maps_lists_extent(self, served):
+        payload = served.get_json("/maps")
+        assert [entry["name"] for entry in payload["maps"]] == [MAP.value]
+        entry = payload["maps"][0]
+        assert entry["snapshots"] == len(DAYS) * PER_DAY
+        assert entry["first"] == T0.isoformat()
+        last = DAYS[-1] + timedelta(minutes=5 * (PER_DAY - 1))
+        assert entry["last"] == last.isoformat()
+
+    def test_snapshot_serves_newest_row(self, served):
+        payload = served.get_json(f"/maps/{MAP.value}/snapshot")
+        last = DAYS[-1] + timedelta(minutes=5 * (PER_DAY - 1))
+        assert payload["timestamp"] == last.isoformat()
+        assert payload["map"] == MAP.value
+        assert payload["routers"] and payload["peerings"] and payload["links"]
+        link = payload["links"][0]
+        assert set(link) == {
+            "node_a", "label_a", "load_a", "node_b", "label_b", "load_b",
+        }
+
+    def test_snapshot_at_pins_a_row(self, served):
+        at = quote((T0 + timedelta(minutes=5)).isoformat())
+        payload = served.get_json(f"/maps/{MAP.value}/snapshot?at={at}")
+        assert payload["timestamp"] == (T0 + timedelta(minutes=5)).isoformat()
+        # epoch seconds are accepted too, and floor to the row at or before
+        epoch = int(T0.timestamp()) + 60
+        payload = served.get_json(f"/maps/{MAP.value}/snapshot?at={epoch}")
+        assert payload["timestamp"] == T0.isoformat()
+
+    def test_series_normalises_direction(self, served):
+        snapshot = served.get_json(f"/maps/{MAP.value}/snapshot")
+        link = snapshot["links"][0]
+        a, b = link["node_a"], link["node_b"]
+        forward = served.get_json(f"/maps/{MAP.value}/series?link={a}:{b}")
+        assert forward["link"] == {"a": a, "b": b}
+        assert len(forward["points"]) >= len(DAYS) * PER_DAY
+        times = [point["time"] for point in forward["points"]]
+        assert times == sorted(times)
+        backward = served.get_json(f"/maps/{MAP.value}/series?link={b}:{a}")
+        assert len(backward["points"]) == len(forward["points"])
+        assert backward["points"][0]["a_to_b"] == forward["points"][0]["b_to_a"]
+        assert backward["points"][0]["b_to_a"] == forward["points"][0]["a_to_b"]
+
+    def test_series_honours_the_window(self, served):
+        snapshot = served.get_json(f"/maps/{MAP.value}/snapshot")
+        link = snapshot["links"][0]
+        day2 = DAYS[1]
+        path = (
+            f"/maps/{MAP.value}/series?link={link['node_a']}:{link['node_b']}"
+            f"&start={int(day2.timestamp())}"
+            f"&end={int((day2 + timedelta(days=1)).timestamp())}"
+        )
+        windowed = served.get_json(path)
+        times = {point["time"] for point in windowed["points"]}
+        assert times == {
+            (day2 + timedelta(minutes=5 * slot)).isoformat()
+            for slot in range(PER_DAY)
+        }
+
+    def test_imbalance_summary(self, served):
+        payload = served.get_json(f"/maps/{MAP.value}/imbalance")
+        assert payload["internal"]["count"] > 0
+        assert 0.0 <= payload["internal"]["fraction_within"]["5.0"] <= 1.0
+        strict = served.get_json(f"/maps/{MAP.value}/imbalance?min_load=99.5")
+        assert strict["minimum_load"] == 99.5
+        assert strict["internal"]["count"] <= payload["internal"]["count"]
+
+    def test_evolution_counts(self, served):
+        payload = served.get_json(f"/maps/{MAP.value}/evolution")
+        assert len(payload["routers"]["times"]) == len(DAYS) * PER_DAY
+        assert len(payload["routers"]["values"]) == len(DAYS) * PER_DAY
+        day2 = DAYS[1]
+        windowed = served.get_json(
+            f"/maps/{MAP.value}/evolution"
+            f"?start={int(day2.timestamp())}"
+            f"&end={int((day2 + timedelta(days=1)).timestamp())}"
+        )
+        assert len(windowed["routers"]["times"]) == PER_DAY
+
+    def test_metrics_exposition(self, served):
+        status, _, body = served.get("/metrics")
+        assert status == 200
+        text = body.decode("utf-8")
+        assert "repro_server_requests_total" in text
+        assert "# TYPE repro_server_request_seconds histogram" in text
+
+
+class TestErrorMapping:
+    def test_unknown_path_is_404(self, served):
+        assert "no such path" in served.get_json("/nope", expect=404)["error"]
+
+    def test_unknown_map_is_404(self, served):
+        payload = served.get_json("/maps/atlantis/snapshot", expect=404)
+        assert "atlantis" in payload["error"]
+
+    def test_unindexed_map_is_404(self, served):
+        # europe exists as a map name but holds no data in this store
+        payload = served.get_json("/maps/europe/snapshot", expect=404)
+        assert "europe" in payload["error"]
+
+    def test_unknown_parameter_is_400(self, served):
+        payload = served.get_json(f"/maps/{MAP.value}/snapshot?bogus=1", expect=400)
+        assert "bogus" in payload["error"]
+
+    def test_repeated_parameter_is_400(self, served):
+        served.get_json(f"/maps/{MAP.value}/snapshot?at=1&at=2", expect=400)
+
+    def test_bad_timestamp_is_400(self, served):
+        payload = served.get_json(
+            f"/maps/{MAP.value}/snapshot?at=yesterday", expect=400
+        )
+        assert "yesterday" in payload["error"]
+
+    def test_missing_link_is_400(self, served):
+        payload = served.get_json(f"/maps/{MAP.value}/series", expect=400)
+        assert "link" in payload["error"]
+
+    def test_malformed_link_is_400(self, served):
+        served.get_json(f"/maps/{MAP.value}/series?link=lonely", expect=400)
+
+    def test_min_load_out_of_range_is_400(self, served):
+        served.get_json(f"/maps/{MAP.value}/imbalance?min_load=101", expect=400)
+
+    def test_empty_evolution_window_is_400(self, served):
+        early = int((T0 - timedelta(days=30)).timestamp())
+        served.get_json(
+            f"/maps/{MAP.value}/evolution?start={early}&end={early + 60}",
+            expect=400,
+        )
+
+    def test_snapshot_before_corpus_is_404(self, served):
+        early = int((T0 - timedelta(days=30)).timestamp())
+        served.get_json(f"/maps/{MAP.value}/snapshot?at={early}", expect=404)
+
+
+class TestCaching:
+    def test_etag_stable_across_identical_queries(self, served):
+        path = f"/maps/{MAP.value}/evolution"
+        status_a, etag_a, body_a = served.get(path)
+        status_b, etag_b, body_b = served.get(path)
+        assert status_a == status_b == 200
+        assert etag_a is not None and etag_a == etag_b
+        assert body_a == body_b
+
+    def test_if_none_match_answers_304(self, served):
+        path = f"/maps/{MAP.value}/snapshot"
+        _, etag, _ = served.get(path)
+        status, revalidated, body = served.get(
+            path, headers={"If-None-Match": etag}
+        )
+        assert status == 304
+        assert revalidated == etag
+        assert body == b""
+
+    def test_star_and_lists_revalidate(self, served):
+        path = f"/maps/{MAP.value}/snapshot"
+        _, etag, _ = served.get(path)
+        status, _, _ = served.get(path, headers={"If-None-Match": "*"})
+        assert status == 304
+        status, _, _ = served.get(
+            path, headers={"If-None-Match": f'"stale", {etag}'}
+        )
+        assert status == 304
+
+    def test_stale_etag_gets_a_full_response(self, served):
+        path = f"/maps/{MAP.value}/snapshot"
+        status, _, body = served.get(path, headers={"If-None-Match": '"stale"'})
+        assert status == 200 and body
+
+    def test_generation_change_invalidates_mid_flight(
+        self, tmp_path, reference_yaml
+    ):
+        store = build_corpus(tmp_path, reference_yaml)
+        with running_server(store) as server:
+            client = Client(server.server_address[1])
+            path = f"/maps/{MAP.value}/snapshot"
+            _, old_etag, _ = client.get(path)
+            before = client.get_json("/maps")["maps"][0]["snapshots"]
+
+            # An ingest checkpoint lands: new day of data, shard compacted.
+            new_day = DAYS[-1] + timedelta(days=1)
+            store.write(MAP, new_day, "yaml", reference_yaml)
+            compact_map_shards(store, MAP, only=["2022-09-15"])
+
+            payload = client.get_json(path)
+            assert payload["timestamp"] == new_day.isoformat()
+            status, new_etag, _ = client.get(
+                path, headers={"If-None-Match": old_etag}
+            )
+            assert status == 200  # the old validator no longer matches
+            assert new_etag != old_etag
+            assert client.get_json("/maps")["maps"][0]["snapshots"] == before + 1
+            client.close()
+
+
+class TestHotSwap:
+    def test_no_5xx_while_compaction_hot_swaps(self, tmp_path, reference_yaml):
+        """Readers hammer the API while checkpoints rewrite the shards."""
+        store = build_corpus(tmp_path, reference_yaml)
+        with running_server(store) as server:
+            port = server.server_address[1]
+            stop = threading.Event()
+            statuses: list[int] = []
+            failures: list[str] = []
+            lock = threading.Lock()
+            paths = (
+                f"/maps/{MAP.value}/snapshot",
+                f"/maps/{MAP.value}/evolution",
+                "/maps",
+            )
+
+            def reader(offset: int) -> None:
+                client = Client(port)
+                try:
+                    turn = 0
+                    while not stop.is_set():
+                        status, _, body = client.get(
+                            paths[(turn + offset) % len(paths)]
+                        )
+                        with lock:
+                            statuses.append(status)
+                            if status >= 500:
+                                failures.append(body.decode("utf-8", "replace"))
+                        turn += 1
+                except (OSError, http.client.HTTPException) as exc:
+                    with lock:
+                        failures.append(f"transport error: {exc}")
+                finally:
+                    client.close()
+
+            readers = [
+                threading.Thread(target=reader, args=(i,)) for i in range(3)
+            ]
+            for thread in readers:
+                thread.start()
+            try:
+                # Five checkpoints: append a snapshot, recompact its shard.
+                for round_no in range(5):
+                    when = DAYS[-1] + timedelta(days=1, minutes=5 * round_no)
+                    store.write(MAP, when, "yaml", reference_yaml)
+                    compact_map_shards(store, MAP, only=["2022-09-15"])
+            finally:
+                stop.set()
+                for thread in readers:
+                    thread.join(timeout=30)
+
+            assert not failures, failures[:3]
+            assert statuses and all(status < 500 for status in statuses)
+            final = Client(port)
+            payload = final.get_json(f"/maps/{MAP.value}/snapshot")
+            expected = DAYS[-1] + timedelta(days=1, minutes=5 * 4)
+            assert payload["timestamp"] == expected.isoformat()
+            final.close()
+
+
+class TestShardPruning:
+    def test_windowed_request_opens_only_its_shards(
+        self, tmp_path, reference_yaml
+    ):
+        """The prune satellite, asserted through the HTTP layer."""
+        store = build_corpus(tmp_path, reference_yaml)
+        with running_server(store) as server:
+            client = Client(server.server_address[1])
+            snapshot_keys = None
+            day2 = DAYS[1]
+            client.get_json(
+                f"/maps/{MAP.value}/evolution"
+                f"?start={int(day2.timestamp())}"
+                f"&end={int((day2 + timedelta(days=1)).timestamp())}"
+            )
+            pinned = server.engines.pinned(MAP)
+            assert pinned is not None
+            assert isinstance(pinned.handle, ShardedMappedIndex)
+            snapshot_keys = pinned.handle.opened_shard_keys
+            assert snapshot_keys == ["2022-09-13"]
+            client.close()
+
+
+class TestCacheUnits:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ServerError):
+            ResponseCache(0)
+
+    def test_lru_eviction(self):
+        cache = ResponseCache(2)
+        cache.put(("a",), b"1", "application/json")
+        cache.put(("b",), b"2", "application/json")
+        assert cache.get("t", ("a",)) is not None  # refresh "a"
+        cache.put(("c",), b"3", "application/json")
+        assert cache.get("t", ("b",)) is None  # "b" was the LRU entry
+        assert cache.get("t", ("a",)) is not None
+        assert cache.get("t", ("c",)) is not None
+        assert len(cache) == 2
+
+    def test_etag_is_a_strong_body_hash(self):
+        one = CachedResponse(b"payload", "application/json")
+        two = CachedResponse(b"payload", "text/plain")
+        other = CachedResponse(b"different", "application/json")
+        assert one.etag == two.etag
+        assert one.etag != other.etag
+        assert one.etag.startswith('"') and one.etag.endswith('"')
+
+    def test_matches_handles_weak_and_lists(self):
+        cached = CachedResponse(b"payload", "application/json")
+        assert cached.matches(cached.etag)
+        assert cached.matches(f"W/{cached.etag}")
+        assert cached.matches(f'"zzz", {cached.etag}')
+        assert cached.matches("*")
+        assert not cached.matches(None)
+        assert not cached.matches('"zzz"')
+
+
+class TestConfigUnits:
+    def test_bad_port_rejected(self):
+        with pytest.raises(ServerError):
+            ServerConfig(port=70000)
+
+    def test_bad_cache_entries_rejected(self):
+        with pytest.raises(ServerError):
+            ServerConfig(cache_entries=0)
