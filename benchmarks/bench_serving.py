@@ -5,7 +5,7 @@ cache lookup, not an index scan: responses are rendered once per index
 generation, revalidated by ETag, and hot-swapped — never dropped — when
 an ingest checkpoint rewrites a shard.  This benchmark drives a real
 ``WeatherServer`` (in-process, ephemeral port, persistent HTTP/1.1
-connections) through three phases and measures the claims:
+connections) through four phases and measures the claims:
 
 1. **Cold vs warm** (``cold_warm_ratio``): every endpoint URL is
    requested once against an empty response cache, then repeatedly
@@ -24,14 +24,24 @@ connections) through three phases and measures the claims:
    single-core reference host; the response never touches the columns
    after the first render.
 
+4. **Live feed fan-out** (``feed_notify_p50_seconds`` /
+   ``feed_notify_p99_seconds``, ``feed_fanout_rps``): N SSE
+   subscribers hold ``/v1/maps/<m>/events`` streams through real
+   sockets while a writer lands paced checkpoints.  Every subscriber
+   must see every checkpoint as consecutive event ids
+   (``feed_missed_events`` == 0); notify latency is measured from the
+   generation file's mtime to client receipt.  Subscriber count and
+   checkpoint pacing are identical in quick and full mode so the keys
+   stay comparable under the regression gate.
+
 ``cache_hit_rate`` is read from the server's own
 ``repro_server_cache_total`` counters across the whole run and must
 stay ≥ 0.8 under the mixed phase's invalidations.
 
 Results go to ``BENCH_serving.json`` at the repo root;
 ``scripts/check_bench_regression.py`` guards ``serving_rps`` /
-``serving_cached_rps`` (higher is better) and every ``*_seconds`` key
-(lower is better) against that baseline.
+``serving_cached_rps`` / ``feed_fanout_rps`` (higher is better) and
+every ``*_seconds`` key (lower is better) against that baseline.
 
 Run standalone (not under pytest)::
 
@@ -58,13 +68,19 @@ from repro.dataset.processor import process_svg_bytes
 from repro.dataset.shards import compact_map_shards
 from repro.dataset.store import ShardedDatasetStore
 from repro.layout.renderer import MapRenderer
-from repro.server import ServerConfig, create_server
+from repro.server import ServeOptions, create_server
 from repro.simulation.network import BackboneSimulator
 from repro.telemetry import MetricsRegistry, use_registry
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 T0 = datetime(2022, 9, 12, tzinfo=timezone.utc)
 MAP = MapName.ASIA_PACIFIC
+
+#: Feed-phase constants, deliberately identical in quick and full mode
+#: so the latency and fan-out keys regress against the same shape.
+FEED_SUBSCRIBERS = 8
+FEED_TICK = 0.1       # the server's watch interval during the bench
+FEED_PAUSE = 0.3      # >= 2 ticks, so every checkpoint is its own event
 
 #: The dashboard profile: a few hot URLs dominate, analytics trail off.
 #: (endpoint label, relative weight, URL template index)
@@ -122,7 +138,7 @@ def percentile(samples: list[float], q: float) -> float:
 
 def request_urls(client: Client) -> dict[str, list[str]]:
     """The URL population per endpoint, derived from the live corpus."""
-    status, body, _ = client.get(f"/maps/{MAP.value}/snapshot")
+    status, body, _ = client.get(f"/v1/maps/{MAP.value}/snapshot")
     if status != 200:
         raise SystemExit(f"corpus probe failed: {status} {body[:200]!r}")
     link = json.loads(body)["links"][0]
@@ -134,20 +150,90 @@ def request_urls(client: Client) -> dict[str, list[str]]:
     )
     return {
         "snapshot": [
-            f"/maps/{MAP.value}/snapshot",
-            f"/maps/{MAP.value}/snapshot?at={int(day2.timestamp())}",
+            f"/v1/maps/{MAP.value}/snapshot",
+            f"/v1/maps/{MAP.value}/snapshot?at={int(day2.timestamp())}",
         ],
-        "maps": ["/maps"],
+        "maps": ["/v1/maps"],
         "series": [
-            f"/maps/{MAP.value}/series?link={pair}",
-            f"/maps/{MAP.value}/series?link={pair}&{window}",
+            f"/v1/maps/{MAP.value}/series?link={pair}",
+            f"/v1/maps/{MAP.value}/series?link={pair}&{window}",
         ],
         "evolution": [
-            f"/maps/{MAP.value}/evolution",
-            f"/maps/{MAP.value}/evolution?{window}",
+            f"/v1/maps/{MAP.value}/evolution",
+            f"/v1/maps/{MAP.value}/evolution?{window}",
         ],
-        "imbalance": [f"/maps/{MAP.value}/imbalance"],
+        "imbalance": [f"/v1/maps/{MAP.value}/imbalance"],
     }
+
+
+def sse_subscriber(
+    port: int,
+    events_wanted: int,
+    ready: threading.Event,
+    latencies: list[float],
+    errors: list[str],
+    lock: threading.Lock,
+) -> None:
+    """One feed subscriber: baseline, then ``events_wanted`` live events.
+
+    Appends one checkpoint-to-receipt latency per live event (receipt
+    wall clock minus the event's ``changed_at``, i.e. the generation
+    file's mtime — the same definition as ``repro_feed_notify_seconds``
+    but measured across a real socket).
+    """
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", f"/v1/maps/{MAP.value}/events")
+        response = conn.getresponse()
+        if response.status != 200:
+            with lock:
+                errors.append(f"subscribe failed: {response.status}")
+            ready.set()
+            return
+        last_id = None
+        received = 0
+        first = True
+        while received < events_wanted:
+            lines: list[bytes] = []
+            while True:
+                line = response.readline()
+                if not line:
+                    with lock:
+                        errors.append("stream ended early")
+                    return
+                if line == b"\n":
+                    break
+                lines.append(line.rstrip(b"\n"))
+            if not lines or lines[0].startswith(b":"):
+                continue  # heartbeat
+            received_at = time.time()
+            fields = dict(
+                line.split(b": ", 1) for line in lines if b": " in line
+            )
+            payload = json.loads(fields[b"data"])
+            if first:
+                # The replayed baseline: current generation, not a
+                # checkpoint we timed — sync the writer and move on.
+                first = False
+                last_id = payload["id"]
+                ready.set()
+                continue
+            if last_id is not None and payload["id"] != last_id + 1:
+                with lock:
+                    errors.append(
+                        f"missed events: {last_id} -> {payload['id']}"
+                    )
+            last_id = payload["id"]
+            changed_at = datetime.fromisoformat(payload["changed_at"])
+            with lock:
+                latencies.append(received_at - changed_at.timestamp())
+            received += 1
+    except (OSError, http.client.HTTPException) as exc:
+        with lock:
+            errors.append(f"transport error: {exc}")
+    finally:
+        ready.set()
+        conn.close()
 
 
 def cache_totals(registry: MetricsRegistry) -> tuple[float, float]:
@@ -199,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
     steady_requests = 800 if args.quick else 4000
     cached_requests = 2000 if args.quick else 10000
     checkpoints = 5 if args.quick else 10
+    feed_checkpoints = 6 if args.quick else 10
 
     print(
         f"corpus: {days} day-shards x {per_day} snapshots of {MAP.value}, "
@@ -210,7 +297,9 @@ def main(argv: list[str] | None = None) -> int:
     try:
         store, yaml_text = build_corpus(workdir, days, per_day)
         with use_registry(registry):
-            server = create_server(store, ServerConfig(port=0))
+            server = create_server(
+                store, ServeOptions(port=0, watch_interval=FEED_TICK)
+            )
             thread = threading.Thread(target=server.serve_forever, daemon=True)
             thread.start()
             client = Client(server.server_address[1])
@@ -300,6 +389,48 @@ def main(argv: list[str] | None = None) -> int:
                 f"{cached_seconds:.1f} s ({serving_cached_rps:.0f} req/s)"
             )
 
+            # -- phase 4: live feed fan-out --------------------------------
+            port = server.server_address[1]
+            notify_latencies: list[float] = []
+            feed_errors: list[str] = []
+            feed_lock = threading.Lock()
+            ready_flags = [threading.Event() for _ in range(FEED_SUBSCRIBERS)]
+            subscribers = [
+                threading.Thread(
+                    target=sse_subscriber,
+                    args=(
+                        port, feed_checkpoints, ready,
+                        notify_latencies, feed_errors, feed_lock,
+                    ),
+                )
+                for ready in ready_flags
+            ]
+            for subscriber in subscribers:
+                subscriber.start()
+            for ready in ready_flags:
+                ready.wait(timeout=30)
+            feed_day = T0 + timedelta(days=days + 1)
+            feed_started = time.perf_counter()
+            run_checkpoints(
+                store, yaml_text, feed_day, feed_checkpoints, FEED_PAUSE
+            )
+            for subscriber in subscribers:
+                subscriber.join(timeout=60)
+            feed_seconds = time.perf_counter() - feed_started
+            expected_events = FEED_SUBSCRIBERS * feed_checkpoints
+            delivered_events = len(notify_latencies)
+            feed_missed = expected_events - delivered_events
+            feed_fanout_rps = delivered_events / feed_seconds
+            print(
+                f"  feed: {FEED_SUBSCRIBERS} subscribers x "
+                f"{feed_checkpoints} checkpoints -> {delivered_events}/"
+                f"{expected_events} events in {feed_seconds:.1f} s "
+                f"({feed_fanout_rps:.0f} ev/s), notify p99 "
+                f"{percentile(notify_latencies, 0.99) * 1e3:.0f} ms"
+                if notify_latencies
+                else "  feed: no events delivered"
+            )
+
             client.close()
         hits, misses = cache_totals(registry)
         cache_hit_rate = hits / (hits + misses) if hits + misses else 0.0
@@ -326,6 +457,16 @@ def main(argv: list[str] | None = None) -> int:
             "below the 1,000 req/s floor",
             file=sys.stderr,
         )
+    if feed_errors:
+        ok = False
+        print(f"ERROR: feed subscribers reported: {feed_errors[:3]}", file=sys.stderr)
+    if feed_missed:
+        ok = False
+        print(
+            f"ERROR: {feed_missed} of {expected_events} feed events never "
+            "reached a subscriber",
+            file=sys.stderr,
+        )
 
     report = {
         "benchmark": "cached HTTP read API over the shared mmap query engine",
@@ -344,8 +485,20 @@ def main(argv: list[str] | None = None) -> int:
         "cold_warm_ratio": round(cold_warm_ratio, 1),
         "http_5xx": http_5xx,
         "zero_5xx_during_checkpoint": http_5xx == 0,
+        "feed_subscribers": FEED_SUBSCRIBERS,
+        "feed_checkpoints": feed_checkpoints,
+        "feed_delivered_events": delivered_events,
+        "feed_missed_events": feed_missed,
+        "feed_fanout_rps": round(feed_fanout_rps, 1),
         "outputs_consistent": ok,
     }
+    if notify_latencies:
+        report["feed_notify_p50_seconds"] = round(
+            percentile(notify_latencies, 0.50), 6
+        )
+        report["feed_notify_p99_seconds"] = round(
+            percentile(notify_latencies, 0.99), 6
+        )
     # Quick mode's latency tails are bimodal noise (how many cold
     # renders land in the small sample depends on checkpoint timing), so
     # their keys get a prefix the regression gate won't find in the full

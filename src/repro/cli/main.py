@@ -439,25 +439,48 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Run the cached HTTP read API until interrupted."""
+    """Run the versioned HTTP read API + live feed until interrupted."""
     from repro.errors import ServerError
-    from repro.server import ServerConfig, create_server
+    from repro.server import ServeOptions, create_server
 
     store = open_store(args.dataset)
     try:
-        config = ServerConfig(
+        options = ServeOptions(
             host=args.host,
             port=args.port,
             backend=args.backend,
             use_mmap=not args.no_mmap,
             cache_entries=args.cache_entries,
+            watch_interval=args.watch_interval,
+            feed_ring_size=args.feed_ring_size,
+            asgi=args.asgi,
         )
-        server = create_server(store, config)
+    except ServerError as exc:
+        print(f"cannot start server: {exc}", file=sys.stderr)
+        return 1
+    if options.asgi:
+        from repro.server.asgi import serve_asgi
+
+        try:
+            serve_asgi(store, options)
+        except ServerError as exc:
+            print(f"cannot start server: {exc}", file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+        return 0
+    try:
+        server = create_server(store, options)
     except (ServerError, OSError) as exc:
         print(f"cannot start server: {exc}", file=sys.stderr)
         return 1
     host, port = server.server_address[0], server.server_address[1]
     print(f"serving on http://{host}:{port}/ (Ctrl-C to stop)", file=sys.stderr)
+    print(
+        "stable surface under /v1 (unversioned paths answer with a "
+        "Deprecation header); live feed at /v1/maps/<map>/events",
+        file=sys.stderr,
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -1055,6 +1078,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--cache-entries", type=int, default=256,
         help="response-cache capacity in entries (default 256)",
+    )
+    serve.add_argument(
+        "--watch-interval", type=float, default=5.0,
+        help="seconds between generation-feed watcher ticks (default 5)",
+    )
+    serve.add_argument(
+        "--feed-ring-size", type=int, default=256,
+        help="per-map feed replay-ring capacity (default 256)",
+    )
+    serve.add_argument(
+        "--asgi",
+        action="store_true",
+        help="serve through the ASGI adapter under uvicorn "
+        "(pip install repro[asgi])",
     )
     serve.set_defaults(handler=cmd_serve)
 

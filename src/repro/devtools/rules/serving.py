@@ -13,6 +13,10 @@ Flagged inside ``repro.server`` modules:
 
 * ``import repro.parsing...`` / ``from repro.parsing... import ...``
   (likewise ``repro.yamlio`` and ``repro.dataset.loader``);
+* write-path imports — ``repro.dataset.engine``,
+  ``repro.dataset.processor``, ``repro.dataset.ingest``: the live
+  feed's watcher observes ingest checkpoints, it must never be able to
+  produce one;
 * ``from <anywhere> import MapSnapshot`` — the import *is* the intent;
 * any ``MapSnapshot(...)`` call, by name or attribute.
 
@@ -27,11 +31,19 @@ from typing import Iterable
 
 from repro.devtools.engine import Finding, Rule, SourceModule
 
-#: Module prefixes the serving layer must never import (object path).
+#: Module prefixes the serving layer must never import: the object path
+#: (parsing, YAML codecs, snapshot loaders) and — since the live feed
+#: joined the package — the write path too (bulk engine, processor,
+#: ingestion daemon).  The generation watcher observes checkpoints by
+#: ``stat()``; a serving module that could *produce* one would blur the
+#: reader/writer split the hot-swap contract depends on.
 _FORBIDDEN_PREFIXES = (
     "repro.parsing",
     "repro.yamlio",
     "repro.dataset.loader",
+    "repro.dataset.engine",
+    "repro.dataset.processor",
+    "repro.dataset.ingest",
 )
 
 _SNAPSHOT_CLASS = "MapSnapshot"

@@ -1,12 +1,14 @@
-"""The HTTP app: ThreadingHTTPServer workers over the shared engines.
+"""The threaded HTTP transport: ThreadingHTTPServer over the shared core.
 
 Layering (thin-router → services → data access)::
 
-    WeatherRequestHandler     parses/validates, renders JSON, maps errors
-        └─ router.match_route     names the endpoint, extracts the map slug
-        └─ services.*_payload     computes dicts off the column views
-              └─ EngineCache      one generation-pinned handle per map
-              └─ ResponseCache    rendered bodies keyed by generation
+    WeatherRequestHandler       transport only: read request, write bytes
+        └─ core.handle_request      route, validate, render (shared w/ ASGI)
+            └─ router.match_route       names the endpoint, extracts the slug
+            └─ services.*_payload       dicts computed off the column views
+                  └─ EngineCache        one generation-pinned handle per map
+                  └─ ResponseCache      rendered bodies keyed by generation
+                  └─ GenerationWatcher  the live feed (SSE + long-poll)
 
 Request-path guarantees:
 
@@ -17,108 +19,54 @@ Request-path guarantees:
 * every cacheable response carries a strong ETag (a hash of the exact
   body), and ``If-None-Match`` revalidation answers 304 without
   rendering anything;
-* client mistakes are 400 (bad parameters) or 404 (unknown path, map,
-  or snapshot), each as a small JSON error body.
+* every non-2xx body is the unified error envelope
+  ``{"error": {"code", "message", "map"?}}`` rendered through the typed
+  mapping in :mod:`repro.server.services`;
+* the deprecated unversioned paths serve the same bytes as their
+  ``/v1`` successors, plus a ``Deprecation`` header.
+
+SSE responses stream over ``Connection: close`` (self-delimiting for
+``EventSource`` and curl alike); a stalled reader is evicted by the
+watcher when its bounded queue fills, and a blocked socket write is
+bounded by :data:`STREAM_WRITE_TIMEOUT` so the worker thread is
+reclaimed either way.
 """
 
 from __future__ import annotations
 
-import json
 import logging
-from dataclasses import dataclass
-from datetime import datetime, timezone
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import parse_qs, urlsplit
+from urllib.parse import urlsplit
 
-from repro.analysis.imbalance import MINIMUM_ACTIVE_LOAD
-from repro.constants import MapName
-from repro.dataset.handles import ReadHandle, read_generation
 from repro.dataset.store import DatasetStore
-from repro.errors import (
-    AnalysisError,
-    QueryError,
-    ServerError,
-    SnapshotIndexError,
-    SnapshotNotFoundError,
-)
-from repro.server import services
 from repro.server.cache import ResponseCache
+from repro.server.core import (
+    AppState,
+    EventStream,
+    Response,
+    error_response,
+    handle_request,
+)
 from repro.server.engines import EngineCache
-from repro.server.router import RouteMatch, match_route
-from repro.telemetry import get_registry, snapshot_to_prometheus
+from repro.server.feed import SSE_HEARTBEAT, GenerationWatcher, render_sse
+from repro.server.options import ServeOptions, ServerConfig, resolve_serve_options
+from repro.server.router import match_route
+from repro.telemetry import get_registry
 
 logger = logging.getLogger(__name__)
 
-__all__ = ["ServerConfig", "WeatherRequestHandler", "WeatherServer", "create_server", "serve"]
+__all__ = [
+    "ServerConfig",
+    "WeatherRequestHandler",
+    "WeatherServer",
+    "create_server",
+    "serve",
+]
 
-#: Query parameters each endpoint accepts; anything else is a 400.
-_ENDPOINT_PARAMS: dict[str, frozenset[str]] = {
-    "healthz": frozenset(),
-    "metrics": frozenset(),
-    "maps": frozenset(),
-    "snapshot": frozenset({"at"}),
-    "series": frozenset({"link", "start", "end"}),
-    "imbalance": frozenset({"start", "end", "min_load"}),
-    "evolution": frozenset({"start", "end"}),
-}
-
-
-@dataclass(frozen=True)
-class ServerConfig:
-    """How one :class:`WeatherServer` binds and serves."""
-
-    host: str = "127.0.0.1"
-    port: int = 8080
-    backend: str = "auto"
-    use_mmap: bool = True
-    cache_entries: int = 256
-
-    def __post_init__(self) -> None:
-        if not 0 <= self.port <= 65535:
-            raise ServerError(f"port must lie in [0, 65535], got {self.port}")
-        if self.cache_entries < 1:
-            raise ServerError(
-                f"cache_entries must be >= 1, got {self.cache_entries}"
-            )
-
-
-def _parse_timestamp(text: str | None, name: str) -> datetime | None:
-    """An ISO-8601 or epoch-seconds query value, UTC when naive."""
-    if text is None:
-        return None
-    try:
-        return datetime.fromtimestamp(float(text), tz=timezone.utc)
-    except (ValueError, OverflowError, OSError):
-        pass
-    try:
-        when = datetime.fromisoformat(text)
-    except ValueError:
-        raise QueryError(
-            f"{name} must be an ISO-8601 timestamp or epoch seconds, "
-            f"got {text!r}"
-        ) from None
-    if when.tzinfo is None:
-        when = when.replace(tzinfo=timezone.utc)
-    return when
-
-
-def _parse_params(raw_query: str, allowed: frozenset[str]) -> dict[str, str]:
-    """The query string as a flat dict; unknown or repeated keys are 400s."""
-    params: dict[str, str] = {}
-    for name, values in parse_qs(
-        raw_query, keep_blank_values=True, strict_parsing=False
-    ).items():
-        if name not in allowed:
-            expected = ", ".join(sorted(allowed)) or "none"
-            raise QueryError(
-                f"unknown query parameter {name!r} (expected: {expected})"
-            )
-        if len(values) != 1:
-            raise QueryError(
-                f"query parameter {name!r} given {len(values)} times"
-            )
-        params[name] = values[0]
-    return params
+#: Upper bound on one blocking socket write during an SSE stream; a
+#: reader stalled longer than this loses the connection (the watcher's
+#: queue-based eviction usually fires first).
+STREAM_WRITE_TIMEOUT = 30.0
 
 
 class WeatherServer(ThreadingHTTPServer):
@@ -127,21 +75,40 @@ class WeatherServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, store: DatasetStore, config: ServerConfig) -> None:
-        self.config = config
-        self.engines = EngineCache(
-            store, backend=config.backend, use_mmap=config.use_mmap
+    def __init__(
+        self,
+        store: DatasetStore,
+        options: ServeOptions | ServerConfig | None = None,
+    ) -> None:
+        self.state = AppState(store, resolve_serve_options(options))
+        self.options = self.state.options
+        super().__init__(
+            (self.options.host, self.options.port), WeatherRequestHandler
         )
-        self.cache = ResponseCache(config.cache_entries)
-        super().__init__((config.host, config.port), WeatherRequestHandler)
+        self.state.start()
+
+    @property
+    def engines(self) -> EngineCache:
+        """The shared engine cache (introspection and tests)."""
+        return self.state.engines
+
+    @property
+    def cache(self) -> ResponseCache:
+        """The shared response cache (introspection and tests)."""
+        return self.state.cache
+
+    @property
+    def feed(self) -> GenerationWatcher:
+        """The shared generation watcher (introspection and tests)."""
+        return self.state.feed
 
     def server_close(self) -> None:
         super().server_close()
-        self.engines.close()
+        self.state.close()
 
 
 class WeatherRequestHandler(BaseHTTPRequestHandler):
-    """One GET request: route, validate, serve from cache, count."""
+    """One GET request: hand to the shared core, write what comes back."""
 
     server: WeatherServer
     protocol_version = "HTTP/1.1"
@@ -165,13 +132,20 @@ class WeatherRequestHandler(BaseHTTPRequestHandler):
                 "HTTP request wall time by endpoint",
                 endpoint=endpoint,
             ):
-                status = self._dispatch(match, parts.path, parts.query)
+                headers = {
+                    name.lower(): value for name, value in self.headers.items()
+                }
+                outcome = handle_request(
+                    self.server.state, parts.path, parts.query, headers
+                )
+                if isinstance(outcome, EventStream):
+                    status = self._stream_events(outcome)
+                else:
+                    status = self._write_response(outcome)
         except Exception as exc:
             logger.exception("unhandled error serving %s", self.path)
             try:
-                status = self._send_json(
-                    500, {"error": f"internal error: {exc}"}
-                )
+                status = self._write_response(error_response(exc))
             except OSError as write_exc:
                 logger.debug("client gone before error reply: %s", write_exc)
         registry.counter(
@@ -179,189 +153,102 @@ class WeatherRequestHandler(BaseHTTPRequestHandler):
             "HTTP requests by endpoint and response status",
         ).inc(1, endpoint=endpoint, status=str(status))
 
-    # -- dispatch ----------------------------------------------------------
-
-    def _dispatch(
-        self, match: RouteMatch | None, path: str, raw_query: str
-    ) -> int:
-        if match is None:
-            return self._send_json(404, {"error": f"no such path {path!r}"})
-        try:
-            params = _parse_params(raw_query, _ENDPOINT_PARAMS[match.endpoint])
-        except QueryError as exc:
-            return self._send_json(400, {"error": str(exc)})
-        if match.endpoint == "healthz":
-            return self._send_json(200, {"status": "ok"})
-        if match.endpoint == "metrics":
-            text = snapshot_to_prometheus(get_registry().snapshot())
-            return self._send_bytes(
-                200, text.encode("utf-8"), "text/plain; version=0.0.4"
-            )
-        map_name: MapName | None = None
-        if match.map_slug is not None:
-            try:
-                map_name = MapName(match.map_slug)
-            except ValueError:
-                return self._send_json(
-                    404, {"error": f"unknown map {match.map_slug!r}"}
-                )
-        try:
-            return self._serve_cached(match.endpoint, map_name, params)
-        except (QueryError, AnalysisError) as exc:
-            return self._send_json(400, {"error": str(exc)})
-        except SnapshotNotFoundError as exc:
-            return self._send_json(404, {"error": str(exc)})
-
-    def _serve_cached(
-        self,
-        endpoint: str,
-        map_name: MapName | None,
-        params: dict[str, str],
-    ) -> int:
-        """Serve one cacheable endpoint, retrying once across a hot-swap."""
-        last_error: SnapshotIndexError | None = None
-        for attempt in range(2):
-            try:
-                return self._serve_once(endpoint, map_name, params)
-            except SnapshotIndexError as exc:  # includes StaleIndexError
-                last_error = exc
-                if map_name is not None:
-                    self.server.engines.invalidate(map_name)
-                logger.info(
-                    "engine went stale serving %s (attempt %d): %s",
-                    endpoint,
-                    attempt + 1,
-                    exc,
-                )
-        return self._send_json(
-            503, {"error": f"index unavailable mid-rebuild: {last_error}"}
-        )
-
-    def _serve_once(
-        self,
-        endpoint: str,
-        map_name: MapName | None,
-        params: dict[str, str],
-    ) -> int:
-        server = self.server
-        canonical = tuple(sorted(params.items()))
-        if map_name is None:
-            # /maps spans every map: its generation is the tuple of all.
-            token: object = tuple(
-                read_generation(server.engines.store, name) for name in MapName
-            )
-            key: tuple = ("*", endpoint, canonical, token)
-
-            def build() -> dict:
-                return services.maps_payload(server.engines)
-
-        else:
-            pinned = server.engines.handle(map_name)
-            key = (map_name.value, endpoint, canonical, pinned.token)
-            handle, bound_map = pinned.handle, map_name
-
-            def build() -> dict:
-                return self._build_payload(endpoint, handle, bound_map, params)
-
-        cached = server.cache.get(endpoint, key)
-        if cached is None:
-            body = json.dumps(
-                build(), sort_keys=True, separators=(",", ":")
-            ).encode("utf-8")
-            cached = server.cache.put(key, body, "application/json")
-        if cached.matches(self.headers.get("If-None-Match")):
-            return self._send_not_modified(cached.etag)
-        return self._send_bytes(
-            200, cached.body, cached.content_type, etag=cached.etag
-        )
-
-    def _build_payload(
-        self,
-        endpoint: str,
-        handle: ReadHandle,
-        map_name: MapName,
-        params: dict[str, str],
-    ) -> dict:
-        start = _parse_timestamp(params.get("start"), "start")
-        end = _parse_timestamp(params.get("end"), "end")
-        if endpoint == "snapshot":
-            at = _parse_timestamp(params.get("at"), "at")
-            return services.snapshot_payload(handle, map_name, at)
-        if endpoint == "series":
-            raw_link = params.get("link")
-            if raw_link is None:
-                raise QueryError("series requires link=<node_a>:<node_b>")
-            node_a, sep, node_b = raw_link.partition(":")
-            if not sep or not node_a or not node_b:
-                raise QueryError(
-                    f"link must be <node_a>:<node_b>, got {raw_link!r}"
-                )
-            return services.series_payload(
-                handle, map_name, (node_a, node_b), start, end
-            )
-        if endpoint == "imbalance":
-            minimum = MINIMUM_ACTIVE_LOAD
-            raw_minimum = params.get("min_load")
-            if raw_minimum is not None:
-                try:
-                    minimum = float(raw_minimum)
-                except ValueError:
-                    raise QueryError(
-                        f"min_load must be a number, got {raw_minimum!r}"
-                    ) from None
-                if not 0.0 <= minimum <= 100.0:
-                    raise QueryError(
-                        f"min_load must lie in [0, 100], got {minimum}"
-                    )
-            return services.imbalance_payload(
-                handle, map_name, start, end, minimum
-            )
-        if endpoint == "evolution":
-            return services.evolution_payload(handle, map_name, start, end)
-        raise ServerError(f"no payload builder for endpoint {endpoint!r}")
-
     # -- response writing --------------------------------------------------
 
-    def _send_json(self, status: int, payload: dict) -> int:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        return self._send_bytes(status, body, "application/json")
-
-    def _send_bytes(
-        self,
-        status: int,
-        body: bytes,
-        content_type: str,
-        etag: str | None = None,
-    ) -> int:
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        if etag is not None:
-            self.send_header("ETag", etag)
+    def _write_response(self, response: Response) -> int:
+        self.send_response(response.status)
+        for name, value in response.headers():
+            self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(body)
-        return status
+        if response.body:
+            self.wfile.write(response.body)
+        return response.status
 
-    def _send_not_modified(self, etag: str) -> int:
-        self.send_response(304)
-        self.send_header("ETag", etag)
-        self.send_header("Content-Length", "0")
-        self.end_headers()
-        return 304
+    def _stream_events(self, stream: EventStream) -> int:
+        """Drain one SSE subscription onto the socket until either side quits."""
+        feed = self.server.state.feed
+        subscription = stream.subscription
+        self.close_connection = True
+        try:
+            self.send_response(stream.status)
+            for name, value in stream.headers():
+                self.send_header(name, value)
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.connection.settimeout(STREAM_WRITE_TIMEOUT)
+            for event in stream.replay:
+                self.wfile.write(render_sse(event))
+                feed.record_delivery(event, subscription.transport)
+            self.wfile.flush()
+            while True:
+                event = subscription.next_event(stream.heartbeat)
+                if event is not None:
+                    self.wfile.write(render_sse(event))
+                    self.wfile.flush()
+                    feed.record_delivery(event, subscription.transport)
+                elif subscription.closed:
+                    break  # evicted as a slow reader, or server shutdown
+                else:
+                    self.wfile.write(SSE_HEARTBEAT)
+                    self.wfile.flush()
+        except OSError as exc:
+            logger.debug("SSE client went away: %s", exc)
+        finally:
+            feed.unsubscribe(subscription)
+        return stream.status
 
 
 def create_server(
-    store: DatasetStore, config: ServerConfig | None = None
+    store: DatasetStore,
+    options: ServeOptions | ServerConfig | None = None,
 ) -> WeatherServer:
     """Bind (but do not run) a :class:`WeatherServer` over one store."""
-    return WeatherServer(store, config or ServerConfig())
+    return WeatherServer(store, resolve_serve_options(options))
 
 
-def serve(store: DatasetStore, config: ServerConfig | None = None) -> None:
-    """Run the read API until interrupted (the ``repro-weather serve`` body)."""
-    server = create_server(store, config)
-    host, port = server.server_address[0], server.server_address[1]
-    logger.info("serving weather map read API on http://%s:%s/", host, port)
+def serve(
+    store: DatasetStore,
+    options: ServeOptions | ServerConfig | None = None,
+    *,
+    host: str | None = None,
+    port: int | None = None,
+    backend: str | None = None,
+    use_mmap: bool | None = None,
+    cache_entries: int | None = None,
+    watch_interval: float | None = None,
+    feed_ring_size: int | None = None,
+    asgi: bool | None = None,
+) -> None:
+    """Run the read API until interrupted (the ``repro-weather serve`` body).
+
+    Accepts one frozen :class:`ServeOptions`; the individual keywords
+    (and a legacy :class:`ServerConfig`) still work but are deprecated,
+    and mixing them with ``options=`` raises
+    :class:`~repro.errors.OptionsError`.  With ``asgi=True`` the same
+    router, services, and feed run under uvicorn
+    (``pip install repro[asgi]``) instead of the threaded server.
+    """
+    resolved = resolve_serve_options(
+        options,
+        host=host,
+        port=port,
+        backend=backend,
+        use_mmap=use_mmap,
+        cache_entries=cache_entries,
+        watch_interval=watch_interval,
+        feed_ring_size=feed_ring_size,
+        asgi=asgi,
+    )
+    if resolved.asgi:
+        from repro.server.asgi import serve_asgi
+
+        serve_asgi(store, resolved)
+        return
+    server = create_server(store, resolved)
+    bound_host, bound_port = server.server_address[0], server.server_address[1]
+    logger.info(
+        "serving weather map read API on http://%s:%s/", bound_host, bound_port
+    )
     try:
         server.serve_forever()
     finally:

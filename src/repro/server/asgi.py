@@ -1,0 +1,255 @@
+"""The ASGI adapter: the same read API under a production async server.
+
+``create_asgi_app(store)`` returns a plain ASGI-3 callable — no
+framework, no dependencies — that serves exactly what the threaded
+:class:`~repro.server.app.WeatherServer` serves, because both hand
+every request to :func:`repro.server.core.handle_request`: same JSON
+bodies, same ETags, same error envelopes, and byte-for-byte identical
+SSE event frames (the conformance suite runs against both).
+
+The services layer is synchronous by design (zero-copy column reads
+are microseconds; long-poll deliberately blocks), so the adapter runs
+each request on a worker thread via :func:`asyncio.to_thread` and
+streams SSE by polling the subscription queue the same way.  Client
+disconnects are observed through the ASGI ``http.disconnect`` message,
+which closes the subscription so the watcher drops the queue.
+
+Running under uvicorn is one extra (``pip install repro[asgi]``)::
+
+    repro-weather serve ./dataset --asgi
+
+or programmatically ``uvicorn.run(create_asgi_app(open_store(...)))``.
+The stdlib threaded server remains the zero-dependency default;
+:func:`serve_asgi` raises a typed
+:class:`~repro.errors.ServerError` when uvicorn is absent instead of
+an ImportError from deep inside a stack.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from typing import Any, Awaitable, Callable, MutableMapping
+
+from repro.dataset.store import DatasetStore
+from repro.errors import ServerError
+from repro.server import services
+from repro.server.core import AppState, EventStream, Response, handle_request
+from repro.server.feed import SSE_HEARTBEAT, render_sse
+from repro.server.options import ServeOptions, ServerConfig, resolve_serve_options
+from repro.server.router import match_route
+from repro.telemetry import get_registry
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["ReadApiAsgiApp", "create_asgi_app", "serve_asgi"]
+
+Scope = MutableMapping[str, Any]
+Message = MutableMapping[str, Any]
+Receive = Callable[[], Awaitable[Message]]
+Send = Callable[[Message], Awaitable[None]]
+
+
+def _encode_headers(pairs: list[tuple[str, str]]) -> list[tuple[bytes, bytes]]:
+    return [
+        (name.lower().encode("latin-1"), value.encode("latin-1"))
+        for name, value in pairs
+    ]
+
+
+class ReadApiAsgiApp:
+    """One ASGI-3 application over one :class:`~repro.server.core.AppState`."""
+
+    def __init__(self, state: AppState) -> None:
+        self.state = state
+
+    async def __call__(
+        self, scope: Scope, receive: Receive, send: Send
+    ) -> None:
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] != "http":
+            raise ServerError(
+                f"unsupported ASGI scope type {scope['type']!r}"
+            )
+        await self._http(scope, receive, send)
+
+    # -- lifespan ----------------------------------------------------------
+
+    async def _lifespan(self, receive: Receive, send: Send) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                self.state.start()
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                self.state.close()
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    # -- http --------------------------------------------------------------
+
+    async def _http(self, scope: Scope, receive: Receive, send: Send) -> None:
+        path = scope["path"]
+        raw_query = scope.get("query_string", b"").decode("latin-1")
+        match = match_route(path)
+        endpoint = match.endpoint if match is not None else "unknown"
+        registry = get_registry()
+        status = 500
+        try:
+            with registry.span(
+                "repro_server_request",
+                "HTTP request wall time by endpoint",
+                endpoint=endpoint,
+            ):
+                if scope["method"] not in ("GET", "HEAD"):
+                    payload = services.error_body(
+                        "method_not_allowed",
+                        f"method {scope['method']} is not allowed; "
+                        f"the read API is GET-only",
+                    )
+                    outcome: Response | EventStream = Response(
+                        status=405,
+                        body=json.dumps(payload, sort_keys=True).encode("utf-8"),
+                        content_type="application/json",
+                        extra_headers=(("Allow", "GET, HEAD"),),
+                    )
+                else:
+                    headers = {
+                        name.decode("latin-1").lower(): value.decode("latin-1")
+                        for name, value in scope.get("headers", [])
+                    }
+                    # The watcher must run wherever requests are served,
+                    # lifespan or not (some test harnesses skip it).
+                    self.state.start()
+                    outcome = await asyncio.to_thread(
+                        handle_request, self.state, path, raw_query, headers
+                    )
+                if isinstance(outcome, EventStream):
+                    status = await self._stream_events(outcome, receive, send)
+                else:
+                    status = outcome.status
+                    body = b"" if scope["method"] == "HEAD" else outcome.body
+                    await send(
+                        {
+                            "type": "http.response.start",
+                            "status": outcome.status,
+                            "headers": _encode_headers(outcome.headers()),
+                        }
+                    )
+                    await send(
+                        {
+                            "type": "http.response.body",
+                            "body": body,
+                            "more_body": False,
+                        }
+                    )
+        except Exception:
+            logger.exception("unhandled error serving %s", path)
+            raise
+        finally:
+            registry.counter(
+                "repro_server_requests_total",
+                "HTTP requests by endpoint and response status",
+            ).inc(1, endpoint=endpoint, status=str(status))
+
+    async def _stream_events(
+        self, stream: EventStream, receive: Receive, send: Send
+    ) -> int:
+        """Drain one SSE subscription through ASGI until either side quits."""
+        feed = self.state.feed
+        subscription = stream.subscription
+        disconnected = asyncio.Event()
+
+        async def watch_disconnect() -> None:
+            while True:
+                message = await receive()
+                if message["type"] == "http.disconnect":
+                    subscription.close()
+                    disconnected.set()
+                    return
+
+        watcher_task = asyncio.ensure_future(watch_disconnect())
+        try:
+            await send(
+                {
+                    "type": "http.response.start",
+                    "status": stream.status,
+                    "headers": _encode_headers(stream.headers()),
+                }
+            )
+            for event in stream.replay:
+                await send(
+                    {
+                        "type": "http.response.body",
+                        "body": render_sse(event),
+                        "more_body": True,
+                    }
+                )
+                feed.record_delivery(event, subscription.transport)
+            while not disconnected.is_set():
+                event = await asyncio.to_thread(
+                    subscription.next_event, stream.heartbeat
+                )
+                if disconnected.is_set():
+                    break
+                if event is not None:
+                    await send(
+                        {
+                            "type": "http.response.body",
+                            "body": render_sse(event),
+                            "more_body": True,
+                        }
+                    )
+                    feed.record_delivery(event, subscription.transport)
+                elif subscription.closed:
+                    break  # evicted as a slow reader, or server shutdown
+                else:
+                    await send(
+                        {
+                            "type": "http.response.body",
+                            "body": SSE_HEARTBEAT,
+                            "more_body": True,
+                        }
+                    )
+            await send(
+                {"type": "http.response.body", "body": b"", "more_body": False}
+            )
+        except (OSError, ConnectionError) as exc:
+            logger.debug("SSE client went away: %s", exc)
+        finally:
+            watcher_task.cancel()
+            feed.unsubscribe(subscription)
+        return stream.status
+
+
+def create_asgi_app(
+    store: DatasetStore,
+    options: ServeOptions | ServerConfig | None = None,
+) -> ReadApiAsgiApp:
+    """The read API as a dependency-free ASGI-3 callable over one store.
+
+    The returned app owns its :class:`~repro.server.core.AppState`; the
+    generation watcher starts on ASGI lifespan startup (or lazily on
+    the first request) and stops on lifespan shutdown.
+    """
+    return ReadApiAsgiApp(AppState(store, resolve_serve_options(options)))
+
+
+def serve_asgi(
+    store: DatasetStore, options: ServeOptions | ServerConfig | None = None
+) -> None:
+    """Run the ASGI app under uvicorn (``pip install repro[asgi]``)."""
+    resolved = resolve_serve_options(options)
+    try:
+        import uvicorn
+    except ImportError as exc:
+        raise ServerError(
+            "the ASGI server needs uvicorn; install the extra with "
+            "`pip install repro[asgi]` (or drop --asgi for the "
+            "zero-dependency threaded server)"
+        ) from exc
+    app = create_asgi_app(store, resolved)
+    uvicorn.run(app, host=resolved.host, port=resolved.port, log_level="info")

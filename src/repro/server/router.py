@@ -8,6 +8,14 @@ name doubles as the telemetry label on
 ``repro_server_requests_total{endpoint, ...}``, which is why unmatched
 paths still resolve (to ``None``) rather than raising: unknown-path
 counts are worth having.
+
+The stable surface is **versioned**: every endpoint mounts under
+``/v1/...``.  The original unversioned paths from PR 8 keep answering
+with identical payloads, but are deprecated — the app layer adds a
+``Deprecation`` header and counts them in
+``repro_server_deprecated_requests_total``.  Endpoints born after the
+versioning (the live feed: ``events`` and ``generation``) exist only
+under ``/v1`` — there is no legacy spelling to honour.
 """
 
 from __future__ import annotations
@@ -15,7 +23,10 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
-__all__ = ["RouteMatch", "match_route"]
+__all__ = ["API_VERSION", "RouteMatch", "match_route"]
+
+#: The mount point of the current stable surface.
+API_VERSION = "v1"
 
 #: Endpoint names whose responses are cacheable (immutable given the
 #: generation token in the cache key).
@@ -23,8 +34,12 @@ CACHEABLE_ENDPOINTS = frozenset(
     {"maps", "snapshot", "series", "imbalance", "evolution"}
 )
 
+#: Endpoints that exist only under ``/v1`` (no deprecated alias).
+VERSIONED_ONLY_ENDPOINTS = frozenset({"events", "generation"})
+
 _MAP_VIEW = re.compile(
-    r"^/maps/(?P<map>[a-z0-9-]+)/(?P<view>snapshot|series|imbalance|evolution)$"
+    r"^/maps/(?P<map>[a-z0-9-]+)/"
+    r"(?P<view>snapshot|series|imbalance|evolution|events|generation)$"
 )
 
 
@@ -36,19 +51,31 @@ class RouteMatch:
     #: The raw map slug from the path; the app layer resolves it to a
     #: :class:`~repro.constants.MapName` (404 on an unknown value).
     map_slug: str | None = None
+    #: Whether the request used the ``/v1`` mount.  ``False`` means the
+    #: deprecated unversioned alias: same payload, plus a
+    #: ``Deprecation`` header and a counter increment.
+    versioned: bool = False
 
 
 def match_route(path: str) -> RouteMatch | None:
     """Resolve a request path to its endpoint, ``None`` when unrouted."""
+    versioned = False
+    prefix = f"/{API_VERSION}"
+    if path == prefix or path.startswith(prefix + "/"):
+        versioned = True
+        path = path[len(prefix):] or "/"
     if path == "/healthz":
-        return RouteMatch(endpoint="healthz")
+        return RouteMatch(endpoint="healthz", versioned=versioned)
     if path == "/metrics":
-        return RouteMatch(endpoint="metrics")
+        return RouteMatch(endpoint="metrics", versioned=versioned)
     if path == "/maps":
-        return RouteMatch(endpoint="maps")
+        return RouteMatch(endpoint="maps", versioned=versioned)
     matched = _MAP_VIEW.match(path)
     if matched is not None:
+        view = matched.group("view")
+        if not versioned and view in VERSIONED_ONLY_ENDPOINTS:
+            return None
         return RouteMatch(
-            endpoint=matched.group("view"), map_slug=matched.group("map")
+            endpoint=view, map_slug=matched.group("map"), versioned=versioned
         )
     return None

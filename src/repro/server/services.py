@@ -29,16 +29,62 @@ from repro.constants import MapName
 from repro.dataset.handles import ReadHandle
 from repro.dataset.query import MappedIndex, ScanPredicate
 from repro.dataset.shards import ShardedMappedIndex
-from repro.errors import AnalysisError, SnapshotNotFoundError
+from repro.errors import (
+    AnalysisError,
+    QueryError,
+    ReproError,
+    ServerError,
+    SnapshotIndexError,
+    SnapshotNotFoundError,
+    UnknownEndpointError,
+)
 from repro.server.engines import EngineCache
 
 __all__ = [
+    "error_body",
+    "error_status",
     "evolution_payload",
     "imbalance_payload",
     "maps_payload",
     "series_payload",
     "snapshot_payload",
 ]
+
+# -- the unified error envelope -------------------------------------------
+#
+# Every non-2xx response the read API produces is
+# ``{"error": {"code", "message", "map"?}}``, and this table is the one
+# place a typed :mod:`repro.errors` class maps to an HTTP status and a
+# stable machine-readable code.  Order matters: the first matching
+# (most specific) entry wins, so subclasses come before their bases.
+
+ERROR_MAPPING: tuple[tuple[type[Exception], int, str], ...] = (
+    (SnapshotNotFoundError, 404, "snapshot_not_found"),
+    (SnapshotIndexError, 503, "index_unavailable"),
+    (UnknownEndpointError, 404, "unknown_endpoint"),
+    (QueryError, 400, "bad_query"),
+    (AnalysisError, 400, "empty_window"),
+    (ServerError, 500, "server_error"),
+    (ReproError, 500, "internal_error"),
+)
+
+
+def error_status(exc: BaseException) -> tuple[int, str]:
+    """The ``(http_status, code)`` one typed error renders as."""
+    for error_type, status, code in ERROR_MAPPING:
+        if isinstance(exc, error_type):
+            return status, code
+    return 500, "internal_error"
+
+
+def error_body(
+    code: str, message: str, map_name: MapName | None = None
+) -> dict:
+    """The envelope every non-2xx response carries."""
+    error: dict = {"code": code, "message": message}
+    if map_name is not None:
+        error["map"] = map_name.value
+    return {"error": error}
 
 #: Imbalance thresholds summarised per bucket — the Figure 5c x-axis
 #: points the paper's discussion leans on.

@@ -492,6 +492,33 @@ class TestRep008ServingIsolation:
         )
         assert check_tree(root).ok
 
+    def test_write_path_imports_inside_server_flagged(self, tmp_path):
+        # Since the live feed, the write path is fenced off too: the
+        # watcher observes checkpoints, it must never produce them.
+        root = make_tree(
+            tmp_path,
+            {
+                "server/feed.py": (
+                    "from repro.dataset.engine import process_map_parallel\n"
+                    "from repro.dataset.processor import process_map\n"
+                    "import repro.dataset.ingest\n"
+                )
+            },
+        )
+        assert rules_found(check_tree(root)) == ["REP008"] * 3
+
+    def test_write_path_imports_outside_server_clean(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            {
+                "cli/main.py": (
+                    "from repro.dataset.engine import process_map_parallel\n"
+                    "import repro.dataset.ingest\n"
+                )
+            },
+        )
+        assert check_tree(root).ok
+
 
 class TestSuppressions:
     def test_noqa_drops_the_finding(self, tmp_path):

@@ -20,6 +20,7 @@ from __future__ import annotations
 import http.client
 import json
 import threading
+import warnings
 from contextlib import contextmanager
 from datetime import datetime, timedelta, timezone
 from urllib.parse import quote
@@ -30,8 +31,14 @@ from repro.constants import MapName
 from repro.dataset.processor import process_svg_bytes
 from repro.dataset.shards import ShardedMappedIndex, compact_map_shards
 from repro.dataset.store import ShardedDatasetStore
-from repro.errors import ServerError
-from repro.server import ServerConfig, create_server, match_route
+from repro.errors import OptionsError, ServerError
+from repro.server import (
+    ServeOptions,
+    ServerConfig,
+    create_server,
+    match_route,
+    resolve_serve_options,
+)
 from repro.server.cache import CachedResponse, ResponseCache
 
 T0 = datetime(2022, 9, 12, tzinfo=timezone.utc)
@@ -59,9 +66,9 @@ def build_corpus(root, yaml_text: str) -> ShardedDatasetStore:
 
 
 @contextmanager
-def running_server(store, **config_kwargs):
+def running_server(store, **option_kwargs):
     """A live server on an ephemeral port, torn down afterwards."""
-    server = create_server(store, ServerConfig(port=0, **config_kwargs))
+    server = create_server(store, ServeOptions(port=0, **option_kwargs))
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     try:
@@ -83,6 +90,13 @@ class Client:
         response = self.conn.getresponse()
         body = response.read()
         return response.status, response.getheader("ETag"), body
+
+    def get_full(self, path, headers=None):
+        """(status, headers-dict, body) — for header-sensitive assertions."""
+        self.conn.request("GET", path, headers=headers or {})
+        response = self.conn.getresponse()
+        body = response.read()
+        return response.status, dict(response.getheaders()), body
 
     def get_json(self, path, expect=200):
         status, _, body = self.get(path)
@@ -120,10 +134,30 @@ class TestRouting:
             assert match is not None
             assert match.endpoint == view
             assert match.map_slug == "asia-pacific"
+            assert match.versioned is False
+
+    def test_v1_routes_are_versioned(self):
+        for path in ("/v1/healthz", "/v1/metrics", "/v1/maps"):
+            match = match_route(path)
+            assert match is not None and match.versioned is True
+        match = match_route("/v1/maps/asia-pacific/snapshot")
+        assert match.endpoint == "snapshot"
+        assert match.map_slug == "asia-pacific"
+        assert match.versioned is True
+
+    def test_feed_routes_exist_only_under_v1(self):
+        events = match_route("/v1/maps/europe/events")
+        assert events.endpoint == "events" and events.versioned
+        generation = match_route("/v1/maps/europe/generation")
+        assert generation.endpoint == "generation" and generation.versioned
+        # the feed was born versioned: no deprecated unversioned alias
+        assert match_route("/maps/europe/events") is None
+        assert match_route("/maps/europe/generation") is None
 
     def test_unroutable_paths(self):
         for path in ("/", "/maps/", "/maps/europe", "/maps/europe/latest",
-                     "/maps/EUROPE/snapshot", "/healthz/extra"):
+                     "/maps/EUROPE/snapshot", "/healthz/extra",
+                     "/v1", "/v1/", "/v2/maps", "/v1/v1/maps"):
             assert match_route(path) is None
 
 
@@ -219,34 +253,48 @@ class TestEndpoints:
 
 
 class TestErrorMapping:
+    def test_envelope_shape(self, served):
+        payload = served.get_json("/nope", expect=404)
+        assert set(payload) == {"error"}
+        assert set(payload["error"]) == {"code", "message"}
+
     def test_unknown_path_is_404(self, served):
-        assert "no such path" in served.get_json("/nope", expect=404)["error"]
+        error = served.get_json("/nope", expect=404)["error"]
+        assert error["code"] == "unknown_endpoint"
+        assert "no such path" in error["message"]
 
     def test_unknown_map_is_404(self, served):
-        payload = served.get_json("/maps/atlantis/snapshot", expect=404)
-        assert "atlantis" in payload["error"]
+        error = served.get_json("/maps/atlantis/snapshot", expect=404)["error"]
+        assert error["code"] == "unknown_endpoint"
+        assert "atlantis" in error["message"]
 
     def test_unindexed_map_is_404(self, served):
         # europe exists as a map name but holds no data in this store
-        payload = served.get_json("/maps/europe/snapshot", expect=404)
-        assert "europe" in payload["error"]
+        error = served.get_json("/maps/europe/snapshot", expect=404)["error"]
+        assert error["code"] == "snapshot_not_found"
+        assert "europe" in error["message"]
+        assert error["map"] == "europe"
 
     def test_unknown_parameter_is_400(self, served):
-        payload = served.get_json(f"/maps/{MAP.value}/snapshot?bogus=1", expect=400)
-        assert "bogus" in payload["error"]
+        error = served.get_json(
+            f"/maps/{MAP.value}/snapshot?bogus=1", expect=400
+        )["error"]
+        assert error["code"] == "bad_query"
+        assert "bogus" in error["message"]
 
     def test_repeated_parameter_is_400(self, served):
         served.get_json(f"/maps/{MAP.value}/snapshot?at=1&at=2", expect=400)
 
     def test_bad_timestamp_is_400(self, served):
-        payload = served.get_json(
+        error = served.get_json(
             f"/maps/{MAP.value}/snapshot?at=yesterday", expect=400
-        )
-        assert "yesterday" in payload["error"]
+        )["error"]
+        assert "yesterday" in error["message"]
 
     def test_missing_link_is_400(self, served):
-        payload = served.get_json(f"/maps/{MAP.value}/series", expect=400)
-        assert "link" in payload["error"]
+        error = served.get_json(f"/maps/{MAP.value}/series", expect=400)["error"]
+        assert error["code"] == "bad_query"
+        assert "link" in error["message"]
 
     def test_malformed_link_is_400(self, served):
         served.get_json(f"/maps/{MAP.value}/series?link=lonely", expect=400)
@@ -264,6 +312,61 @@ class TestErrorMapping:
     def test_snapshot_before_corpus_is_404(self, served):
         early = int((T0 - timedelta(days=30)).timestamp())
         served.get_json(f"/maps/{MAP.value}/snapshot?at={early}", expect=404)
+
+
+class TestVersionedSurface:
+    """``/v1`` is the stable surface; unversioned paths still answer,
+    identically, but flag themselves deprecated."""
+
+    PATHS = (
+        "/healthz",
+        "/maps",
+        f"/maps/{MAP.value}/snapshot",
+        f"/maps/{MAP.value}/evolution",
+        # even errors serve the same envelope on both surfaces
+        "/maps/atlantis/snapshot",
+    )
+
+    def test_v1_and_legacy_payloads_are_identical(self, served):
+        for path in self.PATHS:
+            legacy_status, _, legacy_body = served.get(path)
+            v1_status, _, v1_body = served.get(f"/v1{path}")
+            assert v1_status == legacy_status, path
+            assert v1_body == legacy_body, path
+
+    def test_legacy_paths_carry_deprecation_headers(self, served):
+        status, headers, _ = served.get_full(f"/maps/{MAP.value}/snapshot")
+        assert status == 200
+        assert headers.get("Deprecation") == "true"
+        assert (
+            headers.get("Link")
+            == f'</v1/maps/{MAP.value}/snapshot>; rel="successor-version"'
+        )
+
+    def test_v1_paths_are_not_deprecated(self, served):
+        status, headers, _ = served.get_full(f"/v1/maps/{MAP.value}/snapshot")
+        assert status == 200
+        assert "Deprecation" not in headers
+        assert "Link" not in headers
+
+    def test_etags_agree_across_surfaces(self, served):
+        path = f"/maps/{MAP.value}/snapshot"
+        _, legacy_etag, _ = served.get(path)
+        _, v1_etag, _ = served.get(f"/v1{path}")
+        assert legacy_etag == v1_etag
+        # a validator minted on one surface revalidates on the other
+        status, _, body = served.get(
+            f"/v1{path}", headers={"If-None-Match": legacy_etag}
+        )
+        assert status == 304 and body == b""
+
+    def test_deprecated_requests_are_counted(self, served):
+        served.get("/healthz")
+        status, _, body = served.get("/metrics")
+        assert status == 200
+        text = body.decode("utf-8")
+        assert "repro_server_deprecated_requests_total" in text
+        assert 'endpoint="healthz"' in text
 
 
 class TestCaching:
@@ -446,8 +549,45 @@ class TestCacheUnits:
 class TestConfigUnits:
     def test_bad_port_rejected(self):
         with pytest.raises(ServerError):
-            ServerConfig(port=70000)
+            ServeOptions(port=70000)
 
     def test_bad_cache_entries_rejected(self):
         with pytest.raises(ServerError):
-            ServerConfig(cache_entries=0)
+            ServeOptions(cache_entries=0)
+
+    def test_bad_watch_interval_rejected(self):
+        with pytest.raises(ServerError):
+            ServeOptions(watch_interval=0.0)
+
+    def test_bad_feed_ring_size_rejected(self):
+        with pytest.raises(ServerError):
+            ServeOptions(feed_ring_size=0)
+
+    def test_options_pass_through_unwarned(self):
+        options = ServeOptions(port=0, watch_interval=0.5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_serve_options(options) is options
+            assert resolve_serve_options(None) == ServeOptions()
+
+    def test_server_config_converts_with_a_deprecation_warning(self):
+        config = ServerConfig(port=0, cache_entries=7)
+        with pytest.warns(DeprecationWarning, match="ServerConfig"):
+            resolved = resolve_serve_options(config)
+        assert resolved == ServeOptions(port=0, cache_entries=7)
+
+    def test_deprecated_keywords_warn_once(self):
+        with pytest.warns(DeprecationWarning, match="port"):
+            resolved = resolve_serve_options(port=0, cache_entries=9)
+        assert resolved == ServeOptions(port=0, cache_entries=9)
+
+    def test_mixing_options_and_keywords_raises(self):
+        with pytest.raises(OptionsError, match="not both"):
+            resolve_serve_options(ServeOptions(), port=0)
+        with pytest.raises(OptionsError, match="not both"):
+            resolve_serve_options(ServerConfig(), port=0)
+        assert issubclass(OptionsError, TypeError)
+
+    def test_legacy_server_config_still_validates(self):
+        with pytest.raises(ServerError):
+            ServerConfig(port=70000)

@@ -1,0 +1,349 @@
+"""Conformance tests for the ASGI adapter (repro.server.asgi).
+
+The adapter is a plain ASGI-3 callable, so the whole protocol is
+exercised here with hand-rolled ``scope``/``receive``/``send`` — no
+uvicorn, no test client dependency.  The headline contract is parity:
+for the same store, the ASGI app and the threaded ``WeatherServer``
+answer **byte-for-byte identically** — same JSON bodies, same ETags,
+same error envelopes, and identical SSE frames for the same generation
+(baseline *and* a live checkpoint observed by both watchers).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import threading
+from contextlib import contextmanager
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.constants import MapName
+from repro.dataset.processor import process_svg_bytes
+from repro.dataset.shards import compact_map_shards
+from repro.dataset.store import ShardedDatasetStore
+from repro.errors import ServerError
+from repro.server import ServeOptions, create_asgi_app, create_server
+from repro.server.asgi import serve_asgi
+
+T0 = datetime(2022, 9, 12, tzinfo=timezone.utc)
+MAP = MapName.ASIA_PACIFIC
+TICK = 0.05
+
+
+@pytest.fixture(scope="module")
+def reference_yaml(apac_svg) -> str:
+    outcome = process_svg_bytes(apac_svg.encode("utf-8"), MAP, T0)
+    assert outcome.yaml_text is not None
+    return outcome.yaml_text
+
+
+def build_corpus(root, yaml_text: str) -> ShardedDatasetStore:
+    store = ShardedDatasetStore(root)
+    store.mark()
+    store.write(MAP, T0, "yaml", yaml_text)
+    compact_map_shards(store, MAP)
+    return store
+
+
+def checkpoint(store, yaml_text: str, when: datetime) -> None:
+    store.write(MAP, when, "yaml", yaml_text)
+    compact_map_shards(store, MAP, only=[when.strftime("%Y-%m-%d")])
+
+
+@contextmanager
+def running_server(store, **option_kwargs):
+    option_kwargs.setdefault("watch_interval", TICK)
+    server = create_server(store, ServeOptions(port=0, **option_kwargs))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+@contextmanager
+def asgi_app(store, **option_kwargs):
+    option_kwargs.setdefault("port", 0)
+    option_kwargs.setdefault("watch_interval", TICK)
+    app = create_asgi_app(store, ServeOptions(**option_kwargs))
+    try:
+        yield app
+    finally:
+        app.state.close()
+
+
+def http_scope(path: str, *, method: str = "GET", query: bytes = b"",
+               headers=()) -> dict:
+    return {
+        "type": "http",
+        "asgi": {"version": "3.0"},
+        "method": method,
+        "path": path,
+        "query_string": query,
+        "headers": [
+            (name.encode("latin-1"), value.encode("latin-1"))
+            for name, value in headers
+        ],
+    }
+
+
+async def asgi_get(app, path: str, **scope_kwargs) -> tuple[int, dict, bytes]:
+    """One non-streaming request; (status, headers, body)."""
+    messages: list[dict] = []
+
+    async def receive() -> dict:
+        return {"type": "http.request", "body": b"", "more_body": False}
+
+    async def send(message: dict) -> None:
+        messages.append(message)
+
+    await app(http_scope(path, **scope_kwargs), receive, send)
+    start = messages[0]
+    assert start["type"] == "http.response.start"
+    body = b"".join(
+        message.get("body", b"")
+        for message in messages
+        if message["type"] == "http.response.body"
+    )
+    headers = {
+        name.decode("latin-1"): value.decode("latin-1")
+        for name, value in start["headers"]
+    }
+    return start["status"], headers, body
+
+
+async def asgi_stream_frames(
+    app, path: str, *, frames_wanted: int, headers=(), on_frame=None
+) -> tuple[dict, list[bytes]]:
+    """Drain an SSE response until ``frames_wanted`` frames arrived.
+
+    ``on_frame(index)`` runs after each frame (for mid-stream
+    checkpoints); the client then disconnects and the app must finish.
+    """
+    receive_queue: asyncio.Queue[dict] = asyncio.Queue()
+    start_message: dict = {}
+    frames: list[bytes] = []
+    buffer = bytearray()
+    done = asyncio.Event()
+
+    async def receive() -> dict:
+        return await receive_queue.get()
+
+    async def send(message: dict) -> None:
+        if message["type"] == "http.response.start":
+            start_message.update(message)
+            return
+        buffer.extend(message.get("body", b""))
+        while b"\n\n" in buffer:
+            frame, _, rest = bytes(buffer).partition(b"\n\n")
+            buffer[:] = rest
+            if frame.startswith(b":"):
+                continue  # heartbeat
+            frames.append(frame + b"\n\n")
+            if on_frame is not None:
+                on_frame(len(frames))
+            if len(frames) >= frames_wanted:
+                done.set()
+
+    async def disconnect_when_done() -> None:
+        await done.wait()
+        await receive_queue.put({"type": "http.disconnect"})
+
+    task = asyncio.ensure_future(
+        app(http_scope(path, headers=headers), receive, send)
+    )
+    closer = asyncio.ensure_future(disconnect_when_done())
+    await asyncio.wait_for(task, timeout=30)
+    await closer
+    return start_message, frames
+
+
+def threaded_get(port: int, path: str, method: str = "GET"):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request(method, path)
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+class ThreadedSseReader:
+    """A live SSE stream off the threaded server, read frame by frame."""
+
+    def __init__(self, port: int, path: str) -> None:
+        self.conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        self.conn.request("GET", path)
+        self.response = self.conn.getresponse()
+
+    def next_frame(self) -> bytes:
+        """The next non-heartbeat frame, raw bytes."""
+        while True:
+            lines: list[bytes] = []
+            while True:
+                line = self.response.readline()
+                assert line, "stream ended unexpectedly"
+                if line == b"\n":
+                    break
+                lines.append(line)
+            if lines and not lines[0].startswith(b":"):
+                # lines keep their trailing newlines; re-add the blank
+                # separator so these bytes equal what came off the wire.
+                return b"".join(lines) + b"\n"
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+class TestLifespan:
+    def test_startup_and_shutdown_complete(self, tmp_path, reference_yaml):
+        store = build_corpus(tmp_path, reference_yaml)
+        app = create_asgi_app(store, ServeOptions(port=0, watch_interval=TICK))
+        sent: list[dict] = []
+        incoming = [
+            {"type": "lifespan.startup"},
+            {"type": "lifespan.shutdown"},
+        ]
+
+        async def receive() -> dict:
+            return incoming.pop(0)
+
+        async def send(message: dict) -> None:
+            sent.append(message)
+
+        asyncio.run(app({"type": "lifespan"}, receive, send))
+        assert [message["type"] for message in sent] == [
+            "lifespan.startup.complete",
+            "lifespan.shutdown.complete",
+        ]
+
+    def test_unsupported_scope_type_is_typed(self, tmp_path, reference_yaml):
+        store = build_corpus(tmp_path, reference_yaml)
+        with asgi_app(store) as app:
+            async def never_receive() -> dict:
+                raise AssertionError("must not be called")
+
+            async def never_send(message: dict) -> None:
+                raise AssertionError("must not be called")
+
+            with pytest.raises(ServerError, match="websocket"):
+                asyncio.run(
+                    app({"type": "websocket"}, never_receive, never_send)
+                )
+
+
+class TestParityWithThreadedServer:
+    PATHS = (
+        "/v1/healthz",
+        "/v1/maps",
+        f"/v1/maps/{MAP.value}/snapshot",
+        f"/v1/maps/{MAP.value}/evolution",
+        "/v1/maps/atlantis/snapshot",
+        f"/v1/maps/{MAP.value}/generation",
+        f"/maps/{MAP.value}/snapshot",  # deprecated surface, with headers
+    )
+
+    def test_json_surfaces_agree_byte_for_byte(self, tmp_path, reference_yaml):
+        store = build_corpus(tmp_path, reference_yaml)
+        with running_server(store) as server, asgi_app(store) as app:
+            port = server.server_address[1]
+            for path in self.PATHS:
+                t_status, t_headers, t_body = threaded_get(port, path)
+                a_status, a_headers, a_body = asyncio.run(asgi_get(app, path))
+                assert a_status == t_status, path
+                assert a_body == t_body, path
+                for name in ("Content-Type", "ETag", "Deprecation", "Link"):
+                    assert a_headers.get(name.lower()) == t_headers.get(name), (
+                        path, name,
+                    )
+
+    def test_head_serves_headers_without_a_body(self, tmp_path, reference_yaml):
+        store = build_corpus(tmp_path, reference_yaml)
+        with asgi_app(store) as app:
+            status, headers, body = asyncio.run(
+                asgi_get(app, "/v1/maps", method="HEAD")
+            )
+            assert status == 200
+            assert body == b""
+            assert int(headers["content-length"]) > 0
+
+    def test_post_is_405_with_the_envelope(self, tmp_path, reference_yaml):
+        store = build_corpus(tmp_path, reference_yaml)
+        with asgi_app(store) as app:
+            status, headers, body = asyncio.run(
+                asgi_get(app, "/v1/maps", method="POST")
+            )
+            assert status == 405
+            assert headers["allow"] == "GET, HEAD"
+            assert b'"method_not_allowed"' in body
+
+    def test_sse_frames_agree_byte_for_byte(self, tmp_path, reference_yaml):
+        """Baseline + one live checkpoint, seen identically by both
+        transports' independent watchers over the same store."""
+        store = build_corpus(tmp_path, reference_yaml)
+        with running_server(store) as server, asgi_app(store) as app:
+            port = server.server_address[1]
+            path = f"/v1/maps/{MAP.value}/events"
+            # The threaded subscriber connects first, so both transports
+            # watch the same two generations live.
+            threaded = ThreadedSseReader(port, path)
+            threaded_frames = [threaded.next_frame()]  # the baseline
+            fired = threading.Event()
+
+            def on_frame(count: int) -> None:
+                if count == 1 and not fired.is_set():
+                    fired.set()
+                    checkpoint(store, reference_yaml, T0 + timedelta(minutes=1))
+
+            start, asgi_frames = asyncio.run(
+                asgi_stream_frames(app, path, frames_wanted=2, on_frame=on_frame)
+            )
+            threaded_frames.append(threaded.next_frame())
+            threaded.close()
+            assert start["status"] == 200
+            headers = dict(start["headers"])
+            assert headers[b"content-type"] == b"text/event-stream"
+            assert asgi_frames == threaded_frames
+
+    def test_last_event_id_resume_over_asgi(self, tmp_path, reference_yaml):
+        store = build_corpus(tmp_path, reference_yaml)
+        with asgi_app(store) as app:
+            app.state.start()
+            app.state.feed.poll_now()
+            for minute in (1, 2):
+                checkpoint(store, reference_yaml, T0 + timedelta(minutes=minute))
+                app.state.feed.poll_now()
+            _, frames = asyncio.run(
+                asgi_stream_frames(
+                    app,
+                    f"/v1/maps/{MAP.value}/events",
+                    frames_wanted=2,
+                    headers=(("Last-Event-ID", "1"),),
+                )
+            )
+            assert frames[0].startswith(b"id: 2\n")
+            assert frames[1].startswith(b"id: 3\n")
+
+
+class TestUvicornGate:
+    def test_serve_asgi_without_uvicorn_is_typed(
+        self, tmp_path, reference_yaml, monkeypatch
+    ):
+        import builtins
+
+        store = build_corpus(tmp_path, reference_yaml)
+        real_import = builtins.__import__
+
+        def no_uvicorn(name, *args, **kwargs):
+            if name == "uvicorn":
+                raise ImportError("No module named 'uvicorn'")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", no_uvicorn)
+        with pytest.raises(ServerError, match=r"repro\[asgi\]"):
+            serve_asgi(store, ServeOptions(port=0))
