@@ -19,6 +19,26 @@ python3 scripts/run_static_analysis.py
 echo "== 1/4 test suite =="
 python3 -m pytest tests/ -q
 
+echo "== 1b/4 concurrency suites under the lock sanitizer =="
+# The same server/feed/ingest tests, re-run with every repro-package
+# lock instrumented: the run fails on any lock-order inversion or
+# same-lock re-entry observed at runtime.  The overhead line is
+# informational — see docs/static-analysis.md for the measured numbers.
+python3 -m pytest tests/test_server.py tests/test_server_feed.py \
+    tests/test_server_asgi.py tests/test_dataset_ingest.py \
+    -q --repro-tsan
+python3 - <<'PY'
+from repro.devtools.sanitizer import measure_overhead
+
+numbers = measure_overhead(iterations=20_000)
+print(
+    "sanitizer overhead (informational): "
+    f"raw {numbers['raw_ns_per_pair']:.0f} ns/acquire-release, "
+    f"instrumented {numbers['instrumented_ns_per_pair']:.0f} ns "
+    f"({numbers['overhead_x']:.1f}x)"
+)
+PY
+
 echo "== 2/4 tables and figures (benchmark harness) =="
 python3 -m pytest benchmarks/ --benchmark-only -q -s | tee "$ARTIFACTS/benchmarks.txt"
 cp -r benchmarks/output "$ARTIFACTS/figures" 2>/dev/null || true

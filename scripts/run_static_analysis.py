@@ -4,7 +4,8 @@
 Drives every static check the repository defines, in order:
 
 1. the project-native invariant linter (``repro-weather check``,
-   rules REP001–REP007) — always available, always fatal on findings;
+   rules REP001–REP012) — always available, always fatal on findings,
+   with per-rule finding counts printed for the concurrency pack;
 2. the ``# type: ignore`` budget — the count under ``src/repro`` may
    only decrease; the ceiling lives in ``pyproject.toml`` under
    ``[tool.repro.devtools] type-ignore-budget``;
@@ -38,6 +39,8 @@ MYPY_STRICT_TARGETS = (
     "repro.parsing",
     "repro.dataset.workers",
     "repro.dataset.query",
+    "repro.devtools.concurrency",
+    "repro.devtools.sanitizer",
 )
 
 
@@ -45,17 +48,33 @@ def _heading(title: str) -> None:
     print(f"-- {title}")
 
 
-def run_invariant_linter() -> bool:
+def run_invariant_linter(json_path: str | None = None) -> bool:
     """The project's own rule pack; fatal on any finding."""
     sys.path.insert(0, str(SRC))
     try:
-        from repro.devtools import default_config, render_human, run_checks
+        from repro.devtools import (
+            default_config,
+            render_human,
+            render_json,
+            run_checks,
+        )
 
         result = run_checks(default_config(root=REPO_ROOT))
     except Exception as exc:  # pragma: no cover - defensive surface
         print(f"invariant linter failed to run: {exc}", file=sys.stderr)
         return False
     print(render_human(result))
+    counts: dict[str, int] = {}
+    for finding in result.findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    if counts:
+        per_rule = ", ".join(
+            f"{rule}={count}" for rule, count in sorted(counts.items())
+        )
+        print(f"findings by rule: {per_rule}")
+    if json_path is not None:
+        Path(json_path).write_text(render_json(result) + "\n", encoding="utf-8")
+        print(f"json report written to {json_path}")
     return result.ok
 
 
@@ -139,11 +158,18 @@ def main(argv: list[str] | None = None) -> int:
         help="run only the project-native checks (linter + budget), "
         "never ruff/mypy",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the linter's machine-readable report "
+        "(schema v2, with per-rule counts) to PATH",
+    )
     args = parser.parse_args(argv)
 
     failed: list[str] = []
     _heading("invariant linter (repro-weather check)")
-    if not run_invariant_linter():
+    if not run_invariant_linter(args.json):
         failed.append("invariant linter")
     _heading("type-ignore budget")
     if not run_type_ignore_budget():

@@ -102,6 +102,9 @@ _EXPORTS: dict[str, tuple[str, str]] = {
     "get_registry": ("repro.telemetry", "get_registry"),
     "use_registry": ("repro.telemetry", "use_registry"),
     "snapshot_to_prometheus": ("repro.telemetry", "snapshot_to_prometheus"),
+    # runtime lock sanitizer
+    "install_sanitizer": ("repro.devtools.sanitizer", "install_sanitizer"),
+    "uninstall_sanitizer": ("repro.devtools.sanitizer", "uninstall_sanitizer"),
 }
 
 __all__ = sorted([*_EXPORTS, "__version__"])

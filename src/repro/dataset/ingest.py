@@ -45,12 +45,13 @@ import json
 import logging
 import os
 import queue
+import threading
 import zlib
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter, time
-from typing import BinaryIO, Sequence
+from typing import BinaryIO, Sequence, TypeVar
 
 from repro.constants import MapName
 from repro.dataset.engine import Manifest, ManifestEntry, _skip_from_manifest
@@ -360,6 +361,34 @@ class _Processed:
     outcome: ProcessOutcome
 
 
+_T = TypeVar("_T")
+
+#: How long a blocked queue operation waits before re-checking the abort
+#: flag: invisible under normal flow, prompt when the pipeline dies.
+_QUEUE_POLL_SECONDS = 0.1
+
+
+def _put_abortable(
+    target: "queue.Queue[_T]", item: _T, abort: threading.Event
+) -> bool:
+    """A blocking put with an abort escape; ``False`` means aborted.
+
+    The bounded queues are what keep memory flat, so producers *should*
+    block when consumers fall behind — but a put with no timeout parks
+    the thread even when every consumer is dead, which then wedges the
+    executor's shutdown join behind it.  This is the sanctioned
+    backpressure path: block in short slices, re-checking the abort
+    flag between them.
+    """
+    while not abort.is_set():
+        try:
+            target.put(item, timeout=_QUEUE_POLL_SECONDS)
+            return True
+        except queue.Full:
+            continue
+    return False
+
+
 # ---------------------------------------------------------------------------
 # Daemon
 # ---------------------------------------------------------------------------
@@ -509,12 +538,21 @@ class IngestDaemon:
         map_name: MapName,
         work: "queue.Queue[SnapshotRef | None]",
         results: "queue.Queue[_Processed | None]",
+        abort: threading.Event,
     ) -> None:
-        """Pool thread: read → hash → parse, until the ``None`` sentinel."""
-        while True:
-            ref = work.get()
+        """Pool thread: read → hash → parse, until the ``None`` sentinel.
+
+        Every blocking queue operation polls the abort flag so a dead
+        writer (or sibling) unwinds the pipeline instead of deadlocking
+        it.
+        """
+        while not abort.is_set():
+            try:
+                ref = work.get(timeout=_QUEUE_POLL_SECONDS)
+            except queue.Empty:
+                continue
             if ref is None:
-                results.put(None)
+                _put_abortable(results, None, abort)
                 return
             data = self.store.read_ref(ref)
             size, mtime_ns = ref.stat_key()
@@ -525,26 +563,38 @@ class IngestDaemon:
                 strict=self.config.strict,
                 options=self.config.options,
             )
-            results.put(
+            delivered = _put_abortable(
+                results,
                 _Processed(
                     ref=ref,
                     sha256=hashlib.sha256(data).hexdigest(),
                     size=size,
                     mtime_ns=mtime_ns,
                     outcome=outcome,
-                )
+                ),
+                abort,
             )
+            if not delivered:
+                return
 
     def _producer_loop(
         self,
         pending: Sequence[SnapshotRef],
         work: "queue.Queue[SnapshotRef | None]",
+        abort: threading.Event,
     ) -> None:
-        """Pool thread: feed refs into the bounded work queue, then sentinels."""
+        """Pool thread: feed refs into the bounded work queue, then sentinels.
+
+        The put blocking when workers fall behind is the backpressure
+        that keeps memory flat; the abort escape is what keeps it from
+        becoming a permanent park when every worker has died.
+        """
         for ref in pending:
-            work.put(ref)  # blocks when workers fall behind — backpressure
+            if not _put_abortable(work, ref, abort):
+                return
         for _ in range(self.config.workers):
-            work.put(None)
+            if not _put_abortable(work, None, abort):
+                return
 
     def _sync_batch(
         self, journal: IngestJournal | None, yaml_paths: list[Path]
@@ -612,20 +662,6 @@ class IngestDaemon:
 
     def _ingest_map(self, map_name: MapName) -> None:
         """Recover one map, then drain its pending SVGs through the queues."""
-        registry = get_registry()
-        files_counter, _, yaml_bytes_counter = file_metrics()
-        ingest_files = registry.counter(
-            "repro_ingest_files_total",
-            "Ingestion daemon files by outcome (processed, failed, skipped)",
-        )
-        journal_counter = registry.counter(
-            "repro_ingest_journal_records_total",
-            "Write-ahead journal records by event (appended, replayed, dropped)",
-        )
-        depth_gauge = registry.gauge(
-            "repro_ingest_queue_depth", "Items waiting in the ingest work queue"
-        )
-
         journal: IngestJournal | None = None
         if self.durable and isinstance(self.store, DatasetStore):
             journal = IngestJournal(self.store.journal_path(map_name))
@@ -644,93 +680,144 @@ class IngestDaemon:
         results: "queue.Queue[_Processed | None]" = queue.Queue(self.config.queue_size)
         yaml_batch: list[Path] = []
         touched_shards: set[str] = set()
-        since_sync = 0
-        since_checkpoint = 0
-        done = 0
-        finished_workers = 0
-
+        abort = threading.Event()
         with ThreadPoolExecutor(max_workers=self.config.workers + 1) as pool:
-            futures: list[Future[None]] = [
-                pool.submit(self._producer_loop, pending, work)
-            ]
-            for _ in range(self.config.workers):
-                futures.append(pool.submit(self._worker_loop, map_name, work, results))
-            while finished_workers < self.config.workers:
-                try:
-                    item = results.get(timeout=1.0)
-                except queue.Empty:
-                    self._raise_pipeline_failure(futures)
-                    continue
-                if item is None:
-                    finished_workers += 1
-                    continue
-                ref, outcome = item.ref, item.outcome
-                entry = ManifestEntry(
-                    sha256=item.sha256, size=item.size, mtime_ns=item.mtime_ns
+            try:
+                futures: list[Future[None]] = [
+                    pool.submit(self._producer_loop, pending, work, abort)
+                ]
+                for _ in range(self.config.workers):
+                    futures.append(
+                        pool.submit(self._worker_loop, map_name, work, results, abort)
+                    )
+                self._drain_results(
+                    map_name,
+                    manifest,
+                    journal,
+                    pending,
+                    results,
+                    work,
+                    futures,
+                    map_stats,
+                    yaml_batch,
+                    touched_shards,
                 )
-                if outcome.yaml_text is None:
-                    entry.failure = outcome.failure_cause
-                    map_stats.unprocessed += 1
-                    map_stats.failure_causes[outcome.failure_cause] += 1
-                    self.stats.failed += 1
-                    ingest_files.inc(1, map=map_name.value, outcome="failed")
-                    logger.warning(
-                        "unprocessable %s (%s: %s)",
-                        ref.path.name,
-                        outcome.failure_cause,
-                        outcome.failure_message,
-                    )
-                else:
-                    written = self.store.write(
-                        map_name, ref.timestamp, "yaml", outcome.yaml_text
-                    )
-                    entry.yaml_bytes = written.size_bytes
-                    map_stats.processed += 1
-                    map_stats.yaml_bytes += written.size_bytes
-                    yaml_bytes_counter.inc(written.size_bytes, map=map_name.value)
-                    self.stats.processed += 1
-                    ingest_files.inc(1, map=map_name.value, outcome="processed")
-                    yaml_batch.append(written.path)
-                    touched_shards.add(shard_key(ref.timestamp))
-                stamp = format_timestamp(ref.timestamp)
-                manifest.entries[stamp] = entry
-                if journal is not None:
-                    journal.append(
-                        JournalRecord(
-                            map_value=map_name.value,
-                            stamp=stamp,
-                            sha256=item.sha256,
-                            size=item.size,
-                            mtime_ns=item.mtime_ns,
-                            yaml_bytes=entry.yaml_bytes,
-                            failure=entry.failure,
-                        )
-                    )
-                    journal_counter.inc(1, map=map_name.value, event="appended")
-                done += 1
-                since_sync += 1
-                since_checkpoint += 1
-                self._queue_depth = work.qsize()
-                depth_gauge.set(self._queue_depth, map=map_name.value)
-                if since_sync >= self.config.fsync_every:
-                    self._sync_batch(journal, yaml_batch)
-                    since_sync = 0
-                if since_checkpoint >= self.config.checkpoint_every:
-                    self._checkpoint(
-                        map_name,
-                        manifest,
-                        journal,
-                        yaml_batch,
-                        touched_shards,
-                        pending_left=len(pending) - done,
-                    )
-                    since_checkpoint = 0
-            self._raise_pipeline_failure(futures)
+            except BaseException:
+                # The writer died (or a pipeline thread's exception was
+                # re-raised).  Trip the abort flag so every producer and
+                # worker unwinds its blocking queue operation — otherwise
+                # the executor's __exit__ join would park forever on a
+                # thread stuck in put() with nobody left to drain it.
+                abort.set()
+                raise
 
         self._checkpoint(
             map_name, manifest, journal, yaml_batch, touched_shards, pending_left=0
         )
         self._finish_map(map_name, manifest, journal, had_pending=True)
+
+    def _drain_results(
+        self,
+        map_name: MapName,
+        manifest: Manifest,
+        journal: IngestJournal | None,
+        pending: Sequence[SnapshotRef],
+        results: "queue.Queue[_Processed | None]",
+        work: "queue.Queue[SnapshotRef | None]",
+        futures: "list[Future[None]]",
+        map_stats: ProcessingStats,
+        yaml_batch: list[Path],
+        touched_shards: set[str],
+    ) -> None:
+        """The writer loop: apply processed results until every worker ends."""
+        registry = get_registry()
+        _, _, yaml_bytes_counter = file_metrics()
+        ingest_files = registry.counter(
+            "repro_ingest_files_total",
+            "Ingestion daemon files by outcome (processed, failed, skipped)",
+        )
+        journal_counter = registry.counter(
+            "repro_ingest_journal_records_total",
+            "Write-ahead journal records by event (appended, replayed, dropped)",
+        )
+        depth_gauge = registry.gauge(
+            "repro_ingest_queue_depth", "Items waiting in the ingest work queue"
+        )
+        since_sync = 0
+        since_checkpoint = 0
+        done = 0
+        finished_workers = 0
+        while finished_workers < self.config.workers:
+            try:
+                item = results.get(timeout=1.0)
+            except queue.Empty:
+                self._raise_pipeline_failure(futures)
+                continue
+            if item is None:
+                finished_workers += 1
+                continue
+            ref, outcome = item.ref, item.outcome
+            entry = ManifestEntry(
+                sha256=item.sha256, size=item.size, mtime_ns=item.mtime_ns
+            )
+            if outcome.yaml_text is None:
+                entry.failure = outcome.failure_cause
+                map_stats.unprocessed += 1
+                map_stats.failure_causes[outcome.failure_cause] += 1
+                self.stats.failed += 1
+                ingest_files.inc(1, map=map_name.value, outcome="failed")
+                logger.warning(
+                    "unprocessable %s (%s: %s)",
+                    ref.path.name,
+                    outcome.failure_cause,
+                    outcome.failure_message,
+                )
+            else:
+                written = self.store.write(
+                    map_name, ref.timestamp, "yaml", outcome.yaml_text
+                )
+                entry.yaml_bytes = written.size_bytes
+                map_stats.processed += 1
+                map_stats.yaml_bytes += written.size_bytes
+                yaml_bytes_counter.inc(written.size_bytes, map=map_name.value)
+                self.stats.processed += 1
+                ingest_files.inc(1, map=map_name.value, outcome="processed")
+                yaml_batch.append(written.path)
+                touched_shards.add(shard_key(ref.timestamp))
+            stamp = format_timestamp(ref.timestamp)
+            manifest.entries[stamp] = entry
+            if journal is not None:
+                journal.append(
+                    JournalRecord(
+                        map_value=map_name.value,
+                        stamp=stamp,
+                        sha256=item.sha256,
+                        size=item.size,
+                        mtime_ns=item.mtime_ns,
+                        yaml_bytes=entry.yaml_bytes,
+                        failure=entry.failure,
+                    )
+                )
+                journal_counter.inc(1, map=map_name.value, event="appended")
+            done += 1
+            since_sync += 1
+            since_checkpoint += 1
+            self._queue_depth = work.qsize()
+            depth_gauge.set(self._queue_depth, map=map_name.value)
+            if since_sync >= self.config.fsync_every:
+                self._sync_batch(journal, yaml_batch)
+                since_sync = 0
+            if since_checkpoint >= self.config.checkpoint_every:
+                self._checkpoint(
+                    map_name,
+                    manifest,
+                    journal,
+                    yaml_batch,
+                    touched_shards,
+                    pending_left=len(pending) - done,
+                )
+                since_checkpoint = 0
+        self._raise_pipeline_failure(futures)
 
     def _raise_pipeline_failure(self, futures: Sequence["Future[None]"]) -> None:
         """Surface a dead producer/worker as a typed error instead of a hang."""

@@ -4,8 +4,14 @@ An AST-based invariant linter for the invariants general-purpose tools
 cannot know: ``ParseOptions``-only internal calls (REP001), telemetry
 naming + documentation (REP002), determinism of the byte-identical
 modules (REP003), picklable pool workers (REP004), the typed
-:mod:`repro.errors` hierarchy (REP005), public-API drift (REP006), and
-mutable defaults (REP007).
+:mod:`repro.errors` hierarchy (REP005), public-API drift (REP006),
+mutable defaults (REP007), serving-layer isolation (REP008), and the
+concurrency contracts — ``guarded-by`` lock discipline (REP009),
+non-blocking async bodies (REP010), an acyclic lock-order graph
+(REP011), and bounded queues with backpressure (REP012).  The static
+rules' runtime twin, an opt-in instrumented-lock sanitizer, lives in
+:mod:`repro.devtools.sanitizer` (``REPRO_TSAN=1`` / ``pytest
+--repro-tsan``).
 
 Run it as ``repro-weather check`` (exit 0 clean / 1 findings /
 2 internal error), or programmatically::

@@ -46,7 +46,13 @@ UNPARSEABLE_RULE = "REP999"
 #: after the hash reads ``repro: noqa[REP001]`` (ids comma-separated).
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_,\s]+)\]")
 
-_JSON_SCHEMA_VERSION = 1
+#: Matches any ``repro:`` directive — ``guarded-by[_lock]``,
+#: ``locked-by-caller[_lock]``, and whatever future rules define.  The
+#: ``noqa`` marker also matches; :attr:`SourceModule.directives` filters
+#: it out since suppression handling has its own machinery.
+_DIRECTIVE_RE = re.compile(r"#\s*repro:\s*([a-z][a-z0-9-]*)\[([^\]]*)\]")
+
+_JSON_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True, slots=True)
@@ -195,6 +201,31 @@ class SourceModule:
             }
             if rules:
                 table.setdefault(token.start[0], set()).update(rules)
+        return table
+
+    @cached_property
+    def directives(self) -> dict[int, list[tuple[str, str]]]:
+        """Line number → ``(directive, argument)`` pairs on that line.
+
+        The generic half of the comment grammar: ``# repro: <name>[<arg>]``
+        with a lowercase-kebab name.  Tokenizer-based like
+        :attr:`suppressions`, so a directive quoted in a docstring is
+        inert.  ``noqa`` markers are excluded — they are suppressions,
+        not declarations.
+        """
+        table: dict[int, list[tuple[str, str]]] = {}
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(self.text).readline))
+        except tokenize.TokenError:
+            return table
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            for match in _DIRECTIVE_RE.finditer(token.string):
+                name, argument = match.group(1), match.group(2).strip()
+                if name == "noqa":
+                    continue
+                table.setdefault(token.start[0], []).append((name, argument))
         return table
 
     @cached_property
@@ -454,12 +485,31 @@ def render_human(result: CheckResult) -> str:
     return "\n".join(lines)
 
 
+def rule_catalogue() -> dict[str, str]:
+    """Every rule id → one-line summary, engine-reserved ids included."""
+    from repro.devtools.rules import default_rules
+
+    catalogue = {
+        UNUSED_SUPPRESSION_RULE: "unused suppression or stale declaration",
+        UNPARSEABLE_RULE: "file does not parse",
+    }
+    for rule in default_rules():
+        catalogue[rule.rule_id] = rule.summary
+    return dict(sorted(catalogue.items()))
+
+
 def render_json(result: CheckResult) -> str:
-    """The machine report (schema version 1, stable key order)."""
+    """The machine report (schema version 2, stable key order).
+
+    Version 2 adds the ``rules`` catalogue (id → summary for every rule
+    the engine ships, including the reserved ids) so consumers can label
+    the per-rule ``counts`` without a copy of the docs.
+    """
     payload = {
         "version": _JSON_SCHEMA_VERSION,
         "files_checked": result.files_checked,
         "ok": result.ok,
+        "rules": rule_catalogue(),
         "counts": result.counts_by_rule(),
         "suppressions_used": result.suppressions_used,
         "findings": [item.as_dict() for item in result.findings],

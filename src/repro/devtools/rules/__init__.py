@@ -10,14 +10,25 @@
 | REP006 | ``repro.__all__`` matches the committed ``api_surface.json``   |
 | REP007 | no mutable default arguments                                   |
 | REP008 | ``repro.server`` never parses or materialises snapshots        |
+| REP009 | declared shared attributes only touched under their lock       |
+| REP010 | no blocking calls inside ``repro.server.asgi`` async bodies    |
+| REP011 | the package-wide static lock-order graph is acyclic            |
+| REP012 | daemon/feed queues bounded, puts have a backpressure path      |
 
-``REP000`` (unused suppression) and ``REP999`` (unparseable file) are
-engine-reserved ids.  Each rule documents its rationale, examples, and
-suppression syntax in ``docs/static-analysis.md``.
+``REP000`` (unused suppression or stale ``guarded-by`` declaration) and
+``REP999`` (unparseable file) are engine-reserved ids.  Each rule
+documents its rationale, examples, and suppression syntax in
+``docs/static-analysis.md``.
 """
 
 from __future__ import annotations
 
+from repro.devtools.concurrency import (
+    AsyncBlockingRule,
+    GuardedByRule,
+    LockOrderRule,
+    QueueDisciplineRule,
+)
 from repro.devtools.engine import Rule
 from repro.devtools.rules.api_surface import ApiSurfaceRule
 from repro.devtools.rules.defaults import MutableDefaultRule
@@ -30,10 +41,14 @@ from repro.devtools.rules.telemetry import TelemetryNameRule
 
 __all__ = [
     "ApiSurfaceRule",
+    "AsyncBlockingRule",
     "DeterminismRule",
+    "GuardedByRule",
+    "LockOrderRule",
     "MutableDefaultRule",
     "ParseOptionsRule",
     "PicklableSubmitRule",
+    "QueueDisciplineRule",
     "ServingIsolationRule",
     "TelemetryNameRule",
     "TypedRaiseRule",
@@ -52,4 +67,8 @@ def default_rules() -> list[Rule]:
         ApiSurfaceRule(),
         MutableDefaultRule(),
         ServingIsolationRule(),
+        GuardedByRule(),
+        AsyncBlockingRule(),
+        LockOrderRule(),
+        QueueDisciplineRule(),
     ]

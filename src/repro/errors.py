@@ -194,6 +194,19 @@ class StaticAnalysisError(ReproError):
     """
 
 
+class ConcurrencyError(ReproError):
+    """The runtime lock sanitizer observed a broken locking invariant.
+
+    Raised only in the opt-in instrumented-lock mode
+    (:func:`repro.devtools.sanitizer.install_sanitizer`) when a thread
+    re-acquires a non-reentrant lock it already holds — turning what
+    would be a silent deadlock into an immediate, attributable failure.
+    Lock-order inversions and long-held locks are reported as findings
+    instead of raised, since the offending thread is not the one that
+    would hang.
+    """
+
+
 class IngestError(DatasetError):
     """The ingestion daemon cannot run or resume.
 

@@ -82,10 +82,12 @@ class ReadApiAsgiApp:
         while True:
             message = await receive()
             if message["type"] == "lifespan.startup":
-                self.state.start()
+                # start() stats every map and takes the watcher lock —
+                # blocking work that belongs on a worker thread.
+                await asyncio.to_thread(self.state.start)
                 await send({"type": "lifespan.startup.complete"})
             elif message["type"] == "lifespan.shutdown":
-                self.state.close()
+                await asyncio.to_thread(self.state.close)
                 await send({"type": "lifespan.shutdown.complete"})
                 return
 
@@ -122,8 +124,9 @@ class ReadApiAsgiApp:
                         for name, value in scope.get("headers", [])
                     }
                     # The watcher must run wherever requests are served,
-                    # lifespan or not (some test harnesses skip it).
-                    self.state.start()
+                    # lifespan or not (some test harnesses skip it) — and
+                    # its start() stats files, so off the loop it goes.
+                    await asyncio.to_thread(self.state.start)
                     outcome = await asyncio.to_thread(
                         handle_request, self.state, path, raw_query, headers
                     )

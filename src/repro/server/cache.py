@@ -75,10 +75,11 @@ class ResponseCache:
             )
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._entries: OrderedDict[Hashable, CachedResponse] = OrderedDict()
+        self._entries: OrderedDict[Hashable, CachedResponse] = OrderedDict()  # repro: guarded-by[_lock]
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, endpoint: str, key: Hashable) -> CachedResponse | None:
         """The cached response for ``key``, refreshing its LRU position."""

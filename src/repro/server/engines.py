@@ -59,7 +59,7 @@ class EngineCache:
         self._backend = backend
         self._use_mmap = use_mmap
         self._lock = threading.Lock()
-        self._pinned: dict[MapName, PinnedEngine] = {}
+        self._pinned: dict[MapName, PinnedEngine] = {}  # repro: guarded-by[_lock]
 
     @property
     def store(self) -> DatasetStore:
@@ -67,10 +67,17 @@ class EngineCache:
 
     def pinned(self, map_name: MapName) -> PinnedEngine | None:
         """The current pin, without opening anything (introspection)."""
-        return self._pinned.get(map_name)
+        with self._lock:
+            return self._pinned.get(map_name)
 
     def handle(self, map_name: MapName) -> PinnedEngine:
         """The map's engine at its current generation, opening if needed.
+
+        The generation ``stat()`` runs outside the lock (it never touches
+        the pin table); everything that reads or swaps the pin runs
+        inside it.  The common token-unchanged case is one uncontended
+        lock acquisition plus a dict lookup — far cheaper than the stat
+        that precedes it.
 
         Raises:
             SnapshotNotFoundError: the map has no openable index at all
@@ -78,12 +85,8 @@ class EngineCache:
                 still serve).
         """
         token = read_generation(self._store, map_name)
-        pinned = self._pinned.get(map_name)
-        if pinned is not None and token is not None and pinned.token == token:
-            return pinned
         with self._lock:
             pinned = self._pinned.get(map_name)
-            token = read_generation(self._store, map_name)
             if pinned is not None and (token is None or pinned.token == token):
                 # Token vanished mid-checkpoint, or another thread
                 # already swapped: the pin is the best truth available.

@@ -156,11 +156,11 @@ class _MapFeed:
     __slots__ = ("token", "last_id", "latest", "ring", "subscribers", "changed")
 
     def __init__(self, lock: threading.Lock, ring_size: int) -> None:
-        self.token: GenerationToken | None = None
-        self.last_id = 0
-        self.latest: FeedEvent | None = None
-        self.ring: deque[FeedEvent] = deque(maxlen=ring_size)
-        self.subscribers: list[Subscription] = []
+        self.token: GenerationToken | None = None  # repro: guarded-by[_lock]
+        self.last_id = 0  # repro: guarded-by[_lock]
+        self.latest: FeedEvent | None = None  # repro: guarded-by[_lock]
+        self.ring: deque[FeedEvent] = deque(maxlen=ring_size)  # repro: guarded-by[_lock]
+        self.subscribers: list[Subscription] = []  # repro: guarded-by[_lock]
         self.changed = threading.Condition(lock)
 
 
@@ -189,7 +189,7 @@ class GenerationWatcher:
         self._feeds = {name: _MapFeed(self._lock, ring_size) for name in MapName}
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
-        self._started = False
+        self._started = False  # repro: guarded-by[_lock]
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -229,11 +229,15 @@ class GenerationWatcher:
     # -- the tick ----------------------------------------------------------
 
     def poll_now(self) -> None:
-        """One synchronous tick: stat every map, broadcast what changed."""
+        """One synchronous tick: stat every map, broadcast what changed.
+
+        The ``stat()`` runs outside the lock (it never touches feed
+        state); the change test and the broadcast run inside it — the
+        unchanged case costs one uncontended acquisition per map per
+        tick, never per client.
+        """
         for map_name, feed in self._feeds.items():
             token = read_generation(self._engines.store, map_name)
-            if token == feed.token:
-                continue
             with self._lock:
                 if token == feed.token:
                     continue
@@ -306,7 +310,7 @@ class GenerationWatcher:
         with self._lock:
             self._drop(feed, subscription, evicted=False)
 
-    def _drop(
+    def _drop(  # repro: locked-by-caller[_lock]
         self, feed: _MapFeed, subscription: Subscription, *, evicted: bool
     ) -> None:
         """Remove one subscription (caller holds the lock)."""

@@ -72,7 +72,7 @@ class Instrument:
         self.name = name
         self.help = help
         self._lock = threading.Lock()
-        self._series: dict[LabelKey, object] = {}
+        self._series: dict[LabelKey, object] = {}  # repro: guarded-by[_lock]
 
     def series(self) -> dict[LabelKey, object]:
         """A point-in-time copy of every labelled series."""
@@ -103,7 +103,8 @@ class Counter(Instrument):
 
     def value(self, **labels: object) -> float:
         """Current value of one labelled series (0 when never touched)."""
-        return float(self._series.get(_label_key(labels), 0.0))
+        with self._lock:
+            return float(self._series.get(_label_key(labels), 0.0))
 
     def total(self) -> float:
         """Sum over every labelled series."""
@@ -130,7 +131,8 @@ class Gauge(Instrument):
         self.inc(-amount, **labels)
 
     def value(self, **labels: object) -> float:
-        return float(self._series.get(_label_key(labels), 0.0))
+        with self._lock:
+            return float(self._series.get(_label_key(labels), 0.0))
 
 
 class _HistogramSeries:
@@ -189,13 +191,15 @@ class Histogram(Instrument):
 
     def count(self, **labels: object) -> int:
         """Observations recorded in one labelled series."""
-        series = self._series.get(_label_key(labels))
-        return 0 if series is None else sum(series.counts)
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return 0 if series is None else sum(series.counts)
 
     def total_seconds(self, **labels: object) -> float:
         """Sum of observed values in one labelled series."""
-        series = self._series.get(_label_key(labels))
-        return 0.0 if series is None else series.sum
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return 0.0 if series is None else series.sum
 
     def series(self) -> dict[LabelKey, _HistogramSeries]:
         with self._lock:
@@ -237,20 +241,18 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._instruments: dict[str, Instrument] = {}
+        self._instruments: dict[str, Instrument] = {}  # repro: guarded-by[_lock]
 
     # -- instrument access -------------------------------------------------
 
     def _get_or_create(
         self, cls: type, name: str, help: str, **extra: object
     ) -> Instrument:
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            with self._lock:
-                instrument = self._instruments.get(name)
-                if instrument is None:
-                    instrument = cls(name, help, **extra)
-                    self._instruments[name] = instrument
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls(name, help, **extra)
+                self._instruments[name] = instrument
         if not isinstance(instrument, cls):
             raise TelemetryError(
                 f"metric {name!r} already registered as {instrument.kind}"
@@ -291,7 +293,8 @@ class MetricsRegistry:
             return [self._instruments[name] for name in sorted(self._instruments)]
 
     def get(self, name: str) -> Instrument | None:
-        return self._instruments.get(name)
+        with self._lock:
+            return self._instruments.get(name)
 
     def reset(self) -> None:
         """Drop every instrument (tests and fresh CLI runs)."""

@@ -198,6 +198,23 @@ class TestDaemonRuns:
         # Nothing persistent: re-running re-ingests (no manifest survives).
         assert IngestDaemon(store).run([MAP]).processed == 3
 
+    def test_dead_workers_surface_as_error_not_a_hang(self, tmp_path, apac_svg):
+        # Regression: with every worker dead, the producer used to park
+        # forever on the full bounded work queue and the executor join
+        # wedged the daemon.  The abort protocol must instead raise the
+        # typed pipeline error promptly and unwind every thread.
+        store = build_corpus(DatasetStore(tmp_path), apac_svg, files=12)
+
+        def broken_read(ref):
+            raise OSError("simulated dead disk")
+
+        store.read_ref = broken_read
+        daemon = IngestDaemon(store, IngestConfig(workers=2, queue_size=2))
+        started = time.monotonic()
+        with pytest.raises(IngestError, match="pipeline thread died"):
+            daemon.run([MAP])
+        assert time.monotonic() - started < 30
+
     def test_status_file_published(self, tmp_path, apac_svg):
         store = build_corpus(DatasetStore(tmp_path), apac_svg, files=2)
         IngestDaemon(store).run([MAP])

@@ -607,10 +607,15 @@ class TestEngineAndReporters:
             {"bad.py": "def f(items=[]):\n    return items\n"},
         )
         payload = json.loads(render_json(check_tree(root)))
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["ok"] is False
         assert payload["files_checked"] == 2  # __init__.py + bad.py
         assert payload["counts"] == {"REP007": 1}
+        # Schema v2 carries the rule catalogue: id → one-line summary.
+        assert payload["rules"]["REP007"]
+        assert set(payload["counts"]) <= set(payload["rules"])
+        for rule_id in ("REP000", "REP009", "REP010", "REP011", "REP012"):
+            assert rule_id in payload["rules"]
         assert payload["suppressions_used"] == 0
         (finding,) = payload["findings"]
         assert finding["rule"] == "REP007"
@@ -660,7 +665,7 @@ class TestCliCheck:
         capsys.readouterr()
         assert main(["check", "--root", str(root), "--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["ok"] is True and payload["version"] == 1
+        assert payload["ok"] is True and payload["version"] == 2
 
 
 class TestDefaultConfig:

@@ -162,6 +162,31 @@ class TestRegistry:
         assert registry.get("hammer_total").total() == threads_n * per_thread
         assert registry.get("hammer_seconds").count() == threads_n * per_thread
 
+    def test_reads_locked_during_concurrent_writes(self):
+        """Regression (concurrency pass): value()/get() read under the
+        same locks the writers take, so a reader racing a writer never
+        sees torn state or a half-registered instrument."""
+        registry = MetricsRegistry()
+        counter = registry.counter("race_total")
+        stop = threading.Event()
+
+        def write() -> None:
+            while not stop.is_set():
+                counter.inc(1)
+
+        worker = threading.Thread(target=write)
+        worker.start()
+        try:
+            last = 0
+            for _ in range(2000):
+                assert registry.get("race_total") is counter
+                value = counter.value()
+                assert value >= last  # monotone: no torn/backwards reads
+                last = value
+        finally:
+            stop.set()
+            worker.join()
+
 
 class TestSnapshotAndMerge:
     def build(self) -> MetricsRegistry:
